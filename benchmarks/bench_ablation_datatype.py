@@ -1,0 +1,83 @@
+"""Ablation — MAC data type (int4 / int8 / fp8 / bf16 / fp16).
+
+Sec. II-A parameterizes the TU by "the data type of the
+multiplication-accumulation unit".  This bench holds a (64, 2, 2, 2)
+architecture constant and swaps the cell data type, reporting die area,
+TDP, and peak efficiency per format — including the post-paper OCP fp8
+formats (accumulating in fp16, as real fp8 arrays do).
+"""
+
+from benchmarks.conftest import run_once
+from repro.arch.chip import Chip, ChipConfig
+from repro.arch.component import ModelContext
+from repro.arch.core import CoreConfig
+from repro.arch.memory import OnChipMemoryConfig
+from repro.arch.tensor_unit import SystolicCellConfig, TensorUnitConfig
+from repro.datatypes import BF16, FP8_E4M3, FP16, INT4, INT8, DataType
+from repro.report.tables import format_table
+from repro.tech.node import node
+
+#: (input type, accumulation type or None for the default).
+FORMATS: list[tuple[DataType, DataType]] = [
+    (INT4, None),
+    (INT8, None),
+    (FP8_E4M3, FP16),
+    (BF16, None),
+    (FP16, None),
+]
+
+
+def _chip(input_dtype: DataType, accum_dtype) -> Chip:
+    cell = SystolicCellConfig(
+        input_dtype=input_dtype, accum_dtype=accum_dtype
+    )
+    core = CoreConfig(
+        tu=TensorUnitConfig(rows=64, cols=64, cell=cell),
+        tensor_units=2,
+        mem=OnChipMemoryConfig(capacity_bytes=4 << 20, block_bytes=64),
+    )
+    return Chip(ChipConfig(core=core, cores_x=2, cores_y=2))
+
+
+def test_ablation_mac_datatype(benchmark, emit):
+    ctx = ModelContext(tech=node(16), freq_ghz=0.7)
+
+    def sweep():
+        results = {}
+        for input_dtype, accum_dtype in FORMATS:
+            chip = _chip(input_dtype, accum_dtype)
+            tdp = chip.tdp_w(ctx)
+            tops = chip.peak_tops(ctx)
+            results[input_dtype.name] = (
+                chip.area_mm2(ctx),
+                tdp,
+                tops,
+                tops / tdp,
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+
+    rows = [
+        [name, f"{area:.0f}", f"{tdp:.0f}", f"{tops:.1f}", f"{eff:.2f}"]
+        for name, (area, tdp, tops, eff) in results.items()
+    ]
+    emit(
+        "Ablation — MAC data type on a fixed (64,2,2,2) @ 16 nm chip\n"
+        + format_table(
+            ["format", "area mm^2", "TDP W", "peak TOPS", "TOPS/W"], rows
+        )
+    )
+
+    # Narrower integers are strictly cheaper.
+    assert results["int4"][0] < results["int8"][0]
+    assert results["int4"][3] > results["int8"][3]
+    # Floats cost more than same-width integers...
+    assert results["fp8_e4m3"][1] > results["int8"][1]
+    # ...but fp8 (fp16-accumulated) beats bf16 on efficiency.
+    assert results["fp8_e4m3"][3] > results["bf16"][3]
+    # Efficiency ordering is monotone from int4 down to fp16.
+    efficiencies = [results[name][3] for name, _ in (
+        (f[0].name, f) for f in FORMATS
+    )]
+    assert efficiencies == sorted(efficiencies, reverse=True)

@@ -1,0 +1,86 @@
+"""Ablation — on-chip memory cell type (Sec. II-A: DFF, SRAM, eDRAM).
+
+Sweeps the Mem capacity with SRAM vs eDRAM cells on a fixed core and
+reports area, access energy, latency, and standby power.  eDRAM trades
+density for refresh power and slower banks — the crossover NeuroMeter
+lets an architect find.
+"""
+
+from benchmarks.conftest import run_once
+from repro.arch.component import ModelContext
+from repro.arch.memory import MemCellKind, OnChipMemory, OnChipMemoryConfig
+from repro.report.tables import format_table
+from repro.tech.node import node
+
+CAPACITIES_MIB = (2, 8, 32)
+
+
+def _memory(capacity_mib: int, cell: MemCellKind) -> OnChipMemory:
+    return OnChipMemory(
+        OnChipMemoryConfig(
+            capacity_bytes=capacity_mib << 20,
+            block_bytes=64,
+            cell=cell,
+            latency_cycles=8 if cell is MemCellKind.EDRAM else 4,
+        )
+    )
+
+
+def test_ablation_sram_vs_edram(benchmark, emit):
+    ctx = ModelContext(tech=node(28), freq_ghz=0.7)
+
+    def sweep():
+        rows = {}
+        for capacity in CAPACITIES_MIB:
+            for cell in (MemCellKind.SRAM, MemCellKind.EDRAM):
+                memory = _memory(capacity, cell)
+                estimate = memory.estimate(ctx)
+                rows[(capacity, cell.value)] = (
+                    estimate.area_mm2,
+                    memory.read_energy_pj(ctx),
+                    memory.access_latency_ns(ctx),
+                    estimate.leakage_w,
+                )
+        return rows
+
+    results = run_once(benchmark, sweep)
+
+    table = [
+        [
+            f"{capacity} MiB",
+            cell,
+            f"{area:.2f}",
+            f"{energy:.0f}",
+            f"{latency:.2f}",
+            f"{standby * 1e3:.0f}",
+        ]
+        for (capacity, cell), (area, energy, latency, standby) in (
+            results.items()
+        )
+    ]
+    emit(
+        "Ablation — SRAM vs eDRAM on-chip memory at 28 nm\n"
+        + format_table(
+            [
+                "capacity",
+                "cell",
+                "area mm^2",
+                "read pJ",
+                "latency ns",
+                "standby mW",
+            ],
+            table,
+        )
+    )
+
+    for capacity in CAPACITIES_MIB:
+        sram = results[(capacity, "sram")]
+        edram = results[(capacity, "edram")]
+        # eDRAM is denser at every capacity.
+        assert edram[0] < sram[0], capacity
+    # At matched (small) organizations, the eDRAM bank is the slower one;
+    # at large capacities its density shortens the H-tree and can win back
+    # the latency, which is exactly the tradeoff this ablation exposes.
+    assert results[(2, "edram")][2] > results[(2, "sram")][2] * 0.8
+    # Refresh power grows with capacity.
+    assert results[(32, "edram")][3] > results[(2, "edram")][3]

@@ -1,0 +1,88 @@
+"""Ablation — NoC topology (Sec. II-A supports mesh, ring, bus, H-tree).
+
+Fixes a 16-core datacenter-class chip and swaps the inter-core network,
+reporting area, TDP, per-byte transport energy, and link latency for each
+topology.  The ring-under-4 / mesh-from-8 default of Table I emerges:
+buses stop scaling (one shared medium must carry the bisection), rings pay
+long average hop counts, meshes spend the most wire but move bytes
+cheapest at this scale.
+"""
+
+from benchmarks.conftest import run_once
+from repro.arch.chip import Chip, ChipConfig
+from repro.arch.component import ModelContext
+from repro.arch.core import CoreConfig
+from repro.arch.memory import OnChipMemoryConfig
+from repro.arch.noc import NocTopology
+from repro.arch.tensor_unit import TensorUnitConfig
+from repro.report.tables import format_table
+from repro.tech.node import node
+
+
+def _chip(topology: NocTopology) -> Chip:
+    core = CoreConfig(
+        tu=TensorUnitConfig(rows=32, cols=32),
+        tensor_units=2,
+        mem=OnChipMemoryConfig(capacity_bytes=2 << 20, block_bytes=32),
+    )
+    return Chip(
+        ChipConfig(
+            core=core,
+            cores_x=4,
+            cores_y=4,
+            noc_topology=topology,
+            noc_bisection_gbps=256.0,
+        )
+    )
+
+
+def test_ablation_noc_topologies(benchmark, emit):
+    ctx = ModelContext(tech=node(28), freq_ghz=0.7)
+
+    def sweep():
+        results = {}
+        for topology in NocTopology:
+            chip = _chip(topology)
+            noc = chip.noc(ctx)
+            estimate = chip.estimate(ctx)
+            results[topology.value] = (
+                estimate.find("network-on-chip").area_mm2,
+                estimate.find("network-on-chip").total_power_w,
+                noc.energy_per_byte_pj(ctx),
+                noc.link_latency_ns(ctx),
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+
+    rows = [
+        [
+            name,
+            f"{area:.2f}",
+            f"{power:.2f}",
+            f"{energy:.2f}",
+            f"{latency:.3f}",
+        ]
+        for name, (area, power, energy, latency) in results.items()
+    ]
+    emit(
+        "Ablation — 16-core NoC topology comparison (256 GB/s bisection)\n"
+        + format_table(
+            [
+                "topology",
+                "area mm^2",
+                "power W",
+                "pJ/byte",
+                "link ns",
+            ],
+            rows,
+        )
+    )
+
+    # The bus pays for its chip-spanning medium per transfer.
+    assert results["bus"][3] > results["mesh"][3]
+    # The mesh's narrow per-link flits move bytes cheaper than the bus.
+    assert results["mesh"][2] < results["bus"][2]
+    # Every topology produces a positive, finite model.
+    for name, values in results.items():
+        assert all(v > 0 for v in values), name

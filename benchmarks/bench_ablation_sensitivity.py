@@ -1,0 +1,112 @@
+"""Ablation — robustness of the paper's conclusions to calibration.
+
+The reproduction's empirical constants were calibrated on TPU-v1/v2 and
+Eyeriss, then frozen.  This bench perturbs each constant by ±20-25% and
+re-runs the headline peak-metric comparisons, verifying that the paper's
+conclusions are *orderings* that survive calibration error:
+
+* (128, 4, 1, 1) stays the peak TOPS/Watt and TOPS/TCO optimum (Fig. 8),
+* the wimpy (8, 4, 4, 8) never becomes peak-efficiency optimal.
+
+It also cross-checks the TOPS/TCO area-squared proxy against the explicit
+die-yield cost model.
+"""
+
+from benchmarks.conftest import run_once
+from repro.config.presets import datacenter_context
+from repro.dse.cost import CostModel
+from repro.dse.sensitivity import stability_summary, winner_stability
+from repro.dse.space import DesignPoint
+from repro.dse.sweep import evaluate_point
+from repro.report.tables import format_table
+
+POINTS = [
+    DesignPoint(8, 4, 4, 8),
+    DesignPoint(32, 4, 2, 2),
+    DesignPoint(64, 2, 2, 4),
+    DesignPoint(128, 4, 1, 1),
+    DesignPoint(256, 1, 1, 1),
+]
+
+
+def _peak_efficiency(point: DesignPoint) -> float:
+    # Rebuilds the chip so perturbed constants take effect.
+    result = evaluate_point(point, ctx=datacenter_context())
+    return result.peak_tops_per_watt
+
+
+def test_ablation_calibration_sensitivity(benchmark, emit):
+    def study():
+        results = winner_stability(
+            POINTS, metric=_peak_efficiency, factors=(0.8, 1.25)
+        )
+        return results, stability_summary(results)
+
+    results, summary = run_once(benchmark, study)
+
+    rows = [
+        [constant, f"{stable:.0%}"]
+        for constant, stable in summary.items()
+    ]
+    emit(
+        "Ablation — does the Fig. 8 peak-TOPS/W optimum survive +-20-25% "
+        "calibration error?\n"
+        + format_table(["perturbed constant", "winner stable"], rows)
+    )
+
+    baseline_winner = results[0].baseline_winner
+    emit(f"Baseline winner: {baseline_winner.label()}")
+    assert baseline_winner == DesignPoint(128, 4, 1, 1)
+    # The ordering must hold under every perturbation.
+    assert all(result.stable for result in results), [
+        (r.constant, r.factor, r.winner.label())
+        for r in results
+        if not r.stable
+    ]
+
+
+def test_ablation_tco_proxy_vs_yield_cost(benchmark, emit):
+    ctx = datacenter_context()
+    model = CostModel.for_node(28)
+
+    def study():
+        rows = {}
+        for point in POINTS:
+            result = evaluate_point(point, ctx=ctx)
+            proxy = result.peak_tops / (
+                result.area_mm2**2 * result.tdp_w
+            )
+            dollars = result.peak_tops / (
+                model.die_cost_usd(result.area_mm2) * result.tdp_w
+            )
+            rows[point] = (result.area_mm2, proxy, dollars)
+        return rows
+
+    rows = run_once(benchmark, study)
+
+    table = [
+        [point.label(), f"{area:.0f}", f"{proxy * 1e6:.2f}", f"{usd:.3f}"]
+        for point, (area, proxy, usd) in rows.items()
+    ]
+    emit(
+        "Ablation — TOPS/TCO proxy (area^2 * W) vs explicit die-cost "
+        "(yielded $ * W)\n"
+        + format_table(
+            [
+                "(X,N,Tx,Ty)",
+                "area mm^2",
+                "proxy (x1e-6)",
+                "TOPS/($*W)",
+            ],
+            table,
+        )
+    )
+
+    # Both metrics crown the same design.
+    proxy_best = max(rows, key=lambda p: rows[p][1])
+    dollar_best = max(rows, key=lambda p: rows[p][2])
+    assert proxy_best == dollar_best
+    # And agree on the full ranking of these points.
+    proxy_rank = sorted(rows, key=lambda p: -rows[p][1])
+    dollar_rank = sorted(rows, key=lambda p: -rows[p][2])
+    assert proxy_rank == dollar_rank

@@ -1,0 +1,80 @@
+"""Ablation — technology scaling of a fixed 92-TOPS architecture.
+
+Holds the paper's throughput-optimal (64, 2, 2, 4) architecture constant
+and rebuilds it at 65/45/28/16/7 nm, reporting area, TDP, the maximum
+timing-feasible clock, and peak efficiency.  The expected Dennard-era
+trends fall out of the technology backend: area and energy shrink
+steadily, and the 700 MHz Table I clock that is comfortable at 28 nm is
+out of reach at 65 nm.
+"""
+
+from benchmarks.conftest import run_once
+from repro.arch.component import ModelContext
+from repro.dse.space import DesignPoint
+from repro.report.tables import format_table
+from repro.tech.node import available_nodes, node
+from repro.timing.clock import max_frequency_ghz
+
+POINT = DesignPoint(64, 2, 2, 4)
+
+
+def test_ablation_technology_scaling(benchmark, emit):
+    chip = POINT.build()
+
+    def sweep():
+        results = {}
+        for feature in sorted(available_nodes(), reverse=True):
+            tech = node(feature)
+            max_freq = min(max_frequency_ghz(chip, tech), 2.0)
+            freq = min(0.7, max_freq)
+            ctx = ModelContext(tech=tech, freq_ghz=freq)
+            tdp = chip.tdp_w(ctx)
+            results[feature] = (
+                chip.area_mm2(ctx),
+                tdp,
+                max_freq,
+                chip.peak_tops(ctx),
+                chip.peak_tops(ctx) / tdp,
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+
+    rows = [
+        [
+            f"{feature} nm",
+            f"{area:.0f}",
+            f"{tdp:.0f}",
+            f"{fmax:.2f}",
+            f"{tops:.1f}",
+            f"{eff:.3f}",
+        ]
+        for feature, (area, tdp, fmax, tops, eff) in results.items()
+    ]
+    emit(
+        f"Ablation — {POINT.label()} across technology nodes "
+        "(clock = min(700 MHz, timing-feasible))\n"
+        + format_table(
+            [
+                "node",
+                "area mm^2",
+                "TDP W",
+                "max GHz",
+                "peak TOPS",
+                "TOPS/W",
+            ],
+            rows,
+        )
+    )
+
+    features = sorted(results, reverse=True)  # 65 -> 7
+    areas = [results[f][0] for f in features]
+    effs = [results[f][4] for f in features]
+    clocks = [results[f][2] for f in features]
+    # Monotone shrink and efficiency gain across nodes.
+    assert areas == sorted(areas, reverse=True)
+    assert effs == sorted(effs)
+    # Newer nodes close timing at higher clocks.
+    assert clocks == sorted(clocks)
+    # The Table I operating point (700 MHz @ 28 nm) is feasible.
+    assert results[28][2] >= 0.7

@@ -1,0 +1,60 @@
+"""Ablation — supply-voltage / frequency scaling on the TPU-v1 chip.
+
+NeuroMeter models operation away from the nominal supply (TPU-v1 runs its
+28 nm process at 0.86 V).  This bench sweeps Vdd on the TPU-v1 preset and
+reports the achievable clock (from the Elmore-based timing), peak TOPS,
+TDP, and the resulting peak efficiency — the classic voltage-scaling
+efficiency curve.
+"""
+
+from benchmarks.conftest import run_once
+from repro.arch.component import ModelContext
+from repro.config.presets import tpu_v1
+from repro.report.tables import format_table
+from repro.tech.node import node
+from repro.timing.clock import max_frequency_ghz
+
+VOLTAGES = (0.70, 0.80, 0.86, 0.95, 1.05)
+
+
+def test_ablation_voltage_frequency_scaling(benchmark, emit):
+    chip = tpu_v1()
+
+    def sweep():
+        results = {}
+        for vdd in VOLTAGES:
+            tech = node(28).at_voltage(vdd)
+            freq = min(max_frequency_ghz(chip, tech), 1.2)
+            ctx = ModelContext(tech=tech, freq_ghz=freq)
+            tdp = chip.tdp_w(ctx)
+            tops = chip.peak_tops(ctx)
+            results[vdd] = (freq, tops, tdp, tops / tdp)
+        return results
+
+    results = run_once(benchmark, sweep)
+
+    rows = [
+        [
+            f"{vdd:.2f}",
+            f"{freq:.2f}",
+            f"{tops:.1f}",
+            f"{tdp:.1f}",
+            f"{eff:.3f}",
+        ]
+        for vdd, (freq, tops, tdp, eff) in results.items()
+    ]
+    emit(
+        "Ablation — TPU-v1 voltage/frequency scaling\n"
+        + format_table(
+            ["Vdd", "max GHz", "peak TOPS", "TDP W", "TOPS/W"], rows
+        )
+    )
+
+    frequencies = [results[v][0] for v in VOLTAGES]
+    # Higher Vdd closes timing at a higher clock...
+    assert frequencies == sorted(frequencies)
+    # ...but the lowest voltage is the most energy efficient (V^2 wins).
+    efficiencies = [results[v][3] for v in VOLTAGES]
+    assert efficiencies[0] == max(efficiencies)
+    # The published 0.86 V point supports the published 700 MHz.
+    assert results[0.86][0] >= 0.7

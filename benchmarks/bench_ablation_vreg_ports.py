@@ -1,0 +1,68 @@
+"""Ablation — VReg port-count explosion (Sec. III-A).
+
+The paper caps TUs per core at four because "a large N leads to an
+overhead explosion of VReg: for example, with eight 4x4 TUs per core, the
+VReg area and power overhead is 12.7% and 24.9% of the core".  This bench
+sweeps N and reports the VReg share of the core, plus the port-sharing
+alternative the paper mentions.
+"""
+
+from benchmarks.conftest import run_once
+from repro.arch.component import ModelContext
+from repro.arch.core import Core, CoreConfig
+from repro.arch.memory import OnChipMemoryConfig
+from repro.arch.tensor_unit import TensorUnitConfig
+from repro.report.tables import format_table
+from repro.tech.node import node
+
+TUS_PER_CORE = (1, 2, 4, 8)
+
+
+def _core(n: int, shared: bool = False) -> CoreConfig:
+    return CoreConfig(
+        tu=TensorUnitConfig(rows=4, cols=4),
+        tensor_units=n,
+        mem=OnChipMemoryConfig(capacity_bytes=256 * 1024, block_bytes=32),
+        vreg_shared_ports=shared,
+    )
+
+
+def test_ablation_vreg_port_explosion(benchmark, emit):
+    ctx = ModelContext(tech=node(28), freq_ghz=0.7)
+
+    def sweep():
+        shares = {}
+        for n in TUS_PER_CORE:
+            estimate = Core(_core(n)).estimate(ctx)
+            vreg = estimate.find("vector register file")
+            shares[n] = (
+                vreg.area_mm2 / estimate.area_mm2,
+                vreg.total_power_w / estimate.total_power_w,
+            )
+        shared = Core(_core(8, shared=True)).estimate(ctx)
+        shared_vreg = shared.find("vector register file")
+        shares["8 (shared ports)"] = (
+            shared_vreg.area_mm2 / shared.area_mm2,
+            shared_vreg.total_power_w / shared.total_power_w,
+        )
+        return shares
+
+    shares = run_once(benchmark, sweep)
+
+    rows = [
+        [str(n), f"{area:.1%}", f"{power:.1%}"]
+        for n, (area, power) in shares.items()
+    ]
+    emit(
+        "Ablation — VReg share of a 4x4-TU core vs TUs per core\n"
+        + format_table(["TUs/core", "VReg area", "VReg power"], rows)
+        + "\n(paper: 12.7% area / 24.9% power at N=8 — the reason N is "
+        "capped at 4)"
+    )
+
+    # The explosion: superlinear growth, substantial at N=8.
+    assert shares[8][0] > 4.0 * shares[2][0]
+    assert shares[8][0] > 0.06
+    assert shares[8][1] > 0.10
+    # Port sharing tames it.
+    assert shares["8 (shared ports)"][0] < shares[8][0] / 2

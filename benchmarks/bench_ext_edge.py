@@ -1,0 +1,58 @@
+"""Extension — edge-inference design space.
+
+Applies the Sec. III methodology at the edge operating point the paper's
+introduction motivates ("ranging from cloud to edge devices"): a 25 mm^2 /
+4 W budget at 16 nm, MobileNet-v2 at batch 1, LPDDR-class bandwidth.  At
+this scale the brawny-vs-wimpy answer inverts: mid-size TUs win, because
+MobileNet's thin layers starve large arrays while control overhead eats
+the tiny ones.
+"""
+
+from benchmarks.conftest import run_once
+from repro.dse.edge import edge_sweep
+from repro.report.tables import format_table
+from repro.workloads.mobilenet import mobilenet_v2
+
+
+def test_ext_edge_design_space(benchmark, emit):
+    workload = mobilenet_v2()
+    results = run_once(benchmark, lambda: edge_sweep(workload))
+
+    rows = [
+        [
+            result.label,
+            f"{result.area_mm2:.1f}",
+            f"{result.tdp_w:.2f}",
+            f"{result.peak_tops:.2f}",
+            f"{result.fps:.0f}",
+            f"{result.latency_ms:.2f}",
+            f"{result.fps_per_watt:.0f}",
+        ]
+        for result in sorted(results, key=lambda r: -r.fps_per_watt)
+    ]
+    emit(
+        "Extension — edge design space (MobileNet-v2, batch 1, "
+        "25 mm^2 / 4 W @ 16 nm)\n"
+        + format_table(
+            [
+                "(X,N,Tx,Ty)",
+                "mm^2",
+                "TDP W",
+                "peak TOPS",
+                "fps",
+                "ms",
+                "fps/W",
+            ],
+            rows,
+        )
+    )
+
+    assert results, "the edge budget must admit design points"
+    best = max(results, key=lambda r: r.fps_per_watt)
+    # The efficiency winner is a mid-size TU, not the largest or smallest
+    # in the swept range.
+    assert "(4," not in best.label
+    # Real-time capable at the optimum.
+    assert best.fps > 100.0
+    # Every surviving point is inside the budget by construction.
+    assert all(r.fits_budget() for r in results)

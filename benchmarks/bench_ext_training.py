@@ -1,0 +1,89 @@
+"""Extension — brawny vs. wimpy for *training* accelerators.
+
+The paper leaves training to future work (Sec. III); this bench runs the
+study anyway with the reproduction's training extension: bf16/fp32 design
+points, the first-order training-step model (forward + 2x backward +
+optimizer traffic), and runtime power.  The brawny-wins-efficiency
+conclusion carries over, with lower utilization than inference because of
+the optimizer's bandwidth-bound phase.
+"""
+
+from benchmarks.conftest import run_once
+from repro.config.presets import datacenter_training_point, training_context
+from repro.perf.simulator import Simulator
+from repro.perf.training import estimate_training_step
+from repro.power.runtime import runtime_power
+from repro.report.tables import format_table
+from repro.workloads import resnet50
+
+POINTS = [
+    (16, 4, 4, 4),
+    (32, 4, 2, 2),
+    (64, 2, 2, 2),
+    (128, 1, 1, 2),
+]
+
+BATCH = 32
+
+
+def test_ext_training_study(benchmark, emit):
+    ctx = training_context()
+    graph = resnet50()
+
+    def sweep():
+        results = {}
+        for point in POINTS:
+            chip = datacenter_training_point(*point)
+            simulator = Simulator(chip, ctx)
+            step = estimate_training_step(simulator, graph, BATCH)
+            power = runtime_power(chip, ctx, step.activity).total_w
+            estimate = chip.estimate(ctx)
+            results[point] = (
+                estimate.area_mm2,
+                chip.tdp_w(ctx),
+                chip.peak_tops(ctx),
+                step.throughput_sps,
+                step.achieved_tops,
+                step.achieved_tops / power,
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+
+    rows = [
+        [
+            f"({x},{n},{tx},{ty})",
+            f"{area:.0f}",
+            f"{tdp:.0f}",
+            f"{peak:.1f}",
+            f"{sps:.0f}",
+            f"{ach:.1f}",
+            f"{eff:.3f}",
+        ]
+        for (x, n, tx, ty), (area, tdp, peak, sps, ach, eff) in (
+            results.items()
+        )
+    ]
+    emit(
+        "Extension — bf16 training design points "
+        f"(ResNet-50 step, batch {BATCH}, 16 nm)\n"
+        + format_table(
+            [
+                "(X,N,Tx,Ty)",
+                "mm^2",
+                "TDP W",
+                "peak TFLOPS",
+                "steps/s",
+                "ach TFLOPS",
+                "TFLOPS/W",
+            ],
+            rows,
+        )
+    )
+
+    # Brawny training chips sustain more throughput than wimpy ones.
+    assert results[(64, 2, 2, 2)][3] > results[(16, 4, 4, 4)][3]
+    # Every point produces positive, bounded numbers.
+    for point, values in results.items():
+        assert all(v > 0 for v in values), point
+        assert values[4] <= values[2] + 1e-9, point  # achieved <= peak

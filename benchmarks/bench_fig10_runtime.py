@@ -1,0 +1,129 @@
+"""Fig. 10 — average runtime performance and efficiency across the space.
+
+Regenerates the Fig. 10(a-c) series for the key design points: achieved
+TOPS (arithmetic mean over ResNet/Inception/NasNet), TU utilization,
+energy efficiency (achieved TOPS/Watt on runtime power), and cost
+efficiency (achieved TOPS/TCO), at small (1), latency-bounded (10 ms),
+and large (256) batch sizes.  Asserts the paper's orderings: the wimpy
+(8,4,4,8) always has the highest utilization, (64,2,2,4) the highest
+throughput, and the efficiency optima trade throughput for TCO.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.dse.space import DesignPoint
+from repro.dse.sweep import evaluate_point
+from repro.report.tables import format_table
+from repro.workloads import datacenter_workloads
+
+POINTS = [
+    DesignPoint(8, 4, 4, 8),
+    DesignPoint(16, 4, 4, 4),
+    DesignPoint(32, 4, 2, 2),
+    DesignPoint(64, 4, 1, 2),
+    DesignPoint(64, 2, 2, 4),
+    DesignPoint(128, 4, 1, 1),
+    DesignPoint(256, 1, 1, 1),
+]
+
+BATCH_SPECS = [(1, "small (bs=1)"), ("latency-bound", "medium (10 ms)"),
+               (256, "large (bs=256)")]
+
+
+@pytest.fixture(scope="module")
+def results():
+    workloads = datacenter_workloads()
+    return {
+        point: evaluate_point(
+            point, workloads, [spec for spec, _ in BATCH_SPECS]
+        )
+        for point in POINTS
+    }
+
+
+def test_fig10_runtime_study(benchmark, emit, results):
+    run_once(benchmark, lambda: results)
+
+    import math
+
+    for spec, label in BATCH_SPECS:
+        regime = spec if spec == "latency-bound" else f"bs={spec}"
+        rows = []
+        for point, result in results.items():
+            outcomes = [o for o in result.outcomes if o.regime == regime]
+            ach = sum(o.achieved_tops for o in outcomes) / len(outcomes)
+            util = math.exp(
+                sum(math.log(max(o.utilization, 1e-9)) for o in outcomes)
+                / len(outcomes)
+            )
+            eff = math.exp(
+                sum(
+                    math.log(max(o.energy_efficiency, 1e-12))
+                    for o in outcomes
+                )
+                / len(outcomes)
+            )
+            tco = math.exp(
+                sum(
+                    math.log(
+                        max(
+                            o.achieved_tops
+                            / (result.area_mm2**2 * o.runtime_power_w),
+                            1e-18,
+                        )
+                    )
+                    for o in outcomes
+                )
+                / len(outcomes)
+            )
+            rows.append(
+                [
+                    point.label(),
+                    f"{ach:.1f}",
+                    f"{util:.2f}",
+                    f"{eff:.3f}",
+                    f"{tco * 1e6:.2f}",
+                ]
+            )
+        emit(
+            f"Fig. 10 — {label}\n"
+            + format_table(
+                [
+                    "(X,N,Tx,Ty)",
+                    "achieved TOPS",
+                    "TU util",
+                    "TOPS/W",
+                    "TOPS/TCO (x1e-6)",
+                ],
+                rows,
+            )
+        )
+
+    # Headline orderings (Sec. III-B-2 / III-B-3).
+    for batch in (1, 256):
+        utils = {
+            p: r.mean_utilization(batch) for p, r in results.items()
+        }
+        tops = {
+            p: r.mean_achieved_tops(batch) for p, r in results.items()
+        }
+        assert max(utils, key=utils.get) == DesignPoint(8, 4, 4, 8)
+        assert max(tops, key=tops.get) == DesignPoint(64, 2, 2, 4)
+
+    # The bs=1 efficiency-vs-throughput tradeoff between the 64x64 twins.
+    efficient = results[DesignPoint(64, 4, 1, 2)]
+    throughput = results[DesignPoint(64, 2, 2, 4)]
+    tco_gain = efficient.mean_cost_efficiency(
+        1
+    ) / throughput.mean_cost_efficiency(1)
+    sacrifice = 1 - efficient.mean_achieved_tops(
+        1
+    ) / throughput.mean_achieved_tops(1)
+    emit(
+        f"Tradeoff at bs=1: choosing (64,4,1,2) over (64,2,2,4) "
+        f"sacrifices {sacrifice:.0%} achieved TOPS for a "
+        f"{tco_gain:.2f}x TOPS/TCO gain (paper: ~16% for >2x)."
+    )
+    assert tco_gain > 1.1
+    assert 0.0 < sacrifice < 0.55

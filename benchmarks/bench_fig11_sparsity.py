@@ -1,0 +1,55 @@
+"""Fig. 11 — energy-efficiency gain of sparse over dense computation.
+
+Regenerates the four Fig. 11 curves (TU32, TU8, RT1024, RT64): the
+SpMV energy-efficiency gain versus element-wise sparsity, with runtime
+power from the NeuroMeter chip models and runtimes from the Sec. IV
+roofline.  Asserts the paper's structure: gain > 1 only past ~0.5
+sparsity, a visible transition near 0.9 for the fine-grained TU8/RT64,
+low-slope growth for TU32/RT1024, and a larger benefit for the wimpier
+architectures.
+"""
+
+from benchmarks.conftest import run_once
+from repro.dse.sparsity_study import STUDY_ARCHITECTURES, sparsity_sweep
+from repro.report.tables import format_table
+
+SPARSITIES = (0.0, 0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99)
+
+
+def test_fig11_sparsity_study(benchmark, emit):
+    sweep = run_once(benchmark, lambda: sparsity_sweep(SPARSITIES))
+
+    rows = []
+    for sparsity_index, sparsity in enumerate(SPARSITIES):
+        rows.append(
+            [f"{sparsity:.2f}"]
+            + [
+                f"{sweep[arch][sparsity_index].gain:.2f}"
+                for arch in STUDY_ARCHITECTURES
+            ]
+        )
+    emit(
+        "Fig. 11 — energy-efficiency gain of sparse over dense\n"
+        + format_table(["sparsity"] + list(STUDY_ARCHITECTURES), rows)
+    )
+
+    gains = {
+        arch: {p.sparsity: p.gain for p in points}
+        for arch, points in sweep.items()
+    }
+    for arch in STUDY_ARCHITECTURES:
+        # Benefit only appears past ~0.5 sparsity (CSR overhead first).
+        assert gains[arch][0.3] < 1.1, arch
+        assert gains[arch][0.8] > 1.0, arch
+        # Gains grow monotonically with sparsity.
+        series = [gains[arch][s] for s in SPARSITIES]
+        assert series == sorted(series), arch
+
+    # Fine-grained units transition sharply near 0.9 sparsity...
+    for arch in ("TU8", "RT64"):
+        early_slope = gains[arch][0.9] - gains[arch][0.8]
+        late_slope = gains[arch][0.95] - gains[arch][0.9]
+        assert late_slope > early_slope, arch
+    # ...and end up benefiting far more than the coarse-grained ones.
+    assert gains["TU8"][0.95] > 2.0 * gains["TU32"][0.95]
+    assert gains["RT64"][0.95] > 2.0 * gains["RT1024"][0.95]

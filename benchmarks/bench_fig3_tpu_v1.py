@@ -1,0 +1,49 @@
+"""Fig. 3 — TPU-v1 area and power validation.
+
+Regenerates the chip-level numbers and the area ring of the paper's Fig. 3:
+modeled TDP vs the published 75 W (<5% error) and modeled area vs the
+published <=331 mm^2 (<10% error), with the per-component breakdown.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.config.presets import tpu_v1, tpu_v1_context
+from repro.report.tables import comparison_table, share_ring
+from repro.validation.published import TPU_V1
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return tpu_v1_context()
+
+
+def test_fig3_tpu_v1_validation(benchmark, emit, ctx):
+    chip = tpu_v1()
+
+    def model():
+        return chip.estimate(ctx), chip.tdp_w(ctx)
+
+    estimate, tdp = run_once(benchmark, model)
+
+    emit(
+        comparison_table(
+            "Fig. 3 — TPU-v1 @ 28 nm / 700 MHz / 0.86 V",
+            {"area (mm^2)": estimate.area_mm2, "TDP (W)": tdp},
+            {"area (mm^2)": TPU_V1.area_mm2, "TDP (W)": TPU_V1.tdp_w},
+        )
+    )
+    core = estimate.find("core")
+    emit("Modeled area ring (chip shares):\n" + share_ring(estimate))
+    emit("Core-internal area shares:\n" + share_ring(core))
+    emit("Modeled power ring (chip shares):\n" + share_ring(
+        estimate, metric="power"
+    ))
+    sa_share = estimate.find("tensor unit").area_mm2 / estimate.area_mm2
+    emit(
+        f"Systolic array share: modeled {sa_share:.1%} vs published "
+        f"{TPU_V1.area_shares['systolic array']:.0%}"
+    )
+
+    assert abs(tdp - TPU_V1.tdp_w) / TPU_V1.tdp_w < 0.05
+    assert abs(estimate.area_mm2 - TPU_V1.area_mm2) / TPU_V1.area_mm2 < 0.10

@@ -1,0 +1,65 @@
+"""Fig. 5 — Eyeriss area and runtime-power validation.
+
+Regenerates both halves of the paper's Fig. 5: the area breakdown of the
+12.25 mm^2 / 65 nm chip (<15% overall error) and the AlexNet Conv1 / Conv5
+runtime power (published 332 / 236 mW; the paper reports +11% / -13%
+model errors, ours stay inside +-15%).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.config.presets import eyeriss, eyeriss_context
+from repro.power.runtime import runtime_power
+from repro.report.tables import comparison_table, share_ring
+from repro.validation.eyeriss_runtime import (
+    LAYER_ACTIVITY,
+    PUBLISHED_POWER_MW,
+)
+from repro.validation.published import EYERISS
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return eyeriss_context()
+
+
+def test_fig5_eyeriss_area(benchmark, emit, ctx):
+    chip = eyeriss()
+    estimate = run_once(benchmark, lambda: chip.estimate(ctx))
+    emit(
+        comparison_table(
+            "Fig. 5(a,b) — Eyeriss @ 65 nm / 200 MHz / 1.0 V",
+            {"area (mm^2)": estimate.area_mm2},
+            {"area (mm^2)": EYERISS.area_mm2},
+        )
+    )
+    emit("Core-internal area shares:\n" + share_ring(estimate.find("core")))
+    assert abs(estimate.area_mm2 - EYERISS.area_mm2) / EYERISS.area_mm2 < (
+        0.15
+    )
+
+
+def test_fig5_eyeriss_runtime_power(benchmark, emit, ctx):
+    chip = eyeriss()
+
+    def model():
+        return {
+            layer: runtime_power(
+                chip, ctx, activity.activity_factors()
+            ).total_w
+            * 1e3
+            for layer, activity in LAYER_ACTIVITY.items()
+        }
+
+    modeled = run_once(benchmark, model)
+    emit(
+        comparison_table(
+            "Fig. 5(c,d) — Eyeriss runtime power (mW)",
+            modeled,
+            PUBLISHED_POWER_MW,
+        )
+    )
+    for layer, power_mw in modeled.items():
+        published = PUBLISHED_POWER_MW[layer]
+        assert abs(power_mw - published) / published < 0.15

@@ -1,0 +1,101 @@
+"""Fig. 8 — area, TDP breakdown, peak TOPS, and peak efficiencies.
+
+Sweeps the representative Table I design points and regenerates the
+Fig. 8 series: per-point die area and TDP with component breakdowns, peak
+TOPS, and the relative peak TOPS/Watt and TOPS/TCO.  Asserts the paper's
+headline: (128, 4, 1, 1) is the best peak-efficiency point, and wimpy
+designs need more area per TOPS.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.dse.space import DesignPoint
+from repro.dse.sweep import evaluate_point
+from repro.report.tables import format_table
+
+#: Representative points spanning wimpy -> brawny (the Fig. 8 x-axis).
+POINTS = [
+    DesignPoint(4, 4, 8, 16),
+    DesignPoint(8, 4, 4, 8),
+    DesignPoint(16, 4, 4, 4),
+    DesignPoint(32, 4, 2, 2),
+    DesignPoint(64, 4, 1, 2),
+    DesignPoint(64, 2, 2, 4),
+    DesignPoint(128, 4, 1, 1),
+    DesignPoint(128, 2, 1, 2),
+    DesignPoint(256, 1, 1, 1),
+]
+
+
+def _component_share(result, names):
+    total = result.estimate.area_mm2
+    found = 0.0
+    for name in names:
+        try:
+            found += result.estimate.find(name).area_mm2
+        except KeyError:
+            continue
+    return found / total
+
+
+def test_fig8_design_space(benchmark, emit):
+    results = run_once(
+        benchmark, lambda: [evaluate_point(p) for p in POINTS]
+    )
+
+    rows = []
+    for result in results:
+        per_core_mem = result.estimate.find("core").find(
+            "on-chip memory"
+        ).area_mm2
+        mem_share = per_core_mem * result.point.cores / (
+            result.estimate.area_mm2
+        )
+        noc_share = _component_share(result, ["network-on-chip"])
+        rows.append(
+            [
+                result.point.label(),
+                f"{result.area_mm2:.0f}",
+                f"{result.tdp_w:.0f}",
+                f"{result.peak_tops:.1f}",
+                f"{mem_share:.0%}",
+                f"{noc_share:.0%}",
+                f"{result.peak_tops_per_watt:.3f}",
+                f"{result.peak_tops_per_tco * 1e6:.2f}",
+            ]
+        )
+    emit(
+        "Fig. 8 — datacenter design space (peak metrics)\n"
+        + format_table(
+            [
+                "(X,N,Tx,Ty)",
+                "area mm^2",
+                "TDP W",
+                "peak TOPS",
+                "mem area",
+                "noc area",
+                "TOPS/W",
+                "TOPS/TCO (x1e-6)",
+            ],
+            rows,
+        )
+    )
+
+    by_point = {r.point: r for r in results}
+    # Budget: every representative point fits 500 mm^2 / 300 W.
+    assert all(r.area_mm2 <= 500 and r.tdp_w <= 300 for r in results)
+    # (128, 4, 1, 1) is the peak-efficiency optimum (Fig. 8(b)).
+    best_watt = max(results, key=lambda r: r.peak_tops_per_watt)
+    best_tco = max(results, key=lambda r: r.peak_tops_per_tco)
+    assert best_watt.point == DesignPoint(128, 4, 1, 1)
+    assert best_tco.point == DesignPoint(128, 4, 1, 1)
+    # Wimpy designs buy far less peak TOPS per mm^2.
+    wimpy = by_point[DesignPoint(4, 4, 8, 16)]
+    brawny = by_point[DesignPoint(64, 2, 2, 4)]
+    assert wimpy.peak_tops < brawny.peak_tops / 6
+    assert wimpy.area_mm2 > brawny.area_mm2 * 0.5
+    # Wimpier chips spend relatively more on the NoC (Fig. 8 trend).
+    assert _component_share(wimpy, ["network-on-chip"]) > (
+        _component_share(brawny, ["network-on-chip"])
+    )

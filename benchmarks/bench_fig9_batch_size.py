@@ -1,0 +1,68 @@
+"""Fig. 9 — performance vs. batch size on the (64, 2, 2, 4) chip.
+
+Regenerates the Fig. 9 series: throughput (fps) and latency per batch
+size for ResNet, Inception, and NasNet, plus the 10 ms-SLO
+latency-limited ("medium") batch size per workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.config.presets import datacenter_context
+from repro.dse.space import DesignPoint
+from repro.perf.simulator import Simulator
+from repro.report.tables import format_table
+from repro.workloads import datacenter_workloads
+
+BATCHES = (1, 4, 16, 64, 256)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return datacenter_context()
+
+
+def test_fig9_batch_size_study(benchmark, emit, ctx):
+    simulator = Simulator(DesignPoint(64, 2, 2, 4).build(), ctx)
+    workloads = datacenter_workloads()
+
+    def simulate():
+        series = {}
+        for name, graph in workloads:
+            points = [simulator.run(graph, batch) for batch in BATCHES]
+            limited = simulator.latency_limited_batch(graph, slo_ms=10.0)
+            series[name] = (points, limited)
+        return series
+
+    series = run_once(benchmark, simulate)
+
+    for name, (points, limited) in series.items():
+        rows = [
+            [
+                result.batch,
+                f"{result.throughput_fps:.0f}",
+                f"{result.latency_ms:.2f}",
+                f"{result.utilization:.2f}",
+            ]
+            for result in points
+        ]
+        emit(
+            f"Fig. 9 — {name} on (64,2,2,4)  "
+            f"[latency-limited batch @10 ms: {limited}]\n"
+            + format_table(
+                ["batch", "fps", "latency ms", "TU util"], rows
+            )
+        )
+
+    for name, (points, limited) in series.items():
+        fps = {r.batch: r.throughput_fps for r in points}
+        latency = {r.batch: r.latency_ms for r in points}
+        # Throughput improves from batch 1 toward 64 (Fig. 9 trend).
+        assert fps[64] > fps[1], name
+        # Latency grows monotonically with batch.
+        ordered = [latency[b] for b in BATCHES]
+        assert ordered == sorted(ordered), name
+        # The latency-limited batch actually meets the SLO.
+        meets = [r.batch for r in points if r.latency_ms <= 10.0]
+        if meets:
+            assert limited >= max(meets), name

@@ -1,0 +1,54 @@
+"""Table II — characteristics of the ML workloads used in the case study.
+
+Regenerates #MAC Op, #Data (peak transient footprint), and #Param for
+ResNet-50, Inception-v3, and NasNet-A-Large from the layer-accurate
+workload models.
+"""
+
+from benchmarks.conftest import run_once
+from repro.report.tables import format_table
+from repro.workloads import datacenter_workloads
+
+#: The published Table II rows: (#MAC op G, #Data M, #Param M).
+PAPER_TABLE_II = {
+    "ResNet": (7.8, 5.72, 23.7),
+    "Inception": (5.7, 2.93, 22.0),
+    "NasNet": (23.8, 5.35, 84.9),
+}
+
+
+def test_table2_workload_characteristics(benchmark, emit):
+    def build():
+        rows = {}
+        for name, graph in datacenter_workloads():
+            rows[name] = (
+                graph.total_macs() / 1e9,
+                graph.peak_activation_bytes() / 1e6,
+                graph.total_params_bytes(include_classifier=False) / 1e6,
+            )
+        return rows
+
+    modeled = run_once(benchmark, build)
+
+    rows = []
+    for name, (macs, data, params) in modeled.items():
+        p_macs, p_data, p_params = PAPER_TABLE_II[name]
+        rows.append(
+            [
+                name,
+                f"{macs:.1f}G ({p_macs}G)",
+                f"{data:.2f}M ({p_data}M)",
+                f"{params:.1f}M ({p_params}M)",
+            ]
+        )
+    emit(
+        "Table II — modeled (paper)\n"
+        + format_table(
+            ["Workload", "#MAC Op", "#Data", "#Param"], rows
+        )
+    )
+
+    for name, (macs, _, params) in modeled.items():
+        p_macs, _, p_params = PAPER_TABLE_II[name]
+        assert abs(macs - p_macs) / p_macs < 0.10, name
+        assert abs(params - p_params) / p_params < 0.05, name

@@ -1,0 +1,27 @@
+"""Shared helpers for the figure/table regeneration benches.
+
+Every bench both *times* the modeling work (pytest-benchmark) and *prints*
+the rows/series the corresponding paper figure shows, so running
+``pytest benchmarks/ --benchmark-only`` regenerates the whole evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print a block of text so it always reaches the terminal."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Benchmark a heavy function with a single timed round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

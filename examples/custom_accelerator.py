@@ -1,0 +1,115 @@
+"""Design study for a custom accelerator: TU-based vs RT-based edge chip.
+
+Demonstrates the framework's breadth beyond the paper's presets:
+
+* a reduction-tree accelerator (the Sec. IV alternative compute style),
+* the clock-rate optimizer (give a TOPS target, get the clock),
+* eDRAM vs SRAM on-chip memory,
+* running a real workload and feeding activity back into runtime power.
+
+Run:  python examples/custom_accelerator.py
+"""
+
+from repro import (
+    Chip,
+    ChipConfig,
+    CoreConfig,
+    INT8,
+    MemCellKind,
+    ModelContext,
+    OnChipMemoryConfig,
+    ReductionTreeConfig,
+    Simulator,
+    TensorUnitConfig,
+    node,
+    plan_clock,
+    runtime_power,
+)
+from repro.arch.periph import DramKind, PcieInterface
+from repro.report import breakdown_table
+from repro.workloads import resnet50
+
+
+def edge_tu_chip(mem_cell: MemCellKind) -> Chip:
+    """A small edge inference chip: one core, two 32x32 int8 TUs."""
+    core = CoreConfig(
+        tu=TensorUnitConfig(rows=32, cols=32),
+        tensor_units=2,
+        mem=OnChipMemoryConfig(
+            capacity_bytes=2 << 20,
+            block_bytes=32,
+            cell=mem_cell,
+            latency_cycles=6 if mem_cell is MemCellKind.EDRAM else 4,
+        ),
+        scalar_unit_scale=0.5,
+    )
+    return Chip(
+        ChipConfig(
+            core=core,
+            cores_x=1,
+            cores_y=1,
+            dram=DramKind.DDR4,
+            offchip_bandwidth_gbps=21.0,
+            pcie=PcieInterface(lanes=4, generation=3),
+        )
+    )
+
+
+def edge_rt_chip() -> Chip:
+    """The same compute budget built from 1024-to-1 reduction trees."""
+    core = CoreConfig(
+        tu=None,
+        rt=ReductionTreeConfig(inputs=1024, input_dtype=INT8),
+        reduction_trees=2,
+        mem=OnChipMemoryConfig(capacity_bytes=2 << 20, block_bytes=32),
+        scalar_unit_scale=0.5,
+    )
+    return Chip(
+        ChipConfig(
+            core=core,
+            cores_x=1,
+            cores_y=1,
+            dram=DramKind.DDR4,
+            offchip_bandwidth_gbps=21.0,
+            pcie=PcieInterface(lanes=4, generation=3),
+        )
+    )
+
+
+def main() -> None:
+    tech = node(16)
+
+    # Ask the clock optimizer for 4 TOPS on each design.
+    for label, chip in (
+        ("TU-based (SRAM mem)", edge_tu_chip(MemCellKind.SRAM)),
+        ("TU-based (eDRAM mem)", edge_tu_chip(MemCellKind.EDRAM)),
+        ("RT-based (SRAM mem)", edge_rt_chip()),
+    ):
+        plan = plan_clock(chip, tech, target_tops=4.0)
+        ctx = ModelContext(tech=tech, freq_ghz=plan.freq_ghz)
+        estimate = chip.estimate(ctx)
+        print(
+            f"{label:22s} clock {plan.freq_ghz:.2f} GHz  "
+            f"area {estimate.area_mm2:6.2f} mm^2  "
+            f"TDP {chip.tdp_w(ctx):5.2f} W"
+        )
+
+    # Drive the TU design with a real workload and report runtime power.
+    chip = edge_tu_chip(MemCellKind.SRAM)
+    plan = plan_clock(chip, tech, target_tops=4.0)
+    ctx = ModelContext(tech=tech, freq_ghz=plan.freq_ghz)
+    result = Simulator(chip, ctx).run(resnet50(input_size=224), batch=1)
+    power = runtime_power(chip, ctx, result.activity)
+    print(
+        f"\nResNet-50 @224, batch 1 on the TU design: "
+        f"{result.latency_ms:.1f} ms/frame, "
+        f"{result.achieved_tops:.2f} achieved TOPS "
+        f"({result.utilization:.0%} utilization), "
+        f"{power.total_w:.2f} W runtime power"
+    )
+    print("\nTU design breakdown at the chosen clock:")
+    print(breakdown_table(chip.estimate(ctx), depth=1))
+
+
+if __name__ == "__main__":
+    main()

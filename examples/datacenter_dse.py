@@ -1,0 +1,93 @@
+"""The Sec. III brawny-vs-wimpy design-space exploration, condensed.
+
+Sweeps key (X, N, Tx, Ty) design points of Table I, simulates the three
+datacenter CNNs on each, and prints peak and runtime metrics plus the
+Pareto front on (achieved TOPS, TOPS/TCO).
+
+Run:  python examples/datacenter_dse.py          (key points, ~1 min)
+      python examples/datacenter_dse.py --full   (the full pruned space)
+"""
+
+import argparse
+
+from repro.dse.pareto import pareto_front
+from repro.dse.space import DesignPoint, design_space
+from repro.dse.sweep import evaluate_point
+from repro.report import format_table
+from repro.workloads import datacenter_workloads
+
+KEY_POINTS = [
+    DesignPoint(8, 4, 4, 8),
+    DesignPoint(16, 4, 4, 4),
+    DesignPoint(32, 4, 2, 2),
+    DesignPoint(64, 4, 1, 2),
+    DesignPoint(64, 2, 2, 4),
+    DesignPoint(128, 4, 1, 1),
+    DesignPoint(256, 1, 1, 1),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="sweep the full budget-pruned Table I space",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=1, help="inference batch size"
+    )
+    args = parser.parse_args()
+
+    points = design_space() if args.full else KEY_POINTS
+    workloads = datacenter_workloads()
+
+    results = []
+    for point in points:
+        result = evaluate_point(point, workloads, [args.batch])
+        results.append(result)
+
+    rows = [
+        [
+            r.point.label(),
+            f"{r.area_mm2:.0f}",
+            f"{r.tdp_w:.0f}",
+            f"{r.peak_tops:.1f}",
+            f"{r.mean_achieved_tops(args.batch):.1f}",
+            f"{r.mean_utilization(args.batch):.2f}",
+            f"{r.mean_energy_efficiency(args.batch):.3f}",
+            f"{r.mean_cost_efficiency(args.batch) * 1e6:.2f}",
+        ]
+        for r in results
+    ]
+    print(
+        format_table(
+            [
+                "(X,N,Tx,Ty)",
+                "mm^2",
+                "TDP W",
+                "peak TOPS",
+                "ach TOPS",
+                "util",
+                "TOPS/W",
+                "TOPS/TCO*1e6",
+            ],
+            rows,
+        )
+    )
+
+    front = pareto_front(
+        results,
+        [
+            lambda r: r.mean_achieved_tops(args.batch),
+            lambda r: r.mean_cost_efficiency(args.batch),
+        ],
+    )
+    print(
+        "\nPareto front (achieved TOPS x TOPS/TCO): "
+        + ", ".join(r.point.label() for r in front)
+    )
+
+
+if __name__ == "__main__":
+    main()

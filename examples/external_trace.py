@@ -1,0 +1,93 @@
+"""Pairing NeuroMeter with an *external* performance simulator.
+
+The paper's framework "can be flexibly paired with any external
+performance simulation framework": the external tool produces per-phase
+activity statistics, NeuroMeter turns them into power and energy.  This
+example plays the external tool's role by writing a JSON trace, then feeds
+it through the trace interface.
+
+Run:  python examples/external_trace.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import Chip, ChipConfig, CoreConfig, ModelContext
+from repro import OnChipMemoryConfig, TensorUnitConfig, node
+from repro.power import parse_trace, trace_energy_j, trace_power
+
+#: What an external simulator might emit for a three-phase inference.
+EXTERNAL_TRACE = {
+    "phases": [
+        {
+            "name": "embed+stem",
+            "duration_s": 0.4e-3,
+            "tu_utilization": 0.35,
+            "vu_utilization": 0.20,
+            "mem_read_gbps": 180.0,
+            "mem_write_gbps": 60.0,
+            "offchip_gbps": 120.0,
+        },
+        {
+            "name": "backbone",
+            "duration_s": 2.1e-3,
+            "tu_utilization": 0.72,
+            "tu_occupancy": 0.85,
+            "vu_utilization": 0.30,
+            "mem_read_gbps": 420.0,
+            "mem_write_gbps": 140.0,
+            "noc_gbps": 60.0,
+            "offchip_gbps": 200.0,
+        },
+        {
+            "name": "head",
+            "duration_s": 0.2e-3,
+            "tu_utilization": 0.15,
+            "vu_utilization": 0.55,
+            "mem_read_gbps": 90.0,
+            "mem_write_gbps": 30.0,
+        },
+    ]
+}
+
+
+def main() -> None:
+    core = CoreConfig(
+        tu=TensorUnitConfig(rows=64, cols=64),
+        tensor_units=2,
+        mem=OnChipMemoryConfig(capacity_bytes=4 << 20, block_bytes=64),
+    )
+    chip = Chip(ChipConfig(core=core, cores_x=2, cores_y=4))
+    ctx = ModelContext(tech=node(28), freq_ghz=0.7)
+
+    # The "external simulator" writes its trace to disk...
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "trace.json"
+        trace_path.write_text(json.dumps(EXTERNAL_TRACE, indent=2))
+
+        # ...and NeuroMeter reads it back.
+        phases = parse_trace(trace_path)
+
+    average, per_phase = trace_power(chip, ctx, phases)
+    total_time = sum(phase.duration_s for phase in phases)
+    energy = trace_energy_j(chip, ctx, phases)
+
+    print("Per-phase runtime power:")
+    for phase in phases:
+        print(
+            f"  {phase.name:12s} {phase.duration_s * 1e3:5.2f} ms   "
+            f"{per_phase[phase.name]:6.1f} W"
+        )
+    print(
+        f"\nTime-weighted average: {average.total_w:.1f} W over "
+        f"{total_time * 1e3:.2f} ms"
+    )
+    print(
+        f"Energy per inference: {energy * 1e3:.2f} mJ "
+        f"({energy / total_time:.1f} W average check)"
+    )
+
+
+if __name__ == "__main__":
+    main()

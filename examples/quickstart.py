@@ -1,0 +1,46 @@
+"""Quickstart: model a custom ML accelerator in a dozen lines.
+
+Builds a TPU-like inference chip (8 cores, two 64x64 int8 systolic arrays
+each, 32 MB of distributed scratchpad, HBM2), asks NeuroMeter for its
+power/area/timing, and prints the component breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Chip,
+    ChipConfig,
+    CoreConfig,
+    ModelContext,
+    OnChipMemoryConfig,
+    TensorUnitConfig,
+    node,
+)
+from repro.report import breakdown_table
+
+
+def main() -> None:
+    # 1. Describe the architecture at a high level.  Everything else —
+    #    VU lanes, VReg ports, memory banking — is auto-scaled.
+    core = CoreConfig(
+        tu=TensorUnitConfig(rows=64, cols=64),
+        tensor_units=2,
+        mem=OnChipMemoryConfig(capacity_bytes=4 << 20, block_bytes=64),
+    )
+    chip = Chip(ChipConfig(core=core, cores_x=2, cores_y=4))
+
+    # 2. Pick a technology node and clock.
+    ctx = ModelContext(tech=node(28), freq_ghz=0.7)
+
+    # 3. Model it.
+    estimate = chip.estimate(ctx)
+    print(f"peak performance : {chip.peak_tops(ctx):7.1f} TOPS")
+    print(f"die area         : {estimate.area_mm2:7.1f} mm^2")
+    print(f"TDP              : {chip.tdp_w(ctx):7.1f} W")
+    print(f"max clock        : {estimate.max_freq_ghz:7.2f} GHz")
+    print()
+    print(breakdown_table(estimate, depth=2))
+
+
+if __name__ == "__main__":
+    main()

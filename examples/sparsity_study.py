@@ -1,0 +1,62 @@
+"""The Sec. IV sparsity mini-case study (Fig. 11), end to end.
+
+Compares the four case-study accelerators (TU32, TU8, RT1024, RT64) on the
+synthetic SpMV microbenchmark across sparsity levels, printing the
+energy-efficiency gain of sparse over dense processing — and verifying the
+analytic zero-skipping factor against an actually-generated sparse matrix.
+
+Run:  python examples/sparsity_study.py
+"""
+
+import numpy as np
+
+from repro.dse.sparsity_study import (
+    STUDY_ARCHITECTURES,
+    skip_compute_factor,
+    sparsity_sweep,
+)
+from repro.report import format_table
+from repro.sparse.csr import encode_tiled_csr
+from repro.sparse.skipping import measured_block_skip_factor
+from repro.workloads.spmv import SpmvWorkload
+
+SPARSITIES = (0.0, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99)
+
+
+def main() -> None:
+    print("Sweeping Fig. 11 (this runs the full chip models)...\n")
+    sweep = sparsity_sweep(SPARSITIES)
+
+    rows = [
+        [f"{s:.2f}"]
+        + [f"{sweep[arch][i].gain:.2f}" for arch in STUDY_ARCHITECTURES]
+        for i, s in enumerate(SPARSITIES)
+    ]
+    print(
+        format_table(
+            ["sparsity"] + list(STUDY_ARCHITECTURES), rows
+        )
+    )
+
+    # Cross-check the analytic zero-skipping factor on a real matrix.
+    sparsity = 0.9
+    workload = SpmvWorkload(nonzero_ratio=1 - sparsity)
+    matrix = workload.materialize(np.random.default_rng(0))
+    encoded = encode_tiled_csr(matrix)
+    measured_y = measured_block_skip_factor(matrix, 8, 8)
+    analytic_y = skip_compute_factor("TU8", 1 - sparsity)
+    print(
+        f"\nAt sparsity {sparsity}: CSR beta = {encoded.beta:.2f} "
+        f"(paper band 2.0-2.5); TU8 compute factor y: analytic "
+        f"{analytic_y:.3f} vs measured {measured_y:.3f}"
+    )
+    print(
+        "\nReading the table: gains cross 1.0 near 0.5 sparsity (CSR "
+        "overhead amortized); the fine-grained TU8/RT64 accelerate "
+        "sharply past 0.9; the coarse TU32/RT1024 climb slowly, mostly "
+        "from reduced CSR traffic — Fig. 11's conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Extension study: Transformer serving and pod-scale training.
+
+Evaluates BERT-class encoders on the datacenter design points (attention
+is GEMM-rich, so the brawny-vs-wimpy picture shifts vs CNNs), then scales
+a TPU-v2-class chip into training pods over the ICI and reports
+data-parallel scaling efficiency.
+
+Run:  python examples/transformer_serving.py
+"""
+
+from repro.arch.pod import Pod
+from repro.config.presets import (
+    datacenter_context,
+    tpu_v2,
+    tpu_v2_context,
+)
+from repro.dse.space import DesignPoint
+from repro.perf.simulator import Simulator
+from repro.power.runtime import runtime_power
+from repro.report import format_table
+from repro.workloads import bert_base, bert_large
+
+POINTS = [
+    DesignPoint(8, 4, 4, 8),
+    DesignPoint(32, 4, 2, 2),
+    DesignPoint(64, 2, 2, 4),
+    DesignPoint(256, 1, 1, 1),
+]
+
+
+def serving_study() -> None:
+    ctx = datacenter_context()
+    graph = bert_base(seq=128)
+    rows = []
+    for point in POINTS:
+        chip = point.build()
+        result = Simulator(chip, ctx).run(graph, batch=8)
+        power = runtime_power(chip, ctx, result.activity).total_w
+        rows.append(
+            [
+                point.label(),
+                f"{result.throughput_fps:.0f}",
+                f"{result.latency_ms:.2f}",
+                f"{result.utilization:.2f}",
+                f"{result.achieved_tops / power:.3f}",
+            ]
+        )
+    print("BERT-base serving (seq 128, batch 8) on the Table I points:")
+    print(
+        format_table(
+            ["(X,N,Tx,Ty)", "seq/s", "latency ms", "util", "TOPS/W"],
+            rows,
+        )
+    )
+
+
+def pod_study() -> None:
+    chip, ctx = tpu_v2(), tpu_v2_context()
+    gradients = bert_large().total_params_bytes() * 2.0  # fp16 grads
+    rows = []
+    for grid in ((1, 1), (2, 2), (4, 4), (8, 8)):
+        pod = Pod(chip, *grid)
+        efficiency = pod.scaling_efficiency(
+            compute_time_s=0.050, gradient_bytes=gradients
+        )
+        rows.append(
+            [
+                f"{grid[0]}x{grid[1]}",
+                pod.chips,
+                f"{pod.peak_tops(ctx) / 1e3:.1f}",
+                f"{pod.tdp_w(ctx) / 1e3:.1f}",
+                f"{efficiency:.1%}",
+            ]
+        )
+    print(
+        "\nTPU-v2 pods training BERT-large (50 ms step, "
+        f"{gradients / 1e6:.0f} MB gradients):"
+    )
+    print(
+        format_table(
+            ["pod", "chips", "peak PFLOPS", "power kW", "scaling eff"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    serving_study()
+    pod_study()
+
+
+if __name__ == "__main__":
+    main()

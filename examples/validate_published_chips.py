@@ -1,0 +1,61 @@
+"""Reproduce the paper's validation (Sec. II-C): TPU-v1, TPU-v2, Eyeriss.
+
+Models the three chips with their published architecture parameters and
+prints modeled-vs-published area/TDP with the error margins the paper
+quotes (Figs. 3-5), plus the Eyeriss runtime-power validation.
+
+Run:  python examples/validate_published_chips.py
+"""
+
+from repro.config.presets import (
+    eyeriss,
+    eyeriss_context,
+    tpu_v1,
+    tpu_v1_context,
+    tpu_v2,
+    tpu_v2_context,
+)
+from repro.power.runtime import runtime_power
+from repro.report import comparison_table, share_ring
+from repro.validation.eyeriss_runtime import (
+    LAYER_ACTIVITY,
+    PUBLISHED_POWER_MW,
+)
+from repro.validation.published import EYERISS, TPU_V1, TPU_V2
+
+
+def main() -> None:
+    for chip_fn, ctx_fn, published in (
+        (tpu_v1, tpu_v1_context, TPU_V1),
+        (tpu_v2, tpu_v2_context, TPU_V2),
+        (eyeriss, eyeriss_context, EYERISS),
+    ):
+        chip, ctx = chip_fn(), ctx_fn()
+        estimate = chip.estimate(ctx)
+        modeled = {"area (mm^2)": estimate.area_mm2}
+        reference = {"area (mm^2)": published.area_mm2}
+        if published.tdp_w is not None:
+            modeled["TDP (W)"] = chip.tdp_w(ctx)
+            reference["TDP (W)"] = published.tdp_w
+        print(comparison_table(f"== {published.name}", modeled, reference))
+        print("\narea breakdown:")
+        print(share_ring(estimate, top=6))
+        print()
+
+    print("== Eyeriss runtime power (AlexNet layers)")
+    chip, ctx = eyeriss(), eyeriss_context()
+    for layer, activity in LAYER_ACTIVITY.items():
+        modeled_mw = (
+            runtime_power(chip, ctx, activity.activity_factors()).total_w
+            * 1e3
+        )
+        published_mw = PUBLISHED_POWER_MW[layer]
+        error = (modeled_mw - published_mw) / published_mw
+        print(
+            f"  {layer:16s} modeled {modeled_mw:5.0f} mW   "
+            f"published {published_mw:5.0f} mW   ({error:+.1%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

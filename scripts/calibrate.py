@@ -1,0 +1,23 @@
+"""Dev script: print validation-chip breakdowns for calibration."""
+from repro.config.presets import (
+    tpu_v1, tpu_v1_context, tpu_v2, tpu_v2_context, eyeriss, eyeriss_context,
+)
+
+def show(label, chip, ctx, published_area, published_tdp):
+    est = chip.estimate(ctx)
+    tdp = chip.tdp_w(ctx)
+    print(f"== {label}: area {est.area_mm2:.1f} mm2 (pub {published_area}), "
+          f"TDP {tdp:.1f} W (pub {published_tdp})")
+    def walk(e, depth=0):
+        share = e.area_mm2 / est.area_mm2 * 100
+        pshare = e.total_power_w / max(est.total_power_w, 1e-9) * 100
+        print("  "*depth + f"{e.name:32s} area {e.area_mm2:8.2f} ({share:5.1f}%)  "
+              f"dyn {e.dynamic_w:7.2f}W leak {e.leakage_w:6.2f}W ({pshare:5.1f}%) cyc {e.cycle_time_ns:.3f}")
+        if depth < 2:
+            for c in e.children: walk(c, depth+1)
+    walk(est)
+    print()
+
+show("TPU-v1", tpu_v1(), tpu_v1_context(), 331, 75)
+show("TPU-v2", tpu_v2(), tpu_v2_context(), "611 (paper model 513)", "280 (paper model 255)")
+show("Eyeriss", eyeriss(), eyeriss_context(), 12.25, "n/a (runtime ~278mW)")

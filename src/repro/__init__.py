@@ -1,0 +1,125 @@
+"""NeuroMeter reproduction: power, area, and timing modeling for ML accelerators.
+
+A from-scratch reproduction of *NeuroMeter: An Integrated Power, Area, and
+Timing Modeling Framework for Machine Learning Accelerators* (HPCA 2021).
+
+Quickstart::
+
+    from repro import Chip, ChipConfig, CoreConfig, ModelContext
+    from repro import TensorUnitConfig, OnChipMemoryConfig, node
+
+    core = CoreConfig(
+        tu=TensorUnitConfig(rows=64, cols=64),
+        tensor_units=2,
+        mem=OnChipMemoryConfig(capacity_bytes=4 << 20, block_bytes=64),
+    )
+    chip = Chip(ChipConfig(core=core, cores_x=2, cores_y=4))
+    ctx = ModelContext(tech=node(28), freq_ghz=0.7)
+    print(chip.area_mm2(ctx), chip.tdp_w(ctx), chip.peak_tops(ctx))
+
+Layer map (bottom-up): :mod:`repro.tech` technology backend,
+:mod:`repro.circuit` circuit models, :mod:`repro.arch` architecture
+components, :mod:`repro.timing` / :mod:`repro.power` analyses,
+:mod:`repro.perf` performance simulation, :mod:`repro.workloads` networks,
+:mod:`repro.dse` design-space exploration, :mod:`repro.validation`
+published-data comparison.
+"""
+
+from repro.arch import (
+    CentralDataBus,
+    Chip,
+    ChipConfig,
+    Core,
+    CoreConfig,
+    Dataflow,
+    DramKind,
+    Estimate,
+    InterconnectKind,
+    MemCellKind,
+    ModelContext,
+    NocTopology,
+    OnChipMemoryConfig,
+    ReductionTreeConfig,
+    SystolicCellConfig,
+    TensorUnitConfig,
+    VectorUnitConfig,
+)
+from repro.datatypes import (
+    BF16,
+    FP8_E4M3,
+    FP8_E5M2,
+    FP16,
+    FP32,
+    INT4,
+    INT8,
+    INT16,
+    INT32,
+    DataType,
+)
+from repro.errors import (
+    ConfigurationError,
+    MappingError,
+    NeuroMeterError,
+    OptimizationError,
+    TechnologyError,
+    ValidationError,
+)
+from repro.perf import (
+    Graph,
+    OptimizationConfig,
+    SimulationResult,
+    Simulator,
+    SparseRoofline,
+)
+from repro.power import ActivityFactors, runtime_power
+from repro.tech import TechNode, node
+from repro.timing import ClockPlan, plan_clock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivityFactors",
+    "BF16",
+    "CentralDataBus",
+    "Chip",
+    "ChipConfig",
+    "ClockPlan",
+    "ConfigurationError",
+    "Core",
+    "CoreConfig",
+    "DataType",
+    "Dataflow",
+    "DramKind",
+    "Estimate",
+    "FP16",
+    "FP32",
+    "FP8_E4M3",
+    "FP8_E5M2",
+    "Graph",
+    "INT16",
+    "INT32",
+    "INT4",
+    "INT8",
+    "InterconnectKind",
+    "MappingError",
+    "MemCellKind",
+    "ModelContext",
+    "NeuroMeterError",
+    "NocTopology",
+    "OnChipMemoryConfig",
+    "OptimizationConfig",
+    "OptimizationError",
+    "ReductionTreeConfig",
+    "SimulationResult",
+    "Simulator",
+    "SparseRoofline",
+    "SystolicCellConfig",
+    "TechNode",
+    "TechnologyError",
+    "TensorUnitConfig",
+    "ValidationError",
+    "VectorUnitConfig",
+    "node",
+    "plan_clock",
+    "runtime_power",
+]

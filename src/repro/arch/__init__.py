@@ -1,0 +1,79 @@
+"""Architectural components of NeuroMeter's micro-architecture model.
+
+Components follow the paper's top-down decomposition (Fig. 2): a chip is
+cores + NoC + peripherals; a core is IFU + LSU + EXU + SU; the EXU contains
+the tensor units, reduction trees, vector units, the vector register file,
+and the central data bus.  Every component turns a configuration plus a
+:class:`~repro.arch.component.ModelContext` into an
+:class:`~repro.arch.component.Estimate` tree carrying area, power, and
+timing with full per-child breakdowns.
+"""
+
+from repro.arch.component import Estimate, ModelContext
+from repro.arch.tensor_unit import (
+    Dataflow,
+    InterconnectKind,
+    SystolicCellConfig,
+    TensorUnit,
+    TensorUnitConfig,
+)
+from repro.arch.reduction_tree import ReductionTree, ReductionTreeConfig
+from repro.arch.vector_unit import VectorUnit, VectorUnitConfig
+from repro.arch.vreg import VectorRegisterFile, VRegConfig
+from repro.arch.scalar_unit import ScalarUnit
+from repro.arch.memory import MemCellKind, OnChipMemory, OnChipMemoryConfig
+from repro.arch.cdb import CentralDataBus
+from repro.arch.frontend import InstructionFetchUnit, LoadStoreUnit
+from repro.arch.noc import NetworkOnChip, NocConfig, NocTopology
+from repro.arch.periph import (
+    DmaController,
+    DramKind,
+    InterChipInterconnect,
+    MemoryController,
+    PcieInterface,
+)
+from repro.arch.core import Core, CoreConfig
+from repro.arch.pod import Pod
+from repro.arch.clock_network import ClockNetwork
+from repro.arch.floorplan import Floorplan, floorplan_chip, shelf_pack
+from repro.arch.chip import Chip, ChipConfig
+
+__all__ = [
+    "CentralDataBus",
+    "ClockNetwork",
+    "Floorplan",
+    "Chip",
+    "ChipConfig",
+    "Core",
+    "CoreConfig",
+    "Dataflow",
+    "DmaController",
+    "DramKind",
+    "Estimate",
+    "InstructionFetchUnit",
+    "InterChipInterconnect",
+    "InterconnectKind",
+    "LoadStoreUnit",
+    "MemCellKind",
+    "MemoryController",
+    "ModelContext",
+    "NetworkOnChip",
+    "NocConfig",
+    "NocTopology",
+    "OnChipMemory",
+    "OnChipMemoryConfig",
+    "Pod",
+    "floorplan_chip",
+    "shelf_pack",
+    "PcieInterface",
+    "ReductionTree",
+    "ReductionTreeConfig",
+    "ScalarUnit",
+    "SystolicCellConfig",
+    "TensorUnit",
+    "TensorUnitConfig",
+    "VRegConfig",
+    "VectorRegisterFile",
+    "VectorUnit",
+    "VectorUnitConfig",
+]

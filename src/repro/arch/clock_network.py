@@ -1,0 +1,114 @@
+"""Explicit clock-network model (an ablation of the amortization constant).
+
+The paper "does not model the clock network as a separate component" —
+its power is amortized into every block (our
+``calibration.CLOCK_NETWORK_OVERHEAD``).  This module models the clock
+distribution explicitly — an H-tree of repeated global wires down to
+local meshes, plus the leaf load of every flip-flop — so the amortization
+constant can be validated instead of assumed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.component import Estimate, ModelContext
+from repro.errors import ConfigurationError
+from repro.tech.wire import WireType, wire_energy_pj_per_bit, wire_params
+from repro.units import dynamic_power_w
+
+#: Wire length of an H-tree covering a square of side S: ~1.5 S per level
+#: cascade converges to ~3 S for deep trees.
+_HTREE_LENGTH_FACTOR = 3.0
+
+#: Local clock mesh adds roughly this much wire per mm^2 of clocked logic.
+_LOCAL_MESH_MM_PER_MM2 = 8.0
+
+#: Fraction of a DFF's energy drawn by its clock pin (matches the DFF model).
+_CLOCK_PIN_FRACTION = 0.4
+
+
+@dataclass(frozen=True)
+class ClockNetwork:
+    """A chip-wide clock distribution network.
+
+    Attributes:
+        chip_area_mm2: Die area the tree must cover.
+        clocked_bits: Total flip-flop count fed by the network (leaf load).
+        mesh_fraction: Fraction of the die covered by local clock meshes
+            (datapath-dense regions).
+    """
+
+    chip_area_mm2: float
+    clocked_bits: int
+    mesh_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.chip_area_mm2 <= 0:
+            raise ConfigurationError("chip area must be positive")
+        if self.clocked_bits < 0:
+            raise ConfigurationError("clocked bits must be >= 0")
+        if not 0.0 <= self.mesh_fraction <= 1.0:
+            raise ConfigurationError("mesh fraction must be in [0, 1]")
+
+    def htree_length_mm(self) -> float:
+        """Global H-tree wire length."""
+        side = math.sqrt(self.chip_area_mm2)
+        return _HTREE_LENGTH_FACTOR * side
+
+    def mesh_length_mm(self) -> float:
+        """Local clock-mesh wire length."""
+        return (
+            _LOCAL_MESH_MM_PER_MM2
+            * self.chip_area_mm2
+            * self.mesh_fraction
+        )
+
+    def energy_per_cycle_pj(self, ctx: ModelContext) -> float:
+        """Energy of one clock edge pair across the whole network."""
+        tech = ctx.tech
+        global_wire = wire_params(tech, WireType.GLOBAL)
+        local_wire = wire_params(tech, WireType.LOCAL)
+        # The clock toggles twice per cycle; wire energy is per transition.
+        tree = 2.0 * wire_energy_pj_per_bit(
+            tech, global_wire, self.htree_length_mm()
+        )
+        mesh = 2.0 * wire_energy_pj_per_bit(
+            tech, local_wire, self.mesh_length_mm()
+        )
+        leaves = (
+            self.clocked_bits
+            * tech.dff_energy_fj
+            * _CLOCK_PIN_FRACTION
+            * 1e-3
+        )
+        return tree + mesh + leaves
+
+    def power_w(self, ctx: ModelContext) -> float:
+        """Clock-network power at the context clock (never gated)."""
+        return dynamic_power_w(self.energy_per_cycle_pj(ctx), ctx.freq_ghz)
+
+    def estimate(self, ctx: ModelContext) -> Estimate:
+        """Rollup (wire area is routed over other blocks: zero footprint)."""
+        return Estimate(
+            name="clock network",
+            area_mm2=0.0,
+            dynamic_w=self.power_w(ctx),
+            leakage_w=0.0,
+        )
+
+
+def implied_overhead_factor(
+    clock_power_w: float, chip_dynamic_w: float
+) -> float:
+    """The amortization constant this clock network implies.
+
+    ``1 + clock / (dynamic - clock)`` — comparable to
+    ``calibration.CLOCK_NETWORK_OVERHEAD``.
+    """
+    if chip_dynamic_w <= clock_power_w:
+        raise ConfigurationError(
+            "chip dynamic power must exceed the clock power"
+        )
+    return 1.0 + clock_power_w / (chip_dynamic_w - clock_power_w)

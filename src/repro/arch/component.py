@@ -1,0 +1,157 @@
+"""The estimate tree every architectural component produces.
+
+An :class:`Estimate` is an inclusive rollup: a node's ``area_mm2``,
+``dynamic_w``, and ``leakage_w`` already contain its children, and the
+children provide the breakdown (this is what the ring charts in Figs. 3-5
+report).  ``dynamic_w`` is the power at the component's thermal-design
+activity — the chip model converts the rollup into TDP with a uniform
+guardband.
+
+The :class:`ModelContext` carries the two globals every model needs: the
+technology node and the clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.tech.node import TechNode
+from repro.units import cycle_time_ns
+
+
+@dataclass(frozen=True)
+class ModelContext:
+    """Shared modeling context: technology node and target clock."""
+
+    tech: TechNode
+    freq_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0:
+            raise ConfigurationError(
+                f"clock rate must be positive, got {self.freq_ghz} GHz"
+            )
+
+    @property
+    def cycle_ns(self) -> float:
+        """Clock period in nanoseconds."""
+        return cycle_time_ns(self.freq_ghz)
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Inclusive power/area/timing rollup for one component.
+
+    Attributes:
+        name: Component label, used in breakdown reports.
+        area_mm2: Total silicon area, children included.
+        dynamic_w: Dynamic power at the component's TDP activity factor,
+            children included.
+        leakage_w: Static power, children included.
+        cycle_time_ns: Minimum clock period this component supports
+            (0 means it imposes no clock constraint).
+        children: Sub-component breakdown.
+    """
+
+    name: str
+    area_mm2: float
+    dynamic_w: float
+    leakage_w: float
+    cycle_time_ns: float = 0.0
+    children: tuple["Estimate", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.area_mm2 < 0 or self.dynamic_w < 0 or self.leakage_w < 0:
+            raise ConfigurationError(
+                f"estimate {self.name!r} has a negative area or power"
+            )
+
+    # -- composition ----------------------------------------------------------
+
+    @classmethod
+    def compose(
+        cls,
+        name: str,
+        children: list["Estimate"],
+        self_area_mm2: float = 0.0,
+        self_dynamic_w: float = 0.0,
+        self_leakage_w: float = 0.0,
+        self_cycle_time_ns: float = 0.0,
+    ) -> "Estimate":
+        """Roll child estimates (plus optional glue) into a parent node."""
+        return cls(
+            name=name,
+            area_mm2=self_area_mm2 + sum(c.area_mm2 for c in children),
+            dynamic_w=self_dynamic_w + sum(c.dynamic_w for c in children),
+            leakage_w=self_leakage_w + sum(c.leakage_w for c in children),
+            cycle_time_ns=max(
+                [self_cycle_time_ns] + [c.cycle_time_ns for c in children]
+            ),
+            children=tuple(children),
+        )
+
+    def replicated(self, count: int, name: Optional[str] = None) -> "Estimate":
+        """This component instantiated ``count`` times (area/power scale)."""
+        if count < 1:
+            raise ConfigurationError(f"replication count must be >= 1: {count}")
+        label = name if name is not None else f"{count}x {self.name}"
+        return Estimate(
+            name=label,
+            area_mm2=self.area_mm2 * count,
+            dynamic_w=self.dynamic_w * count,
+            leakage_w=self.leakage_w * count,
+            cycle_time_ns=self.cycle_time_ns,
+            children=(self,) if count > 1 else self.children,
+        )
+
+    def renamed(self, name: str) -> "Estimate":
+        """The same estimate under a different label."""
+        return replace(self, name=name)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def total_power_w(self) -> float:
+        """Dynamic plus leakage power."""
+        return self.dynamic_w + self.leakage_w
+
+    @property
+    def max_freq_ghz(self) -> float:
+        """Highest clock the component's critical path supports."""
+        if self.cycle_time_ns <= 0:
+            return float("inf")
+        return 1.0 / self.cycle_time_ns
+
+    def walk(self) -> Iterator["Estimate"]:
+        """Yield this node and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Estimate":
+        """Locate a descendant (or self) by exact name.
+
+        Raises:
+            KeyError: no node with that name exists.
+        """
+        for node in self.walk():
+            if node.name == name:
+                return node
+        raise KeyError(f"no component named {name!r} under {self.name!r}")
+
+    def share_of(self, metric: Callable[["Estimate"], float]) -> dict[str, float]:
+        """Fraction of a metric contributed by each direct child."""
+        total = metric(self)
+        if total <= 0:
+            return {child.name: 0.0 for child in self.children}
+        return {child.name: metric(child) / total for child in self.children}
+
+    def area_shares(self) -> dict[str, float]:
+        """Per-child area fractions (the paper's area ring charts)."""
+        return self.share_of(lambda e: e.area_mm2)
+
+    def power_shares(self) -> dict[str, float]:
+        """Per-child total-power fractions (the paper's power ring charts)."""
+        return self.share_of(lambda e: e.total_power_w)

@@ -1,0 +1,213 @@
+"""First-order floorplanning: shelf-packed block placement.
+
+NeuroMeter's wire models estimate lengths from block areas (Sec. II-A:
+"wires are assumed to route around the functional components, and their
+length is estimated by the square root of the functional component
+area").  This module makes that geometry explicit: it shelf-packs the
+chip's top-level blocks into a near-square outline, so users can inspect
+block adjacency, center-to-center wire distances, and packing efficiency
+— and sanity-check the sqrt-of-area assumption.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.component import Estimate
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PlacedBlock:
+    """One placed rectangle.
+
+    Attributes:
+        name: Block label.
+        x_mm / y_mm: Lower-left corner.
+        width_mm / height_mm: Dimensions.
+    """
+
+    name: str
+    x_mm: float
+    y_mm: float
+    width_mm: float
+    height_mm: float
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width_mm * self.height_mm
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (
+            self.x_mm + self.width_mm / 2.0,
+            self.y_mm + self.height_mm / 2.0,
+        )
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A packed floorplan.
+
+    Attributes:
+        blocks: Placed blocks, in placement order.
+        width_mm / height_mm: Chip outline.
+    """
+
+    blocks: tuple[PlacedBlock, ...]
+    width_mm: float
+    height_mm: float
+
+    @property
+    def outline_mm2(self) -> float:
+        return self.width_mm * self.height_mm
+
+    @property
+    def placed_mm2(self) -> float:
+        return sum(block.area_mm2 for block in self.blocks)
+
+    @property
+    def packing_efficiency(self) -> float:
+        """Placed area over outline area (1.0 = no dead space)."""
+        if self.outline_mm2 <= 0:
+            return 0.0
+        return self.placed_mm2 / self.outline_mm2
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Outline width over height (>= 1)."""
+        if self.height_mm <= 0:
+            return float("inf")
+        ratio = self.width_mm / self.height_mm
+        return ratio if ratio >= 1 else 1.0 / ratio
+
+    def block(self, name: str) -> PlacedBlock:
+        for candidate in self.blocks:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no block named {name!r} in the floorplan")
+
+    def wire_length_mm(self, source: str, sink: str) -> float:
+        """Manhattan center-to-center distance between two blocks."""
+        a = self.block(source).center
+        b = self.block(sink).center
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def render(self, columns: int = 48) -> str:
+        """Coarse ASCII rendering of the floorplan."""
+        if columns < 8:
+            raise ConfigurationError("rendering needs at least 8 columns")
+        rows = max(4, int(columns * self.height_mm / max(self.width_mm, 1e-9) / 2))
+        grid = [[" "] * columns for _ in range(rows)]
+        for index, block in enumerate(self.blocks):
+            glyph = chr(ord("A") + index % 26)
+            x0 = int(block.x_mm / self.width_mm * columns)
+            x1 = max(
+                x0 + 1,
+                int((block.x_mm + block.width_mm) / self.width_mm * columns),
+            )
+            y0 = int(block.y_mm / self.height_mm * rows)
+            y1 = max(
+                y0 + 1,
+                int(
+                    (block.y_mm + block.height_mm)
+                    / self.height_mm
+                    * rows
+                ),
+            )
+            for row in range(y0, min(y1, rows)):
+                for col in range(x0, min(x1, columns)):
+                    grid[row][col] = glyph
+        legend = [
+            f"  {chr(ord('A') + i % 26)}: {block.name} "
+            f"({block.area_mm2:.1f} mm^2)"
+            for i, block in enumerate(self.blocks)
+        ]
+        body = "\n".join("|" + "".join(row) + "|" for row in reversed(grid))
+        border = "+" + "-" * columns + "+"
+        return "\n".join([border, body, border] + legend)
+
+
+def shelf_pack(
+    blocks: Sequence[tuple[str, float]],
+    target_aspect: float = 1.0,
+) -> Floorplan:
+    """Pack named areas onto shelves inside a near-square outline.
+
+    Blocks are sorted by area (largest first) and laid out on horizontal
+    shelves of the outline width; each block becomes a rectangle as tall
+    as its shelf.  Simple, deterministic, and within ~20% dead space for
+    typical accelerator block mixes.
+    """
+    if not blocks:
+        raise ConfigurationError("cannot floorplan zero blocks")
+    if target_aspect <= 0:
+        raise ConfigurationError("aspect ratio must be positive")
+    for name, area in blocks:
+        if area <= 0:
+            raise ConfigurationError(
+                f"block {name!r} needs a positive area"
+            )
+
+    total = sum(area for _, area in blocks)
+    width = math.sqrt(total * target_aspect)
+    ordered = sorted(blocks, key=lambda item: -item[1])
+
+    placed: list[PlacedBlock] = []
+    shelf_y = 0.0
+    shelf_height = 0.0
+    cursor_x = 0.0
+    for name, area in ordered:
+        # Shelf height is set by its first (largest remaining) block,
+        # aiming for a near-square shape.
+        if cursor_x == 0.0:
+            shelf_height = min(math.sqrt(area), width)
+        block_width = min(area / shelf_height, width)
+        if cursor_x + block_width > width + 1e-9:
+            shelf_y += shelf_height
+            cursor_x = 0.0
+            shelf_height = min(math.sqrt(area), width)
+            block_width = min(area / shelf_height, width)
+        placed.append(
+            PlacedBlock(
+                name=name,
+                x_mm=cursor_x,
+                y_mm=shelf_y,
+                width_mm=block_width,
+                height_mm=area / block_width,
+            )
+        )
+        cursor_x += block_width
+    height = max(
+        block.y_mm + block.height_mm for block in placed
+    )
+    return Floorplan(
+        blocks=tuple(placed), width_mm=width, height_mm=height
+    )
+
+
+def floorplan_chip(
+    estimate: Estimate, min_block_mm2: float = 0.05
+) -> Floorplan:
+    """Floorplan a chip estimate's top-level blocks.
+
+    White space is distributed implicitly (it shows up as the packing
+    slack); blocks below ``min_block_mm2`` are merged into a "misc"
+    block so the rendering stays readable.
+    """
+    named: list[tuple[str, float]] = []
+    misc = 0.0
+    for child in estimate.children:
+        if child.name.startswith("white space"):
+            continue
+        if child.area_mm2 < min_block_mm2:
+            misc += child.area_mm2
+            continue
+        named.append((child.name, child.area_mm2))
+    if misc > 0:
+        named.append(("misc", misc))
+    if not named:
+        raise ConfigurationError("estimate has no placeable blocks")
+    return shelf_pack(named)

@@ -1,0 +1,247 @@
+"""Peripheral blocks: memory controllers, PCIe, inter-chip links, DMA.
+
+These blocks (Sec. II: "Other peripheral blocks, including Memory
+Controllers and DMA controllers, are also modeled") mix digital control
+logic with analog PHYs.  Digital parts scale with the logic node; PHYs are
+dominated by I/O drivers and scale only weakly, modeled with the square
+root of the logic area scaling — the usual McPAT I/O convention.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.arch.component import Estimate, ModelContext
+from repro.circuit.gates import LogicBlock
+from repro.errors import ConfigurationError
+from repro.tech import calibration
+from repro.tech.node import REFERENCE_NODE_NM, node
+
+
+class DramKind(enum.Enum):
+    """Off-chip memory technology behind a controller."""
+
+    DDR3 = "ddr3"
+    DDR4 = "ddr4"
+    HBM = "hbm"
+    HBM2 = "hbm2"
+
+
+# Per-channel/stack: (bandwidth GB/s, PHY+ctrl area mm^2 at 45 nm,
+# interface energy pJ/bit on the accelerator side, on-package device TDP W).
+# DDR DIMMs are off-package, so their device power does not enter the chip
+# TDP; HBM stacks share the package and substrate thermal budget, so their
+# worst-case draw is carried (TPU-v2's published 280 W is a package number).
+_DRAM_TABLE = {
+    DramKind.DDR3: (12.8, 10.0, 18.0, 0.0),
+    DramKind.DDR4: (21.3, 9.0, 14.0, 0.0),
+    DramKind.HBM: (128.0, 20.0, 5.0, 14.0),
+    DramKind.HBM2: (256.0, 22.0, 3.5, 17.0),
+}
+
+#: PCIe per-lane bandwidth (GB/s, gen3) and per-lane PHY area at 45 nm.
+_PCIE_LANE_GBPS = 0.985
+_PCIE_LANE_AREA_MM2 = 0.80
+_PCIE_ENERGY_PJ_PER_BIT = 5.0
+
+#: ICI SerDes: per-link area at 45 nm per 100 Gb/s, and energy per bit.
+#: Sized to reproduce the paper's own (over-)estimate of the TPU-v2 ICI
+#: (12% of die modeled vs 5% published).
+_ICI_AREA_MM2_PER_100GBIT = 6.5
+_ICI_ENERGY_PJ_PER_BIT = 12.0
+_ICI_SWITCH_GATES_PER_LINK = 250_000
+
+
+def _phy_area_scale(ctx: ModelContext) -> float:
+    """Analog-ish PHY area scaling: sqrt of the logic area scaling."""
+    return math.sqrt(ctx.tech.area_scale_from(node(REFERENCE_NODE_NM)))
+
+
+def _interface_estimate(
+    name: str,
+    ctx: ModelContext,
+    area_mm2: float,
+    bandwidth_gbps: float,
+    energy_pj_per_bit: float,
+    control_gates: int,
+) -> Estimate:
+    """Common rollup for bandwidth-driven interface blocks."""
+    tech = ctx.tech
+    control = LogicBlock(f"{name}-ctrl", control_gates, activity=0.2)
+    bandwidth_w = (
+        bandwidth_gbps * 8.0 * energy_pj_per_bit * 1e-3
+    )  # GB/s * pJ/bit -> W
+    return Estimate(
+        name=name,
+        area_mm2=area_mm2 + control.area_mm2(tech),
+        dynamic_w=bandwidth_w * calibration.TDP_ACTIVITY["memory"]
+        + control.energy_per_cycle_pj(tech) * ctx.freq_ghz * 1e-3,
+        leakage_w=control.leakage_w(tech) + area_mm2 * 0.01,
+        cycle_time_ns=0.0,
+    )
+
+
+@dataclass(frozen=True)
+class MemoryController:
+    """Off-chip memory controller + PHY.
+
+    Attributes:
+        kind: DRAM technology.
+        bandwidth_gbps: Required off-chip bandwidth; the model instantiates
+            enough channels/stacks to cover it.
+    """
+
+    kind: DramKind
+    bandwidth_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ConfigurationError("off-chip bandwidth must be positive")
+
+    @property
+    def channels(self) -> int:
+        """Channels/stacks needed for the requested bandwidth."""
+        per_channel = _DRAM_TABLE[self.kind][0]
+        return max(1, math.ceil(self.bandwidth_gbps / per_channel))
+
+    def energy_per_byte_pj(self) -> float:
+        """Chip-side interface energy per byte transferred."""
+        pj_per_bit = _DRAM_TABLE[self.kind][2]
+        return pj_per_bit * 8.0
+
+    def device_power_w(self) -> float:
+        """On-package DRAM device power counted toward the TDP (HBM only)."""
+        per_stack_w = _DRAM_TABLE[self.kind][3]
+        return self.channels * per_stack_w
+
+    def estimate(self, ctx: ModelContext) -> Estimate:
+        """All channels of controller + PHY (+ on-package device power)."""
+        per_channel_bw, area_45nm, pj_per_bit, _ = _DRAM_TABLE[self.kind]
+        area = self.channels * area_45nm * _phy_area_scale(ctx)
+        bandwidth = min(self.bandwidth_gbps, self.channels * per_channel_bw)
+        interface = _interface_estimate(
+            f"{self.kind.value} port",
+            ctx,
+            area_mm2=area,
+            bandwidth_gbps=bandwidth,
+            energy_pj_per_bit=pj_per_bit,
+            control_gates=60_000 * self.channels,
+        )
+        # Device power is a worst-case package rating; it enters the rollup
+        # as static draw so the chip TDP guardband is not applied twice.
+        return Estimate(
+            name=interface.name,
+            area_mm2=interface.area_mm2,
+            dynamic_w=interface.dynamic_w,
+            leakage_w=interface.leakage_w + self.device_power_w(),
+            cycle_time_ns=interface.cycle_time_ns,
+        )
+
+
+@dataclass(frozen=True)
+class PcieInterface:
+    """PCIe host interface.
+
+    Attributes:
+        lanes: Lane count (16 for the validated chips).
+        generation: PCIe generation; bandwidth scales 2x per generation
+            from gen3.
+    """
+
+    lanes: int = 16
+    generation: int = 3
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise ConfigurationError("PCIe needs at least one lane")
+        if self.generation < 1:
+            raise ConfigurationError("PCIe generation must be >= 1")
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Per-direction bandwidth."""
+        return self.lanes * _PCIE_LANE_GBPS * 2.0 ** (self.generation - 3)
+
+    def estimate(self, ctx: ModelContext) -> Estimate:
+        """SerDes lanes + link controller."""
+        area = self.lanes * _PCIE_LANE_AREA_MM2 * _phy_area_scale(ctx)
+        return _interface_estimate(
+            "pcie interface",
+            ctx,
+            area_mm2=area,
+            bandwidth_gbps=self.bandwidth_gbps,
+            energy_pj_per_bit=_PCIE_ENERGY_PJ_PER_BIT,
+            control_gates=80_000,
+        )
+
+
+@dataclass(frozen=True)
+class InterChipInterconnect:
+    """ICI: the NIU + switch that links accelerator chips (TPU-v2 style).
+
+    Attributes:
+        links: Point-to-point links.
+        link_gbit_per_dir: Per-link bandwidth per direction in Gb/s
+            (TPU-v2 publishes 496 Gb/s).
+    """
+
+    links: int = 4
+    link_gbit_per_dir: float = 496.0
+
+    def __post_init__(self) -> None:
+        if self.links < 1:
+            raise ConfigurationError("ICI needs at least one link")
+        if self.link_gbit_per_dir <= 0:
+            raise ConfigurationError("ICI link bandwidth must be positive")
+
+    def estimate(self, ctx: ModelContext) -> Estimate:
+        """SerDes per link plus the on-chip switch."""
+        serdes_area = (
+            self.links
+            * self.link_gbit_per_dir
+            / 100.0
+            * _ICI_AREA_MM2_PER_100GBIT
+            * _phy_area_scale(ctx)
+        )
+        bandwidth_gbps = self.links * self.link_gbit_per_dir / 8.0
+        return _interface_estimate(
+            "ici link+switch",
+            ctx,
+            area_mm2=serdes_area,
+            bandwidth_gbps=bandwidth_gbps,
+            energy_pj_per_bit=_ICI_ENERGY_PJ_PER_BIT,
+            control_gates=_ICI_SWITCH_GATES_PER_LINK * self.links,
+        )
+
+
+@dataclass(frozen=True)
+class DmaController:
+    """DMA engine moving blocks between off-chip memory and the cores.
+
+    Attributes:
+        channels: Concurrent DMA channels.
+    """
+
+    channels: int = 4
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ConfigurationError("DMA needs at least one channel")
+
+    def estimate(self, ctx: ModelContext) -> Estimate:
+        """Descriptor engines + datapath control."""
+        control = LogicBlock(
+            "dma-ctrl", 45_000 * self.channels, activity=0.15
+        )
+        tech = ctx.tech
+        return Estimate(
+            name="dma controller",
+            area_mm2=control.area_mm2(tech),
+            dynamic_w=control.energy_per_cycle_pj(tech)
+            * ctx.freq_ghz
+            * 1e-3
+            * calibration.TDP_ACTIVITY["control"],
+            leakage_w=control.leakage_w(tech),
+        )

@@ -1,0 +1,130 @@
+"""Multi-chip pods connected by the inter-chip interconnect (ICI).
+
+TPU-v2-style accelerators scale out into pods over their ICI links
+(Sec. II-C models the link + switch).  This extension composes N chips
+into a pod: aggregate peak compute, power, and area, plus a first-order
+ring all-reduce model — the collective that dominates data-parallel
+training — so pod-level scaling efficiency can be studied with the same
+framework.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.chip import Chip
+from repro.arch.component import ModelContext
+from repro.errors import ConfigurationError
+from repro.units import GIGA
+
+
+@dataclass(frozen=True)
+class Pod:
+    """A pod of identical accelerator chips on a 2D-torus ICI.
+
+    Attributes:
+        chip: The member chip (must carry an ICI block).
+        chips_x / chips_y: Pod grid dimensions.
+    """
+
+    chip: Chip
+    chips_x: int
+    chips_y: int
+
+    def __post_init__(self) -> None:
+        if self.chips_x < 1 or self.chips_y < 1:
+            raise ConfigurationError("pod needs at least one chip")
+        if self.chips > 1 and self.chip.config.ici is None:
+            raise ConfigurationError(
+                "multi-chip pods need chips with an ICI block"
+            )
+
+    @property
+    def chips(self) -> int:
+        return self.chips_x * self.chips_y
+
+    # -- aggregate capacity ------------------------------------------------------
+
+    def peak_tops(self, ctx: ModelContext) -> float:
+        """Aggregate peak compute."""
+        return self.chips * self.chip.peak_tops(ctx)
+
+    def tdp_w(self, ctx: ModelContext) -> float:
+        """Aggregate thermal design power."""
+        return self.chips * self.chip.tdp_w(ctx)
+
+    def silicon_mm2(self, ctx: ModelContext) -> float:
+        """Total silicon across the pod."""
+        return self.chips * self.chip.area_mm2(ctx)
+
+    # -- collectives ------------------------------------------------------------
+
+    def ici_link_bytes_per_s(self) -> float:
+        """Per-direction bandwidth of one ICI link."""
+        ici = self.chip.config.ici
+        if ici is None:
+            return 0.0
+        return ici.link_gbit_per_dir / 8.0 * GIGA
+
+    def all_reduce_time_s(self, payload_bytes: float) -> float:
+        """Ring all-reduce time over the pod's torus.
+
+        The standard ``2 (N-1) / N * payload / link_bw`` cost, using the
+        torus rings along both dimensions (payload split across them).
+        """
+        if payload_bytes < 0:
+            raise ConfigurationError("payload must be >= 0")
+        if self.chips == 1 or payload_bytes == 0:
+            return 0.0
+        link = self.ici_link_bytes_per_s()
+        rings = 2 if min(self.chips_x, self.chips_y) > 1 else 1
+        effective_bw = link * rings
+        factor = 2.0 * (self.chips - 1) / self.chips
+        return factor * payload_bytes / effective_bw
+
+    def data_parallel_step_time_s(
+        self, compute_time_s: float, gradient_bytes: float, overlap: float = 0.5
+    ) -> float:
+        """One data-parallel training step across the pod.
+
+        The all-reduce partially overlaps the backward pass; ``overlap``
+        is the hidden fraction.
+        """
+        if not 0.0 <= overlap <= 1.0:
+            raise ConfigurationError("overlap must be in [0, 1]")
+        reduce_time = self.all_reduce_time_s(gradient_bytes)
+        return compute_time_s + (1.0 - overlap) * reduce_time
+
+    def scaling_efficiency(
+        self, compute_time_s: float, gradient_bytes: float, overlap: float = 0.5
+    ) -> float:
+        """Throughput efficiency vs. perfect linear scaling."""
+        step = self.data_parallel_step_time_s(
+            compute_time_s, gradient_bytes, overlap
+        )
+        return compute_time_s / step
+
+
+def pod_sizes_up_to(max_chips: int) -> list[tuple[int, int]]:
+    """Near-square power-of-two pod grids up to ``max_chips``."""
+    if max_chips < 1:
+        raise ConfigurationError("max_chips must be >= 1")
+    sizes = []
+    x = 1
+    while x * x <= max_chips:
+        for y in (x, 2 * x):
+            if x * y <= max_chips:
+                sizes.append((x, y))
+        x *= 2
+    return sizes
+
+
+def chips_for_tops(
+    chip: Chip, ctx: ModelContext, target_tops: float
+) -> int:
+    """Minimum pod size reaching an aggregate compute target."""
+    if target_tops <= 0:
+        raise ConfigurationError("target must be positive")
+    per_chip = chip.peak_tops(ctx)
+    return max(1, math.ceil(target_tops / per_chip))

@@ -1,0 +1,199 @@
+"""Reduction Tree (RT): a 1D MAC array feeding a log-depth adder tree.
+
+Per Sec. II-A, an RT is (1) an N-input 1D MAC array, (2) a log2(N)-layer
+tree of 2-to-1 adders, and (3) optional pipeline DFFs between layers when
+the accumulated adder delay exceeds the cycle time.  RTs map sparse
+workloads more flexibly than 2D arrays (Sec. IV pairs a 1024-to-1 RT with a
+32x32 TU and a 64-to-1 RT with an 8x8 TU, equal OPS per compute unit).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.component import Estimate, ModelContext
+from repro.circuit.adder import AdderModel
+from repro.circuit.dff import DffBank
+from repro.circuit.mac import MacModel
+from repro.datatypes import INT8, DataType
+from repro.errors import ConfigurationError
+from repro.tech import calibration
+from repro.units import dynamic_power_w, um2_to_mm2
+
+
+@dataclass(frozen=True)
+class ReductionTreeConfig:
+    """An N-input reduction tree.
+
+    Attributes:
+        inputs: Fan-in N (number of parallel multipliers); power of two.
+        input_dtype: Multiplier operand type.
+        accum_dtype: Adder-tree element type; ``None`` picks the MAC default.
+        adder_fan_in: Adders per tree node (2 by default, customizable per
+            the paper).
+    """
+
+    inputs: int
+    input_dtype: DataType = INT8
+    accum_dtype: DataType = None  # type: ignore[assignment]
+    adder_fan_in: int = 2
+
+    def __post_init__(self) -> None:
+        if self.inputs < 2:
+            raise ConfigurationError("reduction tree needs >= 2 inputs")
+        if self.adder_fan_in < 2:
+            raise ConfigurationError("adder fan-in must be >= 2")
+
+    @property
+    def mac(self) -> MacModel:
+        if self.accum_dtype is None:
+            return MacModel(self.input_dtype)
+        return MacModel(self.input_dtype, self.accum_dtype)
+
+    @property
+    def levels(self) -> int:
+        """Adder-tree depth."""
+        return max(1, math.ceil(math.log(self.inputs, self.adder_fan_in)))
+
+    @property
+    def tree_adders(self) -> int:
+        """Total adders in the tree (N-1 for fan-in 2)."""
+        count, width = 0, self.inputs
+        for _ in range(self.levels):
+            width = math.ceil(width / self.adder_fan_in)
+            count += width
+        return count
+
+    @property
+    def macs(self) -> int:
+        """Equivalent MAC throughput per cycle (N multiplies + N-1 adds)."""
+        return self.inputs
+
+
+class ReductionTree:
+    """Analytical power/area/timing model of one reduction tree."""
+
+    def __init__(self, config: ReductionTreeConfig):
+        self.config = config
+
+    def _tree_adder(self) -> AdderModel:
+        return AdderModel(self.config.mac.accum_dtype)
+
+    def pipeline_levels(self, ctx: ModelContext) -> int:
+        """Adder-tree levels that fit in one cycle before a DFF is needed."""
+        adder_ns = self._tree_adder().delay_ns(ctx.tech)
+        budget = max(ctx.cycle_ns - self.config.mac.delay_ns(ctx.tech), 0.0)
+        if adder_ns <= 0:
+            return self.config.levels
+        return max(1, int(budget / adder_ns))
+
+    def pipeline_registers(self, ctx: ModelContext) -> int:
+        """DFF pipeline stages inserted between layers (0 when unneeded)."""
+        per_stage = self.pipeline_levels(ctx)
+        if per_stage >= self.config.levels:
+            return 0
+        return math.ceil(self.config.levels / per_stage) - 1
+
+    def _pipeline_bits(self, ctx: ModelContext) -> int:
+        """Total DFF bits across all inserted pipeline cuts."""
+        cfg = self.config
+        stages = self.pipeline_registers(ctx)
+        if stages == 0:
+            return 0
+        # A cut at depth d holds ~inputs / fan_in^d words; bound with the
+        # widest cut repeated per stage for a slightly conservative count.
+        widest_cut_words = math.ceil(cfg.inputs / cfg.adder_fan_in)
+        return stages * widest_cut_words * cfg.mac.accum_dtype.bits
+
+    def energy_per_active_cycle_pj(self, ctx: ModelContext) -> float:
+        """Whole-RT energy for one fully utilized reduction."""
+        cfg = self.config
+        mults = cfg.inputs * cfg.mac.multiply_energy_pj(ctx.tech)
+        adds = self.config.tree_adders * self._tree_adder().energy_per_op_pj(
+            ctx.tech
+        )
+        pipes = DffBank(
+            "rt-pipe", self._pipeline_bits(ctx)
+        ).energy_per_active_cycle_pj(ctx.tech)
+        in_regs = DffBank(
+            "rt-in", cfg.inputs * cfg.input_dtype.bits * 2
+        ).energy_per_active_cycle_pj(ctx.tech)
+        return (mults + adds + pipes + in_regs) * (
+            calibration.CLOCK_NETWORK_OVERHEAD
+        )
+
+    def energy_per_mac_pj(self, ctx: ModelContext) -> float:
+        """Average energy per effective MAC at full utilization."""
+        return self.energy_per_active_cycle_pj(ctx) / self.config.macs
+
+    def area_mm2(self, ctx: ModelContext) -> float:
+        """Total RT area."""
+        cfg = self.config
+        tech = ctx.tech
+        mult_only = (
+            cfg.mac.area_um2(tech) - cfg.mac.accumulator.area_um2(tech)
+        )
+        area_um2 = cfg.inputs * max(mult_only, 0.0)
+        area_um2 += self.config.tree_adders * self._tree_adder().area_um2(tech)
+        area_um2 += self._pipeline_bits(ctx) * tech.dff_area_um2
+        area_um2 += cfg.inputs * cfg.input_dtype.bits * 2 * tech.dff_area_um2
+        return um2_to_mm2(area_um2) * calibration.DATAPATH_ROUTING_OVERHEAD
+
+    def cycle_time_ns(self, ctx: ModelContext) -> float:
+        """Clock bound: multiplier plus the unpipelined tree segment."""
+        per_stage = min(self.pipeline_levels(ctx), self.config.levels)
+        adder_ns = self._tree_adder().delay_ns(ctx.tech)
+        dff_ns = DffBank("rt", 1).setup_plus_clk_to_q_ns(ctx.tech)
+        return self.config.mac.delay_ns(ctx.tech) + per_stage * adder_ns + (
+            dff_ns
+        )
+
+    def estimate(self, ctx: ModelContext) -> Estimate:
+        """Full RT estimate with MAC-array and adder-tree children."""
+        tech = ctx.tech
+        cfg = self.config
+        activity = calibration.TDP_ACTIVITY["compute"]
+        overhead = calibration.CLOCK_NETWORK_OVERHEAD
+
+        mult_only_area = um2_to_mm2(
+            cfg.inputs
+            * max(
+                cfg.mac.area_um2(tech) - cfg.mac.accumulator.area_um2(tech),
+                0.0,
+            )
+            + cfg.inputs * cfg.input_dtype.bits * 2 * tech.dff_area_um2
+        ) * calibration.DATAPATH_ROUTING_OVERHEAD
+        mult_energy = cfg.inputs * cfg.mac.multiply_energy_pj(tech) + DffBank(
+            "rt-in", cfg.inputs * cfg.input_dtype.bits * 2
+        ).energy_per_active_cycle_pj(tech)
+        mac_array = Estimate(
+            name="mac array",
+            area_mm2=mult_only_area,
+            dynamic_w=dynamic_power_w(mult_energy * overhead, ctx.freq_ghz)
+            * activity,
+            leakage_w=cfg.inputs * cfg.mac.leakage_w(tech) * 0.7,
+            cycle_time_ns=cfg.mac.delay_ns(tech),
+        )
+
+        tree_area = um2_to_mm2(
+            self.config.tree_adders * self._tree_adder().area_um2(tech)
+            + self._pipeline_bits(ctx) * tech.dff_area_um2
+        ) * calibration.DATAPATH_ROUTING_OVERHEAD
+        tree_energy = self.config.tree_adders * self._tree_adder(
+        ).energy_per_op_pj(tech) + DffBank(
+            "rt-pipe", self._pipeline_bits(ctx)
+        ).energy_per_active_cycle_pj(
+            tech
+        )
+        tree = Estimate(
+            name="adder tree",
+            area_mm2=tree_area,
+            dynamic_w=dynamic_power_w(tree_energy * overhead, ctx.freq_ghz)
+            * activity,
+            leakage_w=self.config.tree_adders
+            * self._tree_adder().leakage_w(tech),
+            cycle_time_ns=self.cycle_time_ns(ctx),
+        )
+
+        return Estimate.compose("reduction tree", [mac_array, tree])

@@ -1,0 +1,164 @@
+"""Scalar Unit (SU): the control-flow helper core.
+
+Per Sec. II-A the SU handles auxiliary control-flow work (address
+calculation).  Following the paper, it is a stripped "ARM Cortex-A9 class"
+in-order core: instruction fetch without branch prediction, an integer
+register file, an ALU, and a small load/store path — everything else of the
+A9 removed.  The gate budgets below are McPAT-style structure counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.component import Estimate, ModelContext
+from repro.circuit.adder import AdderModel
+from repro.circuit.gates import LogicBlock
+from repro.circuit.regfile import RegisterFile
+from repro.circuit.sram import SramArray
+from repro.datatypes import INT32
+from repro.tech import calibration
+from repro.units import dynamic_power_w
+
+#: Gate budgets for the surviving A9 structures (decode, issue, bypass,
+#: pipeline control), sized from McPAT's in-order configurations.
+_FETCH_DECODE_GATES = 70_000
+_ISSUE_BYPASS_GATES = 45_000
+_LSU_CONTROL_GATES = 35_000
+
+#: Instruction buffer and data buffer capacities.
+_IBUF_BYTES = 16 * 1024
+_DBUF_BYTES = 32 * 1024
+
+
+@dataclass(frozen=True)
+class ScalarUnit:
+    """The simplified scalar control core; one per accelerator core.
+
+    Attributes:
+        scale: Relative size of the control core.  1.0 is the stripped
+            A9-class default of the datacenter study; test chips with a
+            bare top-level controller (Eyeriss's control + config scan
+            chain) use a fraction of it.
+    """
+
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scalar unit scale must be positive")
+
+    def _gates(self, budget: int) -> int:
+        return max(1, int(budget * self.scale))
+
+    def _buffer_bytes(self, budget: int) -> int:
+        return max(1024, int(budget * self.scale))
+
+    def _int_rf(self) -> RegisterFile:
+        return RegisterFile(
+            entries=32, word_bits=32, read_ports=2, write_ports=1
+        )
+
+    def _ibuf(self) -> SramArray:
+        return SramArray(
+            capacity_bytes=self._buffer_bytes(_IBUF_BYTES),
+            block_bytes=16,
+            subarray_rows=64,
+        )
+
+    def _dbuf(self) -> SramArray:
+        return SramArray(
+            capacity_bytes=self._buffer_bytes(_DBUF_BYTES),
+            block_bytes=16,
+            subarray_rows=64,
+        )
+
+    def _alu(self) -> AdderModel:
+        return AdderModel(INT32)
+
+    def area_mm2(self, ctx: ModelContext) -> float:
+        """Total SU area."""
+        return self.estimate(ctx).area_mm2
+
+    def energy_per_active_cycle_pj(self, ctx: ModelContext) -> float:
+        """One scalar instruction per cycle: fetch + decode + RF + ALU."""
+        tech = ctx.tech
+        energy = self._ibuf().read_energy_pj(tech) * 0.25  # fetch-buffer hit
+        energy += LogicBlock(
+            "su-frontend",
+            self._gates(_FETCH_DECODE_GATES + _ISSUE_BYPASS_GATES),
+        ).energy_per_cycle_pj(tech)
+        rf = self._int_rf()
+        energy += 2 * rf.read_energy_pj(tech) + rf.write_energy_pj(tech)
+        energy += self._alu().energy_per_op_pj(tech)
+        energy += LogicBlock(
+            "su-lsu", self._gates(_LSU_CONTROL_GATES)
+        ).energy_per_cycle_pj(tech)
+        energy += self._dbuf().read_energy_pj(tech) * 0.2
+        return energy * calibration.CLOCK_NETWORK_OVERHEAD
+
+    def cycle_time_ns(self, ctx: ModelContext) -> float:
+        """ALU plus bypass path bounds the scalar clock."""
+        return self._alu().delay_ns(ctx.tech) + 4 * ctx.tech.fo4_ps * 1e-3
+
+    def estimate(self, ctx: ModelContext) -> Estimate:
+        """Full SU estimate with frontend / RF+ALU / LSU children."""
+        tech = ctx.tech
+        activity = calibration.TDP_ACTIVITY["control"]
+        overhead = calibration.CLOCK_NETWORK_OVERHEAD
+
+        frontend_logic = LogicBlock(
+            "su-frontend",
+            self._gates(_FETCH_DECODE_GATES + _ISSUE_BYPASS_GATES),
+        )
+        ibuf = self._ibuf()
+        frontend = Estimate(
+            name="fetch+decode",
+            area_mm2=frontend_logic.area_mm2(tech) + ibuf.area_mm2(tech),
+            dynamic_w=dynamic_power_w(
+                (
+                    frontend_logic.energy_per_cycle_pj(tech)
+                    + 0.25 * ibuf.read_energy_pj(tech)
+                )
+                * overhead,
+                ctx.freq_ghz,
+            )
+            * activity,
+            leakage_w=frontend_logic.leakage_w(tech) + ibuf.leakage_w(tech),
+        )
+
+        rf = self._int_rf()
+        alu = self._alu()
+        exec_energy = (
+            2 * rf.read_energy_pj(tech)
+            + rf.write_energy_pj(tech)
+            + alu.energy_per_op_pj(tech)
+        )
+        execute = Estimate(
+            name="int rf + alu",
+            area_mm2=rf.area_mm2(tech)
+            + alu.area_um2(tech) * 1e-6 * calibration.DATAPATH_ROUTING_OVERHEAD,
+            dynamic_w=dynamic_power_w(exec_energy * overhead, ctx.freq_ghz)
+            * activity,
+            leakage_w=rf.leakage_w(tech) + alu.leakage_w(tech),
+            cycle_time_ns=self.cycle_time_ns(ctx),
+        )
+
+        lsu_logic = LogicBlock("su-lsu", self._gates(_LSU_CONTROL_GATES))
+        dbuf = self._dbuf()
+        lsu = Estimate(
+            name="scalar lsu",
+            area_mm2=lsu_logic.area_mm2(tech) + dbuf.area_mm2(tech),
+            dynamic_w=dynamic_power_w(
+                (
+                    lsu_logic.energy_per_cycle_pj(tech)
+                    + 0.2 * dbuf.read_energy_pj(tech)
+                )
+                * overhead,
+                ctx.freq_ghz,
+            )
+            * activity,
+            leakage_w=lsu_logic.leakage_w(tech) + dbuf.leakage_w(tech),
+        )
+
+        return Estimate.compose("scalar unit", [frontend, execute, lsu])

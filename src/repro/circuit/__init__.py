@@ -1,0 +1,40 @@
+"""Circuit-level building blocks.
+
+NeuroMeter maps architectural components onto four kinds of circuit models
+(Sec. II-B of the paper): computing arrays, memory arrays, interconnects,
+and regular logic.  This package provides those models:
+
+* :mod:`repro.circuit.rc` — RC ladders/trees and the Elmore delay engine.
+* :mod:`repro.circuit.gates` — logical-effort gate area/energy/delay.
+* :mod:`repro.circuit.dff` — flip-flop banks (pipeline registers, FIFOs).
+* :mod:`repro.circuit.adder` / :mod:`repro.circuit.mac` — empirical,
+  synthesis-anchored arithmetic models per data type.
+* :mod:`repro.circuit.sram` — the CACTI-style array model with the internal
+  bank/port optimizer.
+* :mod:`repro.circuit.edram` — the eDRAM variant of the array model.
+* :mod:`repro.circuit.regfile` — multiported register files.
+"""
+
+from repro.circuit.rc import RCTree, elmore_delay_ns, pi_segment, rc_ladder
+from repro.circuit.gates import LogicBlock
+from repro.circuit.dff import DffBank
+from repro.circuit.adder import AdderModel
+from repro.circuit.mac import MacModel
+from repro.circuit.sram import SramArray, SramRequirements
+from repro.circuit.edram import EdramArray
+from repro.circuit.regfile import RegisterFile
+
+__all__ = [
+    "AdderModel",
+    "DffBank",
+    "EdramArray",
+    "LogicBlock",
+    "MacModel",
+    "RCTree",
+    "RegisterFile",
+    "SramArray",
+    "SramRequirements",
+    "elmore_delay_ns",
+    "pi_segment",
+    "rc_ladder",
+]

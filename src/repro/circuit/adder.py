@@ -1,0 +1,94 @@
+"""Empirical adder model, anchored at 45 nm and scaled by technology node.
+
+The coefficient table reproduces the published per-operation survey numbers
+(Horowitz, ISSCC 2014, 45 nm / 0.9 V) for the tabulated formats; other
+integer widths use a power-law fit, and other float formats are derived from
+the integer fit of their mantissa datapath with a calibrated float overhead.
+This mirrors the paper's synthesis-based curve-fit methodology (Sec. II-B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.datatypes import DataType
+from repro.tech import calibration
+from repro.tech.node import REFERENCE_NODE_NM, TechNode, node
+
+# (energy_pj, area_um2) at the 45 nm anchor.
+_ADD_TABLE = {
+    "int8": (0.030, 36.0),
+    "int16": (0.055, 67.0),
+    "int32": (0.100, 137.0),
+    "fp16": (0.400, 1360.0),
+    "bf16": (0.300, 1050.0),
+    "fp32": (0.900, 4184.0),
+}
+
+#: Integer adder scaling exponents (energy ~linear, area ~linear in width).
+_INT_ENERGY_EXPONENT = 1.0
+_INT_AREA_EXPONENT = 1.0
+
+
+def _int_add_anchor(bits: int) -> tuple[float, float]:
+    """Power-law fit of the integer rows of the anchor table."""
+    base_e, base_a = _ADD_TABLE["int8"]
+    scale = bits / 8.0
+    return (
+        base_e * scale**_INT_ENERGY_EXPONENT,
+        base_a * scale**_INT_AREA_EXPONENT,
+    )
+
+
+def _anchor(dtype: DataType) -> tuple[float, float]:
+    if dtype.name in _ADD_TABLE:
+        return _ADD_TABLE[dtype.name]
+    if not dtype.is_float:
+        return _int_add_anchor(dtype.bits)
+    energy, area = _int_add_anchor(dtype.multiplier_width)
+    return (
+        energy * calibration.FLOAT_ADD_OVERHEAD,
+        area * calibration.FLOAT_ADD_OVERHEAD,
+    )
+
+
+@dataclass(frozen=True)
+class AdderModel:
+    """Area/energy/delay/leakage of one adder of a given data type."""
+
+    dtype: DataType
+
+    def energy_per_op_pj(self, tech: TechNode) -> float:
+        """Dynamic energy of one addition (synthesis-calibrated)."""
+        energy, _ = _anchor(self.dtype)
+        return (
+            energy
+            * calibration.SYNTHESIS_ENERGY_MARGIN
+            * tech.energy_scale_from(_reference())
+        )
+
+    def area_um2(self, tech: TechNode) -> float:
+        """Standard-cell area of the adder (synthesis-calibrated)."""
+        _, area = _anchor(self.dtype)
+        return (
+            area
+            * calibration.SYNTHESIS_AREA_MARGIN
+            * tech.area_scale_from(_reference())
+        )
+
+    def delay_ns(self, tech: TechNode) -> float:
+        """Critical-path delay (carry-lookahead class adder)."""
+        levels = 2.0 * math.log2(max(self.dtype.bits, 2)) + 4.0
+        if self.dtype.is_float:
+            levels *= 1.5
+        return levels * tech.fo4_ps * 1e-3
+
+    def leakage_w(self, tech: TechNode) -> float:
+        """Static power, proportional to gate-equivalent count."""
+        gates = self.area_um2(tech) / tech.gate_area_um2
+        return gates * tech.gate_leak_nw * 1e-9
+
+
+def _reference() -> TechNode:
+    return node(REFERENCE_NODE_NM)

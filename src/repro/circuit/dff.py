@@ -1,0 +1,76 @@
+"""D-flip-flop banks: pipeline registers, FIFOs, and DFF-based buffers.
+
+Systolic-cell local buffers, TU I/O FIFOs, reduction-tree pipeline stages,
+and bus pipeline registers are all banks of standard-cell flip-flops.  The
+energy model separates the clock-pin energy (paid every cycle the bank is
+clocked, unless clock gated) from the data-toggle energy (paid only when
+stored bits change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.node import TechNode
+from repro.units import um2_to_mm2
+
+#: Fraction of DFF energy drawn by the clock pins (the rest is data path).
+_CLOCK_ENERGY_FRACTION = 0.4
+
+#: Average fraction of data bits toggling per write.
+_DEFAULT_DATA_ACTIVITY = 0.5
+
+
+@dataclass(frozen=True)
+class DffBank:
+    """A bank of D flip-flops.
+
+    Attributes:
+        name: Label used in breakdown reports.
+        bits: Number of flip-flops.
+        data_activity: Fraction of bits that toggle on an active cycle.
+        clock_gated: Whether the clock tree into the bank is gated when the
+            bank is idle (ML accelerators commonly gate large FIFOs).
+    """
+
+    name: str
+    bits: int
+    data_activity: float = _DEFAULT_DATA_ACTIVITY
+    clock_gated: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ValueError(f"negative bit count in DFF bank {self.name!r}")
+        if not 0.0 <= self.data_activity <= 1.0:
+            raise ValueError(
+                f"data activity must be in [0, 1], got {self.data_activity}"
+            )
+
+    def area_mm2(self, tech: TechNode) -> float:
+        """Placed bank area (cell area only; routing is the parent's)."""
+        return um2_to_mm2(self.bits * tech.dff_area_um2)
+
+    def energy_per_active_cycle_pj(self, tech: TechNode) -> float:
+        """Energy on a cycle where the bank is clocked and written."""
+        per_bit_fj = tech.dff_energy_fj * (
+            _CLOCK_ENERGY_FRACTION
+            + (1.0 - _CLOCK_ENERGY_FRACTION) * self.data_activity
+        )
+        return self.bits * per_bit_fj * 1e-3
+
+    def energy_per_idle_cycle_pj(self, tech: TechNode) -> float:
+        """Energy on a cycle where the bank holds its value.
+
+        Clock-gated banks pay nothing; otherwise the clock pins still toggle.
+        """
+        if self.clock_gated:
+            return 0.0
+        return self.bits * tech.dff_energy_fj * _CLOCK_ENERGY_FRACTION * 1e-3
+
+    def leakage_w(self, tech: TechNode) -> float:
+        """Static power of the bank."""
+        return self.bits * tech.dff_leak_nw * 1e-9
+
+    def setup_plus_clk_to_q_ns(self, tech: TechNode) -> float:
+        """Sequencing overhead a pipeline stage pays for this register."""
+        return 2.0 * tech.fo4_ps * 1e-3

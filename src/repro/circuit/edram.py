@@ -1,0 +1,74 @@
+"""eDRAM array model.
+
+NeuroMeter's on-chip Mem can select DFF, SRAM, or eDRAM cells (Sec. II-A).
+The eDRAM model reuses the full SRAM organization machinery (banks,
+subarrays, periphery, H-tree) with 1T1C cell parameters substituted, and
+adds the refresh power that logic-process eDRAM retention requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.circuit.sram import SramArray
+from repro.tech.node import TechNode
+
+#: eDRAM destructive reads + write-back lengthen the bank cycle.
+_CYCLE_PENALTY = 1.5
+
+#: eDRAM cell leakage relative to an SRAM bit (no cross-coupled inverters).
+_CELL_LEAK_RATIO = 0.2
+
+
+def _edram_view(tech: TechNode) -> TechNode:
+    """A technology view whose 'SRAM' cell parameters describe eDRAM cells."""
+    return replace(
+        tech,
+        sram_cell_um2=tech.edram_cell_um2,
+        sram_cell_cap_ff=tech.sram_cell_cap_ff * 2.0,  # storage cap on BL
+        sram_bit_leak_nw=tech.sram_bit_leak_nw * _CELL_LEAK_RATIO,
+    )
+
+
+@dataclass(frozen=True)
+class EdramArray:
+    """An eDRAM array with the same organization knobs as :class:`SramArray`."""
+
+    organization: SramArray
+
+    def area_mm2(self, tech: TechNode) -> float:
+        """Array area with 1T1C cells."""
+        return self.organization.area_mm2(_edram_view(tech))
+
+    def read_energy_pj(self, tech: TechNode) -> float:
+        """Read energy including the write-back of the destructive read."""
+        view = _edram_view(tech)
+        return self.organization.read_energy_pj(
+            view
+        ) + 0.5 * self.organization.write_energy_pj(view)
+
+    def write_energy_pj(self, tech: TechNode) -> float:
+        """Write energy of one block."""
+        return self.organization.write_energy_pj(_edram_view(tech))
+
+    def leakage_w(self, tech: TechNode) -> float:
+        """Static power: low cell leakage plus periodic refresh."""
+        view = _edram_view(tech)
+        refresh = (
+            self.organization.capacity_bytes
+            * 8
+            * tech.edram_refresh_nw_per_bit
+            * 1e-9
+        )
+        return self.organization.leakage_w(view) + refresh
+
+    def access_latency_ns(self, tech: TechNode) -> float:
+        """Random read latency."""
+        return self.organization.access_latency_ns(_edram_view(tech))
+
+    def random_cycle_ns(self, tech: TechNode) -> float:
+        """Bank cycle including write-back."""
+        return (
+            self.organization.random_cycle_ns(_edram_view(tech))
+            * _CYCLE_PENALTY
+        )

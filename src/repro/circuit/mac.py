@@ -1,0 +1,141 @@
+"""Empirical multiply-accumulate (MAC) model.
+
+A MAC is a multiplier in the input data type feeding an accumulator adder in
+a (usually wider) accumulation type — int8 x int8 into int32 for TPU-v1-like
+inference arrays, bf16 x bf16 into fp32 for TPU-v2-like training MXUs.
+Multiplier coefficients are anchored at 45 nm on the same published survey
+as :mod:`repro.circuit.adder` and scaled by node, mirroring the paper's
+synthesis-fit methodology for "complex structures that have custom layouts".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.circuit.adder import AdderModel
+from repro.datatypes import INT32, DataType
+from repro.tech import calibration
+from repro.tech.node import REFERENCE_NODE_NM, TechNode, node
+
+# (energy_pj, area_um2) of one multiply at the 45 nm anchor.
+_MULT_TABLE = {
+    "int8": (0.200, 282.0),
+    "int16": (0.650, 990.0),
+    "int32": (3.100, 3495.0),
+    "fp16": (1.100, 1640.0),
+    "bf16": (0.690, 1150.0),
+    "fp32": (3.700, 7700.0),
+}
+
+#: Multiplier arrays grow roughly quadratically with operand width (the
+#: exponents reproduce the int8 -> int32 anchor ratios).
+_MULT_ENERGY_EXPONENT = 2.0
+_MULT_AREA_EXPONENT = 1.8
+
+
+def _int_mult_anchor(bits: int) -> tuple[float, float]:
+    base_e, base_a = _MULT_TABLE["int8"]
+    scale = bits / 8.0
+    return (
+        base_e * scale**_MULT_ENERGY_EXPONENT,
+        base_a * scale**_MULT_AREA_EXPONENT,
+    )
+
+
+def _mult_anchor(dtype: DataType) -> tuple[float, float]:
+    if dtype.name in _MULT_TABLE:
+        return _MULT_TABLE[dtype.name]
+    if not dtype.is_float:
+        return _int_mult_anchor(dtype.bits)
+    energy, area = _int_mult_anchor(dtype.multiplier_width)
+    return (
+        energy * calibration.FLOAT_MULT_OVERHEAD,
+        area * calibration.FLOAT_MULT_OVERHEAD,
+    )
+
+
+@dataclass(frozen=True)
+class MacModel:
+    """One multiply-accumulate unit.
+
+    Attributes:
+        input_dtype: Data type of the two multiplication operands.
+        accum_dtype: Data type of the accumulator adder; defaults to int32
+            for integer inputs and fp32 for float inputs, the common choices
+            in the validated chips.
+    """
+
+    input_dtype: DataType
+    accum_dtype: DataType = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.accum_dtype is None:
+            from repro.datatypes import FP32
+
+            default = FP32 if self.input_dtype.is_float else INT32
+            object.__setattr__(self, "accum_dtype", default)
+
+    @property
+    def accumulator(self) -> AdderModel:
+        """The accumulation adder as a standalone model."""
+        return AdderModel(self.accum_dtype)
+
+    @property
+    def _float_energy_extra(self) -> float:
+        if self.input_dtype.is_float:
+            return calibration.FLOAT_SYNTHESIS_ENERGY_EXTRA
+        return 1.0
+
+    @property
+    def _float_area_extra(self) -> float:
+        if self.input_dtype.is_float:
+            return calibration.FLOAT_SYNTHESIS_AREA_EXTRA
+        return 1.0
+
+    def multiply_energy_pj(self, tech: TechNode) -> float:
+        """Dynamic energy of the multiply alone (synthesis-calibrated)."""
+        energy, _ = _mult_anchor(self.input_dtype)
+        return (
+            energy
+            * calibration.SYNTHESIS_ENERGY_MARGIN
+            * self._float_energy_extra
+            * tech.energy_scale_from(_reference())
+        )
+
+    def energy_per_mac_pj(self, tech: TechNode) -> float:
+        """Dynamic energy of one multiply + one accumulate."""
+        accumulate = self.accumulator.energy_per_op_pj(tech) * (
+            self._float_energy_extra
+        )
+        return self.multiply_energy_pj(tech) + accumulate
+
+    def area_um2(self, tech: TechNode) -> float:
+        """Standard-cell area of multiplier plus accumulator adder."""
+        _, area = _mult_anchor(self.input_dtype)
+        mult_area = (
+            area
+            * calibration.SYNTHESIS_AREA_MARGIN
+            * tech.area_scale_from(_reference())
+        )
+        return (
+            mult_area + self.accumulator.area_um2(tech)
+        ) * self._float_area_extra
+
+    def delay_ns(self, tech: TechNode) -> float:
+        """Critical path of the multiply feeding the accumulate."""
+        width = self.input_dtype.multiplier_width
+        levels = 4.0 * math.log2(max(width, 2)) + 6.0
+        if self.input_dtype.is_float:
+            levels *= 1.5
+        mult_ns = levels * tech.fo4_ps * 1e-3
+        return mult_ns + self.accumulator.delay_ns(tech)
+
+    def leakage_w(self, tech: TechNode) -> float:
+        """Static power of the full MAC."""
+        gates = self.area_um2(tech) / tech.gate_area_um2
+        return gates * tech.gate_leak_nw * 1e-9
+
+
+def _reference() -> TechNode:
+    return node(REFERENCE_NODE_NM)

@@ -1,0 +1,111 @@
+"""Multiported register-file model.
+
+Vector register files (VReg) and the scalar unit's integer register file are
+small, heavily ported arrays.  Port count dominates their cost: every extra
+port adds a word line and a bit-line pair, growing the cell pitch in both
+dimensions — the classic reason NeuroMeter caps the number of TUs sharing a
+VReg (Sec. III-A: eight 4x4 TUs per core push the VReg to 12.7% of core area
+and 24.9% of core power).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuit.gates import LogicBlock, decoder_gate_count
+from repro.errors import ConfigurationError
+from repro.tech.node import TechNode
+from repro.units import um2_to_mm2
+
+#: A 2-port register cell is ~4x a 6T SRAM cell.
+_BASE_CELL_SRAM_RATIO = 4.0
+
+#: Linear pitch growth per port beyond the second, in each dimension.
+_PORT_PITCH_GROWTH = 0.25
+
+#: Peripheral (decoder/driver/mux) overhead on top of the cell array.
+_PERIPHERY_OVERHEAD = 1.35
+
+
+@dataclass(frozen=True)
+class RegisterFile:
+    """A register file of ``entries`` words of ``word_bits`` bits.
+
+    Attributes:
+        entries: Number of architectural registers.
+        word_bits: Width of each register in bits.
+        read_ports: Simultaneous read ports.
+        write_ports: Simultaneous write ports.
+    """
+
+    entries: int
+    word_bits: int
+    read_ports: int
+    write_ports: int
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.word_bits <= 0:
+            raise ConfigurationError("register file needs entries and width")
+        if self.read_ports < 1 or self.write_ports < 1:
+            raise ConfigurationError(
+                "register file needs at least one read and one write port"
+            )
+
+    @property
+    def total_ports(self) -> int:
+        return self.read_ports + self.write_ports
+
+    @property
+    def bits(self) -> int:
+        return self.entries * self.word_bits
+
+    def _cell_area_um2(self, tech: TechNode) -> float:
+        growth = 1.0 + _PORT_PITCH_GROWTH * max(0, self.total_ports - 2)
+        return tech.sram_cell_um2 * _BASE_CELL_SRAM_RATIO * growth**2
+
+    def area_mm2(self, tech: TechNode) -> float:
+        """Array plus per-port decoders and drivers."""
+        cells = self.bits * self._cell_area_um2(tech)
+        decoder = LogicBlock(
+            "rf-decode",
+            decoder_gate_count(_log2_int(self.entries)) * self.total_ports,
+        )
+        periph = decoder.gate_count * tech.gate_area_um2
+        return um2_to_mm2((cells + periph) * _PERIPHERY_OVERHEAD)
+
+    def read_energy_pj(self, tech: TechNode) -> float:
+        """Energy of one full-width read on one port."""
+        growth = 1.0 + _PORT_PITCH_GROWTH * max(0, self.total_ports - 2)
+        per_bit_fj = tech.dff_energy_fj * 0.30 * growth
+        decode = LogicBlock(
+            "rf-decode", decoder_gate_count(_log2_int(self.entries))
+        ).energy_per_cycle_pj(tech)
+        return self.word_bits * per_bit_fj * 1e-3 + decode
+
+    def write_energy_pj(self, tech: TechNode) -> float:
+        """Energy of one full-width write on one port."""
+        growth = 1.0 + _PORT_PITCH_GROWTH * max(0, self.total_ports - 2)
+        per_bit_fj = tech.dff_energy_fj * 0.55 * growth
+        decode = LogicBlock(
+            "rf-decode", decoder_gate_count(_log2_int(self.entries))
+        ).energy_per_cycle_pj(tech)
+        return self.word_bits * per_bit_fj * 1e-3 + decode
+
+    def leakage_w(self, tech: TechNode) -> float:
+        """Static power of cells and periphery."""
+        growth = 1.0 + _PORT_PITCH_GROWTH * max(0, self.total_ports - 2)
+        cell_leak = self.bits * tech.sram_bit_leak_nw * 2.0 * growth * 1e-9
+        periph_gates = decoder_gate_count(_log2_int(self.entries)) * (
+            self.total_ports
+        )
+        return cell_leak + periph_gates * tech.gate_leak_nw * 1e-9
+
+    def access_latency_ns(self, tech: TechNode) -> float:
+        """Decode + word line + small bitline; register files are fast."""
+        levels = 3 + _log2_int(self.entries)
+        return levels * tech.fo4_ps * 1e-3
+
+
+def _log2_int(value: int) -> int:
+    return max(1, int(math.ceil(math.log2(max(value, 2)))))

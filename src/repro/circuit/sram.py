@@ -1,0 +1,412 @@
+"""CACTI-style SRAM array model with an internal organization optimizer.
+
+NeuroMeter asks the user only for high-level memory parameters — capacity,
+block size, target latency, target throughput — and "automatically set[s]
+the low-level parameters (such as the number of banks, the number of the
+read/write ports) via its internal optimizer" (Sec. II).  This module
+implements both halves:
+
+* :class:`SramArray` — the analytical area/energy/latency/leakage model of a
+  concrete organization (banks x subarrays x multi-port cells, with
+  decoders, bitlines, sense amps, and an H-tree output network), and
+* :func:`optimize_sram` — the search over banks, ports, and subarray shape
+  that satisfies :class:`SramRequirements` at minimum area.
+
+Units follow :mod:`repro.units` (mm^2, pJ, ns, W).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.circuit.gates import LogicBlock, decoder_gate_count
+from repro.circuit.rc import ladder_delay_ns
+from repro.tech import calibration
+from repro.errors import ConfigurationError, OptimizationError
+from repro.tech.node import TechNode
+from repro.tech.wire import (
+    WireType,
+    repeated_wire_delay_ns,
+    wire_energy_pj_per_bit,
+    wire_params,
+)
+from repro.units import um2_to_mm2
+
+#: Redundancy + ECC storage overhead on top of the logical capacity.
+_ECC_REDUNDANCY_FACTOR = 1.20
+
+#: Linear cell-pitch growth per port beyond the first (extra word/bit lines).
+_PORT_PITCH_GROWTH = 0.35
+
+#: Area margin for inter-subarray and inter-bank routing.
+_ARRAY_ROUTING_OVERHEAD = 1.30
+
+#: Read bitline swing as a fraction of Vdd (sense-amp assisted small swing).
+_READ_SWING = 0.25
+
+#: Sense-amplifier energy per sensed bit at the 45 nm anchor, scaled by node.
+_SENSE_ENERGY_FJ_45NM = 5.0
+
+#: SRAM cell pull-down resistance used for the bitline Elmore delay.
+_CELL_ON_RESISTANCE_OHM = 12_000.0
+
+#: Aspect ratio (width / height) of a 6T cell.
+_CELL_ASPECT = 1.45
+
+_SUBARRAY_ROW_CHOICES = (64, 128, 256, 512)
+_MAX_SUBARRAY_COLS = 512
+_MAX_BANKS = 4096
+
+
+@dataclass(frozen=True)
+class SramRequirements:
+    """High-level memory requirements, as a NeuroMeter user supplies them.
+
+    Attributes:
+        capacity_bytes: Logical capacity.
+        block_bytes: Bytes delivered per port per access.
+        target_latency_ns: Access-latency bound; ``None`` means one clock
+            cycle at ``freq_ghz``.
+        target_read_bandwidth_gbps: Aggregate read throughput the memory
+            must sustain (GB/s).
+        target_write_bandwidth_gbps: Aggregate write throughput (GB/s).
+        freq_ghz: Clock the memory is accessed at.
+    """
+
+    capacity_bytes: int
+    block_bytes: int
+    freq_ghz: float
+    target_latency_ns: Optional[float] = None
+    target_read_bandwidth_gbps: float = 0.0
+    target_write_bandwidth_gbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("memory capacity must be positive")
+        if self.block_bytes <= 0:
+            raise ConfigurationError("memory block size must be positive")
+        if self.block_bytes * 8 > self.capacity_bytes * 8:
+            raise ConfigurationError("block size exceeds capacity")
+        if self.freq_ghz <= 0:
+            raise ConfigurationError("memory clock must be positive")
+
+    @property
+    def latency_bound_ns(self) -> float:
+        """Effective latency target (one cycle when not given explicitly)."""
+        if self.target_latency_ns is not None:
+            return self.target_latency_ns
+        return 1.0 / self.freq_ghz
+
+
+@dataclass(frozen=True)
+class SramArray:
+    """A concrete multi-bank, multi-port SRAM organization.
+
+    Attributes:
+        capacity_bytes: Logical capacity of the whole array.
+        block_bytes: Bytes per access per port.
+        banks: Independently addressable banks.
+        read_ports: Read ports per bank.
+        write_ports: Write ports per bank.
+        subarray_rows: Word lines per subarray.
+    """
+
+    capacity_bytes: int
+    block_bytes: int
+    banks: int = 1
+    read_ports: int = 1
+    write_ports: int = 1
+    subarray_rows: int = 256
+
+    def __post_init__(self) -> None:
+        if self.banks < 1:
+            raise ConfigurationError("bank count must be >= 1")
+        if self.read_ports < 1 or self.write_ports < 0:
+            raise ConfigurationError("need >= 1 read port and >= 0 write ports")
+        if self.subarray_rows < 8:
+            raise ConfigurationError("subarray needs at least 8 rows")
+        if self.capacity_bytes < self.banks * self.block_bytes:
+            raise ConfigurationError(
+                "capacity too small for the requested banking"
+            )
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def total_ports(self) -> int:
+        return self.read_ports + self.write_ports
+
+    @property
+    def bank_bits(self) -> float:
+        """Stored bits per bank including ECC/redundancy."""
+        logical = self.capacity_bytes * 8 / self.banks
+        return logical * _ECC_REDUNDANCY_FACTOR
+
+    @property
+    def subarray_cols(self) -> int:
+        """Bit lines per subarray (wide blocks split across subarrays)."""
+        return min(max(self.block_bytes * 8, 32), _MAX_SUBARRAY_COLS)
+
+    @property
+    def activated_subarrays(self) -> int:
+        """Subarrays accessed in parallel to deliver one block."""
+        return max(1, math.ceil(self.block_bytes * 8 / self.subarray_cols))
+
+    @property
+    def subarrays_per_bank(self) -> int:
+        per_subarray = self.subarray_rows * self.subarray_cols
+        return max(
+            self.activated_subarrays,
+            math.ceil(self.bank_bits / per_subarray),
+        )
+
+    def _cell_dims_um(self, tech: TechNode) -> tuple[float, float]:
+        """(width, height) of one multi-port cell in um."""
+        growth = 1.0 + _PORT_PITCH_GROWTH * (self.total_ports - 1)
+        area = tech.sram_cell_um2 * growth**2
+        height = math.sqrt(area / _CELL_ASPECT)
+        return (_CELL_ASPECT * height, height)
+
+    # -- area ------------------------------------------------------------------
+
+    def _subarray_area_um2(self, tech: TechNode) -> float:
+        """One subarray: cells plus row/column periphery."""
+        cell_w, cell_h = self._cell_dims_um(tech)
+        rows, cols = self.subarray_rows, self.subarray_cols
+        cell_area = rows * cols * cell_w * cell_h
+        # Column periphery (sense amps, write drivers, precharge, mux) per
+        # port pair: ~18 cell-heights tall under every column.
+        column_periph = cols * cell_w * (18.0 * cell_h) * max(
+            1, self.total_ports
+        )
+        # Row periphery (decoder + word-line drivers): ~12 cell-widths wide.
+        row_periph = rows * cell_h * (12.0 * cell_w)
+        control = LogicBlock(
+            "subarray-ctrl", decoder_gate_count(_log2_int(rows)) + 400
+        )
+        return cell_area + column_periph + row_periph + control.gate_count * (
+            tech.gate_area_um2
+        )
+
+    def _global_routing_factor(self) -> float:
+        """Capacity-dependent global routing / redundancy overhead.
+
+        Large arrays spend a growing area fraction on the H-tree spine,
+        repeater farms, and redundancy blocks; small arrays do not.
+        """
+        capacity_mib = self.capacity_bytes / (1 << 20)
+        if capacity_mib <= 1.0:
+            return 1.0
+        return 1.0 + calibration.SRAM_CAPACITY_ROUTING_COEF * math.log2(
+            capacity_mib
+        )
+
+    def area_mm2(self, tech: TechNode) -> float:
+        """Total array area including inter-bank routing overhead."""
+        per_bank = self.subarrays_per_bank * self._subarray_area_um2(tech)
+        total_um2 = (
+            self.banks
+            * per_bank
+            * _ARRAY_ROUTING_OVERHEAD
+            * self._global_routing_factor()
+        )
+        return um2_to_mm2(total_um2)
+
+    def bank_area_mm2(self, tech: TechNode) -> float:
+        """Area of a single bank (for wire-length estimates)."""
+        return self.area_mm2(tech) / self.banks
+
+    # -- energy ------------------------------------------------------------------
+
+    def _bitline_cap_ff(self, tech: TechNode) -> float:
+        _, cell_h = self._cell_dims_um(tech)
+        length_mm = self.subarray_rows * cell_h * 1e-3
+        wire = wire_params(tech, WireType.LOCAL)
+        return (
+            self.subarray_rows * tech.sram_cell_cap_ff
+            + length_mm * wire.c_ff_per_mm
+        )
+
+    def _wordline_energy_pj(self, tech: TechNode) -> float:
+        cell_w, _ = self._cell_dims_um(tech)
+        wire = wire_params(tech, WireType.LOCAL)
+        length_mm = self.subarray_cols * cell_w * 1e-3
+        cap_ff = (
+            self.subarray_cols * tech.gate_cap_ff * 0.5
+            + length_mm * wire.c_ff_per_mm
+        )
+        return cap_ff * tech.vdd_v**2 * 1e-3
+
+    def _htree_energy_pj(self, tech: TechNode, bits: int) -> float:
+        """Moving a block between the bank edge and the subarray.
+
+        The average access traverses most of the bank span (data plus the
+        address/select fan-out travelling the other way).
+        """
+        wire = wire_params(tech, WireType.INTERMEDIATE)
+        length_mm = 0.9 * math.sqrt(self.bank_area_mm2(tech))
+        return bits * wire_energy_pj_per_bit(tech, wire, length_mm)
+
+    def read_energy_pj(self, tech: TechNode) -> float:
+        """Dynamic energy of one block read from one bank."""
+        bits = self.block_bytes * 8
+        bitline = (
+            bits
+            * self._bitline_cap_ff(tech)
+            * tech.vdd_v
+            * (_READ_SWING * tech.vdd_v)
+            * 1e-3
+        )
+        sense = (
+            bits
+            * _SENSE_ENERGY_FJ_45NM
+            * tech.gate_energy_fj
+            / 1.70  # 45 nm anchor gate energy
+            * 1e-3
+        )
+        decode = self.activated_subarrays * LogicBlock(
+            "decode", decoder_gate_count(_log2_int(self.subarray_rows)) + 400
+        ).energy_per_cycle_pj(tech)
+        return (
+            bitline
+            + sense
+            + self.activated_subarrays * self._wordline_energy_pj(tech)
+            + decode
+            + self._htree_energy_pj(tech, bits)
+        ) * calibration.SRAM_ACCESS_OVERHEAD
+
+    def write_energy_pj(self, tech: TechNode) -> float:
+        """Dynamic energy of one block write (full bitline swing)."""
+        bits = self.block_bytes * 8
+        bitline = bits * self._bitline_cap_ff(tech) * tech.vdd_v**2 * 1e-3
+        decode = self.activated_subarrays * LogicBlock(
+            "decode", decoder_gate_count(_log2_int(self.subarray_rows)) + 400
+        ).energy_per_cycle_pj(tech)
+        return (
+            bitline
+            + self.activated_subarrays * self._wordline_energy_pj(tech)
+            + decode
+            + self._htree_energy_pj(tech, bits)
+        ) * calibration.SRAM_ACCESS_OVERHEAD
+
+    def leakage_w(self, tech: TechNode) -> float:
+        """Static power: cells (with port growth) plus periphery gates."""
+        stored_bits = self.capacity_bytes * 8 * _ECC_REDUNDANCY_FACTOR
+        port_growth = 1.0 + 0.5 * _PORT_PITCH_GROWTH * (self.total_ports - 1)
+        cell_leak = stored_bits * tech.sram_bit_leak_nw * port_growth * 1e-9
+        periph_area_um2 = (
+            self.area_mm2(tech) * 1e6
+            - stored_bits * tech.sram_cell_um2 * port_growth
+        )
+        periph_gates = max(periph_area_um2, 0.0) / tech.gate_area_um2
+        # Periphery is mostly idle wire/drivers; count a third as leaky gates.
+        periph_leak = periph_gates * tech.gate_leak_nw * 1e-9 / 3.0
+        return cell_leak + periph_leak
+
+    # -- timing ------------------------------------------------------------------
+
+    def access_latency_ns(self, tech: TechNode) -> float:
+        """Random-access read latency: decode + word line + bit line + output."""
+        rows, cols = self.subarray_rows, self.subarray_cols
+        decode_ns = (2 + _log2_int(rows)) * tech.fo4_ps * 1e-3
+
+        cell_w, cell_h = self._cell_dims_um(tech)
+        wire = wire_params(tech, WireType.LOCAL)
+        wl_len_mm = cols * cell_w * 1e-3
+        wordline_ns = ladder_delay_ns(
+            total_resistance_ohm=wl_len_mm * wire.r_ohm_per_mm,
+            total_capacitance_ff=wl_len_mm * wire.c_ff_per_mm
+            + cols * tech.gate_cap_ff * 0.5,
+            driver_ohm=2_000.0,
+        )
+
+        bl_len_mm = rows * cell_h * 1e-3
+        bitline_ns = ladder_delay_ns(
+            total_resistance_ohm=bl_len_mm * wire.r_ohm_per_mm,
+            total_capacitance_ff=self._bitline_cap_ff(tech),
+            driver_ohm=_CELL_ON_RESISTANCE_OHM,
+        ) * _READ_SWING  # sense amps fire at the small-swing point
+
+        sense_ns = 2.0 * tech.fo4_ps * 1e-3
+        htree = wire_params(tech, WireType.INTERMEDIATE)
+        output_ns = repeated_wire_delay_ns(
+            tech, htree, 0.5 * math.sqrt(self.bank_area_mm2(tech))
+        )
+        return decode_ns + wordline_ns + bitline_ns + sense_ns + output_ns
+
+    def random_cycle_ns(self, tech: TechNode) -> float:
+        """Minimum time between two accesses to the same bank."""
+        # Precharge overlaps the output H-tree; cycle ~= core access path.
+        return self.access_latency_ns(tech) * 1.1
+
+    # -- bandwidth ----------------------------------------------------------------
+
+    def read_bandwidth_gbps(self, freq_ghz: float) -> float:
+        """Peak aggregate read bandwidth (GB/s) at ``freq_ghz``."""
+        return self.banks * self.read_ports * self.block_bytes * freq_ghz
+
+    def write_bandwidth_gbps(self, freq_ghz: float) -> float:
+        """Peak aggregate write bandwidth (GB/s) at ``freq_ghz``."""
+        effective = self.write_ports if self.write_ports else self.read_ports
+        return self.banks * effective * self.block_bytes * freq_ghz
+
+
+def optimize_sram(requirements: SramRequirements, tech: TechNode) -> SramArray:
+    """Search bank/port/subarray organizations and return the smallest one.
+
+    Mirrors NeuroMeter's internal optimizer: every candidate must meet the
+    latency bound and both bandwidth targets; ties in area break toward
+    lower read energy.  Raises :class:`OptimizationError` when no candidate
+    is feasible (e.g. an unreachable latency target).
+    """
+    best: Optional[tuple[float, float, SramArray]] = None
+    for candidate in _candidates(requirements):
+        latency = candidate.access_latency_ns(tech)
+        if latency > requirements.latency_bound_ns:
+            continue
+        if (
+            candidate.read_bandwidth_gbps(requirements.freq_ghz)
+            < requirements.target_read_bandwidth_gbps
+        ):
+            continue
+        if (
+            candidate.write_bandwidth_gbps(requirements.freq_ghz)
+            < requirements.target_write_bandwidth_gbps
+        ):
+            continue
+        key = (candidate.area_mm2(tech), candidate.read_energy_pj(tech))
+        if best is None or key < best[:2]:
+            best = (key[0], key[1], candidate)
+    if best is None:
+        raise OptimizationError(
+            f"no SRAM organization meets latency "
+            f"{requirements.latency_bound_ns:.3f} ns and bandwidth "
+            f"{requirements.target_read_bandwidth_gbps:.1f}R/"
+            f"{requirements.target_write_bandwidth_gbps:.1f}W GB/s for "
+            f"{requirements.capacity_bytes} bytes"
+        )
+    return best[2]
+
+
+def _candidates(requirements: SramRequirements) -> Iterator[SramArray]:
+    banks = 1
+    while banks <= _MAX_BANKS:
+        if requirements.capacity_bytes >= banks * requirements.block_bytes:
+            for read_ports in (1, 2, 4):
+                for write_ports in (1, 2):
+                    for rows in _SUBARRAY_ROW_CHOICES:
+                        yield SramArray(
+                            capacity_bytes=requirements.capacity_bytes,
+                            block_bytes=requirements.block_bytes,
+                            banks=banks,
+                            read_ports=read_ports,
+                            write_ports=write_ports,
+                            subarray_rows=rows,
+                        )
+        banks *= 2
+
+
+def _log2_int(value: int) -> int:
+    return max(1, int(math.ceil(math.log2(max(value, 2)))))

@@ -1,0 +1,422 @@
+"""Command-line interface.
+
+Drives the most common flows without writing Python::
+
+    neurometer report --point 64,2,2,4            # model one design point
+    neurometer validate                           # Figs. 3-5 validation
+    neurometer simulate --workload resnet --batch 8 --point 64,2,2,4
+    neurometer dse --batch 1                      # Sec. III key points
+    neurometer sparsity                           # Fig. 11 table
+
+(Equivalently: ``python -m repro <command> ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.arch.component import ModelContext
+from repro.config.presets import (
+    eyeriss,
+    eyeriss_context,
+    tpu_v1,
+    tpu_v1_context,
+    tpu_v2,
+    tpu_v2_context,
+)
+from repro.dse.space import DesignPoint
+from repro.dse.sweep import evaluate_point
+from repro.dse.sparsity_study import STUDY_ARCHITECTURES, sparsity_sweep
+from repro.errors import NeuroMeterError
+from repro.perf.simulator import Simulator
+from repro.power.runtime import runtime_power
+from repro.report.tables import (
+    breakdown_table,
+    comparison_table,
+    format_table,
+)
+from repro.tech.node import node
+from repro.validation.published import EYERISS, TPU_V1, TPU_V2
+from repro.workloads import inception_v3, nasnet_a_large, resnet50
+
+_WORKLOADS = {
+    "resnet": resnet50,
+    "inception": inception_v3,
+    "nasnet": nasnet_a_large,
+}
+
+_PRESETS = {
+    "tpu-v1": (tpu_v1, tpu_v1_context, TPU_V1),
+    "tpu-v2": (tpu_v2, tpu_v2_context, TPU_V2),
+    "eyeriss": (eyeriss, eyeriss_context, EYERISS),
+}
+
+
+def _parse_point(text: str) -> DesignPoint:
+    try:
+        x, n, tx, ty = (int(part) for part in text.split(","))
+    except ValueError as error:
+        raise NeuroMeterError(
+            f"design point must look like '64,2,2,4', got {text!r}"
+        ) from error
+    return DesignPoint(x, n, tx, ty)
+
+
+def _context(args: argparse.Namespace) -> ModelContext:
+    return ModelContext(tech=node(args.node), freq_ghz=args.freq)
+
+
+def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--node", type=float, default=28, help="technology node in nm"
+    )
+    parser.add_argument(
+        "--freq", type=float, default=0.7, help="clock rate in GHz"
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    point = _parse_point(args.point)
+    chip = point.build()
+    ctx = _context(args)
+    estimate = chip.estimate(ctx)
+    print(
+        f"{point.label()} @ {ctx.tech.name} / {ctx.freq_ghz:.2f} GHz: "
+        f"{chip.peak_tops(ctx):.1f} peak TOPS, "
+        f"{estimate.area_mm2:.1f} mm^2, {chip.tdp_w(ctx):.1f} W TDP"
+    )
+    print()
+    print(breakdown_table(estimate, depth=args.depth))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    names = [args.chip] if args.chip != "all" else list(_PRESETS)
+    failures = 0
+    for name in names:
+        chip_fn, ctx_fn, published = _PRESETS[name]
+        chip, ctx = chip_fn(), ctx_fn()
+        estimate = chip.estimate(ctx)
+        modeled = {"area (mm^2)": estimate.area_mm2}
+        reference = {"area (mm^2)": published.area_mm2}
+        if published.tdp_w is not None:
+            modeled["TDP (W)"] = chip.tdp_w(ctx)
+            reference["TDP (W)"] = published.tdp_w
+        print(comparison_table(f"== {published.name}", modeled, reference))
+        area_error = abs(
+            estimate.area_mm2 - published.area_mm2
+        ) / published.area_mm2
+        if area_error > 0.17:
+            failures += 1
+        print()
+    return 1 if failures else 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    point = _parse_point(args.point)
+    chip = point.build()
+    ctx = _context(args)
+    graph = _WORKLOADS[args.workload]()
+    result = Simulator(chip, ctx).run(graph, args.batch)
+    power = runtime_power(chip, ctx, result.activity)
+    print(
+        f"{graph.name} x{args.batch} on {point.label()} "
+        f"@ {ctx.tech.name}/{ctx.freq_ghz:.2f} GHz"
+    )
+    rows = [
+        ["latency", f"{result.latency_ms:.2f} ms"],
+        ["throughput", f"{result.throughput_fps:.0f} fps"],
+        ["achieved", f"{result.achieved_tops:.2f} TOPS"],
+        ["peak", f"{result.peak_tops:.2f} TOPS"],
+        ["TU utilization", f"{result.utilization:.1%}"],
+        ["runtime power", f"{power.total_w:.1f} W"],
+        [
+            "energy efficiency",
+            f"{result.achieved_tops / power.total_w:.3f} TOPS/W",
+        ],
+    ]
+    print(format_table(["metric", "value"], rows))
+    if args.bounds:
+        from repro.perf.bound_analysis import bound_report
+
+        print()
+        print(bound_report(result, top=args.bounds))
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    points = [
+        DesignPoint(8, 4, 4, 8),
+        DesignPoint(16, 4, 4, 4),
+        DesignPoint(32, 4, 2, 2),
+        DesignPoint(64, 4, 1, 2),
+        DesignPoint(64, 2, 2, 4),
+        DesignPoint(128, 4, 1, 1),
+        DesignPoint(256, 1, 1, 1),
+    ]
+    if args.point:
+        points = [_parse_point(text) for text in args.point]
+    workloads = [(name, fn()) for name, fn in _WORKLOADS.items()]
+    rows = []
+    for point in points:
+        result = evaluate_point(point, workloads, [args.batch])
+        rows.append(
+            [
+                point.label(),
+                f"{result.area_mm2:.0f}",
+                f"{result.tdp_w:.0f}",
+                f"{result.peak_tops:.1f}",
+                f"{result.mean_achieved_tops(args.batch):.1f}",
+                f"{result.mean_utilization(args.batch):.2f}",
+                f"{result.mean_energy_efficiency(args.batch):.3f}",
+                f"{result.mean_cost_efficiency(args.batch) * 1e6:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "(X,N,Tx,Ty)",
+                "mm^2",
+                "TDP W",
+                "peak",
+                "achieved",
+                "util",
+                "TOPS/W",
+                "TOPS/TCO*1e6",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from repro.timing.report import timing_report
+
+    point = _parse_point(args.point)
+    chip = point.build()
+    ctx = _context(args)
+    print(timing_report(chip.estimate(ctx), ctx.freq_ghz, top=args.top))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.dse.optimizer import Constraints, Objective, optimize_design
+    from repro.dse.space import design_space
+
+    objective = Objective(args.objective)
+    constraints = Constraints(
+        max_area_mm2=args.max_area,
+        max_tdp_w=args.max_tdp,
+        min_peak_tops=args.min_tops,
+    )
+    if args.point:
+        points = [_parse_point(text) for text in args.point]
+    else:
+        points = design_space(check_budgets=False)
+    workloads = []
+    if objective.needs_workloads:
+        workloads = [(name, fn()) for name, fn in _WORKLOADS.items()]
+    outcome = optimize_design(
+        points,
+        objective,
+        constraints,
+        workloads=workloads,
+        batch=args.batch,
+    )
+    best = outcome.best
+    print(
+        f"best for {objective.value}: {best.point.label()} — "
+        f"{best.peak_tops:.1f} peak TOPS, {best.area_mm2:.0f} mm^2, "
+        f"{best.tdp_w:.0f} W"
+    )
+    print(f"feasible candidates ranked: {len(outcome.ranking)}; "
+          f"infeasible: {len(outcome.infeasible)}")
+    for result in outcome.ranking[1:4]:
+        print(f"  runner-up: {result.point.label()}")
+    return 0
+
+
+def _cmd_floorplan(args: argparse.Namespace) -> int:
+    from repro.arch.floorplan import floorplan_chip
+
+    point = _parse_point(args.point)
+    chip = point.build()
+    ctx = _context(args)
+    plan = floorplan_chip(chip.estimate(ctx))
+    print(
+        f"{point.label()} outline {plan.width_mm:.1f} x "
+        f"{plan.height_mm:.1f} mm, packing "
+        f"{plan.packing_efficiency:.0%}"
+    )
+    print(plan.render(columns=args.columns))
+    return 0
+
+
+def _cmd_edge(args: argparse.Namespace) -> int:
+    from repro.dse.edge import edge_sweep
+    from repro.workloads.mobilenet import mobilenet_v2
+
+    results = edge_sweep(mobilenet_v2())
+    rows = [
+        [
+            result.label,
+            f"{result.area_mm2:.1f}",
+            f"{result.tdp_w:.2f}",
+            f"{result.fps:.0f}",
+            f"{result.fps_per_watt:.0f}",
+        ]
+        for result in sorted(results, key=lambda r: -r.fps_per_watt)[
+            : args.top
+        ]
+    ]
+    print(
+        format_table(
+            ["(X,N,Tx,Ty)", "mm^2", "TDP W", "fps", "fps/W"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_sparsity(args: argparse.Namespace) -> int:
+    sparsities = [float(s) for s in args.sparsity]
+    sweep = sparsity_sweep(sparsities)
+    rows = [
+        [f"{s:.2f}"]
+        + [f"{sweep[arch][i].gain:.2f}" for arch in STUDY_ARCHITECTURES]
+        for i, s in enumerate(sparsities)
+    ]
+    print(
+        format_table(["sparsity"] + list(STUDY_ARCHITECTURES), rows)
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="neurometer",
+        description="NeuroMeter reproduction: power/area/timing modeling "
+        "for ML accelerators",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser(
+        "report", help="model one datacenter design point"
+    )
+    report.add_argument(
+        "--point", default="64,2,2,4", help="X,N,Tx,Ty tuple"
+    )
+    report.add_argument(
+        "--depth", type=int, default=2, help="breakdown depth"
+    )
+    _add_context_arguments(report)
+    report.set_defaults(handler=_cmd_report)
+
+    validate = commands.add_parser(
+        "validate", help="compare the modeled chips against published data"
+    )
+    validate.add_argument(
+        "--chip",
+        choices=["all"] + sorted(_PRESETS),
+        default="all",
+    )
+    validate.set_defaults(handler=_cmd_validate)
+
+    simulate = commands.add_parser(
+        "simulate", help="run a workload on a design point"
+    )
+    simulate.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default="resnet"
+    )
+    simulate.add_argument("--batch", type=int, default=1)
+    simulate.add_argument("--point", default="64,2,2,4")
+    simulate.add_argument(
+        "--bounds",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the bottleneck report with the N slowest layers",
+    )
+    _add_context_arguments(simulate)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    dse = commands.add_parser(
+        "dse", help="sweep the Sec. III design points"
+    )
+    dse.add_argument("--batch", type=int, default=1)
+    dse.add_argument(
+        "--point",
+        action="append",
+        help="explicit X,N,Tx,Ty tuples (repeatable)",
+    )
+    dse.set_defaults(handler=_cmd_dse)
+
+    sparsity = commands.add_parser(
+        "sparsity", help="the Fig. 11 sparse-efficiency table"
+    )
+    sparsity.add_argument(
+        "--sparsity",
+        nargs="+",
+        default=["0.3", "0.5", "0.7", "0.9", "0.95"],
+    )
+    sparsity.set_defaults(handler=_cmd_sparsity)
+
+    timing = commands.add_parser(
+        "timing", help="critical-path report for a design point"
+    )
+    timing.add_argument("--point", default="64,2,2,4")
+    timing.add_argument("--top", type=int, default=10)
+    _add_context_arguments(timing)
+    timing.set_defaults(handler=_cmd_timing)
+
+    optimize = commands.add_parser(
+        "optimize",
+        help="pick the best design for an objective under constraints",
+    )
+    from repro.dse.optimizer import Objective
+
+    optimize.add_argument(
+        "--objective",
+        choices=[objective.value for objective in Objective],
+        default="tops-per-tco",
+    )
+    optimize.add_argument("--max-area", type=float, default=500.0)
+    optimize.add_argument("--max-tdp", type=float, default=300.0)
+    optimize.add_argument("--min-tops", type=float, default=None)
+    optimize.add_argument("--batch", type=int, default=1)
+    optimize.add_argument("--point", action="append")
+    optimize.set_defaults(handler=_cmd_optimize)
+
+    edge = commands.add_parser(
+        "edge", help="sweep the edge (MobileNet, 4 W) design space"
+    )
+    edge.add_argument("--top", type=int, default=8)
+    edge.set_defaults(handler=_cmd_edge)
+
+    floorplan = commands.add_parser(
+        "floorplan", help="ASCII floorplan of a design point"
+    )
+    floorplan.add_argument("--point", default="64,2,2,4")
+    floorplan.add_argument("--columns", type=int, default=48)
+    _add_context_arguments(floorplan)
+    floorplan.set_defaults(handler=_cmd_floorplan)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except NeuroMeterError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""User-facing configuration: presets for validated chips and design points.
+
+``repro.config.presets`` provides the three validation targets of Sec. II-C
+(TPU-v1, TPU-v2, Eyeriss) plus the datacenter design-point factory of
+Sec. III (the ``(X, N, T_x, T_y)`` tuples of Table I).
+"""
+
+from repro.config.presets import (
+    DATACENTER_FREQ_GHZ,
+    DATACENTER_TECH_NM,
+    datacenter_context,
+    datacenter_design_point,
+    datacenter_training_point,
+    eyeriss,
+    eyeriss_context,
+    tpu_v1,
+    tpu_v1_context,
+    tpu_v2,
+    tpu_v2_context,
+    training_context,
+)
+
+__all__ = [
+    "DATACENTER_FREQ_GHZ",
+    "DATACENTER_TECH_NM",
+    "datacenter_context",
+    "datacenter_design_point",
+    "datacenter_training_point",
+    "eyeriss",
+    "eyeriss_context",
+    "tpu_v1",
+    "tpu_v1_context",
+    "tpu_v2",
+    "tpu_v2_context",
+    "training_context",
+]

@@ -1,0 +1,94 @@
+"""Numeric data types supported by the arithmetic models.
+
+The MAC and adder models are parameterized by data type (Sec. II-A: "the
+data type of the multiplication-accumulation unit").  Integer types carry
+only a width; floating-point types carry the exponent/mantissa split that
+drives multiplier and aligner sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A numeric format.
+
+    Attributes:
+        name: Canonical lowercase name (``"int8"``, ``"bf16"``, ...).
+        bits: Total storage width in bits.
+        is_float: Whether the format is floating point.
+        mantissa_bits: Stored mantissa bits (floats only, without the
+            implicit leading one).
+        exponent_bits: Exponent bits (floats only).
+    """
+
+    name: str
+    bits: int
+    is_float: bool = False
+    mantissa_bits: int = 0
+    exponent_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ConfigurationError(f"data type {self.name!r} needs bits > 0")
+        if self.is_float:
+            stored = 1 + self.exponent_bits + self.mantissa_bits
+            if stored != self.bits:
+                raise ConfigurationError(
+                    f"float type {self.name!r}: sign + exponent + mantissa "
+                    f"= {stored} bits, but bits = {self.bits}"
+                )
+
+    @property
+    def multiplier_width(self) -> int:
+        """Effective multiplier operand width (mantissa + hidden bit for floats)."""
+        if self.is_float:
+            return self.mantissa_bits + 1
+        return self.bits
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT4 = DataType("int4", 4)
+INT8 = DataType("int8", 8)
+INT16 = DataType("int16", 16)
+INT32 = DataType("int32", 32)
+#: The OCP 8-bit float formats of post-paper accelerators.
+FP8_E4M3 = DataType(
+    "fp8_e4m3", 8, is_float=True, mantissa_bits=3, exponent_bits=4
+)
+FP8_E5M2 = DataType(
+    "fp8_e5m2", 8, is_float=True, mantissa_bits=2, exponent_bits=5
+)
+FP16 = DataType("fp16", 16, is_float=True, mantissa_bits=10, exponent_bits=5)
+BF16 = DataType("bf16", 16, is_float=True, mantissa_bits=7, exponent_bits=8)
+FP32 = DataType("fp32", 32, is_float=True, mantissa_bits=23, exponent_bits=8)
+
+_BY_NAME = {
+    dtype.name: dtype
+    for dtype in (
+        INT4,
+        INT8,
+        INT16,
+        INT32,
+        FP8_E4M3,
+        FP8_E5M2,
+        FP16,
+        BF16,
+        FP32,
+    )
+}
+
+
+def parse_datatype(name: str) -> DataType:
+    """Look up a built-in data type by name (case insensitive)."""
+    key = name.strip().lower()
+    if key not in _BY_NAME:
+        known = ", ".join(sorted(_BY_NAME))
+        raise ConfigurationError(f"unknown data type {name!r}; known: {known}")
+    return _BY_NAME[key]

@@ -1,0 +1,125 @@
+"""Die-cost model: validating the paper's TOPS/TCO area-squared proxy.
+
+Sec. III-A approximates capital expenditure with area squared "because
+silicon die cost grows roughly as the square of the die area".  This
+module implements the underlying manufacturing economics — dies per
+wafer, negative-binomial defect yield, wafer pricing per node — so the
+proxy can be checked (and replaced with dollars when absolute numbers
+matter).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Usable area of a 300 mm wafer (3 mm edge exclusion).
+_WAFER_DIAMETER_MM = 300.0
+_EDGE_EXCLUSION_MM = 3.0
+
+#: Defect density (defects per mm^2; 0.1 per cm^2 is a mature process).
+DEFAULT_DEFECT_DENSITY_PER_MM2 = 0.001
+
+#: Negative-binomial clustering parameter (industry-typical).
+DEFAULT_CLUSTER_ALPHA = 3.0
+
+#: Processed-wafer price by node (relative economics, public estimates).
+WAFER_COST_USD = {
+    65: 2_000.0,
+    45: 2_600.0,
+    28: 3_500.0,
+    16: 6_000.0,
+    7: 9_500.0,
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Manufacturing-cost parameters for one process.
+
+    Attributes:
+        wafer_cost_usd: Price of one processed wafer.
+        defect_density_per_mm2: D0 of the yield model.
+        cluster_alpha: Negative-binomial clustering parameter.
+    """
+
+    wafer_cost_usd: float
+    defect_density_per_mm2: float = DEFAULT_DEFECT_DENSITY_PER_MM2
+    cluster_alpha: float = DEFAULT_CLUSTER_ALPHA
+
+    def __post_init__(self) -> None:
+        if self.wafer_cost_usd <= 0:
+            raise ConfigurationError("wafer cost must be positive")
+        if self.defect_density_per_mm2 < 0:
+            raise ConfigurationError("defect density must be >= 0")
+        if self.cluster_alpha <= 0:
+            raise ConfigurationError("cluster alpha must be positive")
+
+    @classmethod
+    def for_node(cls, feature_nm: float) -> "CostModel":
+        """The default cost model of a tabulated node."""
+        key = int(feature_nm)
+        if key not in WAFER_COST_USD:
+            raise ConfigurationError(
+                f"no wafer pricing for {feature_nm} nm; known: "
+                f"{sorted(WAFER_COST_USD)}"
+            )
+        return cls(wafer_cost_usd=WAFER_COST_USD[key])
+
+    # -- geometry ------------------------------------------------------------
+
+    def dies_per_wafer(self, die_mm2: float) -> int:
+        """Gross dies per wafer (the standard circular-waste formula)."""
+        if die_mm2 <= 0:
+            raise ConfigurationError("die area must be positive")
+        radius = _WAFER_DIAMETER_MM / 2.0 - _EDGE_EXCLUSION_MM
+        wafer_area = math.pi * radius**2
+        edge_loss = math.pi * 2.0 * radius / math.sqrt(2.0 * die_mm2)
+        return max(1, int(wafer_area / die_mm2 - edge_loss))
+
+    # -- yield ------------------------------------------------------------
+
+    def yield_fraction(self, die_mm2: float) -> float:
+        """Negative-binomial die yield: ``(1 + D0*A/alpha)^-alpha``."""
+        if die_mm2 <= 0:
+            raise ConfigurationError("die area must be positive")
+        defects = self.defect_density_per_mm2 * die_mm2
+        return (1.0 + defects / self.cluster_alpha) ** (
+            -self.cluster_alpha
+        )
+
+    # -- dollars ------------------------------------------------------------
+
+    def die_cost_usd(self, die_mm2: float) -> float:
+        """Cost per *good* die."""
+        good_dies = self.dies_per_wafer(die_mm2) * self.yield_fraction(
+            die_mm2
+        )
+        return self.wafer_cost_usd / good_dies
+
+    def cost_growth_exponent(
+        self, area_a_mm2: float, area_b_mm2: float
+    ) -> float:
+        """Effective exponent k with ``cost ~ area^k`` between two areas.
+
+        The paper's proxy assumes k ~= 2; the yield model lets you see
+        where that holds (k passes through 2 as dies grow into the
+        yield-limited regime).
+        """
+        if area_a_mm2 == area_b_mm2:
+            raise ConfigurationError("areas must differ")
+        cost_ratio = self.die_cost_usd(area_b_mm2) / self.die_cost_usd(
+            area_a_mm2
+        )
+        return math.log(cost_ratio) / math.log(area_b_mm2 / area_a_mm2)
+
+
+def tops_per_dollar(
+    achieved_tops: float, die_mm2: float, model: CostModel
+) -> float:
+    """Absolute cost efficiency (the dollar version of TOPS/TCO CapEx)."""
+    if achieved_tops < 0:
+        raise ConfigurationError("achieved TOPS must be >= 0")
+    return achieved_tops / model.die_cost_usd(die_mm2)

@@ -1,0 +1,48 @@
+"""Efficiency metrics of the datacenter study.
+
+Cost efficiency (TOPS/TCO) "is approximated as TOPS/mm^4/Watt, where power
+is an approximation of operational expenditures and area squared is an
+approximation of capital expenditures because silicon die cost grows
+roughly as the square of the die area" (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+
+def tops_per_watt(achieved_tops: float, power_w: float) -> float:
+    """Energy efficiency."""
+    if power_w <= 0:
+        raise ConfigurationError("power must be positive")
+    return achieved_tops / power_w
+
+
+def tops_per_tco(
+    achieved_tops: float, area_mm2: float, power_w: float
+) -> float:
+    """Cost efficiency: TOPS / (mm^4 * Watt)."""
+    if area_mm2 <= 0 or power_w <= 0:
+        raise ConfigurationError("area and power must be positive")
+    return achieved_tops / (area_mm2**2 * power_w)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean — the paper's average for ratio metrics."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("geomean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean — the paper's average for throughput."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("mean of an empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,160 @@
+"""Design-point optimization with alternative targets and constraints.
+
+Fig. 1 of the paper: "NeuroMeter requires the input of system-level
+performance (i.e., peak TOPS) as the optimization target (or a minimal
+value of it as a design constraint).  TOPS/Watt and TOPS/TCO are also
+allowed to feed in as alternative optimization targets or design
+constraints."  This module implements that selection layer on top of the
+sweep machinery: filter the candidate points by constraints, rank by the
+chosen objective, return the winner (and the ranking).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.arch.component import ModelContext
+from repro.dse.space import DesignPoint
+from repro.dse.sweep import DesignPointResult, evaluate_point
+from repro.errors import ConfigurationError, OptimizationError
+from repro.perf.graph import Graph
+
+
+class Objective(enum.Enum):
+    """Optimization targets NeuroMeter accepts (peak metrics)."""
+
+    PEAK_TOPS = "tops"
+    PEAK_TOPS_PER_WATT = "tops-per-watt"
+    PEAK_TOPS_PER_TCO = "tops-per-tco"
+    ACHIEVED_TOPS = "achieved-tops"
+    ACHIEVED_TOPS_PER_WATT = "achieved-tops-per-watt"
+    ACHIEVED_TOPS_PER_TCO = "achieved-tops-per-tco"
+
+    @property
+    def needs_workloads(self) -> bool:
+        return self.value.startswith("achieved")
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Design constraints (all optional; ``None`` disables a bound).
+
+    Attributes:
+        max_area_mm2 / max_tdp_w: The physical budget (Table I uses
+            500 mm^2 / 300 W).
+        min_peak_tops: Performance floor ("a minimal value of it as a
+            design constraint").
+        min_peak_tops_per_watt / min_peak_tops_per_tco: Efficiency floors.
+    """
+
+    max_area_mm2: Optional[float] = None
+    max_tdp_w: Optional[float] = None
+    min_peak_tops: Optional[float] = None
+    min_peak_tops_per_watt: Optional[float] = None
+    min_peak_tops_per_tco: Optional[float] = None
+
+    def satisfied_by(self, result: DesignPointResult) -> bool:
+        """Whether one evaluated point meets every bound."""
+        checks = (
+            (self.max_area_mm2, result.area_mm2, False),
+            (self.max_tdp_w, result.tdp_w, False),
+            (self.min_peak_tops, result.peak_tops, True),
+            (
+                self.min_peak_tops_per_watt,
+                result.peak_tops_per_watt,
+                True,
+            ),
+            (self.min_peak_tops_per_tco, result.peak_tops_per_tco, True),
+        )
+        for bound, value, is_floor in checks:
+            if bound is None:
+                continue
+            if is_floor and value < bound:
+                return False
+            if not is_floor and value > bound:
+                return False
+        return True
+
+
+def _score_fn(
+    objective: Objective, batch: int
+) -> Callable[[DesignPointResult], float]:
+    if objective is Objective.PEAK_TOPS:
+        return lambda r: r.peak_tops
+    if objective is Objective.PEAK_TOPS_PER_WATT:
+        return lambda r: r.peak_tops_per_watt
+    if objective is Objective.PEAK_TOPS_PER_TCO:
+        return lambda r: r.peak_tops_per_tco
+    if objective is Objective.ACHIEVED_TOPS:
+        return lambda r: r.mean_achieved_tops(batch)
+    if objective is Objective.ACHIEVED_TOPS_PER_WATT:
+        return lambda r: r.mean_energy_efficiency(batch)
+    return lambda r: r.mean_cost_efficiency(batch)
+
+
+@dataclass(frozen=True)
+class OptimizationOutcome:
+    """Result of a design optimization.
+
+    Attributes:
+        best: The winning evaluated point.
+        ranking: Every feasible point, best first.
+        infeasible: Points that failed the constraints.
+    """
+
+    best: DesignPointResult
+    ranking: tuple[DesignPointResult, ...]
+    infeasible: tuple[DesignPoint, ...]
+
+
+def optimize_design(
+    points: Sequence[DesignPoint],
+    objective: Objective = Objective.PEAK_TOPS,
+    constraints: Constraints = Constraints(),
+    workloads: Sequence[tuple[str, Graph]] = (),
+    batch: int = 1,
+    ctx: Optional[ModelContext] = None,
+) -> OptimizationOutcome:
+    """Pick the best design point for an objective under constraints.
+
+    Args:
+        points: Candidate design tuples.
+        objective: The metric to maximize.
+        constraints: Bounds every candidate must satisfy.
+        workloads: (name, graph) pairs — required for achieved-* targets.
+        batch: Batch size for achieved-* targets.
+        ctx: Modeling context (Table I's by default).
+
+    Raises:
+        ConfigurationError: an achieved-* objective without workloads.
+        OptimizationError: no candidate satisfies the constraints.
+    """
+    if not points:
+        raise ConfigurationError("no candidate design points given")
+    if objective.needs_workloads and not workloads:
+        raise ConfigurationError(
+            f"objective {objective.value!r} needs workloads to simulate"
+        )
+
+    batches = [batch] if objective.needs_workloads else []
+    feasible: list[DesignPointResult] = []
+    infeasible: list[DesignPoint] = []
+    for point in points:
+        result = evaluate_point(point, workloads, batches, ctx)
+        if constraints.satisfied_by(result):
+            feasible.append(result)
+        else:
+            infeasible.append(point)
+    if not feasible:
+        raise OptimizationError(
+            f"none of the {len(points)} candidates satisfy the constraints"
+        )
+    score = _score_fn(objective, batch)
+    ranking = sorted(feasible, key=score, reverse=True)
+    return OptimizationOutcome(
+        best=ranking[0],
+        ranking=tuple(ranking),
+        infeasible=tuple(infeasible),
+    )

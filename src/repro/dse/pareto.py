@@ -1,0 +1,33 @@
+"""Pareto-front utilities for multi-objective design comparison."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    items: Sequence[T], objectives: Sequence[Callable[[T], float]]
+) -> list[T]:
+    """Items not dominated on the given maximize-objectives.
+
+    An item is dominated when another item is at least as good on every
+    objective and strictly better on one.
+    """
+    front: list[T] = []
+    for candidate in items:
+        candidate_scores = [f(candidate) for f in objectives]
+        dominated = False
+        for other in items:
+            if other is candidate:
+                continue
+            other_scores = [f(other) for f in objectives]
+            if all(o >= c for o, c in zip(other_scores, candidate_scores)) and any(
+                o > c for o, c in zip(other_scores, candidate_scores)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return front

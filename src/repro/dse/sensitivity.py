@@ -1,0 +1,119 @@
+"""Calibration sensitivity analysis.
+
+The reproduction's empirical constants (synthesis margins, routing
+overheads, the TDP guardband) were calibrated on the validation chips and
+then frozen.  The case-study conclusions should be *orderings*, robust to
+those constants — this module checks that by re-running a metric with
+each constant perturbed and reporting whether the winner changes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.tech import calibration
+
+T = TypeVar("T")
+
+#: The calibration constants worth perturbing (scalar floats only).
+PERTURBABLE_CONSTANTS = (
+    "SYNTHESIS_ENERGY_MARGIN",
+    "SYNTHESIS_AREA_MARGIN",
+    "DATAPATH_ROUTING_OVERHEAD",
+    "SRAM_ACCESS_OVERHEAD",
+    "CLOCK_NETWORK_OVERHEAD",
+    "CHIP_TDP_MARGIN",
+)
+
+
+@contextlib.contextmanager
+def perturbed_calibration(**overrides: float) -> Iterator[None]:
+    """Temporarily scale calibration constants by the given factors.
+
+    ``perturbed_calibration(SYNTHESIS_ENERGY_MARGIN=1.2)`` multiplies the
+    constant by 1.2 inside the block and restores it afterwards, even on
+    exceptions.  Only the documented perturbable constants are accepted.
+    """
+    saved: dict[str, float] = {}
+    for name, factor in overrides.items():
+        if name not in PERTURBABLE_CONSTANTS:
+            raise ConfigurationError(
+                f"{name!r} is not a perturbable calibration constant; "
+                f"pick from {PERTURBABLE_CONSTANTS}"
+            )
+        if factor <= 0:
+            raise ConfigurationError("perturbation factors must be positive")
+        saved[name] = getattr(calibration, name)
+        setattr(calibration, name, saved[name] * factor)
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            setattr(calibration, name, value)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Outcome of one perturbation.
+
+    Attributes:
+        constant: The perturbed constant.
+        factor: The applied scale.
+        winner: The argmax of the metric under the perturbation.
+        baseline_winner: The unperturbed argmax.
+    """
+
+    constant: str
+    factor: float
+    winner: T  # type: ignore[valid-type]
+    baseline_winner: T  # type: ignore[valid-type]
+
+    @property
+    def stable(self) -> bool:
+        return self.winner == self.baseline_winner
+
+
+def winner_stability(
+    candidates: Sequence[T],
+    metric: Callable[[T], float],
+    factors: Sequence[float] = (0.8, 1.25),
+    constants: Sequence[str] = PERTURBABLE_CONSTANTS,
+) -> list[SensitivityResult]:
+    """Check whether a metric's argmax survives calibration perturbations.
+
+    ``metric`` must re-evaluate from scratch on each call (build fresh
+    chips); cached results would not see the perturbed constants.
+    """
+    if not candidates:
+        raise ConfigurationError("need candidates to compare")
+    baseline = max(candidates, key=metric)
+    results: list[SensitivityResult] = []
+    for constant in constants:
+        for factor in factors:
+            with perturbed_calibration(**{constant: factor}):
+                winner = max(candidates, key=metric)
+            results.append(
+                SensitivityResult(
+                    constant=constant,
+                    factor=factor,
+                    winner=winner,
+                    baseline_winner=baseline,
+                )
+            )
+    return results
+
+
+def stability_summary(
+    results: Sequence[SensitivityResult],
+) -> Mapping[str, float]:
+    """Fraction of perturbations under which the winner held, per constant."""
+    summary: dict[str, list[bool]] = {}
+    for result in results:
+        summary.setdefault(result.constant, []).append(result.stable)
+    return {
+        constant: sum(stable_list) / len(stable_list)
+        for constant, stable_list in summary.items()
+    }

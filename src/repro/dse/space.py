@@ -1,0 +1,153 @@
+"""The Table I design space: ``(X, N, T_x, T_y)`` tuples.
+
+``X`` is the TU length (4-256), ``N`` the TUs per core (1, 2, 4), and
+``T_x x T_y`` the core grid — powers of two, with ``T_x`` equal to or half
+of ``T_y`` so the layout stays near-square.  The chip budget is 500 mm^2,
+300 W, and a 92 TOPS peak cap at 28 nm / 700 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.arch.chip import Chip
+from repro.arch.component import ModelContext
+from repro.config.presets import (
+    DATACENTER_AREA_BUDGET_MM2,
+    DATACENTER_POWER_BUDGET_W,
+    DATACENTER_TOPS_CAP,
+    datacenter_context,
+    datacenter_design_point,
+)
+from repro.errors import ConfigurationError
+from repro.units import tops
+
+TU_LENGTHS = (4, 8, 16, 32, 64, 128, 256)
+TUS_PER_CORE = (1, 2, 4)
+_MAX_GRID_DIM = 16
+
+
+@dataclass(frozen=True, order=True)
+class DesignPoint:
+    """One ``(X, N, T_x, T_y)`` tuple of the Table I space."""
+
+    x: int
+    n: int
+    tx: int
+    ty: int
+
+    def __post_init__(self) -> None:
+        if self.x < 1 or self.n < 1 or self.tx < 1 or self.ty < 1:
+            raise ConfigurationError(f"invalid design point {self}")
+
+    @property
+    def cores(self) -> int:
+        return self.tx * self.ty
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.x * self.x * self.n * self.cores
+
+    def peak_tops(self, freq_ghz: float) -> float:
+        return tops(self.macs_per_cycle, freq_ghz)
+
+    def build(self) -> Chip:
+        """Instantiate the chip for this point."""
+        return datacenter_design_point(self.x, self.n, self.tx, self.ty)
+
+    def label(self) -> str:
+        return f"({self.x},{self.n},{self.tx},{self.ty})"
+
+
+def _grids() -> Iterator[tuple[int, int]]:
+    """Near-square power-of-two grids: T_x == T_y or T_x == T_y / 2."""
+    tx = 1
+    while tx <= _MAX_GRID_DIM:
+        for ty in (tx, 2 * tx):
+            if ty <= _MAX_GRID_DIM * 2:
+                yield (tx, ty)
+        tx *= 2
+
+
+def design_space(
+    ctx: Optional[ModelContext] = None,
+    area_budget_mm2: float = DATACENTER_AREA_BUDGET_MM2,
+    power_budget_w: float = DATACENTER_POWER_BUDGET_W,
+    tops_cap: float = DATACENTER_TOPS_CAP,
+    check_budgets: bool = True,
+) -> list[DesignPoint]:
+    """Enumerate the feasible Table I design points.
+
+    A point is kept when its peak TOPS does not exceed the 92 TOPS target
+    cap and (when ``check_budgets``) its modeled die area and TDP fit the
+    500 mm^2 / 300 W budget.  Budget checks build and evaluate each chip,
+    which is the expensive part — the pruning round of Sec. III-A.
+    """
+    ctx = ctx if ctx is not None else datacenter_context()
+    points: list[DesignPoint] = []
+    for x in TU_LENGTHS:
+        for n in TUS_PER_CORE:
+            for tx, ty in _grids():
+                point = DesignPoint(x, n, tx, ty)
+                if point.peak_tops(ctx.freq_ghz) > tops_cap + 1e-9:
+                    continue
+                if check_budgets and not _fits(
+                    point, ctx, area_budget_mm2, power_budget_w
+                ):
+                    continue
+                points.append(point)
+    return points
+
+
+def _fits(
+    point: DesignPoint,
+    ctx: ModelContext,
+    area_budget_mm2: float,
+    power_budget_w: float,
+) -> bool:
+    chip = point.build()
+    if chip.area_mm2(ctx) > area_budget_mm2:
+        return False
+    return chip.tdp_w(ctx) <= power_budget_w
+
+
+def max_core_point(
+    x: int,
+    n: int,
+    ctx: Optional[ModelContext] = None,
+    area_budget_mm2: float = DATACENTER_AREA_BUDGET_MM2,
+    power_budget_w: float = DATACENTER_POWER_BUDGET_W,
+    tops_cap: float = DATACENTER_TOPS_CAP,
+) -> Optional[DesignPoint]:
+    """The maximum-core grid for one ``(X, N)`` (Sec. III-A's rule).
+
+    Returns ``None`` when even a single core busts the budget.
+    """
+    ctx = ctx if ctx is not None else datacenter_context()
+    best: Optional[DesignPoint] = None
+    for tx, ty in _grids():
+        point = DesignPoint(x, n, tx, ty)
+        if point.peak_tops(ctx.freq_ghz) > tops_cap + 1e-9:
+            continue
+        if not _fits(point, ctx, area_budget_mm2, power_budget_w):
+            continue
+        if best is None or point.cores > best.cores:
+            best = point
+    return best
+
+
+#: The design points called out in Figs. 8 and 10.
+NAMED_POINTS = {
+    "utilization-optimal": DesignPoint(8, 4, 4, 8),
+    "throughput-optimal": DesignPoint(64, 2, 2, 4),
+    "cost-efficiency-optimal": DesignPoint(64, 4, 1, 2),
+    "energy-efficiency-optimal-medium-batch": DesignPoint(32, 4, 2, 2),
+    "peak-efficiency-optimal": DesignPoint(128, 4, 1, 1),
+    "tpu-v1-like": DesignPoint(256, 1, 1, 1),
+}
+
+
+def named_points() -> dict[str, DesignPoint]:
+    """The headline design points the paper's conclusions reference."""
+    return dict(NAMED_POINTS)

@@ -1,0 +1,225 @@
+"""The Sec. IV sparsity mini-case study, end to end.
+
+Four architectures are compared (equal OPS per compute unit, picked from
+the Fig. 10(b) optima): the power-efficiency optimum with 32x32 TUs (TU32),
+the utilization optimum with 8x8 TUs (TU8), and reduction-tree twins with
+1024-to-1 (RT1024) and 64-to-1 (RT64) trees.  Each runs the synthetic SpMV
+microbenchmark through the roofline model of Sec. IV, with runtime power
+from the NeuroMeter chip models, producing the energy-efficiency-gain
+curves of Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.arch.chip import Chip, ChipConfig
+from repro.arch.component import ModelContext
+from repro.arch.core import CoreConfig
+from repro.arch.memory import OnChipMemoryConfig
+from repro.arch.periph import DramKind, PcieInterface
+from repro.arch.reduction_tree import ReductionTreeConfig
+from repro.config.presets import (
+    DATACENTER_OFFCHIP_GBPS,
+    datacenter_context,
+)
+from repro.dse.space import DesignPoint
+from repro.errors import ConfigurationError
+from repro.perf.roofline import SparseRoofline
+from repro.power.runtime import ActivityFactors, runtime_power
+from repro.sparse.skipping import (
+    block_skip_compute_factor,
+    vector_skip_compute_factor,
+)
+from repro.units import GIGA, MiB
+from repro.workloads.spmv import SpmvWorkload
+
+#: The four Sec. IV architectures: name -> (skip-block elements, is_rt).
+STUDY_ARCHITECTURES = ("TU32", "TU8", "RT1024", "RT64")
+
+
+def build_study_chip(name: str) -> Chip:
+    """Instantiate one of the four case-study accelerators.
+
+    TU32/TU8 are the Fig. 10(b) optima; RT1024/RT64 replace each core's
+    systolic arrays with reduction trees of the same OPS per compute unit
+    (Sec. IV).
+    """
+    if name == "TU32":
+        return DesignPoint(32, 4, 2, 2).build()
+    if name == "TU8":
+        return DesignPoint(8, 4, 4, 8).build()
+    if name in ("RT1024", "RT64"):
+        inputs = 1024 if name == "RT1024" else 64
+        cores = (2, 2) if name == "RT1024" else (4, 8)
+        core = CoreConfig(
+            tu=None,
+            rt=ReductionTreeConfig(inputs=inputs),
+            reduction_trees=4,
+            mem=OnChipMemoryConfig(
+                capacity_bytes=32 * MiB // (cores[0] * cores[1]),
+                block_bytes=64,
+                latency_cycles=4,
+            ),
+        )
+        return Chip(
+            ChipConfig(
+                core=core,
+                cores_x=cores[0],
+                cores_y=cores[1],
+                dram=DramKind.HBM2,
+                offchip_bandwidth_gbps=DATACENTER_OFFCHIP_GBPS,
+                pcie=PcieInterface(lanes=16, generation=3),
+            )
+        )
+    raise ConfigurationError(
+        f"unknown study architecture {name!r}; pick one of "
+        f"{STUDY_ARCHITECTURES}"
+    )
+
+
+def skip_compute_factor(name: str, nonzero_ratio: float) -> float:
+    """y for one architecture: block-wise (TU) or vector-wise (RT) skipping."""
+    if name == "TU32":
+        return block_skip_compute_factor(nonzero_ratio, 32 * 32)
+    if name == "TU8":
+        return block_skip_compute_factor(nonzero_ratio, 8 * 8)
+    if name == "RT1024":
+        return vector_skip_compute_factor(nonzero_ratio, 1024)
+    if name == "RT64":
+        return vector_skip_compute_factor(nonzero_ratio, 64)
+    raise ConfigurationError(f"unknown study architecture {name!r}")
+
+
+@dataclass(frozen=True)
+class SparsityPoint:
+    """One (architecture, sparsity) evaluation.
+
+    Attributes:
+        arch: Architecture name.
+        sparsity: 1 - x (fraction of zero weights).
+        y: Compute-reduction factor after zero skipping.
+        dense_time_s / sparse_time_s: Roofline runtimes.
+        dense_power_w / sparse_power_w: Runtime power in each mode.
+        gain: Energy-efficiency gain (TOPS/Watt sparse over dense).
+        sparse_compute_bound: Whether the sparse run is compute bound.
+    """
+
+    arch: str
+    sparsity: float
+    y: float
+    dense_time_s: float
+    sparse_time_s: float
+    dense_power_w: float
+    sparse_power_w: float
+    gain: float
+    sparse_compute_bound: bool
+
+
+def _mode_power_w(
+    chip: Chip,
+    ctx: ModelContext,
+    compute_fraction: float,
+    traffic_bytes: float,
+    runtime_s: float,
+    is_rt: bool,
+) -> float:
+    """Runtime power with compute activity and DRAM traffic of one mode."""
+    offchip_gbps = traffic_bytes / runtime_s / GIGA
+    mem_gbps = min(
+        compute_fraction
+        * chip.config.cores
+        * chip.core.memory(ctx).peak_read_bandwidth_gbps(ctx),
+        offchip_gbps * 4.0 + 1.0,
+    )
+    activity = ActivityFactors(
+        tu_utilization=0.0 if is_rt else compute_fraction,
+        tu_occupancy=0.0 if is_rt else min(1.0, compute_fraction * 1.1),
+        rt_utilization=compute_fraction if is_rt else 0.0,
+        vu_utilization=min(compute_fraction * 0.3, 1.0),
+        mem_read_gbps=mem_gbps,
+        mem_write_gbps=mem_gbps / 4.0,
+        offchip_gbps=offchip_gbps,
+    )
+    return runtime_power(chip, ctx, activity).total_w
+
+
+def evaluate_sparsity_point(
+    arch: str,
+    sparsity: float,
+    workload: Optional[SpmvWorkload] = None,
+    ctx: Optional[ModelContext] = None,
+) -> SparsityPoint:
+    """Evaluate one architecture at one sparsity level."""
+    if not 0.0 <= sparsity < 1.0:
+        raise ConfigurationError(
+            f"sparsity must be in [0, 1), got {sparsity}"
+        )
+    ctx = ctx if ctx is not None else datacenter_context()
+    x = max(1.0 - sparsity, 1e-3)
+    base = workload if workload is not None else SpmvWorkload()
+    spmv = SpmvWorkload(
+        m=base.m,
+        n=base.n,
+        batch=base.batch,
+        nonzero_ratio=x,
+        layout=base.layout,
+    )
+
+    chip = build_study_chip(arch)
+    is_rt = arch.startswith("RT")
+    peak_ops = chip.peak_tops(ctx) * 1e12
+    bandwidth = chip.config.offchip_bandwidth_gbps * GIGA
+    model = SparseRoofline(
+        spmv.roofline_inputs(peak_ops, bandwidth), beta=spmv.beta
+    )
+    y = skip_compute_factor(arch, x)
+
+    t_d = model.dense_time_s
+    t_s = model.sparse_time_s(x, y)
+    dense_fraction = model.dense_compute_time_s / t_d
+    sparse_fraction = model.sparse_compute_time_s(y) / t_s
+
+    power_d = _mode_power_w(
+        chip,
+        ctx,
+        compute_fraction=dense_fraction,
+        traffic_bytes=spmv.vector_bytes + spmv.weight_bytes,
+        runtime_s=t_d,
+        is_rt=is_rt,
+    )
+    power_s = _mode_power_w(
+        chip,
+        ctx,
+        compute_fraction=sparse_fraction * y,
+        traffic_bytes=spmv.vector_bytes + spmv.beta * x * spmv.weight_bytes,
+        runtime_s=t_s,
+        is_rt=is_rt,
+    )
+    return SparsityPoint(
+        arch=arch,
+        sparsity=sparsity,
+        y=y,
+        dense_time_s=t_d,
+        sparse_time_s=t_s,
+        dense_power_w=power_d,
+        sparse_power_w=power_s,
+        gain=model.energy_efficiency_gain(x, y, power_d, power_s),
+        sparse_compute_bound=model.sparse_compute_bound(x, y),
+    )
+
+
+def sparsity_sweep(
+    sparsities: Sequence[float],
+    architectures: Sequence[str] = STUDY_ARCHITECTURES,
+    ctx: Optional[ModelContext] = None,
+) -> dict[str, list[SparsityPoint]]:
+    """The full Fig. 11 sweep: gain-vs-sparsity per architecture."""
+    return {
+        arch: [
+            evaluate_sparsity_point(arch, sparsity, ctx=ctx)
+            for sparsity in sparsities
+        ]
+        for arch in architectures
+    }

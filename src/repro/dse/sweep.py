@@ -1,0 +1,196 @@
+"""Design-point evaluation: chip modeling + workload simulation + metrics.
+
+For every design point this produces what Figs. 8 and 10 plot: die area
+and TDP (with breakdowns), peak TOPS and peak efficiencies, and — per
+batch-size regime — the workload-averaged achieved TOPS, TU utilization,
+energy efficiency (TOPS/Watt on *runtime* power), and cost efficiency
+(TOPS/TCO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.arch.component import Estimate, ModelContext
+from repro.config.presets import datacenter_context
+from repro.dse.metrics import (
+    arithmetic_mean,
+    geomean,
+    tops_per_tco,
+    tops_per_watt,
+)
+from repro.dse.space import DesignPoint
+from repro.perf.graph import Graph
+from repro.perf.simulator import (
+    DEFAULT_LATENCY_SLO_MS,
+    SimulationResult,
+    Simulator,
+)
+from repro.power.runtime import runtime_power
+
+
+@dataclass(frozen=True)
+class WorkloadOutcome:
+    """One workload at one batch regime on one design point.
+
+    ``regime`` is the batch *specification* ("bs=1", "latency-bound",
+    "bs=256"); ``batch`` is the resolved batch size actually simulated.
+    """
+
+    workload: str
+    batch: int
+    regime: str
+    result: SimulationResult
+    runtime_power_w: float
+
+    @property
+    def achieved_tops(self) -> float:
+        return self.result.achieved_tops
+
+    @property
+    def utilization(self) -> float:
+        return self.result.utilization
+
+    @property
+    def energy_efficiency(self) -> float:
+        return tops_per_watt(self.result.achieved_tops, self.runtime_power_w)
+
+
+@dataclass(frozen=True)
+class DesignPointResult:
+    """Everything the study needs to know about one design point.
+
+    Attributes:
+        point: The (X, N, Tx, Ty) tuple.
+        area_mm2 / tdp_w / peak_tops: Chip-level numbers (Fig. 8).
+        estimate: Full breakdown tree.
+        outcomes: Per-(workload, batch) simulation outcomes (Fig. 10).
+    """
+
+    point: DesignPoint
+    area_mm2: float
+    tdp_w: float
+    peak_tops: float
+    estimate: Estimate
+    outcomes: tuple[WorkloadOutcome, ...] = field(default_factory=tuple)
+
+    # -- peak (Fig. 8) metrics ---------------------------------------------------
+
+    @property
+    def peak_tops_per_watt(self) -> float:
+        return tops_per_watt(self.peak_tops, self.tdp_w)
+
+    @property
+    def peak_tops_per_tco(self) -> float:
+        return tops_per_tco(self.peak_tops, self.area_mm2, self.tdp_w)
+
+    # -- averaged runtime (Fig. 10) metrics ---------------------------------------
+
+    def _at_batch(
+        self, batch: Optional[object]
+    ) -> list[WorkloadOutcome]:
+        """Outcomes of one regime: an int batch, "latency-bound", or all."""
+        if batch is None:
+            return list(self.outcomes)
+        regime = batch if batch == "latency-bound" else f"bs={batch}"
+        return [o for o in self.outcomes if o.regime == regime]
+
+    def mean_achieved_tops(self, batch: Optional[int] = None) -> float:
+        """Arithmetic mean of achieved TOPS over workloads."""
+        outcomes = self._at_batch(batch)
+        return arithmetic_mean([o.achieved_tops for o in outcomes])
+
+    def mean_utilization(self, batch: Optional[int] = None) -> float:
+        """Geometric mean of TU utilization over workloads."""
+        outcomes = self._at_batch(batch)
+        return geomean([max(o.utilization, 1e-9) for o in outcomes])
+
+    def mean_energy_efficiency(self, batch: Optional[int] = None) -> float:
+        """Geometric mean of achieved TOPS/Watt (runtime power)."""
+        outcomes = self._at_batch(batch)
+        return geomean([max(o.energy_efficiency, 1e-12) for o in outcomes])
+
+    def mean_cost_efficiency(self, batch: Optional[int] = None) -> float:
+        """Geometric mean of achieved TOPS/TCO."""
+        outcomes = self._at_batch(batch)
+        return geomean(
+            [
+                max(
+                    tops_per_tco(
+                        o.achieved_tops, self.area_mm2, o.runtime_power_w
+                    ),
+                    1e-18,
+                )
+                for o in outcomes
+            ]
+        )
+
+
+def evaluate_point(
+    point: DesignPoint,
+    workloads: Sequence[tuple[str, Graph]] = (),
+    batches: Iterable[object] = (),
+    ctx: Optional[ModelContext] = None,
+    latency_slo_ms: float = DEFAULT_LATENCY_SLO_MS,
+) -> DesignPointResult:
+    """Model one design point and simulate the given workloads on it.
+
+    Args:
+        point: The design tuple.
+        workloads: (name, graph) pairs.
+        batches: Batch sizes; integers, or the string ``"latency-bound"``
+            for the per-workload 10 ms SLO batch of Fig. 10(b).
+        ctx: Technology/clock context (Table I's by default).
+        latency_slo_ms: SLO for the latency-bound batch.
+    """
+    ctx = ctx if ctx is not None else datacenter_context()
+    chip = point.build()
+    estimate = chip.estimate(ctx)
+    outcomes: list[WorkloadOutcome] = []
+    if workloads:
+        simulator = Simulator(chip, ctx)
+        for batch_spec in batches:
+            for name, graph in workloads:
+                if batch_spec == "latency-bound":
+                    batch = simulator.latency_limited_batch(
+                        graph, slo_ms=latency_slo_ms
+                    )
+                else:
+                    batch = int(batch_spec)  # type: ignore[arg-type]
+                result = simulator.run(graph, batch)
+                power = runtime_power(chip, ctx, result.activity).total_w
+                regime = (
+                    "latency-bound"
+                    if batch_spec == "latency-bound"
+                    else f"bs={batch}"
+                )
+                outcomes.append(
+                    WorkloadOutcome(
+                        workload=name,
+                        batch=batch,
+                        regime=regime,
+                        result=result,
+                        runtime_power_w=power,
+                    )
+                )
+    return DesignPointResult(
+        point=point,
+        area_mm2=estimate.area_mm2,
+        tdp_w=chip.tdp_w(ctx),
+        peak_tops=chip.peak_tops(ctx),
+        estimate=estimate,
+        outcomes=tuple(outcomes),
+    )
+
+
+def sweep(
+    points: Sequence[DesignPoint],
+    workloads: Sequence[tuple[str, Graph]] = (),
+    batches: Iterable[object] = (),
+    ctx: Optional[ModelContext] = None,
+) -> list[DesignPointResult]:
+    """Evaluate a list of design points (the Fig. 8 / Fig. 10 sweeps)."""
+    return [
+        evaluate_point(point, workloads, batches, ctx) for point in points
+    ]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the NeuroMeter reproduction.
+
+Every error raised by this package derives from :class:`NeuroMeterError`, so
+callers can catch a single type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class NeuroMeterError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(NeuroMeterError):
+    """A user-supplied configuration is invalid or internally inconsistent."""
+
+
+class TechnologyError(NeuroMeterError):
+    """An unknown technology node or invalid device parameter was requested."""
+
+
+class OptimizationError(NeuroMeterError):
+    """The internal optimizer could not find a design meeting the constraints.
+
+    Raised, for example, when no bank/port organization of an on-chip memory
+    can satisfy the requested latency and throughput, or when no clock rate
+    can reach a requested TOPS target within the power budget.
+    """
+
+
+class MappingError(NeuroMeterError):
+    """A workload operator cannot be mapped onto the target accelerator."""
+
+
+class ValidationError(NeuroMeterError):
+    """A modeled result is outside the accepted band of the published data."""

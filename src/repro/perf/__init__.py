@@ -1,0 +1,56 @@
+"""Performance simulation: the reproduction's TF-Sim substitute.
+
+The paper pairs NeuroMeter with TF-Sim, an (unpublished) graph-level
+performance simulator.  This package provides the equivalent: a
+computational-graph IR (:mod:`repro.perf.graph`, :mod:`repro.perf.ops`),
+systolic-array tiling and scheduling (:mod:`repro.perf.mapping`),
+XLA-style graph optimizations (:mod:`repro.perf.optimizations`), the
+simulator that produces latency/throughput/utilization and activity
+factors (:mod:`repro.perf.simulator`), and the Sec. IV sparse roofline
+model (:mod:`repro.perf.roofline`).
+"""
+
+from repro.perf.graph import Graph, LayerNode
+from repro.perf.ops import (
+    Activation,
+    Concat,
+    Conv2d,
+    DepthwiseConv2d,
+    Elementwise,
+    Gemm,
+    GlobalPool,
+    MatMul,
+    OpCost,
+    Pool,
+    Shape,
+)
+from repro.perf.optimizations import OptimizationConfig
+from repro.perf.simulator import SimulationResult, Simulator
+from repro.perf.roofline import RooflineInputs, SparseRoofline
+from repro.perf.training import TrainingEstimate, estimate_training_step
+from repro.perf.bound_analysis import bound_report, summarize_bounds
+
+__all__ = [
+    "Activation",
+    "Concat",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Elementwise",
+    "Gemm",
+    "GlobalPool",
+    "Graph",
+    "LayerNode",
+    "MatMul",
+    "OpCost",
+    "OptimizationConfig",
+    "Pool",
+    "RooflineInputs",
+    "Shape",
+    "SimulationResult",
+    "Simulator",
+    "TrainingEstimate",
+    "bound_report",
+    "summarize_bounds",
+    "estimate_training_step",
+    "SparseRoofline",
+]

@@ -1,0 +1,89 @@
+"""Per-layer bound analysis of a simulation.
+
+Summarizes what limits each layer of a simulated run — compute, the
+vector path, on-chip memory, the NoC, or off-chip bandwidth — the
+bottleneck view an architect reads before resizing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.perf.simulator import SimulationResult
+from repro.report.tables import format_table
+
+
+@dataclass(frozen=True)
+class BoundSummary:
+    """Cycle share per bound category for one run.
+
+    Attributes:
+        shares: Fraction of total cycles attributed to each bound.
+        dominant: The largest category.
+        total_cycles: The run's cycle count.
+    """
+
+    shares: dict[str, float]
+    dominant: str
+    total_cycles: int
+
+
+def summarize_bounds(result: SimulationResult) -> BoundSummary:
+    """Aggregate the per-layer bound labels into cycle shares."""
+    if not result.layers:
+        raise ConfigurationError("the simulation recorded no layers")
+    totals: dict[str, int] = {}
+    for layer in result.layers:
+        totals[layer.bound] = totals.get(layer.bound, 0) + layer.cycles
+    shares = {
+        bound: cycles / result.total_cycles
+        for bound, cycles in totals.items()
+    }
+    dominant = max(shares, key=shares.get)
+    return BoundSummary(
+        shares=shares,
+        dominant=dominant,
+        total_cycles=result.total_cycles,
+    )
+
+
+def slowest_layers(
+    result: SimulationResult, top: int = 10
+) -> list[tuple[str, str, int, float]]:
+    """The ``top`` most expensive layers: (name, bound, cycles, share)."""
+    ordered = sorted(result.layers, key=lambda layer: -layer.cycles)
+    return [
+        (
+            layer.name,
+            layer.bound,
+            layer.cycles,
+            layer.cycles / result.total_cycles,
+        )
+        for layer in ordered[:top]
+    ]
+
+
+def bound_report(result: SimulationResult, top: int = 10) -> str:
+    """Human-readable bottleneck report for one simulation."""
+    summary = summarize_bounds(result)
+    share_rows = [
+        [bound, f"{share:.1%}"]
+        for bound, share in sorted(
+            summary.shares.items(), key=lambda item: -item[1]
+        )
+    ]
+    layer_rows = [
+        [name, bound, cycles, f"{share:.1%}"]
+        for name, bound, cycles, share in slowest_layers(result, top)
+    ]
+    return (
+        f"{result.graph_name} x{result.batch}: "
+        f"{summary.total_cycles} cycles, dominant bound "
+        f"'{summary.dominant}'\n\n"
+        + format_table(["bound", "cycle share"], share_rows)
+        + "\n\nSlowest layers:\n"
+        + format_table(
+            ["layer", "bound", "cycles", "share"], layer_rows
+        )
+    )

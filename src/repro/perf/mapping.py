@@ -1,0 +1,290 @@
+"""Tiling and scheduling of GEMMs onto the systolic-array fleet.
+
+The mapping engine implements what TF-Sim does for wimpy designs
+(Sec. III-A): "the operation is always too large to map on single TU
+without tiling.  The mapping strategy considers how to reduce the extra
+overhead of partial sum merging and weight/activation broadcast."
+
+A (M x K x N) GEMM is cut into K/X x N/X weight tiles; each tile pass
+streams M rows through one TU.  Tiles (and, when tiles are scarce, M
+chunks) are distributed over every TU on the chip.  The result carries
+both the cycle count and the traffic/activity tallies the power model
+consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.chip import Chip
+from repro.arch.component import ModelContext
+from repro.arch.tensor_unit import Dataflow
+from repro.errors import MappingError
+from repro.perf.ops import Gemm
+from repro.perf.optimizations import OptimizationConfig
+
+#: Accumulation width of partial sums travelling between cores.
+_PSUM_BYTES = 4
+
+#: Smallest M chunk worth splitting a tile pass over (amortizes fill).
+_MIN_M_CHUNK_FACTOR = 2
+
+
+@dataclass(frozen=True)
+class ArchView:
+    """The simulator's summary of a chip (everything mapping needs).
+
+    Attributes:
+        tu_rows: Systolic array length X.
+        tus: Total TUs on the chip.
+        cores: Core count.
+        vu_lanes_total: Total VU lanes on the chip.
+        macs_per_cycle: Peak chip MAC throughput.
+        freq_ghz: Clock rate.
+        mem_capacity_bytes: Total on-chip memory.
+        mem_read_gbps / mem_write_gbps: Peak aggregate Mem bandwidth.
+        noc_gbps: NoC bisection bandwidth (0 for single-core chips).
+        offchip_gbps: Off-chip memory bandwidth.
+    """
+
+    tu_rows: int
+    tus: int
+    cores: int
+    vu_lanes_total: int
+    macs_per_cycle: int
+    freq_ghz: float
+    mem_capacity_bytes: int
+    mem_read_gbps: float
+    mem_write_gbps: float
+    noc_gbps: float
+    offchip_gbps: float
+    dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY
+
+    @classmethod
+    def of(cls, chip: Chip, ctx: ModelContext) -> "ArchView":
+        """Extract the view from a chip model."""
+        cfg = chip.config
+        core_cfg = cfg.core
+        if core_cfg.tu is None:
+            raise MappingError(
+                "the GEMM mapper needs tensor units; use the roofline model "
+                "for reduction-tree accelerators"
+            )
+        memory = chip.core.memory(ctx)
+        extra_capacity = sum(
+            extra.capacity_bytes for _, extra in core_cfg.extra_memories
+        )
+        return cls(
+            tu_rows=core_cfg.tu.rows,
+            tus=cfg.cores * core_cfg.tensor_units,
+            cores=cfg.cores,
+            vu_lanes_total=cfg.cores * core_cfg.vector_lanes,
+            macs_per_cycle=cfg.macs_per_cycle,
+            freq_ghz=ctx.freq_ghz,
+            mem_capacity_bytes=cfg.cores
+            * (core_cfg.mem.capacity_bytes + extra_capacity),
+            mem_read_gbps=cfg.cores
+            * memory.peak_read_bandwidth_gbps(ctx),
+            mem_write_gbps=cfg.cores
+            * memory.peak_write_bandwidth_gbps(ctx),
+            noc_gbps=cfg.noc_bisection_gbps if cfg.cores > 1 else 0.0,
+            offchip_gbps=cfg.offchip_bandwidth_gbps,
+            dataflow=core_cfg.tu.dataflow,
+        )
+
+
+@dataclass(frozen=True)
+class GemmMapping:
+    """Result of mapping one GEMM onto the fleet.
+
+    Attributes:
+        compute_cycles: TU-side cycles (fill/drain, weight loads, dispatch
+            overhead included).
+        useful_macs: MACs the GEMM actually needs.
+        occupied_mac_cycles: MAC-cycles during which arrays are clocked
+            (useful work plus fill/drain/overhead waste) — the runtime
+            power model charges partially for the waste.
+        merge_vector_ops: VU additions for partial-sum merging.
+        mem_read_bytes / mem_write_bytes: On-chip memory traffic.
+        noc_bytes: Inter-core traffic (broadcast + partial sums).
+        weight_bytes: Weight volume streamed into the TUs.
+        tiles: Weight tiles (k-tiles x n-tiles).
+        k_tiles: Tiling of the reduction dimension.
+    """
+
+    compute_cycles: int
+    useful_macs: int
+    occupied_mac_cycles: int
+    merge_vector_ops: int
+    mem_read_bytes: int
+    mem_write_bytes: int
+    noc_bytes: int
+    weight_bytes: int
+    tiles: int
+    k_tiles: int
+
+
+def map_gemm(
+    gemm: Gemm, arch: ArchView, opt: OptimizationConfig
+) -> GemmMapping:
+    """Map one GEMM onto every TU of the chip.
+
+    Dispatches on the TU's dataflow: weight stationary (TPU-style) or
+    output stationary (accumulate in place, re-stream operands).
+    """
+    if arch.dataflow is Dataflow.OUTPUT_STATIONARY:
+        return _map_output_stationary(gemm, arch, opt)
+    return _map_weight_stationary(gemm, arch, opt)
+
+
+def _map_weight_stationary(
+    gemm: Gemm, arch: ArchView, opt: OptimizationConfig
+) -> GemmMapping:
+    """Weight-stationary schedule: ``ceil(K/X) * ceil(N/X)`` tiles, each
+    streaming (a chunk of) the M rows.  When tiles are scarcer than TUs
+    and M is deep enough, tile passes split along M to keep TUs busy —
+    the paper's "sophisticated compiler and runtime software" advantage
+    that wimpy designs rely on.
+    """
+    x = arch.tu_rows
+    k_tiles = math.ceil(gemm.k / x)
+    n_tiles = math.ceil(gemm.n / x)
+    tiles = k_tiles * n_tiles
+
+    # Parallelism hierarchy: N tiles first, then M chunks, and only then
+    # splitting the K chain across TUs.  K chains that stay on one TU
+    # accumulate locally (in the TU's accumulator storage), which is how
+    # real systolic schedulers avoid spilling partial sums to Mem.
+    min_chunk = _MIN_M_CHUNK_FACTOR * x
+    if n_tiles < arch.tus and gemm.m > min_chunk:
+        chunks_per_tile = min(
+            math.ceil(arch.tus / n_tiles), math.ceil(gemm.m / min_chunk)
+        )
+    else:
+        chunks_per_tile = 1
+    n_parallel = n_tiles * chunks_per_tile
+    if n_parallel >= arch.tus:
+        k_parallel = 1
+    else:
+        k_parallel = min(k_tiles, math.ceil(arch.tus / n_parallel))
+    total_passes = tiles * chunks_per_tile
+    m_part = math.ceil(gemm.m / chunks_per_tile)
+
+    # Back-to-back tile streaming: with double buffering the drain of one
+    # pass overlaps the fill of the next, so the 2X fill/drain is paid once
+    # per TU work chain instead of once per pass.
+    fill_drain = 2 * x
+    weight_load = 0 if opt.double_buffering else x
+    per_pass = m_part + weight_load + opt.tile_overhead_cycles
+    if not opt.double_buffering:
+        per_pass += fill_drain
+    rounds = math.ceil(total_passes / arch.tus)
+    compute_cycles = rounds * per_pass + fill_drain
+
+    # Partial-sum merging on the vector path: only K chains split across
+    # TUs need merging; same-TU chains accumulate in place.
+    merge_ops = gemm.m * gemm.n * (k_parallel - 1)
+
+    # Inter-core traffic.  The scheduler prefers data parallelism: when M
+    # is deep enough to give every core its own row slice, activations
+    # stay core-local and partial sums merge inside the core.  Only the
+    # residue of cores that must share rows (model parallelism) pays
+    # broadcast and cross-core partial-sum traffic.
+    if arch.cores > 1:
+        m_parallelism = max(1, gemm.m // min_chunk)
+        data_parallel_cores = min(arch.cores, m_parallelism)
+        cross_fraction = (arch.cores - data_parallel_cores) / arch.cores
+        psum_noc = int(
+            gemm.m * gemm.n * _PSUM_BYTES * (k_parallel - 1) * cross_fraction
+        )
+        broadcast_noc = int(gemm.m * gemm.k * cross_fraction)
+        # Data-parallel M chunks replicate the weight tiles across cores:
+        # every replica beyond the first crosses the NoC.  This is the
+        # brawny-multicore weight-broadcast pressure the paper attributes
+        # to "longer and more power-hungry inter-core NoC".
+        weight_replicas = min(chunks_per_tile, arch.cores)
+        broadcast_noc += int(gemm.k * gemm.n * max(weight_replicas - 1, 0))
+    else:
+        psum_noc = 0
+        broadcast_noc = 0
+
+    # On-chip traffic: activations re-read once per reuse window of N
+    # tiles (intra-core multicast feeds TUs sharing a K slice); outputs
+    # written once, plus the cross-TU merge residue.
+    reuse = max(1, min(n_tiles, opt.activation_reuse_tiles))
+    act_reads = gemm.m * gemm.k * math.ceil(n_tiles / reuse)
+    merge_spill = gemm.m * gemm.n * _PSUM_BYTES * max(k_parallel - 1, 0)
+    mem_reads = act_reads + gemm.k * gemm.n + merge_spill
+    mem_writes = gemm.m * gemm.n + merge_spill
+
+    return GemmMapping(
+        compute_cycles=compute_cycles,
+        useful_macs=gemm.macs,
+        occupied_mac_cycles=total_passes * per_pass * x * x,
+        merge_vector_ops=merge_ops,
+        mem_read_bytes=int(mem_reads),
+        mem_write_bytes=int(mem_writes),
+        noc_bytes=psum_noc + broadcast_noc,
+        weight_bytes=gemm.k * gemm.n,
+        tiles=tiles,
+        k_tiles=k_tiles,
+    )
+
+
+def _map_output_stationary(
+    gemm: Gemm, arch: ArchView, opt: OptimizationConfig
+) -> GemmMapping:
+    """Output-stationary schedule.
+
+    Each pass pins an ``X x X`` output tile in the array's accumulators
+    and streams the full K reduction through it: no partial sums ever
+    leave the array (no merge work, no psum traffic), but operands are
+    re-streamed once per output tile in the other dimension — the classic
+    dual of weight stationary.
+    """
+    x = arch.tu_rows
+    m_tiles = math.ceil(gemm.m / x)
+    n_tiles = math.ceil(gemm.n / x)
+    passes = m_tiles * n_tiles
+
+    fill_drain = 2 * x
+    per_pass = gemm.k + opt.tile_overhead_cycles
+    if not opt.double_buffering:
+        per_pass += fill_drain  # output drain stalls the next pass
+    rounds = math.ceil(passes / arch.tus)
+    compute_cycles = rounds * per_pass + fill_drain
+
+    # Operand traffic: each output tile streams its operand panels; the
+    # reuse window caches a panel across consecutive tiles.
+    reuse = max(1, min(n_tiles, opt.activation_reuse_tiles))
+    a_reads = gemm.m * gemm.k * math.ceil(n_tiles / reuse)
+    b_reads = gemm.k * gemm.n * m_tiles
+    mem_reads = a_reads + b_reads
+    mem_writes = gemm.m * gemm.n
+
+    if arch.cores > 1:
+        min_chunk = _MIN_M_CHUNK_FACTOR * x
+        m_parallelism = max(1, gemm.m // min_chunk)
+        data_parallel_cores = min(arch.cores, m_parallelism)
+        cross_fraction = (arch.cores - data_parallel_cores) / arch.cores
+        broadcast_noc = int(gemm.m * gemm.k * cross_fraction)
+        weight_replicas = min(arch.cores, m_tiles)
+        broadcast_noc += int(
+            gemm.k * gemm.n * max(weight_replicas - 1, 0)
+        )
+    else:
+        broadcast_noc = 0
+
+    return GemmMapping(
+        compute_cycles=compute_cycles,
+        useful_macs=gemm.macs,
+        occupied_mac_cycles=passes * per_pass * x * x,
+        merge_vector_ops=0,
+        mem_read_bytes=int(mem_reads),
+        mem_write_bytes=int(mem_writes),
+        noc_bytes=broadcast_noc,
+        weight_bytes=gemm.k * gemm.n,
+        tiles=passes,
+        k_tiles=1,
+    )

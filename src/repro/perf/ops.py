@@ -1,0 +1,298 @@
+"""Operators of the computational-graph IR.
+
+Each operator knows its output shape, parameter count, and per-sample cost
+(MACs, vector ops, and — when it is matrix-shaped — the im2col GEMM
+dimensions the systolic mapping consumes).  Shapes are per-sample feature
+maps ``(height, width, channels)``; the batch dimension is applied by the
+simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Per-sample feature-map shape: (height, width, channels).
+Shape = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class Gemm:
+    """A dense matrix multiplication of (m x k) by (k x n)."""
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.k < 1 or self.n < 1:
+            raise ConfigurationError(f"invalid GEMM dims {self}")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+    def scaled_m(self, factor: int) -> "Gemm":
+        """The same GEMM with the row dimension scaled (batching)."""
+        return Gemm(self.m * factor, self.k, self.n)
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Per-sample cost of one operator.
+
+    Attributes:
+        macs: Multiply-accumulates on the tensor path.
+        vector_ops: Element operations on the vector path (activations,
+            pooling, eltwise, depthwise convolutions).
+        params_bytes: Weight bytes (int8 quantized unless stated).
+        input_bytes / output_bytes: Activation traffic per sample.
+        gemm: The im2col GEMM when the op maps onto a TU; ``None`` for
+            vector-path ops.
+    """
+
+    macs: int = 0
+    vector_ops: int = 0
+    params_bytes: int = 0
+    input_bytes: int = 0
+    output_bytes: int = 0
+    gemm: Optional[Gemm] = None
+
+
+def _conv_out(size: int, kernel: int, stride: int, same_pad: bool) -> int:
+    if same_pad:
+        return math.ceil(size / stride)
+    return (size - kernel) // stride + 1
+
+
+def _volume(shape: Shape) -> int:
+    h, w, c = shape
+    return h * w * c
+
+
+class Operator:
+    """Base operator interface."""
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        raise NotImplementedError
+
+    def cost(self, input_shape: Shape) -> OpCost:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Conv2d(Operator):
+    """Standard 2D convolution, mapped to a GEMM by im2col.
+
+    Attributes:
+        out_channels: Output feature maps.
+        kernel: Kernel height (and width unless ``kernel_w`` is given).
+        kernel_w: Kernel width for rectangular kernels (Inception's 1x7 /
+            7x1 factorized convolutions); ``None`` means square.
+        stride: Stride in both dimensions.
+        same_pad: SAME (True) or VALID (False) padding.
+        groups: Grouped convolution (AlexNet's two-GPU splits); the
+            reduction dimension sees ``c_in / groups`` channels.
+        weightless: The "weights" are activations produced at runtime
+            (attention score/context GEMMs); no parameter storage.
+    """
+
+    out_channels: int
+    kernel: int = 3
+    kernel_w: Optional[int] = None
+    stride: int = 1
+    same_pad: bool = True
+    groups: int = 1
+    weightless: bool = False
+
+    def __post_init__(self) -> None:
+        if self.out_channels < 1 or self.kernel < 1 or self.stride < 1:
+            raise ConfigurationError(f"invalid Conv2d {self}")
+        if self.kernel_w is not None and self.kernel_w < 1:
+            raise ConfigurationError(f"invalid kernel width in {self}")
+        if self.groups < 1 or self.out_channels % self.groups:
+            raise ConfigurationError(f"invalid groups in {self}")
+
+    @property
+    def _kw(self) -> int:
+        return self.kernel_w if self.kernel_w is not None else self.kernel
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        h, w, _ = input_shape
+        return (
+            _conv_out(h, self.kernel, self.stride, self.same_pad),
+            _conv_out(w, self._kw, self.stride, self.same_pad),
+            self.out_channels,
+        )
+
+    def cost(self, input_shape: Shape) -> OpCost:
+        _, _, c_in = input_shape
+        if c_in % self.groups:
+            raise ConfigurationError(
+                f"{c_in} input channels not divisible by {self.groups} groups"
+            )
+        oh, ow, _ = self.output_shape(input_shape)
+        k = self.kernel * self._kw * (c_in // self.groups)
+        gemm = Gemm(m=oh * ow * self.groups, k=k, n=self.out_channels // (
+            self.groups
+        ))
+        return OpCost(
+            macs=gemm.macs,
+            params_bytes=0 if self.weightless else k * self.out_channels,
+            input_bytes=_volume(input_shape),
+            output_bytes=oh * ow * self.out_channels,
+            gemm=gemm,
+        )
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2d(Operator):
+    """Depthwise convolution: one filter per channel (separable convs).
+
+    Runs on the vector path: each output element is a small K-tap dot
+    product with no cross-channel reduction, which maps poorly onto a 2D
+    systolic array (the paper's NasNet workload is full of these).
+    """
+
+    kernel: int = 3
+    stride: int = 1
+    same_pad: bool = True
+    multiplier: int = 1
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        h, w, c = input_shape
+        return (
+            _conv_out(h, self.kernel, self.stride, self.same_pad),
+            _conv_out(w, self.kernel, self.stride, self.same_pad),
+            c * self.multiplier,
+        )
+
+    def cost(self, input_shape: Shape) -> OpCost:
+        _, _, c = input_shape
+        oh, ow, oc = self.output_shape(input_shape)
+        taps = self.kernel * self.kernel
+        return OpCost(
+            vector_ops=oh * ow * oc * taps,
+            params_bytes=taps * c * self.multiplier,
+            input_bytes=_volume(input_shape),
+            output_bytes=oh * ow * oc,
+        )
+
+
+@dataclass(frozen=True)
+class Pool(Operator):
+    """Max/average pooling (vector path)."""
+
+    kernel: int = 2
+    stride: int = 2
+    same_pad: bool = True
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        h, w, c = input_shape
+        return (
+            _conv_out(h, self.kernel, self.stride, self.same_pad),
+            _conv_out(w, self.kernel, self.stride, self.same_pad),
+            c,
+        )
+
+    def cost(self, input_shape: Shape) -> OpCost:
+        oh, ow, c = self.output_shape(input_shape)
+        return OpCost(
+            vector_ops=oh * ow * c * self.kernel * self.kernel,
+            input_bytes=_volume(input_shape),
+            output_bytes=oh * ow * c,
+        )
+
+
+@dataclass(frozen=True)
+class GlobalPool(Operator):
+    """Global average pooling to 1x1."""
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        _, _, c = input_shape
+        return (1, 1, c)
+
+    def cost(self, input_shape: Shape) -> OpCost:
+        return OpCost(
+            vector_ops=_volume(input_shape),
+            input_bytes=_volume(input_shape),
+            output_bytes=input_shape[2],
+        )
+
+
+@dataclass(frozen=True)
+class Activation(Operator):
+    """Pointwise nonlinearity (+ folded batch norm), one pass per element."""
+
+    ops_per_element: int = 2
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def cost(self, input_shape: Shape) -> OpCost:
+        volume = _volume(input_shape)
+        return OpCost(
+            vector_ops=volume * self.ops_per_element,
+            input_bytes=volume,
+            output_bytes=volume,
+        )
+
+
+@dataclass(frozen=True)
+class Elementwise(Operator):
+    """Binary elementwise op (residual add); both inputs share the shape."""
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def cost(self, input_shape: Shape) -> OpCost:
+        volume = _volume(input_shape)
+        return OpCost(
+            vector_ops=volume,
+            input_bytes=2 * volume,
+            output_bytes=volume,
+        )
+
+
+@dataclass(frozen=True)
+class Concat(Operator):
+    """Channel concatenation (data movement only).
+
+    Attributes:
+        total_channels: Channel count after concatenation.
+    """
+
+    total_channels: int
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        h, w, _ = input_shape
+        return (h, w, self.total_channels)
+
+    def cost(self, input_shape: Shape) -> OpCost:
+        h, w, _ = input_shape
+        volume = h * w * self.total_channels
+        return OpCost(input_bytes=volume, output_bytes=volume)
+
+
+@dataclass(frozen=True)
+class MatMul(Operator):
+    """Fully-connected layer: (features) x (features, units)."""
+
+    units: int
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (1, 1, self.units)
+
+    def cost(self, input_shape: Shape) -> OpCost:
+        features = _volume(input_shape)
+        gemm = Gemm(m=1, k=features, n=self.units)
+        return OpCost(
+            macs=gemm.macs,
+            params_bytes=features * self.units,
+            input_bytes=features,
+            output_bytes=self.units,
+            gemm=gemm,
+        )

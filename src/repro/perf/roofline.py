@@ -1,0 +1,140 @@
+"""The Sec. IV sparse/dense roofline model, verbatim.
+
+The paper's equations::
+
+    t_d = max(t_d_comp, t_d_bw) = max(C / F, (S_V + S_W) / B)
+    t_s = max(t_s_comp, t_s_bw) = max(alpha * y * C / F,
+                                      (S_V + beta * x * S_W) / B)
+    gain = (TOPS/Watt)_s / (TOPS/Watt)_d = (Power_d * t_d) / (Power_s * t_s)
+
+where C is the dense MV's operations, S_V / S_W the vector / weight bytes,
+F the compute rate, B the memory bandwidth, x the non-zero ratio, y the
+compute-reduction factor from block/vector zero-skipping, alpha the sparse
+compute overhead (1.0: CSR decode overlaps compute), and beta the CSR
+storage expansion per retained weight byte (2.0-2.5 in the case study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RooflineInputs:
+    """Workload and machine parameters of the roofline model.
+
+    Attributes:
+        compute_ops: C — operations of the dense matrix-vector product.
+        vector_bytes: S_V — batched input/output vector bytes.
+        weight_bytes: S_W — dense weight-matrix bytes.
+        compute_ops_per_s: F — the accelerator's compute rate (ops/s).
+        bandwidth_bytes_per_s: B — memory bandwidth (bytes/s).
+    """
+
+    compute_ops: float
+    vector_bytes: float
+    weight_bytes: float
+    compute_ops_per_s: float
+    bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "compute_ops",
+            "vector_bytes",
+            "weight_bytes",
+            "compute_ops_per_s",
+            "bandwidth_bytes_per_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+
+@dataclass(frozen=True)
+class SparseRoofline:
+    """Roofline evaluator for one accelerator + SpMV microbenchmark.
+
+    Attributes:
+        inputs: Machine/workload parameters.
+        alpha: Sparse compute overhead (1.0 assumes CSR decode overlaps).
+        beta: CSR storage overhead factor on retained weights.
+    """
+
+    inputs: RooflineInputs
+    alpha: float = 1.0
+    beta: float = 2.25
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+        if self.beta < 1.0:
+            raise ConfigurationError("beta must be >= 1 (CSR adds overhead)")
+
+    # -- dense ------------------------------------------------------------
+
+    @property
+    def dense_compute_time_s(self) -> float:
+        return self.inputs.compute_ops / self.inputs.compute_ops_per_s
+
+    @property
+    def dense_bandwidth_time_s(self) -> float:
+        return (
+            self.inputs.vector_bytes + self.inputs.weight_bytes
+        ) / self.inputs.bandwidth_bytes_per_s
+
+    @property
+    def dense_time_s(self) -> float:
+        """t_d = max(t_d_comp, t_d_bw)."""
+        return max(self.dense_compute_time_s, self.dense_bandwidth_time_s)
+
+    def dense_compute_bound(self) -> bool:
+        """Whether the dense MV is compute (rather than bandwidth) bound."""
+        return self.dense_compute_time_s >= self.dense_bandwidth_time_s
+
+    # -- sparse ------------------------------------------------------------
+
+    def sparse_compute_time_s(self, y: float) -> float:
+        """t_s_comp = alpha * y * C / F."""
+        self._check_fraction("y", y)
+        return self.alpha * y * self.inputs.compute_ops / (
+            self.inputs.compute_ops_per_s
+        )
+
+    def sparse_bandwidth_time_s(self, x: float) -> float:
+        """t_s_bw = (S_V + beta * x * S_W) / B."""
+        self._check_fraction("x", x)
+        return (
+            self.inputs.vector_bytes + self.beta * x * self.inputs.weight_bytes
+        ) / self.inputs.bandwidth_bytes_per_s
+
+    def sparse_time_s(self, x: float, y: float) -> float:
+        """t_s = max(t_s_comp, t_s_bw)."""
+        return max(
+            self.sparse_compute_time_s(y), self.sparse_bandwidth_time_s(x)
+        )
+
+    def sparse_compute_bound(self, x: float, y: float) -> bool:
+        """Whether the SpMV is compute bound at this sparsity."""
+        return self.sparse_compute_time_s(y) >= (
+            self.sparse_bandwidth_time_s(x)
+        )
+
+    # -- efficiency gain ------------------------------------------------------
+
+    def energy_efficiency_gain(
+        self, x: float, y: float, power_dense_w: float, power_sparse_w: float
+    ) -> float:
+        """(TOPS/Watt)_s / (TOPS/Watt)_d = (P_d * t_d) / (P_s * t_s)."""
+        if power_dense_w <= 0 or power_sparse_w <= 0:
+            raise ConfigurationError("powers must be positive")
+        return (power_dense_w * self.dense_time_s) / (
+            power_sparse_w * self.sparse_time_s(x, y)
+        )
+
+    @staticmethod
+    def _check_fraction(name: str, value: float) -> None:
+        if not 0.0 < value <= 1.0:
+            raise ConfigurationError(
+                f"{name} must be in (0, 1], got {value}"
+            )

@@ -1,0 +1,114 @@
+"""Training-step estimation (the paper's declared future work).
+
+Sec. III: "While NeuroMeter models both training and inference
+accelerators, we focus on the inference accelerators in this paper and
+leave the study of training accelerators to future work."  This module
+supplies that study's missing half: a first-order training-step model on
+top of the inference simulator.
+
+A training step is modeled with the standard 1:2 forward:backward compute
+ratio (the backward pass runs one GEMM for the input gradients and one for
+the weight gradients per forward GEMM), plus the optimizer's weight-update
+traffic (read master weights + gradients, write updated weights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.perf.graph import Graph
+from repro.perf.simulator import SimulationResult, Simulator
+from repro.power.runtime import ActivityFactors
+from repro.units import GIGA, OPS_PER_MAC
+
+#: Backward-pass compute relative to forward (dX and dW GEMMs).
+_BACKWARD_COMPUTE_RATIO = 2.0
+
+#: Activation tensors saved in the forward pass are re-read backward.
+_ACTIVATION_REREAD_FACTOR = 1.0
+
+#: Bytes moved per parameter by the optimizer step (read weight + grad,
+#: write weight; fp32 master copies, int8/bf16 working copies).
+_OPTIMIZER_BYTES_PER_PARAM = 12.0
+
+
+@dataclass(frozen=True)
+class TrainingEstimate:
+    """First-order cost of one training step.
+
+    Attributes:
+        batch: Samples per step.
+        step_time_s: Wall-clock per step.
+        throughput_sps: Samples per second.
+        achieved_tops: Sustained compute rate over the step.
+        forward: The underlying forward-pass simulation.
+        optimizer_time_s: Time of the weight-update phase (bandwidth
+            bound, overlappable only partially).
+        activity: Activity factors for the runtime power model.
+    """
+
+    batch: int
+    step_time_s: float
+    throughput_sps: float
+    achieved_tops: float
+    forward: SimulationResult
+    optimizer_time_s: float
+    activity: ActivityFactors
+
+
+def estimate_training_step(
+    simulator: Simulator, graph: Graph, batch: int
+) -> TrainingEstimate:
+    """Estimate one training step of ``graph`` at ``batch``.
+
+    The forward pass is simulated exactly; the backward pass is scaled
+    from it (same operators, twice the GEMM volume, extra activation
+    re-reads); the optimizer pass streams every parameter through the
+    off-chip interface.
+    """
+    if batch < 1:
+        raise MappingError(f"batch must be >= 1, got {batch}")
+    forward = simulator.run(graph, batch)
+
+    backward_time_s = forward.latency_s * _BACKWARD_COMPUTE_RATIO * (
+        1.0 + 0.1 * _ACTIVATION_REREAD_FACTOR
+    )
+    params = graph.total_params_bytes()
+    optimizer_bytes = params * _OPTIMIZER_BYTES_PER_PARAM
+    offchip_gbps = simulator.arch.offchip_gbps
+    optimizer_time_s = optimizer_bytes / (offchip_gbps * GIGA)
+
+    # Half the optimizer traffic overlaps the tail of the backward pass.
+    step_time_s = (
+        forward.latency_s + backward_time_s + 0.5 * optimizer_time_s
+    )
+    total_macs = graph.total_macs() * batch * (
+        1.0 + _BACKWARD_COMPUTE_RATIO
+    )
+    achieved_tops = total_macs * OPS_PER_MAC / step_time_s / 1e12
+
+    forward_activity = forward.activity
+    scale = forward.latency_s * (1 + _BACKWARD_COMPUTE_RATIO) / step_time_s
+    activity = ActivityFactors(
+        tu_utilization=min(forward_activity.tu_utilization * scale, 1.0),
+        tu_occupancy=min(forward_activity.tu_occupancy * scale, 1.0),
+        vu_utilization=min(
+            forward_activity.vu_utilization * scale, 1.0
+        ),
+        su_activity=forward_activity.su_activity,
+        mem_read_gbps=forward_activity.mem_read_gbps * scale,
+        mem_write_gbps=forward_activity.mem_write_gbps * scale,
+        noc_gbps=forward_activity.noc_gbps * scale,
+        offchip_gbps=forward_activity.offchip_gbps * scale
+        + optimizer_bytes / step_time_s / GIGA,
+    )
+    return TrainingEstimate(
+        batch=batch,
+        step_time_s=step_time_s,
+        throughput_sps=batch / step_time_s,
+        achieved_tops=achieved_tops,
+        forward=forward,
+        optimizer_time_s=optimizer_time_s,
+        activity=activity,
+    )

@@ -1,0 +1,25 @@
+"""Runtime power analysis from workload activity factors."""
+
+from repro.power.runtime import (
+    ActivityFactors,
+    RuntimePowerReport,
+    runtime_power,
+)
+from repro.power.trace import (
+    TracePhase,
+    average_activity,
+    parse_trace,
+    trace_energy_j,
+    trace_power,
+)
+
+__all__ = [
+    "ActivityFactors",
+    "RuntimePowerReport",
+    "TracePhase",
+    "average_activity",
+    "parse_trace",
+    "runtime_power",
+    "trace_energy_j",
+    "trace_power",
+]

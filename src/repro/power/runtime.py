@@ -1,0 +1,217 @@
+"""Runtime power: chip power while running a specific workload.
+
+TDP answers "what must the package dissipate in the worst case"; runtime
+power answers "what does this model burn on this chip".  NeuroMeter takes
+per-component activity factors (from an external performance simulator —
+our :mod:`repro.perf` — or from published measurements, as in the Eyeriss
+validation of Fig. 5(c-d)) and combines them with the per-access energies
+of the architectural models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.chip import Chip
+from repro.arch.component import ModelContext
+from repro.errors import ConfigurationError
+from repro.tech import calibration
+from repro.units import dynamic_power_w
+
+#: Fraction of rated DRAM device power drawn with no traffic (refresh,
+#: clocking, background).
+_DRAM_IDLE_FRACTION = 0.2
+
+#: Fraction of full-array energy burned per occupied-but-useless MAC-cycle
+#: (pipeline fill/drain: operands move, results are not yet valid).
+_FILL_ENERGY_FRACTION = 0.6
+
+
+@dataclass(frozen=True)
+class ActivityFactors:
+    """Workload activity, as a performance simulator reports it.
+
+    All ``*_utilization`` values are the fraction of peak activity over the
+    measured window (compute: active MACs / total MACs / cycle); traffic is
+    in GB/s sustained over the window.
+
+    Attributes:
+        tu_utilization: Systolic-array MAC utilization in [0, 1].
+        tu_occupancy: Fraction of cycles the TU is clocked at all (idle
+            cycles below this are clock gated).
+        rt_utilization / vu_utilization: Same for RT and VU.
+        su_activity: Scalar-unit issue rate.
+        mem_read_gbps / mem_write_gbps: Aggregate on-chip Mem traffic.
+        noc_gbps: Aggregate traffic crossing the NoC.
+        offchip_gbps: Off-chip DRAM traffic.
+        vreg_utilization: VReg port activity; defaults to the TU/VU max.
+    """
+
+    tu_utilization: float = 0.0
+    tu_occupancy: float = 1.0
+    rt_utilization: float = 0.0
+    vu_utilization: float = 0.0
+    su_activity: float = 0.3
+    mem_read_gbps: float = 0.0
+    mem_write_gbps: float = 0.0
+    noc_gbps: float = 0.0
+    offchip_gbps: float = 0.0
+    vreg_utilization: float = -1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "tu_utilization",
+            "tu_occupancy",
+            "rt_utilization",
+            "vu_utilization",
+            "su_activity",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        for name in (
+            "mem_read_gbps",
+            "mem_write_gbps",
+            "noc_gbps",
+            "offchip_gbps",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    @property
+    def effective_vreg_utilization(self) -> float:
+        if self.vreg_utilization >= 0:
+            return min(self.vreg_utilization, 1.0)
+        return max(self.tu_utilization, self.vu_utilization)
+
+
+@dataclass(frozen=True)
+class RuntimePowerReport:
+    """Per-component runtime power in watts.
+
+    Attributes:
+        components: Dynamic watts per component label.
+        leakage_w: Whole-chip static power.
+    """
+
+    components: dict[str, float] = field(default_factory=dict)
+    leakage_w: float = 0.0
+
+    @property
+    def dynamic_w(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.leakage_w
+
+    def share(self, component: str) -> float:
+        """Fraction of total power drawn by one component."""
+        if self.total_w <= 0:
+            return 0.0
+        return self.components.get(component, 0.0) / self.total_w
+
+
+def runtime_power(
+    chip: Chip, ctx: ModelContext, activity: ActivityFactors
+) -> RuntimePowerReport:
+    """Runtime power of ``chip`` under ``activity``.
+
+    Clock-network overhead is amortized into each component (the paper does
+    the same, Sec. II-C); leakage is counted once for the whole chip from
+    the TDP estimate tree.
+    """
+    core = chip.core
+    cfg = chip.config
+    overhead = calibration.CLOCK_NETWORK_OVERHEAD
+    components: dict[str, float] = {}
+
+    if core.tensor_unit is not None:
+        per_tu = core.tensor_unit.energy_per_active_cycle_pj(ctx)
+        count = cfg.cores * cfg.core.tensor_units
+        active = dynamic_power_w(per_tu, ctx.freq_ghz) * (
+            activity.tu_utilization
+        )
+        # Fill/drain and stall cycles still clock the array with operands
+        # in flight — the energy waste that grows with TU length.
+        fill = (
+            dynamic_power_w(per_tu, ctx.freq_ghz)
+            * _FILL_ENERGY_FRACTION
+            * max(activity.tu_occupancy - activity.tu_utilization, 0.0)
+        )
+        components["tensor units"] = count * (active + fill)
+
+    if core.reduction_tree is not None:
+        per_rt = core.reduction_tree.energy_per_active_cycle_pj(ctx)
+        count = cfg.cores * cfg.core.reduction_trees
+        components["reduction trees"] = (
+            count
+            * dynamic_power_w(per_rt, ctx.freq_ghz)
+            * activity.rt_utilization
+        )
+
+    per_vu = core.vector_unit.energy_per_active_cycle_pj(ctx)
+    components["vector units"] = (
+        cfg.cores
+        * dynamic_power_w(per_vu, ctx.freq_ghz)
+        * activity.vu_utilization
+    )
+
+    per_vreg = core.vreg.energy_per_active_cycle_pj(ctx)
+    components["vector register files"] = (
+        cfg.cores
+        * dynamic_power_w(per_vreg, ctx.freq_ghz)
+        * activity.effective_vreg_utilization
+    )
+
+    if core.scalar_unit is not None:
+        per_su = core.scalar_unit.energy_per_active_cycle_pj(ctx)
+        components["scalar units"] = (
+            cfg.cores
+            * dynamic_power_w(per_su, ctx.freq_ghz)
+            * activity.su_activity
+        )
+
+    memory = core.memory(ctx)
+    block = memory.config.block_bytes
+    read_rate_ghz = activity.mem_read_gbps / block  # block accesses / ns
+    write_rate_ghz = activity.mem_write_gbps / block
+    components["on-chip memory"] = (
+        read_rate_ghz * memory.read_energy_pj(ctx)
+        + write_rate_ghz * memory.write_energy_pj(ctx)
+    ) * 1e-3 * overhead
+    for name, extra_cfg in cfg.core.extra_memories:
+        # Extra memories see traffic proportional to their configured
+        # bandwidth targets relative to the main Mem.
+        components.setdefault(name, 0.0)
+
+    if cfg.cores > 1:
+        noc = chip.noc(ctx)
+        components["network-on-chip"] = (
+            activity.noc_gbps * noc.energy_per_byte_pj(ctx) * 1e-3
+        )
+
+    leakage = chip.estimate(ctx).leakage_w
+    controller = chip.memory_controller()
+    if controller is not None:
+        interface_w = (
+            activity.offchip_gbps * controller.energy_per_byte_pj() * 1e-3
+        )
+        # DRAM device power scales with traffic on top of an idle floor;
+        # the rated (worst-case) draw only enters the TDP.
+        device_rated = controller.device_power_w()
+        if device_rated > 0:
+            peak_gbps = max(chip.config.offchip_bandwidth_gbps, 1e-9)
+            duty = min(activity.offchip_gbps / peak_gbps, 1.0)
+            interface_w += device_rated * (
+                _DRAM_IDLE_FRACTION
+                + (1.0 - _DRAM_IDLE_FRACTION) * duty
+            )
+            leakage -= device_rated  # rated draw was carried as static
+        components["off-chip interface"] = interface_w
+
+    return RuntimePowerReport(
+        components=components, leakage_w=max(leakage, 0.0)
+    )

@@ -1,0 +1,162 @@
+"""External activity-trace interface.
+
+The paper stresses that NeuroMeter "decouples the performance simulation
+from the architecture modeling, so that it can be flexibly paired with any
+external performance simulation framework" — runtime statistics flow in,
+runtime power flows out.  This module is that interface: it parses
+activity traces (JSON documents or plain dicts, one record per execution
+phase) produced by *any* external simulator, and reduces them to the
+activity factors and average power NeuroMeter's runtime model consumes.
+
+Trace schema (one record per phase)::
+
+    {"phases": [
+        {"name": "conv1", "duration_s": 1.2e-4,
+         "tu_utilization": 0.8, "mem_read_gbps": 300.0, ...},
+        ...
+    ]}
+
+Unknown keys are rejected (catching schema typos); missing keys take the
+:class:`~repro.power.runtime.ActivityFactors` defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence, Union
+
+from repro.arch.chip import Chip
+from repro.arch.component import ModelContext
+from repro.errors import ConfigurationError
+from repro.power.runtime import (
+    ActivityFactors,
+    RuntimePowerReport,
+    runtime_power,
+)
+
+_ACTIVITY_FIELDS = {
+    field.name for field in dataclasses.fields(ActivityFactors)
+}
+
+
+@dataclass(frozen=True)
+class TracePhase:
+    """One phase of an external trace: how long, and how busy.
+
+    Attributes:
+        name: Phase label (layer, kernel, ...).
+        duration_s: Wall-clock duration of the phase.
+        activity: Per-component activity during the phase.
+    """
+
+    name: str
+    duration_s: float
+    activity: ActivityFactors
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError(
+                f"phase {self.name!r} needs a positive duration"
+            )
+
+
+def parse_trace(
+    document: Union[str, Mapping, Path]
+) -> list[TracePhase]:
+    """Parse a trace document into phases.
+
+    Accepts a JSON string, a pre-parsed mapping, or a path to a JSON file.
+    """
+    if isinstance(document, Path):
+        document = document.read_text()
+    if isinstance(document, str):
+        try:
+            document = json.loads(document)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"trace is not valid JSON: {error}"
+            ) from error
+    if not isinstance(document, Mapping) or "phases" not in document:
+        raise ConfigurationError(
+            "a trace document needs a top-level 'phases' list"
+        )
+    phases = []
+    for index, record in enumerate(document["phases"]):
+        if "duration_s" not in record:
+            raise ConfigurationError(
+                f"trace phase #{index} is missing 'duration_s'"
+            )
+        name = record.get("name", f"phase{index}")
+        activity_keys = {
+            key: value
+            for key, value in record.items()
+            if key not in ("name", "duration_s")
+        }
+        unknown = set(activity_keys) - _ACTIVITY_FIELDS
+        if unknown:
+            raise ConfigurationError(
+                f"trace phase {name!r} has unknown fields: "
+                f"{sorted(unknown)}"
+            )
+        phases.append(
+            TracePhase(
+                name=name,
+                duration_s=float(record["duration_s"]),
+                activity=ActivityFactors(**activity_keys),
+            )
+        )
+    if not phases:
+        raise ConfigurationError("trace contains no phases")
+    return phases
+
+
+def average_activity(phases: Sequence[TracePhase]) -> ActivityFactors:
+    """Time-weighted average of the phases' activity factors."""
+    if not phases:
+        raise ConfigurationError("cannot average an empty trace")
+    total = sum(phase.duration_s for phase in phases)
+
+    def mean(field_name: str) -> float:
+        return (
+            sum(
+                getattr(phase.activity, field_name) * phase.duration_s
+                for phase in phases
+            )
+            / total
+        )
+
+    return ActivityFactors(
+        **{name: mean(name) for name in _ACTIVITY_FIELDS}
+    )
+
+
+def trace_power(
+    chip: Chip,
+    ctx: ModelContext,
+    phases: Sequence[TracePhase],
+) -> tuple[RuntimePowerReport, dict[str, float]]:
+    """Average runtime power over a trace, plus per-phase totals.
+
+    Returns:
+        The time-weighted average report, and a per-phase map of total
+        watts (for phase-level energy accounting).
+    """
+    per_phase = {
+        phase.name: runtime_power(chip, ctx, phase.activity).total_w
+        for phase in phases
+    }
+    average = runtime_power(chip, ctx, average_activity(phases))
+    return average, per_phase
+
+
+def trace_energy_j(
+    chip: Chip, ctx: ModelContext, phases: Sequence[TracePhase]
+) -> float:
+    """Total energy of the traced execution."""
+    return sum(
+        runtime_power(chip, ctx, phase.activity).total_w * phase.duration_s
+        for phase in phases
+    )

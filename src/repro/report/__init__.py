@@ -1,0 +1,15 @@
+"""Plain-text reporting of estimate trees and study tables."""
+
+from repro.report.tables import (
+    breakdown_table,
+    comparison_table,
+    format_table,
+    share_ring,
+)
+
+__all__ = [
+    "breakdown_table",
+    "comparison_table",
+    "format_table",
+    "share_ring",
+]

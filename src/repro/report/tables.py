@@ -1,0 +1,108 @@
+"""Text rendering of breakdowns and study tables.
+
+The benchmark harness prints the same rows/series the paper's figures
+show; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.arch.component import Estimate
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a fixed-width text table."""
+    columns = [
+        [str(header)] + [str(row[index]) for row in rows]
+        for index, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                str(cell).ljust(width) for cell, width in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def breakdown_table(
+    estimate: Estimate, depth: int = 2, indent: str = "  "
+) -> str:
+    """Per-component area/power table of an estimate tree."""
+    rows: list[list[object]] = []
+
+    def visit(node: Estimate, level: int) -> None:
+        rows.append(
+            [
+                indent * level + node.name,
+                f"{node.area_mm2:.2f}",
+                f"{node.dynamic_w:.2f}",
+                f"{node.leakage_w:.3f}",
+                f"{node.cycle_time_ns:.3f}",
+            ]
+        )
+        if level < depth:
+            for child in node.children:
+                visit(child, level + 1)
+
+    visit(estimate, 0)
+    return format_table(
+        ["component", "area (mm^2)", "dynamic (W)", "leakage (W)", "cycle (ns)"],
+        rows,
+    )
+
+
+def share_ring(
+    estimate: Estimate, metric: str = "area", top: Optional[int] = None
+) -> str:
+    """The paper's ring-chart content as a text list of shares."""
+    if metric == "area":
+        shares = estimate.area_shares()
+    elif metric == "power":
+        shares = estimate.power_shares()
+    else:
+        raise ValueError(f"unknown metric {metric!r} (use 'area'/'power')")
+    ordered = sorted(shares.items(), key=lambda item: -item[1])
+    if top is not None:
+        ordered = ordered[:top]
+    return "\n".join(
+        f"  {name:<28s} {share:6.1%}" for name, share in ordered
+    )
+
+
+def comparison_table(
+    label: str,
+    modeled: dict[str, float],
+    published: dict[str, float],
+    unit: str = "",
+) -> str:
+    """Modeled-vs-published rows with relative errors."""
+    rows = []
+    for key in modeled:
+        model_value = modeled[key]
+        pub_value = published.get(key)
+        if pub_value in (None, 0):
+            rows.append([key, f"{model_value:.3g}{unit}", "n/a", "n/a"])
+        else:
+            error = (model_value - pub_value) / pub_value
+            rows.append(
+                [
+                    key,
+                    f"{model_value:.3g}{unit}",
+                    f"{pub_value:.3g}{unit}",
+                    f"{error:+.1%}",
+                ]
+            )
+    return f"{label}\n" + format_table(
+        ["quantity", "modeled", "published", "error"], rows
+    )

@@ -1,0 +1,35 @@
+"""Sparse-workload substrate: CSR encoding, zero layouts, zero-skipping.
+
+Implements the Sec. IV microbenchmark machinery: the tiled CSR format and
+its storage overhead (beta), synthetic sparse-matrix generators with
+controllable zero clustering, and the block/vector zero-skipping models
+that produce the compute-reduction factor y.
+"""
+
+from repro.sparse.csr import TiledCsrMatrix, csr_beta, encode_tiled_csr
+from repro.sparse.distributions import (
+    ZeroLayout,
+    clustered_sparse_matrix,
+    uniform_sparse_matrix,
+)
+from repro.sparse.skipping import (
+    block_skip_compute_factor,
+    measured_block_skip_factor,
+    vector_skip_compute_factor,
+)
+from repro.sparse.spmv_kernel import SpmvExecution, dense_reference, spmv
+
+__all__ = [
+    "TiledCsrMatrix",
+    "ZeroLayout",
+    "block_skip_compute_factor",
+    "clustered_sparse_matrix",
+    "csr_beta",
+    "encode_tiled_csr",
+    "measured_block_skip_factor",
+    "SpmvExecution",
+    "dense_reference",
+    "spmv",
+    "uniform_sparse_matrix",
+    "vector_skip_compute_factor",
+]

@@ -1,0 +1,90 @@
+"""Synthetic sparse-weight generators with controllable zero clustering.
+
+Sec. IV's y (the compute-reduction factor) "is determined by the non-zero
+ratio x and the distribution of zero elements."  The generators here place
+non-zeros either uniformly at random or in aligned square clusters — the
+structured layout magnitude-pruning at channel/group granularity produces,
+and the one the case study's block-wise zero-skipping relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Side of the aligned square zero/non-zero clusters (4x4 = 16 elements),
+#: the pruning granularity assumed by the Fig. 11 microbenchmark.  Finer
+#: than any skip block, so low sparsity yields little block-skipping (the
+#: paper's observation) and the TU8/RT64 transition lands near 0.9.
+CLUSTER_SIDE = 4
+
+#: Elements per cluster.
+CLUSTER_ELEMS = CLUSTER_SIDE * CLUSTER_SIDE
+
+
+class ZeroLayout(enum.Enum):
+    """How zeros are distributed across the weight matrix."""
+
+    UNIFORM = "uniform"
+    CLUSTERED = "clustered"
+
+
+def _check_shape(rows: int, cols: int, density: float) -> None:
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("matrix must be at least 1x1")
+    if not 0.0 <= density <= 1.0:
+        raise ConfigurationError(
+            f"density (non-zero ratio) must be in [0, 1], got {density}"
+        )
+
+
+def uniform_sparse_matrix(
+    rows: int,
+    cols: int,
+    density: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """int8 matrix with element-wise i.i.d. non-zeros at ``density``."""
+    _check_shape(rows, cols, density)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    mask = rng.random((rows, cols)) < density
+    values = rng.integers(1, 127, size=(rows, cols), dtype=np.int8)
+    return np.where(mask, values, np.int8(0))
+
+
+def clustered_sparse_matrix(
+    rows: int,
+    cols: int,
+    density: float,
+    rng: Optional[np.random.Generator] = None,
+    cluster_side: int = CLUSTER_SIDE,
+) -> np.ndarray:
+    """int8 matrix whose non-zeros occupy whole aligned clusters.
+
+    Aligned ``cluster_side x cluster_side`` tiles are kept (dense) with
+    probability ``density`` and zeroed otherwise — group-pruned weights.
+    The realized density converges to ``density`` as the matrix grows.
+    """
+    _check_shape(rows, cols, density)
+    if cluster_side < 1:
+        raise ConfigurationError("cluster side must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    tiles_down = math.ceil(rows / cluster_side)
+    tiles_across = math.ceil(cols / cluster_side)
+    keep = rng.random((tiles_down, tiles_across)) < density
+    mask = np.kron(keep, np.ones((cluster_side, cluster_side), dtype=bool))
+    mask = mask[:rows, :cols]
+    values = rng.integers(1, 127, size=(rows, cols), dtype=np.int8)
+    return np.where(mask, values, np.int8(0))
+
+
+def realized_density(matrix: np.ndarray) -> float:
+    """Fraction of non-zero elements in a matrix."""
+    if matrix.size == 0:
+        return 0.0
+    return float(np.count_nonzero(matrix)) / matrix.size

@@ -1,0 +1,97 @@
+"""Zero-skipping models: the compute-reduction factor y of Sec. IV.
+
+"The systolic array based TU conducts block-wise zero-skipping ... if the
+zero elements form a block of the size of the TU's systolic array and
+align on the array loading boundary, then this all-zero block can be
+skipped."  Reduction trees skip at their (1D) vector granularity instead.
+
+With zeros clustered at granularity ``g`` (elements) and a skip block of
+``b`` elements, a block is skippable iff all of its ``b / g`` clusters are
+zero, so ``y = 1 - (1 - x) ** (b / g)`` — equal to x when the block matches
+the pruning granularity, and near 1 for blocks much coarser than it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sparse.distributions import CLUSTER_ELEMS, ZeroLayout
+
+
+def _check_x(x: float) -> None:
+    if not 0.0 < x <= 1.0:
+        raise ConfigurationError(f"non-zero ratio must be in (0, 1]: {x}")
+
+
+def block_skip_compute_factor(
+    x: float,
+    block_elems: int,
+    layout: ZeroLayout = ZeroLayout.CLUSTERED,
+    cluster_elems: int = CLUSTER_ELEMS,
+) -> float:
+    """y for a 2D skip block of ``block_elems`` elements (TU X*X).
+
+    Args:
+        x: Non-zero ratio of the weight matrix.
+        block_elems: Elements per skippable block.
+        layout: Zero distribution; uniform zeros make large-block skipping
+            hopeless (every element must be zero independently).
+        cluster_elems: Pruning granularity of the clustered layout.
+    """
+    _check_x(x)
+    if block_elems < 1:
+        raise ConfigurationError("block must have >= 1 element")
+    if layout is ZeroLayout.UNIFORM:
+        independent = block_elems
+    else:
+        independent = max(1.0, block_elems / cluster_elems)
+    skip_probability = (1.0 - x) ** independent
+    return 1.0 - skip_probability
+
+
+def vector_skip_compute_factor(
+    x: float,
+    vector_elems: int,
+    layout: ZeroLayout = ZeroLayout.CLUSTERED,
+    cluster_elems: int = CLUSTER_ELEMS,
+) -> float:
+    """y for a reduction tree skipping whole ``vector_elems`` input groups.
+
+    RTs map flexibly (Sec. II-A), so a 64-input RT consumes one aligned
+    64-element cluster per group — the same expression as the 2D block
+    case with the RT's fan-in as the block size.
+    """
+    return block_skip_compute_factor(
+        x, vector_elems, layout=layout, cluster_elems=cluster_elems
+    )
+
+
+def measured_block_skip_factor(
+    matrix: np.ndarray, block_rows: int, block_cols: int
+) -> float:
+    """Empirical y: fraction of aligned blocks that are *not* all-zero.
+
+    Counts compute actually performed by block-wise skipping on a concrete
+    matrix — the ground truth the analytic factors approximate.
+    """
+    if matrix.ndim != 2:
+        raise ConfigurationError("need a 2D matrix")
+    if block_rows < 1 or block_cols < 1:
+        raise ConfigurationError("block dims must be >= 1")
+    rows, cols = matrix.shape
+    blocks_down = math.ceil(rows / block_rows)
+    blocks_across = math.ceil(cols / block_cols)
+    nonzero_blocks = 0
+    for i in range(blocks_down):
+        for j in range(blocks_across):
+            block = matrix[
+                i * block_rows : (i + 1) * block_rows,
+                j * block_cols : (j + 1) * block_cols,
+            ]
+            if np.any(block):
+                nonzero_blocks += 1
+    total = blocks_down * blocks_across
+    return nonzero_blocks / total if total else 0.0

@@ -1,0 +1,18 @@
+"""Technology backend: per-node device, memory-cell, and wire parameters.
+
+This package plays the role FreePDK/ITRS tables play for CACTI and McPAT:
+it supplies the voltage, capacitance, resistance, cell-size, and leakage
+numbers that the circuit-level models in :mod:`repro.circuit` consume.
+"""
+
+from repro.tech.node import TechNode, available_nodes, node
+from repro.tech.wire import WireParams, WireType, repeated_wire_delay_ns
+
+__all__ = [
+    "TechNode",
+    "WireParams",
+    "WireType",
+    "available_nodes",
+    "node",
+    "repeated_wire_delay_ns",
+]

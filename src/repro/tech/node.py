@@ -1,0 +1,263 @@
+"""Technology-node parameter tables and inter-node scaling.
+
+The tables below are representative planar/FinFET bulk-CMOS values assembled
+from public sources (ITRS roadmaps, CACTI/McPAT technology files, and the
+per-operation energy survey of Horowitz, ISSCC 2014).  They are the
+reproduction's substitute for the FreePDK-based backends the paper uses; see
+DESIGN.md for the substitution rationale.  All downstream case-study results
+depend on *ratios* between designs at a fixed node, which these tables
+preserve.
+
+Canonical units follow :mod:`repro.units` (fJ, fF, ohm, um^2, nW, ps).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import TechnologyError
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """Device and memory-cell parameters for one technology node.
+
+    Attributes:
+        feature_nm: Drawn feature size in nanometres (65, 45, 28, 16, 7).
+        vdd_v: Nominal supply voltage.
+        fo4_ps: Fanout-of-4 inverter delay, the canonical logic-speed unit.
+        gate_area_um2: Area of one NAND2-equivalent standard-cell gate.
+        gate_cap_ff: Input capacitance of a minimum-size inverter.
+        gate_energy_fj: Switching energy of one gate-equivalent per toggle
+            at nominal Vdd.
+        gate_leak_nw: Average leakage power per gate-equivalent (mix of
+            threshold flavours typical of a power-constrained accelerator).
+        sram_cell_um2: 6T SRAM bit-cell area.
+        sram_cell_cap_ff: Bit-cell drain load presented to the bitline.
+        sram_bit_leak_nw: Leakage per SRAM bit (low-leak array flavour).
+        edram_cell_um2: 1T1C eDRAM bit-cell area.
+        edram_refresh_nw_per_bit: Average refresh power per eDRAM bit.
+        dff_area_um2: Standard-cell D-flip-flop area per bit.
+        dff_energy_fj: D-flip-flop energy per clock edge per bit.
+        dff_leak_nw: D-flip-flop leakage per bit.
+    """
+
+    feature_nm: float
+    vdd_v: float
+    fo4_ps: float
+    gate_area_um2: float
+    gate_cap_ff: float
+    gate_energy_fj: float
+    gate_leak_nw: float
+    sram_cell_um2: float
+    sram_cell_cap_ff: float
+    sram_bit_leak_nw: float
+    edram_cell_um2: float
+    edram_refresh_nw_per_bit: float
+    dff_area_um2: float
+    dff_energy_fj: float
+    dff_leak_nw: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "feature_nm",
+            "vdd_v",
+            "fo4_ps",
+            "gate_area_um2",
+            "gate_cap_ff",
+            "gate_energy_fj",
+            "sram_cell_um2",
+            "dff_area_um2",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise TechnologyError(
+                    f"{field_name} must be positive for a technology node"
+                )
+
+    @property
+    def name(self) -> str:
+        """Human-readable node name, e.g. ``'28nm'``."""
+        if float(self.feature_nm).is_integer():
+            return f"{int(self.feature_nm)}nm"
+        return f"{self.feature_nm:g}nm"
+
+    def at_voltage(self, vdd_v: float) -> "TechNode":
+        """Return a copy operating at a different supply voltage.
+
+        Dynamic energy scales with ``V^2``; gate delay scales roughly with
+        the alpha-power law (alpha ~= 1.3 near nominal); leakage scales
+        linearly with ``V`` (a first-order DIBL-free approximation).
+        """
+        if vdd_v <= 0:
+            raise TechnologyError(f"vdd must be positive, got {vdd_v}")
+        ratio = vdd_v / self.vdd_v
+        energy = ratio**2
+        delay = 1.0 / (ratio**1.3)
+        leak = ratio
+        return replace(
+            self,
+            vdd_v=vdd_v,
+            fo4_ps=self.fo4_ps * delay,
+            gate_energy_fj=self.gate_energy_fj * energy,
+            gate_leak_nw=self.gate_leak_nw * leak,
+            sram_bit_leak_nw=self.sram_bit_leak_nw * leak,
+            edram_refresh_nw_per_bit=self.edram_refresh_nw_per_bit * leak,
+            dff_energy_fj=self.dff_energy_fj * energy,
+            dff_leak_nw=self.dff_leak_nw * leak,
+        )
+
+    def energy_scale_from(self, reference: "TechNode") -> float:
+        """Dynamic-energy ratio of this node relative to ``reference``.
+
+        Used by the empirical MAC model, whose coefficients are anchored at
+        45 nm, to scale energies with ``C * V^2`` (capacitance tracks the
+        gate-energy tables directly).
+        """
+        return self.gate_energy_fj / reference.gate_energy_fj
+
+    def area_scale_from(self, reference: "TechNode") -> float:
+        """Logic-area ratio of this node relative to ``reference``."""
+        return self.gate_area_um2 / reference.gate_area_um2
+
+    def delay_scale_from(self, reference: "TechNode") -> float:
+        """Logic-delay ratio of this node relative to ``reference``."""
+        return self.fo4_ps / reference.fo4_ps
+
+
+# Calibrated parameter tables.  Sources noted in the module docstring; the
+# gate/DFF leakage entries are tuned so whole-chip leakage lands in the
+# 10-20%-of-TDP band typical of the validation chips.
+_NODE_TABLE = {
+    65: TechNode(
+        feature_nm=65,
+        vdd_v=1.1,
+        fo4_ps=25.0,
+        gate_area_um2=1.80,
+        gate_cap_ff=1.8,
+        gate_energy_fj=3.20,
+        gate_leak_nw=10.0,
+        sram_cell_um2=0.525,
+        sram_cell_cap_ff=0.050,
+        sram_bit_leak_nw=4.0,
+        edram_cell_um2=0.21,
+        edram_refresh_nw_per_bit=0.012,
+        dff_area_um2=13.0,
+        dff_energy_fj=18.0,
+        dff_leak_nw=30.0,
+    ),
+    45: TechNode(
+        feature_nm=45,
+        vdd_v=1.0,
+        fo4_ps=17.0,
+        gate_area_um2=0.90,
+        gate_cap_ff=1.1,
+        gate_energy_fj=1.70,
+        gate_leak_nw=7.0,
+        sram_cell_um2=0.245,
+        sram_cell_cap_ff=0.035,
+        sram_bit_leak_nw=3.0,
+        edram_cell_um2=0.10,
+        edram_refresh_nw_per_bit=0.009,
+        dff_area_um2=6.5,
+        dff_energy_fj=10.0,
+        dff_leak_nw=21.0,
+    ),
+    28: TechNode(
+        feature_nm=28,
+        vdd_v=0.90,
+        fo4_ps=11.0,
+        gate_area_um2=0.45,
+        gate_cap_ff=0.70,
+        gate_energy_fj=0.85,
+        gate_leak_nw=5.0,
+        sram_cell_um2=0.127,
+        sram_cell_cap_ff=0.025,
+        sram_bit_leak_nw=2.0,
+        edram_cell_um2=0.050,
+        edram_refresh_nw_per_bit=0.006,
+        dff_area_um2=3.2,
+        dff_energy_fj=5.0,
+        dff_leak_nw=15.0,
+    ),
+    16: TechNode(
+        feature_nm=16,
+        vdd_v=0.80,
+        fo4_ps=7.5,
+        gate_area_um2=0.20,
+        gate_cap_ff=0.45,
+        gate_energy_fj=0.42,
+        gate_leak_nw=3.0,
+        sram_cell_um2=0.074,
+        sram_cell_cap_ff=0.018,
+        sram_bit_leak_nw=1.2,
+        edram_cell_um2=0.028,
+        edram_refresh_nw_per_bit=0.004,
+        dff_area_um2=1.6,
+        dff_energy_fj=2.6,
+        dff_leak_nw=9.0,
+    ),
+    7: TechNode(
+        feature_nm=7,
+        vdd_v=0.70,
+        fo4_ps=4.5,
+        gate_area_um2=0.080,
+        gate_cap_ff=0.28,
+        gate_energy_fj=0.18,
+        gate_leak_nw=1.8,
+        sram_cell_um2=0.032,
+        sram_cell_cap_ff=0.012,
+        sram_bit_leak_nw=0.7,
+        edram_cell_um2=0.014,
+        edram_refresh_nw_per_bit=0.0025,
+        dff_area_um2=0.70,
+        dff_energy_fj=1.2,
+        dff_leak_nw=5.4,
+    ),
+}
+
+#: The node the empirical MAC coefficients are anchored at (Horowitz '14).
+REFERENCE_NODE_NM = 45
+
+
+def available_nodes() -> tuple[int, ...]:
+    """Technology nodes with first-class parameter tables."""
+    return tuple(sorted(_NODE_TABLE, reverse=True))
+
+
+def node(feature_nm: float) -> TechNode:
+    """Look up (or interpolate) the parameters for a technology node.
+
+    Tabulated nodes (65/45/28/16/7 nm) are returned directly.  Intermediate
+    feature sizes are produced by log-log interpolation between the two
+    bracketing tabulated nodes, which matches the roughly geometric scaling
+    of all tabulated quantities.
+    """
+    if feature_nm in _NODE_TABLE:
+        return _NODE_TABLE[int(feature_nm)]
+    nodes = sorted(_NODE_TABLE)
+    if not nodes[0] <= feature_nm <= nodes[-1]:
+        raise TechnologyError(
+            f"technology node {feature_nm} nm is outside the supported "
+            f"range [{nodes[0]}, {nodes[-1]}] nm"
+        )
+    lo = max(n for n in nodes if n < feature_nm)
+    hi = min(n for n in nodes if n > feature_nm)
+    return _interpolate(_NODE_TABLE[lo], _NODE_TABLE[hi], feature_nm)
+
+
+def _interpolate(lo: TechNode, hi: TechNode, feature_nm: float) -> TechNode:
+    """Log-log interpolate every numeric field between two tabulated nodes."""
+    frac = (math.log(feature_nm) - math.log(lo.feature_nm)) / (
+        math.log(hi.feature_nm) - math.log(lo.feature_nm)
+    )
+
+    def mix(a: float, b: float) -> float:
+        return math.exp(math.log(a) * (1 - frac) + math.log(b) * frac)
+
+    fields = {
+        name: mix(getattr(lo, name), getattr(hi, name))
+        for name in TechNode.__dataclass_fields__
+        if name != "feature_nm"
+    }
+    return TechNode(feature_nm=feature_nm, **fields)

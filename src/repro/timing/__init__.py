@@ -1,0 +1,21 @@
+"""Chip timing: clock-rate search and critical-path reporting."""
+
+from repro.timing.clock import (
+    ClockPlan,
+    critical_path,
+    frequency_for_tops,
+    max_frequency_ghz,
+    plan_clock,
+)
+from repro.timing.report import TimingEntry, timing_entries, timing_report
+
+__all__ = [
+    "ClockPlan",
+    "TimingEntry",
+    "critical_path",
+    "frequency_for_tops",
+    "max_frequency_ghz",
+    "plan_clock",
+    "timing_entries",
+    "timing_report",
+]

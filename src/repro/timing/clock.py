@@ -1,0 +1,134 @@
+"""Clock-rate optimization and critical-path reporting.
+
+NeuroMeter takes a system-level performance target (peak TOPS) and
+"automatically searches for the optimal clock rate" (Sec. I): the lowest
+clock that reaches the target, bounded by the slowest component's cycle
+time from the Elmore-based timing analysis.  This module implements that
+search and reports which component limits the clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.chip import Chip
+from repro.arch.component import Estimate, ModelContext
+from repro.errors import OptimizationError
+from repro.tech.node import TechNode
+from repro.units import KILO, OPS_PER_MAC
+
+_MAX_SEARCH_GHZ = 5.0
+_SEARCH_TOLERANCE_GHZ = 0.005
+
+
+@dataclass(frozen=True)
+class ClockPlan:
+    """Result of the clock search.
+
+    Attributes:
+        freq_ghz: Chosen clock rate.
+        peak_tops: Peak TOPS at that clock.
+        limited_by: Name of the component bounding the clock (``None``
+            when the target was reachable with slack).
+        slack_ns: Cycle-time slack at the chosen clock.
+    """
+
+    freq_ghz: float
+    peak_tops: float
+    limited_by: Optional[str]
+    slack_ns: float
+
+
+def frequency_for_tops(macs_per_cycle: int, target_tops: float) -> float:
+    """Clock rate (GHz) needed for ``target_tops`` at a MAC throughput."""
+    if macs_per_cycle <= 0:
+        raise OptimizationError("design has no MAC throughput")
+    if target_tops <= 0:
+        raise OptimizationError("TOPS target must be positive")
+    return target_tops * KILO / (OPS_PER_MAC * macs_per_cycle)
+
+
+def critical_path(estimate: Estimate) -> tuple[str, float]:
+    """The slowest component and its cycle time in ns."""
+    worst = max(estimate.walk(), key=lambda e: e.cycle_time_ns)
+    return worst.name, worst.cycle_time_ns
+
+
+def max_frequency_ghz(chip: Chip, tech: TechNode) -> float:
+    """Highest clock the chip's slowest component supports.
+
+    The estimate itself depends on the clock (the Mem optimizer retunes
+    banking per frequency), so the bound is found by bisection on
+    "cycle time at f fits 1/f".
+    """
+
+    def feasible(freq_ghz: float) -> bool:
+        ctx = ModelContext(tech=tech, freq_ghz=freq_ghz)
+        try:
+            estimate = chip.estimate(ctx)
+        except OptimizationError:
+            return False
+        return estimate.cycle_time_ns <= 1.0 / freq_ghz + 1e-12
+
+    lo, hi = 0.05, _MAX_SEARCH_GHZ
+    if not feasible(lo):
+        raise OptimizationError(
+            "chip cannot close timing even at 50 MHz; check the configuration"
+        )
+    while hi - lo > _SEARCH_TOLERANCE_GHZ:
+        mid = (lo + hi) / 2.0
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def plan_clock(
+    chip: Chip,
+    tech: TechNode,
+    target_tops: Optional[float] = None,
+    freq_cap_ghz: Optional[float] = None,
+) -> ClockPlan:
+    """Pick the clock for a chip: the TOPS target if reachable, else fail.
+
+    Args:
+        chip: The chip under design.
+        tech: Technology node.
+        target_tops: Desired peak TOPS; ``None`` runs the chip at its
+            maximum feasible clock (capped by ``freq_cap_ghz``).
+        freq_cap_ghz: Optional upper bound (e.g. Table I's 700 MHz).
+
+    Raises:
+        OptimizationError: the target TOPS needs a clock the hardware
+            cannot close timing at.
+    """
+    ceiling = max_frequency_ghz(chip, tech)
+    if freq_cap_ghz is not None:
+        ceiling = min(ceiling, freq_cap_ghz)
+
+    if target_tops is None:
+        freq = ceiling
+    else:
+        freq = frequency_for_tops(chip.config.macs_per_cycle, target_tops)
+        if freq > ceiling + 1e-9:
+            name, cycle = critical_path(
+                chip.estimate(ModelContext(tech=tech, freq_ghz=ceiling))
+            )
+            raise OptimizationError(
+                f"{target_tops:.1f} TOPS needs {freq:.3f} GHz but "
+                f"{name!r} limits the clock to {ceiling:.3f} GHz "
+                f"(cycle {cycle:.3f} ns)"
+            )
+
+    ctx = ModelContext(tech=tech, freq_ghz=freq)
+    estimate = chip.estimate(ctx)
+    limiter, cycle = critical_path(estimate)
+    slack = 1.0 / freq - estimate.cycle_time_ns
+    return ClockPlan(
+        freq_ghz=freq,
+        peak_tops=chip.config.peak_tops(freq),
+        limited_by=limiter if slack < 0.05 / freq else None,
+        slack_ns=slack,
+    )

@@ -1,0 +1,100 @@
+"""Critical-path reporting.
+
+The paper: NeuroMeter "outputs the timing information of the electrical
+signal propagation delay (e.g., Elmore Delay) and the cycle time per
+component to help the user find out the hardware critical path."  This
+module turns an estimate tree into exactly that report: every
+clock-constraining component, its cycle time, and its slack against a
+target clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.component import Estimate
+from repro.errors import ConfigurationError
+from repro.report.tables import format_table
+
+
+@dataclass(frozen=True)
+class TimingEntry:
+    """One component on the timing report.
+
+    Attributes:
+        name: Component name.
+        cycle_time_ns: Its minimum cycle time.
+        slack_ns: Target period minus cycle time (negative = violation).
+        max_freq_ghz: Highest clock the component alone supports.
+    """
+
+    name: str
+    cycle_time_ns: float
+    slack_ns: float
+
+    @property
+    def max_freq_ghz(self) -> float:
+        if self.cycle_time_ns <= 0:
+            return float("inf")
+        return 1.0 / self.cycle_time_ns
+
+    @property
+    def violated(self) -> bool:
+        return self.slack_ns < 0
+
+
+def timing_entries(
+    estimate: Estimate, freq_ghz: float, top: int = 10
+) -> list[TimingEntry]:
+    """The ``top`` slowest clock-constraining components, worst first.
+
+    Composite rollups (whose cycle time merely repeats a child's) are
+    skipped so the report names the actual limiting structures.
+    """
+    if freq_ghz <= 0:
+        raise ConfigurationError("target clock must be positive")
+    period_ns = 1.0 / freq_ghz
+    entries: list[TimingEntry] = []
+    for node in estimate.walk():
+        if node.cycle_time_ns <= 0:
+            continue
+        child_worst = max(
+            (child.cycle_time_ns for child in node.children), default=0.0
+        )
+        if node.children and abs(
+            node.cycle_time_ns - child_worst
+        ) < 1e-12:
+            continue  # pure rollup; the child carries the real path
+        entries.append(
+            TimingEntry(
+                name=node.name,
+                cycle_time_ns=node.cycle_time_ns,
+                slack_ns=period_ns - node.cycle_time_ns,
+            )
+        )
+    entries.sort(key=lambda entry: entry.cycle_time_ns, reverse=True)
+    return entries[:top]
+
+
+def timing_report(
+    estimate: Estimate, freq_ghz: float, top: int = 10
+) -> str:
+    """Human-readable critical-path table at a target clock."""
+    entries = timing_entries(estimate, freq_ghz, top=top)
+    rows = [
+        [
+            entry.name,
+            f"{entry.cycle_time_ns:.3f}",
+            f"{entry.max_freq_ghz:.2f}",
+            f"{entry.slack_ns:+.3f}",
+            "VIOLATED" if entry.violated else "ok",
+        ]
+        for entry in entries
+    ]
+    header = (
+        f"Timing at {freq_ghz:.3f} GHz "
+        f"(period {1.0 / freq_ghz:.3f} ns)"
+    )
+    return header + "\n" + format_table(
+        ["component", "cycle ns", "max GHz", "slack ns", "status"], rows
+    )

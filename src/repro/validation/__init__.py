@@ -1,0 +1,26 @@
+"""Validation against published chip data (Sec. II-C, Figs. 3-5)."""
+
+from repro.validation.published import (
+    EYERISS,
+    TPU_V1,
+    TPU_V2,
+    PublishedChip,
+)
+from repro.validation.compare import ValidationReport, validate_chip
+from repro.validation.eyeriss_runtime import (
+    LAYER_ACTIVITY,
+    PUBLISHED_POWER_MW,
+    EyerissLayerActivity,
+)
+
+__all__ = [
+    "EYERISS",
+    "EyerissLayerActivity",
+    "LAYER_ACTIVITY",
+    "PUBLISHED_POWER_MW",
+    "TPU_V1",
+    "TPU_V2",
+    "PublishedChip",
+    "ValidationReport",
+    "validate_chip",
+]

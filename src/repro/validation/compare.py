@@ -1,0 +1,117 @@
+"""Compare modeled chips against published data.
+
+Produces the error margins the paper quotes in Sec. II-C: relative TDP and
+area error at the chip level, and per-component share deltas (in percentage
+points of the whole chip) at the component level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.arch.chip import Chip
+from repro.arch.component import Estimate, ModelContext
+from repro.validation.published import PublishedChip
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Model-vs-published comparison for one chip.
+
+    Attributes:
+        chip_name: Which chip was validated.
+        modeled_area_mm2 / published_area_mm2: Chip-level areas.
+        modeled_tdp_w / published_tdp_w: Chip-level TDP.
+        area_error: Relative area error (signed; negative = model smaller).
+        tdp_error: Relative TDP error, ``None`` when unpublished.
+        share_deltas: Modeled minus published area share, in fractions of
+            the whole chip, for each published component we map.
+    """
+
+    chip_name: str
+    modeled_area_mm2: float
+    published_area_mm2: float
+    modeled_tdp_w: float
+    published_tdp_w: Optional[float]
+    share_deltas: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def area_error(self) -> float:
+        return (
+            self.modeled_area_mm2 - self.published_area_mm2
+        ) / self.published_area_mm2
+
+    @property
+    def tdp_error(self) -> Optional[float]:
+        if self.published_tdp_w is None:
+            return None
+        return (self.modeled_tdp_w - self.published_tdp_w) / (
+            self.published_tdp_w
+        )
+
+    def within(self, area_band: float, tdp_band: Optional[float]) -> bool:
+        """Whether both headline errors are inside the given bands."""
+        if abs(self.area_error) > area_band:
+            return False
+        if tdp_band is not None and self.tdp_error is not None:
+            return abs(self.tdp_error) <= tdp_band
+        return True
+
+
+def component_share(
+    chip_estimate: Estimate, component_names: list[str]
+) -> float:
+    """Area share of the named components relative to the whole chip.
+
+    ``component_names`` are matched against the estimate tree; replicated
+    wrappers ("cores") are handled because :meth:`Estimate.find` walks the
+    full tree.  Missing names contribute zero (the caller decides whether
+    that is an error).
+    """
+    total = chip_estimate.area_mm2
+    if total <= 0:
+        return 0.0
+    found = 0.0
+    for name in component_names:
+        try:
+            found += chip_estimate.find(name).area_mm2
+        except KeyError:
+            continue
+    return found / total
+
+
+def validate_chip(
+    chip: Chip,
+    ctx: ModelContext,
+    published: PublishedChip,
+    share_map: Optional[dict[str, list[str]]] = None,
+) -> ValidationReport:
+    """Validate one modeled chip against its published reference.
+
+    Args:
+        chip: The modeled chip.
+        ctx: Technology/clock context.
+        published: Published reference data.
+        share_map: Maps published component labels to the estimate-tree
+            node names that implement them (e.g. ``{"systolic array":
+            ["tensor unit"]}``).  Components without a mapping are skipped.
+    """
+    estimate = chip.estimate(ctx)
+    deltas: dict[str, float] = {}
+    if share_map:
+        for label, names in share_map.items():
+            published_share = published.area_shares.get(label)
+            if published_share is None:
+                continue
+            deltas[label] = (
+                component_share(estimate, names) - published_share
+            )
+    return ValidationReport(
+        chip_name=published.name,
+        modeled_area_mm2=estimate.area_mm2,
+        published_area_mm2=published.area_mm2,
+        modeled_tdp_w=chip.tdp_w(ctx),
+        published_tdp_w=published.tdp_w,
+        share_deltas=deltas,
+    )

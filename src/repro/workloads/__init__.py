@@ -1,0 +1,45 @@
+"""Workload models: the networks and microbenchmarks of the case studies.
+
+* :mod:`repro.workloads.resnet` / :mod:`repro.workloads.inception` /
+  :mod:`repro.workloads.nasnet` — the three datacenter CNNs of Table II.
+* :mod:`repro.workloads.alexnet` — AlexNet, for the Eyeriss runtime-power
+  validation of Fig. 5(c-d).
+* :mod:`repro.workloads.spmv` — the synthetic SpMV microbenchmark of the
+  Sec. IV sparsity study.
+"""
+
+from repro.workloads.alexnet import alexnet
+from repro.workloads.inception import inception_v3
+from repro.workloads.mobilenet import mobilenet_v2
+from repro.workloads.nasnet import nasnet_a_large
+from repro.workloads.resnet import resnet50
+from repro.workloads.spmv import SpmvWorkload
+from repro.workloads.transformer import (
+    bert_base,
+    bert_large,
+    gpt_decode_step,
+    transformer_encoder,
+)
+
+__all__ = [
+    "SpmvWorkload",
+    "alexnet",
+    "bert_base",
+    "bert_large",
+    "gpt_decode_step",
+    "transformer_encoder",
+    "datacenter_workloads",
+    "inception_v3",
+    "mobilenet_v2",
+    "nasnet_a_large",
+    "resnet50",
+]
+
+
+def datacenter_workloads():
+    """The three CNNs of the Sec. III study, as (name, graph) pairs."""
+    return [
+        ("ResNet", resnet50()),
+        ("Inception", inception_v3()),
+        ("NasNet", nasnet_a_large()),
+    ]

@@ -1,0 +1,63 @@
+"""AlexNet (Krizhevsky et al., 2012), for the Eyeriss validation.
+
+The Fig. 5(c-d) validation runs AlexNet Conv1 and Conv5 on the Eyeriss
+model; :func:`conv_layer` exposes single-layer graphs for that purpose.
+Grouped convolutions follow the original two-GPU split.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.perf.graph import Graph
+from repro.perf.ops import Activation, Conv2d, GlobalPool, MatMul, Pool
+
+#: (name, Conv2d, followed_by_pool)
+_CONV_LAYERS = (
+    ("conv1", Conv2d(96, kernel=11, stride=4, same_pad=False), True),
+    ("conv2", Conv2d(256, kernel=5, groups=2), True),
+    ("conv3", Conv2d(384, kernel=3), False),
+    ("conv4", Conv2d(384, kernel=3, groups=2), False),
+    ("conv5", Conv2d(256, kernel=3, groups=2), True),
+)
+
+
+def alexnet(input_size: int = 227) -> Graph:
+    """Full AlexNet at ``input_size`` (227 gives the canonical 55x55 conv1)."""
+    graph = Graph("AlexNet", (input_size, input_size, 3))
+    previous = "input"
+    for name, conv, pooled in _CONV_LAYERS:
+        graph.add(name, conv, [previous])
+        graph.add(f"{name}.relu", Activation())
+        previous = f"{name}.relu"
+        if pooled:
+            graph.add(
+                f"{name}.pool", Pool(kernel=3, stride=2, same_pad=False)
+            )
+            previous = f"{name}.pool"
+    graph.add("head.pool", GlobalPool(), [previous])
+    # The three FC layers collapsed into their MAC-equivalent classifier.
+    graph.add("fc6", MatMul(units=4096))
+    graph.add("fc7", MatMul(units=4096))
+    graph.add("fc8", MatMul(units=1000))
+    return graph
+
+
+def conv_layer(name: str, input_size: int = 227) -> Graph:
+    """A single AlexNet convolution as its own graph (Eyeriss runs these).
+
+    Args:
+        name: ``"conv1"`` ... ``"conv5"``.
+        input_size: Network input resolution.
+    """
+    full = alexnet(input_size)
+    target = None
+    for layer_name, conv, _ in _CONV_LAYERS:
+        if layer_name == name:
+            target = (layer_name, conv)
+    if target is None:
+        raise ConfigurationError(f"unknown AlexNet conv layer {name!r}")
+    layer = full.node(target[0])
+    graph = Graph(f"AlexNet-{name}", layer.input_shape)
+    graph.add(target[0], target[1], ["input"])
+    graph.add(f"{target[0]}.relu", Activation())
+    return graph

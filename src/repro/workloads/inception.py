@@ -1,0 +1,162 @@
+"""Inception-v3 (Szegedy et al., CVPR 2016).
+
+The standard 299x299 architecture with the factorized 1x7/7x1 modules,
+built module by module.  Table II characterizes it at 5.7 G MAC ops and
+22.0 M parameters (classifier excluded).
+"""
+
+from __future__ import annotations
+
+from repro.perf.graph import Graph
+from repro.perf.ops import (
+    Activation,
+    Concat,
+    Conv2d,
+    GlobalPool,
+    MatMul,
+    Pool,
+)
+
+
+class _Builder:
+    """Small helper that names layers and tracks module counters."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.counter = 0
+
+    def conv(
+        self,
+        inputs: str,
+        out_channels: int,
+        kernel: int = 1,
+        kernel_w: int = None,
+        stride: int = 1,
+        same_pad: bool = True,
+    ) -> str:
+        self.counter += 1
+        name = f"conv{self.counter}"
+        self.graph.add(
+            name,
+            Conv2d(
+                out_channels,
+                kernel=kernel,
+                kernel_w=kernel_w,
+                stride=stride,
+                same_pad=same_pad,
+            ),
+            [inputs],
+        )
+        self.graph.add(f"{name}.relu", Activation())
+        return f"{name}.relu"
+
+    def pool(
+        self, inputs: str, kernel: int, stride: int, same_pad: bool = True
+    ) -> str:
+        self.counter += 1
+        name = f"pool{self.counter}"
+        self.graph.add(
+            name, Pool(kernel=kernel, stride=stride, same_pad=same_pad),
+            [inputs],
+        )
+        return name
+
+    def concat(self, branches: list[str]) -> str:
+        self.counter += 1
+        name = f"concat{self.counter}"
+        total = sum(
+            self.graph.node(b).output_shape[2] for b in branches
+        )
+        self.graph.add(name, Concat(total_channels=total), branches)
+        return name
+
+
+def _inception_a(b: _Builder, x: str, pool_features: int) -> str:
+    b1 = b.conv(x, 64, kernel=1)
+    b2 = b.conv(x, 48, kernel=1)
+    b2 = b.conv(b2, 64, kernel=5)
+    b3 = b.conv(x, 64, kernel=1)
+    b3 = b.conv(b3, 96, kernel=3)
+    b3 = b.conv(b3, 96, kernel=3)
+    b4 = b.pool(x, kernel=3, stride=1)
+    b4 = b.conv(b4, pool_features, kernel=1)
+    return b.concat([b1, b2, b3, b4])
+
+
+def _reduction_a(b: _Builder, x: str) -> str:
+    b1 = b.conv(x, 384, kernel=3, stride=2, same_pad=False)
+    b2 = b.conv(x, 64, kernel=1)
+    b2 = b.conv(b2, 96, kernel=3)
+    b2 = b.conv(b2, 96, kernel=3, stride=2, same_pad=False)
+    b3 = b.pool(x, kernel=3, stride=2, same_pad=False)
+    return b.concat([b1, b2, b3])
+
+
+def _inception_b(b: _Builder, x: str, c7: int) -> str:
+    b1 = b.conv(x, 192, kernel=1)
+    b2 = b.conv(x, c7, kernel=1)
+    b2 = b.conv(b2, c7, kernel=1, kernel_w=7)
+    b2 = b.conv(b2, 192, kernel=7, kernel_w=1)
+    b3 = b.conv(x, c7, kernel=1)
+    b3 = b.conv(b3, c7, kernel=7, kernel_w=1)
+    b3 = b.conv(b3, c7, kernel=1, kernel_w=7)
+    b3 = b.conv(b3, c7, kernel=7, kernel_w=1)
+    b3 = b.conv(b3, 192, kernel=1, kernel_w=7)
+    b4 = b.pool(x, kernel=3, stride=1)
+    b4 = b.conv(b4, 192, kernel=1)
+    return b.concat([b1, b2, b3, b4])
+
+
+def _reduction_b(b: _Builder, x: str) -> str:
+    b1 = b.conv(x, 192, kernel=1)
+    b1 = b.conv(b1, 320, kernel=3, stride=2, same_pad=False)
+    b2 = b.conv(x, 192, kernel=1)
+    b2 = b.conv(b2, 192, kernel=1, kernel_w=7)
+    b2 = b.conv(b2, 192, kernel=7, kernel_w=1)
+    b2 = b.conv(b2, 192, kernel=3, stride=2, same_pad=False)
+    b3 = b.pool(x, kernel=3, stride=2, same_pad=False)
+    return b.concat([b1, b2, b3])
+
+
+def _inception_c(b: _Builder, x: str) -> str:
+    b1 = b.conv(x, 320, kernel=1)
+    b2 = b.conv(x, 384, kernel=1)
+    b2a = b.conv(b2, 384, kernel=1, kernel_w=3)
+    b2b = b.conv(b2, 384, kernel=3, kernel_w=1)
+    b2 = b.concat([b2a, b2b])
+    b3 = b.conv(x, 448, kernel=1)
+    b3 = b.conv(b3, 384, kernel=3)
+    b3a = b.conv(b3, 384, kernel=1, kernel_w=3)
+    b3b = b.conv(b3, 384, kernel=3, kernel_w=1)
+    b3 = b.concat([b3a, b3b])
+    b4 = b.pool(x, kernel=3, stride=1)
+    b4 = b.conv(b4, 192, kernel=1)
+    return b.concat([b1, b2, b3, b4])
+
+
+def inception_v3(input_size: int = 299) -> Graph:
+    """Build Inception-v3 at ``input_size`` x ``input_size`` x 3."""
+    graph = Graph("Inception-v3", (input_size, input_size, 3))
+    b = _Builder(graph)
+
+    x = b.conv("input", 32, kernel=3, stride=2, same_pad=False)
+    x = b.conv(x, 32, kernel=3, same_pad=False)
+    x = b.conv(x, 64, kernel=3)
+    x = b.pool(x, kernel=3, stride=2, same_pad=False)
+    x = b.conv(x, 80, kernel=1)
+    x = b.conv(x, 192, kernel=3, same_pad=False)
+    x = b.pool(x, kernel=3, stride=2, same_pad=False)
+
+    x = _inception_a(b, x, pool_features=32)
+    x = _inception_a(b, x, pool_features=64)
+    x = _inception_a(b, x, pool_features=64)
+    x = _reduction_a(b, x)
+    for c7 in (128, 160, 160, 192):
+        x = _inception_b(b, x, c7=c7)
+    x = _reduction_b(b, x)
+    x = _inception_c(b, x)
+    x = _inception_c(b, x)
+
+    graph.add("head.pool", GlobalPool(), [x])
+    graph.add("head.fc", MatMul(units=1000))
+    return graph

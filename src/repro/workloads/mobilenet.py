@@ -1,0 +1,94 @@
+"""MobileNet-v2 (Sandler et al., CVPR 2018) — the canonical edge CNN.
+
+Added for the edge-scenario study: inverted residual bottlenecks are
+dominated by depthwise convolutions and narrow pointwise GEMMs, the
+opposite operating point from the datacenter CNNs of Table II.  Literature
+numbers at 224x224: ~0.30 G MACs, ~3.5 M parameters (2.2 M excluding the
+classifier).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.perf.graph import Graph
+from repro.perf.ops import (
+    Activation,
+    Conv2d,
+    DepthwiseConv2d,
+    Elementwise,
+    GlobalPool,
+    MatMul,
+)
+
+#: Inverted-residual stages: (expansion t, out channels c, repeats n,
+#: stride s) — Table 2 of the MobileNet-v2 paper.
+_STAGES = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _inverted_residual(
+    graph: Graph,
+    name: str,
+    inputs: str,
+    expansion: int,
+    out_channels: int,
+    stride: int,
+) -> str:
+    in_channels = graph.node(inputs).output_shape[2]
+    hidden = in_channels * expansion
+    previous = inputs
+    if expansion != 1:
+        graph.add(f"{name}.expand", Conv2d(hidden, kernel=1), [previous])
+        graph.add(f"{name}.expand.relu", Activation())
+        previous = f"{name}.expand.relu"
+    graph.add(
+        f"{name}.dw", DepthwiseConv2d(kernel=3, stride=stride), [previous]
+    )
+    graph.add(f"{name}.dw.relu", Activation())
+    graph.add(f"{name}.project", Conv2d(out_channels, kernel=1))
+    if stride == 1 and in_channels == out_channels:
+        graph.add(
+            f"{name}.add", Elementwise(), [f"{name}.project", inputs]
+        )
+        return f"{name}.add"
+    return f"{name}.project"
+
+
+def mobilenet_v2(input_size: int = 224, width_multiplier: float = 1.0) -> Graph:
+    """Build MobileNet-v2 at ``input_size`` with a width multiplier."""
+    if input_size < 32:
+        raise ConfigurationError("MobileNet needs an input of >= 32 px")
+    if width_multiplier <= 0:
+        raise ConfigurationError("width multiplier must be positive")
+
+    def width(channels: int) -> int:
+        return max(8, int(round(channels * width_multiplier / 8) * 8))
+
+    graph = Graph("MobileNet-v2", (input_size, input_size, 3))
+    graph.add("stem.conv", Conv2d(width(32), kernel=3, stride=2), ["input"])
+    graph.add("stem.relu", Activation())
+
+    previous = "stem.relu"
+    for stage, (t, c, n, s) in enumerate(_STAGES):
+        for block in range(n):
+            previous = _inverted_residual(
+                graph,
+                f"stage{stage}.block{block}",
+                previous,
+                expansion=t,
+                out_channels=width(c),
+                stride=s if block == 0 else 1,
+            )
+
+    graph.add("head.conv", Conv2d(width(1280), kernel=1), [previous])
+    graph.add("head.relu", Activation())
+    graph.add("head.pool", GlobalPool())
+    graph.add("head.fc", MatMul(units=1000))
+    return graph

@@ -1,0 +1,144 @@
+"""NasNet-A-Large (Zoph et al., CVPR 2018), the 6@4032 configuration.
+
+NASNet's searched cells are dominated by separable convolutions (depthwise
++ pointwise, applied twice), which is why the paper's NasNet column in
+Table II carries 23.8 G MAC ops and 84.9 M parameters at a 331x331 input.
+The normal/reduction cell wiring below follows the published NASNet-A
+architecture; every cell input is width-adjusted by a 1x1 convolution, and
+spatial mismatches after reductions use a strided 1x1 (factorized
+reduction).
+"""
+
+from __future__ import annotations
+
+from repro.perf.graph import Graph
+from repro.perf.ops import (
+    Activation,
+    Concat,
+    Conv2d,
+    DepthwiseConv2d,
+    Elementwise,
+    GlobalPool,
+    MatMul,
+    Pool,
+)
+
+#: Cell filter progression of the 6@4032 network.
+_BASE_FILTERS = 168
+_CELLS_PER_STAGE = 6
+
+
+class _CellBuilder:
+    """Names layers and provides the NASNet primitive ops."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.counter = 0
+
+    def _next(self, kind: str) -> str:
+        self.counter += 1
+        return f"{kind}{self.counter}"
+
+    def conv1x1(self, x: str, filters: int, stride: int = 1) -> str:
+        name = self._next("adjust")
+        self.graph.add(name, Conv2d(filters, kernel=1, stride=stride), [x])
+        self.graph.add(f"{name}.relu", Activation())
+        return f"{name}.relu"
+
+    def sep(self, x: str, filters: int, kernel: int, stride: int = 1) -> str:
+        """Separable conv applied twice (NASNet convention)."""
+        name = self._next("sep")
+        self.graph.add(
+            f"{name}.dw1", DepthwiseConv2d(kernel=kernel, stride=stride), [x]
+        )
+        self.graph.add(f"{name}.pw1", Conv2d(filters, kernel=1))
+        self.graph.add(
+            f"{name}.dw2", DepthwiseConv2d(kernel=kernel, stride=1)
+        )
+        self.graph.add(f"{name}.pw2", Conv2d(filters, kernel=1))
+        self.graph.add(f"{name}.relu", Activation())
+        return f"{name}.relu"
+
+    def pool(self, x: str, kind: str, stride: int = 1) -> str:
+        name = self._next(kind)
+        self.graph.add(name, Pool(kernel=3, stride=stride), [x])
+        return name
+
+    def add(self, a: str, b: str) -> str:
+        name = self._next("add")
+        self.graph.add(name, Elementwise(), [a, b])
+        return name
+
+    def concat(self, branches: list[str]) -> str:
+        name = self._next("cellout")
+        total = sum(
+            self.graph.node(branch).output_shape[2] for branch in branches
+        )
+        self.graph.add(name, Concat(total_channels=total), branches)
+        return name
+
+    def match_spatial(self, x: str, reference: str, filters: int) -> str:
+        """Factorized reduction when ``x`` is spatially larger than ref."""
+        x_shape = self.graph.node(x).output_shape
+        ref_shape = self.graph.node(reference).output_shape
+        if x_shape[0] > ref_shape[0]:
+            return self.conv1x1(x, filters, stride=2)
+        return self.conv1x1(x, filters)
+
+
+def _normal_cell(b: _CellBuilder, prev: str, prev_prev: str, f: int) -> str:
+    """NASNet-A normal cell (5 blocks, 6-way concat)."""
+    h = b.conv1x1(prev, f)
+    hp = b.match_spatial(prev_prev, prev, f)
+
+    block1 = b.add(b.sep(hp, f, 5), b.sep(h, f, 3))
+    block2 = b.add(b.sep(hp, f, 5), b.sep(hp, f, 3))
+    block3 = b.add(b.pool(h, "avg"), hp)
+    block4 = b.add(b.pool(hp, "avg"), b.pool(hp, "avg"))
+    block5 = b.add(b.sep(h, f, 3), h)
+    return b.concat([hp, block1, block2, block3, block4, block5])
+
+
+def _reduction_cell(
+    b: _CellBuilder, prev: str, prev_prev: str, f: int
+) -> str:
+    """NASNet-A reduction cell (stride-2 blocks, 4-way concat)."""
+    h = b.conv1x1(prev, f)
+    hp = b.match_spatial(prev_prev, prev, f)
+
+    block1 = b.add(b.sep(hp, f, 7, stride=2), b.sep(h, f, 5, stride=2))
+    block2 = b.add(b.pool(h, "max", stride=2), b.sep(hp, f, 7, stride=2))
+    block3 = b.add(b.pool(h, "avg", stride=2), b.sep(hp, f, 5, stride=2))
+    block4 = b.add(b.pool(h, "max", stride=2), b.sep(block1, f, 3))
+    block5 = b.add(b.pool(block1, "avg"), block2)
+    return b.concat([block2, block3, block4, block5])
+
+
+def nasnet_a_large(input_size: int = 331) -> Graph:
+    """Build NasNet-A-Large (6@4032) at ``input_size`` x ``input_size``."""
+    graph = Graph("NasNet-A-Large", (input_size, input_size, 3))
+    b = _CellBuilder(graph)
+
+    graph.add(
+        "stem.conv", Conv2d(96, kernel=3, stride=2, same_pad=False),
+        ["input"],
+    )
+    stem = "stem.conv"
+    filters = _BASE_FILTERS
+    stem0 = _reduction_cell(b, stem, stem, filters // 4)
+    stem1 = _reduction_cell(b, stem0, stem, filters // 2)
+
+    prev, prev_prev = stem1, stem0
+    for stage in range(3):
+        for _ in range(_CELLS_PER_STAGE):
+            out = _normal_cell(b, prev, prev_prev, filters)
+            prev_prev, prev = prev, out
+        if stage < 2:
+            filters *= 2
+            out = _reduction_cell(b, prev, prev_prev, filters)
+            prev_prev, prev = prev, out
+
+    graph.add("head.relu", Activation(), [prev])
+    graph.add("head.pool", GlobalPool())
+    graph.add("head.fc", MatMul(units=1000))
+    return graph

@@ -1,0 +1,100 @@
+"""The Sec. IV synthetic SpMV microbenchmark.
+
+"A synthetic SpMV microbenchmark with different element-wise sparsities is
+generated manually for a weight matrix of M x N and the batched vectors of
+N x K, where M, N >= 1024, and the batch size K >= 32."  The weights use
+the tiled CSR format; the batched vectors are dense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.perf.roofline import RooflineInputs
+from repro.sparse.csr import csr_beta
+from repro.sparse.distributions import (
+    ZeroLayout,
+    clustered_sparse_matrix,
+    uniform_sparse_matrix,
+)
+from repro.units import OPS_PER_MAC
+
+
+@dataclass(frozen=True)
+class SpmvWorkload:
+    """One SpMV microbenchmark instance.
+
+    Attributes:
+        m / n: Weight-matrix shape (both >= 1024 in the case study).
+        batch: Batched-vector count K (>= 32 in the case study).
+        nonzero_ratio: x — retained weight fraction.
+        layout: Zero distribution of the weight matrix.
+    """
+
+    m: int = 2048
+    n: int = 2048
+    batch: int = 32
+    nonzero_ratio: float = 1.0
+    layout: ZeroLayout = ZeroLayout.CLUSTERED
+
+    def __post_init__(self) -> None:
+        if self.m < 1024 or self.n < 1024:
+            raise ConfigurationError(
+                "the case study requires M, N >= 1024"
+            )
+        if self.batch < 32:
+            raise ConfigurationError("the case study requires K >= 32")
+        if not 0.0 < self.nonzero_ratio <= 1.0:
+            raise ConfigurationError("nonzero ratio must be in (0, 1]")
+
+    # -- roofline quantities ------------------------------------------------------
+
+    @property
+    def compute_ops(self) -> float:
+        """C: dense MV operations (2 per MAC)."""
+        return float(OPS_PER_MAC * self.m * self.n * self.batch)
+
+    @property
+    def vector_bytes(self) -> float:
+        """S_V: batched input + output vectors, int8/int32."""
+        return float(self.n * self.batch + self.m * self.batch)
+
+    @property
+    def weight_bytes(self) -> float:
+        """S_W: dense int8 weight bytes."""
+        return float(self.m * self.n)
+
+    @property
+    def beta(self) -> float:
+        """CSR expansion factor of this matrix shape and density."""
+        return csr_beta(self.m, self.n, self.nonzero_ratio)
+
+    def roofline_inputs(
+        self, compute_ops_per_s: float, bandwidth_bytes_per_s: float
+    ) -> RooflineInputs:
+        """Machine-specific roofline inputs for this workload."""
+        return RooflineInputs(
+            compute_ops=self.compute_ops,
+            vector_bytes=self.vector_bytes,
+            weight_bytes=self.weight_bytes,
+            compute_ops_per_s=compute_ops_per_s,
+            bandwidth_bytes_per_s=bandwidth_bytes_per_s,
+        )
+
+    # -- concrete matrices (for empirical y and round-trip tests) ----------------
+
+    def materialize(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Generate the weight matrix with this workload's zero layout."""
+        if self.layout is ZeroLayout.UNIFORM:
+            return uniform_sparse_matrix(
+                self.m, self.n, self.nonzero_ratio, rng
+            )
+        return clustered_sparse_matrix(
+            self.m, self.n, self.nonzero_ratio, rng
+        )

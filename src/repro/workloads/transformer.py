@@ -1,0 +1,172 @@
+"""Transformer encoder workloads (extension beyond the paper's CNNs).
+
+The paper's datacenter study predates the Transformer-dominated serving
+era; this extension adds a BERT-class encoder so the same design-space
+machinery can evaluate attention workloads.  Each encoder layer is the
+standard stack of GEMM-shaped operators: QKV projections, attention
+scores/context (sequence-batched GEMMs), the output projection, and the
+two FFN matmuls — all expressible in the existing graph IR.
+
+A (seq, hidden) "image" shape carries the token activations: height =
+sequence length, width = 1, channels = hidden size, so a 1x1 Conv2d is
+exactly a per-token dense layer with M = seq.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.perf.graph import Graph
+from repro.perf.ops import Activation, Conv2d, Elementwise
+
+
+def _dense(
+    graph: Graph, name: str, inputs: str, units: int
+) -> str:
+    """A per-token dense layer (1x1 conv over the (seq, 1, hidden) map)."""
+    graph.add(name, Conv2d(units, kernel=1), [inputs])
+    return name
+
+
+def _attention_mixing(
+    graph: Graph, name: str, inputs: str, hidden: int, heads: int
+) -> str:
+    """Score + context GEMMs of multi-head attention.
+
+    Per head: scores = Q K^T (seq x seq x head_dim) and context =
+    scores V (seq x head_dim x seq).  Expressed as one grouped 1x1 conv
+    whose reduction dimension carries the per-head mixing volume — the
+    MAC count and operand traffic match the batched attention GEMMs.
+    """
+    seq = graph.node(inputs).output_shape[0]
+    del heads  # mixing volume is head-count independent at fixed hidden
+    # Each token attends over `seq` keys and mixes `seq` values: the
+    # per-token reduction volume is 2 * seq * hidden MACs, identical to a
+    # dense layer with 2*seq*hidden/hidden = 2*seq "virtual" channels
+    # feeding `hidden` outputs ... realized as two seq-wide mixes.
+    graph.add(
+        f"{name}.scores", Conv2d(seq, kernel=1, weightless=True), [inputs]
+    )
+    graph.add(f"{name}.softmax", Activation(ops_per_element=4))
+    graph.add(
+        f"{name}.context", Conv2d(hidden, kernel=1, weightless=True)
+    )
+    return f"{name}.context"
+
+
+def transformer_encoder(
+    layers: int = 12,
+    hidden: int = 768,
+    heads: int = 12,
+    ffn: int = 3072,
+    seq: int = 128,
+    name: str = "BERT-base",
+) -> Graph:
+    """Build an encoder-only Transformer (BERT-base by default).
+
+    Args:
+        layers: Encoder layers.
+        hidden: Model width.
+        heads: Attention heads (hidden must divide evenly).
+        ffn: Feed-forward inner width.
+        seq: Sequence length.
+        name: Graph name.
+    """
+    if hidden % heads:
+        raise ConfigurationError(
+            f"hidden ({hidden}) must be divisible by heads ({heads})"
+        )
+    if min(layers, hidden, heads, ffn, seq) < 1:
+        raise ConfigurationError("all transformer dimensions must be >= 1")
+
+    graph = Graph(name, (seq, 1, hidden))
+    previous = "input"
+    for index in range(layers):
+        prefix = f"layer{index}"
+        qkv = _dense(graph, f"{prefix}.qkv", previous, 3 * hidden)
+        mixed = _attention_mixing(
+            graph, f"{prefix}.attn", qkv, hidden, heads
+        )
+        out = _dense(graph, f"{prefix}.attn_out", mixed, hidden)
+        graph.add(f"{prefix}.residual1", Elementwise(), [out, previous])
+        graph.add(f"{prefix}.ln1", Activation(ops_per_element=4))
+
+        up = _dense(graph, f"{prefix}.ffn_up", f"{prefix}.ln1", ffn)
+        graph.add(f"{prefix}.gelu", Activation(ops_per_element=4))
+        down = _dense(graph, f"{prefix}.ffn_down", f"{prefix}.gelu", hidden)
+        graph.add(
+            f"{prefix}.residual2", Elementwise(), [down, f"{prefix}.ln1"]
+        )
+        graph.add(f"{prefix}.ln2", Activation(ops_per_element=4))
+        previous = f"{prefix}.ln2"
+    return graph
+
+
+def bert_base(seq: int = 128) -> Graph:
+    """BERT-base: 12 layers, hidden 768, 12 heads, FFN 3072."""
+    return transformer_encoder(seq=seq)
+
+
+def bert_large(seq: int = 128) -> Graph:
+    """BERT-large: 24 layers, hidden 1024, 16 heads, FFN 4096."""
+    return transformer_encoder(
+        layers=24,
+        hidden=1024,
+        heads=16,
+        ffn=4096,
+        seq=seq,
+        name="BERT-large",
+    )
+
+
+def gpt_decode_step(
+    layers: int = 12,
+    hidden: int = 768,
+    heads: int = 12,
+    ffn: int = 3072,
+    context: int = 1024,
+    name: str = "GPT-decode",
+) -> Graph:
+    """One autoregressive decode step (a single token against a KV cache).
+
+    Every projection GEMM has M = 1, and the attention mixes read the
+    whole ``context``-deep KV cache — the classic memory-bound serving
+    workload where large systolic arrays idle.  Batch the step (the
+    simulator's ``batch``) to model multi-request serving.
+    """
+    if hidden % heads:
+        raise ConfigurationError(
+            f"hidden ({hidden}) must be divisible by heads ({heads})"
+        )
+    if min(layers, hidden, heads, ffn, context) < 1:
+        raise ConfigurationError("all decoder dimensions must be >= 1")
+
+    graph = Graph(name, (1, 1, hidden))
+    previous = "input"
+    for index in range(layers):
+        prefix = f"layer{index}"
+        qkv = _dense(graph, f"{prefix}.qkv", previous, 3 * hidden)
+        # Scores against the cached keys, context against cached values.
+        graph.add(
+            f"{prefix}.scores",
+            Conv2d(context, kernel=1, weightless=True),
+            [qkv],
+        )
+        graph.add(f"{prefix}.softmax", Activation(ops_per_element=4))
+        graph.add(
+            f"{prefix}.context",
+            Conv2d(hidden, kernel=1, weightless=True),
+        )
+        out = _dense(
+            graph, f"{prefix}.attn_out", f"{prefix}.context", hidden
+        )
+        graph.add(f"{prefix}.residual1", Elementwise(), [out, previous])
+        up = _dense(graph, f"{prefix}.ffn_up", f"{prefix}.residual1", ffn)
+        graph.add(f"{prefix}.gelu", Activation(ops_per_element=4))
+        down = _dense(graph, f"{prefix}.ffn_down", f"{prefix}.gelu", hidden)
+        graph.add(
+            f"{prefix}.residual2",
+            Elementwise(),
+            [down, f"{prefix}.residual1"],
+        )
+        previous = f"{prefix}.residual2"
+    return graph

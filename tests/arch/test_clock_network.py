@@ -1,0 +1,64 @@
+"""Explicit clock-network model and the amortization-constant check."""
+
+import pytest
+
+from repro.arch.clock_network import ClockNetwork, implied_overhead_factor
+from repro.arch.component import ModelContext
+from repro.config.presets import tpu_v1, tpu_v1_context
+from repro.errors import ConfigurationError
+from repro.tech import calibration
+from repro.tech.node import node
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ModelContext(tech=node(28), freq_ghz=0.7)
+
+
+def test_power_scales_with_area_and_leaves(ctx):
+    small = ClockNetwork(chip_area_mm2=50.0, clocked_bits=1_000_000)
+    large = ClockNetwork(chip_area_mm2=400.0, clocked_bits=10_000_000)
+    assert large.power_w(ctx) > small.power_w(ctx)
+
+
+def test_power_scales_linearly_with_frequency():
+    network = ClockNetwork(chip_area_mm2=300.0, clocked_bits=5_000_000)
+    slow = network.power_w(ModelContext(tech=node(28), freq_ghz=0.35))
+    fast = network.power_w(ModelContext(tech=node(28), freq_ghz=0.70))
+    assert fast == pytest.approx(2.0 * slow)
+
+
+def test_estimate_has_no_footprint(ctx):
+    network = ClockNetwork(chip_area_mm2=100.0, clocked_bits=1_000_000)
+    estimate = network.estimate(ctx)
+    assert estimate.area_mm2 == 0.0
+    assert estimate.dynamic_w > 0
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ConfigurationError):
+        ClockNetwork(chip_area_mm2=0.0, clocked_bits=10)
+    with pytest.raises(ConfigurationError):
+        ClockNetwork(chip_area_mm2=1.0, clocked_bits=-1)
+    with pytest.raises(ConfigurationError):
+        implied_overhead_factor(10.0, 5.0)
+
+
+def test_amortization_constant_is_in_the_explicit_models_band():
+    """The calibrated 1.25x amortization matches an explicit clock tree.
+
+    TPU-v1 clocks roughly 65536 cells x ~56 pipeline bits plus buffers;
+    the explicit network's implied overhead should bracket the constant
+    the rest of the framework amortizes with.
+    """
+    chip, ctx = tpu_v1(), tpu_v1_context()
+    estimate = chip.estimate(ctx)
+    clocked_bits = 65536 * 56 + 8_000_000  # array pipeline + FIFOs/mem IO
+    network = ClockNetwork(
+        chip_area_mm2=estimate.area_mm2, clocked_bits=clocked_bits
+    )
+    clock_w = network.power_w(ctx)
+    # Chip dynamic power *before* amortization.
+    bare_dynamic = estimate.dynamic_w / calibration.CLOCK_NETWORK_OVERHEAD
+    implied = implied_overhead_factor(clock_w, bare_dynamic + clock_w)
+    assert 1.05 < implied < 1.6

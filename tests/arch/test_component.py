@@ -1,0 +1,81 @@
+"""Estimate tree composition and queries."""
+
+import pytest
+
+from repro.arch.component import Estimate, ModelContext
+from repro.errors import ConfigurationError
+from repro.tech.node import node
+
+
+def _leaf(name: str, area: float = 1.0, dyn: float = 0.5) -> Estimate:
+    return Estimate(name, area_mm2=area, dynamic_w=dyn, leakage_w=0.1)
+
+
+def test_context_cycle_time():
+    ctx = ModelContext(tech=node(28), freq_ghz=0.5)
+    assert ctx.cycle_ns == pytest.approx(2.0)
+
+
+def test_context_rejects_bad_clock():
+    with pytest.raises(ConfigurationError):
+        ModelContext(tech=node(28), freq_ghz=0.0)
+
+
+def test_compose_sums_children():
+    parent = Estimate.compose("p", [_leaf("a"), _leaf("b")])
+    assert parent.area_mm2 == pytest.approx(2.0)
+    assert parent.dynamic_w == pytest.approx(1.0)
+    assert parent.leakage_w == pytest.approx(0.2)
+
+
+def test_compose_includes_glue():
+    parent = Estimate.compose("p", [_leaf("a")], self_area_mm2=0.5)
+    assert parent.area_mm2 == pytest.approx(1.5)
+
+
+def test_compose_takes_worst_cycle_time():
+    slow = Estimate("slow", 1, 0, 0, cycle_time_ns=2.0)
+    fast = Estimate("fast", 1, 0, 0, cycle_time_ns=0.5)
+    assert Estimate.compose("p", [slow, fast]).cycle_time_ns == 2.0
+
+
+def test_replication_scales_power_and_area():
+    quad = _leaf("core", area=2.0, dyn=1.0).replicated(4)
+    assert quad.area_mm2 == pytest.approx(8.0)
+    assert quad.dynamic_w == pytest.approx(4.0)
+    assert quad.name == "4x core"
+
+
+def test_replication_rejects_zero():
+    with pytest.raises(ConfigurationError):
+        _leaf("x").replicated(0)
+
+
+def test_find_walks_nested_trees():
+    inner = Estimate.compose("inner", [_leaf("target")])
+    outer = Estimate.compose("outer", [inner])
+    assert outer.find("target").name == "target"
+    with pytest.raises(KeyError):
+        outer.find("missing")
+
+
+def test_total_power():
+    leaf = _leaf("a", dyn=0.5)
+    assert leaf.total_power_w == pytest.approx(0.6)
+
+
+def test_max_freq_unbounded_without_cycle_constraint():
+    assert _leaf("a").max_freq_ghz == float("inf")
+
+
+def test_shares_sum_to_one():
+    parent = Estimate.compose("p", [_leaf("a", 1.0), _leaf("b", 3.0)])
+    shares = parent.area_shares()
+    assert shares["a"] == pytest.approx(0.25)
+    assert shares["b"] == pytest.approx(0.75)
+    assert sum(parent.power_shares().values()) == pytest.approx(1.0)
+
+
+def test_negative_estimate_rejected():
+    with pytest.raises(ConfigurationError):
+        Estimate("bad", area_mm2=-1.0, dynamic_w=0.0, leakage_w=0.0)

@@ -1,0 +1,170 @@
+"""Core and chip assembly with dependent-parameter auto-scaling."""
+
+import pytest
+
+from repro.arch.chip import Chip, ChipConfig
+from repro.arch.component import ModelContext
+from repro.arch.core import Core, CoreConfig
+from repro.arch.memory import OnChipMemoryConfig
+from repro.arch.noc import NocTopology
+from repro.arch.periph import DramKind
+from repro.arch.reduction_tree import ReductionTreeConfig
+from repro.arch.tensor_unit import TensorUnitConfig
+from repro.errors import ConfigurationError
+from repro.tech.node import node
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ModelContext(tech=node(28), freq_ghz=0.7)
+
+
+def _core(x=32, n=2, mem_mb=2) -> CoreConfig:
+    return CoreConfig(
+        tu=TensorUnitConfig(rows=x, cols=x),
+        tensor_units=n,
+        mem=OnChipMemoryConfig(
+            capacity_bytes=mem_mb << 20, block_bytes=max(x, 32)
+        ),
+    )
+
+
+class TestAutoScaling:
+    def test_vu_lanes_match_tu_length(self):
+        assert _core(x=64).vector_lanes == 64
+
+    def test_vreg_ports_scale_with_units(self):
+        cfg = _core(n=4).vreg_config()
+        # 4 TUs + 1 VU, 2R + 1W each.
+        assert cfg.read_ports == 10
+        assert cfg.write_ports == 5
+
+    def test_operand_bandwidth_scales_with_tus(self):
+        assert _core(n=4).operand_bytes_per_cycle() == 2 * _core(
+            n=2
+        ).operand_bytes_per_cycle()
+
+    def test_macs_per_cycle(self):
+        assert _core(x=32, n=2).macs_per_cycle == 2 * 32 * 32
+
+    def test_rt_only_core_supported(self):
+        cfg = CoreConfig(
+            tu=None,
+            rt=ReductionTreeConfig(inputs=64),
+            reduction_trees=4,
+        )
+        assert cfg.macs_per_cycle == 256
+        assert cfg.vector_lanes >= 4
+
+    def test_core_needs_some_compute(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(tu=None, rt=None)
+
+
+class TestCoreEstimate:
+    def test_children_complete(self, ctx):
+        estimate = Core(_core()).estimate(ctx)
+        names = {child.name for child in estimate.children}
+        assert "tensor units" in names
+        assert "vector unit" in names
+        assert "vector register file" in names
+        assert "scalar unit" in names
+        assert "on-chip memory" in names
+        assert "central data bus" in names
+
+    def test_extra_memories_appear_by_name(self, ctx):
+        cfg = CoreConfig(
+            tu=TensorUnitConfig(rows=16, cols=16),
+            mem=OnChipMemoryConfig(capacity_bytes=1 << 20, block_bytes=32),
+            extra_memories=(
+                (
+                    "accumulator buffer",
+                    OnChipMemoryConfig(
+                        capacity_bytes=256 * 1024, block_bytes=64
+                    ),
+                ),
+            ),
+        )
+        estimate = Core(cfg).estimate(ctx)
+        assert estimate.find("accumulator buffer").area_mm2 > 0
+
+    def test_memory_bandwidth_auto_filled(self, ctx):
+        core = Core(_core(x=64, n=2))
+        memory = core.memory(ctx)
+        operand_gbps = core.config.operand_bytes_per_cycle() * ctx.freq_ghz
+        assert memory.peak_read_bandwidth_gbps(ctx) >= operand_gbps
+
+    def test_scalar_unit_optional(self, ctx):
+        without = CoreConfig(
+            tu=TensorUnitConfig(rows=16, cols=16),
+            include_scalar_unit=False,
+        )
+        names = {c.name for c in Core(without).estimate(ctx).children}
+        assert "scalar unit" not in names
+
+
+class TestChip:
+    def test_topology_rule_ring_then_mesh(self):
+        small = ChipConfig(core=_core(), cores_x=2, cores_y=2)
+        large = ChipConfig(core=_core(), cores_x=4, cores_y=4)
+        assert small.topology is NocTopology.RING
+        assert large.topology is NocTopology.MESH_2D
+
+    def test_explicit_topology_wins(self):
+        cfg = ChipConfig(
+            core=_core(),
+            cores_x=2,
+            cores_y=2,
+            noc_topology=NocTopology.BUS,
+        )
+        assert cfg.topology is NocTopology.BUS
+
+    def test_single_core_has_no_noc(self, ctx):
+        chip = Chip(ChipConfig(core=_core(), cores_x=1, cores_y=1))
+        names = {child.name for child in chip.estimate(ctx).children}
+        assert "network-on-chip" not in names
+
+    def test_multi_core_has_noc(self, ctx):
+        chip = Chip(ChipConfig(core=_core(), cores_x=2, cores_y=4))
+        assert chip.estimate(ctx).find("network-on-chip").area_mm2 > 0
+
+    def test_whitespace_share(self, ctx):
+        chip = Chip(
+            ChipConfig(core=_core(), whitespace_fraction=0.21)
+        )
+        estimate = chip.estimate(ctx)
+        white = estimate.find("white space / unknown")
+        assert white.area_mm2 / estimate.area_mm2 == pytest.approx(
+            0.21, abs=0.01
+        )
+        assert white.total_power_w == 0.0
+
+    def test_tdp_exceeds_unguarded_power(self, ctx):
+        chip = Chip(ChipConfig(core=_core()))
+        estimate = chip.estimate(ctx)
+        assert chip.tdp_w(ctx) > estimate.dynamic_w
+
+    def test_peak_tops(self, ctx):
+        chip = Chip(ChipConfig(core=_core(x=64, n=2), cores_x=2, cores_y=4))
+        assert chip.peak_tops(ctx) == pytest.approx(91.75, rel=1e-3)
+
+    def test_no_dram_controller_when_disabled(self, ctx):
+        chip = Chip(ChipConfig(core=_core(), dram=None, pcie=None))
+        names = {child.name for child in chip.estimate(ctx).children}
+        assert not any("port" in name for name in names)
+        assert chip.memory_controller() is None
+
+    def test_dram_kinds_modeled(self, ctx):
+        for kind in (DramKind.DDR3, DramKind.HBM2):
+            chip = Chip(
+                ChipConfig(
+                    core=_core(), dram=kind, offchip_bandwidth_gbps=25.0
+                )
+            )
+            assert chip.estimate(ctx).area_mm2 > 0
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ChipConfig(core=_core(), cores_x=0, cores_y=1)
+        with pytest.raises(ConfigurationError):
+            ChipConfig(core=_core(), whitespace_fraction=0.95)

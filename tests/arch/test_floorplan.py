@@ -1,0 +1,97 @@
+"""Shelf-packing floorplanner."""
+
+import pytest
+
+from repro.arch.floorplan import Floorplan, floorplan_chip, shelf_pack
+from repro.config.presets import tpu_v1, tpu_v1_context
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def plan() -> Floorplan:
+    return shelf_pack(
+        [("array", 80.0), ("buffer", 100.0), ("vector", 10.0), ("io", 8.0)]
+    )
+
+
+def test_every_block_placed(plan):
+    assert {block.name for block in plan.blocks} == {
+        "array",
+        "buffer",
+        "vector",
+        "io",
+    }
+
+
+def test_areas_preserved(plan):
+    block = plan.block("buffer")
+    assert block.area_mm2 == pytest.approx(100.0, rel=1e-6)
+    assert plan.placed_mm2 == pytest.approx(198.0, rel=1e-6)
+
+
+def test_no_overlaps(plan):
+    def overlaps(a, b):
+        return not (
+            a.x_mm + a.width_mm <= b.x_mm + 1e-9
+            or b.x_mm + b.width_mm <= a.x_mm + 1e-9
+            or a.y_mm + a.height_mm <= b.y_mm + 1e-9
+            or b.y_mm + b.height_mm <= a.y_mm + 1e-9
+        )
+
+    blocks = plan.blocks
+    for i, a in enumerate(blocks):
+        for b in blocks[i + 1 :]:
+            assert not overlaps(a, b), (a.name, b.name)
+
+
+def test_reasonable_packing(plan):
+    assert plan.packing_efficiency > 0.6
+    assert plan.aspect_ratio < 2.5
+
+
+def test_blocks_inside_outline(plan):
+    for block in plan.blocks:
+        assert block.x_mm >= -1e-9
+        assert block.y_mm >= -1e-9
+        assert block.x_mm + block.width_mm <= plan.width_mm + 1e-6
+        assert block.y_mm + block.height_mm <= plan.height_mm + 1e-6
+
+
+def test_wire_length_symmetric(plan):
+    assert plan.wire_length_mm("array", "buffer") == pytest.approx(
+        plan.wire_length_mm("buffer", "array")
+    )
+    assert plan.wire_length_mm("array", "buffer") > 0
+
+
+def test_unknown_block_raises(plan):
+    with pytest.raises(KeyError):
+        plan.block("dram")
+
+
+def test_render_contains_legend(plan):
+    text = plan.render(columns=32)
+    assert "array" in text
+    assert text.count("+") >= 2
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ConfigurationError):
+        shelf_pack([])
+    with pytest.raises(ConfigurationError):
+        shelf_pack([("x", -1.0)])
+    with pytest.raises(ConfigurationError):
+        shelf_pack([("x", 1.0)], target_aspect=0.0)
+
+
+def test_floorplan_real_chip():
+    chip, ctx = tpu_v1(), tpu_v1_context()
+    plan = floorplan_chip(chip.estimate(ctx))
+    names = {block.name for block in plan.blocks}
+    assert "core" in names
+    # The outline approximates the modeled (non-whitespace) silicon.
+    modeled = chip.estimate(ctx).area_mm2 * (1 - 0.26)
+    assert plan.placed_mm2 == pytest.approx(modeled, rel=0.05)
+    # sqrt-of-area wire estimates are the same order as placed distances.
+    core = plan.block("core")
+    assert 0.2 * plan.width_mm < core.center[0] < 0.9 * plan.width_mm

@@ -1,0 +1,128 @@
+"""On-chip memory (with its optimizer) and the central data bus."""
+
+import pytest
+
+from repro.arch.cdb import CentralDataBus
+from repro.arch.component import ModelContext
+from repro.arch.memory import MemCellKind, OnChipMemory, OnChipMemoryConfig
+from repro.errors import ConfigurationError
+from repro.tech.node import node
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ModelContext(tech=node(28), freq_ghz=0.7)
+
+
+class TestOnChipMemory:
+    def test_auto_banking_meets_bandwidth(self, ctx):
+        mem = OnChipMemory(
+            OnChipMemoryConfig(
+                capacity_bytes=8 << 20,
+                block_bytes=64,
+                read_bandwidth_gbps=800.0,
+                write_bandwidth_gbps=400.0,
+            )
+        )
+        assert mem.peak_read_bandwidth_gbps(ctx) >= 800.0
+        assert mem.peak_write_bandwidth_gbps(ctx) >= 400.0
+
+    def test_min_banks_respected(self, ctx):
+        mem = OnChipMemory(
+            OnChipMemoryConfig(
+                capacity_bytes=108 * 1024, block_bytes=8, min_banks=27
+            )
+        )
+        assert mem.organization(ctx).banks >= 27
+
+    def test_cache_mode_adds_tag_overhead(self, ctx):
+        scratch = OnChipMemory(
+            OnChipMemoryConfig(
+                capacity_bytes=1 << 20, block_bytes=64, scratchpad=True
+            )
+        )
+        cache = OnChipMemory(
+            OnChipMemoryConfig(
+                capacity_bytes=1 << 20, block_bytes=64, scratchpad=False
+            )
+        )
+        assert cache.estimate(ctx).area_mm2 > scratch.estimate(ctx).area_mm2
+
+    def test_edram_denser_than_sram(self, ctx):
+        sram = OnChipMemory(
+            OnChipMemoryConfig(capacity_bytes=8 << 20, block_bytes=64)
+        )
+        edram = OnChipMemory(
+            OnChipMemoryConfig(
+                capacity_bytes=8 << 20,
+                block_bytes=64,
+                cell=MemCellKind.EDRAM,
+                latency_cycles=8,
+            )
+        )
+        assert edram.estimate(ctx).area_mm2 < sram.estimate(ctx).area_mm2
+
+    def test_dff_mem_limited_to_small_buffers(self):
+        with pytest.raises(ConfigurationError):
+            OnChipMemory(
+                OnChipMemoryConfig(
+                    capacity_bytes=1 << 20,
+                    block_bytes=64,
+                    cell=MemCellKind.DFF,
+                )
+            )
+
+    def test_dff_mem_works_for_small_buffers(self, ctx):
+        mem = OnChipMemory(
+            OnChipMemoryConfig(
+                capacity_bytes=16 * 1024,
+                block_bytes=32,
+                cell=MemCellKind.DFF,
+            )
+        )
+        assert mem.estimate(ctx).area_mm2 > 0
+        assert mem.read_energy_pj(ctx) > 0
+
+    def test_organization_cached_per_context(self, ctx):
+        mem = OnChipMemory(
+            OnChipMemoryConfig(capacity_bytes=1 << 20, block_bytes=64)
+        )
+        assert mem.organization(ctx) is mem.organization(ctx)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnChipMemoryConfig(capacity_bytes=0, block_bytes=64)
+        with pytest.raises(ConfigurationError):
+            OnChipMemoryConfig(
+                capacity_bytes=1024, block_bytes=64, latency_cycles=0
+            )
+
+
+class TestCentralDataBus:
+    def test_length_is_sqrt_of_area(self):
+        cdb = CentralDataBus(width_bits=512, connected_area_mm2=16.0)
+        assert cdb.length_mm == pytest.approx(4.0)
+
+    def test_long_buses_get_pipelined(self, ctx):
+        short = CentralDataBus(width_bits=512, connected_area_mm2=1.0)
+        long = CentralDataBus(width_bits=512, connected_area_mm2=400.0)
+        assert long.pipeline_stages(ctx) > short.pipeline_stages(ctx)
+        assert short.pipeline_stages(ctx) >= 1
+
+    def test_pipelining_keeps_per_stage_under_cycle(self, ctx):
+        cdb = CentralDataBus(width_bits=1024, connected_area_mm2=300.0)
+        estimate = cdb.estimate(ctx)
+        assert estimate.cycle_time_ns <= ctx.cycle_ns * 1.05
+
+    def test_transfer_energy_scales_with_width(self, ctx):
+        narrow = CentralDataBus(width_bits=128, connected_area_mm2=25.0)
+        wide = CentralDataBus(width_bits=1024, connected_area_mm2=25.0)
+        assert wide.transfer_energy_pj(ctx) > 6.0 * narrow.transfer_energy_pj(
+            ctx
+        )
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            CentralDataBus(width_bits=0, connected_area_mm2=1.0)
+        with pytest.raises(ConfigurationError):
+            CentralDataBus(width_bits=8, connected_area_mm2=-1.0)

@@ -1,0 +1,150 @@
+"""NoC topologies and peripheral blocks."""
+
+import pytest
+
+from repro.arch.component import ModelContext
+from repro.arch.noc import NetworkOnChip, NocConfig, NocTopology
+from repro.arch.periph import (
+    DmaController,
+    DramKind,
+    InterChipInterconnect,
+    MemoryController,
+    PcieInterface,
+)
+from repro.errors import ConfigurationError
+from repro.tech.node import node
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ModelContext(tech=node(28), freq_ghz=0.7)
+
+
+def _mesh(x=4, y=4, bisection=256.0) -> NocConfig:
+    return NocConfig(
+        topology=NocTopology.MESH_2D,
+        nodes_x=x,
+        nodes_y=y,
+        bisection_gbps=bisection,
+    )
+
+
+class TestNocConfig:
+    def test_mesh_link_count(self):
+        assert _mesh(4, 4).link_count == 4 * 3 + 4 * 3
+
+    def test_ring_link_count(self):
+        ring = NocConfig(NocTopology.RING, 2, 2, 64.0)
+        assert ring.link_count == 4
+
+    def test_flit_width_covers_bisection(self):
+        cfg = _mesh(4, 4, bisection=256.0)
+        flit = cfg.flit_bits(0.7)
+        # 4 bisection links * flit bits * 0.7 GHz >= 256 GB/s.
+        assert cfg.bisection_links * flit * 0.7 / 8.0 >= 256.0
+
+    def test_average_hops_by_topology(self):
+        mesh = _mesh(4, 4)
+        bus = NocConfig(NocTopology.BUS, 4, 4, 64.0)
+        assert mesh.average_hops() > bus.average_hops()
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            NocConfig(NocTopology.MESH_2D, 0, 4, 64.0)
+        with pytest.raises(ConfigurationError):
+            NocConfig(NocTopology.MESH_2D, 2, 2, 0.0)
+
+
+class TestNocModel:
+    def test_single_node_is_free(self, ctx):
+        noc = NetworkOnChip(
+            NocConfig(NocTopology.MESH_2D, 1, 1, 64.0), node_pitch_mm=3.0
+        )
+        estimate = noc.estimate(ctx)
+        assert estimate.area_mm2 == 0.0
+        assert noc.energy_per_byte_pj(ctx) == 0.0
+
+    def test_more_nodes_cost_more(self, ctx):
+        small = NetworkOnChip(_mesh(2, 2), 3.0).estimate(ctx)
+        large = NetworkOnChip(_mesh(4, 8), 3.0).estimate(ctx)
+        assert large.area_mm2 > small.area_mm2
+        assert large.total_power_w > small.total_power_w
+
+    def test_bus_spans_the_chip(self, ctx):
+        bus = NetworkOnChip(
+            NocConfig(NocTopology.BUS, 4, 4, 64.0), node_pitch_mm=2.0
+        )
+        assert bus.link_length_mm() == pytest.approx(8.0)
+
+    def test_energy_per_byte_positive(self, ctx):
+        noc = NetworkOnChip(_mesh(), 3.0)
+        assert noc.energy_per_byte_pj(ctx) > 0
+
+    def test_htree_supported(self, ctx):
+        htree = NetworkOnChip(
+            NocConfig(NocTopology.HTREE, 4, 4, 64.0), 2.0
+        )
+        assert htree.estimate(ctx).area_mm2 > 0
+
+    def test_rejects_bad_pitch(self):
+        with pytest.raises(ConfigurationError):
+            NetworkOnChip(_mesh(), node_pitch_mm=0.0)
+
+
+class TestMemoryController:
+    def test_channel_count_covers_bandwidth(self):
+        mc = MemoryController(DramKind.HBM2, bandwidth_gbps=700.0)
+        assert mc.channels == 3
+
+    def test_hbm_carries_device_power(self):
+        hbm = MemoryController(DramKind.HBM2, 700.0)
+        ddr = MemoryController(DramKind.DDR3, 25.0)
+        assert hbm.device_power_w() > 0
+        assert ddr.device_power_w() == 0.0
+
+    def test_hbm_interface_energy_cheaper_than_ddr(self):
+        assert MemoryController(DramKind.HBM2, 256.0).energy_per_byte_pj() < (
+            MemoryController(DramKind.DDR3, 12.0).energy_per_byte_pj()
+        )
+
+    def test_estimate_scales_with_channels(self, ctx):
+        one = MemoryController(DramKind.HBM2, 200.0).estimate(ctx)
+        three = MemoryController(DramKind.HBM2, 700.0).estimate(ctx)
+        assert three.area_mm2 > 2.0 * one.area_mm2
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            MemoryController(DramKind.HBM, 0.0)
+
+
+class TestOtherPeripherals:
+    def test_pcie_bandwidth_by_generation(self):
+        gen3 = PcieInterface(lanes=16, generation=3)
+        gen4 = PcieInterface(lanes=16, generation=4)
+        assert gen4.bandwidth_gbps == pytest.approx(
+            2.0 * gen3.bandwidth_gbps
+        )
+
+    def test_pcie_area_scales_with_lanes(self, ctx):
+        x4 = PcieInterface(lanes=4).estimate(ctx)
+        x16 = PcieInterface(lanes=16).estimate(ctx)
+        assert x16.area_mm2 > 2.5 * x4.area_mm2
+
+    def test_ici_estimate_positive(self, ctx):
+        ici = InterChipInterconnect(links=4, link_gbit_per_dir=496.0)
+        estimate = ici.estimate(ctx)
+        assert estimate.area_mm2 > 10.0
+        assert estimate.dynamic_w > 1.0
+
+    def test_dma_scales_with_channels(self, ctx):
+        assert DmaController(channels=8).estimate(ctx).area_mm2 > (
+            DmaController(channels=1).estimate(ctx).area_mm2
+        )
+
+    def test_invalid_peripherals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PcieInterface(lanes=0)
+        with pytest.raises(ConfigurationError):
+            InterChipInterconnect(links=0)
+        with pytest.raises(ConfigurationError):
+            DmaController(channels=0)

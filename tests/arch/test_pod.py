@@ -1,0 +1,80 @@
+"""Multi-chip pod extension."""
+
+import pytest
+
+from repro.arch.pod import Pod, chips_for_tops, pod_sizes_up_to
+from repro.config.presets import tpu_v2, tpu_v2_context
+from repro.dse.space import DesignPoint
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return tpu_v2()
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return tpu_v2_context()
+
+
+def test_aggregates_scale_linearly(chip, ctx):
+    single = Pod(chip, 1, 1)
+    pod = Pod(chip, 4, 4)
+    assert pod.peak_tops(ctx) == pytest.approx(16 * single.peak_tops(ctx))
+    assert pod.tdp_w(ctx) == pytest.approx(16 * single.tdp_w(ctx))
+    assert pod.silicon_mm2(ctx) == pytest.approx(
+        16 * single.silicon_mm2(ctx)
+    )
+
+
+def test_multi_chip_pod_requires_ici():
+    inference_chip = DesignPoint(64, 2, 2, 4).build()  # no ICI block
+    with pytest.raises(ConfigurationError):
+        Pod(inference_chip, 2, 2)
+    Pod(inference_chip, 1, 1)  # single chip is fine
+
+
+def test_all_reduce_cost_structure(chip):
+    pod = Pod(chip, 4, 4)
+    payload = 100e6  # 100 MB of gradients
+    time = pod.all_reduce_time_s(payload)
+    assert time > 0
+    # The 2(N-1)/N factor approaches 2 payload/link as pods grow.
+    bigger = Pod(chip, 8, 8)
+    assert bigger.all_reduce_time_s(payload) > time * 0.9
+
+
+def test_single_chip_all_reduce_is_free(chip):
+    assert Pod(chip, 1, 1).all_reduce_time_s(1e9) == 0.0
+
+
+def test_scaling_efficiency_degrades_with_payload(chip):
+    pod = Pod(chip, 4, 4)
+    light = pod.scaling_efficiency(
+        compute_time_s=0.1, gradient_bytes=10e6
+    )
+    heavy = pod.scaling_efficiency(
+        compute_time_s=0.1, gradient_bytes=10e9
+    )
+    assert 0 < heavy < light <= 1.0
+
+
+def test_overlap_bounds(chip):
+    pod = Pod(chip, 2, 2)
+    with pytest.raises(ConfigurationError):
+        pod.data_parallel_step_time_s(0.1, 1e6, overlap=1.5)
+
+
+def test_pod_sizes_enumeration():
+    sizes = pod_sizes_up_to(16)
+    assert (1, 1) in sizes
+    assert (4, 4) in sizes
+    assert all(x * y <= 16 for x, y in sizes)
+
+
+def test_chips_for_tops(chip, ctx):
+    per_chip = chip.peak_tops(ctx)
+    assert chips_for_tops(chip, ctx, per_chip * 3.5) == 4
+    with pytest.raises(ConfigurationError):
+        chips_for_tops(chip, ctx, 0.0)

@@ -1,0 +1,81 @@
+"""Reduction-tree model."""
+
+import pytest
+
+from repro.arch.component import ModelContext
+from repro.arch.reduction_tree import ReductionTree, ReductionTreeConfig
+from repro.datatypes import INT8
+from repro.errors import ConfigurationError
+from repro.tech.node import node
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ModelContext(tech=node(28), freq_ghz=0.7)
+
+
+def _rt(inputs=64, **kwargs) -> ReductionTree:
+    return ReductionTree(ReductionTreeConfig(inputs=inputs, **kwargs))
+
+
+class TestConfig:
+    def test_levels_log2(self):
+        assert ReductionTreeConfig(inputs=64).levels == 6
+        assert ReductionTreeConfig(inputs=1024).levels == 10
+
+    def test_tree_adder_count_n_minus_one(self):
+        assert ReductionTreeConfig(inputs=64).tree_adders == 63
+        assert ReductionTreeConfig(inputs=1024).tree_adders == 1023
+
+    def test_wider_fan_in_shrinks_depth(self):
+        assert ReductionTreeConfig(inputs=64, adder_fan_in=4).levels == 3
+
+    def test_macs_equal_inputs(self):
+        assert ReductionTreeConfig(inputs=64).macs == 64
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReductionTreeConfig(inputs=1)
+        with pytest.raises(ConfigurationError):
+            ReductionTreeConfig(inputs=8, adder_fan_in=1)
+
+
+class TestPipelining:
+    def test_deep_trees_need_pipeline_registers(self, ctx):
+        deep = _rt(1024)
+        assert deep.pipeline_registers(ctx) >= 1
+
+    def test_pipelined_tree_meets_target_clock(self, ctx):
+        deep = _rt(1024)
+        assert deep.cycle_time_ns(ctx) <= 1.0 / 0.7 + 0.3
+
+    def test_slow_clock_needs_no_registers(self):
+        slow = ModelContext(tech=node(28), freq_ghz=0.05)
+        assert _rt(64).pipeline_registers(slow) == 0
+
+
+class TestScaling:
+    def test_area_scales_with_inputs(self, ctx):
+        small = _rt(64).area_mm2(ctx)
+        large = _rt(1024).area_mm2(ctx)
+        assert 10.0 < large / small < 25.0
+
+    def test_energy_per_mac_includes_tree(self, ctx):
+        rt = _rt(64)
+        mult_only = rt.config.mac.multiply_energy_pj(ctx.tech)
+        assert rt.energy_per_mac_pj(ctx) > mult_only
+
+    def test_estimate_children(self, ctx):
+        estimate = _rt().estimate(ctx)
+        names = {child.name for child in estimate.children}
+        assert names == {"mac array", "adder tree"}
+
+    def test_rt_and_tu_comparable_throughput_cost(self, ctx):
+        # Sec. IV pairs RT64 with an 8x8 TU (same OPS per unit); their
+        # per-MAC energies should be in the same ballpark.
+        from repro.arch.tensor_unit import TensorUnit, TensorUnitConfig
+
+        rt = _rt(64, input_dtype=INT8)
+        tu = TensorUnit(TensorUnitConfig(rows=8, cols=8))
+        ratio = rt.energy_per_mac_pj(ctx) / tu.energy_per_mac_pj(ctx)
+        assert 0.3 < ratio < 3.0

@@ -1,0 +1,119 @@
+"""Tensor-unit model: cells, interconnects, dataflows, scaling laws."""
+
+import pytest
+
+from repro.arch.component import ModelContext
+from repro.arch.tensor_unit import (
+    Dataflow,
+    InterconnectKind,
+    SystolicCellConfig,
+    TensorUnit,
+    TensorUnitConfig,
+)
+from repro.datatypes import BF16, FP32, INT8, INT16
+from repro.errors import ConfigurationError
+from repro.tech.node import node
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ModelContext(tech=node(28), freq_ghz=0.7)
+
+
+def _tu(rows=32, cols=32, **kwargs) -> TensorUnit:
+    return TensorUnit(TensorUnitConfig(rows=rows, cols=cols, **kwargs))
+
+
+class TestConfig:
+    def test_mac_count(self):
+        assert TensorUnitConfig(rows=64, cols=32).macs == 2048
+
+    def test_fill_drain(self):
+        assert TensorUnitConfig(rows=16, cols=16).fill_drain_cycles == 32
+
+    def test_rejects_degenerate_arrays(self):
+        with pytest.raises(ConfigurationError):
+            TensorUnitConfig(rows=0, cols=16)
+        with pytest.raises(ConfigurationError):
+            TensorUnitConfig(rows=16, cols=16, fifo_depth=0)
+
+    def test_cell_pipeline_bits(self):
+        cell = SystolicCellConfig(input_dtype=INT8)
+        assert cell.pipeline_bits == 2 * 8 + 32
+
+    def test_cell_mac_defaults(self):
+        assert SystolicCellConfig(input_dtype=BF16).mac.accum_dtype is FP32
+
+
+class TestArea:
+    def test_area_scales_with_macs(self, ctx):
+        small = _tu(16, 16).estimate(ctx).area_mm2
+        large = _tu(64, 64).estimate(ctx).area_mm2
+        assert 14.0 < large / small < 24.0  # ~16x cells + span overhead
+
+    def test_span_wiring_penalizes_large_arrays(self, ctx):
+        assert _tu(256, 256).cell_area_mm2(ctx) > _tu(16, 16).cell_area_mm2(
+            ctx
+        )
+
+    def test_eyeriss_style_cell_bigger_than_plain(self, ctx):
+        plain = _tu(cell=SystolicCellConfig(input_dtype=INT16))
+        heavy = _tu(
+            cell=SystolicCellConfig(
+                input_dtype=INT16, spad_bytes=448, reg_bytes=72
+            )
+        )
+        assert heavy.cell_area_mm2(ctx) > 1.5 * plain.cell_area_mm2(ctx)
+
+
+class TestEnergy:
+    def test_energy_per_mac_below_cell_budget(self, ctx):
+        tu = _tu(64, 64)
+        per_mac = tu.energy_per_mac_pj(ctx)
+        assert 0.2 < per_mac < 2.0  # int8 at 28 nm
+
+    def test_span_energy_smaller_arrays_cheaper_per_mac(self, ctx):
+        wimpy = _tu(8, 8).energy_per_mac_pj(ctx)
+        brawny = _tu(256, 256).energy_per_mac_pj(ctx)
+        assert wimpy < brawny
+
+    def test_bf16_array_burns_more(self, ctx):
+        int8 = _tu(cell=SystolicCellConfig(input_dtype=INT8))
+        bf16 = _tu(cell=SystolicCellConfig(input_dtype=BF16))
+        assert bf16.energy_per_active_cycle_pj(ctx) > 2.0 * (
+            int8.energy_per_active_cycle_pj(ctx)
+        )
+
+
+class TestTiming:
+    def test_unicast_cycle_is_cell_limited(self, ctx):
+        tu = _tu(interconnect=InterconnectKind.UNICAST)
+        cell_ns = tu.config.cell.mac.delay_ns(ctx.tech)
+        assert tu.cycle_time_ns(ctx) >= cell_ns
+
+    def test_multicast_bus_slows_large_arrays(self, ctx):
+        small = _tu(8, 8, interconnect=InterconnectKind.MULTICAST)
+        large = _tu(256, 256, interconnect=InterconnectKind.MULTICAST)
+        assert large.multicast_bus_delay_ns(ctx) > (
+            small.multicast_bus_delay_ns(ctx)
+        )
+
+    def test_700mhz_feasible_for_tpu_like_array(self, ctx):
+        tu = _tu(256, 256)
+        assert tu.cycle_time_ns(ctx) < 1.0 / 0.7
+
+
+class TestEstimate:
+    def test_children_present(self, ctx):
+        estimate = _tu().estimate(ctx)
+        names = {child.name for child in estimate.children}
+        assert names == {"systolic cells", "io fifo", "inner-tu interconnect"}
+
+    def test_cells_dominate_area(self, ctx):
+        estimate = _tu(64, 64).estimate(ctx)
+        assert estimate.area_shares()["systolic cells"] > 0.8
+
+    def test_dataflows_both_supported(self, ctx):
+        for dataflow in Dataflow:
+            estimate = _tu(dataflow=dataflow).estimate(ctx)
+            assert estimate.area_mm2 > 0

@@ -1,0 +1,113 @@
+"""Vector unit, vector register file, scalar unit, IFU/LSU."""
+
+import pytest
+
+from repro.arch.component import ModelContext
+from repro.arch.frontend import InstructionFetchUnit, LoadStoreUnit
+from repro.arch.scalar_unit import ScalarUnit
+from repro.arch.vector_unit import VectorUnit, VectorUnitConfig
+from repro.arch.vreg import VectorRegisterFile, VRegConfig
+from repro.datatypes import FP32, INT16
+from repro.errors import ConfigurationError
+from repro.tech.node import node
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ModelContext(tech=node(28), freq_ghz=0.7)
+
+
+class TestVectorUnit:
+    def test_area_linear_in_lanes(self, ctx):
+        one = VectorUnit(VectorUnitConfig(lanes=32)).area_mm2(ctx)
+        two = VectorUnit(VectorUnitConfig(lanes=64)).area_mm2(ctx)
+        assert two == pytest.approx(2.0 * one, rel=0.01)
+
+    def test_fp32_lanes_cost_more(self, ctx):
+        int16 = VectorUnit(VectorUnitConfig(lanes=64, dtype=INT16))
+        fp32 = VectorUnit(VectorUnitConfig(lanes=64, dtype=FP32))
+        assert fp32.area_mm2(ctx) > int16.area_mm2(ctx)
+        assert fp32.energy_per_active_cycle_pj(ctx) > (
+            int16.energy_per_active_cycle_pj(ctx)
+        )
+
+    def test_rich_sfu_grows_the_unit(self, ctx):
+        lean = VectorUnit(VectorUnitConfig(lanes=64, sfu_gates=2_000))
+        rich = VectorUnit(VectorUnitConfig(lanes=64, sfu_gates=25_000))
+        assert rich.area_mm2(ctx) > 2.0 * lean.area_mm2(ctx)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            VectorUnitConfig(lanes=0)
+        with pytest.raises(ConfigurationError):
+            VectorUnitConfig(lanes=4, pipeline_depth=0)
+
+
+class TestVReg:
+    def test_default_core_gets_4r2w(self):
+        # Single TU + single VU: the paper's 4-read 2-write dual issue.
+        cfg = VRegConfig(vector_lanes=64, attached_units=2)
+        assert cfg.read_ports == 4
+        assert cfg.write_ports == 2
+        assert cfg.issue_width == 2
+
+    def test_port_sharing_caps_growth(self):
+        private = VRegConfig(vector_lanes=64, attached_units=5)
+        shared = VRegConfig(
+            vector_lanes=64, attached_units=5, shared_ports=True
+        )
+        assert shared.read_ports < private.read_ports
+
+    def test_overhead_explosion_with_many_units(self, ctx):
+        # Sec. III-A: eight TUs per core explode the VReg cost; ports
+        # grow the area superlinearly.
+        few = VectorRegisterFile(
+            VRegConfig(vector_lanes=16, attached_units=2)
+        )
+        many = VectorRegisterFile(
+            VRegConfig(vector_lanes=16, attached_units=9)
+        )
+        area_ratio = many.area_mm2(ctx) / few.area_mm2(ctx)
+        port_ratio = 9 / 2
+        assert area_ratio > port_ratio
+
+    def test_estimate_is_positive(self, ctx):
+        vreg = VectorRegisterFile(
+            VRegConfig(vector_lanes=64, attached_units=3)
+        )
+        estimate = vreg.estimate(ctx)
+        assert estimate.area_mm2 > 0
+        assert estimate.dynamic_w > 0
+
+
+class TestScalarUnit:
+    def test_small_footprint(self, ctx):
+        # A stripped A9-class core is a fraction of a mm^2 at 28 nm.
+        area = ScalarUnit().estimate(ctx).area_mm2
+        assert 0.01 < area < 1.0
+
+    def test_children(self, ctx):
+        estimate = ScalarUnit().estimate(ctx)
+        names = {child.name for child in estimate.children}
+        assert names == {"fetch+decode", "int rf + alu", "scalar lsu"}
+
+    def test_meets_datacenter_clock(self, ctx):
+        assert ScalarUnit().cycle_time_ns(ctx) < 1.0 / 0.7
+
+
+class TestFrontend:
+    def test_ifu_area_grows_with_buffer(self, ctx):
+        small = InstructionFetchUnit(buffer_entries=64).estimate(ctx)
+        large = InstructionFetchUnit(buffer_entries=1024).estimate(ctx)
+        assert large.area_mm2 > small.area_mm2
+
+    def test_lsu_scales_with_datapath(self, ctx):
+        narrow = LoadStoreUnit(datapath_bytes=16).estimate(ctx)
+        wide = LoadStoreUnit(datapath_bytes=256).estimate(ctx)
+        assert wide.area_mm2 > narrow.area_mm2
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InstructionFetchUnit(instruction_bytes=0)
+        with pytest.raises(ConfigurationError):
+            LoadStoreUnit(queue_entries=0)

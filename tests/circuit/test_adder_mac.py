@@ -1,0 +1,91 @@
+"""Empirical adder and MAC models."""
+
+import pytest
+
+from repro.circuit.adder import AdderModel
+from repro.circuit.mac import MacModel
+from repro.datatypes import BF16, FP16, FP32, INT8, INT16, INT32, DataType
+from repro.tech.node import node
+
+
+@pytest.fixture(scope="module")
+def t45():
+    return node(45)
+
+
+@pytest.fixture(scope="module")
+def t28():
+    return node(28)
+
+
+class TestAdder:
+    def test_energy_grows_with_width(self, t45):
+        assert AdderModel(INT32).energy_per_op_pj(t45) > AdderModel(
+            INT8
+        ).energy_per_op_pj(t45)
+
+    def test_float_adders_cost_more_than_int_of_same_width(self, t45):
+        assert AdderModel(FP32).energy_per_op_pj(t45) > AdderModel(
+            INT32
+        ).energy_per_op_pj(t45)
+        assert AdderModel(FP32).area_um2(t45) > AdderModel(INT32).area_um2(
+            t45
+        )
+
+    def test_energy_shrinks_with_node(self, t45, t28):
+        assert AdderModel(INT8).energy_per_op_pj(t28) < AdderModel(
+            INT8
+        ).energy_per_op_pj(t45)
+
+    def test_nontabulated_int_width_uses_fit(self, t45):
+        custom = DataType("int12", 12)
+        e12 = AdderModel(custom).energy_per_op_pj(t45)
+        e8 = AdderModel(INT8).energy_per_op_pj(t45)
+        e16 = AdderModel(INT16).energy_per_op_pj(t45)
+        assert e8 < e12 < e16
+
+    def test_delay_positive_and_ordered(self, t45):
+        assert 0 < AdderModel(INT8).delay_ns(t45) < AdderModel(
+            FP32
+        ).delay_ns(t45)
+
+    def test_leakage_tracks_area(self, t45):
+        small = AdderModel(INT8)
+        big = AdderModel(FP32)
+        ratio = big.leakage_w(t45) / small.leakage_w(t45)
+        assert ratio == pytest.approx(
+            big.area_um2(t45) / small.area_um2(t45)
+        )
+
+
+class TestMac:
+    def test_default_accumulator_int(self):
+        assert MacModel(INT8).accum_dtype is INT32
+
+    def test_default_accumulator_float(self):
+        assert MacModel(BF16).accum_dtype is FP32
+
+    def test_mac_energy_is_multiply_plus_accumulate(self, t45):
+        mac = MacModel(INT8)
+        assert mac.energy_per_mac_pj(t45) > mac.multiply_energy_pj(t45)
+
+    def test_bf16_mac_costs_more_than_int8(self, t45):
+        assert MacModel(BF16).energy_per_mac_pj(t45) > MacModel(
+            INT8
+        ).energy_per_mac_pj(t45)
+        assert MacModel(BF16).area_um2(t45) > MacModel(INT8).area_um2(t45)
+
+    def test_int8_mac_magnitude_at_28nm(self, t28):
+        # Synthesis-calibrated int8 MAC: a few hundred fJ at 28 nm.
+        energy = MacModel(INT8).energy_per_mac_pj(t28)
+        assert 0.1 < energy < 1.5
+
+    def test_int8_mac_area_magnitude_at_28nm(self, t28):
+        area = MacModel(INT8).area_um2(t28)
+        assert 100.0 < area < 1_500.0
+
+    def test_delay_longer_for_floats(self, t45):
+        assert MacModel(FP16).delay_ns(t45) > MacModel(INT16).delay_ns(t45)
+
+    def test_area_scales_down_across_nodes(self, t45, t28):
+        assert MacModel(INT8).area_um2(t28) < MacModel(INT8).area_um2(t45)

@@ -1,0 +1,61 @@
+"""Flip-flop banks."""
+
+import pytest
+
+from repro.circuit.dff import DffBank
+from repro.tech.node import node
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return node(28)
+
+
+def test_area_linear_in_bits(tech):
+    assert DffBank("b", 128).area_mm2(tech) == pytest.approx(
+        2.0 * DffBank("b", 64).area_mm2(tech)
+    )
+
+
+def test_active_energy_grows_with_data_activity(tech):
+    calm = DffBank("c", 64, data_activity=0.1)
+    busy = DffBank("b", 64, data_activity=0.9)
+    assert busy.energy_per_active_cycle_pj(tech) > (
+        calm.energy_per_active_cycle_pj(tech)
+    )
+
+
+def test_clock_gated_bank_idles_free(tech):
+    gated = DffBank("g", 64, clock_gated=True)
+    assert gated.energy_per_idle_cycle_pj(tech) == 0.0
+
+
+def test_ungated_bank_pays_clock_when_idle(tech):
+    free_running = DffBank("f", 64, clock_gated=False)
+    idle = free_running.energy_per_idle_cycle_pj(tech)
+    active = free_running.energy_per_active_cycle_pj(tech)
+    assert 0 < idle < active
+
+
+def test_leakage_linear_in_bits(tech):
+    assert DffBank("b", 100).leakage_w(tech) == pytest.approx(
+        10.0 * DffBank("b", 10).leakage_w(tech)
+    )
+
+
+def test_zero_bit_bank_costs_nothing(tech):
+    empty = DffBank("e", 0)
+    assert empty.area_mm2(tech) == 0.0
+    assert empty.energy_per_active_cycle_pj(tech) == 0.0
+    assert empty.leakage_w(tech) == 0.0
+
+
+def test_invalid_banks_rejected():
+    with pytest.raises(ValueError):
+        DffBank("bad", -1)
+    with pytest.raises(ValueError):
+        DffBank("bad", 8, data_activity=2.0)
+
+
+def test_sequencing_overhead_positive(tech):
+    assert DffBank("d", 1).setup_plus_clk_to_q_ns(tech) > 0

@@ -1,0 +1,71 @@
+"""eDRAM arrays and multiported register files."""
+
+import pytest
+
+from repro.circuit.edram import EdramArray
+from repro.circuit.regfile import RegisterFile
+from repro.circuit.sram import SramArray
+from repro.errors import ConfigurationError
+from repro.tech.node import node
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return node(28)
+
+
+@pytest.fixture(scope="module")
+def organization():
+    return SramArray(capacity_bytes=4 << 20, block_bytes=64, banks=4)
+
+
+class TestEdram:
+    def test_denser_than_sram(self, tech, organization):
+        edram = EdramArray(organization)
+        assert edram.area_mm2(tech) < organization.area_mm2(tech)
+
+    def test_read_includes_writeback(self, tech, organization):
+        edram = EdramArray(organization)
+        assert edram.read_energy_pj(tech) > 0
+
+    def test_cycle_slower_than_sram(self, tech, organization):
+        edram = EdramArray(organization)
+        assert edram.random_cycle_ns(tech) > organization.random_cycle_ns(
+            tech
+        ) * 0.9
+
+    def test_refresh_power_scales_with_capacity(self, tech):
+        small = EdramArray(
+            SramArray(capacity_bytes=1 << 20, block_bytes=64)
+        )
+        large = EdramArray(
+            SramArray(capacity_bytes=8 << 20, block_bytes=64)
+        )
+        assert large.leakage_w(tech) > small.leakage_w(tech)
+
+
+class TestRegisterFile:
+    def test_port_growth_is_superlinear(self, tech):
+        base = RegisterFile(32, 256, read_ports=2, write_ports=1)
+        ported = RegisterFile(32, 256, read_ports=8, write_ports=4)
+        ratio = ported.area_mm2(tech) / base.area_mm2(tech)
+        port_ratio = ported.total_ports / base.total_ports
+        assert ratio > port_ratio  # the VReg "overhead explosion"
+
+    def test_read_cheaper_than_write(self, tech):
+        rf = RegisterFile(32, 512, read_ports=2, write_ports=1)
+        assert rf.read_energy_pj(tech) < rf.write_energy_pj(tech)
+
+    def test_latency_grows_with_entries(self, tech):
+        small = RegisterFile(16, 64, 2, 1).access_latency_ns(tech)
+        big = RegisterFile(256, 64, 2, 1).access_latency_ns(tech)
+        assert big > small
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegisterFile(0, 64, 2, 1)
+        with pytest.raises(ConfigurationError):
+            RegisterFile(16, 64, 0, 1)
+
+    def test_leakage_positive(self, tech):
+        assert RegisterFile(32, 128, 2, 1).leakage_w(tech) > 0

@@ -1,0 +1,81 @@
+"""Regular-logic blocks and buffer chains."""
+
+import pytest
+
+from repro.circuit.gates import (
+    LogicBlock,
+    buffer_chain_delay_ns,
+    buffer_chain_energy_pj,
+    decoder_gate_count,
+)
+from repro.tech.node import node
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return node(28)
+
+
+def test_area_scales_with_gate_count(tech):
+    small = LogicBlock("s", 1_000).area_mm2(tech)
+    large = LogicBlock("l", 10_000).area_mm2(tech)
+    assert large == pytest.approx(10.0 * small)
+
+
+def test_energy_scales_with_activity(tech):
+    quiet = LogicBlock("q", 1_000, activity=0.1).energy_per_cycle_pj(tech)
+    busy = LogicBlock("b", 1_000, activity=0.2).energy_per_cycle_pj(tech)
+    assert busy == pytest.approx(2.0 * quiet)
+
+
+def test_leakage_independent_of_activity(tech):
+    a = LogicBlock("a", 1_000, activity=0.1).leakage_w(tech)
+    b = LogicBlock("b", 1_000, activity=0.9).leakage_w(tech)
+    assert a == pytest.approx(b)
+
+
+def test_delay_scales_with_depth(tech):
+    shallow = LogicBlock("s", 100, logic_depth=4).delay_ns(tech)
+    deep = LogicBlock("d", 100, logic_depth=16).delay_ns(tech)
+    assert deep == pytest.approx(4.0 * shallow)
+
+
+def test_invalid_blocks_rejected():
+    with pytest.raises(ValueError):
+        LogicBlock("bad", -1)
+    with pytest.raises(ValueError):
+        LogicBlock("bad", 10, activity=1.5)
+    with pytest.raises(ValueError):
+        LogicBlock("bad", 10, logic_depth=0)
+
+
+def test_buffer_chain_monotone_in_load(tech):
+    light = buffer_chain_delay_ns(tech, 10.0)
+    heavy = buffer_chain_delay_ns(tech, 10_000.0)
+    assert heavy > light > 0
+
+
+def test_buffer_chain_zero_load_free(tech):
+    assert buffer_chain_delay_ns(tech, 0.0) == 0.0
+
+
+def test_buffer_chain_energy_exceeds_bare_load(tech):
+    load_ff = 100.0
+    bare = load_ff * tech.vdd_v**2 * 1e-3
+    assert buffer_chain_energy_pj(tech, load_ff) > bare
+
+
+def test_buffer_chain_rejects_negative(tech):
+    with pytest.raises(ValueError):
+        buffer_chain_delay_ns(tech, -1.0)
+
+
+def test_decoder_gate_count_grows_exponentially():
+    # Dominated by the 2-per-wordline output stage: ~4x per 2 extra bits.
+    assert decoder_gate_count(8) > 3 * decoder_gate_count(6)
+    assert decoder_gate_count(0) == 1
+
+
+def test_decoder_rejects_negative():
+    with pytest.raises(ValueError):
+        decoder_gate_count(-1)

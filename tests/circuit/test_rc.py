@@ -1,0 +1,109 @@
+"""Elmore delay engine: trees, ladders, pi segments."""
+
+import pytest
+
+from repro.circuit.rc import (
+    RCTree,
+    chain,
+    elmore_delay_ns,
+    elmore_delays_ns,
+    ladder_delay_ns,
+    pi_segment,
+    rc_ladder,
+)
+
+
+def test_single_rc_stage():
+    # 1 kohm driving 1 pF: tau = 1 ns.
+    root = RCTree("drv", 1_000.0, 1_000.0)
+    assert elmore_delay_ns(root) == pytest.approx(1.0)
+
+
+def test_series_resistances_accumulate():
+    root = RCTree("a", 1_000.0, 0.0)
+    root.add(RCTree("b", 1_000.0, 1_000.0))
+    # First resistor sees all downstream cap, second sees its own.
+    assert elmore_delay_ns(root, "b") == pytest.approx(2.0)
+
+
+def test_branch_delays_independent():
+    root = RCTree("drv", 100.0, 0.0)
+    root.add(RCTree("near", 100.0, 100.0))
+    root.add(RCTree("far", 10_000.0, 100.0))
+    delays = elmore_delays_ns(root)
+    assert delays["far"] > delays["near"]
+    assert elmore_delay_ns(root) == delays["far"]
+
+
+def test_unknown_sink_raises():
+    root = RCTree("drv", 100.0, 10.0)
+    with pytest.raises(KeyError):
+        elmore_delay_ns(root, "missing")
+
+
+def test_negative_values_rejected():
+    with pytest.raises(ValueError):
+        RCTree("bad", -1.0, 0.0)
+    with pytest.raises(ValueError):
+        RCTree("bad", 0.0, -1.0)
+
+
+def test_pi_segment_matches_distributed_wire():
+    # The pi model of an R/C wire has Elmore delay R*C/2 when driven ideally.
+    segment = pi_segment("wire", 2_000.0, 500.0)
+    assert elmore_delay_ns(segment) == pytest.approx(
+        0.5 * 2_000.0 * 500.0 * 1e-6
+    )
+
+
+def test_ladder_converges_to_distributed_limit():
+    r, c = 3_000.0, 400.0
+    exact = ladder_delay_ns(r, c)
+    coarse = elmore_delay_ns(rc_ladder("w", 2, r, c))
+    fine = elmore_delay_ns(rc_ladder("w", 64, r, c))
+    assert abs(fine - exact) < abs(coarse - exact) + 1e-12
+    assert fine == pytest.approx(exact, rel=0.01)
+
+
+def test_ladder_with_load():
+    r, c, load = 1_000.0, 100.0, 50.0
+    exact = ladder_delay_ns(r, c, load_ff=load)
+    simulated = elmore_delay_ns(rc_ladder("w", 128, r, c, load_ff=load))
+    assert simulated == pytest.approx(exact, rel=0.01)
+
+
+def test_ladder_delay_includes_driver():
+    base = ladder_delay_ns(1_000.0, 100.0)
+    driven = ladder_delay_ns(1_000.0, 100.0, driver_ohm=500.0)
+    assert driven == pytest.approx(base + 500.0 * 100.0 * 1e-6)
+
+
+def test_ladder_rejects_zero_segments():
+    with pytest.raises(ValueError):
+        rc_ladder("w", 0, 100.0, 100.0)
+
+
+def test_chain_builder():
+    tree = chain("c", [(100.0, 10.0), (200.0, 20.0)])
+    assert elmore_delay_ns(tree, "c.1") == pytest.approx(
+        (100.0 * 30.0 + 200.0 * 20.0) * 1e-6
+    )
+
+
+def test_chain_rejects_empty():
+    with pytest.raises(ValueError):
+        chain("c", [])
+
+
+def test_nodes_iteration_depth_first():
+    root = RCTree("a", 1.0, 1.0)
+    b = root.add(RCTree("b", 1.0, 1.0))
+    b.add(RCTree("c", 1.0, 1.0))
+    root.add(RCTree("d", 1.0, 1.0))
+    assert [n.name for n in root.nodes()] == ["a", "b", "c", "d"]
+
+
+def test_subtree_capacitance():
+    root = RCTree("a", 0.0, 1.0)
+    root.add(RCTree("b", 0.0, 2.0)).add(RCTree("c", 0.0, 3.0))
+    assert root.subtree_capacitance_ff() == pytest.approx(6.0)

@@ -1,0 +1,55 @@
+"""Shared fixtures: technology contexts and small reference designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.chip import Chip, ChipConfig
+from repro.arch.component import ModelContext
+from repro.arch.core import CoreConfig
+from repro.arch.memory import OnChipMemoryConfig
+from repro.arch.periph import DramKind
+from repro.arch.tensor_unit import TensorUnitConfig
+from repro.tech.node import node
+
+
+@pytest.fixture(scope="session")
+def t28() -> object:
+    """28 nm technology node."""
+    return node(28)
+
+
+@pytest.fixture(scope="session")
+def ctx28() -> ModelContext:
+    """Table I's context: 28 nm at 700 MHz."""
+    return ModelContext(tech=node(28), freq_ghz=0.7)
+
+
+@pytest.fixture(scope="session")
+def ctx16() -> ModelContext:
+    """16 nm at 700 MHz."""
+    return ModelContext(tech=node(16), freq_ghz=0.7)
+
+
+@pytest.fixture(scope="session")
+def small_core_config() -> CoreConfig:
+    """A small two-TU core used across architecture tests."""
+    return CoreConfig(
+        tu=TensorUnitConfig(rows=16, cols=16),
+        tensor_units=2,
+        mem=OnChipMemoryConfig(capacity_bytes=1 << 20, block_bytes=32),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_chip(small_core_config: CoreConfig) -> Chip:
+    """A small four-core chip used across integration tests."""
+    return Chip(
+        ChipConfig(
+            core=small_core_config,
+            cores_x=2,
+            cores_y=2,
+            dram=DramKind.HBM2,
+            offchip_bandwidth_gbps=256.0,
+        )
+    )

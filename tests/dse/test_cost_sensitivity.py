@@ -1,0 +1,116 @@
+"""Die-cost model and calibration sensitivity machinery."""
+
+import pytest
+
+from repro.dse.cost import (
+    CostModel,
+    tops_per_dollar,
+)
+from repro.dse.sensitivity import (
+    PERTURBABLE_CONSTANTS,
+    perturbed_calibration,
+    stability_summary,
+    winner_stability,
+)
+from repro.errors import ConfigurationError
+from repro.tech import calibration
+
+
+class TestCostModel:
+    def test_dies_per_wafer_decreases_with_area(self):
+        model = CostModel.for_node(28)
+        assert model.dies_per_wafer(100.0) > 2 * model.dies_per_wafer(
+            300.0
+        )
+
+    def test_yield_decreases_with_area(self):
+        model = CostModel.for_node(28)
+        assert model.yield_fraction(100.0) > model.yield_fraction(500.0)
+        assert 0.0 < model.yield_fraction(500.0) < 1.0
+
+    def test_die_cost_grows_superlinearly(self):
+        model = CostModel.for_node(28)
+        exponent = model.cost_growth_exponent(150.0, 600.0)
+        # The paper's proxy: cost ~ area^2; the yield model lands in the
+        # superlinear band around it for datacenter-size dies.
+        assert 1.2 < exponent < 2.8
+
+    def test_newer_nodes_cost_more_per_die(self):
+        area = 400.0
+        assert CostModel.for_node(7).die_cost_usd(area) > (
+            CostModel.for_node(28).die_cost_usd(area)
+        )
+
+    def test_plausible_absolute_cost(self):
+        # A ~330 mm^2 28 nm die: tens of dollars.
+        cost = CostModel.for_node(28).die_cost_usd(330.0)
+        assert 15.0 < cost < 120.0
+
+    def test_tops_per_dollar(self):
+        model = CostModel.for_node(28)
+        assert tops_per_dollar(92.0, 330.0, model) == pytest.approx(
+            92.0 / model.die_cost_usd(330.0)
+        )
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel.for_node(10)
+        with pytest.raises(ConfigurationError):
+            CostModel.for_node(28).die_cost_usd(0.0)
+        with pytest.raises(ConfigurationError):
+            CostModel(wafer_cost_usd=0.0)
+
+
+class TestPerturbation:
+    def test_constant_scaled_and_restored(self):
+        original = calibration.SYNTHESIS_ENERGY_MARGIN
+        with perturbed_calibration(SYNTHESIS_ENERGY_MARGIN=2.0):
+            assert calibration.SYNTHESIS_ENERGY_MARGIN == pytest.approx(
+                2.0 * original
+            )
+        assert calibration.SYNTHESIS_ENERGY_MARGIN == original
+
+    def test_restored_on_exception(self):
+        original = calibration.CHIP_TDP_MARGIN
+        with pytest.raises(RuntimeError):
+            with perturbed_calibration(CHIP_TDP_MARGIN=1.5):
+                raise RuntimeError("boom")
+        assert calibration.CHIP_TDP_MARGIN == original
+
+    def test_unknown_constant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            with perturbed_calibration(NOT_A_CONSTANT=1.1):
+                pass
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            with perturbed_calibration(CHIP_TDP_MARGIN=0.0):
+                pass
+
+
+class TestWinnerStability:
+    def test_insensitive_metric_is_always_stable(self):
+        results = winner_stability(
+            [1, 2, 3], metric=lambda v: float(v), factors=(0.8, 1.25)
+        )
+        assert all(result.stable for result in results)
+        summary = stability_summary(results)
+        assert set(summary) == set(PERTURBABLE_CONSTANTS)
+        assert all(value == 1.0 for value in summary.values())
+
+    def test_calibration_sensitive_metric_detected(self):
+        def metric(option: str) -> float:
+            margin = calibration.SYNTHESIS_ENERGY_MARGIN
+            return margin if option == "up" else 3.0 - margin
+
+        results = winner_stability(
+            ["up", "down"],
+            metric,
+            factors=(0.3, 3.0),
+            constants=("SYNTHESIS_ENERGY_MARGIN",),
+        )
+        assert any(not result.stable for result in results)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            winner_stability([], metric=lambda v: 0.0)

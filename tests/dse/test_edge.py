@@ -1,0 +1,64 @@
+"""Edge-inference design space extension."""
+
+import pytest
+
+from repro.dse.edge import (
+    EDGE_AREA_BUDGET_MM2,
+    EDGE_POWER_BUDGET_W,
+    edge_context,
+    edge_design_point,
+    edge_sweep,
+    evaluate_edge_point,
+)
+from repro.errors import ConfigurationError
+from repro.workloads.mobilenet import mobilenet_v2
+
+
+@pytest.fixture(scope="module")
+def mobilenet():
+    return mobilenet_v2()
+
+
+def test_edge_chip_is_small():
+    ctx = edge_context()
+    chip = edge_design_point(16, 2, 1, 1)
+    assert chip.area_mm2(ctx) < EDGE_AREA_BUDGET_MM2
+    assert chip.tdp_w(ctx) < EDGE_POWER_BUDGET_W
+
+
+def test_edge_point_runs_mobilenet_in_real_time(mobilenet):
+    result = evaluate_edge_point(16, 2, 1, 1, mobilenet)
+    assert result.fps > 30.0  # comfortably real-time
+    assert result.runtime_power_w < EDGE_POWER_BUDGET_W
+
+
+def test_sweep_filters_to_budget(mobilenet):
+    results = edge_sweep(mobilenet, tu_lengths=(8, 16))
+    assert results, "some edge points must fit the budget"
+    for result in results:
+        assert result.area_mm2 <= EDGE_AREA_BUDGET_MM2
+        assert result.tdp_w <= EDGE_POWER_BUDGET_W
+
+
+def test_fps_per_watt_defined(mobilenet):
+    result = evaluate_edge_point(8, 1, 1, 1, mobilenet)
+    assert result.fps_per_watt == pytest.approx(
+        result.fps / result.runtime_power_w
+    )
+
+
+def test_invalid_point_rejected():
+    with pytest.raises(ConfigurationError):
+        edge_design_point(0, 1, 1, 1)
+
+
+def test_mobilenet_matches_literature(mobilenet):
+    assert mobilenet.total_macs() / 1e9 == pytest.approx(0.30, rel=0.05)
+    assert mobilenet.total_params_bytes() / 1e6 == pytest.approx(
+        3.47, rel=0.05
+    )
+
+
+def test_mobilenet_width_multiplier_shrinks_model():
+    slim = mobilenet_v2(width_multiplier=0.5)
+    assert slim.total_macs() < mobilenet_v2().total_macs() / 2.5

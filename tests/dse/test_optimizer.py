@@ -1,0 +1,86 @@
+"""Objective/constraint design optimization (Fig. 1's input spec)."""
+
+import pytest
+
+from repro.dse.optimizer import (
+    Constraints,
+    Objective,
+    OptimizationOutcome,
+    optimize_design,
+)
+from repro.dse.space import DesignPoint
+from repro.errors import ConfigurationError, OptimizationError
+from repro.workloads import resnet50
+
+POINTS = [
+    DesignPoint(8, 4, 4, 8),
+    DesignPoint(64, 2, 2, 4),
+    DesignPoint(128, 4, 1, 1),
+]
+
+
+def test_peak_tops_objective_picks_the_biggest():
+    outcome = optimize_design(POINTS, Objective.PEAK_TOPS)
+    assert outcome.best.peak_tops == max(
+        r.peak_tops for r in outcome.ranking
+    )
+    assert outcome.best.point in (
+        DesignPoint(64, 2, 2, 4),
+        DesignPoint(128, 4, 1, 1),
+    )
+
+
+def test_peak_efficiency_objective_picks_128():
+    outcome = optimize_design(POINTS, Objective.PEAK_TOPS_PER_WATT)
+    assert outcome.best.point == DesignPoint(128, 4, 1, 1)
+
+
+def test_constraints_filter_points():
+    constraints = Constraints(min_peak_tops=50.0)
+    outcome = optimize_design(
+        POINTS, Objective.PEAK_TOPS_PER_TCO, constraints
+    )
+    assert DesignPoint(8, 4, 4, 8) in outcome.infeasible
+    assert all(r.peak_tops >= 50.0 for r in outcome.ranking)
+
+
+def test_unsatisfiable_constraints_raise():
+    with pytest.raises(OptimizationError):
+        optimize_design(
+            POINTS,
+            Objective.PEAK_TOPS,
+            Constraints(max_area_mm2=1.0),
+        )
+
+
+def test_achieved_objective_needs_workloads():
+    with pytest.raises(ConfigurationError):
+        optimize_design(POINTS, Objective.ACHIEVED_TOPS)
+
+
+def test_achieved_objective_with_workload():
+    outcome = optimize_design(
+        POINTS[:2],
+        Objective.ACHIEVED_TOPS,
+        workloads=[("ResNet", resnet50())],
+        batch=1,
+    )
+    assert isinstance(outcome, OptimizationOutcome)
+    assert outcome.best.point == DesignPoint(64, 2, 2, 4)
+
+
+def test_empty_candidates_rejected():
+    with pytest.raises(ConfigurationError):
+        optimize_design([], Objective.PEAK_TOPS)
+
+
+def test_ranking_is_sorted():
+    outcome = optimize_design(POINTS, Objective.PEAK_TOPS_PER_WATT)
+    scores = [r.peak_tops_per_watt for r in outcome.ranking]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_constraint_bounds_both_directions():
+    constraints = Constraints(max_tdp_w=1e6, min_peak_tops_per_watt=0.0)
+    outcome = optimize_design(POINTS, Objective.PEAK_TOPS, constraints)
+    assert len(outcome.ranking) == len(POINTS)

@@ -1,0 +1,83 @@
+"""The Fig. 11 sparsity-study machinery."""
+
+import pytest
+
+from repro.dse.sparsity_study import (
+    STUDY_ARCHITECTURES,
+    build_study_chip,
+    evaluate_sparsity_point,
+    skip_compute_factor,
+    sparsity_sweep,
+)
+from repro.errors import ConfigurationError
+
+
+class TestStudyChips:
+    def test_all_four_architectures_build(self):
+        for arch in STUDY_ARCHITECTURES:
+            chip = build_study_chip(arch)
+            assert chip.config.macs_per_cycle > 0
+
+    def test_tu_rt_pairs_have_equal_ops_per_unit(self):
+        # Sec. IV: RTs use "the same OPS per compute unit as the
+        # corresponding systolic arrays".
+        assert (
+            build_study_chip("TU32").config.macs_per_cycle
+            == build_study_chip("RT1024").config.macs_per_cycle
+        )
+        assert (
+            build_study_chip("TU8").config.macs_per_cycle
+            == build_study_chip("RT64").config.macs_per_cycle
+        )
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_study_chip("TU128")
+
+
+class TestSkipFactors:
+    def test_matched_pairs_share_granularity(self):
+        for x in (0.1, 0.5):
+            assert skip_compute_factor("TU32", x) == pytest.approx(
+                skip_compute_factor("RT1024", x)
+            )
+            assert skip_compute_factor("TU8", x) == pytest.approx(
+                skip_compute_factor("RT64", x)
+            )
+
+    def test_fine_grained_skips_more(self):
+        assert skip_compute_factor("TU8", 0.1) < skip_compute_factor(
+            "TU32", 0.1
+        )
+
+
+class TestEvaluation:
+    def test_point_fields_consistent(self):
+        point = evaluate_sparsity_point("TU8", sparsity=0.9)
+        assert point.arch == "TU8"
+        assert 0 < point.y <= 1.0
+        assert point.sparse_time_s < point.dense_time_s
+        assert point.gain == pytest.approx(
+            (point.dense_power_w * point.dense_time_s)
+            / (point.sparse_power_w * point.sparse_time_s),
+            rel=1e-9,
+        )
+
+    def test_zero_sparsity_loses_to_dense(self):
+        # At zero sparsity, the CSR overhead makes sparse strictly worse.
+        point = evaluate_sparsity_point("TU32", sparsity=0.0)
+        assert point.gain < 1.0
+
+    def test_invalid_sparsity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_sparsity_point("TU8", sparsity=1.0)
+
+    def test_sweep_shapes(self):
+        sweep = sparsity_sweep([0.5, 0.9], architectures=("TU8",))
+        assert set(sweep) == {"TU8"}
+        assert [p.sparsity for p in sweep["TU8"]] == [0.5, 0.9]
+
+    def test_power_drops_with_sparsity(self):
+        low = evaluate_sparsity_point("TU8", 0.5)
+        high = evaluate_sparsity_point("TU8", 0.95)
+        assert high.sparse_power_w < low.dense_power_w

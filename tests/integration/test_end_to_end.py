@@ -1,0 +1,76 @@
+"""End-to-end pipeline: configure -> model -> simulate -> runtime power."""
+
+import pytest
+
+from repro import (
+    ActivityFactors,
+    Chip,
+    ChipConfig,
+    CoreConfig,
+    ModelContext,
+    OnChipMemoryConfig,
+    Simulator,
+    TensorUnitConfig,
+    node,
+    plan_clock,
+    runtime_power,
+)
+from repro.workloads import resnet50
+
+
+@pytest.fixture(scope="module")
+def chip():
+    core = CoreConfig(
+        tu=TensorUnitConfig(rows=32, cols=32),
+        tensor_units=2,
+        mem=OnChipMemoryConfig(capacity_bytes=4 << 20, block_bytes=32),
+    )
+    return Chip(ChipConfig(core=core, cores_x=2, cores_y=2))
+
+
+def test_full_pipeline(chip):
+    # 1. Pick a clock for a TOPS target.
+    plan = plan_clock(chip, node(28), target_tops=10.0)
+    ctx = ModelContext(tech=node(28), freq_ghz=plan.freq_ghz)
+
+    # 2. Power/area/timing.
+    estimate = chip.estimate(ctx)
+    assert estimate.area_mm2 > 0
+    assert chip.tdp_w(ctx) > 0
+
+    # 3. Performance simulation.
+    result = Simulator(chip, ctx).run(resnet50(), batch=4)
+    assert result.throughput_fps > 0
+
+    # 4. Runtime power from the simulated activity.
+    report = runtime_power(chip, ctx, result.activity)
+    assert 0 < report.total_w < chip.tdp_w(ctx)
+
+
+def test_runtime_power_scales_with_simulated_load(chip):
+    ctx = ModelContext(tech=node(28), freq_ghz=0.7)
+    simulator = Simulator(chip, ctx)
+    busy = simulator.run(resnet50(), batch=32)
+    busy_power = runtime_power(chip, ctx, busy.activity).total_w
+    idle_power = runtime_power(chip, ctx, ActivityFactors()).total_w
+    assert busy_power > idle_power
+
+
+def test_voltage_scaling_changes_power_not_area(chip):
+    nominal = ModelContext(tech=node(28), freq_ghz=0.5)
+    scaled = ModelContext(
+        tech=node(28).at_voltage(0.75), freq_ghz=0.5
+    )
+    assert chip.estimate(scaled).area_mm2 == pytest.approx(
+        chip.estimate(nominal).area_mm2, rel=1e-6
+    )
+    assert chip.estimate(scaled).dynamic_w < chip.estimate(
+        nominal
+    ).dynamic_w
+
+
+def test_same_chip_smaller_node_is_smaller_and_cooler(chip):
+    at28 = ModelContext(tech=node(28), freq_ghz=0.7)
+    at16 = ModelContext(tech=node(16), freq_ghz=0.7)
+    assert chip.estimate(at16).area_mm2 < chip.estimate(at28).area_mm2
+    assert chip.estimate(at16).dynamic_w < chip.estimate(at28).dynamic_w

@@ -1,0 +1,40 @@
+"""Every example script must actually run (examples rot otherwise)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+#: Examples fast enough for the test suite (the DSE/sparsity sweeps run
+#: the same code paths covered by their benches).
+_FAST_EXAMPLES = [
+    "quickstart.py",
+    "external_trace.py",
+    "custom_accelerator.py",
+    "transformer_serving.py",
+    "validate_published_chips.py",
+]
+
+
+@pytest.mark.parametrize("script", _FAST_EXAMPLES)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(_EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print their results"
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(_EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 5
+    for script in scripts:
+        source = script.read_text()
+        assert source.lstrip().startswith('"""'), script.name
+        assert "__main__" in source, script.name

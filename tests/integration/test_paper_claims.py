@@ -1,0 +1,165 @@
+"""The paper's qualitative case-study claims, asserted end-to-end.
+
+These are the "shape" checks of DESIGN.md: orderings and crossovers of
+Sec. III (brawny vs. wimpy) and Sec. IV (sparsity), not absolute numbers.
+"""
+
+import pytest
+
+from repro.config.presets import datacenter_context
+from repro.dse.space import DesignPoint, named_points
+from repro.dse.sweep import evaluate_point
+from repro.perf.roofline import SparseRoofline
+from repro.sparse.skipping import block_skip_compute_factor
+from repro.workloads import datacenter_workloads
+from repro.workloads.spmv import SpmvWorkload
+
+_KEY_POINTS = [
+    DesignPoint(8, 4, 4, 8),
+    DesignPoint(32, 4, 2, 2),
+    DesignPoint(64, 4, 1, 2),
+    DesignPoint(64, 2, 2, 4),
+    DesignPoint(128, 4, 1, 1),
+    DesignPoint(256, 1, 1, 1),
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    workloads = datacenter_workloads()
+    return {
+        point: evaluate_point(point, workloads, [1, 256])
+        for point in _KEY_POINTS
+    }
+
+
+class TestFig8PeakMetrics:
+    def test_all_key_points_fit_the_budget(self, results):
+        for point, result in results.items():
+            assert result.area_mm2 <= 500.0, point.label()
+            assert result.tdp_w <= 300.0, point.label()
+
+    def test_onchip_memory_is_largest_area_component(self, results):
+        # Sec. III-B-3: "on-chip memory takes the largest die area among
+        # all architectural components" (checked inside the cores).
+        for point in (_KEY_POINTS[0], _KEY_POINTS[3]):
+            estimate = results[point].estimate
+            core = estimate.find("core")
+            shares = core.area_shares()
+            mem = shares["on-chip memory"]
+            compute = shares.get("tensor units", shares.get("tensor unit"))
+            assert mem > compute, point.label()
+
+    def test_peak_efficiency_optimum_is_128x4_single_core(self, results):
+        # Fig. 8(b): (128, 4, 1, 1) has the best peak TOPS/Watt and
+        # TOPS/TCO.
+        best_watt = max(results.values(), key=lambda r: r.peak_tops_per_watt)
+        best_tco = max(results.values(), key=lambda r: r.peak_tops_per_tco)
+        assert best_watt.point == DesignPoint(128, 4, 1, 1)
+        assert best_tco.point == DesignPoint(128, 4, 1, 1)
+
+    def test_wimpy_needs_more_area_per_peak_tops(self, results):
+        wimpy = results[DesignPoint(8, 4, 4, 8)]
+        brawny = results[DesignPoint(64, 2, 2, 4)]
+        assert (wimpy.area_mm2 / wimpy.peak_tops) > 3.0 * (
+            brawny.area_mm2 / brawny.peak_tops
+        )
+
+    def test_wimpiest_points_cannot_reach_brawny_peak(self):
+        # Sec. III-B-1: 4x4-TU designs reach a small fraction of the
+        # brawny peak TOPS within the same budget (the paper quotes
+        # <1/12; our per-core overheads are milder, see EXPERIMENTS.md).
+        from repro.dse.space import max_core_point
+
+        wimpy_best = max_core_point(4, 4)
+        brawny_peak = DesignPoint(256, 1, 1, 1).peak_tops(0.7)
+        assert wimpy_best is not None
+        assert wimpy_best.peak_tops(0.7) <= brawny_peak / 4 + 1e-6
+
+
+class TestFig10RuntimeMetrics:
+    @pytest.mark.parametrize("batch", [1, 256])
+    def test_wimpy_has_highest_utilization(self, results, batch):
+        utils = {
+            point: result.mean_utilization(batch)
+            for point, result in results.items()
+        }
+        assert max(utils, key=utils.get) == DesignPoint(8, 4, 4, 8)
+
+    @pytest.mark.parametrize("batch", [1, 256])
+    def test_throughput_optimum_is_64x2_8_cores(self, results, batch):
+        tops = {
+            point: result.mean_achieved_tops(batch)
+            for point, result in results.items()
+        }
+        assert max(tops, key=tops.get) == DesignPoint(64, 2, 2, 4)
+
+    def test_brawny_beats_wimpy_on_efficiency(self, results):
+        # Despite lower utilization, 64x64-class designs beat the wimpy
+        # (8, 4, 4, 8) on both runtime efficiency metrics.
+        wimpy = results[DesignPoint(8, 4, 4, 8)]
+        brawny = results[DesignPoint(64, 4, 1, 2)]
+        for batch in (1, 256):
+            assert brawny.mean_energy_efficiency(batch) > (
+                wimpy.mean_energy_efficiency(batch)
+            )
+            assert brawny.mean_cost_efficiency(batch) > (
+                wimpy.mean_cost_efficiency(batch)
+            )
+
+    def test_cost_efficiency_optimum_uses_fewer_larger_cores(self, results):
+        # The bs=1 cost-efficiency optimum prefers fewer cores than the
+        # throughput optimum (less NoC), with the same or smaller TUs.
+        tco = {
+            point: result.mean_cost_efficiency(1)
+            for point, result in results.items()
+        }
+        best = max(tco, key=tco.get)
+        throughput_opt = DesignPoint(64, 2, 2, 4)
+        assert best.cores < throughput_opt.cores
+        assert best.x <= throughput_opt.x
+
+    def test_efficiency_vs_throughput_tradeoff(self, results):
+        # Sec. III-B-2: choosing (64, 4, 1, 2) over (64, 2, 2, 4)
+        # sacrifices throughput but gains cost efficiency.
+        efficient = results[DesignPoint(64, 4, 1, 2)]
+        throughput = results[DesignPoint(64, 2, 2, 4)]
+        sacrifice = 1 - efficient.mean_achieved_tops(
+            1
+        ) / throughput.mean_achieved_tops(1)
+        tco_gain = efficient.mean_cost_efficiency(
+            1
+        ) / throughput.mean_cost_efficiency(1)
+        assert 0.0 < sacrifice < 0.55
+        assert tco_gain > 1.1
+
+
+class TestFig11Sparsity:
+    def _gain(self, x: float, block_elems: int, peak_tops: float) -> float:
+        workload = SpmvWorkload(m=2048, n=2048, batch=32, nonzero_ratio=x)
+        model = SparseRoofline(
+            workload.roofline_inputs(peak_tops * 1e12, 700e9),
+            beta=workload.beta,
+        )
+        y = block_skip_compute_factor(x, block_elems)
+        # Equal power (the power ratio refines this in the bench); the
+        # time ratio alone carries the crossover structure.
+        return model.energy_efficiency_gain(x, y, 1.0, 1.0)
+
+    def test_gain_above_one_only_past_half_sparsity(self):
+        # Fig. 11: efficiency only benefits when sparsity > ~0.5 (the CSR
+        # beta ~= 2 overhead must be amortized first).
+        for block, peak in ((1024, 91.75), (64, 11.47)):
+            assert self._gain(0.7, block, peak) < 1.05  # sparsity 0.3
+            assert self._gain(0.2, block, peak) > 1.0  # sparsity 0.8
+
+    def test_gain_monotone_in_sparsity(self):
+        gains = [self._gain(x, 64, 11.47) for x in (0.5, 0.3, 0.1, 0.02)]
+        assert gains == sorted(gains)
+
+    def test_fine_grained_architectures_benefit_more(self):
+        # Sec. IV: wimpier (fine-grained) architectures benefit more from
+        # element-wise sparsity at high sparsity levels.
+        fine = self._gain(0.05, 64, 11.47)  # TU8 / RT64 class
+        coarse = self._gain(0.05, 1024, 91.75)  # TU32 / RT1024 class
+        assert fine > coarse

@@ -1,0 +1,59 @@
+"""Per-layer bound analysis."""
+
+import pytest
+
+from repro.config.presets import datacenter_context
+from repro.dse.space import DesignPoint
+from repro.errors import ConfigurationError
+from repro.perf.bound_analysis import (
+    bound_report,
+    slowest_layers,
+    summarize_bounds,
+)
+from repro.perf.simulator import SimulationResult, Simulator
+from repro.power.runtime import ActivityFactors
+from repro.workloads import resnet50
+
+
+@pytest.fixture(scope="module")
+def result():
+    simulator = Simulator(
+        DesignPoint(64, 2, 2, 4).build(), datacenter_context()
+    )
+    return simulator.run(resnet50(), batch=8)
+
+
+def test_shares_sum_to_one(result):
+    summary = summarize_bounds(result)
+    assert sum(summary.shares.values()) == pytest.approx(1.0)
+    assert summary.dominant in summary.shares
+
+
+def test_slowest_layers_ordered(result):
+    layers = slowest_layers(result, top=5)
+    assert len(layers) == 5
+    cycles = [entry[2] for entry in layers]
+    assert cycles == sorted(cycles, reverse=True)
+
+
+def test_report_renders(result):
+    text = bound_report(result, top=3)
+    assert result.graph_name in text
+    assert "dominant bound" in text
+    assert "Slowest layers" in text
+
+
+def test_empty_run_rejected():
+    empty = SimulationResult(
+        graph_name="empty",
+        batch=1,
+        total_cycles=1,
+        latency_s=1e-9,
+        throughput_fps=1.0,
+        achieved_tops=0.0,
+        peak_tops=1.0,
+        activity=ActivityFactors(),
+        layers=(),
+    )
+    with pytest.raises(ConfigurationError):
+        summarize_bounds(empty)

@@ -1,0 +1,94 @@
+"""Graph IR: construction, shape inference, liveness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.graph import Graph
+from repro.perf.ops import (
+    Activation,
+    Conv2d,
+    DepthwiseConv2d,
+    Elementwise,
+    MatMul,
+)
+
+
+def _linear_graph() -> Graph:
+    graph = Graph("toy", (32, 32, 3))
+    graph.add("conv1", Conv2d(16, kernel=3, stride=2), ["input"])
+    graph.add("relu1", Activation())
+    graph.add("conv2", Conv2d(32, kernel=3))
+    return graph
+
+
+def test_shapes_propagate():
+    graph = _linear_graph()
+    assert graph.node("conv1").output_shape == (16, 16, 16)
+    assert graph.node("conv2").input_shape == (16, 16, 16)
+
+
+def test_default_input_is_previous_layer():
+    graph = _linear_graph()
+    assert graph.node("relu1").inputs == ("conv1",)
+
+
+def test_len_excludes_input():
+    assert len(_linear_graph()) == 3
+
+
+def test_duplicate_names_rejected():
+    graph = _linear_graph()
+    with pytest.raises(ConfigurationError):
+        graph.add("conv1", Conv2d(8))
+
+
+def test_unknown_producer_rejected():
+    graph = _linear_graph()
+    with pytest.raises(ConfigurationError):
+        graph.add("bad", Conv2d(8), ["missing"])
+
+
+def test_total_macs_counts_conv_and_depthwise():
+    graph = Graph("dw", (8, 8, 4))
+    graph.add("conv", Conv2d(8, kernel=1), ["input"])
+    graph.add("dw", DepthwiseConv2d(kernel=3))
+    conv_macs = 8 * 8 * 4 * 8
+    dw_macs = 8 * 8 * 8 * 9
+    assert graph.total_macs() == conv_macs + dw_macs
+
+
+def test_params_classifier_exclusion():
+    graph = Graph("fc", (1, 1, 64))
+    graph.add("fc", MatMul(units=10), ["input"])
+    assert graph.total_params_bytes() == 640
+    assert graph.total_params_bytes(include_classifier=False) == 0
+
+
+def test_peak_activation_counts_residual_liveness():
+    graph = Graph("res", (8, 8, 16))
+    graph.add("conv", Conv2d(16, kernel=3), ["input"])
+    graph.add("add", Elementwise(), ["conv", "input"])
+    # While "conv" runs, its input must stay live for the residual add.
+    volume = 8 * 8 * 16
+    assert graph.peak_activation_bytes() >= 2 * volume
+
+
+def test_peak_at_least_largest_tensor():
+    graph = _linear_graph()
+    largest = max(
+        layer.output_shape[0]
+        * layer.output_shape[1]
+        * layer.output_shape[2]
+        for layer in graph
+    )
+    assert graph.peak_activation_bytes() >= largest
+
+
+def test_output_property():
+    graph = _linear_graph()
+    assert graph.output.name == "conv2"
+
+
+def test_bad_input_shape_rejected():
+    with pytest.raises(ConfigurationError):
+        Graph("bad", (0, 4, 4))

@@ -1,0 +1,106 @@
+"""Operator shape inference and cost accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.ops import (
+    Activation,
+    Concat,
+    Conv2d,
+    DepthwiseConv2d,
+    Elementwise,
+    Gemm,
+    GlobalPool,
+    MatMul,
+    Pool,
+)
+
+
+class TestGemm:
+    def test_macs(self):
+        assert Gemm(4, 5, 6).macs == 120
+
+    def test_scaled_m(self):
+        assert Gemm(4, 5, 6).scaled_m(8) == Gemm(32, 5, 6)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            Gemm(0, 1, 1)
+
+
+class TestConv2d:
+    def test_same_padding_shape(self):
+        conv = Conv2d(out_channels=64, kernel=3, stride=2)
+        assert conv.output_shape((224, 224, 3)) == (112, 112, 64)
+
+    def test_valid_padding_shape(self):
+        conv = Conv2d(out_channels=32, kernel=3, stride=2, same_pad=False)
+        assert conv.output_shape((299, 299, 3)) == (149, 149, 32)
+
+    def test_im2col_gemm_dims(self):
+        conv = Conv2d(out_channels=64, kernel=3)
+        gemm = conv.cost((56, 56, 128)).gemm
+        assert gemm == Gemm(m=56 * 56, k=9 * 128, n=64)
+
+    def test_rectangular_kernel(self):
+        conv = Conv2d(out_channels=192, kernel=1, kernel_w=7)
+        cost = conv.cost((17, 17, 128))
+        assert cost.gemm.k == 7 * 128
+        assert conv.output_shape((17, 17, 128)) == (17, 17, 192)
+
+    def test_grouped_conv_reduces_k(self):
+        grouped = Conv2d(out_channels=256, kernel=5, groups=2)
+        dense = Conv2d(out_channels=256, kernel=5, groups=1)
+        shape = (27, 27, 96)
+        assert grouped.cost(shape).macs == dense.cost(shape).macs // 2
+
+    def test_grouped_conv_needs_divisible_channels(self):
+        conv = Conv2d(out_channels=63, kernel=3, groups=3)
+        with pytest.raises(ConfigurationError):
+            conv.cost((8, 8, 64))
+
+    def test_groups_must_divide_out_channels(self):
+        with pytest.raises(ConfigurationError):
+            Conv2d(out_channels=64, kernel=3, groups=3)
+
+    def test_params_bytes_int8(self):
+        conv = Conv2d(out_channels=64, kernel=1)
+        assert conv.cost((7, 7, 256)).params_bytes == 256 * 64
+
+
+class TestVectorOps:
+    def test_depthwise_runs_on_vector_path(self):
+        dw = DepthwiseConv2d(kernel=3)
+        cost = dw.cost((56, 56, 128))
+        assert cost.gemm is None
+        assert cost.vector_ops == 56 * 56 * 128 * 9
+
+    def test_pool_shapes(self):
+        assert Pool(kernel=3, stride=2).output_shape((56, 56, 64)) == (
+            28,
+            28,
+            64,
+        )
+
+    def test_global_pool_collapses_spatial(self):
+        assert GlobalPool().output_shape((7, 7, 2048)) == (1, 1, 2048)
+
+    def test_activation_preserves_shape(self):
+        assert Activation().output_shape((8, 8, 8)) == (8, 8, 8)
+
+    def test_elementwise_reads_two_inputs(self):
+        cost = Elementwise().cost((4, 4, 16))
+        assert cost.input_bytes == 2 * 4 * 4 * 16
+
+    def test_concat_changes_channels_only(self):
+        concat = Concat(total_channels=288)
+        assert concat.output_shape((35, 35, 64)) == (35, 35, 288)
+        assert concat.cost((35, 35, 64)).macs == 0
+
+
+class TestMatMul:
+    def test_classifier_gemm(self):
+        fc = MatMul(units=1000)
+        cost = fc.cost((1, 1, 2048))
+        assert cost.gemm == Gemm(m=1, k=2048, n=1000)
+        assert cost.params_bytes == 2048 * 1000

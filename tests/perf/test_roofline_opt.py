@@ -1,0 +1,108 @@
+"""Sparse roofline equations and graph optimizations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.ops import Gemm
+from repro.perf.optimizations import (
+    OptimizationConfig,
+    apply_space_to_depth,
+)
+from repro.perf.roofline import RooflineInputs, SparseRoofline
+
+
+def _roofline(f=10e12, b=700e9, beta=2.25) -> SparseRoofline:
+    inputs = RooflineInputs(
+        compute_ops=2 * 2048 * 2048 * 32,
+        vector_bytes=2 * 2048 * 32,
+        weight_bytes=2048 * 2048,
+        compute_ops_per_s=f,
+        bandwidth_bytes_per_s=b,
+    )
+    return SparseRoofline(inputs=inputs, beta=beta)
+
+
+class TestRoofline:
+    def test_dense_time_is_max_of_bounds(self):
+        model = _roofline()
+        assert model.dense_time_s == max(
+            model.dense_compute_time_s, model.dense_bandwidth_time_s
+        )
+
+    def test_sparse_equals_dense_at_full_density(self):
+        model = _roofline()
+        # x = y = 1 with alpha 1 but beta > 1: bandwidth term grows.
+        assert model.sparse_compute_time_s(1.0) == pytest.approx(
+            model.dense_compute_time_s
+        )
+        assert model.sparse_bandwidth_time_s(1.0) > (
+            model.dense_bandwidth_time_s
+        )
+
+    def test_gain_formula(self):
+        model = _roofline()
+        gain = model.energy_efficiency_gain(
+            x=0.2, y=0.2, power_dense_w=100.0, power_sparse_w=80.0
+        )
+        expected = (100.0 * model.dense_time_s) / (
+            80.0 * model.sparse_time_s(0.2, 0.2)
+        )
+        assert gain == pytest.approx(expected)
+
+    def test_sparse_time_monotone_in_density(self):
+        model = _roofline()
+        times = [model.sparse_time_s(x, x) for x in (0.1, 0.4, 0.8)]
+        assert times == sorted(times)
+
+    def test_beta_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SparseRoofline(inputs=_roofline().inputs, beta=0.5)
+
+    def test_fraction_bounds_enforced(self):
+        model = _roofline()
+        with pytest.raises(ConfigurationError):
+            model.sparse_time_s(0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            model.sparse_time_s(0.5, 1.5)
+
+    def test_compute_bound_classification(self):
+        compute_bound = _roofline(f=1e12)
+        bandwidth_bound = _roofline(b=10e9)
+        assert compute_bound.dense_compute_bound()
+        assert not bandwidth_bound.dense_compute_bound()
+
+    def test_inputs_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RooflineInputs(0, 1, 1, 1, 1)
+
+
+class TestSpaceToDepth:
+    def test_stem_conv_gets_folded(self):
+        gemm = Gemm(m=112 * 112, k=147, n=64)
+        folded = apply_space_to_depth(gemm, input_channels=3, stride=2)
+        assert folded.k == 147 * 4
+        assert folded.m == (112 * 112) // 4
+        assert folded.macs == gemm.macs
+
+    def test_deep_channel_convs_untouched(self):
+        gemm = Gemm(m=56 * 56, k=576, n=64)
+        assert apply_space_to_depth(gemm, 64, 2) == gemm
+
+    def test_unit_stride_untouched(self):
+        gemm = Gemm(m=224 * 224, k=27, n=32)
+        assert apply_space_to_depth(gemm, 3, 1) == gemm
+
+
+class TestOptimizationConfig:
+    def test_presets_differ(self):
+        on = OptimizationConfig.all_on()
+        off = OptimizationConfig.all_off()
+        assert on.double_buffering and not off.double_buffering
+        assert off.tile_overhead_cycles > on.tile_overhead_cycles
+        assert off.layer_launch_cycles > on.layer_launch_cycles
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OptimizationConfig(tile_overhead_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            OptimizationConfig(activation_reuse_tiles=0)

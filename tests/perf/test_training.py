@@ -1,0 +1,73 @@
+"""The training-step extension model."""
+
+import pytest
+
+from repro.config.presets import datacenter_training_point, training_context
+from repro.errors import MappingError
+from repro.perf.simulator import Simulator
+from repro.perf.training import estimate_training_step
+from repro.workloads import resnet50
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    chip = datacenter_training_point(32, 2, 2, 2)
+    return Simulator(chip, training_context())
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return resnet50()
+
+
+def test_training_point_uses_bf16():
+    from repro.datatypes import BF16, FP32
+
+    chip = datacenter_training_point(32, 2, 2, 2)
+    assert chip.config.core.tu.cell.input_dtype is BF16
+    assert chip.config.core.tu.cell.mac.accum_dtype is FP32
+    assert chip.config.ici is not None
+
+
+def test_step_costs_about_3x_forward(simulator, resnet):
+    step = estimate_training_step(simulator, resnet, batch=8)
+    ratio = step.step_time_s / step.forward.latency_s
+    assert 3.0 <= ratio <= 4.0
+
+
+def test_throughput_definition(simulator, resnet):
+    step = estimate_training_step(simulator, resnet, batch=8)
+    assert step.throughput_sps == pytest.approx(8 / step.step_time_s)
+
+
+def test_achieved_bounded_by_peak(simulator, resnet):
+    step = estimate_training_step(simulator, resnet, batch=16)
+    peak = simulator.chip.peak_tops(simulator.ctx)
+    assert 0 < step.achieved_tops <= peak
+
+
+def test_optimizer_phase_scales_with_params(simulator):
+    small = estimate_training_step(simulator, resnet50(224), 8)
+    # Same parameter count regardless of resolution: optimizer identical.
+    large = estimate_training_step(simulator, resnet50(299), 8)
+    assert small.optimizer_time_s == pytest.approx(
+        large.optimizer_time_s, rel=1e-6
+    )
+
+
+def test_activity_includes_optimizer_traffic(simulator, resnet):
+    step = estimate_training_step(simulator, resnet, batch=8)
+    assert step.activity.offchip_gbps > (
+        step.forward.activity.offchip_gbps
+    )
+
+
+def test_invalid_batch_rejected(simulator, resnet):
+    with pytest.raises(MappingError):
+        estimate_training_step(simulator, resnet, batch=0)
+
+
+def test_bigger_batch_amortizes_optimizer(simulator, resnet):
+    small = estimate_training_step(simulator, resnet, batch=4)
+    large = estimate_training_step(simulator, resnet, batch=32)
+    assert large.throughput_sps > small.throughput_sps

@@ -1,0 +1,91 @@
+"""Runtime power from activity factors."""
+
+import pytest
+
+from repro.arch.component import ModelContext
+from repro.errors import ConfigurationError
+from repro.power.runtime import ActivityFactors, runtime_power
+from repro.tech.node import node
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ModelContext(tech=node(28), freq_ghz=0.7)
+
+
+def test_activity_validation():
+    with pytest.raises(ConfigurationError):
+        ActivityFactors(tu_utilization=1.5)
+    with pytest.raises(ConfigurationError):
+        ActivityFactors(mem_read_gbps=-1.0)
+
+
+def test_vreg_defaults_to_compute_activity():
+    activity = ActivityFactors(tu_utilization=0.4, vu_utilization=0.2)
+    assert activity.effective_vreg_utilization == pytest.approx(0.4)
+
+
+def test_idle_chip_draws_only_leakage_and_floors(small_chip, ctx):
+    report = runtime_power(small_chip, ctx, ActivityFactors())
+    # Everything except the DRAM idle floor should be near zero.
+    on_chip = report.dynamic_w - report.components.get(
+        "off-chip interface", 0.0
+    )
+    assert on_chip < small_chip.estimate(ctx).dynamic_w * 0.2
+    assert report.leakage_w > 0
+
+
+def test_power_monotone_in_utilization(small_chip, ctx):
+    low = runtime_power(
+        small_chip, ctx, ActivityFactors(tu_utilization=0.2)
+    ).total_w
+    high = runtime_power(
+        small_chip, ctx, ActivityFactors(tu_utilization=0.8)
+    ).total_w
+    assert high > low
+
+
+def test_runtime_below_tdp_at_full_activity(small_chip, ctx):
+    full = ActivityFactors(
+        tu_utilization=1.0,
+        vu_utilization=1.0,
+        su_activity=1.0,
+        mem_read_gbps=200.0,
+        mem_write_gbps=100.0,
+        noc_gbps=100.0,
+        offchip_gbps=200.0,
+    )
+    report = runtime_power(small_chip, ctx, full)
+    assert report.total_w < small_chip.tdp_w(ctx) * 1.05
+
+
+def test_fill_waste_charged(small_chip, ctx):
+    pure = runtime_power(
+        small_chip,
+        ctx,
+        ActivityFactors(tu_utilization=0.3, tu_occupancy=0.3),
+    ).total_w
+    wasteful = runtime_power(
+        small_chip,
+        ctx,
+        ActivityFactors(tu_utilization=0.3, tu_occupancy=0.9),
+    ).total_w
+    assert wasteful > pure
+
+
+def test_offchip_traffic_costs_power(small_chip, ctx):
+    quiet = runtime_power(small_chip, ctx, ActivityFactors()).total_w
+    busy = runtime_power(
+        small_chip, ctx, ActivityFactors(offchip_gbps=256.0)
+    ).total_w
+    assert busy > quiet
+
+
+def test_component_shares_sum_to_dynamic(small_chip, ctx):
+    report = runtime_power(
+        small_chip, ctx, ActivityFactors(tu_utilization=0.5)
+    )
+    assert sum(report.components.values()) == pytest.approx(
+        report.dynamic_w
+    )
+    assert 0.0 < report.share("tensor units") < 1.0

@@ -1,0 +1,94 @@
+"""External activity-trace interface."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.trace import (
+    TracePhase,
+    average_activity,
+    parse_trace,
+    trace_energy_j,
+    trace_power,
+)
+from repro.power.runtime import ActivityFactors
+
+
+def _document() -> dict:
+    return {
+        "phases": [
+            {
+                "name": "conv",
+                "duration_s": 2.0,
+                "tu_utilization": 0.8,
+                "mem_read_gbps": 100.0,
+            },
+            {
+                "name": "pool",
+                "duration_s": 1.0,
+                "vu_utilization": 0.5,
+            },
+        ]
+    }
+
+
+def test_parse_from_mapping():
+    phases = parse_trace(_document())
+    assert [p.name for p in phases] == ["conv", "pool"]
+    assert phases[0].activity.tu_utilization == pytest.approx(0.8)
+
+
+def test_parse_from_json_string():
+    phases = parse_trace(json.dumps(_document()))
+    assert len(phases) == 2
+
+
+def test_parse_from_file(tmp_path):
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(_document()))
+    assert len(parse_trace(path)) == 2
+
+
+def test_unknown_fields_rejected():
+    document = {"phases": [{"duration_s": 1.0, "tu_util": 0.5}]}
+    with pytest.raises(ConfigurationError):
+        parse_trace(document)
+
+
+def test_missing_duration_rejected():
+    with pytest.raises(ConfigurationError):
+        parse_trace({"phases": [{"tu_utilization": 0.5}]})
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(ConfigurationError):
+        parse_trace({"phases": []})
+    with pytest.raises(ConfigurationError):
+        parse_trace("not json {")
+
+
+def test_average_is_time_weighted():
+    phases = [
+        TracePhase("a", 3.0, ActivityFactors(tu_utilization=1.0)),
+        TracePhase("b", 1.0, ActivityFactors(tu_utilization=0.0)),
+    ]
+    average = average_activity(phases)
+    assert average.tu_utilization == pytest.approx(0.75)
+
+
+def test_phase_needs_positive_duration():
+    with pytest.raises(ConfigurationError):
+        TracePhase("bad", 0.0, ActivityFactors())
+
+
+def test_trace_power_and_energy(small_chip, ctx28):
+    phases = parse_trace(_document())
+    average, per_phase = trace_power(small_chip, ctx28, phases)
+    assert set(per_phase) == {"conv", "pool"}
+    assert per_phase["conv"] > per_phase["pool"]
+    assert 0 < average.total_w < small_chip.tdp_w(ctx28)
+
+    energy = trace_energy_j(small_chip, ctx28, phases)
+    manual = per_phase["conv"] * 2.0 + per_phase["pool"] * 1.0
+    assert energy == pytest.approx(manual)

@@ -1,0 +1,106 @@
+"""Property-based tests on architecture-level invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.chip import Chip, ChipConfig
+from repro.arch.component import Estimate, ModelContext
+from repro.arch.core import CoreConfig
+from repro.arch.memory import OnChipMemoryConfig
+from repro.arch.tensor_unit import TensorUnit, TensorUnitConfig
+from repro.tech.node import node
+
+_CTX = ModelContext(tech=node(28), freq_ghz=0.7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.sampled_from([4, 8, 16, 32, 64, 128]),
+    cols=st.sampled_from([4, 8, 16, 32, 64, 128]),
+)
+def test_tensor_unit_estimates_positive_and_consistent(rows, cols):
+    tu = TensorUnit(TensorUnitConfig(rows=rows, cols=cols))
+    estimate = tu.estimate(_CTX)
+    assert estimate.area_mm2 > 0
+    assert estimate.dynamic_w > 0
+    assert estimate.leakage_w > 0
+    # The rollup equals the sum of its children.
+    assert abs(
+        estimate.area_mm2 - sum(c.area_mm2 for c in estimate.children)
+    ) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    x=st.sampled_from([8, 16, 32, 64]),
+    scale=st.sampled_from([2, 4]),
+)
+def test_tu_area_superlinear_in_macs(x, scale):
+    small = TensorUnit(TensorUnitConfig(rows=x, cols=x)).estimate(_CTX)
+    large = TensorUnit(
+        TensorUnitConfig(rows=x * scale, cols=x * scale)
+    ).estimate(_CTX)
+    # The cell array is superlinear in MAC count (span wiring); the whole
+    # TU is near-linear because the I/O FIFOs only grow with the edge.
+    small_cells = small.find("systolic cells").area_mm2
+    large_cells = large.find("systolic cells").area_mm2
+    assert large_cells >= small_cells * scale * scale * 0.99
+    assert large.area_mm2 >= small.area_mm2 * scale * scale * 0.75
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    x=st.sampled_from([8, 16, 32]),
+    n=st.sampled_from([1, 2, 4]),
+    grid=st.sampled_from([(1, 1), (1, 2), (2, 2), (2, 4)]),
+)
+def test_chip_rollup_internally_consistent(x, n, grid):
+    core = CoreConfig(
+        tu=TensorUnitConfig(rows=x, cols=x),
+        tensor_units=n,
+        mem=OnChipMemoryConfig(
+            capacity_bytes=1 << 20, block_bytes=max(x, 32)
+        ),
+    )
+    chip = Chip(
+        ChipConfig(core=core, cores_x=grid[0], cores_y=grid[1])
+    )
+    estimate = chip.estimate(_CTX)
+
+    def check(node_: Estimate) -> None:
+        if not node_.children:
+            return
+        child_area = sum(c.area_mm2 for c in node_.children)
+        # Parents may carry glue, never less than their children.
+        assert node_.area_mm2 >= child_area - 1e-9
+        for child in node_.children:
+            check(child)
+
+    check(estimate)
+    assert chip.tdp_w(_CTX) >= estimate.total_power_w
+    assert chip.peak_tops(_CTX) == 2 * x * x * n * grid[0] * grid[1] * (
+        0.7
+    ) / 1e3
+
+
+@settings(max_examples=15, deadline=None)
+@given(cores=st.sampled_from([(1, 2), (2, 2), (2, 4), (4, 4)]))
+def test_more_cores_cost_more(cores):
+    def build(cx, cy):
+        core = CoreConfig(
+            tu=TensorUnitConfig(rows=16, cols=16),
+            mem=OnChipMemoryConfig(
+                capacity_bytes=512 * 1024, block_bytes=32
+            ),
+        )
+        return Chip(ChipConfig(core=core, cores_x=cx, cores_y=cy))
+
+    single = build(1, 1).estimate(_CTX)
+    multi = build(*cores).estimate(_CTX)
+    count = cores[0] * cores[1]
+    # The replicated-core block scales with the count; the whole chip does
+    # not (shared peripherals amortize).
+    single_core = single.find("core").area_mm2
+    multi_cores = multi.find("cores").area_mm2
+    assert multi_cores > single_core * count * 0.99
+    assert multi.area_mm2 > single.area_mm2

@@ -1,0 +1,129 @@
+"""Property-based tests on the circuit-level invariants (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.rc import (
+    RCTree,
+    elmore_delay_ns,
+    ladder_delay_ns,
+    rc_ladder,
+)
+from repro.circuit.sram import SramArray
+from repro.datatypes import INT8, INT16, INT32, DataType
+from repro.circuit.mac import MacModel
+from repro.tech.node import available_nodes, node
+
+_positive = st.floats(
+    min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(r=_positive, c=_positive, load=_positive)
+def test_elmore_delay_monotone_in_load(r, c, load):
+    base = ladder_delay_ns(r, c)
+    loaded = ladder_delay_ns(r, c, load_ff=load)
+    assert loaded >= base
+
+
+@given(r=_positive, c=_positive, scale=st.floats(1.01, 10.0))
+def test_elmore_delay_monotone_in_rc(r, c, scale):
+    assert ladder_delay_ns(r * scale, c) >= ladder_delay_ns(r, c)
+    assert ladder_delay_ns(r, c * scale) >= ladder_delay_ns(r, c)
+
+
+@given(
+    r=_positive,
+    c=_positive,
+    segments=st.integers(min_value=1, max_value=64),
+)
+def test_ladder_always_at_least_distributed_limit(r, c, segments):
+    # A coarsely discretized ladder over-approximates; it must stay within
+    # a factor of the closed-form distributed-wire Elmore delay.
+    ladder = elmore_delay_ns(rc_ladder("w", segments, r, c))
+    exact = ladder_delay_ns(r, c)
+    assert ladder >= exact * 0.99
+    assert ladder <= exact * (1.0 + 1.0 / segments) + 1e-12
+
+
+@given(
+    caps=st.lists(_positive, min_size=1, max_size=8),
+    resistance=_positive,
+)
+def test_elmore_subtree_capacitance_additive(caps, resistance):
+    root = RCTree("root", resistance, 0.0)
+    for index, cap in enumerate(caps):
+        root.add(RCTree(f"leaf{index}", 0.0, cap))
+    assert math.isclose(
+        root.subtree_capacitance_ff(), sum(caps), rel_tol=1e-9
+    )
+    assert math.isclose(
+        elmore_delay_ns(root),
+        resistance * sum(caps) * 1e-6,
+        rel_tol=1e-9,
+    )
+
+
+@settings(max_examples=30)
+@given(
+    capacity_kib=st.sampled_from([64, 256, 1024, 4096]),
+    block=st.sampled_from([16, 64, 256]),
+    banks=st.sampled_from([1, 2, 4, 16]),
+    rows=st.sampled_from([64, 128, 256, 512]),
+)
+def test_sram_quantities_positive_and_ordered(
+    capacity_kib, block, banks, rows
+):
+    tech = node(28)
+    array = SramArray(
+        capacity_bytes=capacity_kib * 1024,
+        block_bytes=block,
+        banks=banks,
+        subarray_rows=rows,
+    )
+    assert array.area_mm2(tech) > 0
+    assert 0 < array.read_energy_pj(tech) <= array.write_energy_pj(tech)
+    assert array.leakage_w(tech) > 0
+    assert array.random_cycle_ns(tech) >= array.access_latency_ns(tech)
+
+
+@settings(max_examples=30)
+@given(
+    capacity_kib=st.sampled_from([256, 1024]),
+    block=st.sampled_from([32, 128]),
+)
+def test_sram_area_monotone_in_ports(capacity_kib, block):
+    tech = node(28)
+
+    def area(read_ports, write_ports):
+        return SramArray(
+            capacity_bytes=capacity_kib * 1024,
+            block_bytes=block,
+            read_ports=read_ports,
+            write_ports=write_ports,
+        ).area_mm2(tech)
+
+    assert area(1, 1) <= area(2, 1) <= area(2, 2) <= area(4, 2)
+
+
+@settings(max_examples=20)
+@given(bits=st.integers(min_value=4, max_value=64))
+def test_mac_energy_monotone_in_width(bits):
+    tech = node(45)
+    narrow = MacModel(DataType(f"int{bits}", bits), INT32)
+    wide = MacModel(DataType(f"int{bits + 4}", bits + 4), INT32)
+    assert wide.multiply_energy_pj(tech) >= narrow.multiply_energy_pj(tech)
+    assert wide.area_um2(tech) >= narrow.area_um2(tech)
+
+
+@settings(max_examples=10)
+@given(feature=st.sampled_from(sorted(available_nodes())))
+def test_mac_cheaper_at_smaller_nodes_for_all_types(feature):
+    tech = node(feature)
+    reference = node(65)
+    for dtype in (INT8, INT16):
+        assert MacModel(dtype).energy_per_mac_pj(tech) <= (
+            MacModel(dtype).energy_per_mac_pj(reference) + 1e-12
+        )

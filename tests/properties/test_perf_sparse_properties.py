@@ -1,0 +1,90 @@
+"""Property-based tests on mapping, roofline, and sparse invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.component import ModelContext
+from repro.dse.space import DesignPoint
+from repro.perf.mapping import ArchView, map_gemm
+from repro.perf.ops import Gemm
+from repro.perf.optimizations import OptimizationConfig
+from repro.perf.roofline import RooflineInputs, SparseRoofline
+from repro.sparse.csr import encode_tiled_csr
+from repro.sparse.distributions import clustered_sparse_matrix
+from repro.sparse.skipping import block_skip_compute_factor
+from repro.tech.node import node
+
+_CTX = ModelContext(tech=node(28), freq_ghz=0.7)
+_ARCH = ArchView.of(DesignPoint(32, 2, 2, 2).build(), _CTX)
+_OPT = OptimizationConfig.all_on()
+
+_dim = st.integers(min_value=1, max_value=8192)
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=_dim, k=_dim, n=_dim)
+def test_mapping_physical_bounds(m, k, n):
+    gemm = Gemm(m, k, n)
+    mapping = map_gemm(gemm, _ARCH, _OPT)
+    # Compute cannot beat the chip's peak MAC rate.
+    assert (
+        mapping.compute_cycles * _ARCH.macs_per_cycle >= mapping.useful_macs
+    )
+    assert mapping.occupied_mac_cycles >= mapping.useful_macs
+    assert mapping.mem_read_bytes >= gemm.k * gemm.n  # weights pass once
+    assert mapping.weight_bytes == gemm.k * gemm.n
+    assert mapping.noc_bytes >= 0
+    assert mapping.tiles >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=_dim, k=_dim, n=_dim, factor=st.sampled_from([2, 4, 8]))
+def test_mapping_cycles_monotone_in_m(m, k, n, factor):
+    base = map_gemm(Gemm(m, k, n), _ARCH, _OPT).compute_cycles
+    scaled = map_gemm(Gemm(m * factor, k, n), _ARCH, _OPT).compute_cycles
+    assert scaled >= base
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    x=st.floats(0.01, 1.0),
+    y_extra=st.floats(0.0, 0.5),
+    f=st.floats(1e12, 1e14),
+    b=st.floats(1e10, 1e12),
+)
+def test_roofline_sparse_never_slower_than_components(x, y_extra, f, b):
+    y = min(1.0, x + y_extra)
+    model = SparseRoofline(
+        RooflineInputs(1e9, 1e5, 1e6, f, b), beta=2.25
+    )
+    t_s = model.sparse_time_s(x, y)
+    assert t_s >= model.sparse_compute_time_s(y) - 1e-15
+    assert t_s >= model.sparse_bandwidth_time_s(x) - 1e-15
+    # At full density with beta >= 1 the sparse run cannot beat dense.
+    assert model.sparse_time_s(1.0, 1.0) >= model.dense_time_s - 1e-15
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=st.floats(0.01, 0.99),
+    block=st.sampled_from([64, 256, 1024, 4096]),
+)
+def test_skip_factor_bounds_and_monotonicity(x, block):
+    y = block_skip_compute_factor(x, block)
+    assert x - 1e-12 <= y <= 1.0
+    coarser = block_skip_compute_factor(x, block * 4)
+    assert coarser >= y - 1e-12
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    density=st.floats(0.05, 0.95),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_csr_round_trip_random_matrices(density, seed):
+    rng = np.random.default_rng(seed)
+    dense = clustered_sparse_matrix(256, 384, density, rng)
+    encoded = encode_tiled_csr(dense)
+    assert np.array_equal(encoded.to_dense(), dense)
+    assert encoded.nnz == int(np.count_nonzero(dense))

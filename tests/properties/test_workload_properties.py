@@ -1,0 +1,85 @@
+"""Property-based tests over randomly generated workload graphs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.presets import datacenter_context
+from repro.dse.space import DesignPoint
+from repro.perf.graph import Graph
+from repro.perf.ops import Activation, Conv2d, Pool
+from repro.perf.simulator import Simulator
+
+_CTX = datacenter_context()
+_SIM = Simulator(DesignPoint(32, 2, 2, 2).build(), _CTX)
+
+
+@st.composite
+def random_cnn(draw) -> Graph:
+    """A random straight-line CNN with shape-safe layer choices."""
+    size = draw(st.sampled_from([32, 64, 96, 128]))
+    graph = Graph("random-cnn", (size, size, 3))
+    layers = draw(st.integers(min_value=1, max_value=8))
+    previous = "input"
+    for index in range(layers):
+        height = graph.node(previous).output_shape[0]
+        kind = draw(st.sampled_from(["conv", "act", "pool"]))
+        if kind == "pool" and height < 4:
+            kind = "act"
+        if kind == "conv":
+            channels = draw(st.sampled_from([8, 16, 32, 64]))
+            stride = draw(st.sampled_from([1, 2])) if height >= 8 else 1
+            graph.add(
+                f"conv{index}",
+                Conv2d(channels, kernel=3, stride=stride),
+                [previous],
+            )
+            previous = f"conv{index}"
+        elif kind == "act":
+            graph.add(f"act{index}", Activation(), [previous])
+            previous = f"act{index}"
+        else:
+            graph.add(
+                f"pool{index}", Pool(kernel=2, stride=2), [previous]
+            )
+            previous = f"pool{index}"
+    return graph
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=random_cnn())
+def test_graph_invariants(graph):
+    assert graph.total_macs() >= 0
+    assert graph.total_params_bytes() >= 0
+    largest = max(
+        layer.output_shape[0]
+        * layer.output_shape[1]
+        * layer.output_shape[2]
+        for layer in graph
+    )
+    assert graph.peak_activation_bytes() >= largest
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=random_cnn(), batch=st.sampled_from([1, 2, 8]))
+def test_simulation_invariants(graph, batch):
+    result = _SIM.run(graph, batch)
+    assert result.latency_s > 0
+    assert result.total_cycles >= len(graph)
+    assert 0.0 <= result.utilization <= 1.0
+    assert result.achieved_tops <= result.peak_tops + 1e-9
+    assert result.throughput_fps * result.latency_s == pytest.approx(
+        batch, rel=1e-6
+    )
+    activity = result.activity
+    assert 0.0 <= activity.tu_utilization <= 1.0
+    assert activity.tu_occupancy >= activity.tu_utilization - 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(graph=random_cnn())
+def test_batching_never_hurts_amortized_work(graph):
+    single = _SIM.run(graph, 1)
+    batched = _SIM.run(graph, 8)
+    # Per-sample cycles can only shrink (or stay) when batching.
+    assert batched.total_cycles / 8 <= single.total_cycles * 1.05

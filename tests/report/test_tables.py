@@ -1,0 +1,62 @@
+"""Text reporting helpers."""
+
+import pytest
+
+from repro.arch.component import Estimate
+from repro.report.tables import (
+    breakdown_table,
+    comparison_table,
+    format_table,
+    share_ring,
+)
+
+
+@pytest.fixture()
+def tree():
+    return Estimate.compose(
+        "chip",
+        [
+            Estimate("cores", 10.0, 5.0, 0.5),
+            Estimate("noc", 2.0, 1.0, 0.1),
+        ],
+    )
+
+
+def test_format_table_aligns_columns():
+    text = format_table(["a", "bbb"], [["x", 1], ["yy", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+
+def test_breakdown_contains_all_components(tree):
+    text = breakdown_table(tree)
+    for name in ("chip", "cores", "noc"):
+        assert name in text
+
+
+def test_share_ring_orders_by_share(tree):
+    text = share_ring(tree, metric="area")
+    assert text.index("cores") < text.index("noc")
+
+
+def test_share_ring_power_metric(tree):
+    assert "cores" in share_ring(tree, metric="power")
+
+
+def test_share_ring_rejects_unknown_metric(tree):
+    with pytest.raises(ValueError):
+        share_ring(tree, metric="volume")
+
+
+def test_comparison_table_shows_errors():
+    text = comparison_table(
+        "test", {"tdp": 73.9}, {"tdp": 75.0}, unit=" W"
+    )
+    assert "-1.5%" in text
+
+
+def test_comparison_table_handles_missing_published():
+    text = comparison_table("test", {"x": 1.0}, {})
+    assert "n/a" in text

@@ -1,0 +1,66 @@
+"""Tiled CSR encoding and its beta overhead."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sparse.csr import TILE, csr_beta, encode_tiled_csr
+from repro.sparse.distributions import uniform_sparse_matrix
+
+
+def test_round_trip_small_matrix():
+    rng = np.random.default_rng(7)
+    dense = uniform_sparse_matrix(300, 520, density=0.3, rng=rng)
+    encoded = encode_tiled_csr(dense)
+    assert np.array_equal(encoded.to_dense(), dense)
+
+
+def test_round_trip_empty_matrix():
+    dense = np.zeros((64, 64), dtype=np.int8)
+    encoded = encode_tiled_csr(dense)
+    assert encoded.nnz == 0
+    assert np.array_equal(encoded.to_dense(), dense)
+
+
+def test_nnz_counted():
+    dense = np.zeros((16, 16), dtype=np.int8)
+    dense[3, 4] = 5
+    dense[10, 2] = -7
+    assert encode_tiled_csr(dense).nnz == 2
+
+
+def test_encoded_bytes_match_the_papers_recipe():
+    dense = uniform_sparse_matrix(512, 512, density=0.2)
+    encoded = encode_tiled_csr(dense)
+    tiles = 4  # 512x512 over 256x256 tiles
+    expected = encoded.nnz * 2 + tiles * TILE * 1 + tiles * 2
+    assert encoded.encoded_bytes == expected
+
+
+def test_beta_in_papers_band():
+    # "beta is a value between 2.0 and 2.5 in this case study"
+    for density in (0.05, 0.1, 0.3, 0.5):
+        beta = csr_beta(2048, 2048, density)
+        assert 2.0 <= beta <= 2.5, (density, beta)
+
+
+def test_beta_approaches_two_for_dense_matrices():
+    assert csr_beta(4096, 4096, 1.0) == pytest.approx(2.0, abs=0.01)
+
+
+def test_analytic_beta_matches_encoded(
+):
+    dense = uniform_sparse_matrix(1024, 1024, density=0.25)
+    encoded = encode_tiled_csr(dense)
+    analytic = csr_beta(1024, 1024, encoded.nonzero_ratio)
+    assert encoded.beta == pytest.approx(analytic, rel=0.01)
+
+
+def test_beta_rejects_bad_density():
+    with pytest.raises(ConfigurationError):
+        csr_beta(1024, 1024, 0.0)
+
+
+def test_encode_requires_2d():
+    with pytest.raises(ConfigurationError):
+        encode_tiled_csr(np.zeros(16, dtype=np.int8))

@@ -1,0 +1,109 @@
+"""Sparse-matrix generators and zero-skipping factors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sparse.distributions import (
+    CLUSTER_ELEMS,
+    CLUSTER_SIDE,
+    ZeroLayout,
+    clustered_sparse_matrix,
+    realized_density,
+    uniform_sparse_matrix,
+)
+from repro.sparse.skipping import (
+    block_skip_compute_factor,
+    measured_block_skip_factor,
+    vector_skip_compute_factor,
+)
+
+
+class TestGenerators:
+    def test_uniform_density_converges(self):
+        matrix = uniform_sparse_matrix(512, 512, density=0.3)
+        assert realized_density(matrix) == pytest.approx(0.3, abs=0.02)
+
+    def test_clustered_density_converges(self):
+        matrix = clustered_sparse_matrix(1024, 1024, density=0.3)
+        assert realized_density(matrix) == pytest.approx(0.3, abs=0.03)
+
+    def test_clustered_zeros_are_aligned(self):
+        matrix = clustered_sparse_matrix(256, 256, density=0.5)
+        side = CLUSTER_SIDE
+        for i in range(0, 256, side):
+            for j in range(0, 256, side):
+                block = matrix[i : i + side, j : j + side]
+                nz = np.count_nonzero(block)
+                assert nz == 0 or nz == side * side
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform_sparse_matrix(8, 8, density=1.5)
+
+    def test_deterministic_with_seed(self):
+        a = uniform_sparse_matrix(64, 64, 0.2, np.random.default_rng(1))
+        b = uniform_sparse_matrix(64, 64, 0.2, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+
+class TestAnalyticSkipping:
+    def test_matched_granularity_gives_y_equals_x(self):
+        # An 8x8 TU block equals one pruning cluster: y = x.
+        y = block_skip_compute_factor(0.3, block_elems=CLUSTER_ELEMS)
+        assert y == pytest.approx(0.3)
+
+    def test_coarse_blocks_barely_benefit(self):
+        # 32x32 blocks span 16 clusters: skipping is rare.
+        y = block_skip_compute_factor(0.3, block_elems=32 * 32)
+        assert y > 0.99
+
+    def test_uniform_layout_defeats_block_skipping(self):
+        clustered = block_skip_compute_factor(
+            0.5, 64, layout=ZeroLayout.CLUSTERED
+        )
+        uniform = block_skip_compute_factor(
+            0.5, 64, layout=ZeroLayout.UNIFORM
+        )
+        assert uniform > clustered
+
+    def test_vector_matches_block_for_same_size(self):
+        assert vector_skip_compute_factor(0.4, 64) == pytest.approx(
+            block_skip_compute_factor(0.4, 64)
+        )
+
+    def test_y_bounded(self):
+        for x in (0.05, 0.5, 0.95):
+            y = block_skip_compute_factor(x, 1024)
+            assert x <= y <= 1.0
+
+    def test_invalid_x_rejected(self):
+        with pytest.raises(ConfigurationError):
+            block_skip_compute_factor(0.0, 64)
+
+
+class TestMeasuredSkipping:
+    def test_measured_matches_analytic_for_matched_blocks(self):
+        rng = np.random.default_rng(11)
+        matrix = clustered_sparse_matrix(1024, 1024, 0.3, rng)
+        measured = measured_block_skip_factor(
+            matrix, CLUSTER_SIDE, CLUSTER_SIDE
+        )
+        analytic = block_skip_compute_factor(0.3, CLUSTER_ELEMS)
+        assert measured == pytest.approx(analytic, abs=0.04)
+
+    def test_measured_matches_analytic_for_coarse_blocks(self):
+        rng = np.random.default_rng(13)
+        matrix = clustered_sparse_matrix(2048, 2048, 0.1, rng)
+        measured = measured_block_skip_factor(matrix, 32, 32)
+        analytic = block_skip_compute_factor(0.1, 32 * 32)
+        assert measured == pytest.approx(analytic, abs=0.05)
+
+    def test_all_zero_matrix_skips_everything(self):
+        assert measured_block_skip_factor(
+            np.zeros((64, 64), dtype=np.int8), 8, 8
+        ) == 0.0
+
+    def test_requires_2d(self):
+        with pytest.raises(ConfigurationError):
+            measured_block_skip_factor(np.zeros(8, dtype=np.int8), 2, 2)

@@ -1,0 +1,63 @@
+"""Functional SpMV kernel over tiled CSR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sparse.csr import encode_tiled_csr
+from repro.sparse.distributions import (
+    clustered_sparse_matrix,
+    uniform_sparse_matrix,
+)
+from repro.sparse.spmv_kernel import dense_reference, spmv
+
+
+def test_matches_dense_reference():
+    rng = np.random.default_rng(3)
+    weights = uniform_sparse_matrix(300, 500, density=0.2, rng=rng)
+    vectors = rng.integers(-8, 8, size=(500, 16), dtype=np.int8)
+    encoded = encode_tiled_csr(weights)
+    execution = spmv(encoded, vectors)
+    assert np.array_equal(
+        execution.output, dense_reference(encoded, vectors)
+    )
+
+
+def test_operation_accounting():
+    rng = np.random.default_rng(5)
+    weights = uniform_sparse_matrix(256, 256, density=0.25, rng=rng)
+    vectors = rng.integers(0, 4, size=(256, 8), dtype=np.int8)
+    encoded = encode_tiled_csr(weights)
+    execution = spmv(encoded, vectors)
+    assert execution.multiplies == encoded.nnz * 8
+    assert execution.dense_multiplies == 256 * 256 * 8
+    assert execution.compute_reduction == pytest.approx(
+        encoded.nonzero_ratio, rel=1e-9
+    )
+
+
+def test_clustered_matrix_round_trip():
+    rng = np.random.default_rng(9)
+    weights = clustered_sparse_matrix(512, 384, density=0.4, rng=rng)
+    vectors = rng.integers(-3, 3, size=(384, 32), dtype=np.int8)
+    encoded = encode_tiled_csr(weights)
+    execution = spmv(encoded, vectors)
+    assert np.array_equal(
+        execution.output, dense_reference(encoded, vectors)
+    )
+
+
+def test_empty_matrix_yields_zero():
+    encoded = encode_tiled_csr(np.zeros((64, 64), dtype=np.int8))
+    vectors = np.ones((64, 4), dtype=np.int8)
+    execution = spmv(encoded, vectors)
+    assert not execution.output.any()
+    assert execution.multiplies == 0
+
+
+def test_dimension_mismatch_rejected():
+    encoded = encode_tiled_csr(np.zeros((32, 64), dtype=np.int8))
+    with pytest.raises(ConfigurationError):
+        spmv(encoded, np.zeros((32, 4), dtype=np.int8))
+    with pytest.raises(ConfigurationError):
+        spmv(encoded, np.zeros(64, dtype=np.int8))

@@ -1,0 +1,76 @@
+"""Technology-node tables and scaling rules."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech.node import REFERENCE_NODE_NM, available_nodes, node
+
+
+def test_available_nodes_cover_the_validated_chips():
+    nodes = available_nodes()
+    for required in (65, 28, 16):
+        assert required in nodes
+
+
+def test_lookup_returns_requested_feature_size():
+    assert node(28).feature_nm == 28
+    assert node(28).name == "28nm"
+
+
+def test_reference_node_exists():
+    assert node(REFERENCE_NODE_NM).feature_nm == REFERENCE_NODE_NM
+
+
+@pytest.mark.parametrize("field", [
+    "gate_area_um2",
+    "gate_energy_fj",
+    "sram_cell_um2",
+    "dff_area_um2",
+    "fo4_ps",
+    "vdd_v",
+])
+def test_every_quantity_shrinks_with_the_node(field):
+    values = [getattr(node(n), field) for n in sorted(available_nodes())]
+    assert values == sorted(values), f"{field} must grow with feature size"
+
+
+def test_interpolated_node_lies_between_neighbours():
+    mid = node(20)
+    assert node(16).gate_area_um2 < mid.gate_area_um2 < node(28).gate_area_um2
+    assert node(16).fo4_ps < mid.fo4_ps < node(28).fo4_ps
+
+
+def test_out_of_range_node_rejected():
+    with pytest.raises(TechnologyError):
+        node(3)
+    with pytest.raises(TechnologyError):
+        node(180)
+
+
+def test_voltage_scaling_quadratic_energy():
+    base = node(28)
+    low = base.at_voltage(base.vdd_v / 2)
+    assert low.gate_energy_fj == pytest.approx(base.gate_energy_fj / 4)
+
+
+def test_voltage_scaling_slows_logic():
+    base = node(28)
+    low = base.at_voltage(base.vdd_v * 0.8)
+    assert low.fo4_ps > base.fo4_ps
+
+
+def test_voltage_scaling_rejects_nonpositive():
+    with pytest.raises(TechnologyError):
+        node(28).at_voltage(0.0)
+
+
+def test_scale_factors_are_one_at_self():
+    tech = node(28)
+    assert tech.energy_scale_from(tech) == pytest.approx(1.0)
+    assert tech.area_scale_from(tech) == pytest.approx(1.0)
+    assert tech.delay_scale_from(tech) == pytest.approx(1.0)
+
+
+def test_energy_scale_down_from_45_to_16():
+    scale = node(16).energy_scale_from(node(45))
+    assert 0.1 < scale < 0.5

@@ -1,0 +1,143 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_point, build_parser, main
+from repro.dse.space import DesignPoint
+from repro.errors import NeuroMeterError
+
+
+def test_parse_point():
+    assert _parse_point("64,2,2,4") == DesignPoint(64, 2, 2, 4)
+
+
+def test_parse_point_rejects_garbage():
+    with pytest.raises(NeuroMeterError):
+        _parse_point("64x2")
+
+
+def test_parser_lists_all_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("report", "validate", "simulate", "dse", "sparsity"):
+        assert command in text
+
+
+def test_report_command(capsys):
+    assert main(["report", "--point", "32,2,2,2", "--depth", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "peak TOPS" in out
+    assert "white space" in out
+
+
+def test_report_rejects_bad_point(capsys):
+    assert main(["report", "--point", "nope"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_validate_single_chip(capsys):
+    assert main(["validate", "--chip", "tpu-v1"]) == 0
+    out = capsys.readouterr().out
+    assert "TPU-v1" in out
+    assert "TDP" in out
+
+
+def test_simulate_command(capsys):
+    code = main(
+        [
+            "simulate",
+            "--workload",
+            "resnet",
+            "--batch",
+            "2",
+            "--point",
+            "32,2,2,2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "TOPS/W" in out
+
+
+def test_dse_explicit_points(capsys):
+    code = main(
+        ["dse", "--batch", "1", "--point", "32,2,1,2", "--point", "64,1,1,2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "(32,2,1,2)" in out
+    assert "(64,1,1,2)" in out
+
+
+def test_sparsity_command(capsys):
+    assert main(["sparsity", "--sparsity", "0.9"]) == 0
+    out = capsys.readouterr().out
+    assert "TU8" in out
+    assert "0.90" in out
+
+
+def test_timing_command(capsys):
+    assert main(["timing", "--point", "32,2,2,2", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle ns" in out
+    assert "ok" in out
+
+
+def test_optimize_command(capsys):
+    code = main(
+        [
+            "optimize",
+            "--objective",
+            "tops-per-watt",
+            "--point",
+            "64,2,2,4",
+            "--point",
+            "128,4,1,1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "best for tops-per-watt: (128,4,1,1)" in out
+
+
+def test_optimize_reports_infeasible(capsys):
+    code = main(
+        [
+            "optimize",
+            "--objective",
+            "tops",
+            "--max-area",
+            "1",
+            "--point",
+            "64,2,2,4",
+        ]
+    )
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_floorplan_command(capsys):
+    assert main(["floorplan", "--point", "32,2,2,2", "--columns", "24"]) == 0
+    out = capsys.readouterr().out
+    assert "outline" in out
+    assert "cores" in out
+
+
+def test_simulate_bounds_flag(capsys):
+    code = main(
+        [
+            "simulate",
+            "--workload",
+            "resnet",
+            "--batch",
+            "1",
+            "--point",
+            "32,2,2,2",
+            "--bounds",
+            "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "dominant bound" in out

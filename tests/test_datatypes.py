@@ -1,0 +1,79 @@
+"""Numeric data-type definitions."""
+
+import pytest
+
+from repro.datatypes import (
+    BF16,
+    FP16,
+    FP32,
+    INT8,
+    INT16,
+    INT32,
+    DataType,
+    parse_datatype,
+)
+from repro.errors import ConfigurationError
+
+
+def test_builtin_widths():
+    assert INT8.bits == 8
+    assert INT16.bits == 16
+    assert INT32.bits == 32
+    assert FP16.bits == 16
+    assert BF16.bits == 16
+    assert FP32.bits == 32
+
+
+def test_float_field_consistency():
+    for dtype in (FP16, BF16, FP32):
+        assert 1 + dtype.exponent_bits + dtype.mantissa_bits == dtype.bits
+
+
+def test_multiplier_width_integer_equals_bits():
+    assert INT8.multiplier_width == 8
+
+
+def test_multiplier_width_float_uses_hidden_bit():
+    assert BF16.multiplier_width == 8
+    assert FP32.multiplier_width == 24
+
+
+def test_inconsistent_float_rejected():
+    with pytest.raises(ConfigurationError):
+        DataType("bad", 16, is_float=True, mantissa_bits=10, exponent_bits=8)
+
+
+def test_parse_datatype_case_insensitive():
+    assert parse_datatype("BF16") is BF16
+    assert parse_datatype(" int8 ") is INT8
+
+
+def test_parse_datatype_unknown():
+    with pytest.raises(ConfigurationError):
+        parse_datatype("int3")
+
+
+def test_str_is_name():
+    assert str(INT8) == "int8"
+
+
+def test_low_precision_formats():
+    from repro.datatypes import FP8_E4M3, FP8_E5M2, INT4
+
+    assert INT4.bits == 4
+    assert FP8_E4M3.multiplier_width == 4
+    assert FP8_E5M2.multiplier_width == 3
+    assert parse_datatype("fp8_e4m3") is FP8_E4M3
+
+
+def test_low_precision_macs_are_cheaper():
+    from repro.circuit.mac import MacModel
+    from repro.datatypes import FP8_E4M3, FP16, INT4
+    from repro.tech.node import node
+
+    tech = node(16)
+    assert MacModel(INT4).energy_per_mac_pj(tech) < MacModel(
+        INT8
+    ).energy_per_mac_pj(tech)
+    fp8 = MacModel(FP8_E4M3, FP16)
+    assert fp8.area_um2(tech) < MacModel(BF16).area_um2(tech)

@@ -1,0 +1,55 @@
+"""The package's public surface."""
+
+import pytest
+
+import repro
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_from_docstring_works():
+    # The module docstring's example must actually run.
+    from repro import (
+        Chip,
+        ChipConfig,
+        CoreConfig,
+        ModelContext,
+        OnChipMemoryConfig,
+        TensorUnitConfig,
+        node,
+    )
+
+    core = CoreConfig(
+        tu=TensorUnitConfig(rows=64, cols=64),
+        tensor_units=2,
+        mem=OnChipMemoryConfig(capacity_bytes=4 << 20, block_bytes=64),
+    )
+    chip = Chip(ChipConfig(core=core, cores_x=2, cores_y=4))
+    ctx = ModelContext(tech=node(28), freq_ghz=0.7)
+    assert chip.area_mm2(ctx) > 0
+    assert chip.tdp_w(ctx) > 0
+    assert chip.peak_tops(ctx) == pytest.approx(91.75, rel=1e-3)
+
+
+def test_errors_form_a_hierarchy():
+    for error in (
+        repro.ConfigurationError,
+        repro.TechnologyError,
+        repro.OptimizationError,
+        repro.MappingError,
+        repro.ValidationError,
+    ):
+        assert issubclass(error, repro.NeuroMeterError)
+        assert issubclass(error, Exception)
+
+
+def test_datatypes_exported():
+    assert repro.INT8.bits == 8
+    assert repro.BF16.is_float

@@ -1,0 +1,37 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_area_round_trip():
+    assert units.um2_to_mm2(units.mm2_to_um2(3.5)) == pytest.approx(3.5)
+
+
+def test_cycle_time_of_one_ghz_is_one_ns():
+    assert units.cycle_time_ns(1.0) == pytest.approx(1.0)
+
+
+def test_cycle_time_rejects_nonpositive_frequency():
+    with pytest.raises(ValueError):
+        units.cycle_time_ns(0.0)
+
+
+def test_dynamic_power_units():
+    # 1 pJ per cycle at 1 GHz is 1 mW.
+    assert units.dynamic_power_w(1.0, 1.0) == pytest.approx(1e-3)
+
+
+def test_tpu_v1_peak_tops():
+    # 256x256 MACs at 700 MHz is the published 92 TOPS.
+    assert units.tops(256 * 256, 0.7) == pytest.approx(91.75, rel=1e-3)
+
+
+def test_ops_per_mac_is_two():
+    assert units.OPS_PER_MAC == 2
+
+
+def test_binary_capacity_constants():
+    assert units.MiB == 1024 * units.KiB
+    assert units.GiB == 1024 * units.MiB

@@ -1,0 +1,84 @@
+"""Clock-rate search and critical-path reporting."""
+
+import pytest
+
+from repro.arch.chip import Chip, ChipConfig
+from repro.arch.component import Estimate, ModelContext
+from repro.arch.core import CoreConfig
+from repro.arch.memory import OnChipMemoryConfig
+from repro.arch.tensor_unit import TensorUnitConfig
+from repro.errors import OptimizationError
+from repro.tech.node import node
+from repro.timing.clock import (
+    critical_path,
+    frequency_for_tops,
+    max_frequency_ghz,
+    plan_clock,
+)
+
+
+@pytest.fixture(scope="module")
+def chip():
+    core = CoreConfig(
+        tu=TensorUnitConfig(rows=32, cols=32),
+        tensor_units=2,
+        mem=OnChipMemoryConfig(capacity_bytes=2 << 20, block_bytes=32),
+    )
+    return Chip(ChipConfig(core=core, cores_x=2, cores_y=2))
+
+
+def test_frequency_for_tops_inverts_peak():
+    # 65536 MACs at 0.7 GHz = 91.75 TOPS.
+    assert frequency_for_tops(65536, 91.75) == pytest.approx(0.7, rel=1e-3)
+
+
+def test_frequency_for_tops_rejects_bad_inputs():
+    with pytest.raises(OptimizationError):
+        frequency_for_tops(0, 10.0)
+    with pytest.raises(OptimizationError):
+        frequency_for_tops(100, 0.0)
+
+
+def test_critical_path_finds_slowest():
+    tree = Estimate.compose(
+        "chip",
+        [
+            Estimate("fast", 1, 0, 0, cycle_time_ns=0.2),
+            Estimate("slow", 1, 0, 0, cycle_time_ns=1.5),
+        ],
+    )
+    name, cycle = critical_path(tree)
+    assert name in ("slow", "chip")
+    assert cycle == pytest.approx(1.5)
+
+
+def test_max_frequency_is_feasible(chip):
+    tech = node(28)
+    ceiling = max_frequency_ghz(chip, tech)
+    assert ceiling > 0.3
+    ctx = ModelContext(tech=tech, freq_ghz=ceiling)
+    assert chip.estimate(ctx).cycle_time_ns <= 1.0 / ceiling + 1e-6
+
+
+def test_plan_reaches_modest_target(chip):
+    plan = plan_clock(chip, node(28), target_tops=10.0)
+    assert plan.peak_tops == pytest.approx(10.0, rel=1e-3)
+    assert plan.freq_ghz < 1.0
+
+
+def test_plan_without_target_runs_at_ceiling(chip):
+    plan = plan_clock(chip, node(28), freq_cap_ghz=0.7)
+    assert plan.freq_ghz <= 0.7 + 1e-9
+
+
+def test_unreachable_target_raises(chip):
+    with pytest.raises(OptimizationError):
+        plan_clock(chip, node(28), target_tops=10_000.0)
+
+
+def test_plan_reports_limiter_when_tight(chip):
+    tech = node(28)
+    ceiling = max_frequency_ghz(chip, tech)
+    plan = plan_clock(chip, tech, freq_cap_ghz=ceiling)
+    assert plan.limited_by is not None
+    assert plan.slack_ns >= -1e-6

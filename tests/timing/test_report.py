@@ -1,0 +1,61 @@
+"""Critical-path timing report."""
+
+import pytest
+
+from repro.arch.component import Estimate, ModelContext
+from repro.config.presets import tpu_v1, tpu_v1_context
+from repro.errors import ConfigurationError
+from repro.timing.report import timing_entries, timing_report
+
+
+@pytest.fixture()
+def tree():
+    slow = Estimate("slow-block", 1, 0, 0, cycle_time_ns=1.2)
+    fast = Estimate("fast-block", 1, 0, 0, cycle_time_ns=0.3)
+    return Estimate.compose("chip", [slow, fast])
+
+
+def test_entries_sorted_worst_first(tree):
+    entries = timing_entries(tree, freq_ghz=0.5)
+    assert entries[0].name == "slow-block"
+    assert entries[0].cycle_time_ns > entries[-1].cycle_time_ns
+
+
+def test_rollup_nodes_skipped(tree):
+    names = [entry.name for entry in timing_entries(tree, 0.5)]
+    assert "chip" not in names  # it merely repeats slow-block's path
+
+
+def test_slack_and_violation(tree):
+    entries = {e.name: e for e in timing_entries(tree, freq_ghz=1.0)}
+    assert entries["slow-block"].violated
+    assert not entries["fast-block"].violated
+    assert entries["fast-block"].slack_ns == pytest.approx(0.7)
+
+
+def test_top_limits_output(tree):
+    assert len(timing_entries(tree, 0.5, top=1)) == 1
+
+
+def test_rejects_bad_clock(tree):
+    with pytest.raises(ConfigurationError):
+        timing_entries(tree, freq_ghz=0.0)
+
+
+def test_report_renders(tree):
+    text = timing_report(tree, freq_ghz=1.0)
+    assert "slow-block" in text
+    assert "VIOLATED" in text
+
+
+def test_tpu_v1_closes_timing_at_700mhz():
+    chip, ctx = tpu_v1(), tpu_v1_context()
+    entries = timing_entries(chip.estimate(ctx), freq_ghz=0.7)
+    assert entries, "a real chip must have timed components"
+    assert all(not entry.violated for entry in entries)
+
+
+def test_tpu_v1_violates_at_2ghz():
+    chip, ctx = tpu_v1(), tpu_v1_context()
+    entries = timing_entries(chip.estimate(ctx), freq_ghz=2.0)
+    assert any(entry.violated for entry in entries)

@@ -1,0 +1,131 @@
+"""Component-level validation (the paper's Chisel-synthesis substitute).
+
+Sec. II-C validates component models against Chisel + FreePDK45 synthesis
+within a 15% area margin.  Without an EDA flow, this suite checks the
+equivalent internal-consistency properties: components recompose exactly
+from their parts, land within physical bounds derived from raw cell areas,
+and hit the empirical anchors they were fit to.
+"""
+
+import pytest
+
+from repro.arch.component import ModelContext
+from repro.arch.tensor_unit import TensorUnit, TensorUnitConfig
+from repro.circuit.mac import MacModel
+from repro.circuit.sram import SramArray
+from repro.datatypes import INT8, INT32
+from repro.tech.node import node
+from repro.units import um2_to_mm2
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ModelContext(tech=node(28), freq_ghz=0.7)
+
+
+class TestSramPhysicalBounds:
+    @pytest.mark.parametrize("capacity_kib", [64, 512, 4096, 24 * 1024])
+    def test_area_bounded_by_cells_and_overhead(self, capacity_kib):
+        """Array area sits between the raw cell area and 8x it."""
+        tech = node(28)
+        array = SramArray(
+            capacity_bytes=capacity_kib * 1024, block_bytes=64
+        )
+        raw_cells = um2_to_mm2(
+            capacity_kib * 1024 * 8 * tech.sram_cell_um2
+        )
+        modeled = array.area_mm2(tech)
+        assert raw_cells < modeled < 8.0 * raw_cells
+
+    def test_efficiency_improves_with_size(self):
+        """Bigger arrays amortize periphery (up to the routing tax)."""
+        tech = node(28)
+
+        def efficiency(capacity_bytes: int) -> float:
+            array = SramArray(
+                capacity_bytes=capacity_bytes, block_bytes=32
+            )
+            raw = um2_to_mm2(capacity_bytes * 8 * tech.sram_cell_um2)
+            return raw / array.area_mm2(tech)
+
+        assert efficiency(1 << 20) > efficiency(32 * 1024)
+
+
+class TestMacAnchors:
+    def test_anchor_values_exact_at_45nm(self):
+        """The empirical fit reproduces its own anchor table."""
+        from repro.circuit.mac import _MULT_TABLE
+        from repro.tech import calibration
+
+        tech = node(45)
+        mac = MacModel(INT8, INT32)
+        expected = (
+            _MULT_TABLE["int8"][0] * calibration.SYNTHESIS_ENERGY_MARGIN
+        )
+        assert mac.multiply_energy_pj(tech) == pytest.approx(expected)
+
+    def test_energy_scaling_follows_gate_energy(self):
+        """Cross-node MAC energy tracks the gate-energy table exactly."""
+        mac = MacModel(INT8, INT32)
+        t45, t16 = node(45), node(16)
+        ratio = mac.multiply_energy_pj(t16) / mac.multiply_energy_pj(t45)
+        assert ratio == pytest.approx(
+            t16.gate_energy_fj / t45.gate_energy_fj
+        )
+
+
+class TestTensorUnitRecomposition:
+    def test_estimate_recomposes_from_parts(self, ctx):
+        """The TU rollup equals cells + FIFO + interconnect exactly."""
+        tu = TensorUnit(TensorUnitConfig(rows=32, cols=32))
+        estimate = tu.estimate(ctx)
+        parts = {child.name: child for child in estimate.children}
+        assert estimate.area_mm2 == pytest.approx(
+            sum(part.area_mm2 for part in parts.values())
+        )
+        assert parts["systolic cells"].area_mm2 == pytest.approx(
+            tu.array_area_mm2(ctx)
+        )
+
+    def test_cell_area_recomposes(self, ctx):
+        """Cell area equals MAC + registers + control, times routing."""
+        from repro.tech import calibration
+
+        config = TensorUnitConfig(rows=16, cols=16)
+        tu = TensorUnit(config)
+        tech = ctx.tech
+        raw_um2 = (
+            config.cell.mac.area_um2(tech)
+            + config.cell.pipeline_bits * tech.dff_area_um2
+            + config.cell.control_gates * tech.gate_area_um2
+        )
+        expected = (
+            um2_to_mm2(raw_um2)
+            * calibration.DATAPATH_ROUTING_OVERHEAD
+            * (1.0 + calibration.ARRAY_SPAN_WIRING_COEF * 32)
+        )
+        assert tu.cell_area_mm2(ctx) == pytest.approx(expected)
+
+    def test_energy_per_mac_consistent_with_cycle_energy(self, ctx):
+        tu = TensorUnit(TensorUnitConfig(rows=16, cols=16))
+        assert tu.energy_per_mac_pj(ctx) == pytest.approx(
+            tu.energy_per_active_cycle_pj(ctx) / 256
+        )
+
+
+class TestChipRecomposition:
+    def test_chip_area_is_sum_of_children(self, small_chip, ctx28):
+        estimate = small_chip.estimate(ctx28)
+        assert estimate.area_mm2 == pytest.approx(
+            sum(child.area_mm2 for child in estimate.children)
+        )
+
+    def test_tdp_formula(self, small_chip, ctx28):
+        from repro.tech import calibration
+
+        estimate = small_chip.estimate(ctx28)
+        expected = (
+            estimate.dynamic_w * calibration.CHIP_TDP_MARGIN
+            + estimate.leakage_w
+        )
+        assert small_chip.tdp_w(ctx28) == pytest.approx(expected)

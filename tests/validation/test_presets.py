@@ -1,0 +1,115 @@
+"""Preset configurations carry the paper's architecture parameters."""
+
+import pytest
+
+from repro.arch.noc import NocTopology
+from repro.arch.periph import DramKind
+from repro.config.presets import (
+    DATACENTER_TOPS_CAP,
+    datacenter_context,
+    datacenter_design_point,
+    eyeriss,
+    eyeriss_context,
+    tpu_v1,
+    tpu_v1_context,
+    tpu_v2,
+    tpu_v2_context,
+)
+from repro.datatypes import BF16, FP32, INT8, INT16
+from repro.errors import ConfigurationError
+
+
+class TestTpuV1Preset:
+    def test_architecture_parameters(self):
+        chip = tpu_v1()
+        tu = chip.config.core.tu
+        assert (tu.rows, tu.cols) == (256, 256)
+        assert tu.cell.input_dtype is INT8
+        assert chip.config.core.mem.capacity_bytes == 24 << 20
+        names = dict(chip.config.core.extra_memories)
+        assert names["accumulator buffer"].capacity_bytes == 4 << 20
+        assert chip.config.dram is DramKind.DDR3
+
+    def test_context(self):
+        ctx = tpu_v1_context()
+        assert ctx.tech.feature_nm == 28
+        assert ctx.tech.vdd_v == pytest.approx(0.86)
+        assert ctx.freq_ghz == pytest.approx(0.70)
+
+    def test_peak_tops_is_published_92(self):
+        assert tpu_v1().peak_tops(tpu_v1_context()) == pytest.approx(
+            91.75, rel=1e-3
+        )
+
+
+class TestTpuV2Preset:
+    def test_architecture_parameters(self):
+        chip = tpu_v2()
+        assert chip.config.cores == 2
+        tu = chip.config.core.tu
+        assert (tu.rows, tu.cols) == (128, 128)
+        assert tu.cell.input_dtype is BF16
+        assert tu.cell.mac.accum_dtype is FP32
+        assert chip.config.ici is not None
+        assert chip.config.ici.link_gbit_per_dir == pytest.approx(496.0)
+
+    def test_context_assumes_16nm(self):
+        ctx = tpu_v2_context()
+        assert ctx.tech.feature_nm == 16
+        assert ctx.tech.vdd_v == pytest.approx(0.75)
+
+    def test_peak_flops(self):
+        # 2 x 128x128 MACs @ 700 MHz = 45.9 TFLOPS.
+        assert tpu_v2().peak_tops(tpu_v2_context()) == pytest.approx(
+            45.9, rel=1e-2
+        )
+
+
+class TestEyerissPreset:
+    def test_architecture_parameters(self):
+        chip = eyeriss()
+        tu = chip.config.core.tu
+        assert (tu.rows, tu.cols) == (14, 12)
+        assert tu.cell.input_dtype is INT16
+        assert tu.cell.spad_bytes == 448
+        assert tu.cell.reg_bytes == 72
+        assert chip.config.core.mem.capacity_bytes == 108 * 1024
+        assert chip.config.core.mem.min_banks == 27
+        assert chip.config.dram is None
+
+    def test_multicast_interconnect(self):
+        from repro.arch.tensor_unit import InterconnectKind
+
+        assert eyeriss().config.core.tu.interconnect is (
+            InterconnectKind.MULTICAST
+        )
+
+    def test_context(self):
+        ctx = eyeriss_context()
+        assert ctx.tech.feature_nm == 65
+        assert ctx.freq_ghz == pytest.approx(0.20)
+
+
+class TestDatacenterFactory:
+    def test_dependent_parameters_autoscale(self):
+        chip = datacenter_design_point(64, 2, 2, 4)
+        core = chip.config.core
+        assert core.vector_lanes == 64
+        assert core.mem.capacity_bytes == (32 << 20) // 8
+
+    def test_topology_rule(self):
+        assert datacenter_design_point(64, 4, 1, 2).config.topology is (
+            NocTopology.RING
+        )
+        assert datacenter_design_point(8, 4, 4, 8).config.topology is (
+            NocTopology.MESH_2D
+        )
+
+    def test_tops_cap_constant(self):
+        ctx = datacenter_context()
+        point = datacenter_design_point(128, 4, 1, 1)
+        assert point.peak_tops(ctx) <= DATACENTER_TOPS_CAP + 1e-6
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            datacenter_design_point(0, 1, 1, 1)

@@ -1,0 +1,85 @@
+"""Model-drift snapshots.
+
+An analytical modeling tool must be *stable*: refactors must not silently
+move the numbers.  These tests pin the key model outputs to recorded
+snapshots with a tight tolerance; any intentional model change must
+update the snapshot (and EXPERIMENTS.md) deliberately.
+"""
+
+import pytest
+
+from repro.config.presets import (
+    datacenter_context,
+    eyeriss,
+    eyeriss_context,
+    tpu_v1,
+    tpu_v1_context,
+    tpu_v2,
+    tpu_v2_context,
+)
+from repro.dse.space import DesignPoint
+from repro.dse.sparsity_study import evaluate_sparsity_point
+from repro.dse.sweep import evaluate_point
+from repro.perf.simulator import Simulator
+from repro.workloads import resnet50
+
+#: (area mm^2, TDP W) snapshots of the validated chips.
+CHIP_SNAPSHOTS = {
+    "tpu_v1": (338.69, 73.88),
+    "tpu_v2": (553.39, 258.15),
+    "eyeriss": (13.00, 0.542),
+}
+
+#: (area, TDP, peak TOPS) of the throughput-optimal datacenter point.
+DP_64224_SNAPSHOT = (394.15, 138.16, 91.7504)
+
+#: ResNet-50 @ batch 8 on (64,2,2,4): total simulated cycles (exact).
+RESNET_BS8_CYCLES = 1_386_650
+
+#: TU8 sparse-over-dense gain at sparsity 0.9.
+TU8_GAIN_AT_09 = 4.246
+
+_TOLERANCE = 2e-3
+
+
+@pytest.mark.parametrize(
+    "name,builder,context",
+    [
+        ("tpu_v1", tpu_v1, tpu_v1_context),
+        ("tpu_v2", tpu_v2, tpu_v2_context),
+        ("eyeriss", eyeriss, eyeriss_context),
+    ],
+)
+def test_chip_snapshots(name, builder, context):
+    chip, ctx = builder(), context()
+    area, tdp = CHIP_SNAPSHOTS[name]
+    assert chip.estimate(ctx).area_mm2 == pytest.approx(
+        area, rel=_TOLERANCE
+    )
+    assert chip.tdp_w(ctx) == pytest.approx(tdp, rel=_TOLERANCE)
+
+
+def test_datacenter_point_snapshot():
+    result = evaluate_point(
+        DesignPoint(64, 2, 2, 4), ctx=datacenter_context()
+    )
+    area, tdp, peak = DP_64224_SNAPSHOT
+    assert result.area_mm2 == pytest.approx(area, rel=_TOLERANCE)
+    assert result.tdp_w == pytest.approx(tdp, rel=_TOLERANCE)
+    assert result.peak_tops == pytest.approx(peak, rel=1e-6)
+
+
+def test_simulation_snapshot_is_deterministic_and_pinned():
+    simulator = Simulator(
+        DesignPoint(64, 2, 2, 4).build(), datacenter_context()
+    )
+    graph = resnet50()
+    first = simulator.run(graph, 8).total_cycles
+    second = simulator.run(graph, 8).total_cycles
+    assert first == second  # bit-exact determinism
+    assert first == RESNET_BS8_CYCLES
+
+
+def test_sparsity_gain_snapshot():
+    point = evaluate_sparsity_point("TU8", 0.9)
+    assert point.gain == pytest.approx(TU8_GAIN_AT_09, rel=_TOLERANCE)

@@ -1,0 +1,111 @@
+"""Workload models against the paper's Table II characteristics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    alexnet,
+    datacenter_workloads,
+    inception_v3,
+    nasnet_a_large,
+    resnet50,
+)
+from repro.workloads.alexnet import conv_layer
+
+#: Table II: (#MAC op G, #Param M excluding classifier).
+TABLE_II = {
+    "ResNet": (7.8, 23.7),
+    "Inception": (5.7, 22.0),
+    "NasNet": (23.8, 84.9),
+}
+
+#: Table II #Data (peak transient footprint, M elements) — reproduced
+#: within a looser band since it depends on scheduling assumptions.
+TABLE_II_DATA = {"ResNet": 5.72, "Inception": 2.93, "NasNet": 5.35}
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return dict(datacenter_workloads())
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_II))
+def test_mac_ops_match_table_ii(workloads, name):
+    macs = workloads[name].total_macs() / 1e9
+    expected = TABLE_II[name][0]
+    assert macs == pytest.approx(expected, rel=0.10)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_II))
+def test_params_match_table_ii(workloads, name):
+    params = workloads[name].total_params_bytes(
+        include_classifier=False
+    ) / 1e6
+    expected = TABLE_II[name][1]
+    assert params == pytest.approx(expected, rel=0.05)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_II_DATA))
+def test_peak_activation_same_order_as_table_ii(workloads, name):
+    peak = workloads[name].peak_activation_bytes() / 1e6
+    expected = TABLE_II_DATA[name]
+    assert expected / 2.5 < peak < expected * 2.5
+
+
+def test_resnet_structure():
+    graph = resnet50()
+    # 1 stem + (3+4+6+3) bottlenecks x 3 convs + 4 projections = 53 convs.
+    convs = [l for l in graph if type(l.op).__name__ == "Conv2d"]
+    assert len(convs) == 53
+    assert graph.output.name == "head.fc"
+    assert graph.node("head.fc").output_shape == (1, 1, 1000)
+
+
+def test_resnet_rejects_tiny_inputs():
+    with pytest.raises(ConfigurationError):
+        resnet50(input_size=32)
+
+
+def test_inception_final_channels():
+    graph = inception_v3()
+    # Inception-v3 ends at 8x8x2048 before pooling.
+    pooled = graph.node("head.pool")
+    assert pooled.input_shape[2] == 2048
+    assert pooled.input_shape[0] == 8
+
+
+def test_nasnet_dominated_by_separable_convs():
+    graph = nasnet_a_large()
+    depthwise = sum(
+        1 for l in graph if type(l.op).__name__ == "DepthwiseConv2d"
+    )
+    assert depthwise > 100
+
+
+def test_nasnet_penultimate_width():
+    graph = nasnet_a_large()
+    assert graph.node("head.fc").cost().params_bytes == pytest.approx(
+        4032 * 1000, rel=0.01
+    )
+
+
+def test_alexnet_conv_shapes():
+    graph = alexnet()
+    assert graph.node("conv1").output_shape == (55, 55, 96)
+    assert graph.node("conv5").output_shape == (13, 13, 256)
+
+
+def test_alexnet_total_macs():
+    # ~0.7 G MACs for the classic network.
+    assert alexnet().total_macs() / 1e9 == pytest.approx(0.7, rel=0.15)
+
+
+def test_alexnet_single_layer_extraction():
+    conv1 = conv_layer("conv1")
+    assert len(conv1) == 2  # conv + relu
+    assert conv1.node("conv1").output_shape == (55, 55, 96)
+
+
+def test_alexnet_unknown_layer_rejected():
+    with pytest.raises(ConfigurationError):
+        conv_layer("conv9")

@@ -1,0 +1,51 @@
+"""SpMV microbenchmark of the sparsity study."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sparse.distributions import ZeroLayout, realized_density
+from repro.workloads.spmv import SpmvWorkload
+
+
+def test_case_study_bounds_enforced():
+    with pytest.raises(ConfigurationError):
+        SpmvWorkload(m=512, n=2048)  # M >= 1024 required
+    with pytest.raises(ConfigurationError):
+        SpmvWorkload(batch=16)  # K >= 32 required
+    with pytest.raises(ConfigurationError):
+        SpmvWorkload(nonzero_ratio=0.0)
+
+
+def test_compute_ops_two_per_mac():
+    workload = SpmvWorkload(m=1024, n=1024, batch=32)
+    assert workload.compute_ops == 2 * 1024 * 1024 * 32
+
+
+def test_vector_and_weight_bytes():
+    workload = SpmvWorkload(m=1024, n=2048, batch=32)
+    assert workload.weight_bytes == 1024 * 2048
+    assert workload.vector_bytes == (1024 + 2048) * 32
+
+
+def test_beta_in_band():
+    for x in (0.1, 0.3, 0.6):
+        workload = SpmvWorkload(nonzero_ratio=x)
+        assert 2.0 <= workload.beta <= 2.5
+
+
+def test_roofline_inputs_wired_through():
+    workload = SpmvWorkload()
+    inputs = workload.roofline_inputs(10e12, 700e9)
+    assert inputs.compute_ops == workload.compute_ops
+    assert inputs.bandwidth_bytes_per_s == 700e9
+
+
+def test_materialize_respects_density_and_layout():
+    clustered = SpmvWorkload(
+        m=1024, n=1024, nonzero_ratio=0.4, layout=ZeroLayout.CLUSTERED
+    ).materialize()
+    uniform = SpmvWorkload(
+        m=1024, n=1024, nonzero_ratio=0.4, layout=ZeroLayout.UNIFORM
+    ).materialize()
+    assert realized_density(clustered) == pytest.approx(0.4, abs=0.05)
+    assert realized_density(uniform) == pytest.approx(0.4, abs=0.05)

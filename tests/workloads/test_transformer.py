@@ -1,0 +1,102 @@
+"""Transformer encoder workload extension."""
+
+import pytest
+
+from repro.config.presets import datacenter_context
+from repro.dse.space import DesignPoint
+from repro.errors import ConfigurationError
+from repro.perf.simulator import Simulator
+from repro.workloads.transformer import (
+    bert_base,
+    bert_large,
+    transformer_encoder,
+)
+
+
+def test_bert_base_compute_matches_literature():
+    # ~11.2 GMACs for a 128-token forward pass.
+    graph = bert_base(seq=128)
+    assert graph.total_macs() / 1e9 == pytest.approx(11.2, rel=0.05)
+
+
+def test_bert_base_params_match_literature():
+    # ~85 M encoder parameters (embeddings excluded).
+    graph = bert_base()
+    assert graph.total_params_bytes() / 1e6 == pytest.approx(85.0, rel=0.02)
+
+
+def test_attention_gemms_carry_no_parameters():
+    graph = bert_base()
+    scores = graph.node("layer0.attn.scores")
+    assert scores.cost().params_bytes == 0
+    assert scores.cost().macs > 0
+
+
+def test_attention_compute_scales_quadratically_with_sequence():
+    short = bert_base(seq=128)
+    long = bert_base(seq=512)
+    def attention_macs(graph):
+        return sum(
+            layer.cost().macs
+            for layer in graph
+            if ".attn.scores" in layer.name or ".attn.context" in layer.name
+        )
+    ratio = attention_macs(long) / attention_macs(short)
+    assert ratio == pytest.approx(16.0, rel=0.05)
+
+
+def test_bert_large_is_bigger():
+    assert bert_large().total_macs() > 3 * bert_base().total_macs()
+    assert bert_large().total_params_bytes() / 1e6 == pytest.approx(
+        302.0, rel=0.05
+    )
+
+
+def test_invalid_head_split_rejected():
+    with pytest.raises(ConfigurationError):
+        transformer_encoder(hidden=100, heads=12)
+
+
+def test_simulates_on_a_datacenter_chip():
+    simulator = Simulator(
+        DesignPoint(64, 2, 2, 4).build(), datacenter_context()
+    )
+    result = simulator.run(bert_base(), batch=8)
+    assert result.throughput_fps > 0
+    assert 0 < result.utilization <= 1.0
+
+
+class TestGptDecode:
+    def test_decode_step_macs(self):
+        from repro.workloads.transformer import gpt_decode_step
+
+        graph = gpt_decode_step()
+        # ~2 * 85M params worth of GEMMs + KV mixes per token.
+        assert graph.total_macs() / 1e9 == pytest.approx(0.123, rel=0.05)
+
+    def test_projection_gemms_have_m_of_one(self):
+        from repro.workloads.transformer import gpt_decode_step
+
+        graph = gpt_decode_step()
+        qkv = graph.node("layer0.qkv")
+        assert qkv.cost().gemm.m == 1
+
+    def test_batched_decode_recovers_utilization(self):
+        from repro.workloads.transformer import gpt_decode_step
+
+        simulator = Simulator(
+            DesignPoint(64, 2, 2, 4).build(), datacenter_context()
+        )
+        graph = gpt_decode_step()
+        single = simulator.run(graph, 1)
+        batched = simulator.run(graph, 256)
+        # The memory-bound single-token step idles the arrays; batching
+        # multiple requests recovers an order of magnitude of utilization.
+        assert single.utilization < 0.05
+        assert batched.utilization > 10 * single.utilization
+
+    def test_kv_cache_reads_carry_no_params(self):
+        from repro.workloads.transformer import gpt_decode_step
+
+        graph = gpt_decode_step()
+        assert graph.node("layer0.scores").cost().params_bytes == 0
