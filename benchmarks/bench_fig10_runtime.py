@@ -9,11 +9,13 @@ and large (256) batch sizes.  Asserts the paper's orderings: the wimpy
 throughput, and the efficiency optima trade throughput for TCO.
 """
 
+import os
+
 import pytest
 
 from benchmarks.conftest import run_once
+from repro.dse.engine import run_sweep
 from repro.dse.space import DesignPoint
-from repro.dse.sweep import evaluate_point
 from repro.report.tables import format_table
 from repro.workloads import datacenter_workloads
 
@@ -34,12 +36,15 @@ BATCH_SPECS = [(1, "small (bs=1)"), ("latency-bound", "medium (10 ms)"),
 @pytest.fixture(scope="module")
 def results():
     workloads = datacenter_workloads()
-    return {
-        point: evaluate_point(
-            point, workloads, [spec for spec, _ in BATCH_SPECS]
-        )
-        for point in POINTS
-    }
+    report = run_sweep(
+        POINTS,
+        workloads,
+        [spec for spec, _ in BATCH_SPECS],
+        jobs=min(4, os.cpu_count() or 1),
+        strict=True,
+    )
+    assert not report.failures
+    return {result.point: result for result in report.results}
 
 
 def test_fig10_runtime_study(benchmark, emit, results):

@@ -7,11 +7,13 @@ headline: (128, 4, 1, 1) is the best peak-efficiency point, and wimpy
 designs need more area per TOPS.
 """
 
+import os
+
 import pytest
 
 from benchmarks.conftest import run_once
+from repro.dse.engine import run_sweep
 from repro.dse.space import DesignPoint
-from repro.dse.sweep import evaluate_point
 from repro.report.tables import format_table
 
 #: Representative points spanning wimpy -> brawny (the Fig. 8 x-axis).
@@ -40,9 +42,12 @@ def _component_share(result, names):
 
 
 def test_fig8_design_space(benchmark, emit):
-    results = run_once(
-        benchmark, lambda: [evaluate_point(p) for p in POINTS]
+    jobs = min(4, os.cpu_count() or 1)
+    report = run_once(
+        benchmark, lambda: run_sweep(POINTS, jobs=jobs, strict=True)
     )
+    results = report.results
+    assert not report.failures
 
     rows = []
     for result in results:

@@ -26,8 +26,8 @@ from repro.config.presets import (
     tpu_v2,
     tpu_v2_context,
 )
+from repro.dse.engine import run_sweep
 from repro.dse.space import DesignPoint
-from repro.dse.sweep import evaluate_point
 from repro.dse.sparsity_study import STUDY_ARCHITECTURES, sparsity_sweep
 from repro.errors import NeuroMeterError
 from repro.perf.simulator import Simulator
@@ -75,6 +75,64 @@ def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--freq", type=float, default=0.7, help="clock rate in GHz"
     )
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Robust-execution flags shared by the sweep-backed subcommands."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for point evaluation (default 1)",
+    )
+    parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        dest="timeout_s",
+        metavar="SECONDS",
+        help="per-point wall-clock budget; a hung point is killed "
+        "and recorded as a timeout failure",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="JSONL checkpoint journal; every finished point is "
+        "appended so an interrupted sweep can be resumed",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already finished in --journal and "
+        "rehydrate their results",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="record per-point failures and continue instead of "
+        "aborting on the first one",
+    )
+
+
+def _engine_options(args: argparse.Namespace) -> dict:
+    if args.resume and not args.journal:
+        raise NeuroMeterError("--resume requires --journal PATH")
+    return {
+        "jobs": args.jobs,
+        "timeout_s": args.timeout_s,
+        "journal_path": args.journal,
+        "resume": args.resume,
+    }
+
+
+def _print_failures(failures, *, label: str = "failed points") -> None:
+    if not failures:
+        return
+    print(f"\n{label} ({len(failures)}):", file=sys.stderr)
+    for failure in failures:
+        print(f"  {failure.describe()}", file=sys.stderr)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -159,20 +217,37 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     if args.point:
         points = [_parse_point(text) for text in args.point]
     workloads = [(name, fn()) for name, fn in _WORKLOADS.items()]
+    report = run_sweep(
+        points,
+        workloads,
+        [args.batch],
+        strict=not args.keep_going,
+        **_engine_options(args),
+    )
+    regime = f"bs={args.batch}"
     rows = []
-    for point in points:
-        result = evaluate_point(point, workloads, [args.batch])
-        rows.append(
-            [
-                point.label(),
-                f"{result.area_mm2:.0f}",
-                f"{result.tdp_w:.0f}",
-                f"{result.peak_tops:.1f}",
+    for record in report.records:
+        result = record.result
+        if result is None:
+            continue
+        if any(o.regime == regime for o in result.outcomes):
+            runtime = [
                 f"{result.mean_achieved_tops(args.batch):.1f}",
                 f"{result.mean_utilization(args.batch):.2f}",
                 f"{result.mean_energy_efficiency(args.batch):.3f}",
                 f"{result.mean_cost_efficiency(args.batch) * 1e6:.2f}",
             ]
+        else:
+            # Degraded (peak-only) row salvaged by the engine's retry.
+            runtime = ["-", "-", "-", "-"]
+        rows.append(
+            [
+                record.point.label(),
+                f"{result.area_mm2:.0f}",
+                f"{result.tdp_w:.0f}",
+                f"{result.peak_tops:.1f}",
+            ]
+            + runtime
         )
     print(
         format_table(
@@ -189,6 +264,14 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    _print_failures(report.failures)
+    _print_failures(
+        [r.failure for r in report.degraded if r.failure is not None],
+        label="degraded points (peak-only rows)",
+    )
+    if not rows:
+        print("error: every design point failed", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -225,6 +308,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         constraints,
         workloads=workloads,
         batch=args.batch,
+        strict=not args.keep_going,
+        **_engine_options(args),
     )
     best = outcome.best
     print(
@@ -236,6 +321,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
           f"infeasible: {len(outcome.infeasible)}")
     for result in outcome.ranking[1:4]:
         print(f"  runner-up: {result.point.label()}")
+    _print_failures(outcome.failures)
     return 0
 
 
@@ -352,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="explicit X,N,Tx,Ty tuples (repeatable)",
     )
+    _add_engine_arguments(dse)
     dse.set_defaults(handler=_cmd_dse)
 
     sparsity = commands.add_parser(
@@ -388,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--min-tops", type=float, default=None)
     optimize.add_argument("--batch", type=int, default=1)
     optimize.add_argument("--point", action="append")
+    _add_engine_arguments(optimize)
     optimize.set_defaults(handler=_cmd_optimize)
 
     edge = commands.add_parser(
@@ -416,6 +504,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except NeuroMeterError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # A journaled sweep interrupted here is resumable with --resume.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -8,6 +8,14 @@ from repro.dse.space import (
 )
 from repro.dse.metrics import geomean, tops_per_tco, tops_per_watt
 from repro.dse.sweep import DesignPointResult, evaluate_point, sweep
+from repro.dse.engine import (
+    PointFailure,
+    PointRecord,
+    SweepReport,
+    run_sweep,
+)
+from repro.dse.guardrails import validate_result
+from repro.dse.journal import Journal, JournalEntry, SummaryResult, load_journal
 from repro.dse.pareto import pareto_front
 from repro.dse.edge import edge_design_point, edge_sweep, evaluate_edge_point
 from repro.dse.sparsity_study import sparsity_sweep
@@ -30,15 +38,24 @@ __all__ = [
     "evaluate_edge_point",
     "evaluate_point",
     "geomean",
+    "Journal",
+    "JournalEntry",
+    "load_journal",
     "max_core_point",
     "named_points",
     "Objective",
     "optimize_design",
     "pareto_front",
     "perturbed_calibration",
+    "PointFailure",
+    "PointRecord",
+    "run_sweep",
     "stability_summary",
+    "SummaryResult",
     "sparsity_sweep",
     "sweep",
+    "SweepReport",
+    "validate_result",
     "winner_stability",
     "tops_per_dollar",
     "tops_per_tco",

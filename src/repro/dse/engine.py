@@ -1,0 +1,727 @@
+"""Fault-tolerant sweep execution engine.
+
+The Fig. 8 / Fig. 10 studies evaluate hundreds of design points, and at
+that scale individual failures are expected, not exceptional: the memory
+bank optimizer can find no feasible organization for a pathological tile
+(:class:`~repro.errors.OptimizationError`), an operator may not map onto a
+degenerate core grid (:class:`~repro.errors.MappingError`), a calibration
+curve-fit can leak a NaN.  A naive loop turns any of these into an aborted
+study and throws away every point already evaluated.
+
+This engine treats the cost model as a service that must survive bad
+points:
+
+* **Per-point fault isolation** — each evaluation runs in a guarded unit;
+  an exception becomes a structured :class:`PointFailure` (error class,
+  stage, wall time) instead of a traceback, unless ``strict=True``.
+* **Process-pool parallelism with per-point timeouts** — with ``jobs > 1``
+  or a ``timeout_s``, points run in forked worker processes; a hung point
+  is killed at the deadline and recorded as a timeout failure.
+* **Retry with graceful degradation** — a failed point is retried once
+  with the workload recipe dropped, so the study still gets the
+  area/TDP/peak-TOPS row where achievable (status ``degraded``).
+* **Checkpoint/resume** — with a ``journal_path``, every finished point is
+  appended to a JSONL journal (:mod:`repro.dse.journal`); ``resume=True``
+  skips journaled points and rehydrates their metrics.
+* **Result guardrails** — every accepted result passes
+  :func:`repro.dse.guardrails.validate_result`; NaN/inf/out-of-range
+  values are rejected at the boundary as
+  :class:`~repro.errors.NumericalError`.
+
+The legacy :func:`repro.dse.sweep.sweep` delegates here with
+``strict=True, jobs=1`` and is behaviorally unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait as _wait_connections
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from repro.arch.component import ModelContext
+from repro.dse.guardrails import validate_result
+from repro.dse.journal import (
+    Journal,
+    JournalEntry,
+    SummaryResult,
+    summarize_result,
+)
+from repro.dse.space import DesignPoint
+from repro.dse.sweep import DesignPointResult, evaluate_point
+from repro.errors import (
+    ConfigurationError,
+    MappingError,
+    NeuroMeterError,
+    NumericalError,
+    OptimizationError,
+    PointTimeoutError,
+)
+from repro.perf.graph import Graph
+from repro.perf.simulator import DEFAULT_LATENCY_SLO_MS
+
+#: Evaluation stages a failure can be attributed to.
+STAGES = (
+    "build",
+    "estimate",
+    "simulate",
+    "power",
+    "validate",
+    "timeout",
+    "collect",
+    "evaluate",
+)
+
+#: Seconds to wait for a killed worker to be reaped before moving on.
+_JOIN_GRACE_S = 5.0
+
+
+def classify_stage(error: BaseException) -> str:
+    """Attribute an exception to an evaluation stage.
+
+    Prefers the ``stage`` tag attached by :func:`~repro.dse.sweep._stage`
+    inside :func:`~repro.dse.sweep.evaluate_point`; falls back to the
+    exception type for errors raised outside the tagged blocks.
+    """
+    stage = getattr(error, "stage", None)
+    if isinstance(stage, str) and stage in STAGES:
+        return stage
+    if isinstance(error, NumericalError):
+        return "validate"
+    if isinstance(error, PointTimeoutError):
+        return "timeout"
+    if isinstance(error, MappingError):
+        return "simulate"
+    if isinstance(error, OptimizationError):
+        return "build"
+    return "evaluate"
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One failed evaluation attempt, structured for reporting.
+
+    Attributes:
+        point: The design tuple that failed.
+        stage: Where it failed (see :data:`STAGES`).
+        error_type: Exception class name (``PointTimeoutError`` for
+            killed points, ``WorkerCrash`` for workers that died without
+            reporting).
+        message: The exception message.
+        wall_time_s: Time spent on the failing attempt.
+        attempt: 1 for the primary attempt, 2 for the degraded retry.
+        degraded: Whether the failing attempt was the degraded retry.
+    """
+
+    point: DesignPoint
+    stage: str
+    error_type: str
+    message: str
+    wall_time_s: float = 0.0
+    attempt: int = 1
+    degraded: bool = False
+
+    def describe(self) -> str:
+        return (
+            f"{self.point.label()} [{self.stage}] "
+            f"{self.error_type}: {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "error_type": self.error_type,
+            "message": self.message,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "attempt": self.attempt,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, point: DesignPoint, payload: dict) -> "PointFailure":
+        return cls(
+            point=point,
+            stage=str(payload.get("stage", "evaluate")),
+            error_type=str(payload.get("error_type", "Exception")),
+            message=str(payload.get("message", "")),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            attempt=int(payload.get("attempt", 1)),
+            degraded=bool(payload.get("degraded", False)),
+        )
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """The final outcome of one design point in a sweep.
+
+    ``status`` is ``ok`` (full evaluation), ``degraded`` (peak-only
+    metrics salvaged by the retry; ``failure`` holds the original error),
+    or ``failed`` (both attempts exhausted).  ``result`` is a full
+    :class:`~repro.dse.sweep.DesignPointResult` for points evaluated in
+    this run and a :class:`~repro.dse.journal.SummaryResult` for points
+    rehydrated from a resumed journal.
+    """
+
+    point: DesignPoint
+    status: str
+    result: Optional[Union[DesignPointResult, SummaryResult]] = None
+    metrics: Optional[dict] = None
+    failure: Optional[PointFailure] = None
+    wall_time_s: float = 0.0
+    attempt: int = 1
+    from_journal: bool = False
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Everything a study learned from one engine run."""
+
+    records: tuple[PointRecord, ...]
+
+    @property
+    def results(
+        self,
+    ) -> list[Union[DesignPointResult, SummaryResult]]:
+        """Usable result rows (ok + degraded), in input-point order."""
+        return [r.result for r in self.records if r.result is not None]
+
+    @property
+    def failures(self) -> list[PointFailure]:
+        """Structured failures of the points that produced no row."""
+        return [
+            r.failure
+            for r in self.records
+            if r.status == "failed" and r.failure is not None
+        ]
+
+    @property
+    def degraded(self) -> list[PointRecord]:
+        return [r for r in self.records if r.status == "degraded"]
+
+    def record_for(self, point: DesignPoint) -> Optional[PointRecord]:
+        for record in self.records:
+            if record.point == point:
+                return record
+        return None
+
+    def summary(self) -> str:
+        ok = sum(1 for r in self.records if r.status == "ok")
+        degraded = len(self.degraded)
+        failed = len(self.failures)
+        resumed = sum(1 for r in self.records if r.from_journal)
+        text = (
+            f"{len(self.records)} points: {ok} ok, "
+            f"{degraded} degraded, {failed} failed"
+        )
+        if resumed:
+            text += f" ({resumed} from journal)"
+        return text
+
+
+@dataclass(frozen=True)
+class _Task:
+    index: int
+    point: DesignPoint
+    attempt: int = 1
+    degraded: bool = False
+    first_failure: Optional[PointFailure] = None
+
+
+def _mp_context() -> mp.context.BaseContext:
+    """Fork when available (Linux): workers inherit graphs and patches."""
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return mp.get_context("spawn")
+
+
+def _failure_payload(error: BaseException, wall_time_s: float) -> dict:
+    import pickle
+
+    carried: Optional[BaseException] = error
+    try:
+        pickle.dumps(error)
+    except Exception:
+        carried = None  # still report type/message/stage, just not the object
+    return {
+        "error_type": type(error).__name__,
+        "message": str(error),
+        "stage": classify_stage(error),
+        "wall_time_s": wall_time_s,
+        "exception": carried,
+    }
+
+
+def _run_attempt(
+    task: _Task,
+    workloads: Sequence[tuple[str, Graph]],
+    batches: Iterable[object],
+    ctx: Optional[ModelContext],
+    latency_slo_ms: float,
+    validate: bool,
+) -> DesignPointResult:
+    """One evaluation attempt; degraded attempts drop the workload recipe."""
+    use_workloads = () if task.degraded else workloads
+    use_batches = () if task.degraded else batches
+    result = evaluate_point(
+        task.point, use_workloads, use_batches, ctx, latency_slo_ms
+    )
+    if validate:
+        validate_result(result)
+    return result
+
+
+def _worker_main(
+    conn: Connection,
+    task: _Task,
+    workloads: Sequence[tuple[str, Graph]],
+    batches: Sequence[object],
+    ctx: Optional[ModelContext],
+    latency_slo_ms: float,
+    validate: bool,
+) -> None:
+    """Forked worker: evaluate one point, ship the outcome over the pipe."""
+    start = time.perf_counter()
+    try:
+        result = _run_attempt(
+            task, workloads, batches, ctx, latency_slo_ms, validate
+        )
+        elapsed = time.perf_counter() - start
+        payload = ("ok", result, elapsed)
+    except Exception as error:
+        elapsed = time.perf_counter() - start
+        payload = ("error", _failure_payload(error, elapsed), elapsed)
+    try:
+        conn.send(payload)
+    except Exception as send_error:
+        # The result did not pickle; report that instead of dying
+        # silently and being misread as a crash.
+        conn.send(
+            (
+                "error",
+                {
+                    "error_type": type(send_error).__name__,
+                    "message": (
+                        "result could not be returned from the worker: "
+                        f"{send_error}"
+                    ),
+                    "stage": "collect",
+                    "wall_time_s": elapsed,
+                    "exception": None,
+                },
+                elapsed,
+            )
+        )
+    finally:
+        conn.close()
+
+
+class _SweepRun:
+    """State of one engine invocation (scheduling, retries, journal)."""
+
+    def __init__(
+        self,
+        points: Sequence[DesignPoint],
+        workloads: Sequence[tuple[str, Graph]],
+        batches: Sequence[object],
+        ctx: Optional[ModelContext],
+        jobs: int,
+        timeout_s: Optional[float],
+        strict: bool,
+        retry_degraded: bool,
+        validate: bool,
+        journal: Optional[Journal],
+        resume: bool,
+        latency_slo_ms: float,
+        on_record: Optional[Callable[[PointRecord], None]],
+    ):
+        self.points = list(points)
+        self.workloads = tuple(workloads)
+        self.batches = tuple(batches)
+        self.ctx = ctx
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.strict = strict
+        self.retry_degraded = retry_degraded and not strict
+        self.validate = validate
+        self.journal = journal
+        self.resume = resume
+        self.latency_slo_ms = latency_slo_ms
+        self.on_record = on_record
+        self.records: dict[int, PointRecord] = {}
+
+    # -- record bookkeeping ---------------------------------------------------
+
+    def _finalize(self, task: _Task, record: PointRecord) -> None:
+        self.records[task.index] = record
+        if self.journal is not None and not record.from_journal:
+            self.journal.append(
+                JournalEntry(
+                    point=record.point,
+                    status=record.status,
+                    attempt=record.attempt,
+                    wall_time_s=record.wall_time_s,
+                    metrics=record.metrics,
+                    failure=(
+                        record.failure.to_dict()
+                        if record.failure is not None
+                        else None
+                    ),
+                )
+            )
+        if self.on_record is not None:
+            self.on_record(record)
+
+    def _success(
+        self, task: _Task, result: DesignPointResult, wall_time_s: float
+    ) -> None:
+        status = "degraded" if task.degraded else "ok"
+        self._finalize(
+            task,
+            PointRecord(
+                point=task.point,
+                status=status,
+                result=result,
+                metrics=summarize_result(result),
+                failure=task.first_failure,
+                wall_time_s=wall_time_s,
+                attempt=task.attempt,
+            ),
+        )
+
+    def _failure(
+        self, task: _Task, failure: PointFailure
+    ) -> Optional[_Task]:
+        """Handle one failed attempt; return the retry task if any."""
+        can_degrade = (
+            self.retry_degraded
+            and not task.degraded
+            and bool(self.workloads or self.batches)
+        )
+        if can_degrade:
+            return _Task(
+                index=task.index,
+                point=task.point,
+                attempt=task.attempt + 1,
+                degraded=True,
+                first_failure=failure,
+            )
+        final = task.first_failure if task.first_failure else failure
+        self._finalize(
+            task,
+            PointRecord(
+                point=task.point,
+                status="failed",
+                failure=final,
+                wall_time_s=failure.wall_time_s,
+                attempt=task.attempt,
+            ),
+        )
+        return None
+
+    # -- inline execution -----------------------------------------------------
+
+    def run_inline(self, tasks: deque[_Task]) -> None:
+        while tasks:
+            task = tasks.popleft()
+            start = time.perf_counter()
+            try:
+                result = _run_attempt(
+                    task,
+                    self.workloads,
+                    self.batches,
+                    self.ctx,
+                    self.latency_slo_ms,
+                    self.validate,
+                )
+            except Exception as error:
+                if self.strict:
+                    raise
+                retry = self._failure(
+                    task,
+                    PointFailure(
+                        point=task.point,
+                        stage=classify_stage(error),
+                        error_type=type(error).__name__,
+                        message=str(error),
+                        wall_time_s=time.perf_counter() - start,
+                        attempt=task.attempt,
+                        degraded=task.degraded,
+                    ),
+                )
+                if retry is not None:
+                    tasks.appendleft(retry)
+                continue
+            self._success(task, result, time.perf_counter() - start)
+
+    # -- forked execution -----------------------------------------------------
+
+    def run_forked(self, tasks: deque[_Task]) -> None:
+        mp_ctx = _mp_context()
+        running: dict[Connection, tuple[mp.process.BaseProcess, _Task, float]]
+        running = {}
+        try:
+            while tasks or running:
+                while tasks and len(running) < self.jobs:
+                    task = tasks.popleft()
+                    parent, child = mp_ctx.Pipe(duplex=False)
+                    proc = mp_ctx.Process(
+                        target=_worker_main,
+                        args=(
+                            child,
+                            task,
+                            self.workloads,
+                            self.batches,
+                            self.ctx,
+                            self.latency_slo_ms,
+                            self.validate,
+                        ),
+                        daemon=True,
+                    )
+                    proc.start()
+                    child.close()
+                    running[parent] = (proc, task, time.monotonic())
+                ready = _wait_connections(
+                    list(running), timeout=self._poll_timeout(running)
+                )
+                for conn in ready:
+                    proc, task, _started = running.pop(conn)  # type: ignore[arg-type]
+                    retry = self._collect(conn, proc, task)
+                    if retry is not None:
+                        tasks.appendleft(retry)
+                for conn in self._expired(running):
+                    proc, task, started = running.pop(conn)
+                    retry = self._kill_timed_out(
+                        proc, task, time.monotonic() - started
+                    )
+                    conn.close()
+                    if retry is not None:
+                        tasks.appendleft(retry)
+        finally:
+            for conn, (proc, _task, _started) in running.items():
+                if proc.is_alive():
+                    proc.kill()
+                proc.join()
+                conn.close()
+
+    def _poll_timeout(
+        self,
+        running: dict[Connection, tuple[mp.process.BaseProcess, _Task, float]],
+    ) -> Optional[float]:
+        if self.timeout_s is None or not running:
+            return None
+        now = time.monotonic()
+        next_deadline = min(
+            started + self.timeout_s for (_, _, started) in running.values()
+        )
+        return max(0.0, next_deadline - now) + 0.02
+
+    def _expired(
+        self,
+        running: dict[Connection, tuple[mp.process.BaseProcess, _Task, float]],
+    ) -> list[Connection]:
+        if self.timeout_s is None:
+            return []
+        now = time.monotonic()
+        return [
+            conn
+            for conn, (_, _, started) in running.items()
+            if now - started > self.timeout_s
+        ]
+
+    def _collect(
+        self,
+        conn: Connection,
+        proc: mp.process.BaseProcess,
+        task: _Task,
+    ) -> Optional[_Task]:
+        """Read one worker's outcome; returns the retry task if any."""
+        try:
+            kind, payload, wall_time_s = conn.recv()
+        except (EOFError, OSError):
+            proc.join()
+            failure = PointFailure(
+                point=task.point,
+                stage="evaluate",
+                error_type="WorkerCrash",
+                message=(
+                    "worker died without reporting "
+                    f"(exit code {proc.exitcode})"
+                ),
+                attempt=task.attempt,
+                degraded=task.degraded,
+            )
+            if self.strict:
+                raise NeuroMeterError(failure.describe()) from None
+            return self._failure(task, failure)
+        finally:
+            conn.close()
+        proc.join()
+        if kind == "ok":
+            self._success(task, payload, wall_time_s)
+            return None
+        failure = PointFailure.from_dict(
+            task.point,
+            {**payload, "attempt": task.attempt, "degraded": task.degraded},
+        )
+        if self.strict:
+            original = payload.get("exception")
+            if isinstance(original, BaseException):
+                raise original
+            raise NeuroMeterError(failure.describe())
+        return self._failure(task, failure)
+
+    def _kill_timed_out(
+        self,
+        proc: mp.process.BaseProcess,
+        task: _Task,
+        elapsed_s: float,
+    ) -> Optional[_Task]:
+        if proc.is_alive():
+            proc.kill()
+        proc.join(_JOIN_GRACE_S)
+        failure = PointFailure(
+            point=task.point,
+            stage="timeout",
+            error_type="PointTimeoutError",
+            message=(
+                f"evaluation exceeded the {self.timeout_s:g} s "
+                f"per-point timeout (killed after {elapsed_s:.1f} s)"
+            ),
+            wall_time_s=elapsed_s,
+            attempt=task.attempt,
+            degraded=task.degraded,
+        )
+        if self.strict:
+            raise PointTimeoutError(failure.describe())
+        return self._failure(task, failure)
+
+
+def run_sweep(
+    points: Sequence[DesignPoint],
+    workloads: Sequence[tuple[str, Graph]] = (),
+    batches: Iterable[object] = (),
+    ctx: Optional[ModelContext] = None,
+    *,
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+    strict: bool = False,
+    retry_degraded: bool = True,
+    validate: bool = True,
+    journal_path: Optional[Union[str, os.PathLike]] = None,
+    resume: bool = False,
+    latency_slo_ms: float = DEFAULT_LATENCY_SLO_MS,
+    on_record: Optional[Callable[[PointRecord], None]] = None,
+) -> SweepReport:
+    """Evaluate design points with fault isolation, retries, and resume.
+
+    Args:
+        points: Design tuples to evaluate (order is preserved in the
+            report).
+        workloads: (name, graph) pairs to simulate per point.
+        batches: Batch specs (ints or ``"latency-bound"``).
+        ctx: Modeling context (Table I's by default).
+        jobs: Worker processes.  ``jobs == 1`` with no timeout runs
+            inline in this process; otherwise points run in forked
+            workers.
+        timeout_s: Per-point wall-clock budget.  A point still running at
+            the deadline is killed and recorded as a ``timeout`` failure.
+        strict: Re-raise the first failure instead of recording it (the
+            legacy ``sweep()`` contract).  Disables retries.
+        retry_degraded: Retry a failed point once with the workload
+            recipe dropped, salvaging the peak-only row (status
+            ``degraded``).
+        validate: Run the result guardrails
+            (:func:`repro.dse.guardrails.validate_result`) on every
+            accepted result.
+        journal_path: JSONL checkpoint file; every finished point is
+            appended and fsynced.
+        resume: Skip points already finished in ``journal_path`` and
+            rehydrate their journaled metrics.
+        latency_slo_ms: SLO for ``"latency-bound"`` batch specs.
+        on_record: Progress callback invoked with each final
+            :class:`PointRecord`.
+
+    Returns:
+        A :class:`SweepReport` with one record per input point.
+
+    Raises:
+        ConfigurationError: invalid engine options.
+        NeuroMeterError: the first point failure, when ``strict=True``.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigurationError(
+            f"timeout_s must be positive, got {timeout_s}"
+        )
+    if resume and journal_path is None:
+        raise ConfigurationError("resume=True requires a journal_path")
+
+    points = list(points)
+    batches = tuple(batches)
+    journal: Optional[Journal] = None
+    if journal_path is not None:
+        journal = Journal(journal_path, resume=resume)
+
+    run = _SweepRun(
+        points=points,
+        workloads=workloads,
+        batches=batches,
+        ctx=ctx,
+        jobs=jobs,
+        timeout_s=timeout_s,
+        strict=strict,
+        retry_degraded=retry_degraded,
+        validate=validate,
+        journal=journal,
+        resume=resume,
+        latency_slo_ms=latency_slo_ms,
+        on_record=on_record,
+    )
+
+    try:
+        tasks: deque[_Task] = deque()
+        journaled: dict[DesignPoint, JournalEntry] = {}
+        if journal is not None and resume:
+            for entry in journal.entries:
+                journaled[entry.point] = entry  # last record wins
+        for index, point in enumerate(points):
+            entry = journaled.get(point)
+            if entry is not None:
+                record = PointRecord(
+                    point=point,
+                    status=entry.status,
+                    result=entry.summary_result(),
+                    metrics=entry.metrics,
+                    failure=(
+                        PointFailure.from_dict(point, entry.failure)
+                        if entry.failure
+                        else None
+                    ),
+                    wall_time_s=entry.wall_time_s,
+                    attempt=entry.attempt,
+                    from_journal=True,
+                )
+                run.records[index] = record
+                if on_record is not None:
+                    on_record(record)
+                continue
+            tasks.append(_Task(index=index, point=point))
+
+        if jobs > 1 or timeout_s is not None:
+            run.run_forked(tasks)
+        else:
+            run.run_inline(tasks)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    return SweepReport(
+        records=tuple(
+            run.records[index] for index in sorted(run.records)
+        )
+    )

@@ -1,0 +1,307 @@
+"""JSONL checkpoint journal for long design-space sweeps.
+
+A 200-point sweep that dies at point 173 should not cost 172 evaluations.
+The engine appends one self-contained JSON line per *finished* point —
+success, degraded success, or structured failure — flushing after every
+line so a SIGKILL loses at most the point in flight.  On ``resume`` the
+journal is read back, finished points are skipped, and their metrics are
+rehydrated into lightweight :class:`SummaryResult` rows that expose the
+same metric surface as a freshly-evaluated
+:class:`~repro.dse.sweep.DesignPointResult` (minus the estimate tree,
+which is not serialized).
+
+Journal format (one JSON object per line)::
+
+    {"kind": "header", "version": 1, "points": 42}
+    {"kind": "point", "point": [64, 2, 2, 4], "status": "ok",
+     "attempt": 1, "wall_time_s": 1.8, "metrics": {...}, "failure": null}
+    {"kind": "point", "point": [4, 4, 8, 16], "status": "failed",
+     "attempt": 2, "wall_time_s": 0.2, "metrics": null,
+     "failure": {"stage": "simulate", "error_type": "MappingError",
+                 "message": "...", "degraded": true}}
+
+``status`` is ``ok`` (full evaluation), ``degraded`` (peak-only metrics
+after a retry), or ``failed`` (both attempts exhausted).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.dse.metrics import (
+    arithmetic_mean,
+    geomean,
+    tops_per_tco,
+    tops_per_watt,
+)
+from repro.dse.space import DesignPoint
+from repro.errors import ConfigurationError
+
+JOURNAL_VERSION = 1
+
+#: Final statuses a journaled point can carry.
+STATUSES = ("ok", "degraded", "failed")
+
+
+def summarize_result(result: Any) -> dict:
+    """Flatten a DesignPointResult into the JSON-serializable metrics dict.
+
+    Enough is kept to reproduce every Fig. 8 / Fig. 10 table row — chip
+    numbers, peak efficiencies, and per-outcome runtime metrics — without
+    serializing the estimate tree.
+    """
+    return {
+        "area_mm2": result.area_mm2,
+        "tdp_w": result.tdp_w,
+        "peak_tops": result.peak_tops,
+        "peak_tops_per_watt": result.peak_tops_per_watt,
+        "peak_tops_per_tco": result.peak_tops_per_tco,
+        "outcomes": [
+            {
+                "workload": o.workload,
+                "batch": o.batch,
+                "regime": o.regime,
+                "achieved_tops": o.achieved_tops,
+                "utilization": o.utilization,
+                "runtime_power_w": o.runtime_power_w,
+            }
+            for o in result.outcomes
+        ],
+    }
+
+
+@dataclass(frozen=True)
+class SummaryOutcome:
+    """A journal-rehydrated workload outcome (no SimulationResult)."""
+
+    workload: str
+    batch: int
+    regime: str
+    achieved_tops: float
+    utilization: float
+    runtime_power_w: float
+
+    @property
+    def energy_efficiency(self) -> float:
+        return tops_per_watt(self.achieved_tops, self.runtime_power_w)
+
+
+@dataclass(frozen=True)
+class SummaryResult:
+    """A design-point result rebuilt from journal metrics.
+
+    Mirrors the metric surface of
+    :class:`~repro.dse.sweep.DesignPointResult` — chip numbers, peak
+    efficiencies, and the per-batch mean metrics — so rankings, tables,
+    and optimizers work identically on resumed and fresh rows.  The
+    estimate breakdown is not journaled; ``estimate`` is ``None``.
+    """
+
+    point: DesignPoint
+    area_mm2: float
+    tdp_w: float
+    peak_tops: float
+    outcomes: tuple[SummaryOutcome, ...] = field(default_factory=tuple)
+    estimate: None = None
+
+    @property
+    def peak_tops_per_watt(self) -> float:
+        return tops_per_watt(self.peak_tops, self.tdp_w)
+
+    @property
+    def peak_tops_per_tco(self) -> float:
+        return tops_per_tco(self.peak_tops, self.area_mm2, self.tdp_w)
+
+    def _at_batch(self, batch: Optional[object]) -> list[SummaryOutcome]:
+        if batch is None:
+            return list(self.outcomes)
+        regime = batch if batch == "latency-bound" else f"bs={batch}"
+        return [o for o in self.outcomes if o.regime == regime]
+
+    def mean_achieved_tops(self, batch: Optional[int] = None) -> float:
+        return arithmetic_mean(
+            [o.achieved_tops for o in self._at_batch(batch)]
+        )
+
+    def mean_utilization(self, batch: Optional[int] = None) -> float:
+        return geomean(
+            [max(o.utilization, 1e-9) for o in self._at_batch(batch)]
+        )
+
+    def mean_energy_efficiency(self, batch: Optional[int] = None) -> float:
+        return geomean(
+            [
+                max(o.energy_efficiency, 1e-12)
+                for o in self._at_batch(batch)
+            ]
+        )
+
+    def mean_cost_efficiency(self, batch: Optional[int] = None) -> float:
+        return geomean(
+            [
+                max(
+                    tops_per_tco(
+                        o.achieved_tops, self.area_mm2, o.runtime_power_w
+                    ),
+                    1e-18,
+                )
+                for o in self._at_batch(batch)
+            ]
+        )
+
+    @classmethod
+    def from_metrics(cls, point: DesignPoint, metrics: dict) -> "SummaryResult":
+        return cls(
+            point=point,
+            area_mm2=metrics["area_mm2"],
+            tdp_w=metrics["tdp_w"],
+            peak_tops=metrics["peak_tops"],
+            outcomes=tuple(
+                SummaryOutcome(
+                    workload=o["workload"],
+                    batch=o["batch"],
+                    regime=o["regime"],
+                    achieved_tops=o["achieved_tops"],
+                    utilization=o["utilization"],
+                    runtime_power_w=o["runtime_power_w"],
+                )
+                for o in metrics.get("outcomes", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One finished design point as recorded in the journal."""
+
+    point: DesignPoint
+    status: str
+    attempt: int = 1
+    wall_time_s: float = 0.0
+    metrics: Optional[dict] = None
+    failure: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ConfigurationError(
+                f"journal status must be one of {STATUSES}, "
+                f"got {self.status!r}"
+            )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": "point",
+                "point": [self.point.x, self.point.n, self.point.tx,
+                          self.point.ty],
+                "status": self.status,
+                "attempt": self.attempt,
+                "wall_time_s": round(self.wall_time_s, 6),
+                "metrics": self.metrics,
+                "failure": self.failure,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> Optional["JournalEntry"]:
+        """Parse one journal line; ``None`` for headers/corrupt lines."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(payload, dict) or payload.get("kind") != "point":
+            return None
+        try:
+            x, n, tx, ty = payload["point"]
+            return cls(
+                point=DesignPoint(int(x), int(n), int(tx), int(ty)),
+                status=payload["status"],
+                attempt=int(payload.get("attempt", 1)),
+                wall_time_s=float(payload.get("wall_time_s", 0.0)),
+                metrics=payload.get("metrics"),
+                failure=payload.get("failure"),
+            )
+        except (KeyError, TypeError, ValueError, ConfigurationError):
+            return None
+
+    def summary_result(self) -> Optional[SummaryResult]:
+        """Rehydrate the metrics into a result row (``None`` if failed)."""
+        if self.metrics is None:
+            return None
+        return SummaryResult.from_metrics(self.point, self.metrics)
+
+
+class Journal:
+    """Append-only JSONL writer with crash-safe per-line flushing."""
+
+    def __init__(self, path: str | os.PathLike, resume: bool = False):
+        self.path = os.fspath(path)
+        self.entries: list[JournalEntry] = []
+        if resume and os.path.exists(self.path):
+            self.entries = load_journal(self.path)
+        mode = "a" if resume else "w"
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh: Optional[io.TextIOBase] = open(
+            self.path, mode, encoding="utf-8"
+        )
+        if mode == "w" or os.path.getsize(self.path) == 0:
+            self._write_line(
+                json.dumps(
+                    {"kind": "header", "version": JOURNAL_VERSION},
+                    sort_keys=True,
+                )
+            )
+
+    def _write_line(self, line: str) -> None:
+        assert self._fh is not None
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append(self, entry: JournalEntry) -> None:
+        """Record one finished point; flushed and fsynced immediately."""
+        if self._fh is None:
+            raise ConfigurationError("journal is closed")
+        self.entries.append(entry)
+        self._write_line(entry.to_json())
+
+    def finished_points(self) -> set[DesignPoint]:
+        """Points with a final record (ok, degraded, *or* failed)."""
+        return {entry.point for entry in self.entries}
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def load_journal(path: str | os.PathLike) -> list[JournalEntry]:
+    """Read every valid point entry from a journal file.
+
+    Tolerates a truncated final line (the evaluation in flight when the
+    process died) and unknown line kinds — resume must never refuse to
+    read the journal of a crashed run.
+    """
+    entries: list[JournalEntry] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            entry = JournalEntry.from_json(line)
+            if entry is not None:
+                entries.append(entry)
+    return entries

@@ -12,12 +12,13 @@ chosen objective, return the winner (and the ranking).
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.arch.component import ModelContext
 from repro.dse.space import DesignPoint
-from repro.dse.sweep import DesignPointResult, evaluate_point
+from repro.dse.sweep import DesignPointResult
 from repro.errors import ConfigurationError, OptimizationError
 from repro.perf.graph import Graph
 
@@ -101,12 +102,16 @@ class OptimizationOutcome:
     Attributes:
         best: The winning evaluated point.
         ranking: Every feasible point, best first.
-        infeasible: Points that failed the constraints.
+        infeasible: Points that failed the constraints (or whose degraded
+            evaluation lacks the runtime metrics the objective needs).
+        failures: Structured evaluation failures — only populated when
+            the engine runs in ``strict=False`` (keep-going) mode.
     """
 
     best: DesignPointResult
     ranking: tuple[DesignPointResult, ...]
     infeasible: tuple[DesignPoint, ...]
+    failures: tuple = ()
 
 
 def optimize_design(
@@ -116,8 +121,18 @@ def optimize_design(
     workloads: Sequence[tuple[str, Graph]] = (),
     batch: int = 1,
     ctx: Optional[ModelContext] = None,
+    *,
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+    strict: bool = True,
+    journal_path: Optional[Union[str, os.PathLike]] = None,
+    resume: bool = False,
 ) -> OptimizationOutcome:
     """Pick the best design point for an objective under constraints.
+
+    Candidate evaluation runs on the fault-tolerant sweep engine
+    (:func:`repro.dse.engine.run_sweep`), so large candidate sets can use
+    process parallelism, per-point timeouts, and checkpoint/resume.
 
     Args:
         points: Candidate design tuples.
@@ -126,11 +141,20 @@ def optimize_design(
         workloads: (name, graph) pairs — required for achieved-* targets.
         batch: Batch size for achieved-* targets.
         ctx: Modeling context (Table I's by default).
+        jobs: Worker processes for candidate evaluation.
+        timeout_s: Per-candidate wall-clock budget.
+        strict: Raise on the first evaluation failure (legacy behavior).
+            With ``strict=False`` failed candidates are recorded in
+            ``failures`` and the optimization continues.
+        journal_path / resume: Checkpoint journal; see
+            :func:`repro.dse.engine.run_sweep`.
 
     Raises:
         ConfigurationError: an achieved-* objective without workloads.
         OptimizationError: no candidate satisfies the constraints.
     """
+    from repro.dse.engine import run_sweep
+
     if not points:
         raise ConfigurationError("no candidate design points given")
     if objective.needs_workloads and not workloads:
@@ -139,14 +163,35 @@ def optimize_design(
         )
 
     batches = [batch] if objective.needs_workloads else []
+    report = run_sweep(
+        points,
+        workloads,
+        batches,
+        ctx,
+        jobs=jobs,
+        timeout_s=timeout_s,
+        strict=strict,
+        journal_path=journal_path,
+        resume=resume,
+    )
+    regime = f"bs={batch}"
     feasible: list[DesignPointResult] = []
     infeasible: list[DesignPoint] = []
-    for point in points:
-        result = evaluate_point(point, workloads, batches, ctx)
+    for record in report.records:
+        result = record.result
+        if result is None:
+            continue  # reported through ``failures``
+        if objective.needs_workloads and not any(
+            o.regime == regime for o in result.outcomes
+        ):
+            # Degraded (peak-only) rows cannot be ranked on achieved-*
+            # objectives.
+            infeasible.append(record.point)
+            continue
         if constraints.satisfied_by(result):
             feasible.append(result)
         else:
-            infeasible.append(point)
+            infeasible.append(record.point)
     if not feasible:
         raise OptimizationError(
             f"none of the {len(points)} candidates satisfy the constraints"
@@ -157,4 +202,5 @@ def optimize_design(
         best=ranking[0],
         ranking=tuple(ranking),
         infeasible=tuple(infeasible),
+        failures=tuple(report.failures),
     )

@@ -38,8 +38,18 @@ class DesignPoint:
     ty: int
 
     def __post_init__(self) -> None:
-        if self.x < 1 or self.n < 1 or self.tx < 1 or self.ty < 1:
-            raise ConfigurationError(f"invalid design point {self}")
+        for name in ("x", "n", "tx", "ty"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"design point field {name} must be an integer, "
+                    f"got {value!r} in {self}"
+                )
+            if value < 1:
+                raise ConfigurationError(
+                    f"design point field {name} must be positive, "
+                    f"got {value} in {self}"
+                )
 
     @property
     def cores(self) -> int:

@@ -210,16 +210,57 @@ def evaluate_sparsity_point(
     )
 
 
+@dataclass(frozen=True)
+class SparsityFailure:
+    """One (architecture, sparsity) evaluation that could not complete."""
+
+    arch: str
+    sparsity: float
+    error_type: str
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.arch} @ sparsity {self.sparsity:g} "
+            f"{self.error_type}: {self.message}"
+        )
+
+
 def sparsity_sweep(
     sparsities: Sequence[float],
     architectures: Sequence[str] = STUDY_ARCHITECTURES,
     ctx: Optional[ModelContext] = None,
+    *,
+    strict: bool = True,
+    failures: Optional[list] = None,
 ) -> dict[str, list[SparsityPoint]]:
-    """The full Fig. 11 sweep: gain-vs-sparsity per architecture."""
-    return {
-        arch: [
-            evaluate_sparsity_point(arch, sparsity, ctx=ctx)
-            for sparsity in sparsities
-        ]
-        for arch in architectures
-    }
+    """The full Fig. 11 sweep: gain-vs-sparsity per architecture.
+
+    With ``strict=False`` a pathological (architecture, sparsity) cell is
+    skipped instead of aborting the study; when a ``failures`` list is
+    supplied, each skipped cell is recorded there as a
+    :class:`SparsityFailure` (mirroring the sweep engine's per-point
+    isolation posture).
+    """
+    table: dict[str, list[SparsityPoint]] = {}
+    for arch in architectures:
+        rows: list[SparsityPoint] = []
+        for sparsity in sparsities:
+            try:
+                rows.append(
+                    evaluate_sparsity_point(arch, sparsity, ctx=ctx)
+                )
+            except Exception as error:
+                if strict:
+                    raise
+                if failures is not None:
+                    failures.append(
+                        SparsityFailure(
+                            arch=arch,
+                            sparsity=float(sparsity),
+                            error_type=type(error).__name__,
+                            message=str(error),
+                        )
+                    )
+        table[arch] = rows
+    return table

@@ -9,8 +9,9 @@ energy efficiency (TOPS/Watt on *runtime* power), and cost efficiency
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.arch.component import Estimate, ModelContext
 from repro.config.presets import datacenter_context
@@ -127,6 +128,25 @@ class DesignPointResult:
         )
 
 
+@contextmanager
+def _stage(name: str) -> Iterator[None]:
+    """Tag exceptions escaping this block with the evaluation stage.
+
+    The sweep engine uses the tag to attribute a failure to the
+    build/estimate/simulate/power stage without re-deriving it from the
+    exception type.
+    """
+    try:
+        yield
+    except Exception as error:
+        if getattr(error, "stage", None) is None:
+            try:
+                error.stage = name  # type: ignore[attr-defined]
+            except Exception:
+                pass
+        raise
+
+
 def evaluate_point(
     point: DesignPoint,
     workloads: Sequence[tuple[str, Graph]] = (),
@@ -145,21 +165,29 @@ def evaluate_point(
         latency_slo_ms: SLO for the latency-bound batch.
     """
     ctx = ctx if ctx is not None else datacenter_context()
-    chip = point.build()
-    estimate = chip.estimate(ctx)
+    with _stage("build"):
+        chip = point.build()
+    with _stage("estimate"):
+        estimate = chip.estimate(ctx)
+        tdp_w = chip.tdp_w(ctx)
+        peak_tops = chip.peak_tops(ctx)
     outcomes: list[WorkloadOutcome] = []
     if workloads:
         simulator = Simulator(chip, ctx)
         for batch_spec in batches:
             for name, graph in workloads:
-                if batch_spec == "latency-bound":
-                    batch = simulator.latency_limited_batch(
-                        graph, slo_ms=latency_slo_ms
-                    )
-                else:
-                    batch = int(batch_spec)  # type: ignore[arg-type]
-                result = simulator.run(graph, batch)
-                power = runtime_power(chip, ctx, result.activity).total_w
+                with _stage("simulate"):
+                    if batch_spec == "latency-bound":
+                        batch = simulator.latency_limited_batch(
+                            graph, slo_ms=latency_slo_ms
+                        )
+                    else:
+                        batch = int(batch_spec)  # type: ignore[arg-type]
+                    result = simulator.run(graph, batch)
+                with _stage("power"):
+                    power = runtime_power(
+                        chip, ctx, result.activity
+                    ).total_w
                 regime = (
                     "latency-bound"
                     if batch_spec == "latency-bound"
@@ -177,8 +205,8 @@ def evaluate_point(
     return DesignPointResult(
         point=point,
         area_mm2=estimate.area_mm2,
-        tdp_w=chip.tdp_w(ctx),
-        peak_tops=chip.peak_tops(ctx),
+        tdp_w=tdp_w,
+        peak_tops=peak_tops,
         estimate=estimate,
         outcomes=tuple(outcomes),
     )
@@ -190,7 +218,17 @@ def sweep(
     batches: Iterable[object] = (),
     ctx: Optional[ModelContext] = None,
 ) -> list[DesignPointResult]:
-    """Evaluate a list of design points (the Fig. 8 / Fig. 10 sweeps)."""
-    return [
-        evaluate_point(point, workloads, batches, ctx) for point in points
-    ]
+    """Evaluate a list of design points (the Fig. 8 / Fig. 10 sweeps).
+
+    Delegates to the fault-tolerant engine in strict single-process mode,
+    so the historical contract is preserved: points are evaluated in
+    order and the first failure raises.  For fault isolation, process
+    parallelism, per-point timeouts, and checkpoint/resume use
+    :func:`repro.dse.engine.run_sweep` directly.
+    """
+    from repro.dse.engine import run_sweep
+
+    report = run_sweep(
+        points, workloads, batches, ctx=ctx, jobs=1, strict=True
+    )
+    return list(report.results)

@@ -34,3 +34,31 @@ class MappingError(NeuroMeterError):
 
 class ValidationError(NeuroMeterError):
     """A modeled result is outside the accepted band of the published data."""
+
+
+class NumericalError(NeuroMeterError):
+    """A modeled quantity is numerically nonsensical (NaN/inf/out of range).
+
+    Raised by the sweep engine's guardrails when a result carries a NaN or
+    infinite value, a negative area/power/energy, or a utilization outside
+    [0, 1].  ``field`` names the offending quantity (e.g.
+    ``outcomes[2].utilization``) and ``value`` holds what was seen.
+    """
+
+    def __init__(self, field: str, value: object, reason: str = ""):
+        self.field = field
+        self.value = value
+        self.reason = reason
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"invalid numerical result at {field}: {value!r}{detail}"
+        )
+
+    def __reduce__(self):
+        # The custom __init__ signature breaks the default exception
+        # pickling used when errors cross the sweep engine's worker pipe.
+        return (type(self), (self.field, self.value, self.reason))
+
+
+class PointTimeoutError(NeuroMeterError):
+    """A design-point evaluation exceeded the engine's per-point timeout."""

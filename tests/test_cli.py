@@ -2,9 +2,11 @@
 
 import pytest
 
+import repro.dse.engine as engine_mod
 from repro.cli import _parse_point, build_parser, main
 from repro.dse.space import DesignPoint
-from repro.errors import NeuroMeterError
+from repro.dse.sweep import DesignPointResult, WorkloadOutcome
+from repro.errors import MappingError, NeuroMeterError
 
 
 def test_parse_point():
@@ -122,6 +124,110 @@ def test_floorplan_command(capsys):
     out = capsys.readouterr().out
     assert "outline" in out
     assert "cores" in out
+
+
+class _FakeSim:
+    achieved_tops = 10.0
+    utilization = 0.5
+    latency_ms = 1.0
+
+
+def _fake_evaluate(point, workloads=(), batches=(), ctx=None, slo=10.0):
+    """Cheap evaluate_point stand-in for engine-flag tests."""
+    if point == DesignPoint(4, 1, 1, 1) and workloads:
+        raise MappingError("cannot map conv1")
+    outcomes = tuple(
+        WorkloadOutcome(
+            workload=name,
+            batch=1,
+            regime="bs=1",
+            result=_FakeSim(),
+            runtime_power_w=80.0,
+        )
+        for name, _graph in workloads
+    )
+    return DesignPointResult(
+        point=point,
+        area_mm2=300.0,
+        tdp_w=100.0,
+        peak_tops=50.0,
+        estimate=None,
+        outcomes=outcomes,
+    )
+
+
+def test_dse_engine_flags_parse_on_both_subcommands():
+    parser = build_parser()
+    for command in ("dse", "optimize"):
+        args = parser.parse_args(
+            [command, "--jobs", "2", "--timeout-s", "5",
+             "--journal", "j.jsonl", "--resume", "--keep-going"]
+        )
+        assert args.jobs == 2
+        assert args.timeout_s == 5.0
+        assert args.journal == "j.jsonl"
+        assert args.resume and args.keep_going
+
+
+def test_dse_keep_going_isolates_failures(capsys, monkeypatch):
+    monkeypatch.setattr(engine_mod, "evaluate_point", _fake_evaluate)
+    code = main(
+        ["dse", "--batch", "1", "--keep-going",
+         "--point", "4,1,1,1", "--point", "16,1,2,2"]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "(16,1,2,2)" in captured.out
+    # The broken point is salvaged as a peak-only (degraded) row, and its
+    # original failure is explained on stderr.
+    assert "(4,1,1,1)" in captured.out
+    assert "degraded points" in captured.err
+    assert "MappingError" in captured.err
+
+
+def test_dse_without_keep_going_aborts(capsys, monkeypatch):
+    monkeypatch.setattr(engine_mod, "evaluate_point", _fake_evaluate)
+    code = main(["dse", "--batch", "1", "--point", "4,1,1,1"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_dse_resume_requires_journal(capsys, monkeypatch):
+    monkeypatch.setattr(engine_mod, "evaluate_point", _fake_evaluate)
+    code = main(["dse", "--resume", "--point", "16,1,2,2"])
+    assert code == 2
+    assert "--journal" in capsys.readouterr().err
+
+
+def test_dse_journal_resume_roundtrip(capsys, monkeypatch, tmp_path):
+    journal = str(tmp_path / "dse.jsonl")
+    monkeypatch.setattr(engine_mod, "evaluate_point", _fake_evaluate)
+    assert main(
+        ["dse", "--batch", "1", "--point", "16,1,2,2",
+         "--journal", journal]
+    ) == 0
+    capsys.readouterr()
+
+    def explode(point, workloads=(), batches=(), ctx=None, slo=10.0):
+        raise AssertionError("journaled point was re-evaluated")
+
+    monkeypatch.setattr(engine_mod, "evaluate_point", explode)
+    assert main(
+        ["dse", "--batch", "1", "--point", "16,1,2,2",
+         "--journal", journal, "--resume"]
+    ) == 0
+    assert "(16,1,2,2)" in capsys.readouterr().out
+
+
+def test_optimize_keep_going_reports_failures(capsys, monkeypatch):
+    monkeypatch.setattr(engine_mod, "evaluate_point", _fake_evaluate)
+    code = main(
+        ["optimize", "--objective", "achieved-tops", "--keep-going",
+         "--point", "4,1,1,1", "--point", "16,1,2,2"]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "best for achieved-tops: (16,1,2,2)" in captured.out
 
 
 def test_simulate_bounds_flag(capsys):
