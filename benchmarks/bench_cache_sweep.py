@@ -1,0 +1,114 @@
+"""Cached vs. uncached sweep — the estimate-cache acceptance benchmark.
+
+Runs a Fig. 8-sized design-space sweep three ways: with the memoization
+cache disabled (the historical baseline), cold with the cache filling, and
+warm with every estimate served from the cache.  Asserts the two cache
+properties the subsystem promises:
+
+* **Bit-identical results** — cached and uncached passes produce exactly
+  equal chip numbers and estimate trees (no float drift, no staleness).
+* **>= 3x warm speedup** — the warm pass beats the uncached baseline by at
+  least 3x wall-clock.
+
+``NEUROMETER_BENCH_SMOKE=1`` shrinks the point set for the CI equivalence
+job; the assertions are identical in both modes.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.cache.store import (
+    estimate_cache_disabled,
+    get_estimate_cache,
+)
+from repro.config.presets import datacenter_context
+from repro.dse.space import DesignPoint
+from repro.report.tables import format_table
+
+_SMOKE = os.environ.get("NEUROMETER_BENCH_SMOKE") == "1"
+
+#: The Fig. 8 x-axis points (wimpy -> brawny).
+POINTS = [
+    DesignPoint(4, 4, 8, 16),
+    DesignPoint(8, 4, 4, 8),
+    DesignPoint(16, 4, 4, 4),
+    DesignPoint(32, 4, 2, 2),
+    DesignPoint(64, 4, 1, 2),
+    DesignPoint(64, 2, 2, 4),
+    DesignPoint(128, 4, 1, 1),
+    DesignPoint(128, 2, 1, 2),
+    DesignPoint(256, 1, 1, 1),
+]
+if _SMOKE:
+    POINTS = POINTS[1::2]
+
+
+def _model_all(ctx):
+    """The sweep hot path: full estimate + TDP + peak TOPS per point."""
+    rows = []
+    for point in POINTS:
+        chip = point.build()
+        rows.append(
+            (
+                point,
+                chip.estimate(ctx),
+                chip.tdp_w(ctx),
+                chip.peak_tops(ctx),
+            )
+        )
+    return rows
+
+
+def test_cache_sweep_equivalence_and_speedup(benchmark, emit):
+    ctx = datacenter_context()
+    cache = get_estimate_cache()
+    cache.clear()
+
+    with estimate_cache_disabled():
+        start = time.perf_counter()
+        uncached = _model_all(ctx)
+        uncached_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold = _model_all(ctx)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_once(benchmark, lambda: _model_all(ctx))
+    warm_s = time.perf_counter() - start
+
+    # Numeric equivalence: exact equality, including the estimate trees
+    # (Estimate is a frozen dataclass, so == compares every child float).
+    assert uncached == cold == warm, (
+        "cached sweep results diverged from the uncached baseline"
+    )
+
+    stats = cache.stats
+    speedup_cold = uncached_s / cold_s if cold_s > 0 else float("inf")
+    speedup_warm = uncached_s / warm_s if warm_s > 0 else float("inf")
+    emit(
+        format_table(
+            ["pass", "wall s", "speedup"],
+            [
+                ["uncached", f"{uncached_s:.3f}", "1.0x"],
+                ["cold (filling)", f"{cold_s:.3f}", f"{speedup_cold:.1f}x"],
+                ["warm", f"{warm_s:.3f}", f"{speedup_warm:.1f}x"],
+            ],
+        )
+        + "\n\n"
+        + format_table(
+            ["cache counter", "value"],
+            [
+                ["hits", str(stats.hits)],
+                ["misses", str(stats.misses)],
+                ["evictions", str(stats.evictions)],
+                ["hit rate", f"{stats.hit_rate:.1%}"],
+            ],
+        )
+    )
+
+    assert stats.hits > 0 and stats.misses > 0
+    assert speedup_warm >= 3.0, (
+        f"warm cache speedup {speedup_warm:.2f}x below the 3x acceptance bar"
+    )

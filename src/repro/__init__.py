@@ -44,6 +44,14 @@ from repro.arch import (
     TensorUnitConfig,
     VectorUnitConfig,
 )
+from repro.cache import (
+    CacheStats,
+    EstimateCache,
+    configure_estimate_cache,
+    estimate_cache_disabled,
+    get_estimate_cache,
+    reset_estimate_cache,
+)
 from repro.datatypes import (
     BF16,
     FP8_E4M3,
@@ -80,6 +88,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ActivityFactors",
     "BF16",
+    "CacheStats",
     "CentralDataBus",
     "Chip",
     "ChipConfig",
@@ -91,6 +100,7 @@ __all__ = [
     "Dataflow",
     "DramKind",
     "Estimate",
+    "EstimateCache",
     "FP16",
     "FP32",
     "FP8_E4M3",
@@ -119,7 +129,11 @@ __all__ = [
     "TensorUnitConfig",
     "ValidationError",
     "VectorUnitConfig",
+    "configure_estimate_cache",
+    "estimate_cache_disabled",
+    "get_estimate_cache",
     "node",
     "plan_clock",
+    "reset_estimate_cache",
     "runtime_power",
 ]

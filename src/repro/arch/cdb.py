@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.arch.component import Estimate, ModelContext
+from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.circuit.dff import DffBank
 from repro.errors import ConfigurationError
 from repro.tech import calibration
@@ -77,6 +77,7 @@ class CentralDataBus:
         wire = wire_params(ctx.tech, WireType.INTERMEDIATE)
         return repeated_wire_delay_ns(ctx.tech, wire, self.length_mm)
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Wire tracks plus pipeline registers."""
         tech = ctx.tech

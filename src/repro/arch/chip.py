@@ -13,7 +13,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.arch.component import Estimate, ModelContext
+from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.arch.core import Core, CoreConfig
 from repro.arch.noc import NetworkOnChip, NocConfig, NocTopology
 from repro.arch.periph import (
@@ -118,6 +118,7 @@ class Chip:
             bandwidth_gbps=self.config.offchip_bandwidth_gbps,
         )
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Whole-chip rollup including white space.
 
@@ -162,6 +163,7 @@ class Chip:
         """Die area including white space."""
         return self.estimate(ctx).area_mm2
 
+    @cached_estimate
     def tdp_w(self, ctx: ModelContext) -> float:
         """Thermal design power: guardbanded dynamic plus leakage."""
         estimate = self.estimate(ctx)
@@ -174,6 +176,7 @@ class Chip:
         """Highest clock supported by the slowest component."""
         return self.estimate(ctx).max_freq_ghz
 
+    @cached_estimate
     def peak_tops(self, ctx: ModelContext) -> float:
         """Peak TOPS at the context clock."""
         return self.config.peak_tops(ctx.freq_ghz)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.arch.component import Estimate, ModelContext
+from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.errors import ConfigurationError
 from repro.tech.wire import WireType, wire_energy_pj_per_bit, wire_params
 from repro.units import dynamic_power_w
@@ -89,6 +89,7 @@ class ClockNetwork:
         """Clock-network power at the context clock (never gated)."""
         return dynamic_power_w(self.energy_per_cycle_pj(ctx), ctx.freq_ghz)
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Rollup (wire area is routed over other blocks: zero footprint)."""
         return Estimate(

@@ -13,12 +13,49 @@ technology node and the clock.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, replace
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, TypeVar
 
+from repro.cache.keys import stable_hash
+from repro.cache.store import get_estimate_cache
 from repro.errors import ConfigurationError
 from repro.tech.node import TechNode
 from repro.units import cycle_time_ns
+
+_R = TypeVar("_R")
+
+
+def cached_estimate(
+    method: Callable[..., _R]
+) -> Callable[..., _R]:
+    """Memoize a pure ``(self, ctx)`` model method through the estimate cache.
+
+    The analytical models are deterministic functions of the component's
+    configuration and the :class:`ModelContext`, so their results are
+    content-addressed: the key hashes the method's qualified name, the
+    component's public state (configs, nested sub-components — derived
+    ``_``-prefixed caches are excluded), and the context, salted with the
+    package version.  Identical sub-structures therefore share one
+    computation across design points, sweeps, and forked sweep workers.
+
+    The wrapped method is bypassed entirely — no key is derived — when the
+    process-wide cache is disabled, and falls back to a plain call for
+    components whose state cannot be canonicalized.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, ctx):
+        cache = get_estimate_cache()
+        if not cache.enabled:
+            return method(self, ctx)
+        try:
+            key = stable_hash(method.__qualname__, self, ctx)
+        except ConfigurationError:
+            return method(self, ctx)
+        return cache.get_or_compute(key, lambda: method(self, ctx))
+
+    return wrapper
 
 
 @dataclass(frozen=True)

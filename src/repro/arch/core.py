@@ -13,7 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.arch.cdb import CentralDataBus
-from repro.arch.component import Estimate, ModelContext
+from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.arch.frontend import InstructionFetchUnit, LoadStoreUnit
 from repro.arch.memory import OnChipMemory, OnChipMemoryConfig
 from repro.arch.reduction_tree import ReductionTree, ReductionTreeConfig
@@ -164,6 +164,7 @@ class Core:
             cfg = replace(cfg, write_bandwidth_gbps=operand_gbps / 2.0)
         return OnChipMemory(cfg)
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Full core estimate with per-unit children."""
         children: list[Estimate] = [self.ifu.estimate(ctx)]

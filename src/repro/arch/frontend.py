@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.component import Estimate, ModelContext
+from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.circuit.gates import LogicBlock
 from repro.circuit.sram import SramArray
 from repro.errors import ConfigurationError
@@ -45,6 +45,7 @@ class InstructionFetchUnit:
             subarray_rows=64,
         )
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Fetch buffer plus sequencing control."""
         tech = ctx.tech
@@ -88,6 +89,7 @@ class LoadStoreUnit:
         )
         return LogicBlock("lsu-ctrl", gates, activity=0.15)
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Descriptor queue plus datapath control."""
         tech = ctx.tech

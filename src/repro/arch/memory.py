@@ -14,7 +14,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.arch.component import Estimate, ModelContext
+from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.circuit.dff import DffBank
 from repro.circuit.edram import EdramArray
 from repro.circuit.gates import LogicBlock
@@ -93,11 +93,21 @@ class OnChipMemory:
     # -- organization ------------------------------------------------------
 
     def organization(self, ctx: ModelContext) -> SramArray:
-        """The bank/port organization chosen by the internal optimizer."""
+        """The bank/port organization chosen by the internal optimizer.
+
+        Memoized twice over: per instance (the dict below) and across
+        instances with identical configs through the process-wide estimate
+        cache, so one bank search serves every core and design point that
+        shares the Mem configuration.
+        """
         key = (ctx.tech.feature_nm, ctx.freq_ghz)
         if key not in self._organization_cache:
-            self._organization_cache[key] = self._optimize(ctx)
+            self._organization_cache[key] = self._cached_optimize(ctx)
         return self._organization_cache[key]
+
+    @cached_estimate
+    def _cached_optimize(self, ctx: ModelContext) -> SramArray:
+        return self._optimize(ctx)
 
     def _optimize(self, ctx: ModelContext) -> SramArray:
         cfg = self.config
@@ -167,6 +177,7 @@ class OnChipMemory:
 
     # -- rollup ------------------------------------------------------------
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Full Mem estimate, sized at the TDP access rate."""
         tech = ctx.tech

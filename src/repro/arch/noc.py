@@ -13,7 +13,7 @@ import enum
 import math
 from dataclasses import dataclass
 
-from repro.arch.component import Estimate, ModelContext
+from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.circuit.dff import DffBank
 from repro.circuit.gates import LogicBlock
 from repro.errors import ConfigurationError
@@ -199,6 +199,7 @@ class NetworkOnChip:
 
     # -- rollup ------------------------------------------------------------
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Routers + links rollup at TDP interconnect activity."""
         cfg = self.config

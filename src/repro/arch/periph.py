@@ -13,7 +13,7 @@ import enum
 import math
 from dataclasses import dataclass
 
-from repro.arch.component import Estimate, ModelContext
+from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.circuit.gates import LogicBlock
 from repro.errors import ConfigurationError
 from repro.tech import calibration
@@ -116,6 +116,7 @@ class MemoryController:
         per_stack_w = _DRAM_TABLE[self.kind][3]
         return self.channels * per_stack_w
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """All channels of controller + PHY (+ on-package device power)."""
         per_channel_bw, area_45nm, pj_per_bit, _ = _DRAM_TABLE[self.kind]
@@ -164,6 +165,7 @@ class PcieInterface:
         """Per-direction bandwidth."""
         return self.lanes * _PCIE_LANE_GBPS * 2.0 ** (self.generation - 3)
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """SerDes lanes + link controller."""
         area = self.lanes * _PCIE_LANE_AREA_MM2 * _phy_area_scale(ctx)
@@ -196,6 +198,7 @@ class InterChipInterconnect:
         if self.link_gbit_per_dir <= 0:
             raise ConfigurationError("ICI link bandwidth must be positive")
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """SerDes per link plus the on-chip switch."""
         serdes_area = (
@@ -230,6 +233,7 @@ class DmaController:
         if self.channels < 1:
             raise ConfigurationError("DMA needs at least one channel")
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Descriptor engines + datapath control."""
         control = LogicBlock(

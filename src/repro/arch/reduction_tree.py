@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.arch.component import Estimate, ModelContext
+from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.circuit.adder import AdderModel
 from repro.circuit.dff import DffBank
 from repro.circuit.mac import MacModel
@@ -149,6 +149,7 @@ class ReductionTree:
             dff_ns
         )
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Full RT estimate with MAC-array and adder-tree children."""
         tech = ctx.tech

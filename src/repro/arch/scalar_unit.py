@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.component import Estimate, ModelContext
+from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.circuit.adder import AdderModel
 from repro.circuit.gates import LogicBlock
 from repro.circuit.regfile import RegisterFile
@@ -101,6 +101,7 @@ class ScalarUnit:
         """ALU plus bypass path bounds the scalar clock."""
         return self._alu().delay_ns(ctx.tech) + 4 * ctx.tech.fo4_ps * 1e-3
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Full SU estimate with frontend / RF+ALU / LSU children."""
         tech = ctx.tech

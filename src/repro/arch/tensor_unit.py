@@ -16,7 +16,7 @@ import enum
 import math
 from dataclasses import dataclass, field
 
-from repro.arch.component import Estimate, ModelContext
+from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.circuit.dff import DffBank
 from repro.circuit.gates import LogicBlock
 from repro.circuit.mac import MacModel
@@ -289,6 +289,7 @@ class TensorUnit:
 
     # -- rollup ------------------------------------------------------------
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Full TU estimate with cell-array / FIFO / interconnect children."""
         tech = ctx.tech

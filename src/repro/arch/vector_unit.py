@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.component import Estimate, ModelContext
+from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.circuit.dff import DffBank
 from repro.circuit.gates import LogicBlock
 from repro.circuit.mac import MacModel
@@ -101,6 +101,7 @@ class VectorUnit:
         return self._lane_mac().delay_ns(ctx.tech) + self._lane_regs(
         ).setup_plus_clk_to_q_ns(ctx.tech)
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Full VU estimate."""
         tech = ctx.tech

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.component import Estimate, ModelContext
+from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.circuit.regfile import RegisterFile
 from repro.errors import ConfigurationError
 from repro.tech import calibration
@@ -120,6 +120,7 @@ class VectorRegisterFile:
         """Access-latency bound on the clock."""
         return self._regfile().access_latency_ns(ctx.tech)
 
+    @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
         """Full VReg estimate."""
         return Estimate(

@@ -1,0 +1,38 @@
+"""Content-addressed memoization for the modeling hot path.
+
+The analytical models are pure functions of ``(component config, ModelContext)``,
+so their results can be reused across design points, sweeps, and — thanks to
+fork-based worker pools — across processes.  This package provides the two
+halves of that reuse:
+
+* :mod:`repro.cache.keys` — canonical, content-addressed cache keys derived
+  from dataclass configs and model objects (stable across dict ordering and
+  process restarts, salted with the package version).
+* :mod:`repro.cache.store` — a bounded, stats-tracking in-process LRU with an
+  optional on-disk layer, exposed through a process-wide default instance.
+
+The :func:`repro.arch.component.cached_estimate` decorator wires component
+``estimate()`` methods through the default store; see
+``docs/estimate_cache.md`` for the key-derivation and invalidation rules.
+"""
+
+from repro.cache.keys import canonicalize, stable_hash
+from repro.cache.store import (
+    CacheStats,
+    EstimateCache,
+    configure_estimate_cache,
+    estimate_cache_disabled,
+    get_estimate_cache,
+    reset_estimate_cache,
+)
+
+__all__ = [
+    "CacheStats",
+    "EstimateCache",
+    "canonicalize",
+    "configure_estimate_cache",
+    "estimate_cache_disabled",
+    "get_estimate_cache",
+    "reset_estimate_cache",
+    "stable_hash",
+]

@@ -114,6 +114,59 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="record per-point failures and continue instead of "
         "aborting on the first one",
     )
+    _add_cache_arguments(parser)
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the estimate memoization cache for this run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persist cached estimates under PATH (keyed by package "
+        "version) so later runs start warm",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        dest="cache_stats",
+        help="print estimate-cache hit/miss/eviction counters after "
+        "the run",
+    )
+
+
+def _apply_cache_flags(args: argparse.Namespace) -> None:
+    from repro.cache.store import configure_estimate_cache
+
+    if args.no_cache:
+        configure_estimate_cache(enabled=False)
+    if args.cache_dir:
+        configure_estimate_cache(disk_path=args.cache_dir)
+
+
+def _cache_stats_table(counters: dict) -> str:
+    from repro.cache.store import get_estimate_cache
+
+    cache = get_estimate_cache()
+    rows = [
+        [name, str(counters.get(name, 0))]
+        for name in ("hits", "misses", "evictions", "stores", "disk_hits")
+    ]
+    lookups = counters.get("hits", 0) + counters.get("misses", 0)
+    rate = counters.get("hits", 0) / lookups if lookups else 0.0
+    rows.append(["hit rate", f"{rate:.1%}"])
+    rows.append(["entries resident", str(len(cache))])
+    return format_table(["cache counter", "value"], rows)
+
+
+def _print_cache_stats(args: argparse.Namespace, counters: dict) -> None:
+    if getattr(args, "cache_stats", False):
+        print(file=sys.stderr)
+        print(_cache_stats_table(counters), file=sys.stderr)
 
 
 def _engine_options(args: argparse.Namespace) -> dict:
@@ -217,6 +270,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     if args.point:
         points = [_parse_point(text) for text in args.point]
     workloads = [(name, fn()) for name, fn in _WORKLOADS.items()]
+    _apply_cache_flags(args)
     report = run_sweep(
         points,
         workloads,
@@ -269,9 +323,70 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         [r.failure for r in report.degraded if r.failure is not None],
         label="degraded points (peak-only rows)",
     )
+    _print_cache_stats(args, report.cache_totals())
     if not rows:
         print("error: every design point failed", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    """Demonstrate and report the estimate cache on a small point set.
+
+    Models each point twice — a cold pass that fills the cache and a warm
+    pass served from it — then prints the counters and the measured warm
+    speedup.  ``--no-cache`` turns the run into a plain A/B baseline
+    (every lookup misses nothing because none happen).
+    """
+    import time
+
+    from repro.cache.store import get_estimate_cache
+
+    _apply_cache_flags(args)
+    points = (
+        [_parse_point(text) for text in args.point]
+        if args.point
+        else [
+            DesignPoint(8, 4, 4, 8),
+            DesignPoint(32, 4, 2, 2),
+            DesignPoint(64, 2, 2, 4),
+            DesignPoint(128, 4, 1, 1),
+        ]
+    )
+    ctx = _context(args)
+    cache = get_estimate_cache()
+    cache.clear()
+
+    def _pass() -> list[tuple]:
+        rows = []
+        for point in points:
+            chip = point.build()
+            estimate = chip.estimate(ctx)
+            rows.append(
+                (estimate.area_mm2, chip.tdp_w(ctx), chip.peak_tops(ctx))
+            )
+        return rows
+
+    start = time.perf_counter()
+    cold = _pass()
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = _pass()
+    warm_s = time.perf_counter() - start
+
+    if cold != warm:
+        print(
+            "error: cached results diverged from the first pass",
+            file=sys.stderr,
+        )
+        return 2
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(
+        f"{len(points)} points: cold pass {cold_s * 1e3:.1f} ms, "
+        f"warm pass {warm_s * 1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    print()
+    print(_cache_stats_table(cache.stats.snapshot()))
     return 0
 
 
@@ -302,6 +417,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     workloads = []
     if objective.needs_workloads:
         workloads = [(name, fn()) for name, fn in _WORKLOADS.items()]
+    _apply_cache_flags(args)
     outcome = optimize_design(
         points,
         objective,
@@ -322,6 +438,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     for result in outcome.ranking[1:4]:
         print(f"  runner-up: {result.point.label()}")
     _print_failures(outcome.failures)
+    from repro.cache.store import get_estimate_cache
+
+    _print_cache_stats(args, get_estimate_cache().stats.snapshot())
     return 0
 
 
@@ -450,6 +569,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=["0.3", "0.5", "0.7", "0.9", "0.95"],
     )
     sparsity.set_defaults(handler=_cmd_sparsity)
+
+    cache_stats = commands.add_parser(
+        "cache-stats",
+        help="model points cold vs. warm and report estimate-cache "
+        "hit/miss/eviction counters",
+    )
+    cache_stats.add_argument(
+        "--point",
+        action="append",
+        help="explicit X,N,Tx,Ty tuples (repeatable)",
+    )
+    _add_context_arguments(cache_stats)
+    _add_cache_arguments(cache_stats)
+    cache_stats.set_defaults(handler=_cmd_cache_stats)
 
     timing = commands.add_parser(
         "timing", help="critical-path report for a design point"

@@ -43,6 +43,7 @@ from multiprocessing.connection import Connection, wait as _wait_connections
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.arch.component import ModelContext
+from repro.cache.store import _Totals, get_estimate_cache
 from repro.dse.guardrails import validate_result
 from repro.dse.journal import (
     Journal,
@@ -77,6 +78,39 @@ STAGES = (
 
 #: Seconds to wait for a killed worker to be reaped before moving on.
 _JOIN_GRACE_S = 5.0
+
+
+def warm_substrate_cache(
+    points: Sequence[DesignPoint], ctx: Optional[ModelContext] = None
+) -> int:
+    """Pre-seed the estimate cache with each unique per-core substrate.
+
+    Design points sharing ``(X, N)`` differ only in the core grid, so their
+    core estimate — tensor units, memory bank search, vector path — is
+    identical.  Estimating each unique core once in the parent process
+    means forked workers inherit the warm entries by copy-on-write instead
+    of re-running the substrate models per process.
+
+    Warming is best-effort: a point whose core cannot be modeled is simply
+    skipped (the sweep will record its failure properly).  Returns the
+    number of unique substrates warmed.
+    """
+    if not get_estimate_cache().enabled:
+        return 0
+    from repro.config.presets import datacenter_context
+
+    resolved = ctx if ctx is not None else datacenter_context()
+    seen: set[tuple[int, int]] = set()
+    for point in points:
+        signature = (point.x, point.n)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        try:
+            point.build().core.estimate(resolved)
+        except Exception:
+            continue
+    return len(seen)
 
 
 def classify_stage(error: BaseException) -> str:
@@ -173,6 +207,7 @@ class PointRecord:
     wall_time_s: float = 0.0
     attempt: int = 1
     from_journal: bool = False
+    cache: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -206,6 +241,18 @@ class SweepReport:
             if record.point == point:
                 return record
         return None
+
+    def cache_totals(self) -> dict:
+        """Estimate-cache counters summed over the points this run evaluated.
+
+        Journal-rehydrated points did no modeling work in this run and are
+        excluded.  Empty when the cache was disabled throughout.
+        """
+        totals = _Totals()
+        for record in self.records:
+            if not record.from_journal:
+                totals.add(record.cache)
+        return totals.counters
 
     def summary(self) -> str:
         ok = sum(1 for r in self.records if r.status == "ok")
@@ -285,15 +332,20 @@ def _worker_main(
 ) -> None:
     """Forked worker: evaluate one point, ship the outcome over the pipe."""
     start = time.perf_counter()
+    stats_before = get_estimate_cache().stats.snapshot()
     try:
         result = _run_attempt(
             task, workloads, batches, ctx, latency_slo_ms, validate
         )
         elapsed = time.perf_counter() - start
-        payload = ("ok", result, elapsed)
+        cache_delta = get_estimate_cache().stats.delta_since(stats_before)
+        payload = ("ok", result, elapsed, cache_delta)
     except Exception as error:
         elapsed = time.perf_counter() - start
-        payload = ("error", _failure_payload(error, elapsed), elapsed)
+        cache_delta = get_estimate_cache().stats.delta_since(stats_before)
+        payload = (
+            "error", _failure_payload(error, elapsed), elapsed, cache_delta
+        )
     try:
         conn.send(payload)
     except Exception as send_error:
@@ -313,6 +365,7 @@ def _worker_main(
                     "exception": None,
                 },
                 elapsed,
+                cache_delta,
             )
         )
     finally:
@@ -370,13 +423,18 @@ class _SweepRun:
                         if record.failure is not None
                         else None
                     ),
+                    cache=record.cache,
                 )
             )
         if self.on_record is not None:
             self.on_record(record)
 
     def _success(
-        self, task: _Task, result: DesignPointResult, wall_time_s: float
+        self,
+        task: _Task,
+        result: DesignPointResult,
+        wall_time_s: float,
+        cache: Optional[dict] = None,
     ) -> None:
         status = "degraded" if task.degraded else "ok"
         self._finalize(
@@ -389,11 +447,15 @@ class _SweepRun:
                 failure=task.first_failure,
                 wall_time_s=wall_time_s,
                 attempt=task.attempt,
+                cache=cache,
             ),
         )
 
     def _failure(
-        self, task: _Task, failure: PointFailure
+        self,
+        task: _Task,
+        failure: PointFailure,
+        cache: Optional[dict] = None,
     ) -> Optional[_Task]:
         """Handle one failed attempt; return the retry task if any."""
         can_degrade = (
@@ -418,6 +480,7 @@ class _SweepRun:
                 failure=final,
                 wall_time_s=failure.wall_time_s,
                 attempt=task.attempt,
+                cache=cache,
             ),
         )
         return None
@@ -428,6 +491,7 @@ class _SweepRun:
         while tasks:
             task = tasks.popleft()
             start = time.perf_counter()
+            stats_before = get_estimate_cache().stats.snapshot()
             try:
                 result = _run_attempt(
                     task,
@@ -451,11 +515,19 @@ class _SweepRun:
                         attempt=task.attempt,
                         degraded=task.degraded,
                     ),
+                    cache=get_estimate_cache().stats.delta_since(
+                        stats_before
+                    ),
                 )
                 if retry is not None:
                     tasks.appendleft(retry)
                 continue
-            self._success(task, result, time.perf_counter() - start)
+            self._success(
+                task,
+                result,
+                time.perf_counter() - start,
+                cache=get_estimate_cache().stats.delta_since(stats_before),
+            )
 
     # -- forked execution -----------------------------------------------------
 
@@ -540,7 +612,7 @@ class _SweepRun:
     ) -> Optional[_Task]:
         """Read one worker's outcome; returns the retry task if any."""
         try:
-            kind, payload, wall_time_s = conn.recv()
+            kind, payload, wall_time_s, cache_delta = conn.recv()
         except (EOFError, OSError):
             proc.join()
             failure = PointFailure(
@@ -561,7 +633,7 @@ class _SweepRun:
             conn.close()
         proc.join()
         if kind == "ok":
-            self._success(task, payload, wall_time_s)
+            self._success(task, payload, wall_time_s, cache=cache_delta)
             return None
         failure = PointFailure.from_dict(
             task.point,
@@ -572,7 +644,7 @@ class _SweepRun:
             if isinstance(original, BaseException):
                 raise original
             raise NeuroMeterError(failure.describe())
-        return self._failure(task, failure)
+        return self._failure(task, failure, cache=cache_delta)
 
     def _kill_timed_out(
         self,
@@ -615,6 +687,7 @@ def run_sweep(
     resume: bool = False,
     latency_slo_ms: float = DEFAULT_LATENCY_SLO_MS,
     on_record: Optional[Callable[[PointRecord], None]] = None,
+    warm_cache: bool = True,
 ) -> SweepReport:
     """Evaluate design points with fault isolation, retries, and resume.
 
@@ -644,6 +717,11 @@ def run_sweep(
         latency_slo_ms: SLO for ``"latency-bound"`` batch specs.
         on_record: Progress callback invoked with each final
             :class:`PointRecord`.
+        warm_cache: Before forking workers, pre-seed the estimate cache
+            with each unique per-core substrate
+            (:func:`warm_substrate_cache`) so workers inherit it by
+            copy-on-write.  A no-op when the cache is disabled or the run
+            is inline (inline runs warm the cache as they go).
 
     Returns:
         A :class:`SweepReport` with one record per input point.
@@ -713,6 +791,8 @@ def run_sweep(
             tasks.append(_Task(index=index, point=point))
 
         if jobs > 1 or timeout_s is not None:
+            if warm_cache and tasks:
+                warm_substrate_cache([t.point for t in tasks], ctx)
             run.run_forked(tasks)
         else:
             run.run_inline(tasks)

@@ -29,12 +29,13 @@ from __future__ import annotations
 import io
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.dse.metrics import (
     arithmetic_mean,
-    geomean,
+    positive_geomean,
     tops_per_tco,
     tops_per_watt,
 )
@@ -128,29 +129,26 @@ class SummaryResult:
         )
 
     def mean_utilization(self, batch: Optional[int] = None) -> float:
-        return geomean(
-            [max(o.utilization, 1e-9) for o in self._at_batch(batch)]
+        return positive_geomean(
+            [o.utilization for o in self._at_batch(batch)],
+            field="utilization",
         )
 
     def mean_energy_efficiency(self, batch: Optional[int] = None) -> float:
-        return geomean(
-            [
-                max(o.energy_efficiency, 1e-12)
-                for o in self._at_batch(batch)
-            ]
+        return positive_geomean(
+            [o.energy_efficiency for o in self._at_batch(batch)],
+            field="energy_efficiency",
         )
 
     def mean_cost_efficiency(self, batch: Optional[int] = None) -> float:
-        return geomean(
+        return positive_geomean(
             [
-                max(
-                    tops_per_tco(
-                        o.achieved_tops, self.area_mm2, o.runtime_power_w
-                    ),
-                    1e-18,
+                tops_per_tco(
+                    o.achieved_tops, self.area_mm2, o.runtime_power_w
                 )
                 for o in self._at_batch(batch)
-            ]
+            ],
+            field="cost_efficiency",
         )
 
     @classmethod
@@ -184,6 +182,7 @@ class JournalEntry:
     wall_time_s: float = 0.0
     metrics: Optional[dict] = None
     failure: Optional[dict] = None
+    cache: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -203,8 +202,33 @@ class JournalEntry:
                 "wall_time_s": round(self.wall_time_s, 6),
                 "metrics": self.metrics,
                 "failure": self.failure,
+                "cache": self.cache,
             },
             sort_keys=True,
+        )
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> Optional["JournalEntry"]:
+        """Build an entry from a decoded JSON object.
+
+        Returns ``None`` for non-point kinds (headers, future extensions);
+        raises for point payloads whose fields are malformed.
+
+        Raises:
+            KeyError, TypeError, ValueError, ConfigurationError: the
+                payload is a point record but cannot be rebuilt.
+        """
+        if not isinstance(payload, dict) or payload.get("kind") != "point":
+            return None
+        x, n, tx, ty = payload["point"]
+        return cls(
+            point=DesignPoint(int(x), int(n), int(tx), int(ty)),
+            status=payload["status"],
+            attempt=int(payload.get("attempt", 1)),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            metrics=payload.get("metrics"),
+            failure=payload.get("failure"),
+            cache=payload.get("cache"),
         )
 
     @classmethod
@@ -214,18 +238,8 @@ class JournalEntry:
             payload = json.loads(line)
         except json.JSONDecodeError:
             return None
-        if not isinstance(payload, dict) or payload.get("kind") != "point":
-            return None
         try:
-            x, n, tx, ty = payload["point"]
-            return cls(
-                point=DesignPoint(int(x), int(n), int(tx), int(ty)),
-                status=payload["status"],
-                attempt=int(payload.get("attempt", 1)),
-                wall_time_s=float(payload.get("wall_time_s", 0.0)),
-                metrics=payload.get("metrics"),
-                failure=payload.get("failure"),
-            )
+            return cls.from_payload(payload)
         except (KeyError, TypeError, ValueError, ConfigurationError):
             return None
 
@@ -244,6 +258,7 @@ class Journal:
         self.entries: list[JournalEntry] = []
         if resume and os.path.exists(self.path):
             self.entries = load_journal(self.path)
+            _repair_tail(self.path)
         mode = "a" if resume else "w"
         parent = os.path.dirname(self.path)
         if parent:
@@ -291,17 +306,91 @@ class Journal:
 def load_journal(path: str | os.PathLike) -> list[JournalEntry]:
     """Read every valid point entry from a journal file.
 
-    Tolerates a truncated final line (the evaluation in flight when the
-    process died) and unknown line kinds — resume must never refuse to
-    read the journal of a crashed run.
+    A crash mid-``fsync`` can leave exactly one damaged line — the *last*
+    one.  That line (truncated or otherwise unparseable) is discarded with
+    a :class:`RuntimeWarning` so the resume proceeds minus only the point
+    in flight.  A corrupt line anywhere *before* the tail cannot come from
+    a crash and means real file damage, so it raises instead of being
+    silently dropped.  Unknown-but-well-formed line kinds (headers, future
+    extensions) are skipped without comment.
+
+    Raises:
+        ConfigurationError: a non-trailing line is corrupt.
     """
-    entries: list[JournalEntry] = []
     with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
+        raw = fh.read()
+    lines = [
+        (number, line)
+        for number, line in enumerate(raw.split("\n"), start=1)
+        if line.strip()
+    ]
+    entries: list[JournalEntry] = []
+    for position, (number, line) in enumerate(lines):
+        trailing = position == len(lines) - 1
+        try:
+            entry = JournalEntry.from_payload(json.loads(line))
+        except (
+            json.JSONDecodeError,
+            KeyError,
+            TypeError,
+            ValueError,
+            ConfigurationError,
+        ) as error:
+            if trailing:
+                warnings.warn(
+                    f"discarding truncated/corrupt trailing journal line "
+                    f"{number} in {os.fspath(path)} (crash mid-write?): "
+                    f"{error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 continue
-            entry = JournalEntry.from_json(line)
-            if entry is not None:
-                entries.append(entry)
+            raise ConfigurationError(
+                f"corrupt journal line {number} in {os.fspath(path)}: "
+                f"{error}"
+            ) from error
+        if entry is not None:
+            entries.append(entry)
     return entries
+
+
+def _repair_tail(path: str) -> None:
+    """Truncate a damaged trailing line so appended records start clean.
+
+    Without this, resuming after a crash mid-write would append the next
+    JSON record onto the partial line, corrupting *both*.  Only trailing
+    damage is repaired (``load_journal`` has already raised for anything
+    deeper); the repair is silent because the load already warned.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    lines = data.splitlines(keepends=True)
+    while lines:
+        last = lines[-1]
+        stripped = last.strip()
+        if stripped and not _line_is_damaged(stripped):
+            # Valid final line: just make sure it is newline-terminated so
+            # the next append starts a fresh record.
+            if not last.endswith(b"\n"):
+                lines[-1] = last + b"\n"
+            break
+        lines.pop()  # damaged or blank tail line
+    repaired = b"".join(lines)
+    if repaired != data:
+        with open(path, "wb") as fh:
+            fh.write(repaired)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+def _line_is_damaged(line: bytes) -> bool:
+    """Whether a journal line is unparseable (vs. merely unknown-kind)."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return True
+    try:
+        JournalEntry.from_payload(payload)
+    except (KeyError, TypeError, ValueError, ConfigurationError):
+        return True
+    return False

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NumericalError
 
 
 def tops_per_watt(achieved_tops: float, power_w: float) -> float:
@@ -38,6 +38,34 @@ def geomean(values: Iterable[float]) -> float:
     if any(v <= 0 for v in values):
         raise ConfigurationError("geomean needs positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def positive_geomean(values: Iterable[float], field: str = "values") -> float:
+    """Geomean that rejects non-positive or non-finite inputs loudly.
+
+    The sweep's averaged metrics (utilization, TOPS/Watt, TOPS/TCO) are
+    ratios of physical quantities — a zero, negative, NaN, or infinite
+    entry means an upstream model leaked a nonsensical value, and the
+    guardrails should see it as a :class:`~repro.errors.NumericalError`
+    attributed to the offending entry, never a silently clamped floor.
+    """
+    values = list(values)
+    if not values:
+        raise ConfigurationError(f"geomean of an empty sequence ({field})")
+    for i, value in enumerate(values):
+        if (
+            isinstance(value, bool)
+            or not isinstance(value, (int, float))
+            or math.isnan(value)
+            or math.isinf(value)
+            or value <= 0
+        ):
+            raise NumericalError(
+                f"{field}[{i}]",
+                value,
+                "geometric mean needs finite positive values",
+            )
+    return geomean(values)
 
 
 def arithmetic_mean(values: Iterable[float]) -> float:

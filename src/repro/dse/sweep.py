@@ -17,7 +17,7 @@ from repro.arch.component import Estimate, ModelContext
 from repro.config.presets import datacenter_context
 from repro.dse.metrics import (
     arithmetic_mean,
-    geomean,
+    positive_geomean,
     tops_per_tco,
     tops_per_watt,
 )
@@ -103,28 +103,37 @@ class DesignPointResult:
         return arithmetic_mean([o.achieved_tops for o in outcomes])
 
     def mean_utilization(self, batch: Optional[int] = None) -> float:
-        """Geometric mean of TU utilization over workloads."""
+        """Geometric mean of TU utilization over workloads.
+
+        Raises :class:`~repro.errors.NumericalError` when any outcome
+        carries a non-positive utilization — a zero here means the
+        simulator produced a nonsensical row that the guardrails should
+        reject, not a value to clamp away.
+        """
         outcomes = self._at_batch(batch)
-        return geomean([max(o.utilization, 1e-9) for o in outcomes])
+        return positive_geomean(
+            [o.utilization for o in outcomes], field="utilization"
+        )
 
     def mean_energy_efficiency(self, batch: Optional[int] = None) -> float:
         """Geometric mean of achieved TOPS/Watt (runtime power)."""
         outcomes = self._at_batch(batch)
-        return geomean([max(o.energy_efficiency, 1e-12) for o in outcomes])
+        return positive_geomean(
+            [o.energy_efficiency for o in outcomes],
+            field="energy_efficiency",
+        )
 
     def mean_cost_efficiency(self, batch: Optional[int] = None) -> float:
         """Geometric mean of achieved TOPS/TCO."""
         outcomes = self._at_batch(batch)
-        return geomean(
+        return positive_geomean(
             [
-                max(
-                    tops_per_tco(
-                        o.achieved_tops, self.area_mm2, o.runtime_power_w
-                    ),
-                    1e-18,
+                tops_per_tco(
+                    o.achieved_tops, self.area_mm2, o.runtime_power_w
                 )
                 for o in outcomes
-            ]
+            ],
+            field="cost_efficiency",
         )
 
 

@@ -195,16 +195,19 @@ def _map_weight_stationary(
         m_parallelism = max(1, gemm.m // min_chunk)
         data_parallel_cores = min(arch.cores, m_parallelism)
         cross_fraction = (arch.cores - data_parallel_cores) / arch.cores
-        psum_noc = int(
+        # Fractional core shares round *up*: a byte partially crossing the
+        # NoC still occupies a flit, and truncation systematically
+        # undercounted traffic (skewing bound attribution wimpy-ward).
+        psum_noc = math.ceil(
             gemm.m * gemm.n * _PSUM_BYTES * (k_parallel - 1) * cross_fraction
         )
-        broadcast_noc = int(gemm.m * gemm.k * cross_fraction)
+        broadcast_noc = math.ceil(gemm.m * gemm.k * cross_fraction)
         # Data-parallel M chunks replicate the weight tiles across cores:
         # every replica beyond the first crosses the NoC.  This is the
         # brawny-multicore weight-broadcast pressure the paper attributes
         # to "longer and more power-hungry inter-core NoC".
         weight_replicas = min(chunks_per_tile, arch.cores)
-        broadcast_noc += int(gemm.k * gemm.n * max(weight_replicas - 1, 0))
+        broadcast_noc += gemm.k * gemm.n * max(weight_replicas - 1, 0)
     else:
         psum_noc = 0
         broadcast_noc = 0
@@ -223,8 +226,8 @@ def _map_weight_stationary(
         useful_macs=gemm.macs,
         occupied_mac_cycles=total_passes * per_pass * x * x,
         merge_vector_ops=merge_ops,
-        mem_read_bytes=int(mem_reads),
-        mem_write_bytes=int(mem_writes),
+        mem_read_bytes=math.ceil(mem_reads),
+        mem_write_bytes=math.ceil(mem_writes),
         noc_bytes=psum_noc + broadcast_noc,
         weight_bytes=gemm.k * gemm.n,
         tiles=tiles,
@@ -268,11 +271,9 @@ def _map_output_stationary(
         m_parallelism = max(1, gemm.m // min_chunk)
         data_parallel_cores = min(arch.cores, m_parallelism)
         cross_fraction = (arch.cores - data_parallel_cores) / arch.cores
-        broadcast_noc = int(gemm.m * gemm.k * cross_fraction)
+        broadcast_noc = math.ceil(gemm.m * gemm.k * cross_fraction)
         weight_replicas = min(arch.cores, m_tiles)
-        broadcast_noc += int(
-            gemm.k * gemm.n * max(weight_replicas - 1, 0)
-        )
+        broadcast_noc += gemm.k * gemm.n * max(weight_replicas - 1, 0)
     else:
         broadcast_noc = 0
 
@@ -281,8 +282,8 @@ def _map_output_stationary(
         useful_macs=gemm.macs,
         occupied_mac_cycles=passes * per_pass * x * x,
         merge_vector_ops=0,
-        mem_read_bytes=int(mem_reads),
-        mem_write_bytes=int(mem_writes),
+        mem_read_bytes=math.ceil(mem_reads),
+        mem_write_bytes=math.ceil(mem_writes),
         noc_bytes=broadcast_noc,
         weight_bytes=gemm.k * gemm.n,
         tiles=passes,

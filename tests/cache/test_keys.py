@@ -1,0 +1,95 @@
+"""Content-addressed cache key derivation."""
+
+import pytest
+
+from repro.arch.component import ModelContext
+from repro.arch.tensor_unit import Dataflow, TensorUnit, TensorUnitConfig
+from repro.cache.keys import canonicalize, package_version, stable_hash
+from repro.dse.space import DesignPoint
+from repro.errors import ConfigurationError
+from repro.tech.node import node
+
+
+def test_equal_configs_hash_equal():
+    a = TensorUnitConfig(rows=32, cols=32)
+    b = TensorUnitConfig(rows=32, cols=32)
+    assert a is not b
+    assert stable_hash(a) == stable_hash(b)
+
+
+def test_unequal_configs_hash_unequal():
+    a = TensorUnitConfig(rows=32, cols=32)
+    b = TensorUnitConfig(rows=64, cols=32)
+    assert stable_hash(a) != stable_hash(b)
+
+
+def test_model_objects_hash_by_config_not_identity():
+    a = TensorUnit(TensorUnitConfig(rows=16, cols=16))
+    b = TensorUnit(TensorUnitConfig(rows=16, cols=16))
+    assert stable_hash(a) == stable_hash(b)
+    c = TensorUnit(
+        TensorUnitConfig(rows=16, cols=16, dataflow=Dataflow.OUTPUT_STATIONARY)
+    )
+    assert stable_hash(a) != stable_hash(c)
+
+
+def test_context_is_part_of_the_key():
+    a = ModelContext(tech=node(28), freq_ghz=0.7)
+    b = ModelContext(tech=node(28), freq_ghz=0.9)
+    assert stable_hash("m", a) != stable_hash("m", b)
+    assert stable_hash("m", a) == stable_hash(
+        "m", ModelContext(tech=node(28), freq_ghz=0.7)
+    )
+
+
+def test_method_name_is_part_of_the_key():
+    point = DesignPoint(32, 4, 2, 2)
+    assert stable_hash("Chip.tdp_w", point) != stable_hash(
+        "Chip.peak_tops", point
+    )
+
+
+def test_dict_ordering_does_not_change_the_key():
+    forwards = {"alpha": 1, "beta": 2.5, "gamma": [3, 4]}
+    backwards = {"gamma": [3, 4], "beta": 2.5, "alpha": 1}
+    assert list(forwards) != list(backwards)
+    assert canonicalize(forwards) == canonicalize(backwards)
+    assert stable_hash(forwards) == stable_hash(backwards)
+
+
+def test_canonical_form_distinguishes_float_from_int():
+    assert stable_hash(1) != stable_hash(1.0)
+    assert stable_hash(True) != stable_hash(1)
+
+
+def test_enum_members_canonicalize_by_name():
+    canon = canonicalize(Dataflow.WEIGHT_STATIONARY)
+    assert canon == ("enum", "Dataflow", "WEIGHT_STATIONARY")
+
+
+def test_private_attributes_are_excluded():
+    tu = TensorUnit(TensorUnitConfig(rows=8, cols=8))
+    before = stable_hash(tu)
+    tu._scratch = object()  # a derived, non-semantic attribute
+    assert stable_hash(tu) == before
+
+
+def test_uncanonicalizable_objects_raise():
+    with pytest.raises(ConfigurationError):
+        canonicalize(lambda: None)
+
+
+def test_cycles_raise_instead_of_recursing_forever():
+    loop = []
+    loop.append(loop)
+    with pytest.raises(ConfigurationError):
+        canonicalize(loop)
+
+
+def test_key_is_salted_with_the_package_version(monkeypatch):
+    import repro
+
+    before = stable_hash("probe")
+    monkeypatch.setattr(repro, "__version__", "999.0.0")
+    assert stable_hash("probe") != before
+    assert package_version() == "999.0.0"

@@ -1,0 +1,157 @@
+"""The bounded estimate cache: LRU behavior, stats, disk layer, decorator."""
+
+import pytest
+
+from repro.arch.component import ModelContext
+from repro.arch.tensor_unit import TensorUnit, TensorUnitConfig
+from repro.cache.store import (
+    EstimateCache,
+    configure_estimate_cache,
+    estimate_cache_disabled,
+    get_estimate_cache,
+    reset_estimate_cache,
+)
+from repro.errors import ConfigurationError
+from repro.tech.node import node
+
+
+@pytest.fixture(autouse=True)
+def _fresh_global_cache():
+    reset_estimate_cache()
+    yield
+    reset_estimate_cache()
+
+
+def test_get_or_compute_computes_once():
+    cache = EstimateCache()
+    calls = []
+    first = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+    second = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+    assert first == second == 42
+    assert calls == [1]
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 1
+
+
+def test_cached_none_is_a_hit_not_a_miss():
+    cache = EstimateCache()
+    cache.put("k", None)
+    hit, value = cache.get("k")
+    assert hit and value is None
+
+
+def test_lru_eviction_drops_least_recently_used():
+    cache = EstimateCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # touch a: now b is the LRU entry
+    cache.put("c", 3)
+    assert cache.get("a")[0]
+    assert cache.get("c")[0]
+    assert not cache.get("b")[0]
+    assert cache.stats.evictions == 1
+    assert len(cache) == 2
+
+
+def test_maxsize_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        EstimateCache(maxsize=0)
+
+
+def test_stats_snapshot_and_delta():
+    cache = EstimateCache()
+    cache.get_or_compute("k", lambda: 1)
+    before = cache.stats.snapshot()
+    cache.get_or_compute("k", lambda: 1)
+    cache.get_or_compute("j", lambda: 2)
+    delta = cache.stats.delta_since(before)
+    assert delta["hits"] == 1
+    assert delta["misses"] == 1
+    assert delta["stores"] == 1
+    assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+
+def test_disk_layer_round_trip(tmp_path):
+    writer = EstimateCache(disk_path=str(tmp_path))
+    writer.put("deadbeef", {"area_mm2": 1.5})
+    # A fresh process-alike instance sees the persisted value.
+    reader = EstimateCache(disk_path=str(tmp_path))
+    hit, value = reader.get("deadbeef")
+    assert hit and value == {"area_mm2": 1.5}
+    assert reader.stats.disk_hits == 1
+    # Once promoted to memory, later lookups stop touching disk.
+    reader.get("deadbeef")
+    assert reader.stats.disk_hits == 1
+
+
+def test_disk_corruption_degrades_to_a_miss(tmp_path):
+    cache = EstimateCache(disk_path=str(tmp_path))
+    cache.put("deadbeef", 42)
+    cache._disk_file("deadbeef")
+    with open(cache._disk_file("deadbeef"), "wb") as fh:
+        fh.write(b"not a pickle")
+    fresh = EstimateCache(disk_path=str(tmp_path))
+    hit, _ = fresh.get("deadbeef")
+    assert not hit
+
+
+def test_clear_keeps_the_disk_layer(tmp_path):
+    cache = EstimateCache(disk_path=str(tmp_path))
+    cache.put("deadbeef", 42)
+    cache.clear()
+    assert len(cache) == 0
+    hit, value = cache.get("deadbeef")
+    assert hit and value == 42
+
+
+def test_configure_rebounds_existing_entries():
+    cache = get_estimate_cache()
+    for i in range(6):
+        cache.put(f"k{i}", i)
+    configure_estimate_cache(maxsize=2)
+    assert len(cache) == 2
+    configure_estimate_cache(enabled=False)
+    assert not cache.enabled
+
+
+def test_disabled_context_restores_previous_state():
+    cache = get_estimate_cache()
+    assert cache.enabled
+    with estimate_cache_disabled():
+        assert not cache.enabled
+    assert cache.enabled
+
+
+def test_cached_estimate_decorator_hits_on_equal_state():
+    ctx = ModelContext(tech=node(28), freq_ghz=0.7)
+    cache = get_estimate_cache()
+    first = TensorUnit(TensorUnitConfig(rows=16, cols=16)).estimate(ctx)
+    assert cache.stats.misses >= 1
+    before = cache.stats.snapshot()
+    # A *different object* with equal config reuses the cached estimate.
+    second = TensorUnit(TensorUnitConfig(rows=16, cols=16)).estimate(ctx)
+    delta = cache.stats.delta_since(before)
+    assert delta["hits"] == 1
+    assert delta["misses"] == 0
+    assert second == first
+
+
+def test_cached_estimate_matches_uncached_exactly():
+    ctx = ModelContext(tech=node(28), freq_ghz=0.7)
+    tu = TensorUnit(TensorUnitConfig(rows=32, cols=32))
+    with estimate_cache_disabled():
+        uncached = tu.estimate(ctx)
+    cold = tu.estimate(ctx)
+    warm = tu.estimate(ctx)
+    assert uncached == cold == warm
+
+
+def test_disabled_cache_bypasses_lookups():
+    ctx = ModelContext(tech=node(28), freq_ghz=0.7)
+    cache = get_estimate_cache()
+    with estimate_cache_disabled():
+        TensorUnit(TensorUnitConfig(rows=16, cols=16)).estimate(ctx)
+        TensorUnit(TensorUnitConfig(rows=16, cols=16)).estimate(ctx)
+    assert cache.stats.lookups == 0
+    assert len(cache) == 0

@@ -376,7 +376,8 @@ def test_journal_survives_truncated_tail(tmp_path):
         )
     with open(path, "a", encoding="utf-8") as fh:
         fh.write('{"kind": "point", "point": [32, 1, ')  # killed mid-write
-    entries = load_journal(path)
+    with pytest.warns(RuntimeWarning, match="trailing journal line"):
+        entries = load_journal(path)
     assert len(entries) == 1
     assert entries[0].point == GOOD
     assert entries[0].summary_result().peak_tops == 50.0

@@ -1,0 +1,92 @@
+"""Cache integration in the sweep engine: warm seeding and stat plumbing."""
+
+import json
+
+import pytest
+
+from repro.cache.store import get_estimate_cache, reset_estimate_cache
+from repro.dse.engine import run_sweep, warm_substrate_cache
+from repro.dse.space import DesignPoint
+
+POINTS = [
+    DesignPoint(16, 1, 2, 2),
+    DesignPoint(16, 1, 4, 4),  # same (X, N) substrate as the first
+    DesignPoint(32, 1, 2, 2),
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    reset_estimate_cache()
+    yield
+    reset_estimate_cache()
+
+
+def test_warm_substrate_cache_counts_unique_substrates():
+    warmed = warm_substrate_cache(POINTS)
+    assert warmed == 2  # (16, 1) and (32, 1)
+    assert len(get_estimate_cache()) > 0
+
+
+def test_warm_substrate_cache_skips_unbuildable_points():
+    # An absurd grid that cannot build still must not abort the warm-up.
+    warmed = warm_substrate_cache(
+        [DesignPoint(16, 1, 2, 2), DesignPoint(10**6, 1, 1, 1)]
+    )
+    assert warmed >= 1
+
+
+def test_inline_sweep_journals_cache_deltas(tmp_path):
+    journal_path = tmp_path / "sweep.jsonl"
+    report = run_sweep(
+        POINTS[:2], strict=True, journal_path=journal_path
+    )
+    assert len(report.results) == 2
+
+    payloads = [
+        json.loads(line)
+        for line in journal_path.read_text().strip().splitlines()
+    ]
+    rows = [p for p in payloads if p["kind"] == "point"]
+    assert len(rows) == 2
+    for row in rows:
+        assert isinstance(row["cache"], dict)
+        assert row["cache"]["misses"] >= 0
+    # The two points share their core substrate, so across the sweep the
+    # cache must have both filled and hit.
+    totals = report.cache_totals()
+    assert totals["misses"] > 0
+    assert totals["hits"] > 0
+
+
+def test_forked_sweep_inherits_warm_cache(tmp_path):
+    journal_path = tmp_path / "sweep.jsonl"
+    report = run_sweep(
+        POINTS, jobs=2, strict=True, journal_path=journal_path
+    )
+    assert len(report.results) == 3
+    totals = report.cache_totals()
+    # Warm seeding ran each unique substrate in the parent, so the forked
+    # children see hits immediately.
+    assert totals["hits"] > 0
+    for record in report.records:
+        assert record.cache is not None
+
+
+def test_cache_totals_ignore_journal_rehydrated_rows(tmp_path):
+    journal_path = tmp_path / "sweep.jsonl"
+    first = run_sweep(
+        POINTS[:1], strict=True, journal_path=journal_path
+    )
+    first_totals = first.cache_totals()
+    resumed = run_sweep(
+        POINTS[:1],
+        strict=True,
+        journal_path=journal_path,
+        resume=True,
+    )
+    # Every point was rehydrated, not evaluated: no fresh cache activity.
+    assert resumed.cache_totals() == {} or all(
+        value == 0 for value in resumed.cache_totals().values()
+    )
+    assert first_totals["misses"] > 0

@@ -1,0 +1,121 @@
+"""Fault injection on the sweep journal's resume path.
+
+A SIGKILL mid-``fsync`` damages at most the trailing line of the JSONL
+file — that case must cost only the point in flight.  Damage anywhere
+else cannot come from a crash and must fail loudly rather than silently
+drop finished work.
+"""
+
+import json
+
+import pytest
+
+from repro.dse.journal import (
+    Journal,
+    JournalEntry,
+    _repair_tail,
+    load_journal,
+)
+from repro.dse.space import DesignPoint
+from repro.errors import ConfigurationError
+
+_METRICS = {
+    "area_mm2": 100.0,
+    "tdp_w": 50.0,
+    "peak_tops": 10.0,
+    "outcomes": [],
+}
+
+
+def _entry(x: int) -> JournalEntry:
+    return JournalEntry(
+        point=DesignPoint(x, 4, 2, 2),
+        status="ok",
+        wall_time_s=1.0,
+        metrics=_METRICS,
+    )
+
+
+def _write_journal(path, entries) -> None:
+    with Journal(path) as journal:
+        for entry in entries:
+            journal.append(entry)
+
+
+def test_truncated_trailing_line_is_discarded_with_warning(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    _write_journal(path, [_entry(8), _entry(16)])
+    whole = path.read_text()
+    path.write_text(whole[:-25])  # chop mid-way through the last record
+
+    with pytest.warns(RuntimeWarning, match="trailing journal line"):
+        entries = load_journal(path)
+    assert [e.point.x for e in entries] == [8]
+
+
+def test_corrupt_trailing_line_with_newline_is_discarded(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    _write_journal(path, [_entry(8)])
+    with path.open("a") as fh:
+        fh.write('{"kind": "point", "point": [16, 4]}\n')  # malformed point
+
+    with pytest.warns(RuntimeWarning, match="trailing journal line"):
+        entries = load_journal(path)
+    assert [e.point.x for e in entries] == [8]
+
+
+def test_midfile_corruption_raises(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    _write_journal(path, [_entry(8), _entry(16)])
+    lines = path.read_text().splitlines()
+    lines[1] = lines[1][:-20]  # damage the first point, not the tail
+    path.write_text("\n".join(lines) + "\n")
+
+    with pytest.raises(ConfigurationError, match="corrupt journal line 2"):
+        load_journal(path)
+
+
+def test_resume_appends_cleanly_after_truncated_tail(tmp_path):
+    """The damaged tail is repaired so the next append is not glued on."""
+    path = tmp_path / "sweep.jsonl"
+    _write_journal(path, [_entry(8), _entry(16)])
+    whole = path.read_text()
+    path.write_text(whole[:-25])
+
+    with pytest.warns(RuntimeWarning):
+        with Journal(path, resume=True) as journal:
+            assert {p.x for p in journal.finished_points()} == {8}
+            journal.append(_entry(32))
+
+    # Every line in the repaired file parses; the truncated point is gone
+    # and the appended point is intact.
+    entries = load_journal(path)
+    assert [e.point.x for e in entries] == [8, 32]
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_repair_tail_keeps_undamaged_files_byte_identical(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    _write_journal(path, [_entry(8), _entry(16)])
+    before = path.read_bytes()
+    _repair_tail(str(path))
+    assert path.read_bytes() == before
+
+
+def test_repair_tail_terminates_a_valid_unterminated_line(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    _write_journal(path, [_entry(8)])
+    path.write_bytes(path.read_bytes().rstrip(b"\n"))
+    _repair_tail(str(path))
+    assert path.read_bytes().endswith(b"\n")
+    assert [e.point.x for e in load_journal(path)] == [8]
+
+
+def test_empty_and_header_only_journals_resume_to_nothing(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    path.write_text("")
+    assert load_journal(path) == []
+    with Journal(path, resume=True) as journal:
+        assert journal.finished_points() == set()
+    assert load_journal(path) == []

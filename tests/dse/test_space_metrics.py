@@ -107,3 +107,68 @@ class TestPareto:
         points = [(1.0, 3.0), (3.0, 1.0)]
         front = pareto_front(points, [lambda p: p[0], lambda p: p[1]])
         assert len(front) == 2
+
+
+class TestPositiveGeomean:
+    """The strict geomean behind the sweep's averaged metrics.
+
+    Historically the mean_* helpers clamped entries with
+    ``max(x, 1e-9)``, which silently turned a broken upstream model
+    (zero utilization, NaN efficiency) into a tiny-but-plausible
+    average.  The strict variant attributes the bad entry instead.
+    """
+
+    def test_agrees_with_geomean_on_valid_inputs(self):
+        from repro.dse.metrics import positive_geomean
+
+        values = [0.25, 1.0, 4.0]
+        assert positive_geomean(values) == pytest.approx(geomean(values))
+
+    def test_rejects_zero_with_attributed_error(self):
+        from repro.dse.metrics import positive_geomean
+        from repro.errors import NumericalError
+
+        with pytest.raises(NumericalError, match=r"utilization\[1\]"):
+            positive_geomean([0.5, 0.0, 0.9], field="utilization")
+
+    def test_rejects_nan_inf_negative_and_bool(self):
+        from repro.dse.metrics import positive_geomean
+        from repro.errors import NumericalError
+
+        for bad in (float("nan"), float("inf"), -1.0, True):
+            with pytest.raises(NumericalError):
+                positive_geomean([bad])
+
+    def test_empty_sequence_is_a_configuration_error(self):
+        from repro.dse.metrics import positive_geomean
+
+        with pytest.raises(ConfigurationError):
+            positive_geomean([])
+
+    def test_summary_result_surfaces_zero_utilization(self):
+        """A journaled zero-utilization outcome raises, never clamps."""
+        from repro.dse.journal import SummaryResult
+        from repro.errors import NumericalError
+
+        result = SummaryResult.from_metrics(
+            DesignPoint(32, 4, 2, 2),
+            {
+                "area_mm2": 100.0,
+                "tdp_w": 50.0,
+                "peak_tops": 10.0,
+                "outcomes": [
+                    {
+                        "workload": "resnet50",
+                        "batch": 1,
+                        "regime": "bs=1",
+                        "achieved_tops": 1.0,
+                        "utilization": 0.0,
+                        "runtime_power_w": 40.0,
+                    }
+                ],
+            },
+        )
+        with pytest.raises(NumericalError, match=r"utilization\[0\]"):
+            result.mean_utilization()
+        # The unaffected metrics still work.
+        assert result.mean_achieved_tops() == pytest.approx(1.0)

@@ -162,3 +162,46 @@ class TestOutputStationary:
             mapping.compute_cycles * os_arch.macs_per_cycle
             >= mapping.useful_macs
         )
+
+
+class TestByteCountRounding:
+    """Fractional core shares must round traffic *up*, never truncate.
+
+    ``int()`` on the ``cross_fraction`` products systematically
+    undercounted NoC/memory bytes (a byte partially crossing the NoC
+    still occupies a flit), skewing bound attribution wimpy-ward.  These
+    pins lock in the corrected ceil'd counts for a small-M GEMM whose
+    cross fraction is fractional (31/32 on the wimpy chip).
+    """
+
+    GEMM = Gemm(m=7, k=100, n=100)
+
+    def test_weight_stationary_pinned_counts(self, wimpy):
+        mapping = map_gemm(self.GEMM, wimpy, OPT)
+        assert mapping.noc_bytes == 25092
+        assert mapping.mem_read_bytes == 38000
+        assert mapping.mem_write_bytes == 25900
+
+    def test_output_stationary_pinned_counts(self, wimpy):
+        import dataclasses
+
+        from repro.arch.tensor_unit import Dataflow
+
+        os_arch = dataclasses.replace(
+            wimpy, dataflow=Dataflow.OUTPUT_STATIONARY
+        )
+        mapping = map_gemm(self.GEMM, os_arch, OPT)
+        # broadcast = ceil(m*k * 31/32) = ceil(678.125): rounds up, the
+        # old truncation reported 678.
+        assert mapping.noc_bytes == 679
+        assert mapping.mem_read_bytes == 12800
+        assert mapping.mem_write_bytes == 700
+
+    def test_byte_counts_are_integral(self, wimpy):
+        mapping = map_gemm(self.GEMM, wimpy, OPT)
+        for value in (
+            mapping.noc_bytes,
+            mapping.mem_read_bytes,
+            mapping.mem_write_bytes,
+        ):
+            assert isinstance(value, int)

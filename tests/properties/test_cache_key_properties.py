@@ -1,0 +1,109 @@
+"""Property-based tests on cache-key stability.
+
+The estimate cache is only sound if key equality tracks *semantic* config
+equality: equal configs must collide, unequal configs must not, and neither
+dict insertion order nor interpreter hash randomization may leak into the
+digest (the on-disk layer outlives the process that wrote it).
+"""
+
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.component import ModelContext
+from repro.arch.tensor_unit import TensorUnitConfig
+from repro.cache.keys import canonicalize, stable_hash
+from repro.tech.node import node
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(10**9), 10**9),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+)
+
+_trees = st.recursive(
+    _scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=_trees)
+def test_canonical_form_is_deterministic(tree):
+    assert canonicalize(tree) == canonicalize(tree)
+    assert stable_hash(tree) == stable_hash(tree)
+
+
+@settings(max_examples=50, deadline=None)
+@given(mapping=st.dictionaries(st.text(max_size=8), _scalars, max_size=6))
+def test_dict_insertion_order_never_changes_the_key(mapping):
+    reversed_order = dict(reversed(list(mapping.items())))
+    assert stable_hash(mapping) == stable_hash(reversed_order)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.sampled_from([4, 8, 16, 32, 64, 128]),
+    cols=st.sampled_from([4, 8, 16, 32, 64, 128]),
+    freq=st.sampled_from([0.5, 0.7, 0.94, 1.05]),
+)
+def test_equal_configs_collide_unequal_do_not(rows, cols, freq):
+    ctx = ModelContext(tech=node(28), freq_ghz=freq)
+    key = stable_hash(TensorUnitConfig(rows=rows, cols=cols), ctx)
+    same = stable_hash(
+        TensorUnitConfig(rows=rows, cols=cols),
+        ModelContext(tech=node(28), freq_ghz=freq),
+    )
+    assert key == same
+    different = stable_hash(
+        TensorUnitConfig(rows=rows, cols=cols * 2), ctx
+    )
+    assert key != different
+
+
+_RESTART_PROBE = """
+import sys
+sys.path.insert(0, {src_path!r})
+from repro.arch.component import ModelContext
+from repro.arch.tensor_unit import TensorUnitConfig
+from repro.cache.keys import stable_hash
+from repro.tech.node import node
+
+ctx = ModelContext(tech=node(28), freq_ghz=0.7)
+print(stable_hash("Chip.estimate", TensorUnitConfig(rows=32, cols=32), ctx))
+print(stable_hash({{"b": 2, "a": 1}}))
+"""
+
+
+def test_keys_survive_a_process_restart(tmp_path):
+    """Two interpreters with different hash seeds derive identical keys."""
+    import repro
+
+    src_path = repro.__path__[0].rsplit("/repro", 1)[0]
+    probe = _RESTART_PROBE.format(src_path=src_path)
+    outputs = []
+    for seed in ("0", "424242"):
+        result = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True,
+            text=True,
+            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            check=True,
+        )
+        outputs.append(result.stdout)
+    assert outputs[0] == outputs[1]
+    # And the parent process agrees with both children.
+    ctx = ModelContext(tech=node(28), freq_ghz=0.7)
+    here = stable_hash(
+        "Chip.estimate", TensorUnitConfig(rows=32, cols=32), ctx
+    )
+    assert outputs[0].splitlines()[0] == here
+    assert outputs[0].splitlines()[1] == stable_hash({"a": 1, "b": 2})
