@@ -66,11 +66,23 @@ from repro.datatypes import (
 )
 from repro.errors import (
     ConfigurationError,
+    InvariantViolation,
     MappingError,
     NeuroMeterError,
+    NumericalError,
     OptimizationError,
+    PointTimeoutError,
     TechnologyError,
     ValidationError,
+)
+from repro.integrity import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    enforce_invariants,
+    estimate_contracts,
+    fault_injection,
+    verify_invariants,
 )
 from repro.perf import (
     Graph,
@@ -102,6 +114,9 @@ __all__ = [
     "Estimate",
     "EstimateCache",
     "FP16",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "FP32",
     "FP8_E4M3",
     "FP8_E5M2",
@@ -111,14 +126,17 @@ __all__ = [
     "INT4",
     "INT8",
     "InterconnectKind",
+    "InvariantViolation",
     "MappingError",
     "MemCellKind",
     "ModelContext",
     "NeuroMeterError",
     "NocTopology",
+    "NumericalError",
     "OnChipMemoryConfig",
     "OptimizationConfig",
     "OptimizationError",
+    "PointTimeoutError",
     "ReductionTreeConfig",
     "SimulationResult",
     "Simulator",
@@ -130,10 +148,14 @@ __all__ = [
     "ValidationError",
     "VectorUnitConfig",
     "configure_estimate_cache",
+    "enforce_invariants",
     "estimate_cache_disabled",
+    "estimate_contracts",
+    "fault_injection",
     "get_estimate_cache",
     "node",
     "plan_clock",
     "reset_estimate_cache",
     "runtime_power",
+    "verify_invariants",
 ]

@@ -20,6 +20,14 @@ from typing import Callable, Iterator, Optional, TypeVar
 from repro.cache.keys import stable_hash
 from repro.cache.store import get_estimate_cache
 from repro.errors import ConfigurationError
+from repro.integrity.contracts import screen_value
+from repro.integrity.diagnostics import (
+    DIGEST_LENGTH,
+    component_label,
+    component_scope,
+    current_component_path,
+)
+from repro.integrity.faults import active_fault_plan
 from repro.tech.node import TechNode
 from repro.units import cycle_time_ns
 
@@ -42,18 +50,51 @@ def cached_estimate(
     The wrapped method is bypassed entirely — no key is derived — when the
     process-wide cache is disabled, and falls back to a plain call for
     components whose state cannot be canonicalized.
+
+    This wrapper is also the model stack's integrity boundary:
+
+    * every call pushes the component's label onto the diagnostics path
+      stack, so a failure deep in the tree reads
+      ``chip.core.tensor_unit`` instead of "invalid result";
+    * every freshly *computed* value passes the
+      :func:`repro.integrity.contracts.screen_value` numeric screen
+      before it can enter the cache — a NaN, infinity, or negative field
+      raises :class:`~repro.errors.NumericalError` (with path and config
+      digest) and is never stored, so the cache cannot serve a poisoned
+      entry;
+    * an armed :class:`~repro.integrity.faults.FaultPlan` intercepts
+      matching calls here, corrupting the computed value *outside* the
+      cache so injected faults can never pollute it.
     """
+    qualname = method.__qualname__
+    method_name = method.__name__
 
     @functools.wraps(method)
     def wrapper(self, ctx):
-        cache = get_estimate_cache()
-        if not cache.enabled:
-            return method(self, ctx)
-        try:
-            key = stable_hash(method.__qualname__, self, ctx)
-        except ConfigurationError:
-            return method(self, ctx)
-        return cache.get_or_compute(key, lambda: method(self, ctx))
+        with component_scope(component_label(self, method_name)):
+            plan = active_fault_plan()
+            if plan is not None:
+                spec = plan.pick(qualname, current_component_path())
+                if spec is not None:
+                    # Faulted computations bypass the cache in both
+                    # directions: no clean hit masks the injection, and
+                    # no corrupted value is ever stored.
+                    return screen_value(
+                        plan.apply(spec, method(self, ctx))
+                    )
+            cache = get_estimate_cache()
+            if not cache.enabled:
+                return screen_value(method(self, ctx))
+            try:
+                key = stable_hash(qualname, self, ctx)
+            except ConfigurationError:
+                return screen_value(method(self, ctx))
+            return cache.get_or_compute(
+                key,
+                lambda: screen_value(
+                    method(self, ctx), digest=key[:DIGEST_LENGTH]
+                ),
+            )
 
     return wrapper
 

@@ -7,6 +7,7 @@ Drives the most common flows without writing Python::
     neurometer simulate --workload resnet --batch 8 --point 64,2,2,4
     neurometer dse --batch 1                      # Sec. III key points
     neurometer sparsity                           # Fig. 11 table
+    neurometer doctor                             # integrity self-check
 
 (Equivalently: ``python -m repro <command> ...``.)
 """
@@ -390,6 +391,62 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Run the model-integrity self-check suite; exit 2 on any failure.
+
+    With ``--inject-fault`` a seeded :class:`~repro.integrity.faults.FaultPlan`
+    is armed for the whole run, proving end-to-end that an injected fault
+    is caught by the integrity screen and turns the clean exit code into
+    a failure instead of silently skewing the report.
+    """
+    import json
+
+    from repro.integrity.doctor import run_doctor
+    from repro.integrity.faults import (
+        FaultKind,
+        FaultPlan,
+        FaultSpec,
+        fault_injection,
+    )
+
+    _apply_cache_flags(args)
+
+    def _run():
+        return run_doctor(
+            preset_names=args.preset or None,
+            checks=args.check or None,
+        )
+
+    if args.inject_fault:
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    target=args.fault_target,
+                    kind=FaultKind(args.inject_fault),
+                    field=args.fault_field,
+                    max_hits=0,  # every matching call, all checks
+                ),
+            ),
+            seed=args.seed,
+        )
+        with fault_injection(plan):
+            report = _run()
+        if report.passed:
+            print(
+                "error: injected fault escaped every doctor check",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        report = _run()
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.passed else 2
+
+
 def _cmd_timing(args: argparse.Namespace) -> int:
     from repro.timing.report import timing_report
 
@@ -583,6 +640,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_context_arguments(cache_stats)
     _add_cache_arguments(cache_stats)
     cache_stats.set_defaults(handler=_cmd_cache_stats)
+
+    doctor = commands.add_parser(
+        "doctor",
+        help="run the model-integrity self-check suite "
+        "(exit 2 on any failure)",
+    )
+    doctor.add_argument(
+        "--preset",
+        action="append",
+        choices=["tpu-v1", "tpu-v2", "eyeriss", "datacenter"],
+        help="presets to sweep (repeatable; default: all)",
+    )
+    doctor.add_argument(
+        "--check",
+        action="append",
+        help="run only the named checks (repeatable)",
+    )
+    doctor.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured report as JSON",
+    )
+    doctor.add_argument(
+        "--inject-fault",
+        choices=["nan", "inf", "sign-flip"],
+        default=None,
+        help="arm a fault plan for the run; a healthy tree must then "
+        "exit 2 (chaos self-test)",
+    )
+    doctor.add_argument(
+        "--fault-target",
+        default="",
+        help="component substring the injected fault targets "
+        "(default: every model call)",
+    )
+    doctor.add_argument(
+        "--fault-field",
+        default="dynamic_w",
+        choices=["area_mm2", "dynamic_w", "leakage_w", "cycle_time_ns"],
+        help="estimate field the injected fault corrupts",
+    )
+    doctor.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed"
+    )
+    _add_cache_arguments(doctor)
+    doctor.set_defaults(handler=_cmd_doctor)
 
     timing = commands.add_parser(
         "timing", help="critical-path report for a design point"

@@ -148,6 +148,10 @@ class PointFailure:
         wall_time_s: Time spent on the failing attempt.
         attempt: 1 for the primary attempt, 2 for the degraded retry.
         degraded: Whether the failing attempt was the degraded retry.
+        component_path: Dotted model path the failure originated in
+            (``chip.core.tensor_unit``), when the error carried one.
+        config_digest: Content digest of the offending configuration
+            (the estimate-cache key prefix), when the error carried one.
     """
 
     point: DesignPoint
@@ -157,11 +161,14 @@ class PointFailure:
     wall_time_s: float = 0.0
     attempt: int = 1
     degraded: bool = False
+    component_path: Optional[str] = None
+    config_digest: Optional[str] = None
 
     def describe(self) -> str:
+        where = f" at {self.component_path}" if self.component_path else ""
         return (
             f"{self.point.label()} [{self.stage}] "
-            f"{self.error_type}: {self.message}"
+            f"{self.error_type}: {self.message}{where}"
         )
 
     def to_dict(self) -> dict:
@@ -172,10 +179,14 @@ class PointFailure:
             "wall_time_s": round(self.wall_time_s, 6),
             "attempt": self.attempt,
             "degraded": self.degraded,
+            "component_path": self.component_path,
+            "config_digest": self.config_digest,
         }
 
     @classmethod
     def from_dict(cls, point: DesignPoint, payload: dict) -> "PointFailure":
+        path = payload.get("component_path")
+        digest = payload.get("config_digest")
         return cls(
             point=point,
             stage=str(payload.get("stage", "evaluate")),
@@ -184,6 +195,31 @@ class PointFailure:
             wall_time_s=float(payload.get("wall_time_s", 0.0)),
             attempt=int(payload.get("attempt", 1)),
             degraded=bool(payload.get("degraded", False)),
+            component_path=str(path) if path is not None else None,
+            config_digest=str(digest) if digest is not None else None,
+        )
+
+    @classmethod
+    def from_error(
+        cls,
+        point: DesignPoint,
+        error: BaseException,
+        *,
+        wall_time_s: float = 0.0,
+        attempt: int = 1,
+        degraded: bool = False,
+    ) -> "PointFailure":
+        """Build a failure from a raised error, carrying its diagnostics."""
+        return cls(
+            point=point,
+            stage=classify_stage(error),
+            error_type=type(error).__name__,
+            message=str(error),
+            wall_time_s=wall_time_s,
+            attempt=attempt,
+            degraded=degraded,
+            component_path=getattr(error, "component_path", None),
+            config_digest=getattr(error, "config_digest", None),
         )
 
 
@@ -298,6 +334,8 @@ def _failure_payload(error: BaseException, wall_time_s: float) -> dict:
         "message": str(error),
         "stage": classify_stage(error),
         "wall_time_s": wall_time_s,
+        "component_path": getattr(error, "component_path", None),
+        "config_digest": getattr(error, "config_digest", None),
         "exception": carried,
     }
 
@@ -506,11 +544,9 @@ class _SweepRun:
                     raise
                 retry = self._failure(
                     task,
-                    PointFailure(
-                        point=task.point,
-                        stage=classify_stage(error),
-                        error_type=type(error).__name__,
-                        message=str(error),
+                    PointFailure.from_error(
+                        task.point,
+                        error,
                         wall_time_s=time.perf_counter() - start,
                         attempt=task.attempt,
                         degraded=task.degraded,

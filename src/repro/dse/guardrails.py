@@ -1,98 +1,29 @@
 """Result guardrails: numerical sanity checks at the engine boundary.
 
-Analytical models fail quietly: a calibration curve-fit can leak a NaN, a
-degenerate tiling can report a utilization of 1.7, a subtraction of two
-close estimates can go negative.  Left unchecked those values poison every
-mean downstream of the sweep.  The engine therefore validates every
-:class:`~repro.dse.sweep.DesignPointResult` before accepting it, raising
-:class:`~repro.errors.NumericalError` with the path of the offending field
-(e.g. ``outcomes[2].utilization``) so the failure is attributable to one
-design point instead of surfacing as a cryptic ``ConfigurationError`` from
-a geomean three layers up.
+This module is a thin backward-compatibility shim: the checks now live in
+:mod:`repro.integrity.contracts`, where they are shared between the sweep
+engine's boundary validation and the component-level integrity screen.
+Import from :mod:`repro.integrity` in new code.
 """
 
 from __future__ import annotations
 
-import math
-from typing import TYPE_CHECKING, Mapping
+from repro.integrity.contracts import (
+    UTILIZATION_SLACK,
+    check_finite,
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+    validate_metrics,
+    validate_result,
+)
 
-from repro.errors import NumericalError
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.dse.sweep import DesignPointResult
-
-#: Tolerance above 1.0 still accepted for utilizations (float round-off).
-UTILIZATION_SLACK = 1e-6
-
-
-def check_finite(field: str, value: float) -> float:
-    """Reject NaN and +/-inf."""
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise NumericalError(field, value, "not a number")
-    if math.isnan(value):
-        raise NumericalError(field, value, "NaN")
-    if math.isinf(value):
-        raise NumericalError(field, value, "infinite")
-    return float(value)
-
-
-def check_positive(field: str, value: float) -> float:
-    """Reject NaN/inf and values <= 0 (areas, powers, energies, TOPS)."""
-    checked = check_finite(field, value)
-    if checked <= 0.0:
-        raise NumericalError(field, value, "must be positive")
-    return checked
-
-
-def check_nonnegative(field: str, value: float) -> float:
-    """Reject NaN/inf and values < 0."""
-    checked = check_finite(field, value)
-    if checked < 0.0:
-        raise NumericalError(field, value, "must be non-negative")
-    return checked
-
-
-def check_fraction(field: str, value: float) -> float:
-    """Reject NaN/inf and values outside [0, 1] (utilizations)."""
-    checked = check_finite(field, value)
-    if not 0.0 <= checked <= 1.0 + UTILIZATION_SLACK:
-        raise NumericalError(field, value, "must be within [0, 1]")
-    return checked
-
-
-def validate_metrics(metrics: Mapping[str, float], prefix: str = "") -> None:
-    """Validate a flat metrics mapping (journal rows, ad-hoc summaries)."""
-    for name, value in metrics.items():
-        field = f"{prefix}{name}"
-        if name.endswith("utilization"):
-            check_fraction(field, value)
-        else:
-            check_nonnegative(field, value)
-
-
-def validate_result(result: "DesignPointResult") -> "DesignPointResult":
-    """Validate one evaluated design point; return it when clean.
-
-    Checks the chip-level numbers (area, TDP, peak TOPS must be positive
-    and finite) and every workload outcome (achieved TOPS non-negative,
-    utilization within [0, 1], runtime power positive, batch >= 1).
-
-    Raises:
-        NumericalError: naming the offending field path.
-    """
-    check_positive("area_mm2", result.area_mm2)
-    check_positive("tdp_w", result.tdp_w)
-    check_positive("peak_tops", result.peak_tops)
-    for i, outcome in enumerate(result.outcomes):
-        path = f"outcomes[{i}]"
-        check_nonnegative(f"{path}.achieved_tops", outcome.achieved_tops)
-        check_fraction(f"{path}.utilization", outcome.utilization)
-        check_positive(f"{path}.runtime_power_w", outcome.runtime_power_w)
-        if outcome.batch < 1:
-            raise NumericalError(
-                f"{path}.batch", outcome.batch, "must be >= 1"
-            )
-        check_nonnegative(
-            f"{path}.latency_ms", outcome.result.latency_ms
-        )
-    return result
+__all__ = [
+    "UTILIZATION_SLACK",
+    "check_finite",
+    "check_fraction",
+    "check_nonnegative",
+    "check_positive",
+    "validate_metrics",
+    "validate_result",
+]

@@ -39,25 +39,68 @@ class ValidationError(NeuroMeterError):
 class NumericalError(NeuroMeterError):
     """A modeled quantity is numerically nonsensical (NaN/inf/out of range).
 
-    Raised by the sweep engine's guardrails when a result carries a NaN or
-    infinite value, a negative area/power/energy, or a utilization outside
-    [0, 1].  ``field`` names the offending quantity (e.g.
-    ``outcomes[2].utilization``) and ``value`` holds what was seen.
+    Raised by the component-level integrity screen and the sweep engine's
+    guardrails when a result carries a NaN or infinite value, a negative
+    area/power/energy, or a utilization outside [0, 1].  ``field`` names
+    the offending quantity (e.g. ``outcomes[2].utilization``), ``value``
+    holds what was seen, ``component_path`` locates the component whose
+    model produced it (e.g. ``chip.core.tensor_unit``), and
+    ``config_digest`` is the content hash of the offending configuration
+    (the estimate-cache key prefix), so a poisoned estimate is attributable
+    to one component of one configuration.
     """
 
-    def __init__(self, field: str, value: object, reason: str = ""):
+    def __init__(
+        self,
+        field: str,
+        value: object,
+        reason: str = "",
+        component_path: "str | None" = None,
+        config_digest: "str | None" = None,
+    ):
         self.field = field
         self.value = value
         self.reason = reason
+        self.component_path = component_path
+        self.config_digest = config_digest
         detail = f": {reason}" if reason else ""
+        where = f" in {component_path}" if component_path else ""
+        digest = f" (config {config_digest})" if config_digest else ""
         super().__init__(
-            f"invalid numerical result at {field}: {value!r}{detail}"
+            f"invalid numerical result at {field}{where}: "
+            f"{value!r}{detail}{digest}"
         )
 
     def __reduce__(self):
         # The custom __init__ signature breaks the default exception
         # pickling used when errors cross the sweep engine's worker pipe.
-        return (type(self), (self.field, self.value, self.reason))
+        return (
+            type(self),
+            (
+                self.field,
+                self.value,
+                self.reason,
+                self.component_path,
+                self.config_digest,
+            ),
+        )
+
+
+class InvariantViolation(NeuroMeterError):
+    """A physical-invariant contract does not hold for a modeled design.
+
+    Raised by :func:`repro.integrity.contracts.enforce_invariants` when the
+    invariant walker finds one or more violations (rollup superadditivity,
+    TDP consistency, timing sanity, scaling monotonicity).  ``violations``
+    carries one human-readable line per broken contract.
+    """
+
+    def __init__(self, message: str, violations: tuple = ()):
+        self.violations = tuple(violations)
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.violations))
 
 
 class PointTimeoutError(NeuroMeterError):

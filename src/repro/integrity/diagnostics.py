@@ -1,0 +1,122 @@
+"""Component-path diagnostics for attributable model failures.
+
+When a NaN leaks out of a curve fit three layers deep, "invalid result"
+is not actionable — ``chip.core.tensor_unit.estimate`` is.  This module
+maintains a per-thread stack of component labels that the
+:func:`repro.arch.component.cached_estimate` wrapper pushes on every model
+call, so any :class:`~repro.errors.NumericalError` raised inside can be
+annotated with the full component path plus the content digest of the
+offending configuration (the same digest the estimate cache keys on, from
+:mod:`repro.cache.keys`).
+
+The stack lives in thread-local storage: sweep workers are forked
+processes, and inline sweeps are single-threaded per evaluation, so a
+plain list per thread is race-free.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.cache.keys import stable_hash
+from repro.errors import ConfigurationError
+
+#: Digest length carried on errors: 16 hex chars of the SHA-256 key is
+#: plenty to look an entry up while keeping messages readable.
+DIGEST_LENGTH = 16
+
+_LOCAL = threading.local()
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def _stack() -> list:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _LOCAL.stack = stack
+    return stack
+
+
+_LABEL_CACHE: dict = {}
+
+
+def component_label(obj: Any, method_name: str = "estimate") -> str:
+    """The path segment for one model object (``TensorUnit`` -> ``tensor_unit``).
+
+    Non-``estimate`` model methods keep their name as a suffix so
+    ``Chip.tdp_w`` reads ``chip.tdp_w`` rather than masquerading as the
+    estimate rollup.  Labels are memoized per (type, method) — this runs
+    on every model call, cache hits included.
+    """
+    key = (type(obj), method_name)
+    label = _LABEL_CACHE.get(key)
+    if label is None:
+        label = _CAMEL_BOUNDARY.sub("_", type(obj).__name__).lower()
+        if method_name != "estimate":
+            label = f"{label}.{method_name}"
+        _LABEL_CACHE[key] = label
+    return label
+
+
+@contextmanager
+def component_scope(label: str) -> Iterator[None]:
+    """Push one component label for the duration of its model call.
+
+    Consecutive duplicate labels are collapsed (``Chip.tdp_w`` calling
+    ``Chip.estimate`` contributes ``chip.tdp_w`` once, not ``chip.chip``).
+    """
+    stack = _stack()
+    pushed = not stack or stack[-1].split(".", 1)[0] != label.split(".", 1)[0]
+    if pushed:
+        stack.append(label)
+    try:
+        yield
+    finally:
+        if pushed:
+            stack.pop()
+
+
+def current_component_path() -> Optional[str]:
+    """The dotted path of the model call in flight, or ``None`` outside one."""
+    stack = _stack()
+    if not stack:
+        return None
+    return ".".join(stack)
+
+
+def config_digest(*parts: Any) -> Optional[str]:
+    """Short content digest of a configuration, ``None`` when underivable.
+
+    This is a prefix of the same SHA-256 key the estimate cache uses, so a
+    digest on an error message can be matched against cache entries and
+    journal rows directly.
+    """
+    try:
+        return stable_hash(*parts)[:DIGEST_LENGTH]
+    except ConfigurationError:
+        return None
+
+
+def annotate(error: Exception, digest: Optional[str] = None) -> Exception:
+    """Attach the in-flight component path (and digest) to an error.
+
+    Only fills attributes the error declares and has not already set, so
+    the innermost (most specific) annotation wins as the error propagates
+    up through enclosing scopes.
+    """
+    if (
+        hasattr(error, "component_path")
+        and getattr(error, "component_path") is None
+    ):
+        error.component_path = current_component_path()
+    if (
+        digest is not None
+        and hasattr(error, "config_digest")
+        and getattr(error, "config_digest") is None
+    ):
+        error.config_digest = digest
+    return error

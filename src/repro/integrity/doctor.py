@@ -1,0 +1,364 @@
+"""The ``neurometer doctor`` self-check pipeline.
+
+A calibrated analytical model is only trustworthy while its invariants
+hold; ``doctor`` runs the whole self-check suite in one shot and emits a
+structured pass/fail report:
+
+* **tech-table** — every tabulated node (and interpolated samples) has
+  finite, positive parameters, scales monotonically from 65 to 7 nm, and
+  voltage scaling moves energy the right way;
+* **invariants** — the physical-invariant walker
+  (:func:`repro.integrity.contracts.verify_invariants`) over every preset
+  chip and a datacenter design point, with the opt-in per-``estimate()``
+  rollup contracts armed;
+* **scaling-probes** — tech-node and MAC-datatype monotonicity probes;
+* **validation-bands** — modeled TPU-v1 / TPU-v2 / Eyeriss vs published
+  numbers inside the paper's claimed error bands;
+* **cache-equivalence** — a cold and a warm pass over the presets must
+  agree bit-for-bit (the estimate cache is an accelerator, never an
+  oracle);
+* **fault-containment** — a seeded NaN fault injected through
+  ``cached_estimate`` must surface as a :class:`~repro.errors.NumericalError`
+  carrying a component path, and must leave no trace in the cache.
+
+Any failing check makes :attr:`DoctorReport.passed` false; the CLI maps
+that to exit code 2.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import NeuroMeterError, NumericalError
+from repro.integrity.contracts import (
+    estimate_contracts,
+    probe_mac_energy_monotonicity,
+    probe_tech_monotonicity,
+    verify_invariants,
+)
+from repro.integrity.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    active_fault_plan,
+    fault_injection,
+)
+
+#: Preset names the doctor knows how to build (resolved lazily).
+PRESET_NAMES = ("tpu-v1", "tpu-v2", "eyeriss", "datacenter")
+
+
+def _presets(names: Sequence[str]):
+    """Resolve preset names to ``(name, chip_factory, ctx_factory)``."""
+    from repro.config.presets import (
+        datacenter_context,
+        eyeriss,
+        eyeriss_context,
+        tpu_v1,
+        tpu_v1_context,
+        tpu_v2,
+        tpu_v2_context,
+    )
+    from repro.dse.space import DesignPoint
+
+    catalog = {
+        "tpu-v1": (tpu_v1, tpu_v1_context),
+        "tpu-v2": (tpu_v2, tpu_v2_context),
+        "eyeriss": (eyeriss, eyeriss_context),
+        "datacenter": (
+            lambda: DesignPoint(64, 2, 2, 4).build(),
+            datacenter_context,
+        ),
+    }
+    unknown = [name for name in names if name not in catalog]
+    if unknown:
+        raise NeuroMeterError(
+            f"unknown preset(s) {unknown}; choose from {sorted(catalog)}"
+        )
+    return [(name, *catalog[name]) for name in names]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one doctor check."""
+
+    name: str
+    passed: bool
+    detail: str
+    duration_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "detail": self.detail,
+            "duration_s": round(self.duration_s, 4),
+        }
+
+
+@dataclass(frozen=True)
+class DoctorReport:
+    """Structured result of one full doctor run."""
+
+    checks: tuple[CheckResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> tuple[CheckResult, ...]:
+        return tuple(c for c in self.checks if not c.passed)
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+    def render(self) -> str:
+        from repro.report.tables import format_table
+
+        rows = [
+            [
+                check.name,
+                "ok" if check.passed else "FAIL",
+                f"{check.duration_s * 1e3:.0f} ms",
+                check.detail,
+            ]
+            for check in self.checks
+        ]
+        table = format_table(["check", "status", "time", "detail"], rows)
+        verdict = (
+            "all checks passed"
+            if self.passed
+            else f"{len(self.failures)} check(s) FAILED"
+        )
+        return f"{table}\n\n{verdict}"
+
+
+def _run_check(
+    name: str, check: Callable[[], str]
+) -> CheckResult:
+    """Run one check; any NeuroMeterError (or violation list) fails it."""
+    start = time.perf_counter()
+    try:
+        detail = check()
+        passed = True
+    except NeuroMeterError as error:
+        detail = f"{type(error).__name__}: {error}"
+        passed = False
+    return CheckResult(
+        name=name,
+        passed=passed,
+        detail=detail,
+        duration_s=time.perf_counter() - start,
+    )
+
+
+def _fail(message: str) -> str:
+    raise NeuroMeterError(message)
+
+
+# -- individual checks ----------------------------------------------------------
+
+
+def _check_tech_table() -> str:
+    from repro.tech.node import TechNode, available_nodes, node
+
+    nodes = [node(nm) for nm in available_nodes()]
+    nodes += [node(nm) for nm in (40.0, 22.0, 10.0)]  # interpolation samples
+    for tech in nodes:
+        for field in TechNode.__dataclass_fields__:
+            value = getattr(tech, field)
+            if not math.isfinite(value) or value <= 0:
+                return _fail(
+                    f"tech node {tech.name} field {field} is {value!r}"
+                )
+    # Shrinking the node must shrink area, energy, and delay.
+    ordered = [node(nm) for nm in available_nodes()]  # 65 -> 7
+    for field in ("gate_area_um2", "gate_energy_fj", "fo4_ps",
+                  "sram_cell_um2", "dff_area_um2"):
+        values = [getattr(tech, field) for tech in ordered]
+        if any(b > a for a, b in zip(values, values[1:])):
+            return _fail(
+                f"{field} does not shrink monotonically across "
+                f"{[t.name for t in ordered]}: {values}"
+            )
+    # Voltage scaling: lower Vdd must not raise energy or lower delay.
+    reference = node(28)
+    scaled = reference.at_voltage(0.8 * reference.vdd_v)
+    if scaled.gate_energy_fj >= reference.gate_energy_fj:
+        return _fail("at_voltage(0.8 Vdd) did not reduce gate energy")
+    if scaled.fo4_ps <= reference.fo4_ps:
+        return _fail("at_voltage(0.8 Vdd) did not slow the gate delay")
+    return f"{len(nodes)} nodes sane, scaling monotone"
+
+
+def _check_invariants(presets) -> str:
+    total = 0
+    with estimate_contracts():
+        for name, build, ctx_factory in presets:
+            chip, ctx = build(), ctx_factory()
+            violations = verify_invariants(chip, ctx)
+            if violations:
+                return _fail(
+                    f"{name}: "
+                    + "; ".join(v.describe() for v in violations[:3])
+                )
+            total += 1
+    return f"{total} preset(s) satisfy all physical invariants"
+
+
+def _check_scaling_probes() -> str:
+    from repro.dse.space import DesignPoint
+
+    violations = probe_tech_monotonicity(
+        lambda: DesignPoint(16, 2, 1, 2).build()
+    )
+    violations += probe_mac_energy_monotonicity()
+    if violations:
+        return _fail("; ".join(v.describe() for v in violations[:3]))
+    return "tech-node and MAC-datatype scaling monotone"
+
+
+def _check_validation_bands(presets) -> str:
+    from repro.validation.compare import assert_within, validate_chip
+    from repro.validation.published import (
+        CLAIMED_ERROR_BANDS,
+        EYERISS,
+        TPU_V1,
+        TPU_V2,
+    )
+
+    published = {"tpu-v1": TPU_V1, "tpu-v2": TPU_V2, "eyeriss": EYERISS}
+    bands = {
+        "tpu-v1": CLAIMED_ERROR_BANDS["TPU-v1"],
+        "tpu-v2": CLAIMED_ERROR_BANDS["TPU-v2"],
+        "eyeriss": CLAIMED_ERROR_BANDS["Eyeriss"],
+    }
+    checked = []
+    for name, build, ctx_factory in presets:
+        reference = published.get(name)
+        if reference is None:
+            continue
+        report = validate_chip(build(), ctx_factory(), reference)
+        band = bands[name]
+        assert_within(report, band["area"], band.get("tdp"))
+        checked.append(name)
+    if not checked:
+        return "no validation chips among the selected presets"
+    return f"{', '.join(checked)} inside the published error bands"
+
+
+def _check_cache_equivalence(presets) -> str:
+    from repro.cache.store import get_estimate_cache
+
+    cache = get_estimate_cache()
+    if not cache.enabled:
+        return "estimate cache disabled; nothing to compare"
+    for name, build, ctx_factory in presets:
+        ctx = ctx_factory()
+        cache.clear()
+        chip = build()
+        cold = (chip.estimate(ctx), chip.tdp_w(ctx), chip.peak_tops(ctx))
+        chip = build()
+        warm = (chip.estimate(ctx), chip.tdp_w(ctx), chip.peak_tops(ctx))
+        if cold != warm:
+            return _fail(
+                f"{name}: warm (cached) results diverged from the cold pass"
+            )
+    return f"{len(presets)} preset(s) bit-identical cold vs warm"
+
+
+def _check_fault_containment() -> str:
+    from repro.cache.store import get_estimate_cache
+    from repro.config.presets import datacenter_context
+    from repro.dse.space import DesignPoint
+
+    ctx = datacenter_context()
+    build = lambda: DesignPoint(8, 1, 1, 1).build()  # noqa: E731
+
+    def _expect_caught(label: str) -> NumericalError:
+        try:
+            build().estimate(ctx)
+        except NumericalError as error:
+            return error
+        return _fail(f"{label} fault escaped the integrity screen")
+
+    if active_fault_plan() is not None:
+        # An externally armed plan (doctor --inject-fault): prove its
+        # faults are caught rather than arming a second plan.
+        error = _expect_caught("externally injected")
+        return _fail(
+            "externally injected fault correctly caught "
+            f"({error.field} in {error.component_path})"
+        )
+
+    cache = get_estimate_cache()
+    clean = build().estimate(ctx)
+    plan = FaultPlan(
+        specs=(FaultSpec(target="", kind=FaultKind.NAN, field="dynamic_w"),)
+    )
+    with fault_injection(plan):
+        error = _expect_caught("seeded NaN")
+        if not plan.hits:
+            return _fail("fault plan reported no hits")
+        if error.component_path is None:
+            return _fail("caught fault carried no component path")
+    after = build().estimate(ctx)
+    if after != clean:
+        return _fail("cache served a poisoned entry after fault injection")
+    if cache.enabled:
+        for key in list(cache._entries):
+            hit, value = cache.get(key)
+            screened = getattr(value, "walk", None)
+            if hit and screened is not None:
+                for node in value.walk():
+                    if not math.isfinite(node.dynamic_w):
+                        return _fail(
+                            f"poisoned entry resident in cache ({key[:16]})"
+                        )
+    return (
+        f"injected fault caught at {error.component_path} "
+        f"({error.field}); cache clean"
+    )
+
+
+# -- the pipeline ---------------------------------------------------------------
+
+
+def run_doctor(
+    preset_names: Optional[Sequence[str]] = None,
+    checks: Optional[Sequence[str]] = None,
+) -> DoctorReport:
+    """Run the full self-check suite and return the structured report.
+
+    Args:
+        preset_names: Presets to sweep (default: all of
+            :data:`PRESET_NAMES`).
+        checks: Subset of check names to run (default: all).
+    """
+    presets = _presets(tuple(preset_names or PRESET_NAMES))
+    suite: list[tuple[str, Callable[[], str]]] = [
+        ("tech-table", _check_tech_table),
+        ("invariants", lambda: _check_invariants(presets)),
+        ("scaling-probes", _check_scaling_probes),
+        ("validation-bands", lambda: _check_validation_bands(presets)),
+        ("cache-equivalence", lambda: _check_cache_equivalence(presets)),
+        ("fault-containment", _check_fault_containment),
+    ]
+    if checks is not None:
+        known = {name for name, _ in suite}
+        unknown = [name for name in checks if name not in known]
+        if unknown:
+            raise NeuroMeterError(
+                f"unknown check(s) {unknown}; choose from {sorted(known)}"
+            )
+        suite = [(name, fn) for name, fn in suite if name in set(checks)]
+    return DoctorReport(
+        checks=tuple(_run_check(name, fn) for name, fn in suite)
+    )

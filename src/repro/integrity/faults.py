@@ -1,0 +1,283 @@
+"""Deterministic fault injection for the analytical model stack.
+
+A robustness claim ("guardrails catch bad numbers") is untestable without a
+way to *produce* bad numbers on demand.  A :class:`FaultPlan` injects them
+where real bugs would appear — the values flowing through the
+:func:`repro.arch.component.cached_estimate` wrapping point — so an
+end-to-end test can prove three things at once:
+
+* every injected NaN/inf/sign-flip is caught by the component-level screen
+  as a :class:`~repro.errors.NumericalError` carrying the component path
+  and config digest;
+* the estimate cache never stores or serves a poisoned entry (faulted
+  computations bypass the cache entirely, and the plan clears the
+  in-memory layer on activation so a pre-warmed clean entry cannot mask
+  the injection);
+* the sweep engine converts each caught fault into a structured
+  ``PointFailure`` instead of dying.
+
+Plans are deterministic: :meth:`FaultPlan.generate` derives its specs from
+a seed via a private :class:`random.Random`, and application order is
+defined by evaluation order, so a failing chaos run can be replayed
+exactly from its seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.tech.node import TechNode
+
+
+class FaultKind(enum.Enum):
+    """How an injected fault corrupts a modeled value."""
+
+    NAN = "nan"
+    INF = "inf"
+    SIGN_FLIP = "sign-flip"
+    SCALE = "scale"
+
+
+#: Estimate fields a fault can target (plus scalar method results).
+FAULTABLE_FIELDS = ("area_mm2", "dynamic_w", "leakage_w", "cycle_time_ns")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject.
+
+    Attributes:
+        target: Substring matched against the model method's qualified
+            name (``"TensorUnit.estimate"``) and the current component
+            path (``"chip.core.tensor_unit"``).  The empty string matches
+            every model call.
+        kind: Corruption applied to the value.
+        field: Which :class:`~repro.arch.component.Estimate` field to
+            corrupt; ignored for scalar results (``tdp_w``,
+            ``peak_tops``), which are corrupted directly.
+        scale: Multiplier for :attr:`FaultKind.SCALE` faults.
+        max_hits: Stop applying this spec after it fired this many times
+            (0 means unlimited).
+    """
+
+    target: str = ""
+    kind: FaultKind = FaultKind.NAN
+    field: str = "dynamic_w"
+    scale: float = 1.05
+    max_hits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.field not in FAULTABLE_FIELDS:
+            raise ConfigurationError(
+                f"faultable fields are {FAULTABLE_FIELDS}, got {self.field!r}"
+            )
+
+    def matches(self, qualname: str, path: Optional[str]) -> bool:
+        if not self.target:
+            return True
+        return self.target in qualname or (
+            path is not None and self.target in path
+        )
+
+    def corrupt(self, value: float) -> float:
+        if self.kind is FaultKind.NAN:
+            return float("nan")
+        if self.kind is FaultKind.INF:
+            return float("inf")
+        if self.kind is FaultKind.SIGN_FLIP:
+            # A zero field (e.g. white space power) flips to a negative
+            # sentinel so the fault is observable either way.
+            return -value if value != 0.0 else -1.0
+        return value * self.scale
+
+
+@dataclass(frozen=True)
+class FaultHit:
+    """A record of one applied fault (for escape accounting in tests)."""
+
+    spec: FaultSpec
+    qualname: str
+    component_path: Optional[str]
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, replayable set of faults to inject into model calls.
+
+    Activate with :func:`fault_injection`; while active, any
+    ``cached_estimate`` call whose qualname or component path matches a
+    live spec computes its value *outside* the cache, corrupts it, and
+    lets the integrity screen catch the corruption.  ``hits`` records
+    every applied fault so tests can assert none escaped detection.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    hits: list[FaultHit] = field(default_factory=list)
+    _hit_counts: dict[int, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        count: int = 4,
+        targets: Sequence[str] = ("",),
+        kinds: Sequence[FaultKind] = (
+            FaultKind.NAN,
+            FaultKind.INF,
+            FaultKind.SIGN_FLIP,
+        ),
+    ) -> "FaultPlan":
+        """Derive ``count`` fault specs deterministically from ``seed``."""
+        rng = random.Random(seed)
+        specs = tuple(
+            FaultSpec(
+                target=rng.choice(list(targets)),
+                kind=rng.choice(list(kinds)),
+                field=rng.choice(FAULTABLE_FIELDS[:3]),
+            )
+            for _ in range(count)
+        )
+        return cls(specs=specs, seed=seed)
+
+    def pick(self, qualname: str, path: Optional[str]) -> Optional[FaultSpec]:
+        """The first live spec matching this model call, if any."""
+        with self._lock:
+            for index, spec in enumerate(self.specs):
+                if spec.max_hits and self._hit_counts.get(index, 0) >= (
+                    spec.max_hits
+                ):
+                    continue
+                if spec.matches(qualname, path):
+                    self._hit_counts[index] = (
+                        self._hit_counts.get(index, 0) + 1
+                    )
+                    self.hits.append(
+                        FaultHit(
+                            spec=spec,
+                            qualname=qualname,
+                            component_path=path,
+                        )
+                    )
+                    return spec
+        return None
+
+    def apply(self, spec: FaultSpec, value: Any) -> Any:
+        """Corrupt one computed model value according to ``spec``.
+
+        Scalar results are corrupted directly.  Estimate trees are
+        corrupted on the targeted field of the *root* node — bypassing the
+        dataclass validator exactly the way a bad coefficient deep in a
+        curve fit would, since real bugs do not call ``__post_init__``.
+        """
+        if isinstance(value, (int, float)):
+            return spec.corrupt(float(value))
+        if dataclasses.is_dataclass(value) and hasattr(value, spec.field):
+            poisoned = object.__new__(type(value))
+            for f in dataclasses.fields(value):
+                object.__setattr__(poisoned, f.name, getattr(value, f.name))
+            object.__setattr__(
+                poisoned,
+                spec.field,
+                spec.corrupt(float(getattr(value, spec.field))),
+            )
+            return poisoned
+        return value
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every bounded spec has fired its full quota."""
+        with self._lock:
+            return all(
+                spec.max_hits and self._hit_counts.get(i, 0) >= spec.max_hits
+                for i, spec in enumerate(self.specs)
+            )
+
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The plan currently armed via :func:`fault_injection`, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def fault_injection(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Arm a fault plan for the duration of the block.
+
+    The in-memory estimate cache is cleared on entry so a pre-warmed clean
+    entry cannot short-circuit the targeted computation, and again on exit
+    so nothing computed under the plan (even values a SCALE fault left
+    plausible-looking) can leak into later runs.  Faulted computations
+    additionally bypass the cache entirely (see
+    :func:`repro.arch.component.cached_estimate`).
+    """
+    global _ACTIVE
+    from repro.cache.store import get_estimate_cache
+
+    if _ACTIVE is not None:
+        raise ConfigurationError("a fault plan is already active")
+    get_estimate_cache().clear()
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = None
+        get_estimate_cache().clear()
+
+
+def perturb_tech(
+    tech: TechNode,
+    seed: int,
+    magnitude: float = 0.05,
+    fields: Optional[Sequence[str]] = None,
+) -> TechNode:
+    """A deterministically perturbed copy of a technology node.
+
+    Every targeted field is scaled by a factor drawn uniformly from
+    ``[1 - magnitude, 1 + magnitude]`` using a private RNG seeded with
+    ``seed``, emulating a corrupted tech-table entry or a miscalibrated
+    import.  Fields validated by :class:`~repro.tech.node.TechNode` stay
+    positive for any ``magnitude < 1``, so the perturbed node constructs
+    cleanly — the point is to shift downstream results, not to crash the
+    constructor.
+    """
+    if not 0.0 < magnitude < 1.0:
+        raise ConfigurationError(
+            f"perturbation magnitude must be in (0, 1), got {magnitude}"
+        )
+    rng = random.Random(seed)
+    names = tuple(
+        fields
+        if fields is not None
+        else (
+            name
+            for name in TechNode.__dataclass_fields__
+            if name != "feature_nm"
+        )
+    )
+    changes = {}
+    for name in names:
+        factor = 1.0 + rng.uniform(-magnitude, magnitude)
+        changes[name] = getattr(tech, name) * factor
+    return replace(tech, **changes)
+
+
+def assert_no_nan(tech: TechNode) -> None:
+    """Reject a tech node carrying NaN/inf parameters (doctor's tech check)."""
+    for name in TechNode.__dataclass_fields__:
+        value = getattr(tech, name)
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"tech node {tech.name} field {name} is {value!r}"
+            )

@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.arch.chip import Chip
 from repro.arch.component import Estimate, ModelContext
+from repro.errors import ValidationError
 from repro.validation.published import PublishedChip
 
 
@@ -57,6 +58,40 @@ class ValidationReport:
         if tdp_band is not None and self.tdp_error is not None:
             return abs(self.tdp_error) <= tdp_band
         return True
+
+
+def assert_within(
+    report: ValidationReport,
+    area_band: float,
+    tdp_band: Optional[float] = None,
+) -> ValidationReport:
+    """Raise a verdict instead of returning a silent boolean.
+
+    A model drifting outside its validation band must fail loudly and
+    attributably — this raises :class:`~repro.errors.ValidationError`
+    naming the chip and the offending target (``area_mm2`` or ``tdp_w``)
+    with the modeled-vs-published numbers, rather than letting a quiet
+    ``within() == False`` be dropped on the floor.  Returns the report
+    unchanged when every error is inside its band.
+    """
+    if abs(report.area_error) > area_band:
+        raise ValidationError(
+            f"{report.chip_name} area_mm2 outside the validation band: "
+            f"modeled {report.modeled_area_mm2:.2f} vs published "
+            f"{report.published_area_mm2:.2f} "
+            f"({report.area_error:+.1%}, band +/-{area_band:.1%})"
+        )
+    tdp_error = report.tdp_error
+    if tdp_band is not None and tdp_error is not None and (
+        abs(tdp_error) > tdp_band
+    ):
+        raise ValidationError(
+            f"{report.chip_name} tdp_w outside the validation band: "
+            f"modeled {report.modeled_tdp_w:.2f} vs published "
+            f"{report.published_tdp_w:.2f} "
+            f"({tdp_error:+.1%}, band +/-{tdp_band:.1%})"
+        )
+    return report
 
 
 def component_share(

@@ -1,0 +1,110 @@
+"""The ``neurometer doctor`` self-check pipeline and its CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import NeuroMeterError
+from repro.integrity import FaultKind, FaultPlan, FaultSpec, fault_injection
+from repro.integrity.doctor import PRESET_NAMES, DoctorReport, run_doctor
+
+
+def test_full_suite_passes_on_a_healthy_model():
+    report = run_doctor(preset_names=["eyeriss", "datacenter"])
+    assert isinstance(report, DoctorReport)
+    assert report.passed, report.render()
+    assert [c.name for c in report.checks] == [
+        "tech-table",
+        "invariants",
+        "scaling-probes",
+        "validation-bands",
+        "cache-equivalence",
+        "fault-containment",
+    ]
+    assert report.failures == ()
+
+
+def test_check_subset_runs_only_the_requested_checks():
+    report = run_doctor(checks=["tech-table", "cache-equivalence"])
+    assert [c.name for c in report.checks] == [
+        "tech-table",
+        "cache-equivalence",
+    ]
+    assert report.passed
+
+
+def test_unknown_preset_and_check_are_rejected():
+    with pytest.raises(NeuroMeterError):
+        run_doctor(preset_names=["tpu-v9"])
+    with pytest.raises(NeuroMeterError):
+        run_doctor(checks=["phrenology"])
+
+
+def test_report_serializes_to_structured_dict():
+    report = run_doctor(checks=["tech-table"])
+    payload = report.to_dict()
+    assert payload["passed"] is True
+    assert payload["checks"][0]["name"] == "tech-table"
+    assert set(payload["checks"][0]) == {
+        "name",
+        "passed",
+        "detail",
+        "duration_s",
+    }
+    # The rendered table carries the same verdict.
+    assert "all checks passed" in report.render()
+
+
+def test_external_fault_plan_fails_the_containment_check():
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                target="", kind=FaultKind.NAN, field="dynamic_w", max_hits=0
+            ),
+        )
+    )
+    with fault_injection(plan):
+        report = run_doctor(
+            preset_names=["eyeriss"], checks=["fault-containment"]
+        )
+    assert not report.passed
+    assert "correctly caught" in report.failures[0].detail
+
+
+def test_preset_catalog_covers_the_documented_names():
+    assert PRESET_NAMES == ("tpu-v1", "tpu-v2", "eyeriss", "datacenter")
+    report = run_doctor(
+        preset_names=list(PRESET_NAMES), checks=["invariants"]
+    )
+    assert report.passed
+
+
+# -- CLI surface ----------------------------------------------------------------
+
+
+def test_cli_doctor_exits_zero_when_healthy(capsys):
+    assert main(["doctor", "--preset", "eyeriss"]) == 0
+    out = capsys.readouterr().out
+    assert "all checks passed" in out
+    assert "fault-containment" in out
+
+
+def test_cli_doctor_exits_two_under_injected_fault(capsys):
+    assert main(["doctor", "--preset", "eyeriss", "--inject-fault", "nan"]) == 2
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+
+
+def test_cli_doctor_json_output_is_parseable(capsys):
+    assert main(["doctor", "--check", "tech-table", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["passed"] is True
+    assert payload["checks"][0]["name"] == "tech-table"
+
+
+def test_cli_doctor_rejects_unknown_check(capsys):
+    assert main(["doctor", "--check", "phrenology"]) == 2
+    assert "error:" in capsys.readouterr().err

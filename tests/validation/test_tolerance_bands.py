@@ -1,0 +1,113 @@
+"""Tolerance bands must actually bite when calibration drifts.
+
+A validation band that never fails is decoration.  These tests perturb
+the calibrated coefficients by +/-5% — the magnitude of a plausible
+silent calibration regression — and assert :func:`assert_within` flips
+from passing to a :class:`ValidationError` naming the offending target.
+
+The estimate cache keys on configuration and context, not on the
+calibration constants, so every perturbed evaluation runs with the cache
+disabled; a stale cached tree would otherwise mask the perturbation
+entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import estimate_cache_disabled
+from repro.config.presets import tpu_v1, tpu_v1_context
+from repro.errors import ValidationError
+from repro.tech import calibration
+from repro.validation.compare import assert_within, validate_chip
+from repro.validation.published import TPU_V1
+
+#: Margin added to the baseline error to build a band that the clean
+#: model passes comfortably but a 5% coefficient drift escapes.
+_BAND_MARGIN = 0.005
+
+
+@pytest.fixture()
+def baseline():
+    with estimate_cache_disabled():
+        report = validate_chip(tpu_v1(), tpu_v1_context(), TPU_V1)
+    return report
+
+
+def _bands(baseline):
+    area_band = abs(baseline.area_error) + _BAND_MARGIN
+    tdp_band = abs(baseline.tdp_error) + _BAND_MARGIN
+    return area_band, tdp_band
+
+
+def test_clean_calibration_passes_the_tight_bands(baseline):
+    area_band, tdp_band = _bands(baseline)
+    assert assert_within(baseline, area_band, tdp_band) is baseline
+
+
+@pytest.mark.parametrize(
+    "coefficient,factor,target",
+    [
+        ("SYNTHESIS_AREA_MARGIN", 1.05, "area_mm2"),
+        ("CHIP_TDP_MARGIN", 1.05, "tdp_w"),
+        ("CHIP_TDP_MARGIN", 0.95, "tdp_w"),
+    ],
+)
+def test_five_percent_drift_flips_the_verdict(
+    monkeypatch, baseline, coefficient, factor, target
+):
+    area_band, tdp_band = _bands(baseline)
+    monkeypatch.setattr(
+        calibration,
+        coefficient,
+        getattr(calibration, coefficient) * factor,
+    )
+    with estimate_cache_disabled():
+        drifted = validate_chip(tpu_v1(), tpu_v1_context(), TPU_V1)
+    with pytest.raises(ValidationError) as excinfo:
+        assert_within(drifted, area_band, tdp_band)
+    message = str(excinfo.value)
+    assert target in message
+    assert "TPU-v1" in message
+    assert "band" in message
+
+
+def test_error_message_carries_the_numbers(monkeypatch, baseline):
+    area_band, tdp_band = _bands(baseline)
+    monkeypatch.setattr(
+        calibration,
+        "SYNTHESIS_AREA_MARGIN",
+        calibration.SYNTHESIS_AREA_MARGIN * 1.05,
+    )
+    with estimate_cache_disabled():
+        drifted = validate_chip(tpu_v1(), tpu_v1_context(), TPU_V1)
+    with pytest.raises(ValidationError) as excinfo:
+        assert_within(drifted, area_band, tdp_band)
+    message = str(excinfo.value)
+    assert f"{drifted.modeled_area_mm2:.2f}" in message
+    assert f"{TPU_V1.area_mm2:.2f}" in message
+
+
+def test_stale_cache_would_mask_the_drift(monkeypatch, baseline):
+    # Regression guard for the interaction this file exists to manage:
+    # the cache key ignores calibration constants, so a warm cache hides
+    # the perturbation.  If key derivation ever starts including them,
+    # this test documents the (improved) behavior change.
+    from repro.cache import get_estimate_cache
+
+    cache = get_estimate_cache()
+    if not cache.enabled:
+        pytest.skip("estimate cache disabled in this environment")
+    cache.clear()
+    warm = validate_chip(tpu_v1(), tpu_v1_context(), TPU_V1)
+    monkeypatch.setattr(
+        calibration,
+        "SYNTHESIS_AREA_MARGIN",
+        calibration.SYNTHESIS_AREA_MARGIN * 1.05,
+    )
+    cached = validate_chip(tpu_v1(), tpu_v1_context(), TPU_V1)
+    assert cached.modeled_area_mm2 == warm.modeled_area_mm2
+    with estimate_cache_disabled():
+        fresh = validate_chip(tpu_v1(), tpu_v1_context(), TPU_V1)
+    assert fresh.modeled_area_mm2 > warm.modeled_area_mm2
+    cache.clear()
