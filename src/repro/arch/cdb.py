@@ -22,7 +22,7 @@ from repro.tech.wire import (
     wire_params,
     wire_pipeline_stages,
 )
-from repro.units import dynamic_power_w
+from repro.units import dynamic_power_w, um_to_mm
 
 
 @dataclass(frozen=True)
@@ -82,7 +82,7 @@ class CentralDataBus:
         """Wire tracks plus pipeline registers."""
         tech = ctx.tech
         wire = wire_params(tech, WireType.INTERMEDIATE)
-        track_area = self.width_bits * wire.pitch_um * 1e-3 * self.length_mm
+        track_area = um_to_mm(self.width_bits * wire.pitch_um) * self.length_mm
         pipes = DffBank(
             "cdb-pipe", self.width_bits * self.pipeline_stages(ctx)
         )

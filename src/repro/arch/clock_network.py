@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.arch.component import Estimate, ModelContext, cached_estimate
 from repro.errors import ConfigurationError
 from repro.tech.wire import WireType, wire_energy_pj_per_bit, wire_params
-from repro.units import dynamic_power_w
+from repro.units import dynamic_power_w, fj_to_pj
 
 #: Wire length of an H-tree covering a square of side S: ~1.5 S per level
 #: cascade converges to ~3 S for deep trees.
@@ -77,11 +77,10 @@ class ClockNetwork:
         mesh = 2.0 * wire_energy_pj_per_bit(
             tech, local_wire, self.mesh_length_mm()
         )
-        leaves = (
+        leaves = fj_to_pj(
             self.clocked_bits
             * tech.dff_energy_fj
             * _CLOCK_PIN_FRACTION
-            * 1e-3
         )
         return tree + mesh + leaves
 

@@ -24,7 +24,7 @@ from repro.tech.wire import (
     wire_energy_pj_per_bit,
     wire_params,
 )
-from repro.units import dynamic_power_w
+from repro.units import dynamic_power_w, um_to_mm
 
 #: Flits buffered per router input port.
 _BUFFER_DEPTH = 8
@@ -205,7 +205,12 @@ class NetworkOnChip:
         cfg = self.config
         tech = ctx.tech
         if cfg.nodes == 1:
-            return Estimate("network-on-chip", 0.0, 0.0, 0.0)
+            return Estimate(
+                name="network-on-chip",
+                area_mm2=0.0,
+                dynamic_w=0.0,
+                leakage_w=0.0,
+            )
         activity = calibration.TDP_ACTIVITY["interconnect"]
         overhead = calibration.CLOCK_NETWORK_OVERHEAD
 
@@ -239,11 +244,7 @@ class NetworkOnChip:
         flit = cfg.flit_bits(ctx.freq_ghz)
         # Each link pair carries flit bits in both directions.
         track_area = (
-            cfg.link_count
-            * 2
-            * flit
-            * wire.pitch_um
-            * 1e-3
+            um_to_mm(cfg.link_count * 2 * flit * wire.pitch_um)
             * self.link_length_mm()
         )
         links = Estimate(

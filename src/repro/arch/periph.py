@@ -18,6 +18,7 @@ from repro.circuit.gates import LogicBlock
 from repro.errors import ConfigurationError
 from repro.tech import calibration
 from repro.tech.node import REFERENCE_NODE_NM, node
+from repro.units import dynamic_power_w, interface_power_w
 
 
 class DramKind(enum.Enum):
@@ -53,6 +54,9 @@ _ICI_AREA_MM2_PER_100GBIT = 6.5
 _ICI_ENERGY_PJ_PER_BIT = 12.0
 _ICI_SWITCH_GATES_PER_LINK = 250_000
 
+#: PHY/pad-frame leakage per mm^2 of interface area (drivers, bias, term).
+_PHY_LEAKAGE_W_PER_MM2 = 0.01
+
 
 def _phy_area_scale(ctx: ModelContext) -> float:
     """Analog-ish PHY area scaling: sqrt of the logic area scaling."""
@@ -70,15 +74,14 @@ def _interface_estimate(
     """Common rollup for bandwidth-driven interface blocks."""
     tech = ctx.tech
     control = LogicBlock(f"{name}-ctrl", control_gates, activity=0.2)
-    bandwidth_w = (
-        bandwidth_gbps * 8.0 * energy_pj_per_bit * 1e-3
-    )  # GB/s * pJ/bit -> W
+    bandwidth_w = interface_power_w(bandwidth_gbps, energy_pj_per_bit)
     return Estimate(
         name=name,
         area_mm2=area_mm2 + control.area_mm2(tech),
         dynamic_w=bandwidth_w * calibration.TDP_ACTIVITY["memory"]
-        + control.energy_per_cycle_pj(tech) * ctx.freq_ghz * 1e-3,
-        leakage_w=control.leakage_w(tech) + area_mm2 * 0.01,
+        + dynamic_power_w(control.energy_per_cycle_pj(tech), ctx.freq_ghz),
+        leakage_w=control.leakage_w(tech)
+        + area_mm2 * _PHY_LEAKAGE_W_PER_MM2,
         cycle_time_ns=0.0,
     )
 
@@ -243,9 +246,9 @@ class DmaController:
         return Estimate(
             name="dma controller",
             area_mm2=control.area_mm2(tech),
-            dynamic_w=control.energy_per_cycle_pj(tech)
-            * ctx.freq_ghz
-            * 1e-3
+            dynamic_w=dynamic_power_w(
+                control.energy_per_cycle_pj(tech), ctx.freq_ghz
+            )
             * calibration.TDP_ACTIVITY["control"],
             leakage_w=control.leakage_w(tech),
         )

@@ -17,8 +17,9 @@ from repro.circuit.gates import LogicBlock
 from repro.circuit.regfile import RegisterFile
 from repro.circuit.sram import SramArray
 from repro.datatypes import INT32
+from repro.errors import ConfigurationError
 from repro.tech import calibration
-from repro.units import dynamic_power_w
+from repro.units import KiB, dynamic_power_w, ps_to_ns, um2_to_mm2
 
 #: Gate budgets for the surviving A9 structures (decode, issue, bypass,
 #: pipeline control), sized from McPAT's in-order configurations.
@@ -27,8 +28,8 @@ _ISSUE_BYPASS_GATES = 45_000
 _LSU_CONTROL_GATES = 35_000
 
 #: Instruction buffer and data buffer capacities.
-_IBUF_BYTES = 16 * 1024
-_DBUF_BYTES = 32 * 1024
+_IBUF_BYTES = 16 * KiB
+_DBUF_BYTES = 32 * KiB
 
 
 @dataclass(frozen=True)
@@ -46,7 +47,7 @@ class ScalarUnit:
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
-            raise ValueError("scalar unit scale must be positive")
+            raise ConfigurationError("scalar unit scale must be positive")
 
     def _gates(self, budget: int) -> int:
         return max(1, int(budget * self.scale))
@@ -99,7 +100,7 @@ class ScalarUnit:
 
     def cycle_time_ns(self, ctx: ModelContext) -> float:
         """ALU plus bypass path bounds the scalar clock."""
-        return self._alu().delay_ns(ctx.tech) + 4 * ctx.tech.fo4_ps * 1e-3
+        return self._alu().delay_ns(ctx.tech) + ps_to_ns(4 * ctx.tech.fo4_ps)
 
     @cached_estimate
     def estimate(self, ctx: ModelContext) -> Estimate:
@@ -138,7 +139,8 @@ class ScalarUnit:
         execute = Estimate(
             name="int rf + alu",
             area_mm2=rf.area_mm2(tech)
-            + alu.area_um2(tech) * 1e-6 * calibration.DATAPATH_ROUTING_OVERHEAD,
+            + um2_to_mm2(alu.area_um2(tech))
+            * calibration.DATAPATH_ROUTING_OVERHEAD,
             dynamic_w=dynamic_power_w(exec_energy * overhead, ctx.freq_ghz)
             * activity,
             leakage_w=rf.leakage_w(tech) + alu.leakage_w(tech),

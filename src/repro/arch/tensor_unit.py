@@ -26,7 +26,13 @@ from repro.datatypes import INT8, DataType
 from repro.errors import ConfigurationError
 from repro.tech import calibration
 from repro.tech.wire import WireType, wire_energy_pj_per_bit, wire_params
-from repro.units import dynamic_power_w, um2_to_mm2
+from repro.units import (
+    dynamic_power_w,
+    fj_to_pj,
+    mm2_to_um2,
+    um2_to_mm2,
+    um_to_mm,
+)
 
 
 class InterconnectKind(enum.Enum):
@@ -158,7 +164,7 @@ class TensorUnit:
         area_um2 += cfg.reg_bytes * 8 * ctx.tech.sram_cell_um2 * 6.0
         area_um2 += cfg.control_gates * ctx.tech.gate_area_um2
         if cfg.spad_bytes:
-            area_um2 += self._spad().area_mm2(ctx.tech) * 1e6
+            area_um2 += mm2_to_um2(self._spad().area_mm2(ctx.tech))
         return (
             um2_to_mm2(area_um2)
             * calibration.DATAPATH_ROUTING_OVERHEAD
@@ -192,7 +198,9 @@ class TensorUnit:
             # Dense RF storage: ~two word accesses per MAC step, not a
             # whole-bank toggle.
             word_bits = cfg.input_dtype.bits
-            energy += 2 * word_bits * ctx.tech.dff_energy_fj * 0.4 * 1e-3
+            energy += fj_to_pj(
+                2 * word_bits * ctx.tech.dff_energy_fj * 0.4
+            )
         if cfg.spad_bytes:
             spad = self._spad()
             # One small-word read + write per MAC step on average.
@@ -338,7 +346,7 @@ class TensorUnit:
         pitch = self.cell_pitch_mm(ctx)
         in_bits = cfg.cell.input_dtype.bits
         out_bits = cfg.cell.mac.accum_dtype.bits
-        track_mm2 = wire.pitch_um * 1e-3 * pitch
+        track_mm2 = um_to_mm(wire.pitch_um) * pitch
         wire_area = cfg.macs * (in_bits + out_bits) * track_mm2
         interconnect = Estimate(
             name="inner-tu interconnect",

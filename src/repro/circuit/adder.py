@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.datatypes import DataType
 from repro.tech import calibration
 from repro.tech.node import REFERENCE_NODE_NM, TechNode, node
+from repro.units import nw_to_w, ps_to_ns
 
 # (energy_pj, area_um2) at the 45 nm anchor.
 _ADD_TABLE = {
@@ -82,12 +83,12 @@ class AdderModel:
         levels = 2.0 * math.log2(max(self.dtype.bits, 2)) + 4.0
         if self.dtype.is_float:
             levels *= 1.5
-        return levels * tech.fo4_ps * 1e-3
+        return ps_to_ns(levels * tech.fo4_ps)
 
     def leakage_w(self, tech: TechNode) -> float:
         """Static power, proportional to gate-equivalent count."""
         gates = self.area_um2(tech) / tech.gate_area_um2
-        return gates * tech.gate_leak_nw * 1e-9
+        return nw_to_w(gates * tech.gate_leak_nw)
 
 
 def _reference() -> TechNode:

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.tech.node import TechNode
-from repro.units import um2_to_mm2
+from repro.units import fj_to_pj, nw_to_w, ps_to_ns, um2_to_mm2
 
 #: Fraction of DFF energy drawn by the clock pins (the rest is data path).
 _CLOCK_ENERGY_FRACTION = 0.4
@@ -40,9 +41,11 @@ class DffBank:
 
     def __post_init__(self) -> None:
         if self.bits < 0:
-            raise ValueError(f"negative bit count in DFF bank {self.name!r}")
+            raise ConfigurationError(
+                f"negative bit count in DFF bank {self.name!r}"
+            )
         if not 0.0 <= self.data_activity <= 1.0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"data activity must be in [0, 1], got {self.data_activity}"
             )
 
@@ -56,7 +59,7 @@ class DffBank:
             _CLOCK_ENERGY_FRACTION
             + (1.0 - _CLOCK_ENERGY_FRACTION) * self.data_activity
         )
-        return self.bits * per_bit_fj * 1e-3
+        return fj_to_pj(self.bits * per_bit_fj)
 
     def energy_per_idle_cycle_pj(self, tech: TechNode) -> float:
         """Energy on a cycle where the bank holds its value.
@@ -65,12 +68,14 @@ class DffBank:
         """
         if self.clock_gated:
             return 0.0
-        return self.bits * tech.dff_energy_fj * _CLOCK_ENERGY_FRACTION * 1e-3
+        return fj_to_pj(
+            self.bits * tech.dff_energy_fj * _CLOCK_ENERGY_FRACTION
+        )
 
     def leakage_w(self, tech: TechNode) -> float:
         """Static power of the bank."""
-        return self.bits * tech.dff_leak_nw * 1e-9
+        return nw_to_w(self.bits * tech.dff_leak_nw)
 
     def setup_plus_clk_to_q_ns(self, tech: TechNode) -> float:
         """Sequencing overhead a pipeline stage pays for this register."""
-        return 2.0 * tech.fo4_ps * 1e-3
+        return ps_to_ns(2.0 * tech.fo4_ps)

@@ -12,6 +12,7 @@ from dataclasses import dataclass, replace
 
 from repro.circuit.sram import SramArray
 from repro.tech.node import TechNode
+from repro.units import nw_to_w
 
 #: eDRAM destructive reads + write-back lengthen the bank cycle.
 _CYCLE_PENALTY = 1.5
@@ -54,11 +55,10 @@ class EdramArray:
     def leakage_w(self, tech: TechNode) -> float:
         """Static power: low cell leakage plus periodic refresh."""
         view = _edram_view(tech)
-        refresh = (
+        refresh = nw_to_w(
             self.organization.capacity_bytes
             * 8
             * tech.edram_refresh_nw_per_bit
-            * 1e-9
         )
         return self.organization.leakage_w(view) + refresh
 

@@ -12,8 +12,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.tech.node import TechNode
-from repro.units import um2_to_mm2
+from repro.units import fj_to_pj, nw_to_w, ps_to_ns, um2_to_mm2
 
 #: Area margin for intra-block routing on top of raw cell area.
 _ROUTING_OVERHEAD = 1.25
@@ -41,14 +42,18 @@ class LogicBlock:
 
     def __post_init__(self) -> None:
         if self.gate_count < 0:
-            raise ValueError(f"negative gate count in block {self.name!r}")
+            raise ConfigurationError(
+                f"negative gate count in block {self.name!r}"
+            )
         if not 0.0 <= self.activity <= 1.0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"activity must be in [0, 1], got {self.activity} "
                 f"in block {self.name!r}"
             )
         if self.logic_depth < 1:
-            raise ValueError(f"logic depth must be >= 1 in {self.name!r}")
+            raise ConfigurationError(
+                f"logic depth must be >= 1 in {self.name!r}"
+            )
 
     def area_mm2(self, tech: TechNode) -> float:
         """Placed-and-routed block area."""
@@ -58,15 +63,17 @@ class LogicBlock:
 
     def energy_per_cycle_pj(self, tech: TechNode) -> float:
         """Dynamic energy per active cycle at the block's activity."""
-        return self.gate_count * self.activity * tech.gate_energy_fj * 1e-3
+        return fj_to_pj(
+            self.gate_count * self.activity * tech.gate_energy_fj
+        )
 
     def leakage_w(self, tech: TechNode) -> float:
         """Static power of the block."""
-        return self.gate_count * tech.gate_leak_nw * 1e-9
+        return nw_to_w(self.gate_count * tech.gate_leak_nw)
 
     def delay_ns(self, tech: TechNode) -> float:
         """Critical-path delay through the block's gate levels."""
-        return self.logic_depth * tech.fo4_ps * 1e-3
+        return ps_to_ns(self.logic_depth * tech.fo4_ps)
 
 
 def buffer_chain_delay_ns(tech: TechNode, load_ff: float) -> float:
@@ -77,12 +84,12 @@ def buffer_chain_delay_ns(tech: TechNode, load_ff: float) -> float:
     FO4 delay.  A load at or below FO4 costs a single stage.
     """
     if load_ff < 0:
-        raise ValueError(f"negative load: {load_ff} fF")
+        raise ConfigurationError(f"negative load: {load_ff} fF")
     if load_ff == 0:
         return 0.0
     fanout = load_ff / tech.gate_cap_ff
     stages = max(1, math.ceil(math.log(max(fanout, 1.0001)) / math.log(4.0)))
-    return stages * tech.fo4_ps * 1e-3
+    return ps_to_ns(stages * tech.fo4_ps)
 
 
 def buffer_chain_energy_pj(tech: TechNode, load_ff: float) -> float:
@@ -92,8 +99,8 @@ def buffer_chain_energy_pj(tech: TechNode, load_ff: float) -> float:
     the total charged capacitance is ~4/3 of the load.
     """
     if load_ff < 0:
-        raise ValueError(f"negative load: {load_ff} fF")
-    return (4.0 / 3.0) * load_ff * tech.vdd_v**2 * 1e-3
+        raise ConfigurationError(f"negative load: {load_ff} fF")
+    return fj_to_pj((4.0 / 3.0) * load_ff * tech.vdd_v**2)
 
 
 def decoder_gate_count(address_bits: int) -> int:
@@ -103,7 +110,7 @@ def decoder_gate_count(address_bits: int) -> int:
     plus the predecoder, the standard CACTI first-order count.
     """
     if address_bits < 0:
-        raise ValueError(f"negative address width: {address_bits}")
+        raise ConfigurationError(f"negative address width: {address_bits}")
     if address_bits == 0:
         return 1
     outputs = 2**address_bits

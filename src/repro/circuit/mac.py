@@ -17,6 +17,7 @@ from repro.circuit.adder import AdderModel
 from repro.datatypes import INT32, DataType
 from repro.tech import calibration
 from repro.tech.node import REFERENCE_NODE_NM, TechNode, node
+from repro.units import nw_to_w, ps_to_ns
 
 # (energy_pj, area_um2) of one multiply at the 45 nm anchor.
 _MULT_TABLE = {
@@ -128,13 +129,13 @@ class MacModel:
         levels = 4.0 * math.log2(max(width, 2)) + 6.0
         if self.input_dtype.is_float:
             levels *= 1.5
-        mult_ns = levels * tech.fo4_ps * 1e-3
+        mult_ns = ps_to_ns(levels * tech.fo4_ps)
         return mult_ns + self.accumulator.delay_ns(tech)
 
     def leakage_w(self, tech: TechNode) -> float:
         """Static power of the full MAC."""
         gates = self.area_um2(tech) / tech.gate_area_um2
-        return gates * tech.gate_leak_nw * 1e-9
+        return nw_to_w(gates * tech.gate_leak_nw)
 
 
 def _reference() -> TechNode:

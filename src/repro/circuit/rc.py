@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
-_OHM_FF_TO_NS = 1e-6
+from repro.errors import ConfigurationError
+from repro.units import OHM_FF_TO_NS
 
 
 @dataclass
@@ -41,9 +42,13 @@ class RCTree:
 
     def __post_init__(self) -> None:
         if self.resistance_ohm < 0:
-            raise ValueError(f"negative resistance at node {self.name!r}")
+            raise ConfigurationError(
+                f"negative resistance at node {self.name!r}"
+            )
         if self.capacitance_ff < 0:
-            raise ValueError(f"negative capacitance at node {self.name!r}")
+            raise ConfigurationError(
+                f"negative capacitance at node {self.name!r}"
+            )
 
     def add(self, child: "RCTree") -> "RCTree":
         """Attach ``child`` and return it (for fluent tree construction)."""
@@ -89,7 +94,7 @@ def elmore_delays_ns(root: RCTree) -> dict[str, float]:
 
     def walk(tree: RCTree, upstream_ns: float) -> None:
         here = upstream_ns + (
-            tree.resistance_ohm * tree.subtree_capacitance_ff() * _OHM_FF_TO_NS
+            tree.resistance_ohm * tree.subtree_capacitance_ff() * OHM_FF_TO_NS
         )
         delays[tree.name] = here
         for child in tree.children:
@@ -128,7 +133,9 @@ def rc_ladder(
     ``R * C / 2 + R * C_load``.
     """
     if segments < 1:
-        raise ValueError(f"ladder needs at least one segment, got {segments}")
+        raise ConfigurationError(
+            f"ladder needs at least one segment, got {segments}"
+        )
     r_seg = total_resistance_ohm / segments
     c_seg = total_capacitance_ff / segments
     root = RCTree(f"{name}.0", 0.0, c_seg / 2.0)
@@ -154,14 +161,14 @@ def ladder_delay_ns(
     delay_ohm_ff = driver_ohm * (total_capacitance_ff + load_ff) + (
         total_resistance_ohm * (total_capacitance_ff / 2.0 + load_ff)
     )
-    return delay_ohm_ff * _OHM_FF_TO_NS
+    return delay_ohm_ff * OHM_FF_TO_NS
 
 
 def chain(name: str, stages: Iterable[tuple[float, float]]) -> RCTree:
     """Build a linear RC chain from ``(resistance_ohm, capacitance_ff)`` pairs."""
     stage_list = list(stages)
     if not stage_list:
-        raise ValueError("an RC chain needs at least one stage")
+        raise ConfigurationError("an RC chain needs at least one stage")
     root = RCTree(f"{name}.0", *stage_list[0])
     tail = root
     for index, (res, cap) in enumerate(stage_list[1:], start=1):

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.circuit.gates import LogicBlock, decoder_gate_count
 from repro.errors import ConfigurationError
 from repro.tech.node import TechNode
-from repro.units import um2_to_mm2
+from repro.units import fj_to_pj, nw_to_w, ps_to_ns, um2_to_mm2
 
 #: A 2-port register cell is ~4x a 6T SRAM cell.
 _BASE_CELL_SRAM_RATIO = 4.0
@@ -81,7 +81,7 @@ class RegisterFile:
         decode = LogicBlock(
             "rf-decode", decoder_gate_count(_log2_int(self.entries))
         ).energy_per_cycle_pj(tech)
-        return self.word_bits * per_bit_fj * 1e-3 + decode
+        return fj_to_pj(self.word_bits * per_bit_fj) + decode
 
     def write_energy_pj(self, tech: TechNode) -> float:
         """Energy of one full-width write on one port."""
@@ -90,21 +90,23 @@ class RegisterFile:
         decode = LogicBlock(
             "rf-decode", decoder_gate_count(_log2_int(self.entries))
         ).energy_per_cycle_pj(tech)
-        return self.word_bits * per_bit_fj * 1e-3 + decode
+        return fj_to_pj(self.word_bits * per_bit_fj) + decode
 
     def leakage_w(self, tech: TechNode) -> float:
         """Static power of cells and periphery."""
         growth = 1.0 + _PORT_PITCH_GROWTH * max(0, self.total_ports - 2)
-        cell_leak = self.bits * tech.sram_bit_leak_nw * 2.0 * growth * 1e-9
+        cell_leak = nw_to_w(
+            self.bits * tech.sram_bit_leak_nw * 2.0 * growth
+        )
         periph_gates = decoder_gate_count(_log2_int(self.entries)) * (
             self.total_ports
         )
-        return cell_leak + periph_gates * tech.gate_leak_nw * 1e-9
+        return cell_leak + nw_to_w(periph_gates * tech.gate_leak_nw)
 
     def access_latency_ns(self, tech: TechNode) -> float:
         """Decode + word line + small bitline; register files are fast."""
         levels = 3 + _log2_int(self.entries)
-        return levels * tech.fo4_ps * 1e-3
+        return ps_to_ns(levels * tech.fo4_ps)
 
 
 def _log2_int(value: int) -> int:

@@ -32,7 +32,15 @@ from repro.tech.wire import (
     wire_energy_pj_per_bit,
     wire_params,
 )
-from repro.units import um2_to_mm2
+from repro.units import (
+    MiB,
+    fj_to_pj,
+    mm2_to_um2,
+    nw_to_w,
+    ps_to_ns,
+    um2_to_mm2,
+    um_to_mm,
+)
 
 #: Redundancy + ECC storage overhead on top of the logical capacity.
 _ECC_REDUNDANCY_FACTOR = 1.20
@@ -196,7 +204,7 @@ class SramArray:
         Large arrays spend a growing area fraction on the H-tree spine,
         repeater farms, and redundancy blocks; small arrays do not.
         """
-        capacity_mib = self.capacity_bytes / (1 << 20)
+        capacity_mib = self.capacity_bytes / MiB
         if capacity_mib <= 1.0:
             return 1.0
         return 1.0 + calibration.SRAM_CAPACITY_ROUTING_COEF * math.log2(
@@ -222,7 +230,7 @@ class SramArray:
 
     def _bitline_cap_ff(self, tech: TechNode) -> float:
         _, cell_h = self._cell_dims_um(tech)
-        length_mm = self.subarray_rows * cell_h * 1e-3
+        length_mm = um_to_mm(self.subarray_rows * cell_h)
         wire = wire_params(tech, WireType.LOCAL)
         return (
             self.subarray_rows * tech.sram_cell_cap_ff
@@ -232,12 +240,12 @@ class SramArray:
     def _wordline_energy_pj(self, tech: TechNode) -> float:
         cell_w, _ = self._cell_dims_um(tech)
         wire = wire_params(tech, WireType.LOCAL)
-        length_mm = self.subarray_cols * cell_w * 1e-3
+        length_mm = um_to_mm(self.subarray_cols * cell_w)
         cap_ff = (
             self.subarray_cols * tech.gate_cap_ff * 0.5
             + length_mm * wire.c_ff_per_mm
         )
-        return cap_ff * tech.vdd_v**2 * 1e-3
+        return fj_to_pj(cap_ff * tech.vdd_v**2)
 
     def _htree_energy_pj(self, tech: TechNode, bits: int) -> float:
         """Moving a block between the bank edge and the subarray.
@@ -252,19 +260,17 @@ class SramArray:
     def read_energy_pj(self, tech: TechNode) -> float:
         """Dynamic energy of one block read from one bank."""
         bits = self.block_bytes * 8
-        bitline = (
+        bitline = fj_to_pj(
             bits
             * self._bitline_cap_ff(tech)
             * tech.vdd_v
             * (_READ_SWING * tech.vdd_v)
-            * 1e-3
         )
-        sense = (
+        sense = fj_to_pj(
             bits
             * _SENSE_ENERGY_FJ_45NM
             * tech.gate_energy_fj
             / 1.70  # 45 nm anchor gate energy
-            * 1e-3
         )
         decode = self.activated_subarrays * LogicBlock(
             "decode", decoder_gate_count(_log2_int(self.subarray_rows)) + 400
@@ -280,7 +286,9 @@ class SramArray:
     def write_energy_pj(self, tech: TechNode) -> float:
         """Dynamic energy of one block write (full bitline swing)."""
         bits = self.block_bytes * 8
-        bitline = bits * self._bitline_cap_ff(tech) * tech.vdd_v**2 * 1e-3
+        bitline = fj_to_pj(
+            bits * self._bitline_cap_ff(tech) * tech.vdd_v**2
+        )
         decode = self.activated_subarrays * LogicBlock(
             "decode", decoder_gate_count(_log2_int(self.subarray_rows)) + 400
         ).energy_per_cycle_pj(tech)
@@ -295,14 +303,16 @@ class SramArray:
         """Static power: cells (with port growth) plus periphery gates."""
         stored_bits = self.capacity_bytes * 8 * _ECC_REDUNDANCY_FACTOR
         port_growth = 1.0 + 0.5 * _PORT_PITCH_GROWTH * (self.total_ports - 1)
-        cell_leak = stored_bits * tech.sram_bit_leak_nw * port_growth * 1e-9
+        cell_leak = nw_to_w(
+            stored_bits * tech.sram_bit_leak_nw * port_growth
+        )
         periph_area_um2 = (
-            self.area_mm2(tech) * 1e6
+            mm2_to_um2(self.area_mm2(tech))
             - stored_bits * tech.sram_cell_um2 * port_growth
         )
         periph_gates = max(periph_area_um2, 0.0) / tech.gate_area_um2
         # Periphery is mostly idle wire/drivers; count a third as leaky gates.
-        periph_leak = periph_gates * tech.gate_leak_nw * 1e-9 / 3.0
+        periph_leak = nw_to_w(periph_gates * tech.gate_leak_nw) / 3.0
         return cell_leak + periph_leak
 
     # -- timing ------------------------------------------------------------------
@@ -310,11 +320,11 @@ class SramArray:
     def access_latency_ns(self, tech: TechNode) -> float:
         """Random-access read latency: decode + word line + bit line + output."""
         rows, cols = self.subarray_rows, self.subarray_cols
-        decode_ns = (2 + _log2_int(rows)) * tech.fo4_ps * 1e-3
+        decode_ns = ps_to_ns((2 + _log2_int(rows)) * tech.fo4_ps)
 
         cell_w, cell_h = self._cell_dims_um(tech)
         wire = wire_params(tech, WireType.LOCAL)
-        wl_len_mm = cols * cell_w * 1e-3
+        wl_len_mm = um_to_mm(cols * cell_w)
         wordline_ns = ladder_delay_ns(
             total_resistance_ohm=wl_len_mm * wire.r_ohm_per_mm,
             total_capacitance_ff=wl_len_mm * wire.c_ff_per_mm
@@ -322,14 +332,14 @@ class SramArray:
             driver_ohm=2_000.0,
         )
 
-        bl_len_mm = rows * cell_h * 1e-3
+        bl_len_mm = um_to_mm(rows * cell_h)
         bitline_ns = ladder_delay_ns(
             total_resistance_ohm=bl_len_mm * wire.r_ohm_per_mm,
             total_capacitance_ff=self._bitline_cap_ff(tech),
             driver_ohm=_CELL_ON_RESISTANCE_OHM,
         ) * _READ_SWING  # sense amps fire at the small-swing point
 
-        sense_ns = 2.0 * tech.fo4_ps * 1e-3
+        sense_ns = ps_to_ns(2.0 * tech.fo4_ps)
         htree = wire_params(tech, WireType.INTERMEDIATE)
         output_ns = repeated_wire_delay_ns(
             tech, htree, 0.5 * math.sqrt(self.bank_area_mm2(tech))

@@ -8,6 +8,7 @@ Drives the most common flows without writing Python::
     neurometer dse --batch 1                      # Sec. III key points
     neurometer sparsity                           # Fig. 11 table
     neurometer doctor                             # integrity self-check
+    neurometer lint src --baseline lint_baseline.json   # static analysis
 
 (Equivalently: ``python -m repro <command> ...``.)
 """
@@ -447,6 +448,29 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     return 0 if report.passed else 2
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static analyzer; exit 2 when new findings appear.
+
+    Pre-existing findings live in the committed baseline file and do not
+    fail the run; ``--update-baseline`` re-records them (preserving the
+    per-entry justifications) after intentional changes.
+    """
+    from repro.lint import run_lint
+
+    report = run_lint(
+        args.paths,
+        root=args.root,
+        rules=args.rule or None,
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+    )
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 def _cmd_timing(args: argparse.Namespace) -> int:
     from repro.timing.report import timing_report
 
@@ -686,6 +710,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(doctor)
     doctor.set_defaults(handler=_cmd_doctor)
+
+    lint = commands.add_parser(
+        "lint",
+        help="static dimensional-consistency and convention checks "
+        "(exit 2 on new findings)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="+",
+        help="files or directories to lint (e.g. src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default text)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="NMXXX",
+        help="run only the named rules (repeatable)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file of accepted findings "
+        "(default: no baseline; all findings are new)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        dest="update_baseline",
+        help="rewrite --baseline with the current findings, keeping "
+        "existing justifications",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="directory paths are reported relative to (default: cwd)",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     timing = commands.add_parser(
         "timing", help="critical-path report for a design point"

@@ -181,7 +181,7 @@ def evaluate_sparsity_point(
     dense_fraction = model.dense_compute_time_s / t_d
     sparse_fraction = model.sparse_compute_time_s(y) / t_s
 
-    power_d = _mode_power_w(
+    power_dense = _mode_power_w(
         chip,
         ctx,
         compute_fraction=dense_fraction,
@@ -189,7 +189,7 @@ def evaluate_sparsity_point(
         runtime_s=t_d,
         is_rt=is_rt,
     )
-    power_s = _mode_power_w(
+    power_sparse = _mode_power_w(
         chip,
         ctx,
         compute_fraction=sparse_fraction * y,
@@ -203,9 +203,9 @@ def evaluate_sparsity_point(
         y=y,
         dense_time_s=t_d,
         sparse_time_s=t_s,
-        dense_power_w=power_d,
-        sparse_power_w=power_s,
-        gain=model.energy_efficiency_gain(x, y, power_d, power_s),
+        dense_power_w=power_dense,
+        sparse_power_w=power_sparse,
+        gain=model.energy_efficiency_gain(x, y, power_dense, power_sparse),
         sparse_compute_bound=model.sparse_compute_bound(x, y),
     )
 

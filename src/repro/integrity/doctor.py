@@ -19,7 +19,10 @@ structured pass/fail report:
   oracle);
 * **fault-containment** — a seeded NaN fault injected through
   ``cached_estimate`` must surface as a :class:`~repro.errors.NumericalError`
-  carrying a component path, and must leave no trace in the cache.
+  carrying a component path, and must leave no trace in the cache;
+* **lint-baseline** — the static analyzer (:mod:`repro.lint`) over the
+  installed ``repro`` package must report no findings beyond the
+  committed ``lint_baseline.json``.
 
 Any failing check makes :attr:`DoctorReport.passed` false; the CLI maps
 that to exit code 2.
@@ -328,6 +331,33 @@ def _check_fault_containment() -> str:
     )
 
 
+def _check_lint_baseline() -> str:
+    from pathlib import Path
+
+    from repro.lint import run_lint
+
+    root = Path(__file__).resolve().parents[3]
+    source_dir = root / "src" / "repro"
+    if not source_dir.is_dir():
+        # Installed as a wheel/zip without the repo layout: nothing to lint.
+        return "source tree not present; lint skipped"
+    baseline = root / "lint_baseline.json"
+    report = run_lint(
+        [source_dir],
+        root=root,
+        baseline_path=baseline if baseline.is_file() else None,
+    )
+    if report.new:
+        first = report.new[0].render()
+        return _fail(
+            f"{len(report.new)} new lint finding(s), first: {first}"
+        )
+    return (
+        f"{report.files_checked} file(s) lint-clean "
+        f"({len(report.suppressed)} baselined)"
+    )
+
+
 # -- the pipeline ---------------------------------------------------------------
 
 
@@ -350,6 +380,7 @@ def run_doctor(
         ("validation-bands", lambda: _check_validation_bands(presets)),
         ("cache-equivalence", lambda: _check_cache_equivalence(presets)),
         ("fault-containment", _check_fault_containment),
+        ("lint-baseline", _check_lint_baseline),
     ]
     if checks is not None:
         known = {name for name, _ in suite}

@@ -1,0 +1,48 @@
+"""``neurometer lint``: static dimensional-consistency and convention checks.
+
+A self-contained AST analyzer (stdlib only) for the conventions the
+modeling code lives by:
+
+* **NM1xx** — the canonical-unit convention of :mod:`repro.units`
+  (suffix-typed names, explicit converters);
+* **NM2xx** — model conventions (``cached_estimate`` on every component
+  ``estimate()``, typed :mod:`repro.errors` exceptions, keyword-built
+  :class:`~repro.arch.component.Estimate` nodes);
+* **NM3xx** — determinism and numerics (ordered iteration on cache/journal
+  paths, no wall-clock or unseeded entropy in models, no float ``==``).
+
+Pre-existing violations are ratcheted through the committed
+``lint_baseline.json`` (see :mod:`repro.lint.baseline`); anything new
+exits 2.  See ``docs/lint.md`` for the rule catalog and the baseline
+workflow.
+"""
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.engine import (
+    Finding,
+    LintReport,
+    Rule,
+    SourceFile,
+    all_rules,
+    check_source,
+    rule_catalog,
+    run_lint,
+)
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "check_source",
+    "load_baseline",
+    "rule_catalog",
+    "run_lint",
+    "save_baseline",
+]

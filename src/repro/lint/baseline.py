@@ -1,0 +1,114 @@
+"""The lint baseline: a ratchet for pre-existing findings.
+
+A baseline entry suppresses exactly one finding, identified by a
+*fingerprint* that is stable under unrelated edits: the hash covers the
+rule ID, the file path, the stripped text of the offending line, the
+message, and an occurrence counter for identical lines — **not** the line
+number, so inserting code above a baselined finding does not invalidate
+it.  Changing the offending line itself (or fixing it) does.
+
+The committed ``lint_baseline.json`` is the project's debt register:
+every entry carries an optional one-line ``justification`` explaining why
+the finding is suppressed rather than fixed.  ``neurometer lint
+--update-baseline`` rewrites the register from the current findings,
+keeping the justifications of entries that survive and dropping entries
+whose findings are gone (the ratchet only ever tightens by default).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+BASELINE_VERSION = 1
+
+#: Default file name, resolved against the lint root.
+DEFAULT_BASELINE_NAME = "lint_baseline.json"
+
+
+def fingerprint(rule: str, path: str, line_text: str, message: str,
+                occurrence: int) -> str:
+    """Stable identity for one finding (line-number independent)."""
+    blob = "\x1f".join(
+        (rule, path, line_text.strip(), message, str(occurrence))
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprint_findings(findings: Sequence, sources: Dict) -> List[str]:
+    """Fingerprints for a sorted finding list.
+
+    ``sources`` maps relpath to the parsed
+    :class:`~repro.lint.engine.SourceFile` (or ``None`` for unparsable
+    files); line text comes from there.  Findings that share rule, path,
+    line text, and message are disambiguated by an occurrence counter in
+    source order.
+    """
+    counters: Dict[tuple, int] = {}
+    prints = []
+    for finding in findings:
+        source = sources.get(finding.path)
+        line_text = source.line_text(finding.line) if source else ""
+        key = (finding.rule, finding.path, line_text.strip(), finding.message)
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        prints.append(fingerprint(
+            finding.rule, finding.path, line_text, finding.message, occurrence
+        ))
+    return prints
+
+
+def load_baseline(path) -> Dict[str, dict]:
+    """``fingerprint -> entry`` from a baseline file; ``{}`` if absent."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(
+            f"baseline file {path} is unreadable: {error}"
+        ) from error
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ConfigurationError(
+            f"baseline file {path} has no 'entries' list"
+        )
+    entries = {}
+    for entry in payload["entries"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ConfigurationError(
+                f"baseline file {path} has a malformed entry: {entry!r}"
+            )
+        entries[entry["fingerprint"]] = entry
+    return entries
+
+
+def save_baseline(path, findings: Sequence, fingerprints: Sequence[str],
+                  previous: Optional[Dict[str, dict]] = None) -> None:
+    """Write the baseline for the current findings.
+
+    Justifications from ``previous`` entries whose fingerprints survive
+    are carried over; new entries get an empty justification for a human
+    to fill in.
+    """
+    previous = previous or {}
+    entries = []
+    for finding, print_ in zip(findings, fingerprints):
+        kept = previous.get(print_, {})
+        entries.append({
+            "fingerprint": print_,
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+            "justification": kept.get("justification", ""),
+        })
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )

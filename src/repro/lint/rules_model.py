@@ -1,0 +1,151 @@
+"""NM2xx: model-convention rules.
+
+These encode the hard conventions from PRs 1-3: every component
+``estimate()`` goes through :func:`repro.arch.component.cached_estimate`
+(the cache *and* integrity boundary), model layers raise typed
+:mod:`repro.errors` exceptions, and :class:`~repro.arch.component.Estimate`
+nodes are built with explicit unit-suffixed keywords.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import (
+    Finding,
+    Rule,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    SourceFile,
+)
+
+
+def _decorator_names(node: ast.FunctionDef) -> set:
+    names = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+class UncachedEstimate(Rule):
+    """NM201: a component ``estimate(self, ctx)`` without ``cached_estimate``.
+
+    An undecorated override silently skips the memoization cache *and* the
+    integrity screen/fault-injection boundary that ride on it.
+    """
+
+    id = "NM201"
+    severity = SEVERITY_ERROR
+    title = "component estimate() not decorated with cached_estimate"
+
+    def applies(self, sf: SourceFile) -> bool:
+        return sf.is_model_layer
+
+    def check(self, sf: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                if item.name != "estimate":
+                    continue
+                args = [arg.arg for arg in item.args.args]
+                if len(args) != 2 or args[0] != "self":
+                    continue  # not the (self, ctx) component protocol
+                if "cached_estimate" not in _decorator_names(item):
+                    yield self.finding(
+                        sf, item,
+                        f"{node.name}.estimate() is not decorated with "
+                        "@cached_estimate, bypassing the estimate cache "
+                        "and the integrity screen",
+                        hint="from repro.arch.component import "
+                        "cached_estimate and decorate the method",
+                    )
+
+
+#: Builtin exception types model layers must not raise directly.
+_BARE_EXCEPTIONS = {
+    "ValueError": "ConfigurationError",
+    "RuntimeError": "NeuroMeterError",
+}
+
+
+class BareBuiltinException(Rule):
+    """NM202: ``raise ValueError``/``RuntimeError`` in a model layer."""
+
+    id = "NM202"
+    severity = SEVERITY_ERROR
+    title = "bare builtin exception raised in a model layer"
+
+    def applies(self, sf: SourceFile) -> bool:
+        return sf.is_model_layer
+
+    def check(self, sf: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            replacement = _BARE_EXCEPTIONS.get(name)
+            if replacement is not None:
+                yield self.finding(
+                    sf, node,
+                    f"model layer raises bare {name}; callers catch "
+                    "repro.errors.NeuroMeterError at the API boundary "
+                    "and will miss this",
+                    hint=f"raise repro.errors.{replacement} instead",
+                )
+
+
+class PositionalEstimateFields(Rule):
+    """NM203: ``Estimate(...)`` built with positional numeric fields.
+
+    ``Estimate("x", a, b, c)`` hides which value is area and which is
+    power; the unit-suffixed keywords (``area_mm2=``, ``dynamic_w=``, ...)
+    are the convention — and they are what lets NM102 check the units.
+    """
+
+    id = "NM203"
+    severity = SEVERITY_WARNING
+    title = "Estimate constructed with positional (unit-less) fields"
+
+    def applies(self, sf: SourceFile) -> bool:
+        return sf.is_model_layer
+
+    def check(self, sf: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name != "Estimate":
+                continue
+            if len(node.args) > 1:
+                yield self.finding(
+                    sf, node,
+                    f"Estimate(...) built with {len(node.args)} positional "
+                    "arguments; the numeric fields lose their unit-"
+                    "suffixed names",
+                    hint="pass area_mm2=/dynamic_w=/leakage_w=/"
+                    "cycle_time_ns= as keywords (name may stay "
+                    "positional)",
+                )
+
+
+MODEL_RULES = (
+    UncachedEstimate(),
+    BareBuiltinException(),
+    PositionalEstimateFields(),
+)

@@ -1,0 +1,187 @@
+"""NM1xx: dimensional-consistency rules.
+
+All four rules share one :class:`~repro.lint.units_pass.UnitInference`
+pass per file (cached on the :class:`~repro.lint.engine.SourceFile`);
+NM101/NM102/NM104 translate its events into findings and NM103 does its
+own literal walk.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import (
+    Finding,
+    Rule,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    SourceFile,
+)
+from repro.lint.units_pass import dimension_of
+
+
+def _unit_relation(left: str, right: str) -> str:
+    if dimension_of(left) == dimension_of(right):
+        return (
+            f"both are {dimension_of(left)} units at different scales"
+        )
+    return (
+        f"{dimension_of(left) or 'unknown'} vs "
+        f"{dimension_of(right) or 'unknown'} dimensions"
+    )
+
+
+class MixedUnitArithmetic(Rule):
+    """NM101: ``+``/``-``/comparison across two different inferred units."""
+
+    id = "NM101"
+    severity = SEVERITY_ERROR
+    title = "mixed-unit addition, subtraction, or comparison"
+
+    def check(self, sf: SourceFile) -> Iterable[Finding]:
+        for event in sf.unit_events:
+            if event.kind == "mixed-arith":
+                yield self.finding(
+                    sf, event.node,
+                    f"mixed units in '{event.detail}': "
+                    f"*_{event.left} vs *_{event.right} "
+                    f"({_unit_relation(event.left, event.right)})",
+                    hint="convert one operand with a repro.units "
+                    "converter before combining",
+                )
+            elif event.kind == "mixed-compare":
+                yield self.finding(
+                    sf, event.node,
+                    f"comparison '{event.detail}' across units: "
+                    f"*_{event.left} vs *_{event.right} "
+                    f"({_unit_relation(event.left, event.right)})",
+                    hint="compare quantities in one canonical unit",
+                )
+
+
+class MismatchedUnitAssignment(Rule):
+    """NM102: suffixed target assigned a value of a different inferred unit."""
+
+    id = "NM102"
+    severity = SEVERITY_ERROR
+    title = "unit-suffixed name bound to a mismatched-unit expression"
+
+    def check(self, sf: SourceFile) -> Iterable[Finding]:
+        for event in sf.unit_events:
+            if event.kind == "assign-mismatch":
+                yield self.finding(
+                    sf, event.node,
+                    f"{event.detail} declares *_{event.left} but the "
+                    f"expression carries *_{event.right} "
+                    f"({_unit_relation(event.left, event.right)})",
+                    hint=f"pass the value through a *_{event.right}-to-"
+                    f"*_{event.left} converter (see repro.units) or fix "
+                    "the name",
+                )
+
+
+#: Scale-factor magnitudes that almost always encode a unit conversion.
+_SCALE_FACTOR_VALUES = frozenset({
+    1e-15, 1e-12, 1e-9, 1e-6, 1e-3,
+    1e3, 1e6, 1e9, 1e12, 1e15,
+    1024, 1024**2, 1024**3,
+})
+
+#: value -> the named constant or converter that should replace it.
+_SCALE_SUGGESTIONS = {
+    1e-3: "KILO (inverse) or a *_to_* converter (ps_to_ns, fj_to_pj, "
+    "mw_to_w, nm_to_um)",
+    1e3: "KILO",
+    1e-6: "a *_to_* converter (um2_to_mm2) or OHM_FF_TO_NS",
+    1e6: "MEGA or mm2_to_um2",
+    1e-9: "a *_to_* converter (nw_to_w, ns_to_s)",
+    1e9: "GIGA or ghz_to_hz",
+    1e-12: "pj_to_j",
+    1e12: "TERA",
+    1024: "KiB",
+    1024**2: "MiB",
+    1024**3: "GiB",
+}
+
+
+def _is_constant_def(node: ast.stmt) -> bool:
+    """Module-level ``_ALL_CAPS = ...`` constant definitions are the
+    sanctioned home for a named scale factor."""
+    targets = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, ast.AnnAssign):
+        targets = [node.target]
+    for target in targets:
+        if isinstance(target, ast.Name) \
+                and target.id.lstrip("_").isupper():
+            return True
+    return False
+
+
+class RawScaleFactorLiteral(Rule):
+    """NM103: a bare scale-factor literal used as a multiplier/divisor."""
+
+    id = "NM103"
+    severity = SEVERITY_WARNING
+    title = "raw scale-factor literal where a units constant/converter exists"
+
+    def applies(self, sf: SourceFile) -> bool:
+        return sf.in_scale_literal_scope
+
+    def check(self, sf: SourceFile) -> Iterable[Finding]:
+        constant_def_lines = {
+            stmt.lineno for stmt in sf.tree.body if _is_constant_def(stmt)
+        }
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.BinOp) \
+                    or not isinstance(node.op, (ast.Mult, ast.Div)):
+                continue
+            operands = [node.right] if isinstance(node.op, ast.Div) \
+                else [node.left, node.right]
+            for operand in operands:
+                if not isinstance(operand, ast.Constant):
+                    continue
+                value = operand.value
+                if isinstance(value, bool) \
+                        or not isinstance(value, (int, float)):
+                    continue
+                if float(value) not in _SCALE_FACTOR_VALUES:
+                    continue
+                if operand.lineno in constant_def_lines:
+                    continue  # defining a named constant is the fix
+                suggestion = _SCALE_SUGGESTIONS.get(float(value), "")
+                yield self.finding(
+                    sf, operand,
+                    f"raw scale factor {value!r} in unit arithmetic",
+                    hint=f"use {suggestion} from repro.units"
+                    if suggestion else "name the factor in repro.units",
+                )
+
+
+class ConverterInputMismatch(Rule):
+    """NM104: an ``x_to_y`` converter applied to a non-``x`` value."""
+
+    id = "NM104"
+    severity = SEVERITY_ERROR
+    title = "units converter applied to a value of the wrong input unit"
+
+    def check(self, sf: SourceFile) -> Iterable[Finding]:
+        for event in sf.unit_events:
+            if event.kind == "converter-mismatch":
+                yield self.finding(
+                    sf, event.node,
+                    f"{event.detail}() expects *_{event.left} but the "
+                    f"argument carries *_{event.right}",
+                    hint="pick the converter matching the argument's "
+                    "unit, or fix the argument's name",
+                )
+
+
+UNIT_RULES = (
+    MixedUnitArithmetic(),
+    MismatchedUnitAssignment(),
+    RawScaleFactorLiteral(),
+    ConverterInputMismatch(),
+)

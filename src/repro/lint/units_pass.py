@@ -1,0 +1,506 @@
+"""Suffix-based unit inference over a module AST.
+
+The modeling code encodes its unit convention in names: ``area_mm2`` is
+square millimetres, ``energy_pj`` picojoules, ``freq_ghz`` gigahertz (see
+:mod:`repro.units`).  This pass recovers those units statically and
+propagates them through assignments, arithmetic, and calls, so the unit
+rules (NM101/NM102/NM104) can flag the places where two units meet without
+a converter.
+
+The inference is deliberately conservative: a unit is only propagated when
+the convention makes the result unambiguous —
+
+* a name or attribute with a recognised suffix carries that unit
+  (``_mm2``, ``_pj``, ...; names containing ``_per_`` carry a *derived*
+  unit and are treated as unknown);
+* ``+``/``-`` of two like units keeps the unit; mixing units is an event;
+* ``*``/``/`` by a bare numeric constant (or one of the ``repro.units``
+  scale constants ``KILO``/``GiB``/...) keeps the unit, because a scale
+  factor cannot change a quantity's label — that is exactly the silent
+  conversion the rules exist to catch; any other product is a derived
+  quantity and becomes unknown;
+* a call to an ``x_to_y`` converter returns ``y`` (and its argument had
+  better be an ``x``); a call to any function or method whose name carries
+  a unit suffix (``area_mm2(tech)``, ``cycle_time_ns(...)``) returns that
+  unit; ``min``/``max``/``abs``/``sum``/``round`` are unit-transparent.
+
+Everything else infers to ``None`` (unknown), which never produces a
+finding.  The pass records :class:`UnitEvent` objects instead of findings;
+the rules in :mod:`repro.lint.rules_units` translate events into findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+#: unit token -> physical dimension.  Tokens are name suffixes (after the
+#: last underscore).  Single letters that would be too noisy as suffixes
+#: ("f", "b") are deliberately absent.
+SUFFIX_DIMENSIONS: Dict[str, str] = {
+    # area
+    "mm2": "area", "um2": "area", "nm2": "area",
+    # length
+    "mm": "length", "um": "length", "nm": "length",
+    # time
+    "s": "time", "ms": "time", "us": "time", "ns": "time", "ps": "time",
+    # frequency
+    "hz": "frequency", "mhz": "frequency", "ghz": "frequency",
+    # energy
+    "j": "energy", "mj": "energy", "uj": "energy", "nj": "energy",
+    "pj": "energy", "fj": "energy",
+    # power
+    "w": "power", "kw": "power", "mw": "power", "uw": "power",
+    "nw": "power",
+    # capacitance / resistance / voltage
+    "pf": "capacitance", "ff": "capacitance",
+    "ohm": "resistance", "kohm": "resistance",
+    "v": "voltage", "mv": "voltage",
+    # bandwidth / throughput
+    "gbps": "bandwidth", "mbps": "bandwidth",
+    "tops": "throughput", "gops": "throughput", "fps": "throughput",
+    # capacity
+    "bytes": "capacity", "kib": "capacity", "mib": "capacity",
+    "gib": "capacity",
+}
+
+#: Tokens distinctive enough to count as a unit when they are the *whole*
+#: name (``result.fps``), not just a suffix.
+WHOLE_NAME_UNITS = frozenset({"fps", "tops", "gbps", "mm2", "um2"})
+
+#: ``repro.units`` scale-prefix constants: multiplying by one of these keeps
+#: the operand's unit label, exactly like a bare literal.
+SCALE_CONSTANT_NAMES = frozenset(
+    {"KILO", "MEGA", "GIGA", "TERA", "KiB", "MiB", "GiB", "OHM_FF_TO_NS"}
+)
+
+#: Builtins that return the same unit as their (uniform) arguments.
+UNIT_TRANSPARENT_CALLS = frozenset({"min", "max", "abs", "sum", "round"})
+
+_CONVERTER_RE = re.compile(r"^([a-z][a-z0-9]*)_to_([a-z][a-z0-9]*)$")
+
+
+def unit_of_name(name: str) -> Optional[str]:
+    """The unit token a name declares via its suffix, if any."""
+    lowered = name.lower()
+    if lowered in WHOLE_NAME_UNITS:
+        return lowered
+    if "_per_" in lowered or "_for_" in lowered:
+        # A ratio ("energy_per_cycle_pj" is fine, but "cost_per_mm2" is
+        # not an area) or a relation ("frequency_for_tops" returns GHz):
+        # the trailing suffix is not the value's unit.
+        return None
+    prefix, _, suffix = lowered.rpartition("_")
+    if prefix and suffix in SUFFIX_DIMENSIONS:
+        return suffix
+    return None
+
+
+def dimension_of(unit: str) -> Optional[str]:
+    """The physical dimension of a unit token."""
+    return SUFFIX_DIMENSIONS.get(unit)
+
+
+def converter_units(name: str) -> Optional[tuple]:
+    """``(input_unit, output_unit)`` if ``name`` is an ``x_to_y`` converter."""
+    match = _CONVERTER_RE.match(name)
+    if match and match.group(1) in SUFFIX_DIMENSIONS \
+            and match.group(2) in SUFFIX_DIMENSIONS:
+        return match.group(1), match.group(2)
+    return None
+
+
+@dataclass(frozen=True)
+class UnitEvent:
+    """One place where the inferred units disagree.
+
+    Attributes:
+        kind: ``mixed-arith`` (``a_um2 + b_mm2``), ``mixed-compare``
+            (``a_pj < b_w``), ``assign-mismatch`` (``area_mm2 = x_um2``,
+            including augmented assignment and suffixed keyword
+            arguments), or ``converter-mismatch`` (``um2_to_mm2(x_mm2)``).
+        node: The AST node the event anchors to.
+        left: Unit on the left/target/declared side.
+        right: Unit on the right/value/actual side.
+        detail: Extra context for the message (operator, target name,
+            converter name).
+    """
+
+    kind: str
+    node: ast.AST
+    left: str
+    right: str
+    detail: str = ""
+
+
+_OP_NAMES = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+    ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
+    ast.Gt: ">", ast.GtE: ">=",
+}
+
+
+def _callable_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class UnitInference:
+    """Run unit inference over one module and collect :class:`UnitEvent`s."""
+
+    def __init__(self) -> None:
+        self.events: List[UnitEvent] = []
+
+    # -- entry points --------------------------------------------------------
+
+    def run(self, tree: ast.Module) -> List[UnitEvent]:
+        self._exec_body(tree.body, {})
+        return self.events
+
+    def infer(self, node: ast.expr,
+              env: Optional[Dict[str, Optional[str]]] = None) -> Optional[str]:
+        """Infer the unit of one expression (used directly by tests)."""
+        return self._infer(node, {} if env is None else env)
+
+    # -- statements ----------------------------------------------------------
+
+    def _exec_body(self, body: Iterable[ast.stmt],
+                   env: Dict[str, Optional[str]]) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(self, stmt: ast.stmt,
+                   env: Dict[str, Optional[str]]) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_unit = self._infer(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, value_unit, stmt, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value_unit = self._infer(stmt.value, env)
+                self._bind(stmt.target, value_unit, stmt, env)
+        elif isinstance(stmt, ast.AugAssign):
+            target_unit = self._target_unit(stmt.target, env)
+            value_unit = self._infer(stmt.value, env)
+            if isinstance(stmt.op, (ast.Add, ast.Sub)) and target_unit \
+                    and value_unit and target_unit != value_unit:
+                self.events.append(UnitEvent(
+                    kind="assign-mismatch",
+                    node=stmt,
+                    left=target_unit,
+                    right=value_unit,
+                    detail=f"augmented ({_OP_NAMES[type(stmt.op)]}=) "
+                    f"{self._target_name(stmt.target)}",
+                ))
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for default in list(stmt.args.defaults) + [
+                d for d in stmt.args.kw_defaults if d is not None
+            ]:
+                self._infer(default, env)
+            for decorator in stmt.decorator_list:
+                self._infer(decorator, env)
+            self._exec_body(stmt.body, dict(env))
+        elif isinstance(stmt, ast.ClassDef):
+            for base in stmt.bases:
+                self._infer(base, env)
+            self._exec_body(stmt.body, dict(env))
+        elif isinstance(stmt, ast.For) or isinstance(stmt, ast.AsyncFor):
+            self._infer(stmt.iter, env)
+            for name in self._bound_names(stmt.target):
+                env.pop(name, None)
+            self._exec_body(stmt.body, env)
+            self._exec_body(stmt.orelse, env)
+        else:
+            # Generic statement: infer every embedded expression, execute
+            # every embedded body.  Covers If/While/With/Try/Return/Expr/
+            # Raise/Assert/Match/... without enumerating them.
+            for _, field in ast.iter_fields(stmt):
+                if isinstance(field, ast.expr):
+                    self._infer(field, env)
+                elif isinstance(field, list):
+                    if field and isinstance(field[0], ast.stmt):
+                        self._exec_body(field, env)
+                    else:
+                        for item in field:
+                            if isinstance(item, ast.expr):
+                                self._infer(item, env)
+                            elif isinstance(item, ast.stmt):
+                                self._exec_stmt(item, env)
+                            elif isinstance(item, ast.AST):
+                                self._exec_fragment(item, env)
+                elif isinstance(field, ast.AST):
+                    self._exec_fragment(field, env)
+
+    def _exec_fragment(self, node: ast.AST,
+                       env: Dict[str, Optional[str]]) -> None:
+        """Handle odd AST containers (withitem, excepthandler, ...)."""
+        for _, field in ast.iter_fields(node):
+            if isinstance(field, ast.expr):
+                self._infer(field, env)
+            elif isinstance(field, list):
+                for item in field:
+                    if isinstance(item, ast.stmt):
+                        self._exec_stmt(item, env)
+                    elif isinstance(item, ast.expr):
+                        self._infer(item, env)
+                    elif isinstance(item, ast.AST):
+                        self._exec_fragment(item, env)
+            elif isinstance(field, ast.AST):
+                self._exec_fragment(field, env)
+
+    # -- binding -------------------------------------------------------------
+
+    def _target_name(self, target: ast.expr) -> str:
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            return target.attr
+        return "<target>"
+
+    def _target_unit(self, target: ast.expr,
+                     env: Dict[str, Optional[str]]) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return unit_of_name(target.id) or env.get(target.id)
+        if isinstance(target, ast.Attribute):
+            return unit_of_name(target.attr)
+        return None
+
+    def _bound_names(self, target: ast.expr) -> List[str]:
+        return [n.id for n in ast.walk(target) if isinstance(n, ast.Name)]
+
+    def _bind(self, target: ast.expr, value_unit: Optional[str],
+              stmt: ast.stmt, env: Dict[str, Optional[str]]) -> None:
+        if isinstance(target, ast.Name):
+            declared = unit_of_name(target.id)
+            if declared is not None:
+                if value_unit is not None and value_unit != declared:
+                    self.events.append(UnitEvent(
+                        kind="assign-mismatch",
+                        node=stmt,
+                        left=declared,
+                        right=value_unit,
+                        detail=target.id,
+                    ))
+            else:
+                env[target.id] = value_unit
+        elif isinstance(target, ast.Attribute):
+            declared = unit_of_name(target.attr)
+            if declared is not None and value_unit is not None \
+                    and value_unit != declared:
+                self.events.append(UnitEvent(
+                    kind="assign-mismatch",
+                    node=stmt,
+                    left=declared,
+                    right=value_unit,
+                    detail=target.attr,
+                ))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for name in self._bound_names(target):
+                if unit_of_name(name) is None:
+                    env[name] = None
+        # Subscript / Starred targets: nothing to track.
+
+    # -- expressions ---------------------------------------------------------
+
+    def _is_scale_constant(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, (int, float)) \
+                and not isinstance(node.value, bool)
+        if isinstance(node, ast.Name):
+            return node.id in SCALE_CONSTANT_NAMES
+        if isinstance(node, ast.Attribute):
+            return node.attr in SCALE_CONSTANT_NAMES
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            return self._is_scale_constant(node.operand)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow,
+                      ast.LShift)
+        ):
+            return self._is_scale_constant(node.left) \
+                and self._is_scale_constant(node.right)
+        return False
+
+    def _infer(self, node: ast.expr,
+               env: Dict[str, Optional[str]]) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return unit_of_name(node.id) or env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            self._infer(node.value, env)
+            return unit_of_name(node.attr)
+        if isinstance(node, ast.Constant):
+            return None
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            unit = self._infer(node.operand, env)
+            return unit if isinstance(node.op, (ast.USub, ast.UAdd)) else None
+        if isinstance(node, ast.Compare):
+            self._infer_compare(node, env)
+            return None
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, env)
+        if isinstance(node, ast.IfExp):
+            self._infer(node.test, env)
+            left = self._infer(node.body, env)
+            right = self._infer(node.orelse, env)
+            return left if left == right else None
+        if isinstance(node, ast.NamedExpr):
+            unit = self._infer(node.value, env)
+            self._bind(node.target, unit, node, env)
+            return unit
+        if isinstance(node, ast.Lambda):
+            self._infer(node.body, dict(env))
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            inner = dict(env)
+            for comp in node.generators:
+                self._infer(comp.iter, inner)
+                for name in self._bound_names(comp.target):
+                    inner.pop(name, None)
+                for cond in comp.ifs:
+                    self._infer(cond, inner)
+            if isinstance(node, ast.DictComp):
+                self._infer(node.key, inner)
+                self._infer(node.value, inner)
+            else:
+                self._infer(node.elt, inner)
+            return None
+        if isinstance(node, ast.Starred):
+            return self._infer(node.value, env)
+        # Generic fallback (Subscript, Tuple, List, Dict, JoinedStr, ...):
+        # walk children for events, infer no unit.
+        for _, field in ast.iter_fields(node):
+            if isinstance(field, ast.expr):
+                self._infer(field, env)
+            elif isinstance(field, list):
+                for item in field:
+                    if isinstance(item, ast.expr):
+                        self._infer(item, env)
+                    elif isinstance(item, ast.AST):
+                        self._exec_fragment(item, env)
+            elif isinstance(field, ast.AST):
+                self._exec_fragment(field, env)
+        return None
+
+    def _infer_binop(self, node: ast.BinOp,
+                     env: Dict[str, Optional[str]]) -> Optional[str]:
+        left = self._infer(node.left, env)
+        right = self._infer(node.right, env)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left and right:
+                if left != right:
+                    self.events.append(UnitEvent(
+                        kind="mixed-arith",
+                        node=node,
+                        left=left,
+                        right=right,
+                        detail=_OP_NAMES[type(node.op)],
+                    ))
+                    return None
+                return left
+            return left or right
+        if isinstance(node.op, ast.Mult):
+            if left and right:
+                return None  # derived quantity (e.g. pJ * GHz)
+            if left and self._is_scale_constant(node.right):
+                return self._capacity_product(left, node.right)
+            if right and self._is_scale_constant(node.left):
+                return self._capacity_product(right, node.left)
+            return None
+        if isinstance(node.op, ast.Div):
+            if left and not right and self._is_scale_constant(node.right):
+                capacity = self._capacity_unit_name(node.right)
+                if capacity is not None:
+                    # bytes / MiB *is* the conversion to MiB.
+                    return capacity if left == "bytes" else None
+                return left
+            return None
+        return None
+
+    def _capacity_unit_name(self, node: ast.expr) -> Optional[str]:
+        """``KiB``/``MiB``/``GiB`` used as a factor names a capacity unit."""
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name in ("KiB", "MiB", "GiB"):
+            return name.lower()
+        return None
+
+    def _capacity_product(self, unit: str, factor: ast.expr) -> Optional[str]:
+        capacity = self._capacity_unit_name(factor)
+        if capacity is None:
+            return unit  # plain scale factor keeps the label
+        # x_mib * MiB is bytes; scaling any other unit by KiB/... is odd
+        # enough that we stop inferring.
+        return "bytes" if unit == capacity else None
+
+    def _infer_compare(self, node: ast.Compare,
+                       env: Dict[str, Optional[str]]) -> None:
+        units = [self._infer(node.left, env)]
+        units += [self._infer(comp, env) for comp in node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq, ast.Lt, ast.LtE,
+                                   ast.Gt, ast.GtE)):
+                continue
+            left, right = units[index], units[index + 1]
+            if left and right and left != right:
+                self.events.append(UnitEvent(
+                    kind="mixed-compare",
+                    node=node,
+                    left=left,
+                    right=right,
+                    detail=_OP_NAMES[type(op)],
+                ))
+
+    def _infer_call(self, node: ast.Call,
+                    env: Dict[str, Optional[str]]) -> Optional[str]:
+        name = _callable_name(node.func)
+        if isinstance(node.func, ast.Attribute):
+            self._infer(node.func.value, env)
+        arg_units = [self._infer(arg, env) for arg in node.args]
+        for keyword in node.keywords:
+            value_unit = self._infer(keyword.value, env)
+            declared = unit_of_name(keyword.arg) if keyword.arg else None
+            if declared is not None and value_unit is not None \
+                    and value_unit != declared:
+                self.events.append(UnitEvent(
+                    kind="assign-mismatch",
+                    node=keyword.value,
+                    left=declared,
+                    right=value_unit,
+                    detail=f"keyword argument {keyword.arg}",
+                ))
+        if name is None:
+            return None
+        conversion = converter_units(name)
+        if conversion is not None:
+            expected, produced = conversion
+            if len(node.args) == 1 and arg_units[0] is not None \
+                    and arg_units[0] != expected:
+                self.events.append(UnitEvent(
+                    kind="converter-mismatch",
+                    node=node,
+                    left=expected,
+                    right=arg_units[0],
+                    detail=name,
+                ))
+            return produced
+        if name in UNIT_TRANSPARENT_CALLS:
+            known = {unit for unit in arg_units if unit is not None}
+            if len(known) == 1 and all(
+                unit is not None or isinstance(arg, ast.Constant)
+                for unit, arg in zip(arg_units, node.args)
+            ):
+                return next(iter(known))
+            return None
+        return unit_of_name(name)

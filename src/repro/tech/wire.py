@@ -17,8 +17,9 @@ import enum
 import math
 from dataclasses import dataclass
 
-from repro.errors import TechnologyError
+from repro.errors import ConfigurationError, TechnologyError
 from repro.tech.node import TechNode
+from repro.units import OHM_FF_TO_NS, fj_to_pj, nm_to_um, ps_to_ns
 
 
 class WireType(enum.Enum):
@@ -41,7 +42,7 @@ class WireParams:
     @property
     def rc_ns_per_mm2(self) -> float:
         """Distributed RC product in ns/mm^2 (ohm * fF = 1e-15 s -> 1e-6 ns)."""
-        return self.r_ohm_per_mm * self.c_ff_per_mm * 1e-6
+        return self.r_ohm_per_mm * self.c_ff_per_mm * OHM_FF_TO_NS
 
 
 # Resistance grows as wires shrink with the node; capacitance per length is
@@ -89,7 +90,7 @@ def wire_params(tech: TechNode, wire_type: WireType) -> WireParams:
         wire_type=wire_type,
         r_ohm_per_mm=resistances[index],
         c_ff_per_mm=_CAPACITANCE_FF_PER_MM[wire_type],
-        pitch_um=_PITCH_FACTOR[wire_type] * tech.feature_nm * 1e-3,
+        pitch_um=nm_to_um(_PITCH_FACTOR[wire_type] * tech.feature_nm),
     )
 
 
@@ -122,7 +123,9 @@ def unrepeated_wire_delay_ns(
     short intra-unit wires that never warrant repeaters.
     """
     if length_mm < 0:
-        raise ValueError(f"wire length must be non-negative, got {length_mm}")
+        raise ConfigurationError(
+            f"wire length must be non-negative, got {length_mm}"
+        )
     return 0.5 * wire.rc_ns_per_mm2 * length_mm**2
 
 
@@ -137,8 +140,10 @@ def repeated_wire_delay_ns(
     fall back to the bare Elmore delay, whichever is smaller.
     """
     if length_mm < 0:
-        raise ValueError(f"wire length must be non-negative, got {length_mm}")
-    t_buf_ns = 2.0 * tech.fo4_ps * 1e-3
+        raise ConfigurationError(
+            f"wire length must be non-negative, got {length_mm}"
+        )
+    t_buf_ns = ps_to_ns(2.0 * tech.fo4_ps)
     rc = wire.rc_ns_per_mm2
     optimal_segment_mm = math.sqrt(2.0 * t_buf_ns / rc)
     if length_mm <= optimal_segment_mm:
@@ -159,11 +164,13 @@ def wire_energy_pj_per_bit(
     activity factors are applied by the caller.
     """
     if length_mm < 0:
-        raise ValueError(f"wire length must be non-negative, got {length_mm}")
+        raise ConfigurationError(
+            f"wire length must be non-negative, got {length_mm}"
+        )
     energy_fj = (
         _REPEATER_ENERGY_FACTOR * wire.c_ff_per_mm * length_mm * tech.vdd_v**2
     )
-    return energy_fj * 1e-3
+    return fj_to_pj(energy_fj)
 
 
 def wire_pipeline_stages(
@@ -176,6 +183,8 @@ def wire_pipeline_stages(
     launch register).
     """
     if cycle_time_ns <= 0:
-        raise ValueError(f"cycle time must be positive, got {cycle_time_ns}")
+        raise ConfigurationError(
+            f"cycle time must be positive, got {cycle_time_ns}"
+        )
     delay = repeated_wire_delay_ns(tech, wire, length_mm)
     return max(1, math.ceil(delay / cycle_time_ns))

@@ -27,6 +27,8 @@ operations, matching the paper (a 256x256 systolic array at 700 MHz is
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
+
 # -- scale prefixes ----------------------------------------------------------
 
 KILO = 1e3
@@ -40,6 +42,9 @@ GiB = 1024 * 1024 * 1024
 
 #: Operations per multiply-accumulate (multiply + add), the TOPS convention.
 OPS_PER_MAC = 2
+
+#: Distributed-RC product: ohm * fF = 1e-15 s = 1e-6 ns.
+OHM_FF_TO_NS = 1e-6
 
 # -- conversions -------------------------------------------------------------
 
@@ -69,10 +74,53 @@ def pj_to_j(energy_pj: float) -> float:
     return energy_pj * 1e-12
 
 
+def fj_to_pj(energy_fj: float) -> float:
+    """Convert femtojoules to picojoules."""
+    return energy_fj * 1e-3
+
+
+def ps_to_ns(time_ps: float) -> float:
+    """Convert picoseconds to nanoseconds."""
+    return time_ps * 1e-3
+
+
+def nw_to_w(power_nw: float) -> float:
+    """Convert nanowatts to watts."""
+    return power_nw * 1e-9
+
+
+def mw_to_w(power_mw: float) -> float:
+    """Convert milliwatts to watts."""
+    return power_mw * 1e-3
+
+
+def nm_to_um(length_nm: float) -> float:
+    """Convert nanometres to micrometres."""
+    return length_nm * 1e-3
+
+
+def um_to_mm(length_um: float) -> float:
+    """Convert micrometres to millimetres."""
+    return length_um * 1e-3
+
+
+def interface_power_w(
+    bandwidth_gbps: float, energy_pj_per_bit: float
+) -> float:
+    """Sustained interface power from byte bandwidth and per-bit energy.
+
+    ``GB/s * 8 bit/B * pJ/bit``: the Giga and pico exponents cancel to
+    ``1e-3``, i.e. ``0.008 * GB/s * pJ/bit`` watts.
+    """
+    return bandwidth_gbps * 8.0 * energy_pj_per_bit * 1e-3
+
+
 def cycle_time_ns(freq_ghz: float) -> float:
     """Clock period in nanoseconds for a clock rate in GHz."""
     if freq_ghz <= 0:
-        raise ValueError(f"frequency must be positive, got {freq_ghz} GHz")
+        raise ConfigurationError(
+            f"frequency must be positive, got {freq_ghz} GHz"
+        )
     return 1.0 / freq_ghz
 
 

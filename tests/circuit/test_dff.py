@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.circuit.dff import DffBank
 from repro.tech.node import node
 
@@ -51,9 +52,9 @@ def test_zero_bit_bank_costs_nothing(tech):
 
 
 def test_invalid_banks_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         DffBank("bad", -1)
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         DffBank("bad", 8, data_activity=2.0)
 
 

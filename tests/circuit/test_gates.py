@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.circuit.gates import (
     LogicBlock,
     buffer_chain_delay_ns,
@@ -41,11 +42,11 @@ def test_delay_scales_with_depth(tech):
 
 
 def test_invalid_blocks_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         LogicBlock("bad", -1)
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         LogicBlock("bad", 10, activity=1.5)
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         LogicBlock("bad", 10, logic_depth=0)
 
 
@@ -66,7 +67,7 @@ def test_buffer_chain_energy_exceeds_bare_load(tech):
 
 
 def test_buffer_chain_rejects_negative(tech):
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         buffer_chain_delay_ns(tech, -1.0)
 
 
@@ -77,5 +78,5 @@ def test_decoder_gate_count_grows_exponentially():
 
 
 def test_decoder_rejects_negative():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         decoder_gate_count(-1)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.circuit.rc import (
     RCTree,
     chain,
@@ -42,9 +43,9 @@ def test_unknown_sink_raises():
 
 
 def test_negative_values_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         RCTree("bad", -1.0, 0.0)
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         RCTree("bad", 0.0, -1.0)
 
 
@@ -79,7 +80,7 @@ def test_ladder_delay_includes_driver():
 
 
 def test_ladder_rejects_zero_segments():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         rc_ladder("w", 0, 100.0, 100.0)
 
 
@@ -91,7 +92,7 @@ def test_chain_builder():
 
 
 def test_chain_rejects_empty():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         chain("c", [])
 
 

@@ -23,6 +23,7 @@ def test_full_suite_passes_on_a_healthy_model():
         "validation-bands",
         "cache-equivalence",
         "fault-containment",
+        "lint-baseline",
     ]
     assert report.failures == ()
 

@@ -1,0 +1,9 @@
+"""NM101 true positives: mixed-unit addition and comparison."""
+
+
+def total_area(block_mm2, pad_um2):
+    return block_mm2 + pad_um2
+
+
+def dominates(energy_pj, leak_w):
+    return energy_pj > leak_w

@@ -1,0 +1,12 @@
+"""Clean twin of nm101_bad: operands converted before combining."""
+
+from repro.units import pj_to_j, um2_to_mm2
+
+
+def total_area(block_mm2, pad_um2):
+    return block_mm2 + um2_to_mm2(pad_um2)
+
+
+def dominates(energy_pj, leak_w, runtime_s):
+    energy_j = pj_to_j(energy_pj)
+    return energy_j > leak_w * runtime_s

@@ -1,0 +1,6 @@
+"""NM102 true positive: the classic area_mm2 = area_um2 transpose."""
+
+
+def die_area(macro_um2):
+    area_mm2 = macro_um2
+    return area_mm2

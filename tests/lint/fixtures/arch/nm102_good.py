@@ -1,0 +1,8 @@
+"""Clean twin of nm102_bad: the value goes through the converter."""
+
+from repro.units import um2_to_mm2
+
+
+def die_area(macro_um2):
+    area_mm2 = um2_to_mm2(macro_um2)
+    return area_mm2

@@ -1,0 +1,5 @@
+"""NM103 true positive: a raw scale-factor literal inside a formula."""
+
+
+def scaled(count):
+    return count * 1e6

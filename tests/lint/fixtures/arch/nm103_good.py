@@ -1,0 +1,17 @@
+"""Clean twin of nm103_bad: named constants instead of bare literals.
+
+A module-level ``_ALL_CAPS = ...`` definition is the sanctioned home for
+a scale factor, and multiplying by an imported named constant is fine.
+"""
+
+from repro.units import MEGA
+
+_BYTES_PER_MIB = 1024 * 1024
+
+
+def scaled(count):
+    return count * MEGA
+
+
+def capacity_bytes(size_mib):
+    return size_mib * _BYTES_PER_MIB

@@ -1,0 +1,7 @@
+"""NM104 true positive: ps_to_ns applied to a value already in ns."""
+
+from repro.units import ps_to_ns
+
+
+def buffered_delay(total_ns):
+    return ps_to_ns(total_ns)

@@ -1,0 +1,7 @@
+"""Clean twin of nm104_bad: the converter input unit matches."""
+
+from repro.units import ps_to_ns
+
+
+def buffered_delay(total_ps):
+    return ps_to_ns(total_ps)

@@ -1,0 +1,6 @@
+"""NM201 true positive: estimate(self, ctx) without @cached_estimate."""
+
+
+class Widget:
+    def estimate(self, ctx):
+        return None

@@ -1,0 +1,9 @@
+"""Clean twin of nm201_bad: the estimate goes through the cache."""
+
+from repro.arch.component import cached_estimate
+
+
+class Widget:
+    @cached_estimate
+    def estimate(self, ctx):
+        return None

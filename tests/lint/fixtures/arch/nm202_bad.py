@@ -1,0 +1,6 @@
+"""NM202 true positive: a bare builtin exception in a model layer."""
+
+
+def check_width(width_bits):
+    if width_bits <= 0:
+        raise ValueError(f"width_bits must be positive, got {width_bits}")

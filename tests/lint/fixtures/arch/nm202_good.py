@@ -1,0 +1,10 @@
+"""Clean twin of nm202_bad: the typed repro.errors exception."""
+
+from repro.errors import ConfigurationError
+
+
+def check_width(width_bits):
+    if width_bits <= 0:
+        raise ConfigurationError(
+            f"width_bits must be positive, got {width_bits}"
+        )

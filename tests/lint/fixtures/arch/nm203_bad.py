@@ -1,0 +1,7 @@
+"""NM203 true positive: Estimate built with positional numeric fields."""
+
+from repro.arch.component import Estimate
+
+
+def leaf():
+    return Estimate("alu", 0.5, 1.2, 0.3, 1.0)

@@ -1,0 +1,13 @@
+"""Clean twin of nm203_bad: unit-suffixed keywords name every field."""
+
+from repro.arch.component import Estimate
+
+
+def leaf():
+    return Estimate(
+        "alu",
+        area_mm2=0.5,
+        dynamic_w=1.2,
+        leakage_w=0.3,
+        cycle_time_ns=1.0,
+    )

@@ -1,0 +1,5 @@
+"""NM000 fixture: this file intentionally does not parse."""
+
+
+def broken(:
+    return None

@@ -1,0 +1,12 @@
+"""NM301 true positives: unordered iteration feeding derived state."""
+
+
+def cache_key(tags):
+    return tuple({tag.strip() for tag in tags})
+
+
+def row_order(table):
+    rows = []
+    for name in table.keys():
+        rows.append(name)
+    return rows

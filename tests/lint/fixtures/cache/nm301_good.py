@@ -1,0 +1,12 @@
+"""Clean twin of nm301_bad: sorted(...) pins the iteration order."""
+
+
+def cache_key(tags):
+    return tuple(sorted({tag.strip() for tag in tags}))
+
+
+def row_order(table):
+    rows = []
+    for name in sorted(table.keys()):
+        rows.append(name)
+    return rows

@@ -1,0 +1,13 @@
+"""NM302 true positives: wall-clock and OS-entropy randomness."""
+
+import time
+
+from numpy import random as np_random
+
+
+def journal_row(point):
+    return {"point": point, "stamp": time.time()}
+
+
+def jitter():
+    return np_random.default_rng()

@@ -1,0 +1,20 @@
+"""Clean twin of nm302_bad: seeded generators and monotonic timers."""
+
+import random
+import time
+
+import numpy as np
+
+
+def sampler(seed):
+    return random.Random(seed)
+
+
+def seeded_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,5 @@
+"""NM303 true positive: exact float equality on an analytical result."""
+
+
+def is_idle(power_w):
+    return power_w == 0.0

@@ -1,0 +1,7 @@
+"""Clean twin of nm303_bad: tolerance-based comparison."""
+
+import math
+
+
+def is_idle(power_w):
+    return math.isclose(power_w, 0.0, abs_tol=1e-12)

@@ -1,0 +1,161 @@
+"""The baseline ratchet: round-trip, the seeded-bug drill, fingerprints.
+
+The seeded-bug drill is the acceptance criterion for the whole subsystem:
+with a committed baseline the tree lints clean (exit 0), and introducing
+an ``area_mm2 = area_um2`` transpose into a scratch file turns the run
+into exit 2 with a new NM102 finding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import run_lint
+from repro.lint.baseline import fingerprint, load_baseline
+
+#: A model-layer file with one pre-existing (baselined) NM202 finding.
+_LEGACY = """\
+def check_width(width_bits):
+    if width_bits <= 0:
+        raise ValueError(width_bits)
+"""
+
+#: The seeded bug of the acceptance drill.
+_SEEDED_BUG = """\
+def die_area(pad_area_um2):
+    area_mm2 = pad_area_um2
+    return area_mm2
+"""
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A tiny lintable tree: one arch/ module with one legacy finding."""
+    (tmp_path / "arch").mkdir()
+    (tmp_path / "arch" / "block.py").write_text(_LEGACY, encoding="utf-8")
+    return tmp_path
+
+
+def _lint(tree, **kwargs):
+    return run_lint(
+        [tree / "arch"],
+        root=tree,
+        baseline_path=tree / "lint_baseline.json",
+        **kwargs,
+    )
+
+
+def test_update_baseline_then_clean_run_exits_zero(tree):
+    # Without a baseline the legacy finding fails the run...
+    first = _lint(tree)
+    assert first.exit_code == 2
+    assert [f.rule for f in first.new] == ["NM202"]
+
+    # ...--update-baseline records it and reports the run as clean...
+    updated = _lint(tree, update_baseline=True)
+    assert updated.exit_code == 0
+    assert updated.new == []
+    assert [f.rule for f in updated.suppressed] == ["NM202"]
+
+    # ...and subsequent runs stay clean against the committed file.
+    steady = _lint(tree)
+    assert steady.exit_code == 0
+    assert [f.rule for f in steady.suppressed] == ["NM202"]
+
+
+def test_seeded_area_transpose_fails_the_baselined_run(tree):
+    _lint(tree, update_baseline=True)
+    (tree / "arch" / "scratch.py").write_text(_SEEDED_BUG, encoding="utf-8")
+
+    report = _lint(tree)
+    assert report.exit_code == 2
+    assert [f.rule for f in report.new] == ["NM102"]
+    assert report.new[0].path == "arch/scratch.py"
+    assert "area_mm2" in report.new[0].message
+    # The legacy finding stays suppressed; the ratchet only catches the bug.
+    assert [f.rule for f in report.suppressed] == ["NM202"]
+
+
+def test_update_baseline_preserves_human_justifications(tree):
+    _lint(tree, update_baseline=True)
+    path = tree / "lint_baseline.json"
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    payload["entries"][0]["justification"] = "legacy API, scheduled removal"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+    # A second update (e.g. after adding a new finding) keeps the note.
+    (tree / "arch" / "scratch.py").write_text(_SEEDED_BUG, encoding="utf-8")
+    _lint(tree, update_baseline=True)
+    entries = load_baseline(path)
+    notes = {e["rule"]: e["justification"] for e in entries.values()}
+    assert notes["NM202"] == "legacy API, scheduled removal"
+    assert notes["NM102"] == ""  # new entries await a human note
+
+
+def test_fixed_finding_turns_its_baseline_entry_stale(tree):
+    _lint(tree, update_baseline=True)
+    (tree / "arch" / "block.py").write_text(
+        _LEGACY.replace("ValueError", "ConfigurationError"), encoding="utf-8"
+    )
+    report = _lint(tree)
+    assert report.exit_code == 0  # stale entries never fail a run
+    assert report.new == [] and report.suppressed == []
+    assert len(report.stale) == 1
+    assert report.stale[0]["rule"] == "NM202"
+    assert "stale" in report.render_text()
+
+
+def test_fingerprint_survives_line_moves_but_not_edits(tree):
+    _lint(tree, update_baseline=True)
+    # Prepend a comment: line numbers shift, fingerprint (line text) holds.
+    block = tree / "arch" / "block.py"
+    block.write_text("# moved down\n" + _LEGACY, encoding="utf-8")
+    assert _lint(tree).exit_code == 0
+    # Editing the offending line itself invalidates the entry.
+    block.write_text(
+        _LEGACY.replace("raise ValueError(width_bits)",
+                        "raise ValueError(-width_bits)"),
+        encoding="utf-8",
+    )
+    report = _lint(tree)
+    assert report.exit_code == 2
+    assert len(report.stale) == 1
+
+
+def test_fingerprint_is_stable_and_occurrence_scoped():
+    base = fingerprint("NM202", "arch/block.py", "raise ValueError(x)",
+                       "message", 0)
+    assert base == fingerprint("NM202", "arch/block.py",
+                               "  raise ValueError(x)  ", "message", 0)
+    assert base != fingerprint("NM202", "arch/block.py",
+                               "raise ValueError(x)", "message", 1)
+    assert len(base) == 16
+
+
+def test_update_baseline_without_a_path_is_rejected(tree):
+    with pytest.raises(ConfigurationError):
+        run_lint([tree / "arch"], root=tree, update_baseline=True)
+
+
+def test_malformed_baseline_file_is_rejected(tree):
+    path = tree / "lint_baseline.json"
+    path.write_text("{\"entries\": [42]}", encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        _lint(tree)
+    path.write_text("not json", encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        _lint(tree)
+
+
+def test_missing_baseline_file_means_no_suppression(tree):
+    report = run_lint(
+        [tree / "arch"], root=tree,
+        baseline_path=tree / "absent.json",
+    )
+    assert report.exit_code == 2
+    assert [f.rule for f in report.new] == ["NM202"]

@@ -1,0 +1,99 @@
+"""The ``neurometer lint`` CLI surface."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_CLEAN = "arch/nm101_good.py"
+_DIRTY = "arch/nm102_bad.py"
+
+
+def test_lint_clean_file_exits_zero(capsys):
+    code = main([
+        "lint", str(FIXTURES / _CLEAN), "--root", str(FIXTURES),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1 file(s) checked: 0 new finding(s), 0 baselined" in out
+
+
+def test_lint_dirty_file_exits_two_and_renders_findings(capsys):
+    code = main([
+        "lint", str(FIXTURES / _DIRTY), "--root", str(FIXTURES),
+    ])
+    assert code == 2
+    out = capsys.readouterr().out
+    assert f"{_DIRTY}:5:5: NM102 error:" in out
+    assert "1 new finding(s)" in out
+
+
+def test_lint_json_output_is_parseable(capsys):
+    code = main([
+        "lint", str(FIXTURES / _DIRTY), "--root", str(FIXTURES),
+        "--format", "json",
+    ])
+    assert code == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["exit_code"] == 2
+    assert payload["files_checked"] == 1
+    assert payload["suppressed"] == [] and payload["stale_baseline"] == []
+    (finding,) = payload["new"]
+    assert finding["rule"] == "NM102"
+    assert finding["path"] == _DIRTY
+    assert set(finding) == {
+        "rule", "severity", "path", "line", "col", "message", "hint",
+    }
+
+
+def test_lint_rule_filter_selects_rules(capsys):
+    code = main([
+        "lint", str(FIXTURES / "arch"), "--root", str(FIXTURES),
+        "--rule", "NM203", "--format", "json",
+    ])
+    assert code == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert {f["rule"] for f in payload["new"]} == {"NM203"}
+
+
+def test_lint_unknown_rule_exits_two_with_error(capsys):
+    assert main(["lint", str(FIXTURES), "--rule", "NM999"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_lint_missing_path_exits_two_with_error(capsys):
+    assert main(["lint", str(FIXTURES / "no_such_dir")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_lint_update_baseline_round_trip(tmp_path, capsys):
+    pkg = tmp_path / "arch"
+    pkg.mkdir()
+    (pkg / "block.py").write_text(
+        "def f(w):\n    if w < 0:\n        raise ValueError(w)\n",
+        encoding="utf-8",
+    )
+    baseline = tmp_path / "lint_baseline.json"
+    argv = [
+        "lint", str(pkg), "--root", str(tmp_path),
+        "--baseline", str(baseline),
+    ]
+    assert main(argv) == 2
+    assert main(argv + ["--update-baseline"]) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+
+    assert main(argv) == 0
+    assert "0 new finding(s), 1 baselined" in capsys.readouterr().out
+
+    # The acceptance drill, end to end through the CLI.
+    (pkg / "scratch.py").write_text(
+        "def g(pad_um2):\n    area_mm2 = pad_um2\n    return area_mm2\n",
+        encoding="utf-8",
+    )
+    assert main(argv) == 2
+    assert "NM102" in capsys.readouterr().out

@@ -1,0 +1,90 @@
+"""The linter must never crash, whatever source it is fed.
+
+Two layers: a property-based sweep over generated unit-arithmetic
+programs and arbitrary text (hypothesis), and a deterministic whole-tree
+smoke run over ``src/`` — the same surface the CI job and the doctor's
+``lint-baseline`` check lint.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint import check_source, run_lint
+from repro.lint.engine import Finding
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+_NAMES = st.sampled_from([
+    "area_mm2", "area_um2", "energy_pj", "energy_fj", "power_w",
+    "delay_ns", "delay_ps", "freq_ghz", "cap_ff", "size_bytes",
+    "bw_gbps", "count", "x", "n_per_row",
+])
+_OPS = st.sampled_from(["+", "-", "*", "/", "==", "!=", "<", ">="])
+_RELPATHS = st.sampled_from([
+    "arch/gen.py", "circuit/gen.py", "cache/gen.py", "dse/gen.py",
+    "report/gen.py", "tests/test_gen.py", "repro/units.py",
+])
+_LITERALS = st.sampled_from(["1e-3", "1e6", "2.5", "1024", "0.0", "7"])
+
+
+def _assert_well_formed(findings):
+    for finding in findings:
+        assert isinstance(finding, Finding)
+        assert finding.rule.startswith("NM")
+        assert finding.line >= 1 and finding.col >= 1
+        assert finding.message
+
+
+@settings(max_examples=200, deadline=None)
+@given(left=_NAMES, right=_NAMES, op=_OPS, lit=_LITERALS,
+       relpath=_RELPATHS)
+def test_lint_never_crashes_on_unit_arithmetic(left, right, op, lit,
+                                               relpath):
+    text = (
+        f"def f({left}, {right}):\n"
+        f"    mid_ns = {left} {op} {right}\n"
+        f"    return mid_ns * {lit}\n"
+    )
+    _assert_well_formed(check_source(text, relpath=relpath))
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=st.text(max_size=200), relpath=_RELPATHS)
+def test_lint_never_crashes_on_arbitrary_text(text, relpath):
+    findings = check_source(text, relpath=relpath)
+    _assert_well_formed(findings)
+    # Unparsable input degrades to NM000, never to an exception.
+    if findings and findings[0].rule == "NM000":
+        assert len(findings) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.from_regex(r"[a-z][a-z0-9_]{0,20}_to_[a-z][a-z0-9_]{0,20}",
+                     fullmatch=True))
+def test_lint_never_crashes_on_converter_shaped_calls(name):
+    text = f"def f(x_ns):\n    return {name}(x_ns)\n"
+    _assert_well_formed(check_source(text, relpath="arch/gen.py"))
+
+
+def test_lint_smokes_over_the_full_source_tree():
+    report = run_lint([_SRC], root=_SRC.parent)
+    assert report.files_checked > 80
+    # src/ itself always parses.
+    assert all(f.rule != "NM000" for f in report.findings)
+    _assert_well_formed(report.findings)
+
+
+def test_src_repro_is_clean_against_the_committed_baseline():
+    root = _SRC.parent
+    report = run_lint(
+        [_SRC / "repro"], root=root,
+        baseline_path=root / "lint_baseline.json",
+    )
+    assert report.exit_code == 0, report.render_text()
+    assert report.stale == []
+    # The debt register stays small and justified (the ratchet's point).
+    assert len(report.suppressed) <= 5

@@ -1,0 +1,141 @@
+"""Rule-by-rule coverage over the fixture corpus.
+
+Every rule has a true-positive fixture and a clean twin under
+``tests/lint/fixtures/``; relpaths are chosen so the engine's path
+classification (model layer, determinism scope, scale-literal scope)
+activates each rule exactly as it would inside ``src/repro``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import check_source, run_lint
+from repro.lint.engine import all_rules, rule_catalog
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> (bad fixture, clean fixture, expected finding count in bad).
+CASES = {
+    "NM101": ("arch/nm101_bad.py", "arch/nm101_good.py", 2),
+    "NM102": ("arch/nm102_bad.py", "arch/nm102_good.py", 1),
+    "NM103": ("arch/nm103_bad.py", "arch/nm103_good.py", 1),
+    "NM104": ("arch/nm104_bad.py", "arch/nm104_good.py", 1),
+    "NM201": ("arch/nm201_bad.py", "arch/nm201_good.py", 1),
+    "NM202": ("arch/nm202_bad.py", "arch/nm202_good.py", 1),
+    "NM203": ("arch/nm203_bad.py", "arch/nm203_good.py", 1),
+    "NM301": ("cache/nm301_bad.py", "cache/nm301_good.py", 2),
+    "NM302": ("cache/nm302_bad.py", "cache/nm302_good.py", 2),
+    "NM303": ("cache/nm303_bad.py", "cache/nm303_good.py", 1),
+}
+
+
+def _lint(relpath: str):
+    report = run_lint([FIXTURES / relpath], root=FIXTURES)
+    return report.new
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_rule_fires_on_its_bad_fixture(rule_id):
+    bad, _, expected = CASES[rule_id]
+    findings = _lint(bad)
+    # The bad fixture triggers its own rule and *only* its own rule —
+    # cross-firing would mean the fixtures conflate failure modes.
+    assert [f.rule for f in findings] == [rule_id] * expected
+    catalog = rule_catalog()
+    for finding in findings:
+        assert finding.severity == catalog[rule_id][0]
+        assert finding.path == bad
+        assert finding.line >= 1 and finding.col >= 1
+        assert finding.message
+        assert finding.hint  # every rule ships a remediation hint
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_clean_twin_passes_every_rule(rule_id):
+    _, good, _ = CASES[rule_id]
+    assert _lint(good) == []
+
+
+def test_syntax_error_becomes_nm000():
+    findings = _lint("broken/nm000_bad.py")
+    assert [f.rule for f in findings] == ["NM000"]
+    assert "does not parse" in findings[0].message
+
+
+def test_whole_corpus_totals_match_the_case_table():
+    report = run_lint([FIXTURES], root=FIXTURES)
+    expected = sum(count for _, _, count in CASES.values()) + 1  # + NM000
+    assert len(report.new) == expected
+    assert report.files_checked == 2 * len(CASES) + 1
+
+
+def test_rule_selection_narrows_the_run():
+    report = run_lint([FIXTURES / "arch"], root=FIXTURES, rules=["NM102"])
+    assert [f.rule for f in report.new] == ["NM102"]
+    # Parse failures are unconditional: --rule never masks NM000.
+    broken = run_lint([FIXTURES / "broken"], root=FIXTURES, rules=["NM102"])
+    assert [f.rule for f in broken.new] == ["NM000"]
+
+
+def test_unknown_rule_id_is_rejected():
+    with pytest.raises(ConfigurationError):
+        run_lint([FIXTURES], root=FIXTURES, rules=["NM102", "NM999"])
+
+
+def test_missing_lint_path_is_rejected():
+    with pytest.raises(ConfigurationError):
+        run_lint([FIXTURES / "no_such_dir"], root=FIXTURES)
+
+
+def test_catalog_lists_exactly_the_documented_rules():
+    assert sorted(rule_catalog()) == sorted(CASES)
+    assert len({rule.id for rule in all_rules()}) == len(all_rules())
+
+
+# -- path classification ----------------------------------------------------
+
+
+def _fixture_text(relpath: str) -> str:
+    return (FIXTURES / relpath).read_text(encoding="utf-8")
+
+
+def test_model_rules_stay_quiet_outside_model_layers():
+    text = _fixture_text("arch/nm202_bad.py")
+    # Same source, non-model relpath: NM202 does not apply.
+    assert check_source(text, relpath="report/render.py") == []
+
+
+#: Rules scoped by path classification; the NM101/NM102/NM104 unit rules
+#: are universal correctness checks and apply to every file.
+_SCOPED_RULES = (
+    "NM103", "NM201", "NM202", "NM203", "NM301", "NM302", "NM303",
+)
+
+
+def test_scoped_rules_are_disabled_for_test_files():
+    for rule_id in _SCOPED_RULES:
+        bad, _, _ = CASES[rule_id]
+        text = _fixture_text(bad)
+        findings = check_source(text, relpath=f"tests/test_{Path(bad).name}")
+        assert findings == [], rule_id
+
+
+def test_unit_mixing_rules_apply_even_in_tests():
+    text = _fixture_text("arch/nm102_bad.py")
+    findings = check_source(text, relpath="tests/test_area.py")
+    assert [f.rule for f in findings] == ["NM102"]
+
+
+def test_units_py_counts_as_a_model_layer():
+    text = _fixture_text("arch/nm202_bad.py")
+    findings = check_source(text, relpath="repro/units.py")
+    assert [f.rule for f in findings] == ["NM202"]
+
+
+def test_determinism_rules_do_not_leak_into_model_dirs():
+    text = _fixture_text("cache/nm301_bad.py")
+    assert check_source(text, relpath="arch/floorplan.py") == []

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import TechnologyError
+from repro.errors import ConfigurationError, TechnologyError
 from repro.tech.node import node
 from repro.tech.wire import (
     WireType,
@@ -76,9 +76,9 @@ def test_wire_energy_linear_in_length(tech):
 
 def test_negative_length_rejected(tech):
     wire = wire_params(tech, WireType.LOCAL)
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         repeated_wire_delay_ns(tech, wire, -1.0)
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         wire_energy_pj_per_bit(tech, wire, -1.0)
 
 
@@ -92,7 +92,7 @@ def test_pipeline_stages_grow_with_length(tech):
 
 def test_pipeline_needs_positive_cycle(tech):
     wire = wire_params(tech, WireType.INTERMEDIATE)
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         wire_pipeline_stages(tech, wire, 1.0, cycle_time_ns=0.0)
 
 

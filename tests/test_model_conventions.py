@@ -1,0 +1,96 @@
+"""Regression pins for the conventions the linter enforces.
+
+The lint triage (docs/lint.md) replaced raw scale factors with named
+converters and bare builtin exceptions with typed ones across the model
+layers.  These tests pin the refactors: the converters compute exactly
+the factors they replaced (bit-identity), the raise sites stay typed,
+and the source tree itself stays convention-clean.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro import units
+from repro.arch import periph
+from repro.dse.sparsity_study import SparsityPoint
+from repro.errors import ConfigurationError, NeuroMeterError
+from repro.lint import run_lint
+from repro.lint.units_pass import SUFFIX_DIMENSIONS, converter_units
+
+
+def test_converters_compute_the_exact_replaced_factors():
+    # Each converter must be bit-identical to the literal it replaced in
+    # the model layers, or the validation snapshots would shift.
+    assert units.ps_to_ns(37.0) == 37.0 * 1e-3
+    assert units.fj_to_pj(37.0) == 37.0 * 1e-3
+    assert units.nm_to_um(37.0) == 37.0 * 1e-3
+    assert units.um_to_mm(37.0) == 37.0 * 1e-3
+    assert units.mw_to_w(37.0) == 37.0 * 1e-3
+    assert units.nw_to_w(37.0) == 37.0 * 1e-9
+    assert units.um2_to_mm2(37.0) == 37.0 * 1e-6
+    assert units.mm2_to_um2(37.0) == 37.0 * 1e6
+    assert units.OHM_FF_TO_NS == 1e-6
+
+
+def test_interface_power_matches_the_inlined_formula():
+    # periph used to inline gbps * 8 * pj_per_bit * 1e-3; the named
+    # helper must reproduce it exactly.
+    assert units.interface_power_w(128.0, 5.2) == 128.0 * 8.0 * 5.2 * 1e-3
+    assert units.interface_power_w(0.0, 5.2) == 0.0
+
+
+def test_phy_leakage_coefficient_is_pinned():
+    assert periph._PHY_LEAKAGE_W_PER_MM2 == 0.01
+
+
+def test_every_units_converter_is_lint_recognizable():
+    # The x_to_y naming convention is load-bearing: NM104 can only check
+    # converter inputs it can parse.  Every public converter in
+    # repro.units must parse, with both units in the suffix table.
+    converters = [
+        name for name, obj in vars(units).items()
+        if inspect.isfunction(obj) and "_to_" in name
+        and not name.startswith("_")
+    ]
+    assert converters, "units module lost its converters?"
+    for name in converters:
+        parsed = converter_units(name)
+        assert parsed is not None, f"{name} breaks the x_to_y convention"
+        src, dst = parsed
+        assert src in SUFFIX_DIMENSIONS and dst in SUFFIX_DIMENSIONS
+
+
+def test_sparsity_point_fields_are_unit_suffixed():
+    fields = set(SparsityPoint.__dataclass_fields__)
+    assert {"dense_power_w", "sparse_power_w", "dense_time_s",
+            "sparse_time_s"} <= fields
+    # The pre-triage unsuffixed spellings must not come back.
+    assert not {"power_d", "power_s"} & fields
+
+
+def test_model_layers_raise_typed_errors():
+    from repro.circuit.gates import buffer_chain_delay_ns, decoder_gate_count
+    from repro.tech.node import node
+
+    with pytest.raises(ConfigurationError) as excinfo:
+        buffer_chain_delay_ns(node(28), load_ff=-1.0)
+    assert isinstance(excinfo.value, NeuroMeterError)
+    with pytest.raises(ConfigurationError):
+        decoder_gate_count(-1)
+    with pytest.raises(ConfigurationError):
+        units.cycle_time_ns(0.0)
+
+
+def test_source_tree_has_no_uncached_estimates_or_bare_raises():
+    import repro
+
+    src = inspect.getfile(repro)  # .../src/repro/__init__.py
+    pkg_root = src.rsplit("/repro/", 1)[0]
+    report = run_lint(
+        [f"{pkg_root}/repro"], root=pkg_root,
+        rules=["NM201", "NM202"],
+    )
+    assert report.new == [], report.render_text()

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
+
 from repro import units
 
 
@@ -14,7 +16,7 @@ def test_cycle_time_of_one_ghz_is_one_ns():
 
 
 def test_cycle_time_rejects_nonpositive_frequency():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         units.cycle_time_ns(0.0)
 
 
