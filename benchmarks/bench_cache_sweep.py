@@ -18,6 +18,7 @@ import os
 import time
 
 from benchmarks.conftest import run_once
+from benchmarks.emit import emit_bench, round_floats
 from repro.cache.store import (
     estimate_cache_disabled,
     get_estimate_cache,
@@ -106,6 +107,28 @@ def test_cache_sweep_equivalence_and_speedup(benchmark, emit):
                 ["hit rate", f"{stats.hit_rate:.1%}"],
             ],
         )
+    )
+
+    emit_bench(
+        "cache_sweep",
+        round_floats(
+            {
+                "points": len(POINTS),
+                "smoke": _SMOKE,
+                "wall_s": {
+                    "uncached": uncached_s,
+                    "cold": cold_s,
+                    "warm": warm_s,
+                },
+                "speedup": {"cold": speedup_cold, "warm": speedup_warm},
+                "cache": {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "evictions": stats.evictions,
+                    "hit_rate": stats.hit_rate,
+                },
+            }
+        ),
     )
 
     assert stats.hits > 0 and stats.misses > 0

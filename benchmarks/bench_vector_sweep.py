@@ -1,0 +1,177 @@
+"""Vectorized vs. scalar sweep — the batch-backend acceptance benchmark.
+
+Runs the full (unpruned) Table I grid through three sweep configurations:
+
+* **scalar, forked** — ``backend="scalar"``, two workers, ``chunk_size=1``
+  (the closest stand-in for the historical process-per-point engine);
+* **scalar, inline** — ``backend="scalar"`` in this process, cold then
+  warm (memoization cache filled);
+* **vector** — ``backend="vector"`` through the NumPy batch kernels,
+  cold (substrate rebuilt) then warm.
+
+and asserts the two properties the batch backend promises:
+
+* **Exact equivalence** — the vector sweep's area/TDP/peak-TOPS rows
+  equal the scalar rows bit-for-bit on every grid point.
+* **Speedup** — the cold vector sweep beats the forked scalar baseline by
+  >= 5x (>= 3x vs. the cold inline scalar pass in
+  ``NEUROMETER_BENCH_SMOKE=1`` mode, where the grid is reduced and fork
+  jitter would dominate).
+
+Wall-times, points/sec, and speedups are written to ``BENCH_sweep.json``
+via :mod:`benchmarks.emit` for CI and the performance docs.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from benchmarks.emit import emit_bench, round_floats
+from repro.batch import substrate as substrate_mod
+from repro.cache.store import get_estimate_cache
+from repro.config.presets import datacenter_context
+from repro.dse.engine import run_sweep
+from repro.dse.space import TU_LENGTHS, TUS_PER_CORE, DesignPoint, _grids
+from repro.report.tables import format_table
+
+_SMOKE = os.environ.get("NEUROMETER_BENCH_SMOKE") == "1"
+
+#: The full Table I grid (every (X, N, Tx, Ty) combination, unpruned).
+POINTS = [
+    DesignPoint(x, n, tx, ty)
+    for x in TU_LENGTHS
+    for n in TUS_PER_CORE
+    for (tx, ty) in _grids()
+]
+if _SMOKE:
+    POINTS = POINTS[::4]
+
+#: Acceptance bar: cold vector vs. the process-per-point scalar baseline
+#: (full grid), or vs. the cold inline scalar pass (smoke grid).
+_SPEEDUP_BAR = 3.0 if _SMOKE else 5.0
+
+
+def _cold() -> None:
+    """Drop every warm state the two backends could reuse."""
+    get_estimate_cache().clear()
+    substrate_mod._SUBSTRATES.clear()
+
+
+def _rows(report) -> list:
+    return [
+        (r.point, r.result.area_mm2, r.result.tdp_w, r.result.peak_tops)
+        for r in report.records
+    ]
+
+
+def test_vector_sweep_equivalence_and_speedup(benchmark, emit):
+    ctx = datacenter_context()
+
+    _cold()
+    start = time.perf_counter()
+    forked = run_sweep(
+        POINTS, ctx=ctx, backend="scalar", jobs=2, chunk_size=1
+    )
+    forked_s = time.perf_counter() - start
+
+    _cold()
+    start = time.perf_counter()
+    scalar_cold = run_sweep(POINTS, ctx=ctx, backend="scalar")
+    scalar_cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    scalar_warm = run_sweep(POINTS, ctx=ctx, backend="scalar")
+    scalar_warm_s = time.perf_counter() - start
+
+    _cold()
+    start = time.perf_counter()
+    vector_cold = run_once(
+        benchmark, lambda: run_sweep(POINTS, ctx=ctx, backend="vector")
+    )
+    vector_cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    vector_warm = run_sweep(POINTS, ctx=ctx, backend="vector")
+    vector_warm_s = time.perf_counter() - start
+
+    # Exact numeric equivalence across every configuration.
+    reference = _rows(scalar_cold)
+    assert _rows(forked) == reference, "forked scalar sweep diverged"
+    assert _rows(scalar_warm) == reference, "warm scalar sweep diverged"
+    assert _rows(vector_cold) == reference, (
+        "vector sweep diverged from the scalar baseline"
+    )
+    assert _rows(vector_warm) == reference, "warm vector sweep diverged"
+    assert all(r.status == "ok" for r in vector_cold.records)
+
+    baseline_s = scalar_cold_s if _SMOKE else forked_s
+    speedup = baseline_s / vector_cold_s if vector_cold_s > 0 else (
+        float("inf")
+    )
+    points_per_s = {
+        "scalar_forked": len(POINTS) / forked_s,
+        "scalar_cold": len(POINTS) / scalar_cold_s,
+        "scalar_warm": len(POINTS) / scalar_warm_s,
+        "vector_cold": len(POINTS) / vector_cold_s,
+        "vector_warm": len(POINTS) / vector_warm_s,
+    }
+    emit(
+        format_table(
+            ["pass", "wall s", "points/s"],
+            [
+                [name, f"{seconds:.3f}", f"{rate:.0f}"]
+                for name, seconds, rate in [
+                    ("scalar forked (chunk=1)", forked_s,
+                     points_per_s["scalar_forked"]),
+                    ("scalar inline cold", scalar_cold_s,
+                     points_per_s["scalar_cold"]),
+                    ("scalar inline warm", scalar_warm_s,
+                     points_per_s["scalar_warm"]),
+                    ("vector cold", vector_cold_s,
+                     points_per_s["vector_cold"]),
+                    ("vector warm", vector_warm_s,
+                     points_per_s["vector_warm"]),
+                ]
+            ],
+        )
+        + f"\n\nvector cold speedup vs. baseline: {speedup:.1f}x "
+        f"(bar {_SPEEDUP_BAR:g}x)"
+    )
+
+    emit_bench(
+        "vector_sweep",
+        round_floats(
+            {
+                "grid_points": len(POINTS),
+                "smoke": _SMOKE,
+                "wall_s": {
+                    "scalar_forked_cold": forked_s,
+                    "scalar_inline_cold": scalar_cold_s,
+                    "scalar_inline_warm": scalar_warm_s,
+                    "vector_cold": vector_cold_s,
+                    "vector_warm": vector_warm_s,
+                },
+                "points_per_s": points_per_s,
+                "speedup": {
+                    "vector_cold_vs_baseline": speedup,
+                    "baseline": (
+                        "scalar_inline_cold" if _SMOKE
+                        else "scalar_forked_cold"
+                    ),
+                    "vector_cold_vs_scalar_forked": (
+                        forked_s / vector_cold_s
+                    ),
+                    "vector_cold_vs_scalar_inline_cold": (
+                        scalar_cold_s / vector_cold_s
+                    ),
+                    "vector_warm_vs_scalar_inline_warm": (
+                        scalar_warm_s / vector_warm_s
+                    ),
+                },
+                "bar": _SPEEDUP_BAR,
+            }
+        ),
+    )
+
+    assert speedup >= _SPEEDUP_BAR, (
+        f"cold vector sweep speedup {speedup:.2f}x is below the "
+        f"{_SPEEDUP_BAR:g}x acceptance bar"
+    )

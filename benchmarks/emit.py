@@ -1,0 +1,76 @@
+"""Machine-readable benchmark emission.
+
+The figure benches print human tables; CI and the perf docs want numbers a
+script can diff.  :func:`emit_bench` merges one named section into
+``BENCH_sweep.json`` at the repository root (override the destination with
+``NEUROMETER_BENCH_JSON``), so every sweep-performance bench — the
+vector-backend bench and the estimate-cache bench — lands in one file:
+
+.. code-block:: json
+
+    {
+      "vector_sweep": {"grid_points": 210, "speedup": {...}, ...},
+      "cache_sweep": {"warm_speedup": 12.3, ...}
+    }
+
+Sections are replaced wholesale on re-run; unrelated sections are kept.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+#: Default output file, next to the repository's README.
+DEFAULT_BENCH_JSON = Path(__file__).resolve().parent.parent / (
+    "BENCH_sweep.json"
+)
+
+#: Environment variable overriding the output path.
+BENCH_JSON_ENV = "NEUROMETER_BENCH_JSON"
+
+
+def bench_json_path() -> Path:
+    """Resolve the benchmark JSON destination (env override first)."""
+    override = os.environ.get(BENCH_JSON_ENV)
+    return Path(override) if override else DEFAULT_BENCH_JSON
+
+
+def emit_bench(
+    section: str,
+    payload: dict,
+    path: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Merge ``payload`` under ``section`` into the benchmark JSON file.
+
+    Existing sections from other benches are preserved; a corrupt or
+    missing file is replaced.  Returns the path written.
+    """
+    destination = Path(path) if path is not None else bench_json_path()
+    data: dict = {}
+    if destination.exists():
+        try:
+            loaded = json.loads(destination.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict):
+                data = loaded
+        except (OSError, ValueError):
+            data = {}
+    data[section] = payload
+    destination.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return destination
+
+
+def round_floats(payload: object, digits: int = 4) -> object:
+    """Round every float in a nested payload for stable, readable JSON."""
+    if isinstance(payload, float):
+        return round(payload, digits)
+    if isinstance(payload, dict):
+        return {key: round_floats(value, digits) for key, value in
+                payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [round_floats(value, digits) for value in payload]
+    return payload

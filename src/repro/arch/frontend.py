@@ -18,8 +18,11 @@ from repro.errors import ConfigurationError
 from repro.tech import calibration
 from repro.units import dynamic_power_w
 
-_IFU_CONTROL_GATES = 12_000
-_LSU_GATES_PER_QUEUE_ENTRY = 900
+IFU_CONTROL_GATES = 12_000
+LSU_GATES_PER_QUEUE_ENTRY = 900
+
+#: LSU datapath muxing gates per datapath bit.
+LSU_DATAPATH_GATES_PER_BIT = 30
 
 
 @dataclass(frozen=True)
@@ -50,7 +53,7 @@ class InstructionFetchUnit:
         """Fetch buffer plus sequencing control."""
         tech = ctx.tech
         buffer = self._buffer()
-        control = LogicBlock("ifu-ctrl", _IFU_CONTROL_GATES)
+        control = LogicBlock("ifu-ctrl", IFU_CONTROL_GATES)
         energy = (
             buffer.read_energy_pj(tech) * 0.5
             + control.energy_per_cycle_pj(tech)
@@ -84,8 +87,8 @@ class LoadStoreUnit:
 
     def _control(self) -> LogicBlock:
         gates = (
-            self.queue_entries * _LSU_GATES_PER_QUEUE_ENTRY
-            + self.datapath_bytes * 8 * 30  # per-bit datapath muxing
+            self.queue_entries * LSU_GATES_PER_QUEUE_ENTRY
+            + self.datapath_bytes * 8 * LSU_DATAPATH_GATES_PER_BIT
         )
         return LogicBlock("lsu-ctrl", gates, activity=0.15)
 

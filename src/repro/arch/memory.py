@@ -24,13 +24,13 @@ from repro.tech import calibration
 from repro.units import dynamic_power_w
 
 #: Default pipelined access-latency budget, in cycles.
-_DEFAULT_LATENCY_CYCLES = 4
+DEFAULT_LATENCY_CYCLES = 4
 
 #: Tag + state storage overhead when configured as a cache, per block.
-_CACHE_TAG_BITS_PER_BLOCK = 28
+CACHE_TAG_BITS_PER_BLOCK = 28
 
 #: Memory controller / arbitration logic per bank.
-_BANK_CONTROL_GATES = 3_000
+BANK_CONTROL_GATES = 3_000
 
 
 class MemCellKind(enum.Enum):
@@ -65,7 +65,7 @@ class OnChipMemoryConfig:
     unified: bool = True
     read_bandwidth_gbps: float = 0.0
     write_bandwidth_gbps: float = 0.0
-    latency_cycles: int = _DEFAULT_LATENCY_CYCLES
+    latency_cycles: int = DEFAULT_LATENCY_CYCLES
     min_banks: int = 1
 
     def __post_init__(self) -> None:
@@ -172,7 +172,7 @@ class OnChipMemory:
         if self.config.scratchpad:
             return None
         blocks = self.config.capacity_bytes // self.config.block_bytes
-        tag_gates = blocks * _CACHE_TAG_BITS_PER_BLOCK // 2
+        tag_gates = blocks * CACHE_TAG_BITS_PER_BLOCK // 2
         return LogicBlock("mem-tags", tag_gates, activity=0.2)
 
     # -- rollup ------------------------------------------------------------
@@ -215,7 +215,7 @@ class OnChipMemory:
             + writes_per_cycle * array.write_energy_pj(tech)
         )
         control = LogicBlock(
-            "mem-ctrl", _BANK_CONTROL_GATES * organization.banks
+            "mem-ctrl", BANK_CONTROL_GATES * organization.banks
         )
         tags = self._tag_overhead(ctx)
         area = array.area_mm2(tech) + control.area_mm2(tech)

@@ -27,15 +27,15 @@ from repro.tech.wire import (
 from repro.units import dynamic_power_w, um_to_mm
 
 #: Flits buffered per router input port.
-_BUFFER_DEPTH = 8
+BUFFER_DEPTH = 8
 
 #: Crossbar gate count per port-pair per flit bit.
-_CROSSBAR_GATES_PER_BIT = 3
+CROSSBAR_GATES_PER_BIT = 3
 
 #: Allocation/arbitration logic per router.
-_ALLOCATOR_GATES = 4_000
+ALLOCATOR_GATES = 4_000
 
-_MIN_FLIT_BITS = 64
+MIN_FLIT_BITS = 64
 
 
 class NocTopology(enum.Enum):
@@ -110,7 +110,7 @@ class NocConfig:
         needed = self.bisection_gbps * 8.0 / (
             self.bisection_links * freq_ghz
         )
-        return max(_MIN_FLIT_BITS, int(math.ceil(needed)))
+        return max(MIN_FLIT_BITS, int(math.ceil(needed)))
 
     def average_hops(self) -> float:
         """Mean router hops of uniform-random traffic."""
@@ -138,13 +138,13 @@ class NetworkOnChip:
 
     def _router_buffers(self, ctx: ModelContext) -> DffBank:
         flit = self.config.flit_bits(ctx.freq_ghz)
-        bits = self.config.router_ports * _BUFFER_DEPTH * flit
+        bits = self.config.router_ports * BUFFER_DEPTH * flit
         return DffBank("noc-buffers", bits)
 
     def _router_crossbar(self, ctx: ModelContext) -> LogicBlock:
         flit = self.config.flit_bits(ctx.freq_ghz)
         ports = self.config.router_ports
-        gates = ports * ports * flit * _CROSSBAR_GATES_PER_BIT
+        gates = ports * ports * flit * CROSSBAR_GATES_PER_BIT
         return LogicBlock("noc-crossbar", gates, activity=0.25)
 
     def router_energy_per_flit_pj(self, ctx: ModelContext) -> float:
@@ -156,7 +156,7 @@ class NetworkOnChip:
         )  # write + read
         crossbar = self._router_crossbar(ctx).energy_per_cycle_pj(ctx.tech)
         allocator = LogicBlock(
-            "noc-alloc", _ALLOCATOR_GATES, activity=0.3
+            "noc-alloc", ALLOCATOR_GATES, activity=0.3
         ).energy_per_cycle_pj(ctx.tech)
         return buffer_energy + crossbar / self.config.router_ports + allocator
 
@@ -216,7 +216,7 @@ class NetworkOnChip:
 
         buffers = self._router_buffers(ctx)
         crossbar = self._router_crossbar(ctx)
-        allocator = LogicBlock("noc-alloc", _ALLOCATOR_GATES, activity=0.3)
+        allocator = LogicBlock("noc-alloc", ALLOCATOR_GATES, activity=0.3)
         router_area = (
             buffers.area_mm2(tech)
             + crossbar.area_mm2(tech)

@@ -35,6 +35,10 @@ from repro.units import (
 )
 
 
+#: Placement overhead of the distributed I/O FIFO lanes.
+FIFO_PLACEMENT_OVERHEAD = 1.15
+
+
 class InterconnectKind(enum.Enum):
     """Inner-TU interconnection style (Fig. 2(c))."""
 
@@ -333,7 +337,7 @@ class TensorUnit:
         fifo_bank = self._fifo()
         fifo = Estimate(
             name="io fifo",
-            area_mm2=fifo_bank.area_mm2(tech) * 1.15,
+            area_mm2=fifo_bank.area_mm2(tech) * FIFO_PLACEMENT_OVERHEAD,
             dynamic_w=dynamic_power_w(
                 fifo_bank.energy_per_active_cycle_pj(tech) * overhead,
                 ctx.freq_ghz,

@@ -20,7 +20,13 @@ from repro.tech import calibration
 from repro.units import dynamic_power_w, um2_to_mm2
 
 #: Gates of the per-lane special-function block (LUT + shifter + compare).
-_DEFAULT_SFU_GATES = 2_500
+DEFAULT_SFU_GATES = 2_500
+
+#: VU ALU energy relative to a full MAC (most vector ops skip the multiply).
+MAC_ENERGY_FRACTION = 0.6
+
+#: Switching activity of the special-function block.
+SFU_ACTIVITY = 0.15
 
 
 @dataclass(frozen=True)
@@ -40,7 +46,7 @@ class VectorUnitConfig:
 
     lanes: int
     dtype: DataType = INT32
-    sfu_gates: int = _DEFAULT_SFU_GATES
+    sfu_gates: int = DEFAULT_SFU_GATES
     pipeline_depth: int = 4
 
     def __post_init__(self) -> None:
@@ -70,10 +76,10 @@ class VectorUnit:
 
     def lane_energy_pj(self, ctx: ModelContext) -> float:
         """Energy of one lane executing one vector element operation."""
-        energy = self._lane_mac().energy_per_mac_pj(ctx.tech) * 0.6
+        energy = self._lane_mac().energy_per_mac_pj(ctx.tech) * MAC_ENERGY_FRACTION
         energy += self._lane_regs().energy_per_active_cycle_pj(ctx.tech)
         energy += LogicBlock(
-            "vu-sfu", self.config.sfu_gates, activity=0.15
+            "vu-sfu", self.config.sfu_gates, activity=SFU_ACTIVITY
         ).energy_per_cycle_pj(ctx.tech)
         return energy
 

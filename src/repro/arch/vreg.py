@@ -19,14 +19,14 @@ from repro.tech import calibration
 from repro.units import dynamic_power_w
 
 #: Architectural vector registers.
-_DEFAULT_ENTRIES = 32
+DEFAULT_ENTRIES = 32
 
 #: Bits per vector element held in the VReg (accumulation width).
-_ELEMENT_BITS = 32
+ELEMENT_BITS = 32
 
 #: Ports reserved per attached functional unit.
-_READ_PORTS_PER_UNIT = 2
-_WRITE_PORTS_PER_UNIT = 1
+READ_PORTS_PER_UNIT = 2
+WRITE_PORTS_PER_UNIT = 1
 
 
 @dataclass(frozen=True)
@@ -46,7 +46,7 @@ class VRegConfig:
     vector_lanes: int
     attached_units: int
     shared_ports: bool = False
-    entries: int = _DEFAULT_ENTRIES
+    entries: int = DEFAULT_ENTRIES
 
     def __post_init__(self) -> None:
         if self.vector_lanes < 1:
@@ -65,11 +65,11 @@ class VRegConfig:
 
     @property
     def read_ports(self) -> int:
-        return _READ_PORTS_PER_UNIT * self.port_groups
+        return READ_PORTS_PER_UNIT * self.port_groups
 
     @property
     def write_ports(self) -> int:
-        return _WRITE_PORTS_PER_UNIT * self.port_groups
+        return WRITE_PORTS_PER_UNIT * self.port_groups
 
     @property
     def issue_width(self) -> int:
@@ -87,7 +87,7 @@ class VectorRegisterFile:
         cfg = self.config
         return RegisterFile(
             entries=cfg.entries,
-            word_bits=cfg.vector_lanes * _ELEMENT_BITS,
+            word_bits=cfg.vector_lanes * ELEMENT_BITS,
             read_ports=cfg.read_ports,
             write_ports=cfg.write_ports,
         )

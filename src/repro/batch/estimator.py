@@ -1,0 +1,241 @@
+"""Batch estimation: whole-sweep evaluation in a handful of array ops.
+
+The scalar path builds a :class:`~repro.arch.chip.Chip` object tree per
+design point and walks it; for a Table I sweep that repeats the same
+closed-form arithmetic a few hundred times with different ``(X, N, Tx,
+Ty)``.  :class:`BatchEstimator` canonicalizes the sweep into parallel
+coordinate arrays (:class:`GridAxes`), hoists everything point-independent
+into a :class:`~repro.batch.substrate.TechSubstrate`, and evaluates the
+whole grid through the NumPy kernels in :mod:`repro.batch.kernels`.
+
+The vector path is *opt-in safe*: :func:`supports_vector_path` proves a
+point builds the exact datacenter preset configuration (anything else —
+training presets, exotic datatypes, custom ``build()`` overrides — is
+reported for scalar fallback), SRAM-search-infeasible points are routed
+back to the scalar path so they fail with the same
+:class:`~repro.errors.OptimizationError` the scalar model raises, and the
+batched outputs pass the same NaN/inf/range screens the component cache
+applies (:mod:`repro.integrity.contracts`), vectorized over the grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.arch.component import ModelContext
+from repro.config.presets import datacenter_context, datacenter_design_point
+from repro.dse.journal import SummaryResult
+from repro.dse.space import DesignPoint
+from repro.errors import ConfigurationError, NumericalError
+
+try:  # NumPy is the whole point of this package; degrade loudly without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: Grid fields screened before any point is materialized.
+_SCREENED_FIELDS = ("area_mm2", "tdp_w", "peak_tops", "timing_ns")
+
+#: Fallback reason: the point's chip config differs from the datacenter
+#: preset shape the kernels transcribe.
+UNSUPPORTED_CONFIG = "unsupported-config"
+#: Fallback reason: the vectorized SRAM organization search found no
+#: feasible organization (scalar path raises OptimizationError).
+SRAM_INFEASIBLE = "sram-infeasible"
+#: Fallback reason: a batched output failed the NaN/inf/range screen.
+SCREEN_FAILED = "screen-failed"
+
+
+def supports_vector_path(point: DesignPoint) -> bool:
+    """True when ``point`` builds the exact datacenter preset config.
+
+    The batch kernels transcribe the datacenter inference preset
+    (:func:`~repro.config.presets.datacenter_design_point`): int8
+    weight-stationary systolic cells, the 32 MiB shared Mem pool, the
+    auto-scaled VU/VReg/LSU, HBM2 + PCIe + DMA periphery.  A point whose
+    ``build()`` produces any other configuration (a training preset with
+    bf16 cells, a subclass overriding ``build()``, a custom memory pool)
+    is not supported and must take the scalar path.
+
+    The check compares frozen config dataclasses, so it is exact: any
+    drift between the preset and a custom point — down to a single
+    coefficient — disqualifies the vector path rather than silently
+    mis-modeling the point.
+    """
+    if not HAVE_NUMPY:
+        return False
+    try:
+        built = point.build().config
+        reference = datacenter_design_point(
+            point.x, point.n, point.tx, point.ty
+        ).config
+    except Exception:
+        return False
+    return built == reference
+
+
+@dataclass(frozen=True)
+class GridAxes:
+    """Canonicalized sweep coordinates: parallel per-point axis tuples."""
+
+    x: Tuple[int, ...]
+    n: Tuple[int, ...]
+    tx: Tuple[int, ...]
+    ty: Tuple[int, ...]
+
+    @classmethod
+    def from_points(cls, points: Sequence[DesignPoint]) -> "GridAxes":
+        return cls(
+            x=tuple(p.x for p in points),
+            n=tuple(p.n for p in points),
+            tx=tuple(p.tx for p in points),
+            ty=tuple(p.ty for p in points),
+        )
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Per-point outcome of one vectorized batch evaluation.
+
+    ``summaries[i]`` is the materialized result for ``points[i]``, or
+    ``None`` when the point must take the scalar path; in that case
+    ``fallback_reasons[i]`` names why (:data:`UNSUPPORTED_CONFIG`,
+    :data:`SRAM_INFEASIBLE`, or :data:`SCREEN_FAILED`).
+    """
+
+    points: Tuple[DesignPoint, ...]
+    summaries: Tuple[Optional[SummaryResult], ...]
+    fallback_reasons: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def fallback_indices(self) -> Tuple[int, ...]:
+        """Indices that must be (re-)evaluated through the scalar path."""
+        return tuple(sorted(self.fallback_reasons))
+
+    @property
+    def vectorized_count(self) -> int:
+        return len(self.points) - len(self.fallback_reasons)
+
+
+class BatchEstimator:
+    """Evaluate many design points against one fixed tech substrate.
+
+    Args:
+        ctx: Model context shared by every point; defaults to the Table I
+            datacenter context.
+        strict_screen: When true, a batched output failing the
+            NaN/inf/range screen raises
+            :class:`~repro.errors.NumericalError` instead of being
+            marked for scalar fallback (``backend="vector"`` semantics;
+            SRAM-infeasible points still fall back, because the scalar
+            path raises the matching model error for them).
+    """
+
+    def __init__(
+        self,
+        ctx: Optional[ModelContext] = None,
+        *,
+        strict_screen: bool = False,
+    ) -> None:
+        if not HAVE_NUMPY:
+            raise ConfigurationError(
+                "the vector estimation backend requires NumPy; "
+                "use backend='scalar'"
+            )
+        self.ctx = ctx if ctx is not None else datacenter_context()
+        self.strict_screen = strict_screen
+
+    def estimate_points(
+        self, points: Iterable[DesignPoint]
+    ) -> BatchResult:
+        """Evaluate ``points``; vectorize what the kernels support.
+
+        Unsupported, infeasible, and screen-failing points come back
+        with ``summaries[i] is None`` and a fallback reason — the caller
+        (the sweep engine's ``auto``/``vector`` backends) re-evaluates
+        them through the scalar path so failure records match the
+        scalar backend exactly.
+        """
+        from repro.batch.kernels import estimate_grid
+        from repro.batch.substrate import substrate_for
+
+        resolved = tuple(points)
+        reasons: Dict[int, str] = {}
+        supported: list = []
+        for index, point in zip(itertools.count(), resolved):
+            if supports_vector_path(point):
+                supported.append(index)
+            else:
+                reasons[index] = UNSUPPORTED_CONFIG
+        summaries: list = [None] * len(resolved)
+        if supported:
+            axes = GridAxes.from_points([resolved[i] for i in supported])
+            sub = substrate_for(self.ctx)
+            grid = estimate_grid(
+                sub,
+                _np.asarray(axes.x, dtype=float),
+                _np.asarray(axes.n, dtype=float),
+                _np.asarray(axes.tx, dtype=float),
+                _np.asarray(axes.ty, dtype=float),
+            )
+            feasible = _np.asarray(grid["feasible"], dtype=bool)
+            clean = self._screen(grid, feasible)
+            for i, ok, infeasible_free, area, tdp, peak in zip(
+                supported,
+                clean,
+                feasible,
+                grid["area_mm2"],
+                grid["tdp_w"],
+                grid["peak_tops"],
+            ):
+                if not infeasible_free:
+                    reasons[i] = SRAM_INFEASIBLE
+                elif not ok:
+                    reasons[i] = SCREEN_FAILED
+                else:
+                    summaries[i] = SummaryResult(
+                        point=resolved[i],
+                        area_mm2=float(area),
+                        tdp_w=float(tdp),
+                        peak_tops=float(peak),
+                    )
+        return BatchResult(
+            points=resolved,
+            summaries=tuple(summaries),
+            fallback_reasons=reasons,
+        )
+
+    def _screen(self, grid: dict, feasible: "_np.ndarray") -> "_np.ndarray":
+        """Vectorized NaN/inf/range screen over the batched outputs.
+
+        Mirrors :func:`repro.integrity.contracts.screen_value`: every
+        screened field must be finite and non-negative (and the headline
+        metrics strictly positive, matching ``validate_result``).
+        Infeasible points are exempt — they are NaN-poisoned by design
+        and routed to the scalar path for the authentic model error.
+        """
+        clean = _np.ones(feasible.shape, dtype=bool)
+        for name in _SCREENED_FIELDS:
+            values = _np.asarray(grid[name], dtype=float)
+            ok = _np.isfinite(values)
+            if name in ("area_mm2", "tdp_w", "peak_tops"):
+                ok &= values > 0.0
+            else:
+                ok &= values >= 0.0
+            bad = feasible & ~ok
+            if self.strict_screen and bool(_np.any(bad)):
+                index = int(_np.argmax(bad))
+                raise NumericalError(
+                    f"batch.{name}[{index}]",
+                    float(values[index]),
+                    "failed the batched numeric screen",
+                )
+            clean &= ok
+        return clean

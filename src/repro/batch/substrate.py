@@ -1,0 +1,189 @@
+"""Point-independent model state hoisted out of the vectorized hot loop.
+
+A Table I sweep varies only ``(X, N, T_x, T_y)``; everything else — the
+technology node, the per-MAC circuit scalars, the wire RC parameters, and
+whole blocks whose configuration never changes (instruction fetch, scalar
+unit, memory controller, PCIe, DMA) — is fixed for a given
+:class:`~repro.arch.component.ModelContext`.  :class:`TechSubstrate`
+evaluates all of that exactly once, using the *real* scalar models, so the
+array kernels in :mod:`repro.batch.kernels` only have to transcribe the
+point-dependent closed forms.
+
+Because the fixed blocks are evaluated through their own ``estimate()``
+methods, their contributions are bit-identical to the scalar walk; only
+the point-dependent formulas are re-derived (and covered by the
+scalar/vector equivalence suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.arch.chip import ChipConfig
+from repro.arch.component import Estimate, ModelContext
+from repro.arch.vector_unit import VectorUnitConfig
+from repro.circuit.mac import MacModel
+from repro.config.presets import (
+    DATACENTER_MEM_CAPACITY_BYTES,
+    DATACENTER_MEM_SLICE_FLOOR_BYTES,
+    datacenter_design_point,
+)
+from repro.datatypes import INT32
+from repro.tech.node import TechNode
+from repro.tech.wire import WireParams, WireType, wire_params
+
+
+@dataclass(frozen=True)
+class MacScalars:
+    """Per-operation scalars of one MAC configuration at a fixed node."""
+
+    energy_per_mac_pj: float
+    area_um2: float
+    delay_ns: float
+    leakage_w: float
+
+    @classmethod
+    def from_model(cls, mac: MacModel, tech: TechNode) -> "MacScalars":
+        return cls(
+            energy_per_mac_pj=mac.energy_per_mac_pj(tech),
+            area_um2=mac.area_um2(tech),
+            delay_ns=mac.delay_ns(tech),
+            leakage_w=mac.leakage_w(tech),
+        )
+
+
+@dataclass(frozen=True)
+class BlockScalars:
+    """Flattened rollup of one point-independent block's estimate."""
+
+    area_mm2: float
+    dynamic_w: float
+    leakage_w: float
+    cycle_time_ns: float
+
+    @classmethod
+    def from_estimate(cls, est: Estimate) -> "BlockScalars":
+        return cls(
+            area_mm2=est.area_mm2,
+            dynamic_w=est.dynamic_w,
+            leakage_w=est.leakage_w,
+            cycle_time_ns=est.cycle_time_ns,
+        )
+
+
+@dataclass(frozen=True)
+class TechSubstrate:
+    """Everything the batch kernels need that does not vary per point."""
+
+    ctx: ModelContext
+    tech: TechNode
+    freq_ghz: float
+    cycle_ns: float
+    #: systolic-cell MAC (INT8 inputs, INT32 accumulate) scalars.
+    mac_tensor: MacScalars
+    #: vector-lane MAC (INT32 inputs, INT32 accumulate) scalars.
+    mac_vector: MacScalars
+    wire_local: WireParams
+    wire_intermediate: WireParams
+    wire_global: WireParams
+    #: name -> rollup for IFU / scalar unit / memory controller / PCIe / DMA.
+    fixed_blocks: Dict[str, BlockScalars]
+    #: the probe chip's configuration; kernels read the point-independent
+    #: knobs (cell dtype/control gates, FIFO depth, NoC bisection, ...) from
+    #: here so preset changes flow into the vector path automatically.
+    template_config: ChipConfig
+    #: the auto-scaled VU configuration (dtype / SFU gates / pipeline depth;
+    #: the lane count is the swept ``X`` and is ignored).
+    template_vu_config: VectorUnitConfig
+    template_in_bits: int
+    template_lsu_queue_entries: int
+    template_mem_pool_bytes: int
+    template_mem_slice_floor_bytes: int
+    template_mem_latency_cycles: int
+    template_noc_bisection_gbps: float
+    template_whitespace_fraction: float
+
+    @property
+    def chip_fixed_blocks(self) -> Tuple[BlockScalars, ...]:
+        """Chip-level fixed blocks: memory controller + PCIe + DMA."""
+        return tuple(
+            self.fixed_blocks[name]
+            for name in _CHIP_FIXED_NAMES
+            if name in self.fixed_blocks
+        )
+
+    @classmethod
+    def build(cls, ctx: ModelContext) -> "TechSubstrate":
+        """Hoist scalars and fixed-block estimates for ``ctx``.
+
+        The probe chip is the smallest datacenter template; the blocks
+        harvested from it (IFU, scalar unit, memory controller, PCIe,
+        DMA) are configured identically at every Table I point, which is
+        exactly what the vector-path support check guarantees.
+        """
+        template = datacenter_design_point(4, 1, 1, 1)
+        tech = ctx.tech
+        cell = template.config.core.tu.cell
+        mac_tensor = MacScalars.from_model(cell.mac, tech)
+        mac_vector = MacScalars.from_model(MacModel(INT32, INT32), tech)
+        core = template.core
+        fixed = {
+            "ifu": BlockScalars.from_estimate(core.ifu.estimate(ctx)),
+            "scalar_unit": BlockScalars.from_estimate(
+                core.scalar_unit.estimate(ctx)
+            ),
+        }
+        mc = template.memory_controller()
+        if mc is not None:
+            fixed["memory_controller"] = BlockScalars.from_estimate(
+                mc.estimate(ctx)
+            )
+        if template.config.pcie is not None:
+            fixed["pcie"] = BlockScalars.from_estimate(
+                template.config.pcie.estimate(ctx)
+            )
+        if template.config.dma is not None:
+            fixed["dma"] = BlockScalars.from_estimate(
+                template.config.dma.estimate(ctx)
+            )
+        return cls(
+            ctx=ctx,
+            tech=tech,
+            freq_ghz=ctx.freq_ghz,
+            cycle_ns=ctx.cycle_ns,
+            mac_tensor=mac_tensor,
+            mac_vector=mac_vector,
+            wire_local=wire_params(tech, WireType.LOCAL),
+            wire_intermediate=wire_params(tech, WireType.INTERMEDIATE),
+            wire_global=wire_params(tech, WireType.GLOBAL),
+            fixed_blocks=fixed,
+            template_config=template.config,
+            template_vu_config=core.vector_unit.config,
+            template_in_bits=cell.input_dtype.bits,
+            template_lsu_queue_entries=core.lsu.queue_entries,
+            template_mem_pool_bytes=DATACENTER_MEM_CAPACITY_BYTES,
+            template_mem_slice_floor_bytes=DATACENTER_MEM_SLICE_FLOOR_BYTES,
+            template_mem_latency_cycles=template.config.core.mem.latency_cycles,
+            template_noc_bisection_gbps=template.config.noc_bisection_gbps,
+            template_whitespace_fraction=template.config.whitespace_fraction,
+        )
+
+
+_CHIP_FIXED_NAMES: Tuple[str, ...] = ("memory_controller", "pcie", "dma")
+
+_SUBSTRATES: Dict[ModelContext, TechSubstrate] = {}
+
+
+def substrate_for(ctx: ModelContext) -> TechSubstrate:
+    """Build (or reuse) the substrate for ``ctx``.
+
+    Substrates are cached per context: a sweep calls this once, and
+    repeated sweeps in one process (CLI, benchmarks, tests) share the
+    hoisted state.
+    """
+    cached = _SUBSTRATES.get(ctx)
+    if cached is None:
+        cached = TechSubstrate.build(ctx)
+        _SUBSTRATES[ctx] = cached
+    return cached

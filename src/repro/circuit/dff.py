@@ -16,10 +16,10 @@ from repro.tech.node import TechNode
 from repro.units import fj_to_pj, nw_to_w, ps_to_ns, um2_to_mm2
 
 #: Fraction of DFF energy drawn by the clock pins (the rest is data path).
-_CLOCK_ENERGY_FRACTION = 0.4
+CLOCK_ENERGY_FRACTION = 0.4
 
 #: Average fraction of data bits toggling per write.
-_DEFAULT_DATA_ACTIVITY = 0.5
+DEFAULT_DATA_ACTIVITY = 0.5
 
 
 @dataclass(frozen=True)
@@ -36,7 +36,7 @@ class DffBank:
 
     name: str
     bits: int
-    data_activity: float = _DEFAULT_DATA_ACTIVITY
+    data_activity: float = DEFAULT_DATA_ACTIVITY
     clock_gated: bool = True
 
     def __post_init__(self) -> None:
@@ -56,8 +56,8 @@ class DffBank:
     def energy_per_active_cycle_pj(self, tech: TechNode) -> float:
         """Energy on a cycle where the bank is clocked and written."""
         per_bit_fj = tech.dff_energy_fj * (
-            _CLOCK_ENERGY_FRACTION
-            + (1.0 - _CLOCK_ENERGY_FRACTION) * self.data_activity
+            CLOCK_ENERGY_FRACTION
+            + (1.0 - CLOCK_ENERGY_FRACTION) * self.data_activity
         )
         return fj_to_pj(self.bits * per_bit_fj)
 
@@ -69,7 +69,7 @@ class DffBank:
         if self.clock_gated:
             return 0.0
         return fj_to_pj(
-            self.bits * tech.dff_energy_fj * _CLOCK_ENERGY_FRACTION
+            self.bits * tech.dff_energy_fj * CLOCK_ENERGY_FRACTION
         )
 
     def leakage_w(self, tech: TechNode) -> float:

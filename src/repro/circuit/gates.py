@@ -17,10 +17,10 @@ from repro.tech.node import TechNode
 from repro.units import fj_to_pj, nw_to_w, ps_to_ns, um2_to_mm2
 
 #: Area margin for intra-block routing on top of raw cell area.
-_ROUTING_OVERHEAD = 1.25
+ROUTING_OVERHEAD = 1.25
 
 #: Fraction of gates that toggle on an average active cycle.
-_DEFAULT_ACTIVITY = 0.10
+DEFAULT_ACTIVITY = 0.10
 
 
 @dataclass(frozen=True)
@@ -37,7 +37,7 @@ class LogicBlock:
 
     name: str
     gate_count: int
-    activity: float = _DEFAULT_ACTIVITY
+    activity: float = DEFAULT_ACTIVITY
     logic_depth: int = 12
 
     def __post_init__(self) -> None:
@@ -58,7 +58,7 @@ class LogicBlock:
     def area_mm2(self, tech: TechNode) -> float:
         """Placed-and-routed block area."""
         return um2_to_mm2(
-            self.gate_count * tech.gate_area_um2 * _ROUTING_OVERHEAD
+            self.gate_count * tech.gate_area_um2 * ROUTING_OVERHEAD
         )
 
     def energy_per_cycle_pj(self, tech: TechNode) -> float:

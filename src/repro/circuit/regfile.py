@@ -19,13 +19,13 @@ from repro.tech.node import TechNode
 from repro.units import fj_to_pj, nw_to_w, ps_to_ns, um2_to_mm2
 
 #: A 2-port register cell is ~4x a 6T SRAM cell.
-_BASE_CELL_SRAM_RATIO = 4.0
+BASE_CELL_SRAM_RATIO = 4.0
 
 #: Linear pitch growth per port beyond the second, in each dimension.
-_PORT_PITCH_GROWTH = 0.25
+PORT_PITCH_GROWTH = 0.25
 
 #: Peripheral (decoder/driver/mux) overhead on top of the cell array.
-_PERIPHERY_OVERHEAD = 1.35
+PERIPHERY_OVERHEAD = 1.35
 
 
 @dataclass(frozen=True)
@@ -61,8 +61,8 @@ class RegisterFile:
         return self.entries * self.word_bits
 
     def _cell_area_um2(self, tech: TechNode) -> float:
-        growth = 1.0 + _PORT_PITCH_GROWTH * max(0, self.total_ports - 2)
-        return tech.sram_cell_um2 * _BASE_CELL_SRAM_RATIO * growth**2
+        growth = 1.0 + PORT_PITCH_GROWTH * max(0, self.total_ports - 2)
+        return tech.sram_cell_um2 * BASE_CELL_SRAM_RATIO * growth**2
 
     def area_mm2(self, tech: TechNode) -> float:
         """Array plus per-port decoders and drivers."""
@@ -72,11 +72,11 @@ class RegisterFile:
             decoder_gate_count(_log2_int(self.entries)) * self.total_ports,
         )
         periph = decoder.gate_count * tech.gate_area_um2
-        return um2_to_mm2((cells + periph) * _PERIPHERY_OVERHEAD)
+        return um2_to_mm2((cells + periph) * PERIPHERY_OVERHEAD)
 
     def read_energy_pj(self, tech: TechNode) -> float:
         """Energy of one full-width read on one port."""
-        growth = 1.0 + _PORT_PITCH_GROWTH * max(0, self.total_ports - 2)
+        growth = 1.0 + PORT_PITCH_GROWTH * max(0, self.total_ports - 2)
         per_bit_fj = tech.dff_energy_fj * 0.30 * growth
         decode = LogicBlock(
             "rf-decode", decoder_gate_count(_log2_int(self.entries))
@@ -85,7 +85,7 @@ class RegisterFile:
 
     def write_energy_pj(self, tech: TechNode) -> float:
         """Energy of one full-width write on one port."""
-        growth = 1.0 + _PORT_PITCH_GROWTH * max(0, self.total_ports - 2)
+        growth = 1.0 + PORT_PITCH_GROWTH * max(0, self.total_ports - 2)
         per_bit_fj = tech.dff_energy_fj * 0.55 * growth
         decode = LogicBlock(
             "rf-decode", decoder_gate_count(_log2_int(self.entries))
@@ -94,7 +94,7 @@ class RegisterFile:
 
     def leakage_w(self, tech: TechNode) -> float:
         """Static power of cells and periphery."""
-        growth = 1.0 + _PORT_PITCH_GROWTH * max(0, self.total_ports - 2)
+        growth = 1.0 + PORT_PITCH_GROWTH * max(0, self.total_ports - 2)
         cell_leak = nw_to_w(
             self.bits * tech.sram_bit_leak_nw * 2.0 * growth
         )

@@ -43,29 +43,38 @@ from repro.units import (
 )
 
 #: Redundancy + ECC storage overhead on top of the logical capacity.
-_ECC_REDUNDANCY_FACTOR = 1.20
+ECC_REDUNDANCY_FACTOR = 1.20
 
 #: Linear cell-pitch growth per port beyond the first (extra word/bit lines).
-_PORT_PITCH_GROWTH = 0.35
+PORT_PITCH_GROWTH = 0.35
 
 #: Area margin for inter-subarray and inter-bank routing.
-_ARRAY_ROUTING_OVERHEAD = 1.30
+ARRAY_ROUTING_OVERHEAD = 1.30
 
 #: Read bitline swing as a fraction of Vdd (sense-amp assisted small swing).
-_READ_SWING = 0.25
+READ_SWING = 0.25
 
 #: Sense-amplifier energy per sensed bit at the 45 nm anchor, scaled by node.
-_SENSE_ENERGY_FJ_45NM = 5.0
+SENSE_ENERGY_FJ_45NM = 5.0
 
 #: SRAM cell pull-down resistance used for the bitline Elmore delay.
-_CELL_ON_RESISTANCE_OHM = 12_000.0
+CELL_ON_RESISTANCE_OHM = 12_000.0
+
+#: Word-line driver output resistance for the Elmore delay.
+WORDLINE_DRIVER_OHM = 2_000.0
+
+#: Per-subarray control gates beyond the row decoder.
+SUBARRAY_CONTROL_GATES = 400
+
+#: Gate energy (fJ) of the 45 nm anchor node the sense-amp energy scales by.
+SENSE_ANCHOR_GATE_ENERGY_FJ = 1.70
 
 #: Aspect ratio (width / height) of a 6T cell.
-_CELL_ASPECT = 1.45
+CELL_ASPECT = 1.45
 
-_SUBARRAY_ROW_CHOICES = (64, 128, 256, 512)
-_MAX_SUBARRAY_COLS = 512
-_MAX_BANKS = 4096
+SUBARRAY_ROW_CHOICES = (64, 128, 256, 512)
+MAX_SUBARRAY_COLS = 512
+MAX_BANKS = 4096
 
 
 @dataclass(frozen=True)
@@ -150,12 +159,12 @@ class SramArray:
     def bank_bits(self) -> float:
         """Stored bits per bank including ECC/redundancy."""
         logical = self.capacity_bytes * 8 / self.banks
-        return logical * _ECC_REDUNDANCY_FACTOR
+        return logical * ECC_REDUNDANCY_FACTOR
 
     @property
     def subarray_cols(self) -> int:
         """Bit lines per subarray (wide blocks split across subarrays)."""
-        return min(max(self.block_bytes * 8, 32), _MAX_SUBARRAY_COLS)
+        return min(max(self.block_bytes * 8, 32), MAX_SUBARRAY_COLS)
 
     @property
     def activated_subarrays(self) -> int:
@@ -172,10 +181,10 @@ class SramArray:
 
     def _cell_dims_um(self, tech: TechNode) -> tuple[float, float]:
         """(width, height) of one multi-port cell in um."""
-        growth = 1.0 + _PORT_PITCH_GROWTH * (self.total_ports - 1)
+        growth = 1.0 + PORT_PITCH_GROWTH * (self.total_ports - 1)
         area = tech.sram_cell_um2 * growth**2
-        height = math.sqrt(area / _CELL_ASPECT)
-        return (_CELL_ASPECT * height, height)
+        height = math.sqrt(area / CELL_ASPECT)
+        return (CELL_ASPECT * height, height)
 
     # -- area ------------------------------------------------------------------
 
@@ -192,7 +201,8 @@ class SramArray:
         # Row periphery (decoder + word-line drivers): ~12 cell-widths wide.
         row_periph = rows * cell_h * (12.0 * cell_w)
         control = LogicBlock(
-            "subarray-ctrl", decoder_gate_count(_log2_int(rows)) + 400
+            "subarray-ctrl",
+            decoder_gate_count(_log2_int(rows)) + SUBARRAY_CONTROL_GATES,
         )
         return cell_area + column_periph + row_periph + control.gate_count * (
             tech.gate_area_um2
@@ -217,7 +227,7 @@ class SramArray:
         total_um2 = (
             self.banks
             * per_bank
-            * _ARRAY_ROUTING_OVERHEAD
+            * ARRAY_ROUTING_OVERHEAD
             * self._global_routing_factor()
         )
         return um2_to_mm2(total_um2)
@@ -264,16 +274,17 @@ class SramArray:
             bits
             * self._bitline_cap_ff(tech)
             * tech.vdd_v
-            * (_READ_SWING * tech.vdd_v)
+            * (READ_SWING * tech.vdd_v)
         )
         sense = fj_to_pj(
             bits
-            * _SENSE_ENERGY_FJ_45NM
+            * SENSE_ENERGY_FJ_45NM
             * tech.gate_energy_fj
-            / 1.70  # 45 nm anchor gate energy
+            / SENSE_ANCHOR_GATE_ENERGY_FJ
         )
         decode = self.activated_subarrays * LogicBlock(
-            "decode", decoder_gate_count(_log2_int(self.subarray_rows)) + 400
+            "decode", decoder_gate_count(_log2_int(self.subarray_rows))
+            + SUBARRAY_CONTROL_GATES
         ).energy_per_cycle_pj(tech)
         return (
             bitline
@@ -290,7 +301,8 @@ class SramArray:
             bits * self._bitline_cap_ff(tech) * tech.vdd_v**2
         )
         decode = self.activated_subarrays * LogicBlock(
-            "decode", decoder_gate_count(_log2_int(self.subarray_rows)) + 400
+            "decode", decoder_gate_count(_log2_int(self.subarray_rows))
+            + SUBARRAY_CONTROL_GATES
         ).energy_per_cycle_pj(tech)
         return (
             bitline
@@ -301,8 +313,8 @@ class SramArray:
 
     def leakage_w(self, tech: TechNode) -> float:
         """Static power: cells (with port growth) plus periphery gates."""
-        stored_bits = self.capacity_bytes * 8 * _ECC_REDUNDANCY_FACTOR
-        port_growth = 1.0 + 0.5 * _PORT_PITCH_GROWTH * (self.total_ports - 1)
+        stored_bits = self.capacity_bytes * 8 * ECC_REDUNDANCY_FACTOR
+        port_growth = 1.0 + 0.5 * PORT_PITCH_GROWTH * (self.total_ports - 1)
         cell_leak = nw_to_w(
             stored_bits * tech.sram_bit_leak_nw * port_growth
         )
@@ -329,15 +341,15 @@ class SramArray:
             total_resistance_ohm=wl_len_mm * wire.r_ohm_per_mm,
             total_capacitance_ff=wl_len_mm * wire.c_ff_per_mm
             + cols * tech.gate_cap_ff * 0.5,
-            driver_ohm=2_000.0,
+            driver_ohm=WORDLINE_DRIVER_OHM,
         )
 
         bl_len_mm = um_to_mm(rows * cell_h)
         bitline_ns = ladder_delay_ns(
             total_resistance_ohm=bl_len_mm * wire.r_ohm_per_mm,
             total_capacitance_ff=self._bitline_cap_ff(tech),
-            driver_ohm=_CELL_ON_RESISTANCE_OHM,
-        ) * _READ_SWING  # sense amps fire at the small-swing point
+            driver_ohm=CELL_ON_RESISTANCE_OHM,
+        ) * READ_SWING  # sense amps fire at the small-swing point
 
         sense_ns = ps_to_ns(2.0 * tech.fo4_ps)
         htree = wire_params(tech, WireType.INTERMEDIATE)
@@ -372,7 +384,7 @@ def optimize_sram(requirements: SramRequirements, tech: TechNode) -> SramArray:
     is feasible (e.g. an unreachable latency target).
     """
     best: Optional[tuple[float, float, SramArray]] = None
-    for candidate in _candidates(requirements):
+    for candidate in candidate_organizations(requirements):
         latency = candidate.access_latency_ns(tech)
         if latency > requirements.latency_bound_ns:
             continue
@@ -400,13 +412,21 @@ def optimize_sram(requirements: SramRequirements, tech: TechNode) -> SramArray:
     return best[2]
 
 
-def _candidates(requirements: SramRequirements) -> Iterator[SramArray]:
+def candidate_organizations(
+    requirements: SramRequirements,
+) -> Iterator[SramArray]:
+    """The fixed bank/port/subarray lattice the optimizer searches.
+
+    Public so alternative estimation backends (e.g. the vectorized batch
+    kernels) can replicate the search over exactly the same candidates in
+    exactly the same order — first-wins tie-breaking depends on the order.
+    """
     banks = 1
-    while banks <= _MAX_BANKS:
+    while banks <= MAX_BANKS:
         if requirements.capacity_bytes >= banks * requirements.block_bytes:
             for read_ports in (1, 2, 4):
                 for write_ports in (1, 2):
-                    for rows in _SUBARRAY_ROW_CHOICES:
+                    for rows in SUBARRAY_ROW_CHOICES:
                         yield SramArray(
                             capacity_bytes=requirements.capacity_bytes,
                             block_bytes=requirements.block_bytes,

@@ -82,11 +82,29 @@ def _add_context_arguments(parser: argparse.ArgumentParser) -> None:
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     """Robust-execution flags shared by the sweep-backed subcommands."""
     parser.add_argument(
+        "--backend",
+        choices=["auto", "scalar", "vector"],
+        default="auto",
+        help="estimation backend: 'vector' evaluates the sweep through "
+        "the NumPy batch kernels, 'scalar' walks the object model per "
+        "point, 'auto' (default) vectorizes supported shapes and falls "
+        "back to scalar per point otherwise",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
         metavar="N",
         help="worker processes for point evaluation (default 1)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        dest="chunk_size",
+        metavar="K",
+        help="points dispatched per worker chunk (default: auto, "
+        "about four chunks per worker)",
     )
     parser.add_argument(
         "--timeout-s",
@@ -175,8 +193,10 @@ def _engine_options(args: argparse.Namespace) -> dict:
     if args.resume and not args.journal:
         raise NeuroMeterError("--resume requires --journal PATH")
     return {
+        "backend": args.backend,
         "jobs": args.jobs,
         "timeout_s": args.timeout_s,
+        "chunk_size": args.chunk_size,
         "journal_path": args.journal,
         "resume": args.resume,
     }

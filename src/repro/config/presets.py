@@ -34,6 +34,9 @@ DATACENTER_AREA_BUDGET_MM2 = 500.0
 DATACENTER_POWER_BUDGET_W = 300.0
 DATACENTER_TOPS_CAP = 92.0
 
+#: Smallest per-core Mem slice when the 32 MiB pool is split across cores.
+DATACENTER_MEM_SLICE_FLOOR_BYTES = 64 * 1024
+
 
 # -- TPU-v1 (Fig. 3): 28 nm, 700 MHz, 0.86 V -----------------------------------
 
@@ -235,7 +238,9 @@ def datacenter_design_point(
         interconnect=InterconnectKind.UNICAST,
         dataflow=Dataflow.WEIGHT_STATIONARY,
     )
-    slice_bytes = max(mem_capacity_bytes // cores, 64 * 1024)
+    slice_bytes = max(
+        mem_capacity_bytes // cores, DATACENTER_MEM_SLICE_FLOOR_BYTES
+    )
     mem = OnChipMemoryConfig(
         capacity_bytes=slice_bytes,
         block_bytes=max(tu_length, 32),

@@ -14,9 +14,16 @@ points:
 * **Per-point fault isolation** — each evaluation runs in a guarded unit;
   an exception becomes a structured :class:`PointFailure` (error class,
   stage, wall time) instead of a traceback, unless ``strict=True``.
-* **Process-pool parallelism with per-point timeouts** — with ``jobs > 1``
-  or a ``timeout_s``, points run in forked worker processes; a hung point
-  is killed at the deadline and recorded as a timeout failure.
+* **Vectorized batch estimation** — with ``backend="vector"`` (or
+  ``"auto"``), peak-metric sweeps are evaluated through the NumPy array
+  kernels of :mod:`repro.batch` in a handful of array operations;
+  ``auto`` transparently routes unsupported or infeasible points back
+  through the scalar path so results match the scalar backend exactly.
+* **Persistent worker pool with per-point timeouts** — with ``jobs > 1``
+  or a ``timeout_s``, points run in forked worker processes that stay
+  warm across *chunks* of points instead of forking per point; a hung
+  point is killed at the deadline (failing only the in-flight point —
+  the rest of its chunk is requeued) and recorded as a timeout failure.
 * **Retry with graceful degradation** — a failed point is retried once
   with the workload recipe dropped, so the study still gets the
   area/TDP/peak-TOPS row where achievable (status ``degraded``).
@@ -34,11 +41,12 @@ The legacy :func:`repro.dse.sweep.sweep` delegates here with
 
 from __future__ import annotations
 
+import math
 import multiprocessing as mp
 import os
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait as _wait_connections
 from typing import Callable, Iterable, Optional, Sequence, Union
 
@@ -359,7 +367,7 @@ def _run_attempt(
     return result
 
 
-def _worker_main(
+def _evaluate_one(
     conn: Connection,
     task: _Task,
     workloads: Sequence[tuple[str, Graph]],
@@ -368,7 +376,7 @@ def _worker_main(
     latency_slo_ms: float,
     validate: bool,
 ) -> None:
-    """Forked worker: evaluate one point, ship the outcome over the pipe."""
+    """Evaluate one task inside a worker; ship the outcome over the pipe."""
     start = time.perf_counter()
     stats_before = get_estimate_cache().stats.snapshot()
     try:
@@ -377,12 +385,17 @@ def _worker_main(
         )
         elapsed = time.perf_counter() - start
         cache_delta = get_estimate_cache().stats.delta_since(stats_before)
-        payload = ("ok", result, elapsed, cache_delta)
+        payload = ("result", task.index, "ok", result, elapsed, cache_delta)
     except Exception as error:
         elapsed = time.perf_counter() - start
         cache_delta = get_estimate_cache().stats.delta_since(stats_before)
         payload = (
-            "error", _failure_payload(error, elapsed), elapsed, cache_delta
+            "result",
+            task.index,
+            "error",
+            _failure_payload(error, elapsed),
+            elapsed,
+            cache_delta,
         )
     try:
         conn.send(payload)
@@ -391,6 +404,8 @@ def _worker_main(
         # silently and being misread as a crash.
         conn.send(
             (
+                "result",
+                task.index,
                 "error",
                 {
                     "error_type": type(send_error).__name__,
@@ -406,8 +421,62 @@ def _worker_main(
                 cache_delta,
             )
         )
+
+
+def _pool_worker_main(
+    conn: Connection,
+    workloads: Sequence[tuple[str, Graph]],
+    batches: Sequence[object],
+    ctx: Optional[ModelContext],
+    latency_slo_ms: float,
+    validate: bool,
+) -> None:
+    """Persistent forked worker: evaluate chunks of tasks until stopped.
+
+    The worker stays warm between chunks — module imports, the estimate
+    cache, and any per-``(X, N)`` substrate entries inherited at fork time
+    are reused across every point it evaluates.  Each task's outcome is
+    shipped as its own ``("result", ...)`` message so the parent can track
+    per-point timeouts; a ``("done",)`` marker closes each chunk.
+    """
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if not isinstance(message, tuple) or message[0] != "chunk":
+                break
+            for task in message[1]:
+                _evaluate_one(
+                    conn,
+                    task,
+                    workloads,
+                    batches,
+                    ctx,
+                    latency_slo_ms,
+                    validate,
+                )
+            conn.send(("done",))
+    except (BrokenPipeError, EOFError, OSError):
+        pass  # parent went away; nothing left to report to
     finally:
         conn.close()
+
+
+@dataclass
+class _PoolWorker:
+    """Parent-side state of one persistent worker process."""
+
+    proc: mp.process.BaseProcess
+    conn: Connection
+    #: Tasks of the current chunk still awaiting a result message; the
+    #: head of the deque is the point the worker is evaluating right now.
+    pending: deque = field(default_factory=deque)
+    #: When the in-flight point started (chunk dispatch or last result).
+    started: float = 0.0
+    #: True while a chunk is outstanding (before its ``done`` marker).
+    busy: bool = False
 
 
 class _SweepRun:
@@ -428,6 +497,7 @@ class _SweepRun:
         resume: bool,
         latency_slo_ms: float,
         on_record: Optional[Callable[[PointRecord], None]],
+        chunk_size: Optional[int] = None,
     ):
         self.points = list(points)
         self.workloads = tuple(workloads)
@@ -435,6 +505,7 @@ class _SweepRun:
         self.ctx = ctx
         self.jobs = jobs
         self.timeout_s = timeout_s
+        self.chunk_size = chunk_size
         self.strict = strict
         self.retry_degraded = retry_degraded and not strict
         self.validate = validate
@@ -565,112 +636,208 @@ class _SweepRun:
                 cache=get_estimate_cache().stats.delta_since(stats_before),
             )
 
-    # -- forked execution -----------------------------------------------------
+    # -- vectorized execution -------------------------------------------------
+
+    def run_vector(self, tasks: deque[_Task], mode: str) -> deque[_Task]:
+        """Evaluate supported points through the batch kernels.
+
+        Returns the tasks the vector path could not finish — unsupported
+        configurations and SRAM-search-infeasible points — for the scalar
+        path, so ``auto`` sweeps produce exactly the records a scalar
+        sweep would (including authentic per-point failures).  With
+        ``mode == "vector"``, an unsupported configuration is a
+        :class:`~repro.errors.ConfigurationError` and a screen failure is
+        recorded (or raised, under ``strict``) instead of falling back.
+        """
+        from repro.batch.estimator import (
+            SCREEN_FAILED,
+            UNSUPPORTED_CONFIG,
+            BatchEstimator,
+        )
+
+        ordered = list(tasks)
+        estimator = BatchEstimator(self.ctx)
+        start = time.perf_counter()
+        batch = estimator.estimate_points([t.point for t in ordered])
+        share = (time.perf_counter() - start) / max(len(ordered), 1)
+        remaining: deque[_Task] = deque()
+        for offset, (task, summary) in enumerate(
+            zip(ordered, batch.summaries)
+        ):
+            if summary is not None:
+                if self.validate:
+                    validate_result(summary)
+                self._success(task, summary, share)
+                continue
+            reason = batch.fallback_reasons.get(offset, UNSUPPORTED_CONFIG)
+            if mode == "vector" and reason == UNSUPPORTED_CONFIG:
+                raise ConfigurationError(
+                    f"{task.point.label()} does not build the datacenter "
+                    "preset configuration the vector backend models; use "
+                    "backend='auto' to fall back to the scalar path for "
+                    "such points"
+                )
+            if mode == "vector" and reason == SCREEN_FAILED:
+                error = NumericalError(
+                    f"batch[{offset}]",
+                    float("nan"),
+                    "batched output failed the numeric screen",
+                )
+                if self.strict:
+                    raise error
+                self._failure(
+                    task,
+                    PointFailure.from_error(
+                        task.point,
+                        error,
+                        attempt=task.attempt,
+                        degraded=task.degraded,
+                    ),
+                )
+                continue
+            remaining.append(task)
+        return remaining
+
+    # -- forked execution (persistent chunked worker pool) --------------------
 
     def run_forked(self, tasks: deque[_Task]) -> None:
+        """Drain ``tasks`` through a pool of persistent forked workers.
+
+        Workers are forked once and fed *chunks* of tasks over duplex
+        pipes, so each process amortizes its fork/import cost over many
+        points and keeps its estimate cache warm across them.  Per-point
+        semantics are preserved: every task reports its own result
+        message, the per-point timeout clock restarts as each result
+        arrives, and a killed or crashed worker fails only the in-flight
+        point — the rest of its chunk is requeued for the survivors.
+        """
         mp_ctx = _mp_context()
-        running: dict[Connection, tuple[mp.process.BaseProcess, _Task, float]]
-        running = {}
+        chunk = self.chunk_size
+        if chunk is None:
+            chunk = max(1, math.ceil(len(tasks) / (4 * self.jobs)))
+        workers: list[_PoolWorker] = []
         try:
-            while tasks or running:
-                while tasks and len(running) < self.jobs:
-                    task = tasks.popleft()
-                    parent, child = mp_ctx.Pipe(duplex=False)
-                    proc = mp_ctx.Process(
-                        target=_worker_main,
-                        args=(
-                            child,
-                            task,
-                            self.workloads,
-                            self.batches,
-                            self.ctx,
-                            self.latency_slo_ms,
-                            self.validate,
-                        ),
-                        daemon=True,
-                    )
-                    proc.start()
-                    child.close()
-                    running[parent] = (proc, task, time.monotonic())
+            while True:
+                for worker in workers:
+                    if not worker.busy and tasks:
+                        self._dispatch_chunk(worker, tasks, chunk)
+                while tasks and len(workers) < self.jobs:
+                    worker = self._spawn_worker(mp_ctx)
+                    workers.append(worker)
+                    self._dispatch_chunk(worker, tasks, chunk)
+                busy = [w for w in workers if w.busy]
+                if not busy:
+                    break
                 ready = _wait_connections(
-                    list(running), timeout=self._poll_timeout(running)
+                    [w.conn for w in busy],
+                    timeout=self._poll_timeout(busy),
                 )
+                by_conn = {w.conn: w for w in workers}
                 for conn in ready:
-                    proc, task, _started = running.pop(conn)  # type: ignore[arg-type]
-                    retry = self._collect(conn, proc, task)
-                    if retry is not None:
-                        tasks.appendleft(retry)
-                for conn in self._expired(running):
-                    proc, task, started = running.pop(conn)
-                    retry = self._kill_timed_out(
-                        proc, task, time.monotonic() - started
-                    )
-                    conn.close()
-                    if retry is not None:
-                        tasks.appendleft(retry)
+                    worker = by_conn[conn]
+                    if not self._pool_receive(worker, tasks):
+                        workers.remove(worker)
+                for worker in self._expired(workers):
+                    self._kill_timed_out(worker, tasks)
+                    workers.remove(worker)
         finally:
-            for conn, (proc, _task, _started) in running.items():
-                if proc.is_alive():
-                    proc.kill()
-                proc.join()
-                conn.close()
+            for worker in workers:
+                self._shutdown_worker(worker)
+
+    def _spawn_worker(
+        self, mp_ctx: mp.context.BaseContext
+    ) -> _PoolWorker:
+        parent, child = mp_ctx.Pipe(duplex=True)
+        proc = mp_ctx.Process(
+            target=_pool_worker_main,
+            args=(
+                child,
+                self.workloads,
+                self.batches,
+                self.ctx,
+                self.latency_slo_ms,
+                self.validate,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        return _PoolWorker(proc=proc, conn=parent)
+
+    def _dispatch_chunk(
+        self, worker: _PoolWorker, tasks: deque[_Task], chunk: int
+    ) -> None:
+        batch = [tasks.popleft() for _ in range(min(chunk, len(tasks)))]
+        worker.pending = deque(batch)
+        worker.started = time.monotonic()
+        worker.busy = True
+        try:
+            worker.conn.send(("chunk", batch))
+        except (BrokenPipeError, OSError):
+            pass  # dead worker; the poll loop reaps it as a crash
+
+    def _shutdown_worker(self, worker: _PoolWorker) -> None:
+        if worker.proc.is_alive():
+            if worker.busy:
+                worker.proc.kill()
+            else:
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    worker.proc.kill()
+        worker.proc.join(_JOIN_GRACE_S)
+        if worker.proc.is_alive():  # pragma: no cover - defensive
+            worker.proc.kill()
+            worker.proc.join(_JOIN_GRACE_S)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
 
     def _poll_timeout(
-        self,
-        running: dict[Connection, tuple[mp.process.BaseProcess, _Task, float]],
+        self, busy: Sequence[_PoolWorker]
     ) -> Optional[float]:
-        if self.timeout_s is None or not running:
+        if self.timeout_s is None:
             return None
-        now = time.monotonic()
-        next_deadline = min(
-            started + self.timeout_s for (_, _, started) in running.values()
-        )
-        return max(0.0, next_deadline - now) + 0.02
+        tracked = [w.started for w in busy if w.pending]
+        if not tracked:
+            return None
+        next_deadline = min(tracked) + self.timeout_s
+        return max(0.0, next_deadline - time.monotonic()) + 0.02
 
     def _expired(
-        self,
-        running: dict[Connection, tuple[mp.process.BaseProcess, _Task, float]],
-    ) -> list[Connection]:
+        self, workers: Sequence[_PoolWorker]
+    ) -> list[_PoolWorker]:
         if self.timeout_s is None:
             return []
         now = time.monotonic()
         return [
-            conn
-            for conn, (_, _, started) in running.items()
-            if now - started > self.timeout_s
+            w
+            for w in workers
+            if w.busy and w.pending and now - w.started > self.timeout_s
         ]
 
-    def _collect(
-        self,
-        conn: Connection,
-        proc: mp.process.BaseProcess,
-        task: _Task,
-    ) -> Optional[_Task]:
-        """Read one worker's outcome; returns the retry task if any."""
+    def _pool_receive(
+        self, worker: _PoolWorker, tasks: deque[_Task]
+    ) -> bool:
+        """Handle one message from a worker; False when the worker died."""
         try:
-            kind, payload, wall_time_s, cache_delta = conn.recv()
+            message = worker.conn.recv()
         except (EOFError, OSError):
-            proc.join()
-            failure = PointFailure(
-                point=task.point,
-                stage="evaluate",
-                error_type="WorkerCrash",
-                message=(
-                    "worker died without reporting "
-                    f"(exit code {proc.exitcode})"
-                ),
-                attempt=task.attempt,
-                degraded=task.degraded,
-            )
-            if self.strict:
-                raise NeuroMeterError(failure.describe()) from None
-            return self._failure(task, failure)
-        finally:
-            conn.close()
-        proc.join()
-        if kind == "ok":
+            return self._pool_crash(worker, tasks)
+        if message[0] == "done":
+            worker.pending.clear()
+            worker.busy = False
+            return True
+        _kind, index, status, payload, wall_time_s, cache_delta = message
+        if not worker.pending or worker.pending[0].index != index:
+            # Protocol desync (should not happen); drop the worker.
+            return self._pool_crash(worker, tasks)
+        task = worker.pending.popleft()
+        worker.started = time.monotonic()  # next point's clock starts now
+        if status == "ok":
             self._success(task, payload, wall_time_s, cache=cache_delta)
-            return None
+            return True
         failure = PointFailure.from_dict(
             task.point,
             {**payload, "attempt": task.attempt, "degraded": task.degraded},
@@ -680,17 +847,60 @@ class _SweepRun:
             if isinstance(original, BaseException):
                 raise original
             raise NeuroMeterError(failure.describe())
-        return self._failure(task, failure, cache=cache_delta)
+        retry = self._failure(task, failure, cache=cache_delta)
+        if retry is not None:
+            tasks.append(retry)
+        return True
+
+    def _pool_crash(
+        self, worker: _PoolWorker, tasks: deque[_Task]
+    ) -> bool:
+        """Fail the in-flight point of a dead worker; requeue the rest."""
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        worker.proc.join(_JOIN_GRACE_S)
+        pending = worker.pending
+        worker.pending = deque()
+        worker.busy = False
+        if pending:
+            task = pending.popleft()
+            tasks.extend(pending)  # rerun the rest of the chunk elsewhere
+            failure = PointFailure(
+                point=task.point,
+                stage="evaluate",
+                error_type="WorkerCrash",
+                message=(
+                    "worker died without reporting "
+                    f"(exit code {worker.proc.exitcode})"
+                ),
+                attempt=task.attempt,
+                degraded=task.degraded,
+            )
+            if self.strict:
+                raise NeuroMeterError(failure.describe()) from None
+            retry = self._failure(task, failure)
+            if retry is not None:
+                tasks.append(retry)
+        return False
 
     def _kill_timed_out(
-        self,
-        proc: mp.process.BaseProcess,
-        task: _Task,
-        elapsed_s: float,
-    ) -> Optional[_Task]:
-        if proc.is_alive():
-            proc.kill()
-        proc.join(_JOIN_GRACE_S)
+        self, worker: _PoolWorker, tasks: deque[_Task]
+    ) -> None:
+        elapsed_s = time.monotonic() - worker.started
+        if worker.proc.is_alive():
+            worker.proc.kill()
+        worker.proc.join(_JOIN_GRACE_S)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        pending = worker.pending
+        worker.pending = deque()
+        worker.busy = False
+        task = pending.popleft()
+        tasks.extend(pending)  # only the in-flight point timed out
         failure = PointFailure(
             point=task.point,
             stage="timeout",
@@ -705,7 +915,9 @@ class _SweepRun:
         )
         if self.strict:
             raise PointTimeoutError(failure.describe())
-        return self._failure(task, failure)
+        retry = self._failure(task, failure)
+        if retry is not None:
+            tasks.append(retry)
 
 
 def run_sweep(
@@ -714,8 +926,10 @@ def run_sweep(
     batches: Iterable[object] = (),
     ctx: Optional[ModelContext] = None,
     *,
+    backend: str = "scalar",
     jobs: int = 1,
     timeout_s: Optional[float] = None,
+    chunk_size: Optional[int] = None,
     strict: bool = False,
     retry_degraded: bool = True,
     validate: bool = True,
@@ -733,11 +947,22 @@ def run_sweep(
         workloads: (name, graph) pairs to simulate per point.
         batches: Batch specs (ints or ``"latency-bound"``).
         ctx: Modeling context (Table I's by default).
+        backend: ``"scalar"`` evaluates every point through the object
+            model; ``"vector"`` evaluates the sweep through the NumPy
+            batch kernels (:mod:`repro.batch`) and rejects unsupported
+            configurations; ``"auto"`` uses the vector path for
+            supported peak-metric sweeps and transparently falls back to
+            the scalar path per point otherwise (workload simulation
+            always takes the scalar path).
         jobs: Worker processes.  ``jobs == 1`` with no timeout runs
-            inline in this process; otherwise points run in forked
-            workers.
+            inline in this process; otherwise points run in a pool of
+            persistent forked workers fed with chunks of points.
         timeout_s: Per-point wall-clock budget.  A point still running at
-            the deadline is killed and recorded as a ``timeout`` failure.
+            the deadline is killed and recorded as a ``timeout`` failure;
+            the remainder of its chunk is requeued, not failed.
+        chunk_size: Points dispatched to a pool worker at a time.
+            Defaults to ``ceil(points / (4 * jobs))`` so each worker gets
+            roughly four chunks per sweep.
         strict: Re-raise the first failure instead of recording it (the
             legacy ``sweep()`` contract).  Disables retries.
         retry_degraded: Retry a failed point once with the workload
@@ -766,17 +991,30 @@ def run_sweep(
         ConfigurationError: invalid engine options.
         NeuroMeterError: the first point failure, when ``strict=True``.
     """
+    if backend not in ("scalar", "vector", "auto"):
+        raise ConfigurationError(
+            f"backend must be 'scalar', 'vector', or 'auto', got {backend!r}"
+        )
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if timeout_s is not None and timeout_s <= 0:
         raise ConfigurationError(
             f"timeout_s must be positive, got {timeout_s}"
         )
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(
+            f"chunk_size must be >= 1, got {chunk_size}"
+        )
     if resume and journal_path is None:
         raise ConfigurationError("resume=True requires a journal_path")
 
     points = list(points)
     batches = tuple(batches)
+    if backend == "vector" and (workloads or batches):
+        raise ConfigurationError(
+            "backend='vector' models peak metrics only; drop the "
+            "workloads/batches or use backend='auto'"
+        )
     journal: Optional[Journal] = None
     if journal_path is not None:
         journal = Journal(journal_path, resume=resume)
@@ -795,6 +1033,7 @@ def run_sweep(
         resume=resume,
         latency_slo_ms=latency_slo_ms,
         on_record=on_record,
+        chunk_size=chunk_size,
     )
 
     try:
@@ -825,6 +1064,15 @@ def run_sweep(
                     on_record(record)
                 continue
             tasks.append(_Task(index=index, point=point))
+
+        if tasks and backend != "scalar" and not (workloads or batches):
+            use_vector = True
+            if backend == "auto":
+                from repro.batch.estimator import HAVE_NUMPY
+
+                use_vector = HAVE_NUMPY
+            if use_vector:
+                tasks = run.run_vector(tasks, backend)
 
         if jobs > 1 or timeout_s is not None:
             if warm_cache and tasks:

@@ -122,8 +122,10 @@ def optimize_design(
     batch: int = 1,
     ctx: Optional[ModelContext] = None,
     *,
+    backend: str = "scalar",
     jobs: int = 1,
     timeout_s: Optional[float] = None,
+    chunk_size: Optional[int] = None,
     strict: bool = True,
     journal_path: Optional[Union[str, os.PathLike]] = None,
     resume: bool = False,
@@ -141,8 +143,11 @@ def optimize_design(
         workloads: (name, graph) pairs — required for achieved-* targets.
         batch: Batch size for achieved-* targets.
         ctx: Modeling context (Table I's by default).
+        backend: Estimation backend (``"scalar"``, ``"vector"``, or
+            ``"auto"``); see :func:`repro.dse.engine.run_sweep`.
         jobs: Worker processes for candidate evaluation.
         timeout_s: Per-candidate wall-clock budget.
+        chunk_size: Candidates dispatched per worker chunk.
         strict: Raise on the first evaluation failure (legacy behavior).
             With ``strict=False`` failed candidates are recorded in
             ``failures`` and the optimization continues.
@@ -168,8 +173,10 @@ def optimize_design(
         workloads,
         batches,
         ctx,
+        backend=backend,
         jobs=jobs,
         timeout_s=timeout_s,
+        chunk_size=chunk_size,
         strict=strict,
         journal_path=journal_path,
         resume=resume,

@@ -226,18 +226,23 @@ def sweep(
     workloads: Sequence[tuple[str, Graph]] = (),
     batches: Iterable[object] = (),
     ctx: Optional[ModelContext] = None,
+    *,
+    backend: str = "scalar",
 ) -> list[DesignPointResult]:
     """Evaluate a list of design points (the Fig. 8 / Fig. 10 sweeps).
 
     Delegates to the fault-tolerant engine in strict single-process mode,
     so the historical contract is preserved: points are evaluated in
-    order and the first failure raises.  For fault isolation, process
+    order and the first failure raises.  ``backend`` selects the
+    estimation path (``"scalar"``, ``"vector"``, or ``"auto"``; see
+    :func:`repro.dse.engine.run_sweep`).  For fault isolation, process
     parallelism, per-point timeouts, and checkpoint/resume use
     :func:`repro.dse.engine.run_sweep` directly.
     """
     from repro.dse.engine import run_sweep
 
     report = run_sweep(
-        points, workloads, batches, ctx=ctx, jobs=1, strict=True
+        points, workloads, batches, ctx=ctx, backend=backend, jobs=1,
+        strict=True,
     )
     return list(report.results)

@@ -49,6 +49,10 @@ SCALE_LITERAL_DIRS = frozenset({"arch", "circuit", "tech"})
 #: unordered iteration (NM301) is a reproducibility hazard.
 DETERMINISM_DIRS = frozenset({"cache", "dse", "integrity"})
 
+#: Directories holding the vectorized batch backend, where per-element
+#: Python loops over design-point arrays (NM204) defeat the whole point.
+BATCH_DIRS = frozenset({"batch"})
+
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
 
@@ -132,6 +136,10 @@ class SourceFile:
     @property
     def in_determinism_scope(self) -> bool:
         return not self.is_test and self.in_dirs(DETERMINISM_DIRS)
+
+    @property
+    def in_batch_scope(self) -> bool:
+        return not self.is_test and self.in_dirs(BATCH_DIRS)
 
     # -- shared passes -------------------------------------------------------
 

@@ -144,8 +144,76 @@ class PositionalEstimateFields(Rule):
                 )
 
 
+#: numpy-array method/attribute accesses that mark an iterable as a
+#: per-element walk over array data.
+_ELEMENTWISE_ATTRS = {"tolist", "flat"}
+
+
+def _is_elementwise_iterable(node: ast.expr) -> bool:
+    """Does this ``for``-loop iterable walk an array element by element?"""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "enumerate":
+                return True
+            if func.id == "range":
+                # range(len(...)) — the classic index loop.
+                return any(
+                    isinstance(arg, ast.Call)
+                    and isinstance(arg.func, ast.Name)
+                    and arg.func.id == "len"
+                    for arg in node.args
+                )
+            if func.id == "nditer":
+                return True
+        if isinstance(func, ast.Attribute):
+            if func.attr in _ELEMENTWISE_ATTRS or func.attr == "nditer":
+                return True
+    if isinstance(node, ast.Attribute) and node.attr in _ELEMENTWISE_ATTRS:
+        return True
+    return False
+
+
+class ElementwiseBatchLoop(Rule):
+    """NM204: per-element Python loop inside the vectorized batch backend.
+
+    ``repro.batch`` exists to evaluate whole design-point grids in array
+    ops; a ``for i in range(len(points))`` / ``enumerate`` / ``.tolist()``
+    / ``.flat`` / ``nditer`` walk re-introduces the per-point Python
+    overhead the backend was built to remove.  ``zip`` over already-
+    materialized sequences is fine and is not flagged.
+    """
+
+    id = "NM204"
+    severity = SEVERITY_WARNING
+    title = "per-element Python loop in the vectorized batch backend"
+
+    def applies(self, sf: SourceFile) -> bool:
+        return sf.in_batch_scope
+
+    def check(self, sf: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(sf.tree):
+            iterables = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iterables.extend(gen.iter for gen in node.generators)
+            for iterable in iterables:
+                if _is_elementwise_iterable(iterable):
+                    yield self.finding(
+                        sf, iterable,
+                        "per-element Python loop over array data in the "
+                        "batch backend; this forfeits the vectorized "
+                        "evaluation the module exists for",
+                        hint="restructure as whole-array NumPy ops, or "
+                        "zip() already-materialized sequences",
+                    )
+
+
 MODEL_RULES = (
     UncachedEstimate(),
     BareBuiltinException(),
     PositionalEstimateFields(),
+    ElementwiseBatchLoop(),
 )

@@ -1,0 +1,168 @@
+"""Scalar/vector equivalence and fallback contracts of the batch backend.
+
+The vectorized kernels transcribe the scalar closed forms, so the two
+paths must agree to float round-off (the acceptance bar is 1e-9 relative)
+on the *entire* Table I grid — not a sample.  Unsupported configurations
+(a training preset with bf16 cells) must be detected and routed through
+the scalar path with results identical to a pure scalar sweep.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.batch import BatchEstimator, supports_vector_path
+from repro.batch.estimator import SRAM_INFEASIBLE, UNSUPPORTED_CONFIG
+from repro.config.presets import (
+    datacenter_context,
+    datacenter_training_point,
+)
+from repro.dse.engine import run_sweep
+from repro.dse.space import TU_LENGTHS, TUS_PER_CORE, DesignPoint, _grids
+from repro.dse.sweep import evaluate_point
+from repro.errors import ConfigurationError, OptimizationError
+
+#: Acceptance tolerance for scalar/vector agreement.
+RTOL = 1e-9
+
+#: The full unpruned Table I grid: every (X, N, Tx, Ty) combination.
+FULL_GRID = [
+    DesignPoint(x, n, tx, ty)
+    for x in TU_LENGTHS
+    for n in TUS_PER_CORE
+    for (tx, ty) in _grids()
+]
+
+#: Pinned scalar reference values; drift in either path trips this.
+PINNED = {
+    DesignPoint(64, 2, 2, 4): (
+        394.14550927370044, 138.1624866804989, 91.7504
+    ),
+    DesignPoint(256, 1, 1, 1): (
+        375.6936838422507, 141.6018504327479, 91.7504
+    ),
+    DesignPoint(4, 1, 1, 1): (
+        267.20098439520274, 72.57797383108127, 0.0224
+    ),
+}
+
+_METRICS = ("area_mm2", "tdp_w", "peak_tops")
+
+
+class TrainingPoint(DesignPoint):
+    """A point building the bf16 training preset (exotic datatype)."""
+
+    def build(self):
+        return datacenter_training_point(self.x, self.n, self.tx, self.ty)
+
+
+def _rel(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(a), abs(b), 1e-300)
+
+
+def test_full_grid_scalar_vector_equivalence():
+    ctx = datacenter_context()
+    batch = BatchEstimator(ctx).estimate_points(FULL_GRID)
+    assert batch.vectorized_count + len(batch.fallback_reasons) == len(
+        FULL_GRID
+    )
+    for point, summary in zip(FULL_GRID, batch.summaries):
+        try:
+            reference = evaluate_point(
+                point, (), (), ctx, latency_slo_ms=None
+            )
+        except OptimizationError:
+            # The scalar model found the point infeasible; the vector
+            # path must have routed it back for exactly that outcome.
+            assert summary is None
+            continue
+        assert summary is not None, f"vector path dropped {point}"
+        for name in _METRICS:
+            assert _rel(
+                getattr(summary, name), getattr(reference, name)
+            ) <= RTOL, (point, name)
+
+
+def test_full_grid_pinned_regression():
+    ctx = datacenter_context()
+    batch = BatchEstimator(ctx).estimate_points(list(PINNED))
+    for point, summary in zip(PINNED, batch.summaries):
+        assert summary is not None
+        for name, expected in zip(_METRICS, PINNED[point]):
+            assert _rel(getattr(summary, name), expected) <= RTOL, (
+                point,
+                name,
+            )
+
+
+def test_training_point_is_not_vector_supported():
+    assert supports_vector_path(DesignPoint(16, 1, 2, 2))
+    assert not supports_vector_path(TrainingPoint(16, 1, 2, 2))
+
+
+def test_auto_backend_falls_back_to_scalar_identically():
+    """`auto` on an exotic-datatype point degrades to the scalar path."""
+    ctx = datacenter_context()
+    mixed = [DesignPoint(16, 1, 2, 2), TrainingPoint(16, 1, 2, 2)]
+    auto = run_sweep(mixed, ctx=ctx, backend="auto")
+    scalar = run_sweep(mixed, ctx=ctx, backend="scalar")
+    assert [r.status for r in auto.records] == ["ok", "ok"]
+    for fast, slow in zip(auto.records, scalar.records):
+        assert fast.point == slow.point
+        for name in _METRICS:
+            assert getattr(fast.result, name) == getattr(
+                slow.result, name
+            ), (fast.point, name)
+
+
+def test_vector_backend_rejects_unsupported_configuration():
+    ctx = datacenter_context()
+    with pytest.raises(ConfigurationError, match="datacenter preset"):
+        run_sweep(
+            [TrainingPoint(16, 1, 2, 2)], ctx=ctx, backend="vector"
+        )
+
+
+def test_vector_backend_rejects_workloads():
+    with pytest.raises(ConfigurationError, match="peak metrics"):
+        run_sweep(
+            [DesignPoint(16, 1, 2, 2)],
+            [("fake", None)],
+            backend="vector",
+        )
+
+
+def test_engine_rejects_unknown_backend():
+    with pytest.raises(ConfigurationError, match="backend"):
+        run_sweep([DesignPoint(16, 1, 2, 2)], backend="simd")
+
+
+def test_batch_result_reports_fallback_reasons():
+    ctx = datacenter_context()
+    points = [TrainingPoint(8, 1, 1, 1), DesignPoint(8, 1, 1, 1)]
+    batch = BatchEstimator(ctx).estimate_points(points)
+    assert batch.fallback_reasons == {0: UNSUPPORTED_CONFIG}
+    assert batch.fallback_indices == (0,)
+    assert batch.summaries[0] is None
+    assert batch.summaries[1] is not None
+    assert batch.vectorized_count == 1
+
+
+def test_vector_summaries_are_plain_floats():
+    """Journal rows must serialize; no numpy scalars may leak out."""
+    ctx = datacenter_context()
+    batch = BatchEstimator(ctx).estimate_points(
+        [DesignPoint(32, 2, 2, 2)]
+    )
+    (summary,) = batch.summaries
+    for name in _METRICS:
+        value = getattr(summary, name)
+        assert type(value) is float
+        assert math.isfinite(value)
+
+
+def test_infeasible_fallback_reason_constant_exists():
+    # The constant is part of the estimator's public fallback protocol.
+    assert SRAM_INFEASIBLE == "sram-infeasible"

@@ -1,0 +1,15 @@
+"""NM204 true positives: per-element loops in the batch backend."""
+
+
+def total(values):
+    acc = 0.0
+    for index in range(len(values)):  # index loop over array data
+        acc += values[index]
+    return acc
+
+
+def rows(grid):
+    out = []
+    for value in grid.tolist():  # element-by-element array walk
+        out.append(value * 2.0)
+    return out

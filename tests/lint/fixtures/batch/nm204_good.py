@@ -1,0 +1,11 @@
+"""NM204 clean twin: whole-array ops and zip over materialized tuples."""
+
+
+def total(values):
+    return float(values.sum())
+
+
+def rows(points, summaries):
+    return [
+        (point, summary) for point, summary in zip(points, summaries)
+    ]

@@ -27,6 +27,7 @@ CASES = {
     "NM201": ("arch/nm201_bad.py", "arch/nm201_good.py", 1),
     "NM202": ("arch/nm202_bad.py", "arch/nm202_good.py", 1),
     "NM203": ("arch/nm203_bad.py", "arch/nm203_good.py", 1),
+    "NM204": ("batch/nm204_bad.py", "batch/nm204_good.py", 2),
     "NM301": ("cache/nm301_bad.py", "cache/nm301_good.py", 2),
     "NM302": ("cache/nm302_bad.py", "cache/nm302_good.py", 2),
     "NM303": ("cache/nm303_bad.py", "cache/nm303_good.py", 1),
@@ -112,7 +113,7 @@ def test_model_rules_stay_quiet_outside_model_layers():
 #: Rules scoped by path classification; the NM101/NM102/NM104 unit rules
 #: are universal correctness checks and apply to every file.
 _SCOPED_RULES = (
-    "NM103", "NM201", "NM202", "NM203", "NM301", "NM302", "NM303",
+    "NM103", "NM201", "NM202", "NM203", "NM204", "NM301", "NM302", "NM303",
 )
 
 
@@ -139,3 +140,9 @@ def test_units_py_counts_as_a_model_layer():
 def test_determinism_rules_do_not_leak_into_model_dirs():
     text = _fixture_text("cache/nm301_bad.py")
     assert check_source(text, relpath="arch/floorplan.py") == []
+
+
+def test_batch_loop_rule_is_scoped_to_batch_dirs():
+    text = _fixture_text("batch/nm204_bad.py")
+    # Same loops outside repro/batch: scalar code may iterate freely.
+    assert check_source(text, relpath="dse/sweep.py") == []
