@@ -210,8 +210,30 @@ def _print_failures(failures, *, label: str = "failed points") -> None:
         print(f"  {failure.describe()}", file=sys.stderr)
 
 
+def _remote_client(args: argparse.Namespace):
+    from repro.serve.client import ServeClient
+
+    return ServeClient(args.remote)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     point = _parse_point(args.point)
+    if getattr(args, "remote", None):
+        payload = _remote_client(args).estimate(
+            [point.x, point.n, point.tx, point.ty],
+            node=args.node,
+            freq=args.freq,
+        )
+        metrics = payload["metrics"]
+        print(
+            f"{point.label()} (remote): "
+            f"{metrics['peak_tops']:.1f} peak TOPS, "
+            f"{metrics['area_mm2']:.1f} mm^2, "
+            f"{metrics['tdp_w']:.1f} W TDP"
+        )
+        if payload.get("degraded"):
+            print("note: served degraded (peak-only)", file=sys.stderr)
+        return 0
     chip = point.build()
     ctx = _context(args)
     estimate = chip.estimate(ctx)
@@ -291,6 +313,8 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     ]
     if args.point:
         points = [_parse_point(text) for text in args.point]
+    if getattr(args, "remote", None):
+        return _remote_dse(args, points)
     workloads = [(name, fn()) for name, fn in _WORKLOADS.items()]
     _apply_cache_flags(args)
     report = run_sweep(
@@ -350,6 +374,96 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         print("error: every design point failed", file=sys.stderr)
         return 2
     return 0
+
+
+def _remote_dse(args: argparse.Namespace, points) -> int:
+    """Run the dse table through a ``neurometer serve`` daemon."""
+    from repro.dse.journal import SummaryResult
+
+    payload = _remote_client(args).sweep(
+        [[p.x, p.n, p.tx, p.ty] for p in points],
+        workloads=sorted(_WORKLOADS),
+        batch=args.batch,
+    )
+    regime = f"bs={args.batch}"
+    rows = []
+    failures = []
+    for record in payload["records"]:
+        if record.get("metrics") is None:
+            failure = record.get("failure") or {}
+            failures.append(
+                f"{tuple(record['point'])}: "
+                f"{failure.get('error_type', 'failed')}: "
+                f"{failure.get('message', '')}"
+            )
+            continue
+        point = DesignPoint(*record["point"])
+        result = SummaryResult.from_metrics(point, record["metrics"])
+        if any(o.regime == regime for o in result.outcomes):
+            runtime = [
+                f"{result.mean_achieved_tops(args.batch):.1f}",
+                f"{result.mean_utilization(args.batch):.2f}",
+                f"{result.mean_energy_efficiency(args.batch):.3f}",
+                f"{result.mean_cost_efficiency(args.batch) * 1e6:.2f}",
+            ]
+        else:
+            runtime = ["-", "-", "-", "-"]
+        rows.append(
+            [
+                point.label(),
+                f"{result.area_mm2:.0f}",
+                f"{result.tdp_w:.0f}",
+                f"{result.peak_tops:.1f}",
+            ]
+            + runtime
+        )
+    print(
+        format_table(
+            [
+                "(X,N,Tx,Ty)",
+                "mm^2",
+                "TDP W",
+                "peak",
+                "achieved",
+                "util",
+                "TOPS/W",
+                "TOPS/TCO*1e6",
+            ],
+            rows,
+        )
+    )
+    if failures:
+        print(f"\nfailed points ({len(failures)}):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+    if not rows:
+        print("error: every design point failed", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the long-running estimation daemon (see docs/serving.md)."""
+    from repro.serve.app import ServeConfig
+    from repro.serve.lifecycle import run_server
+
+    _apply_cache_flags(args)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        timeout_s=args.timeout_s,
+        deadline_s=args.deadline_s,
+        max_inflight=args.max_inflight,
+        retry_attempts=args.retry_attempts,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset_s,
+        journal_dir=args.journal_dir,
+        request_log=args.request_log,
+        drain_grace_s=args.drain_grace_s,
+        seed=args.seed,
+    )
+    return run_server(config)
 
 
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
@@ -618,6 +732,13 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--depth", type=int, default=2, help="breakdown depth"
     )
+    report.add_argument(
+        "--remote",
+        default=None,
+        metavar="URL",
+        help="send the request to a running `neurometer serve` daemon "
+        "instead of modeling locally",
+    )
     _add_context_arguments(report)
     report.set_defaults(handler=_cmd_report)
 
@@ -658,8 +779,110 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="explicit X,N,Tx,Ty tuples (repeatable)",
     )
+    dse.add_argument(
+        "--remote",
+        default=None,
+        metavar="URL",
+        help="run the sweep on a `neurometer serve` daemon instead of "
+        "locally (engine flags are the daemon's, not this process's)",
+    )
     _add_engine_arguments(dse)
     dse.set_defaults(handler=_cmd_dse)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the long-lived estimation daemon "
+        "(JSON-over-HTTP; SIGTERM drains gracefully)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8757)
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="persistent pool workers shared by every request",
+    )
+    serve.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        dest="timeout_s",
+        metavar="SECONDS",
+        help="per-point wall-clock budget inherited by every request",
+    )
+    serve.add_argument(
+        "--deadline-s",
+        type=float,
+        default=60.0,
+        dest="deadline_s",
+        metavar="SECONDS",
+        help="default per-request deadline (clients may override with "
+        "the X-Deadline-S header)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        dest="max_inflight",
+        metavar="N",
+        help="admission bound; excess requests are shed with 503 + "
+        "Retry-After",
+    )
+    serve.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=3,
+        dest="retry_attempts",
+        metavar="N",
+        help="bounded retries (with exponential backoff + jitter) when "
+        "a pool worker crashes mid-request",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        dest="breaker_threshold",
+        metavar="N",
+        help="consecutive integrity failures that trip a model family "
+        "to degraded peak-only service",
+    )
+    serve.add_argument(
+        "--breaker-reset-s",
+        type=float,
+        default=30.0,
+        dest="breaker_reset_s",
+        metavar="SECONDS",
+        help="open-breaker window before a half-open trial",
+    )
+    serve.add_argument(
+        "--journal-dir",
+        default=None,
+        dest="journal_dir",
+        metavar="DIR",
+        help="directory for per-sweep checkpoint journals; a drained "
+        "sweep resumes from here",
+    )
+    serve.add_argument(
+        "--request-log",
+        default=None,
+        dest="request_log",
+        metavar="PATH",
+        help="JSONL journal of every resolved request",
+    )
+    serve.add_argument(
+        "--drain-grace-s",
+        type=float,
+        default=30.0,
+        dest="drain_grace_s",
+        metavar="SECONDS",
+        help="how long SIGTERM waits for in-flight requests",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="backoff-jitter seed"
+    )
+    _add_cache_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     sparsity = commands.add_parser(
         "sparsity", help="the Fig. 11 sparse-efficiency table"

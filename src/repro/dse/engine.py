@@ -24,6 +24,16 @@ points:
   warm across *chunks* of points instead of forking per point; a hung
   point is killed at the deadline (failing only the in-flight point —
   the rest of its chunk is requeued) and recorded as a timeout failure.
+  The pool itself is a first-class :class:`WorkerPool` handle: a
+  long-lived caller (the ``neurometer serve`` daemon) can keep one pool
+  warm and pass it to many ``run_sweep`` calls instead of paying
+  fork/teardown per request.
+* **Cooperative cancellation** — a ``should_abort`` hook is polled
+  between points; when it fires, the run stops admitting work, kills
+  in-flight workers, and returns a partial report flagged
+  ``cancelled=True``.  Finished points are already journaled, so a
+  resumed run picks up exactly the unfinished remainder (graceful
+  drain).
 * **Retry with graceful degradation** — a failed point is retried once
   with the workload recipe dropped, so the study still gets the
   area/TDP/peak-TOPS row where achievable (status ``degraded``).
@@ -44,11 +54,13 @@ from __future__ import annotations
 import math
 import multiprocessing as mp
 import os
+import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait as _wait_connections
-from typing import Callable, Iterable, Optional, Sequence, Union
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.arch.component import ModelContext
 from repro.cache.store import _Totals, get_estimate_cache
@@ -86,6 +98,24 @@ STAGES = (
 
 #: Seconds to wait for a killed worker to be reaped before moving on.
 _JOIN_GRACE_S = 5.0
+
+#: Poll-loop ceiling while a cancellation hook is armed, so an abort is
+#: noticed within this bound even when every worker is deep in a point.
+_ABORT_POLL_S = 0.25
+
+
+def derive_chunk_size(n_tasks: int, jobs: int) -> int:
+    """Points dispatched per worker chunk when the caller picked none.
+
+    Targets roughly four chunks per worker (``ceil(n / (4 * jobs))``) so
+    stragglers rebalance, clamped to at least 1: an empty or tiny sweep
+    (``n_tasks < jobs``, or zero after a journal resume) must degrade to
+    one-point chunks, never to a zero chunk size that would dispatch
+    empty chunks forever.
+    """
+    if n_tasks <= 0:
+        return 1
+    return max(1, math.ceil(n_tasks / (4 * max(1, jobs))))
 
 
 def warm_substrate_cache(
@@ -256,9 +286,15 @@ class PointRecord:
 
 @dataclass(frozen=True)
 class SweepReport:
-    """Everything a study learned from one engine run."""
+    """Everything a study learned from one engine run.
+
+    ``cancelled`` marks a run stopped early by the ``should_abort``
+    hook: the records cover only the points finished before the abort,
+    and (with a journal) a ``resume=True`` rerun completes the rest.
+    """
 
     records: tuple[PointRecord, ...]
+    cancelled: bool = False
 
     @property
     def results(
@@ -309,6 +345,8 @@ class SweepReport:
         )
         if resumed:
             text += f" ({resumed} from journal)"
+        if self.cancelled:
+            text += " [cancelled]"
         return text
 
 
@@ -348,41 +386,45 @@ def _failure_payload(error: BaseException, wall_time_s: float) -> dict:
     }
 
 
-def _run_attempt(
-    task: _Task,
-    workloads: Sequence[tuple[str, Graph]],
-    batches: Iterable[object],
-    ctx: Optional[ModelContext],
-    latency_slo_ms: float,
-    validate: bool,
-) -> DesignPointResult:
+@dataclass(frozen=True)
+class PoolJobConfig:
+    """Everything a pool worker needs to evaluate tasks.
+
+    Baked into the worker process at fork time (inherited, not pickled),
+    so a :class:`WorkerPool` lease with a *different* config retires the
+    warm workers and respawns them against the new one.  Long-lived
+    callers should therefore reuse one config object per distinct
+    workload recipe to keep workers warm across requests.
+    """
+
+    workloads: Sequence[tuple[str, Graph]] = ()
+    batches: Sequence[object] = ()
+    ctx: Optional[ModelContext] = None
+    latency_slo_ms: float = DEFAULT_LATENCY_SLO_MS
+    validate: bool = True
+
+
+def _run_attempt(task: _Task, config: PoolJobConfig) -> DesignPointResult:
     """One evaluation attempt; degraded attempts drop the workload recipe."""
-    use_workloads = () if task.degraded else workloads
-    use_batches = () if task.degraded else batches
+    use_workloads = () if task.degraded else config.workloads
+    use_batches = () if task.degraded else config.batches
     result = evaluate_point(
-        task.point, use_workloads, use_batches, ctx, latency_slo_ms
+        task.point, use_workloads, use_batches, config.ctx,
+        config.latency_slo_ms,
     )
-    if validate:
+    if config.validate:
         validate_result(result)
     return result
 
 
 def _evaluate_one(
-    conn: Connection,
-    task: _Task,
-    workloads: Sequence[tuple[str, Graph]],
-    batches: Sequence[object],
-    ctx: Optional[ModelContext],
-    latency_slo_ms: float,
-    validate: bool,
+    conn: Connection, task: _Task, config: PoolJobConfig
 ) -> None:
     """Evaluate one task inside a worker; ship the outcome over the pipe."""
     start = time.perf_counter()
     stats_before = get_estimate_cache().stats.snapshot()
     try:
-        result = _run_attempt(
-            task, workloads, batches, ctx, latency_slo_ms, validate
-        )
+        result = _run_attempt(task, config)
         elapsed = time.perf_counter() - start
         cache_delta = get_estimate_cache().stats.delta_since(stats_before)
         payload = ("result", task.index, "ok", result, elapsed, cache_delta)
@@ -423,14 +465,27 @@ def _evaluate_one(
         )
 
 
-def _pool_worker_main(
-    conn: Connection,
-    workloads: Sequence[tuple[str, Graph]],
-    batches: Sequence[object],
-    ctx: Optional[ModelContext],
-    latency_slo_ms: float,
-    validate: bool,
-) -> None:
+def _arm_parent_death_signal() -> None:
+    """Best-effort ``PR_SET_PDEATHSIG``: die when the parent does.
+
+    An idle worker already exits on pipe EOF, but a worker buried in a
+    long evaluation would outlive a parent killed by an uncatchable
+    signal.  On Linux the kernel delivers SIGKILL to the worker the
+    moment its parent dies, so a SIGKILLed sweep leaves no orphan
+    processes; elsewhere this quietly does nothing.
+    """
+    try:
+        import ctypes
+        import signal as _signal
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        pr_set_pdeathsig = 1
+        libc.prctl(pr_set_pdeathsig, int(_signal.SIGKILL))
+    except Exception:
+        return  # non-Linux or locked-down libc: orphan cleanup degrades
+
+
+def _pool_worker_main(conn: Connection, config: PoolJobConfig) -> None:
     """Persistent forked worker: evaluate chunks of tasks until stopped.
 
     The worker stays warm between chunks — module imports, the estimate
@@ -439,6 +494,7 @@ def _pool_worker_main(
     shipped as its own ``("result", ...)`` message so the parent can track
     per-point timeouts; a ``("done",)`` marker closes each chunk.
     """
+    _arm_parent_death_signal()
     try:
         while True:
             try:
@@ -448,15 +504,7 @@ def _pool_worker_main(
             if not isinstance(message, tuple) or message[0] != "chunk":
                 break
             for task in message[1]:
-                _evaluate_one(
-                    conn,
-                    task,
-                    workloads,
-                    batches,
-                    ctx,
-                    latency_slo_ms,
-                    validate,
-                )
+                _evaluate_one(conn, task, config)
             conn.send(("done",))
     except (BrokenPipeError, EOFError, OSError):
         pass  # parent went away; nothing left to report to
@@ -479,6 +527,142 @@ class _PoolWorker:
     busy: bool = False
 
 
+class WorkerPool:
+    """A persistent pool of forked evaluation workers, reusable across runs.
+
+    ``run_sweep`` historically forked workers per invocation and tore
+    them down at the end — correct for a batch CLI, wasteful for a
+    long-running service paying fork/import/cache-warmup per request.
+    A ``WorkerPool`` owns that worker lifecycle instead: create one,
+    pass it to any number of ``run_sweep(..., pool=...)`` calls, and the
+    forked processes (with their warm estimate caches) survive between
+    calls.  Leases are serialized under a lock, so concurrent callers
+    queue rather than interleave chunks.
+
+    Workers are forked lazily against the :class:`PoolJobConfig` of the
+    current lease; a lease with a *different* config (compared by value;
+    workload graphs compare by identity) retires the warm workers — their
+    forked-in recipe no longer matches — and respawns on demand.  Reuse
+    the same workload/context objects per distinct recipe to stay warm.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        mp_context: Optional[mp.context.BaseContext] = None,
+    ):
+        if jobs < 1:
+            raise ConfigurationError(f"pool jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._mp_ctx = mp_context if mp_context is not None else _mp_context()
+        self._lock = threading.Lock()
+        self._workers: list[_PoolWorker] = []
+        self._config: Optional[PoolJobConfig] = None
+        self._closed = False
+        #: Total processes forked over the pool's lifetime (observability).
+        self.spawned_total = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def workers(self) -> list[_PoolWorker]:
+        return self._workers
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the currently live worker processes."""
+        return [
+            w.proc.pid
+            for w in self._workers
+            if w.proc.pid is not None and w.proc.is_alive()
+        ]
+
+    # -- lease lifecycle -----------------------------------------------------
+
+    @contextmanager
+    def lease(self, config: PoolJobConfig) -> Iterator["WorkerPool"]:
+        """Exclusive use of the pool for one run, under ``config``.
+
+        On exit, workers that finished cleanly stay warm for the next
+        lease; workers left busy (an exception or abort escaped the run
+        loop mid-chunk) are in an unknown protocol state and are killed.
+        """
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("worker pool is closed")
+            if self._config is not None and config != self._config:
+                self._retire_all()
+            self._config = config
+            try:
+                yield self
+            finally:
+                for worker in list(self._workers):
+                    if worker.busy or not worker.proc.is_alive():
+                        self.discard(worker, kill=True)
+
+    def spawn_worker(self) -> _PoolWorker:
+        """Fork one worker against the current lease config."""
+        if self._config is None:
+            raise ConfigurationError("spawn_worker() outside a lease")
+        parent, child = self._mp_ctx.Pipe(duplex=True)
+        proc = self._mp_ctx.Process(
+            target=_pool_worker_main,
+            args=(child, self._config),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        worker = _PoolWorker(proc=proc, conn=parent)
+        self._workers.append(worker)
+        self.spawned_total += 1
+        return worker
+
+    def discard(self, worker: _PoolWorker, kill: bool = False) -> None:
+        """Remove one worker from the pool, reaping the process.
+
+        ``kill=True`` forces an immediate kill (crashed, timed out, or
+        mid-chunk at abort); otherwise an idle worker is asked to stop
+        via the pipe protocol first.
+        """
+        if worker in self._workers:
+            self._workers.remove(worker)
+        if worker.proc.is_alive():
+            if kill or worker.busy:
+                worker.proc.kill()
+            else:
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    worker.proc.kill()
+        worker.proc.join(_JOIN_GRACE_S)
+        if worker.proc.is_alive():  # pragma: no cover - defensive
+            worker.proc.kill()
+            worker.proc.join(_JOIN_GRACE_S)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    def _retire_all(self) -> None:
+        for worker in list(self._workers):
+            self.discard(worker)
+
+    def close(self) -> None:
+        """Tear down every worker; the pool cannot be leased again."""
+        with self._lock:
+            self._closed = True
+            self._retire_all()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 class _SweepRun:
     """State of one engine invocation (scheduling, retries, journal)."""
 
@@ -498,6 +682,7 @@ class _SweepRun:
         latency_slo_ms: float,
         on_record: Optional[Callable[[PointRecord], None]],
         chunk_size: Optional[int] = None,
+        should_abort: Optional[Callable[[], bool]] = None,
     ):
         self.points = list(points)
         self.workloads = tuple(workloads)
@@ -513,7 +698,22 @@ class _SweepRun:
         self.resume = resume
         self.latency_slo_ms = latency_slo_ms
         self.on_record = on_record
+        self.should_abort = should_abort
+        self.cancelled = False
+        self.config = PoolJobConfig(
+            workloads=self.workloads,
+            batches=self.batches,
+            ctx=ctx,
+            latency_slo_ms=latency_slo_ms,
+            validate=validate,
+        )
         self.records: dict[int, PointRecord] = {}
+
+    def _aborted(self) -> bool:
+        """Poll the cancellation hook once; latch the cancelled flag."""
+        if self.should_abort is not None and self.should_abort():
+            self.cancelled = True
+        return self.cancelled
 
     # -- record bookkeeping ---------------------------------------------------
 
@@ -598,18 +798,13 @@ class _SweepRun:
 
     def run_inline(self, tasks: deque[_Task]) -> None:
         while tasks:
+            if self._aborted():
+                return
             task = tasks.popleft()
             start = time.perf_counter()
             stats_before = get_estimate_cache().stats.snapshot()
             try:
-                result = _run_attempt(
-                    task,
-                    self.workloads,
-                    self.batches,
-                    self.ctx,
-                    self.latency_slo_ms,
-                    self.validate,
-                )
+                result = _run_attempt(task, self.config)
             except Exception as error:
                 if self.strict:
                     raise
@@ -700,7 +895,7 @@ class _SweepRun:
 
     # -- forked execution (persistent chunked worker pool) --------------------
 
-    def run_forked(self, tasks: deque[_Task]) -> None:
+    def run_forked(self, tasks: deque[_Task], pool: WorkerPool) -> None:
         """Drain ``tasks`` through a pool of persistent forked workers.
 
         Workers are forked once and fed *chunks* of tasks over duplex
@@ -710,59 +905,41 @@ class _SweepRun:
         message, the per-point timeout clock restarts as each result
         arrives, and a killed or crashed worker fails only the in-flight
         point — the rest of its chunk is requeued for the survivors.
+
+        When the ``should_abort`` hook fires, dispatch stops, busy
+        workers are killed mid-chunk, and the unfinished tasks are left
+        unrecorded — the journal then holds exactly the finished points,
+        so a resumed run re-queues the remainder.
         """
-        mp_ctx = _mp_context()
         chunk = self.chunk_size
         if chunk is None:
-            chunk = max(1, math.ceil(len(tasks) / (4 * self.jobs)))
-        workers: list[_PoolWorker] = []
-        try:
-            while True:
-                for worker in workers:
-                    if not worker.busy and tasks:
-                        self._dispatch_chunk(worker, tasks, chunk)
-                while tasks and len(workers) < self.jobs:
-                    worker = self._spawn_worker(mp_ctx)
-                    workers.append(worker)
+            chunk = derive_chunk_size(len(tasks), pool.jobs)
+        while True:
+            if self._aborted():
+                for worker in list(pool.workers):
+                    if worker.busy:
+                        pool.discard(worker, kill=True)
+                return
+            for worker in pool.workers:
+                if not worker.busy and tasks:
                     self._dispatch_chunk(worker, tasks, chunk)
-                busy = [w for w in workers if w.busy]
-                if not busy:
-                    break
-                ready = _wait_connections(
-                    [w.conn for w in busy],
-                    timeout=self._poll_timeout(busy),
-                )
-                by_conn = {w.conn: w for w in workers}
-                for conn in ready:
-                    worker = by_conn[conn]
-                    if not self._pool_receive(worker, tasks):
-                        workers.remove(worker)
-                for worker in self._expired(workers):
-                    self._kill_timed_out(worker, tasks)
-                    workers.remove(worker)
-        finally:
-            for worker in workers:
-                self._shutdown_worker(worker)
-
-    def _spawn_worker(
-        self, mp_ctx: mp.context.BaseContext
-    ) -> _PoolWorker:
-        parent, child = mp_ctx.Pipe(duplex=True)
-        proc = mp_ctx.Process(
-            target=_pool_worker_main,
-            args=(
-                child,
-                self.workloads,
-                self.batches,
-                self.ctx,
-                self.latency_slo_ms,
-                self.validate,
-            ),
-            daemon=True,
-        )
-        proc.start()
-        child.close()
-        return _PoolWorker(proc=proc, conn=parent)
+            while tasks and len(pool.workers) < pool.jobs:
+                self._dispatch_chunk(pool.spawn_worker(), tasks, chunk)
+            busy = [w for w in pool.workers if w.busy]
+            if not busy:
+                return
+            ready = _wait_connections(
+                [w.conn for w in busy],
+                timeout=self._poll_timeout(busy),
+            )
+            by_conn = {w.conn: w for w in pool.workers}
+            for conn in ready:
+                worker = by_conn[conn]
+                if not self._pool_receive(worker, tasks):
+                    pool.discard(worker, kill=True)
+            for worker in self._expired(pool.workers):
+                self._kill_timed_out(worker, tasks)
+                pool.discard(worker, kill=True)
 
     def _dispatch_chunk(
         self, worker: _PoolWorker, tasks: deque[_Task], chunk: int
@@ -776,34 +953,20 @@ class _SweepRun:
         except (BrokenPipeError, OSError):
             pass  # dead worker; the poll loop reaps it as a crash
 
-    def _shutdown_worker(self, worker: _PoolWorker) -> None:
-        if worker.proc.is_alive():
-            if worker.busy:
-                worker.proc.kill()
-            else:
-                try:
-                    worker.conn.send(("stop",))
-                except (BrokenPipeError, OSError):
-                    worker.proc.kill()
-        worker.proc.join(_JOIN_GRACE_S)
-        if worker.proc.is_alive():  # pragma: no cover - defensive
-            worker.proc.kill()
-            worker.proc.join(_JOIN_GRACE_S)
-        try:
-            worker.conn.close()
-        except OSError:  # pragma: no cover - already torn down
-            pass
-
     def _poll_timeout(
         self, busy: Sequence[_PoolWorker]
     ) -> Optional[float]:
+        abort_cap = _ABORT_POLL_S if self.should_abort is not None else None
         if self.timeout_s is None:
-            return None
+            return abort_cap
         tracked = [w.started for w in busy if w.pending]
         if not tracked:
-            return None
+            return abort_cap
         next_deadline = min(tracked) + self.timeout_s
-        return max(0.0, next_deadline - time.monotonic()) + 0.02
+        remaining = max(0.0, next_deadline - time.monotonic()) + 0.02
+        if abort_cap is not None:
+            return min(remaining, abort_cap)
+        return remaining
 
     def _expired(
         self, workers: Sequence[_PoolWorker]
@@ -856,10 +1019,6 @@ class _SweepRun:
         self, worker: _PoolWorker, tasks: deque[_Task]
     ) -> bool:
         """Fail the in-flight point of a dead worker; requeue the rest."""
-        try:
-            worker.conn.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
         worker.proc.join(_JOIN_GRACE_S)
         pending = worker.pending
         worker.pending = deque()
@@ -889,13 +1048,6 @@ class _SweepRun:
         self, worker: _PoolWorker, tasks: deque[_Task]
     ) -> None:
         elapsed_s = time.monotonic() - worker.started
-        if worker.proc.is_alive():
-            worker.proc.kill()
-        worker.proc.join(_JOIN_GRACE_S)
-        try:
-            worker.conn.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
         pending = worker.pending
         worker.pending = deque()
         worker.busy = False
@@ -938,6 +1090,8 @@ def run_sweep(
     latency_slo_ms: float = DEFAULT_LATENCY_SLO_MS,
     on_record: Optional[Callable[[PointRecord], None]] = None,
     warm_cache: bool = True,
+    pool: Optional[WorkerPool] = None,
+    should_abort: Optional[Callable[[], bool]] = None,
 ) -> SweepReport:
     """Evaluate design points with fault isolation, retries, and resume.
 
@@ -983,9 +1137,20 @@ def run_sweep(
             (:func:`warm_substrate_cache`) so workers inherit it by
             copy-on-write.  A no-op when the cache is disabled or the run
             is inline (inline runs warm the cache as they go).
+        pool: A caller-owned :class:`WorkerPool` to run forked points on.
+            The pool's workers stay warm after the call (the caller owns
+            ``close()``); without one, a pool of ``jobs`` workers is
+            created and torn down inside this call.  Forces the forked
+            path even with ``jobs == 1`` and no timeout.
+        should_abort: Cooperative cancellation hook, polled between
+            points (at least every ~0.25 s on the forked path).  When it
+            returns true the run stops admitting work, kills in-flight
+            workers, and returns the partial report with
+            ``cancelled=True``; journaled points are never lost.
 
     Returns:
-        A :class:`SweepReport` with one record per input point.
+        A :class:`SweepReport` with one record per input point (only the
+        finished subset when cancelled).
 
     Raises:
         ConfigurationError: invalid engine options.
@@ -1034,6 +1199,7 @@ def run_sweep(
         latency_slo_ms=latency_slo_ms,
         on_record=on_record,
         chunk_size=chunk_size,
+        should_abort=should_abort,
     )
 
     try:
@@ -1074,10 +1240,16 @@ def run_sweep(
             if use_vector:
                 tasks = run.run_vector(tasks, backend)
 
-        if jobs > 1 or timeout_s is not None:
+        if pool is not None or jobs > 1 or timeout_s is not None:
             if warm_cache and tasks:
                 warm_substrate_cache([t.point for t in tasks], ctx)
-            run.run_forked(tasks)
+            owned = pool if pool is not None else WorkerPool(jobs)
+            try:
+                with owned.lease(run.config) as leased:
+                    run.run_forked(tasks, leased)
+            finally:
+                if pool is None:
+                    owned.close()
         else:
             run.run_inline(tasks)
     finally:
@@ -1087,5 +1259,6 @@ def run_sweep(
     return SweepReport(
         records=tuple(
             run.records[index] for index in sorted(run.records)
-        )
+        ),
+        cancelled=run.cancelled,
     )

@@ -306,16 +306,20 @@ class Journal:
 def load_journal(path: str | os.PathLike) -> list[JournalEntry]:
     """Read every valid point entry from a journal file.
 
-    A crash mid-``fsync`` can leave exactly one damaged line — the *last*
-    one.  That line (truncated or otherwise unparseable) is discarded with
-    a :class:`RuntimeWarning` so the resume proceeds minus only the point
-    in flight.  A corrupt line anywhere *before* the tail cannot come from
-    a crash and means real file damage, so it raises instead of being
-    silently dropped.  Unknown-but-well-formed line kinds (headers, future
-    extensions) are skipped without comment.
+    A crash mid-write damages only the *tail* of the file — usually one
+    truncated line, but a process killed while flushing a buffered
+    multi-line write can tear several trailing lines at once.  Any
+    contiguous run of damaged lines at the end of the file is therefore
+    discarded with a single :class:`RuntimeWarning`, and the resume
+    proceeds minus only the work in flight.  A damaged line *followed by
+    a valid one* cannot come from a crash — appends never rewrite earlier
+    bytes — so it means real file damage and raises instead of being
+    silently dropped.  Unknown-but-well-formed line kinds (headers,
+    future extensions) are skipped without comment.
 
     Raises:
-        ConfigurationError: a non-trailing line is corrupt.
+        ConfigurationError: a damaged line is followed by a valid line
+            (mid-file damage).
     """
     with open(path, encoding="utf-8") as fh:
         raw = fh.read()
@@ -325,8 +329,8 @@ def load_journal(path: str | os.PathLike) -> list[JournalEntry]:
         if line.strip()
     ]
     entries: list[JournalEntry] = []
-    for position, (number, line) in enumerate(lines):
-        trailing = position == len(lines) - 1
+    damaged: list[tuple[int, Exception]] = []  # (line number, error)
+    for number, line in lines:
         try:
             entry = JournalEntry.from_payload(json.loads(line))
         except (
@@ -336,44 +340,78 @@ def load_journal(path: str | os.PathLike) -> list[JournalEntry]:
             ValueError,
             ConfigurationError,
         ) as error:
-            if trailing:
-                warnings.warn(
-                    f"discarding truncated/corrupt trailing journal line "
-                    f"{number} in {os.fspath(path)} (crash mid-write?): "
-                    f"{error}",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                continue
+            damaged.append((number, error))
+            continue
+        if damaged:
+            # A valid line after a damaged one: not a torn tail.
+            bad_number, bad_error = damaged[0]
             raise ConfigurationError(
-                f"corrupt journal line {number} in {os.fspath(path)}: "
-                f"{error}"
-            ) from error
+                f"corrupt journal line {bad_number} in {os.fspath(path)}: "
+                f"{bad_error}"
+            ) from bad_error
         if entry is not None:
             entries.append(entry)
+    if damaged:
+        first, error = damaged[0]
+        count = len(damaged)
+        what = (
+            f"line {first}"
+            if count == 1
+            else f"{count} lines starting at line {first}"
+        )
+        warnings.warn(
+            f"discarding truncated/corrupt trailing journal {what} in "
+            f"{os.fspath(path)} (crash mid-write?): {error}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return entries
 
 
 def _repair_tail(path: str) -> None:
-    """Truncate a damaged trailing line so appended records start clean.
+    """Truncate damaged trailing lines so appended records start clean.
 
     Without this, resuming after a crash mid-write would append the next
     JSON record onto the partial line, corrupting *both*.  Only trailing
     damage is repaired (``load_journal`` has already raised for anything
     deeper); the repair is silent because the load already warned.
     """
+    repair_tail(path)
+
+
+def repair_tail(path: str | os.PathLike, is_damaged=None) -> int:
+    """Drop the contiguous run of damaged lines at the end of a JSONL file.
+
+    The loop pops trailing lines while they are blank or fail the
+    ``is_damaged`` validator, so a torn *multi-line* write (a process
+    killed while the OS flushed a buffered block) is repaired the same
+    way a single truncated line is.  Lines before a valid tail line are
+    never touched.  Returns the number of damaged (non-blank) lines
+    removed so callers can log the repair.
+
+    Args:
+        path: JSONL file to repair in place.
+        is_damaged: ``bytes -> bool`` predicate for one stripped line;
+            defaults to the sweep-journal validator.  Other JSONL
+            consumers (e.g. the serve request log) pass their own.
+    """
+    if is_damaged is None:
+        is_damaged = _line_is_damaged
     with open(path, "rb") as fh:
         data = fh.read()
     lines = data.splitlines(keepends=True)
+    removed = 0
     while lines:
         last = lines[-1]
         stripped = last.strip()
-        if stripped and not _line_is_damaged(stripped):
+        if stripped and not is_damaged(stripped):
             # Valid final line: just make sure it is newline-terminated so
             # the next append starts a fresh record.
             if not last.endswith(b"\n"):
                 lines[-1] = last + b"\n"
             break
+        if stripped:
+            removed += 1
         lines.pop()  # damaged or blank tail line
     repaired = b"".join(lines)
     if repaired != data:
@@ -381,6 +419,7 @@ def _repair_tail(path: str) -> None:
             fh.write(repaired)
             fh.flush()
             os.fsync(fh.fileno())
+    return removed
 
 
 def _line_is_damaged(line: bytes) -> bool:

@@ -9,7 +9,7 @@ energy efficiency (TOPS/Watt on *runtime* power), and cost efficiency
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
@@ -149,10 +149,10 @@ def _stage(name: str) -> Iterator[None]:
         yield
     except Exception as error:
         if getattr(error, "stage", None) is None:
-            try:
+            # Exceptions with __slots__ reject the attribute; the stage
+            # tag is best-effort either way.
+            with suppress(Exception):
                 error.stage = name  # type: ignore[attr-defined]
-            except Exception:
-                pass
         raise
 
 

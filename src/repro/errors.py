@@ -105,3 +105,68 @@ class InvariantViolation(NeuroMeterError):
 
 class PointTimeoutError(NeuroMeterError):
     """A design-point evaluation exceeded the engine's per-point timeout."""
+
+class LoadShedError(NeuroMeterError):
+    """The serving daemon's admission gate is full; the request was shed.
+
+    ``retry_after_s`` is the server's hint for when capacity is likely
+    to be back; it becomes the ``Retry-After`` response header.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.retry_after_s))
+
+
+class DrainingError(NeuroMeterError):
+    """The serving daemon is draining and no longer admits new work."""
+
+
+class ProtocolError(ConfigurationError):
+    """A malformed HTTP request reached the serving daemon's parser."""
+
+
+class RemoteError(NeuroMeterError):
+    """A non-2xx answer from the serving daemon, rehydrated client-side.
+
+    Carries the HTTP ``status``, the server-reported ``error_type`` (the
+    exception class name from the daemon's taxonomy), the optional
+    ``retry_after_s`` backoff hint, and the full response ``payload``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int,
+        error_type: str = "",
+        retry_after_s: "float | None" = None,
+        payload: "dict | None" = None,
+    ):
+        self.status = status
+        self.error_type = error_type
+        self.retry_after_s = retry_after_s
+        self.payload = payload or {}
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                self.args[0],
+                self.status,
+                self.error_type,
+                self.retry_after_s,
+                self.payload,
+            ),
+        )
+
+    @property
+    def is_shed(self) -> bool:
+        return self.status == 503
+
+    def describe(self) -> str:
+        kind = self.error_type or "error"
+        return f"HTTP {self.status} {kind}: {self}"

@@ -53,6 +53,11 @@ DETERMINISM_DIRS = frozenset({"cache", "dse", "integrity"})
 #: Python loops over design-point arrays (NM204) defeat the whole point.
 BATCH_DIRS = frozenset({"batch"})
 
+#: Fault-tolerance layers (the daemon and the sweep engine), where a
+#: silently swallowed exception (NM205) hides exactly the failures the
+#: machinery exists to surface.
+ROBUSTNESS_DIRS = frozenset({"serve", "dse"})
+
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
 
@@ -140,6 +145,10 @@ class SourceFile:
     @property
     def in_batch_scope(self) -> bool:
         return not self.is_test and self.in_dirs(BATCH_DIRS)
+
+    @property
+    def in_robustness_scope(self) -> bool:
+        return not self.is_test and self.in_dirs(ROBUSTNESS_DIRS)
 
     # -- shared passes -------------------------------------------------------
 

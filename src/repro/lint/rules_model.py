@@ -211,9 +211,97 @@ class ElementwiseBatchLoop(Rule):
                     )
 
 
+#: Exception names whose blanket-catch-and-drop hides real failures.
+_BROAD_EXCEPTION_NAMES = {"Exception", "BaseException"}
+
+
+def _exception_names(node: "ast.expr | None") -> set:
+    """The exception class names an ``except`` clause catches."""
+    if node is None:
+        return {"<bare>"}
+    targets = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = set()
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _body_is_only_pass(body: list) -> bool:
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ) and statement.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+def _contains_raise(body: list) -> bool:
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Raise):
+                return True
+    return False
+
+
+class SwallowedException(Rule):
+    """NM205: blanket ``except: pass`` / swallowed ``CancelledError``.
+
+    In the fault-tolerance layers (the serve daemon and the sweep
+    engine) a broad catch that drops the exception on the floor hides
+    exactly the failures the machinery exists to surface — and a
+    handler that absorbs ``asyncio.CancelledError`` without re-raising
+    breaks cancellation (drain, deadlines) for the whole task tree.
+    Narrow, typed catches with a real body are the sanctioned form.
+    """
+
+    id = "NM205"
+    severity = SEVERITY_ERROR
+    title = "swallowed exception in a fault-tolerance layer"
+
+    def applies(self, sf: SourceFile) -> bool:
+        return sf.in_robustness_scope
+
+    def check(self, sf: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _exception_names(node.type)
+            broad = bool(
+                names & _BROAD_EXCEPTION_NAMES or "<bare>" in names
+            )
+            if broad and _body_is_only_pass(node.body):
+                caught = (
+                    "bare except:" if "<bare>" in names
+                    else f"except {sorted(names & _BROAD_EXCEPTION_NAMES)[0]}:"
+                )
+                yield self.finding(
+                    sf, node,
+                    f"{caught} with a pass-only body silently swallows "
+                    "every failure in a fault-tolerance layer",
+                    hint="catch the narrow exception types you expect, "
+                    "or handle/log/re-raise instead of pass",
+                )
+            if "CancelledError" in names and not _contains_raise(node.body):
+                yield self.finding(
+                    sf, node,
+                    "asyncio.CancelledError is caught without being "
+                    "re-raised; cancellation (drain, deadlines) stops "
+                    "propagating here",
+                    hint="re-raise after cleanup: `except "
+                    "asyncio.CancelledError: ...; raise`",
+                )
+
+
 MODEL_RULES = (
     UncachedEstimate(),
     BareBuiltinException(),
     PositionalEstimateFields(),
     ElementwiseBatchLoop(),
+    SwallowedException(),
 )

@@ -1,0 +1,54 @@
+"""``neurometer serve``: a fault-tolerant estimation daemon.
+
+Batch CLI invocations pay the cold-start cost of the tech substrates,
+the estimate cache, and the worker pool on every call.  The serve
+package keeps all three warm in one long-lived process and exposes the
+estimation surface as a small JSON-over-HTTP API
+(``/estimate``, ``/sweep``, ``/optimize``, ``/doctor``, ``/status``,
+``/drain``) that search loops can hammer with thousands of small
+queries.
+
+Robustness is the headline, not an afterthought:
+
+* every request carries a deadline (:mod:`repro.serve.app`);
+* worker crashes are retried with exponential backoff + jitter
+  (:mod:`repro.serve.retry`);
+* typed model errors map onto a stable HTTP taxonomy
+  (:mod:`repro.serve.protocol`);
+* a bounded admission gate sheds load with ``Retry-After``
+  (:mod:`repro.serve.backpressure`);
+* a circuit breaker degrades a failing model family to peak-only
+  estimates instead of going dark (:mod:`repro.serve.breaker`);
+* every request is journaled to crash-safe JSONL
+  (:mod:`repro.serve.requestlog`);
+* SIGTERM drains gracefully — in-flight sweeps checkpoint to their
+  journals so ``--resume`` completes them (:mod:`repro.serve.lifecycle`).
+"""
+
+from repro.serve.app import ServeApp, ServeConfig
+from repro.serve.backpressure import AdmissionGate
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.client import RemoteError, ServeClient
+from repro.serve.protocol import (
+    DrainingError,
+    LoadShedError,
+    error_payload,
+    status_for,
+)
+from repro.serve.retry import BackoffPolicy
+from repro.serve.lifecycle import run_server
+
+__all__ = [
+    "AdmissionGate",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "DrainingError",
+    "LoadShedError",
+    "RemoteError",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "error_payload",
+    "run_server",
+    "status_for",
+]

@@ -1,0 +1,120 @@
+"""Bounded admission: shed load instead of queueing without bound.
+
+An estimation daemon under a search loop sees bursts far beyond its
+worker capacity.  Queueing everything turns a burst into unbounded
+latency for *every* client; the gate instead admits up to
+``max_inflight`` requests and sheds the rest immediately with a 503 and
+a ``Retry-After`` hint, which well-behaved clients (including
+:class:`repro.serve.client.ServeClient`) honor with backoff.
+
+The gate is also the drain latch: once :meth:`begin_drain` is called no
+new work is admitted, and :meth:`drained` completes when the last
+in-flight request finishes — the SIGTERM handler awaits exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.serve.protocol import DrainingError, LoadShedError
+
+
+class AdmissionGate:
+    """Counting gate with load shedding and a drain latch.
+
+    Single-threaded by construction: every method runs on the event
+    loop, so plain counters are race-free.
+    """
+
+    def __init__(self, max_inflight: int, retry_after_s: float = 1.0):
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self.retry_after_s = retry_after_s
+        self.inflight = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+        self.peak_inflight = 0
+        self.draining = False
+        self._idle: Optional[asyncio.Event] = None
+
+    def _idle_event(self) -> asyncio.Event:
+        if self._idle is None:
+            self._idle = asyncio.Event()
+            if self.inflight == 0:
+                self._idle.set()
+        return self._idle
+
+    def admit(self) -> "_Admission":
+        """Admit one request or raise the shedding/draining error.
+
+        Raises:
+            DrainingError: the daemon no longer accepts work.
+            LoadShedError: capacity is full; retry after the hint.
+        """
+        if self.draining:
+            raise DrainingError("daemon is draining; no new work admitted")
+        if self.inflight >= self.max_inflight:
+            self.shed_total += 1
+            raise LoadShedError(
+                f"at capacity ({self.inflight}/{self.max_inflight} "
+                f"in flight); retry after {self.retry_after_s:g}s",
+                retry_after_s=self.retry_after_s,
+            )
+        self.inflight += 1
+        self.admitted_total += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+        self._idle_event().clear()
+        return _Admission(self)
+
+    def _release(self) -> None:
+        self.inflight -= 1
+        if self.inflight == 0:
+            self._idle_event().set()
+
+    def begin_drain(self) -> None:
+        """Stop admitting; already-admitted requests run to completion."""
+        self.draining = True
+        self._idle_event()  # materialize so drained() can await it
+
+    async def drained(self, grace_s: Optional[float] = None) -> bool:
+        """Wait until nothing is in flight; ``False`` on grace expiry."""
+        event = self._idle_event()
+        if grace_s is None:
+            await event.wait()
+            return True
+        try:
+            await asyncio.wait_for(event.wait(), timeout=grace_s)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    def snapshot(self) -> dict:
+        return {
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "peak_inflight": self.peak_inflight,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "draining": self.draining,
+        }
+
+
+class _Admission:
+    """Context manager releasing one admission slot on exit."""
+
+    def __init__(self, gate: AdmissionGate):
+        self._gate = gate
+        self._released = False
+
+    def __enter__(self) -> "_Admission":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if not self._released:
+            self._released = True
+            self._gate._release()

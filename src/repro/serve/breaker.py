@@ -1,0 +1,116 @@
+"""A per-family circuit breaker that degrades instead of going dark.
+
+An integrity failure (:class:`~repro.errors.NumericalError`,
+:class:`~repro.errors.InvariantViolation`, or a validation-band miss)
+means the *model* is producing garbage for some family of requests —
+retrying the same evaluation will fail the same way while burning a
+worker each time.  After ``failure_threshold`` consecutive integrity
+failures for one family the breaker opens: full evaluations for that
+family are refused and the app serves peak-only (degraded) estimates,
+which exercise a far smaller slice of the model.  After
+``reset_after_s`` the breaker goes half-open and lets exactly one trial
+evaluation through; success closes it, another integrity failure snaps
+it open again.
+
+Worker crashes and timeouts do **not** feed the breaker — they are
+capacity/environment problems handled by retry and backoff, not model
+damage.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class _Family:
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    trips: int = 0
+
+
+class CircuitBreaker:
+    """Per-family breaker keyed by an arbitrary string.
+
+    Args:
+        failure_threshold: Consecutive integrity failures that trip a
+            family open.
+        reset_after_s: Seconds an open family waits before allowing a
+            half-open trial.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.failure_threshold = max(1, failure_threshold)
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._families: Dict[str, _Family] = {}
+
+    def _family(self, key: str) -> _Family:
+        if key not in self._families:
+            self._families[key] = _Family()
+        return self._families[key]
+
+    def allow_full(self, key: str) -> bool:
+        """May a full evaluation for this family run right now?
+
+        Open families answer ``False`` (serve degraded) until the reset
+        window elapses, then exactly one caller gets a half-open trial.
+        """
+        family = self._family(key)
+        if family.state == CLOSED:
+            return True
+        if family.state == OPEN:
+            if self._clock() - family.opened_at >= self.reset_after_s:
+                family.state = HALF_OPEN
+                return True
+            return False
+        # Half-open: one trial is already in flight; keep others degraded.
+        return False
+
+    def record_success(self, key: str) -> None:
+        family = self._family(key)
+        family.state = CLOSED
+        family.consecutive_failures = 0
+
+    def record_integrity_failure(self, key: str) -> None:
+        family = self._family(key)
+        if family.state == HALF_OPEN:
+            # The trial failed: snap back open, restart the window.
+            family.state = OPEN
+            family.opened_at = self._clock()
+            family.trips += 1
+            return
+        family.consecutive_failures += 1
+        if (
+            family.state == CLOSED
+            and family.consecutive_failures >= self.failure_threshold
+        ):
+            family.state = OPEN
+            family.opened_at = self._clock()
+            family.trips += 1
+
+    def state(self, key: str) -> str:
+        return self._family(key).state
+
+    def snapshot(self) -> dict:
+        return {
+            key: {
+                "state": family.state,
+                "consecutive_failures": family.consecutive_failures,
+                "trips": family.trips,
+            }
+            for key, family in sorted(self._families.items())
+        }

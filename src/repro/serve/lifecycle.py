@@ -1,0 +1,93 @@
+"""Daemon lifecycle: boot, signal handling, graceful drain, exit 0.
+
+SIGTERM (and SIGINT) mean *drain*, not die:
+
+1. the admission gate closes — new requests get a 503;
+2. in-flight pooled sweeps observe the drain abort at the next point
+   boundary, journal everything finished, and answer 503 with
+   ``resumable: true`` so a client ``--resume`` completes them;
+3. the daemon waits up to ``drain_grace_s`` for in-flight requests to
+   resolve, flushes the request log, tears down the worker pool, and
+   exits 0.
+
+A second signal during the grace window skips the wait and tears down
+immediately (still exit 0 — the journals are already consistent).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from typing import Optional
+
+from repro.serve.app import ServeApp, ServeConfig
+from repro.serve.http import start_http_server
+
+
+async def _serve_until_drained(
+    app: ServeApp, *, ready_line: bool = True
+) -> int:
+    loop = asyncio.get_running_loop()
+    app.drain_requested = asyncio.Event()
+    force_teardown = asyncio.Event()
+    server = await start_http_server(
+        app.handle, app.config.host, app.config.port
+    )
+
+    def _on_signal(signame: str) -> None:
+        if app.gate.draining:
+            # Second signal: the operator is impatient; stop waiting.
+            force_teardown.set()
+            return
+        print(f"neurometer serve: {signame} received, draining",
+              file=sys.stderr, flush=True)
+        app.begin_drain()
+
+    for signame in ("SIGTERM", "SIGINT"):
+        loop.add_signal_handler(
+            getattr(signal, signame), _on_signal, signame
+        )
+
+    sockets = server.sockets or ()
+    if ready_line and sockets:
+        host, port = sockets[0].getsockname()[:2]
+        print(f"neurometer serve: listening on http://{host}:{port}",
+              file=sys.stderr, flush=True)
+
+    await app.drain_requested.wait()
+
+    # Stop accepting new connections, then give in-flight requests the
+    # grace window to resolve (sweeps abort at their next point boundary
+    # and journal what finished, so the window is short in practice).
+    server.close()
+    await server.wait_closed()
+    drain_task = asyncio.ensure_future(
+        app.gate.drained(grace_s=app.config.drain_grace_s)
+    )
+    force_task = asyncio.ensure_future(force_teardown.wait())
+    done, pending = await asyncio.wait(
+        {drain_task, force_task}, return_when=asyncio.FIRST_COMPLETED
+    )
+    for task in pending:
+        task.cancel()
+    await asyncio.gather(*pending, return_exceptions=True)
+    clean = drain_task in done and drain_task.result()
+    if not clean:
+        print("neurometer serve: tearing down with "
+              f"{app.gate.inflight} request(s) in flight",
+              file=sys.stderr, flush=True)
+    return 0
+
+
+def run_server(
+    config: ServeConfig, app: Optional[ServeApp] = None
+) -> int:
+    """Boot the daemon and block until it drains; returns the exit code."""
+    app = app if app is not None else ServeApp(config)
+    try:
+        return asyncio.run(_serve_until_drained(app))
+    finally:
+        app.close()
+        print("neurometer serve: drained, exiting", file=sys.stderr,
+              flush=True)

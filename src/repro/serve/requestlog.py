@@ -1,0 +1,126 @@
+"""Crash-safe JSONL journaling of every request the daemon answers.
+
+One line per finished request — endpoint, HTTP status, error type if
+any, wall time — flushed and fsynced like the sweep journal, so a
+post-mortem after a crash or a SIGKILL sees every request the daemon
+actually resolved.  The tail-repair loop is shared with the sweep
+journal (:func:`repro.dse.journal.repair_tail`): on reopen, a torn
+trailing write (single- or multi-line) is truncated away so the next
+append starts a clean record.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Optional
+
+from repro.dse.journal import repair_tail
+from repro.errors import ConfigurationError
+
+REQUEST_LOG_VERSION = 1
+
+
+def _request_line_is_damaged(line: bytes) -> bool:
+    """Validator for one request-log line (for the shared tail repair)."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return True
+    return not (
+        isinstance(payload, dict)
+        and payload.get("kind") in ("header", "request")
+    )
+
+
+class RequestLog:
+    """Append-only request journal with crash-safe per-line flushing."""
+
+    def __init__(self, path: "str | os.PathLike"):
+        self.path = os.fspath(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self.repaired_lines = 0
+        if os.path.exists(self.path):
+            self.repaired_lines = repair_tail(
+                self.path, is_damaged=_request_line_is_damaged
+            )
+        self._fh: Optional[io.TextIOBase] = open(
+            self.path, "a", encoding="utf-8"
+        )
+        if os.path.getsize(self.path) == 0:
+            self._write_line(
+                json.dumps(
+                    {
+                        "kind": "header",
+                        "log": "serve-requests",
+                        "version": REQUEST_LOG_VERSION,
+                    },
+                    sort_keys=True,
+                )
+            )
+        self.recorded_total = 0
+
+    def _write_line(self, line: str) -> None:
+        assert self._fh is not None
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(
+        self,
+        request_id: int,
+        endpoint: str,
+        status: int,
+        wall_time_s: float,
+        error: Optional[str] = None,
+        detail: Optional[dict] = None,
+    ) -> None:
+        """Journal one resolved request; flushed immediately."""
+        if self._fh is None:
+            raise ConfigurationError("request log is closed")
+        self._write_line(
+            json.dumps(
+                {
+                    "kind": "request",
+                    "id": request_id,
+                    "endpoint": endpoint,
+                    "status": status,
+                    "wall_time_s": round(wall_time_s, 6),
+                    "error": error,
+                    "detail": detail,
+                },
+                sort_keys=True,
+            )
+        )
+        self.recorded_total += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RequestLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def load_request_log(path: "str | os.PathLike") -> list:
+    """Read every well-formed request entry (for tests and post-mortems)."""
+    entries = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail; repair happens on reopen
+            if isinstance(payload, dict) and payload.get("kind") == "request":
+                entries.append(payload)
+    return entries

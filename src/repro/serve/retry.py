@@ -1,0 +1,62 @@
+"""Bounded retry with exponential backoff + jitter for worker crashes.
+
+A pool worker that dies mid-request (OOM kill, fork bomb elsewhere on
+the box, a genuine model crash) is an *environment* failure: the request
+itself may be perfectly healthy, so the daemon retries it — but only a
+bounded number of times, with exponentially growing delays, and with
+seeded jitter so a burst of simultaneous crashes does not resynchronize
+into a retry stampede.
+
+Integrity failures (NumericalError and friends) are **not** retried —
+the same model evaluates the same way every time; those feed the
+circuit breaker instead (:mod:`repro.serve.breaker`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class BackoffPolicy:
+    """Exponential backoff schedule with deterministic jitter.
+
+    ``delays()`` yields one delay per *retry* (``max_attempts - 1``
+    values): ``base_delay_s * multiplier**i``, capped at
+    ``max_delay_s``, each multiplied by a jitter factor drawn uniformly
+    from ``[1 - jitter, 1 + jitter]`` using a seeded RNG so test runs
+    and journal replays see identical schedules.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+        self._rng = random.Random(self.seed)
+
+    def delays(self) -> Iterator[float]:
+        """The delay before each retry, in order."""
+        for attempt in range(self.max_attempts - 1):
+            base = min(
+                self.base_delay_s * self.multiplier**attempt,
+                self.max_delay_s,
+            )
+            factor = 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+            yield base * factor

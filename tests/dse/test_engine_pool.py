@@ -15,7 +15,7 @@ import time
 import pytest
 
 import repro.dse.engine as engine_mod
-from repro.dse.engine import run_sweep
+from repro.dse.engine import WorkerPool, derive_chunk_size, run_sweep
 from repro.dse.space import DesignPoint
 from repro.dse.sweep import DesignPointResult
 from repro.errors import ConfigurationError
@@ -155,3 +155,103 @@ def test_explicit_chunk_size_covers_all_points(monkeypatch):
     report = run_sweep(POINTS, jobs=4, chunk_size=100, strict=False)
     assert all(r.status == "ok" for r in report.records)
     assert len({r.result.tdp_w for r in report.records}) == 1
+
+
+def test_derived_chunk_size_is_pinned():
+    """Regression: tiny/empty sweeps must clamp to 1, never to 0."""
+    assert derive_chunk_size(0, 4) == 1
+    assert derive_chunk_size(-3, 4) == 1  # exhausted journal resume
+    assert derive_chunk_size(2, 8) == 1  # fewer points than workers
+    assert derive_chunk_size(1, 1) == 1
+    assert derive_chunk_size(210, 8) == 7  # ceil(210 / 32)
+    assert derive_chunk_size(100, 1) == 25
+
+
+def test_empty_sweep_with_pool_jobs_does_not_crash(monkeypatch):
+    def fake(point, workloads=(), batches=(), ctx=None, slo=10.0):
+        return _pid_result(point)
+
+    _patch(monkeypatch, fake)
+    report = run_sweep([], jobs=4, timeout_s=10.0, strict=False)
+    assert report.records == ()
+    assert report.cancelled is False
+
+
+def test_fewer_points_than_jobs_completes(monkeypatch):
+    def fake(point, workloads=(), batches=(), ctx=None, slo=10.0):
+        return _pid_result(point)
+
+    _patch(monkeypatch, fake)
+    report = run_sweep(POINTS[:2], jobs=8, timeout_s=30.0, strict=False)
+    assert all(r.status == "ok" for r in report.records)
+    assert len(report.records) == 2
+
+
+def test_shared_pool_keeps_workers_warm_across_sweeps(monkeypatch):
+    def fake(point, workloads=(), batches=(), ctx=None, slo=10.0):
+        return _pid_result(point)
+
+    _patch(monkeypatch, fake)
+    pool = WorkerPool(2)
+    try:
+        first = run_sweep(POINTS, jobs=2, chunk_size=1, strict=False,
+                          pool=pool)
+        second = run_sweep(POINTS, jobs=2, chunk_size=1, strict=False,
+                           pool=pool)
+        pids = {r.result.tdp_w for r in first.records}
+        pids |= {r.result.tdp_w for r in second.records}
+        # Same recipe twice through one pool: no respawn between runs.
+        assert len(pids) <= 2
+        assert pool.spawned_total <= 2
+    finally:
+        pool.close()
+
+
+def test_drain_mid_chunk_requeues_unfinished_points_into_journal(
+    monkeypatch, tmp_path
+):
+    """Satellite: a drain between points checkpoints the finished subset;
+    the unfinished remainder is re-run (not lost, not double-counted) by
+    a ``resume=True`` follow-up."""
+
+    def fake(point, workloads=(), batches=(), ctx=None, slo=10.0):
+        time.sleep(0.05)
+        return _pid_result(point)
+
+    _patch(monkeypatch, fake)
+    journal = tmp_path / "drain.jsonl"
+    seen = []
+
+    def abort_after_three():
+        return len(seen) >= 3
+
+    report = run_sweep(
+        POINTS,
+        jobs=1,
+        chunk_size=len(POINTS),  # drain strikes mid-chunk
+        strict=False,
+        journal_path=journal,
+        should_abort=abort_after_three,
+        on_record=seen.append,
+    )
+    assert report.cancelled is True
+    finished = {r.point for r in report.records}
+    assert 0 < len(finished) < len(POINTS)
+
+    # Every finished point is journaled; no unfinished point is.
+    from repro.dse.journal import load_journal
+
+    journaled = load_journal(journal)
+    assert {entry.point for entry in journaled} == finished
+
+    resumed = run_sweep(
+        POINTS,
+        jobs=1,
+        strict=False,
+        journal_path=journal,
+        resume=True,
+    )
+    assert resumed.cancelled is False
+    assert len(resumed.records) == len(POINTS)
+    from_journal = [r for r in resumed.records if r.from_journal]
+    assert {r.point for r in from_journal} == finished

@@ -15,6 +15,7 @@ from repro.dse.journal import (
     JournalEntry,
     _repair_tail,
     load_journal,
+    repair_tail,
 )
 from repro.dse.space import DesignPoint
 from repro.errors import ConfigurationError
@@ -64,6 +65,37 @@ def test_corrupt_trailing_line_with_newline_is_discarded(tmp_path):
     assert [e.point.x for e in entries] == [8]
 
 
+def test_torn_multiline_tail_is_discarded_with_warning(tmp_path):
+    """A killed process can tear several buffered trailing lines at once."""
+    path = tmp_path / "sweep.jsonl"
+    _write_journal(path, [_entry(8), _entry(16)])
+    with path.open("a") as fh:
+        fh.write('{"kind": "point", "point": [24, 4]}\n')  # malformed point
+        fh.write('{"kind": "point", "poi')  # truncated mid-record
+
+    with pytest.warns(RuntimeWarning, match="2 lines starting at line 4"):
+        entries = load_journal(path)
+    assert [e.point.x for e in entries] == [8, 16]
+
+
+def test_torn_multiline_tail_is_repaired_for_resume(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    _write_journal(path, [_entry(8)])
+    with path.open("a") as fh:
+        fh.write('not json at all\n')
+        fh.write('{"kind": "point"')
+
+    with pytest.warns(RuntimeWarning):
+        with Journal(path, resume=True) as journal:
+            assert {p.x for p in journal.finished_points()} == {8}
+            journal.append(_entry(32))
+
+    entries = load_journal(path)
+    assert [e.point.x for e in entries] == [8, 32]
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
 def test_midfile_corruption_raises(tmp_path):
     path = tmp_path / "sweep.jsonl"
     _write_journal(path, [_entry(8), _entry(16)])
@@ -73,6 +105,34 @@ def test_midfile_corruption_raises(tmp_path):
 
     with pytest.raises(ConfigurationError, match="corrupt journal line 2"):
         load_journal(path)
+
+
+def test_damaged_line_followed_by_valid_line_raises(tmp_path):
+    """Damage is only forgivable as a *contiguous trailing* run."""
+    path = tmp_path / "sweep.jsonl"
+    _write_journal(path, [_entry(8)])
+    with path.open("a") as fh:
+        fh.write('{"kind": "point", "point": [16, 4]}\n')  # damaged
+        fh.write(_entry(32).to_json() + "\n")  # valid line after it
+
+    with pytest.raises(ConfigurationError, match="corrupt journal line 3"):
+        load_journal(path)
+
+
+def test_repair_tail_accepts_custom_validator(tmp_path):
+    """Other JSONL consumers reuse the repair loop with their own framing."""
+    path = tmp_path / "requests.jsonl"
+    path.write_bytes(b'{"req": 1}\n{"req": 2}\n{"re')
+
+    def is_damaged(line: bytes) -> bool:
+        try:
+            return "req" not in json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return True
+
+    removed = repair_tail(path, is_damaged=is_damaged)
+    assert removed == 1
+    assert path.read_bytes() == b'{"req": 1}\n{"req": 2}\n'
 
 
 def test_resume_appends_cleanly_after_truncated_tail(tmp_path):

@@ -1,0 +1,25 @@
+"""Clean twin for NM205: narrow catches, cancellation re-raised."""
+
+import asyncio
+
+
+def shed_quietly(gate):
+    try:
+        gate.release()
+    except (BrokenPipeError, OSError):
+        gate.mark_dead()  # narrow types, real handling
+
+
+def broad_but_handled(gate):
+    try:
+        gate.release()
+    except Exception as error:
+        gate.record_failure(error)  # broad, but the failure is kept
+
+
+async def absorb_cancellation(task):
+    try:
+        await task
+    except asyncio.CancelledError:
+        task.note = "cancelled"
+        raise  # cancellation keeps propagating

@@ -28,6 +28,7 @@ CASES = {
     "NM202": ("arch/nm202_bad.py", "arch/nm202_good.py", 1),
     "NM203": ("arch/nm203_bad.py", "arch/nm203_good.py", 1),
     "NM204": ("batch/nm204_bad.py", "batch/nm204_good.py", 2),
+    "NM205": ("serve/nm205_bad.py", "serve/nm205_good.py", 2),
     "NM301": ("cache/nm301_bad.py", "cache/nm301_good.py", 2),
     "NM302": ("cache/nm302_bad.py", "cache/nm302_good.py", 2),
     "NM303": ("cache/nm303_bad.py", "cache/nm303_good.py", 1),
@@ -113,7 +114,8 @@ def test_model_rules_stay_quiet_outside_model_layers():
 #: Rules scoped by path classification; the NM101/NM102/NM104 unit rules
 #: are universal correctness checks and apply to every file.
 _SCOPED_RULES = (
-    "NM103", "NM201", "NM202", "NM203", "NM204", "NM301", "NM302", "NM303",
+    "NM103", "NM201", "NM202", "NM203", "NM204", "NM205", "NM301",
+    "NM302", "NM303",
 )
 
 

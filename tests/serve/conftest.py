@@ -1,0 +1,93 @@
+"""An in-process daemon harness shared by the serve tests.
+
+The server runs on a background thread with its own asyncio loop, bound
+to an ephemeral port; the tests talk to it through the real
+:class:`repro.serve.client.ServeClient` over real sockets, so request
+framing, error mapping, and header handling are exercised end to end.
+
+Because pool workers fork lazily on the first pooled request, a test
+may monkeypatch ``repro.dse.engine.evaluate_point`` *before* issuing
+requests and the forked workers inherit the fake — the same trick the
+engine's own pool tests use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.app import ServeApp, ServeConfig
+from repro.serve.client import ServeClient
+from repro.serve.http import start_http_server
+
+
+class ServerHarness:
+    """One in-process daemon on an ephemeral port."""
+
+    def __init__(self, **config_kwargs):
+        config_kwargs.setdefault("jobs", 2)
+        config_kwargs.setdefault("deadline_s", 60.0)
+        self.config = ServeConfig(port=0, **config_kwargs)
+        self.app = ServeApp(self.config)
+        self.port = None
+        self.loop = None
+        self._stop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("harness server did not come up")
+
+    def _run(self) -> None:
+        async def main():
+            self.loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self.app.drain_requested = asyncio.Event()
+            server = await start_http_server(
+                self.app.handle, "127.0.0.1", 0
+            )
+            self.port = server.sockets[0].getsockname()[1]
+            self._ready.set()
+            await self._stop.wait()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(main())
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def client(self, **kwargs) -> ServeClient:
+        return ServeClient(self.url, **kwargs)
+
+    def drain(self) -> None:
+        """Trigger the drain path exactly as the SIGTERM handler would."""
+        self.loop.call_soon_threadsafe(self.app.begin_drain)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def stop(self) -> None:
+        if self.loop is not None and self._thread.is_alive():
+            self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+        self.app.close()
+
+
+@pytest.fixture
+def harness_factory():
+    """Build harnesses and guarantee teardown (pool, executor, sockets)."""
+    built = []
+
+    def _build(**config_kwargs) -> ServerHarness:
+        harness = ServerHarness(**config_kwargs)
+        built.append(harness)
+        return harness
+
+    yield _build
+    for harness in built:
+        harness.stop()

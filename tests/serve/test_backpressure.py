@@ -1,0 +1,111 @@
+"""Admission gate: bounded load, shedding, and the drain latch."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.backpressure import AdmissionGate
+from repro.serve.protocol import DrainingError, LoadShedError
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_sheds_beyond_capacity():
+    async def scenario():
+        gate = AdmissionGate(max_inflight=2, retry_after_s=3.0)
+        first = gate.admit()
+        second = gate.admit()
+        with pytest.raises(LoadShedError) as excinfo:
+            gate.admit()
+        assert excinfo.value.retry_after_s == 3.0
+        assert gate.shed_total == 1
+        # Releasing a slot restores admission.
+        with first:
+            pass
+        with gate.admit():
+            pass
+        with second:
+            pass
+        assert gate.inflight == 0
+        assert gate.admitted_total == 3
+        assert gate.peak_inflight == 2
+
+    _run(scenario())
+
+
+def test_draining_refuses_new_work():
+    async def scenario():
+        gate = AdmissionGate(max_inflight=4)
+        admission = gate.admit()
+        gate.begin_drain()
+        with pytest.raises(DrainingError):
+            gate.admit()
+        # The already-admitted request still completes normally.
+        with admission:
+            pass
+        assert gate.inflight == 0
+
+    _run(scenario())
+
+
+def test_drained_waits_for_inflight_work():
+    async def scenario():
+        gate = AdmissionGate(max_inflight=4)
+        admission = gate.admit()
+        gate.begin_drain()
+
+        async def finish_later():
+            await asyncio.sleep(0.05)
+            with admission:
+                pass
+
+        task = asyncio.ensure_future(finish_later())
+        assert await gate.drained(grace_s=5.0) is True
+        await task
+        assert gate.inflight == 0
+
+    _run(scenario())
+
+
+def test_drained_grace_expires_with_stuck_work():
+    async def scenario():
+        gate = AdmissionGate(max_inflight=4)
+        gate.admit()  # never released
+        gate.begin_drain()
+        assert await gate.drained(grace_s=0.05) is False
+
+    _run(scenario())
+
+
+def test_idle_drain_completes_immediately():
+    async def scenario():
+        gate = AdmissionGate(max_inflight=4)
+        gate.begin_drain()
+        assert await gate.drained(grace_s=1.0) is True
+
+    _run(scenario())
+
+
+def test_snapshot_shape():
+    async def scenario():
+        gate = AdmissionGate(max_inflight=4)
+        with gate.admit():
+            snap = gate.snapshot()
+        assert snap == {
+            "inflight": 1,
+            "max_inflight": 4,
+            "peak_inflight": 1,
+            "admitted_total": 1,
+            "shed_total": 0,
+            "draining": False,
+        }
+
+    _run(scenario())
+
+
+def test_capacity_validation():
+    with pytest.raises(ConfigurationError):
+        AdmissionGate(max_inflight=0)

@@ -1,0 +1,96 @@
+"""Circuit breaker: trip, degrade, half-open trial, recovery."""
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _breaker(threshold=3, reset=30.0):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        failure_threshold=threshold, reset_after_s=reset, clock=clock
+    )
+    return breaker, clock
+
+
+def test_trips_after_consecutive_integrity_failures():
+    breaker, _ = _breaker(threshold=3)
+    for _ in range(2):
+        breaker.record_integrity_failure("resnet")
+        assert breaker.allow_full("resnet") is True
+    breaker.record_integrity_failure("resnet")
+    assert breaker.state("resnet") == OPEN
+    assert breaker.allow_full("resnet") is False
+
+
+def test_success_resets_the_consecutive_count():
+    breaker, _ = _breaker(threshold=3)
+    breaker.record_integrity_failure("resnet")
+    breaker.record_integrity_failure("resnet")
+    breaker.record_success("resnet")
+    breaker.record_integrity_failure("resnet")
+    breaker.record_integrity_failure("resnet")
+    assert breaker.state("resnet") == CLOSED  # never three in a row
+
+
+def test_families_are_independent():
+    breaker, _ = _breaker(threshold=1)
+    breaker.record_integrity_failure("resnet")
+    assert breaker.allow_full("resnet") is False
+    assert breaker.allow_full("inception") is True
+
+
+def test_half_open_trial_after_reset_window():
+    breaker, clock = _breaker(threshold=1, reset=30.0)
+    breaker.record_integrity_failure("resnet")
+    assert breaker.allow_full("resnet") is False
+    clock.advance(29.0)
+    assert breaker.allow_full("resnet") is False
+    clock.advance(2.0)
+    # One trial gets through; concurrent callers keep degrading.
+    assert breaker.allow_full("resnet") is True
+    assert breaker.state("resnet") == HALF_OPEN
+    assert breaker.allow_full("resnet") is False
+
+
+def test_trial_success_closes():
+    breaker, clock = _breaker(threshold=1, reset=10.0)
+    breaker.record_integrity_failure("resnet")
+    clock.advance(11.0)
+    assert breaker.allow_full("resnet") is True
+    breaker.record_success("resnet")
+    assert breaker.state("resnet") == CLOSED
+    assert breaker.allow_full("resnet") is True
+
+
+def test_trial_failure_reopens_with_fresh_window():
+    breaker, clock = _breaker(threshold=1, reset=10.0)
+    breaker.record_integrity_failure("resnet")
+    clock.advance(11.0)
+    assert breaker.allow_full("resnet") is True  # the trial
+    breaker.record_integrity_failure("resnet")
+    assert breaker.state("resnet") == OPEN
+    clock.advance(9.0)
+    assert breaker.allow_full("resnet") is False  # window restarted
+    clock.advance(2.0)
+    assert breaker.allow_full("resnet") is True
+
+
+def test_snapshot_counts_trips():
+    breaker, clock = _breaker(threshold=1, reset=1.0)
+    breaker.record_integrity_failure("resnet")
+    clock.advance(2.0)
+    breaker.allow_full("resnet")
+    breaker.record_integrity_failure("resnet")  # trial fails: second trip
+    snap = breaker.snapshot()
+    assert snap["resnet"]["state"] == OPEN
+    assert snap["resnet"]["trips"] == 2

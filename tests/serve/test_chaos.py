@@ -1,0 +1,267 @@
+"""The ISSUE acceptance run: 100 concurrent requests under fault injection.
+
+Workers are killed mid-request (``os._exit`` inside the forked pool
+worker), clients outnumber the admission window, and a drain lands in
+the middle of a second wave.  The daemon must never crash, every request
+must resolve to a success or a *typed* error, and results for
+non-faulted points must be bit-identical to the local path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import repro.dse.engine as engine_mod
+from repro.dse.journal import load_journal
+from repro.dse.space import DesignPoint
+from repro.dse.sweep import evaluate_point
+from repro.serve.client import RemoteError
+
+# The designated chaos points.  CRASHY dies on every evaluation and must
+# surface as a typed WorkerCrash after retries; FLAKY dies exactly once
+# (cross-process marker file) and must be healed by the retry layer.
+CRASHY = (96, 1, 1, 1)
+FLAKY = (80, 1, 1, 1)
+CLEAN_POINTS = [
+    [4, 1, 1, 1], [8, 1, 1, 1], [16, 1, 1, 1], [32, 1, 1, 1],
+    [4, 2, 1, 1], [8, 2, 1, 1], [16, 2, 1, 1], [64, 1, 1, 1],
+]
+
+
+def _install_chaos(monkeypatch, flaky_marker):
+    """Wrap the *real* evaluate_point with crash injection.
+
+    The wrapper is inherited by forked pool workers, so the crashes
+    happen exactly where an OOM kill or a segfault would.
+    """
+    real = evaluate_point
+
+    def chaotic(point, workloads=(), batches=(), ctx=None, slo=10.0):
+        key = (point.x, point.n, point.tx, point.ty)
+        if key == CRASHY:
+            os._exit(9)
+        if key == FLAKY and not flaky_marker.exists():
+            flaky_marker.write_text("died once")
+            os._exit(9)
+        return real(point, workloads, batches, ctx, slo)
+
+    monkeypatch.setattr(engine_mod, "evaluate_point", chaotic)
+
+
+def _call_riding_out_sheds(client, method, path, body):
+    """One request, retrying *only* load sheds (the daemon asked us to
+    come back).  Draining, crashes, and timeouts resolve immediately —
+    they are answers, not backpressure.
+    """
+    error = None
+    for _ in range(400):
+        try:
+            return ("ok", client.request(method, path, body))
+        except RemoteError as caught:
+            error = caught
+            if error.error_type != "LoadShedError":
+                return ("error", error)
+            time.sleep(error.retry_after_s or 0.05)
+    return ("error", error)  # shed budget exhausted: still typed
+
+
+def _run_clients(client_factory, requests, n_threads=8):
+    """Fan ``requests`` out over ``n_threads`` clients; every request's
+    fate (payload or typed error) is recorded — none may hang or vanish.
+    """
+    results = [None] * len(requests)
+    cursor = iter(enumerate(requests))
+    lock = threading.Lock()
+
+    def worker():
+        client = client_factory()
+        while True:
+            with lock:
+                item = next(cursor, None)
+            if item is None:
+                return
+            index, (kind, payload) = item
+            if kind == "estimate":
+                results[index] = _call_riding_out_sheds(
+                    client, "POST", "/estimate", {"point": payload}
+                )
+            elif kind == "sweep":
+                results[index] = _call_riding_out_sheds(
+                    client, "POST", "/sweep", payload
+                )
+            else:
+                results[index] = _call_riding_out_sheds(
+                    client, "GET", "/status", None
+                )
+
+    threads = [threading.Thread(target=worker, daemon=True)
+               for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=590)
+    assert not any(thread.is_alive() for thread in threads), \
+        "a client thread hung: some request never resolved"
+    return results
+
+
+def test_100_requests_with_worker_kills_all_resolve(
+    harness_factory, monkeypatch, tmp_path
+):
+    _install_chaos(monkeypatch, tmp_path / "flaky-died")
+    journal_dir = tmp_path / "journals"
+    journal_dir.mkdir()
+    harness = harness_factory(
+        jobs=2,
+        max_inflight=4,
+        retry_attempts=2,
+        retry_after_s=0.05,
+        journal_dir=str(journal_dir),
+        request_log=str(tmp_path / "requests.jsonl"),
+    )
+    harness.client().wait_healthy(timeout_s=30.0)
+
+    # 100 requests: 70 estimates (clean, flaky, and crashy points mixed),
+    # 15 three-point sweeps (5 of them containing the crashy point, each
+    # journaled), 15 status probes.
+    requests = []
+    for i in range(70):
+        if i % 10 == 3:
+            point = list(CRASHY)
+        elif i % 10 == 7:
+            point = list(FLAKY)
+        else:
+            point = CLEAN_POINTS[i % len(CLEAN_POINTS)]
+        requests.append(("estimate", point))
+    for i in range(15):
+        points = [CLEAN_POINTS[i % len(CLEAN_POINTS)],
+                  CLEAN_POINTS[(i + 3) % len(CLEAN_POINTS)]]
+        if i % 3 == 0:
+            points = points + [list(CRASHY)]
+        requests.append(
+            ("sweep", {"points": points, "journal": f"chaos-{i}.jsonl"})
+        )
+    requests.extend(("status", None) for _ in range(15))
+    assert len(requests) == 100
+
+    results = _run_clients(lambda: harness.client(deadline_s=590.0),
+                           requests)
+
+    # Every request resolved, and to the *right* typed outcome.
+    local = {
+        tuple(p): evaluate_point(DesignPoint(*p)) for p in CLEAN_POINTS
+    }
+    crashes = sheds = 0
+    for (kind, payload), (fate, value) in zip(requests, results):
+        assert fate in ("ok", "error")
+        if fate == "error":
+            assert isinstance(value, RemoteError)
+            if value.error_type == "WorkerCrash":
+                crashes += 1
+                assert value.status == 500
+                assert kind == "estimate" and tuple(payload) == CRASHY
+            else:
+                assert value.status == 503  # shed after client backoff
+                sheds += 1
+            continue
+        if kind == "estimate":
+            assert value["status"] == "ok"
+            expected = local[tuple(payload)] if tuple(payload) != FLAKY \
+                else evaluate_point(DesignPoint(*FLAKY))
+            # Bit-identical to the local CLI path, through JSON and back.
+            assert value["metrics"]["area_mm2"] == expected.area_mm2
+            assert value["metrics"]["tdp_w"] == expected.tdp_w
+            assert value["metrics"]["peak_tops"] == expected.peak_tops
+        elif kind == "sweep":
+            for record in value["records"]:
+                point = tuple(record["point"])
+                if point == CRASHY:
+                    assert record["status"] == "failed"
+                    assert record["failure"]["error_type"] == "WorkerCrash"
+                else:
+                    assert record["status"] == "ok"
+                    expected = local[point]
+                    metrics = record["metrics"]
+                    assert metrics["area_mm2"] == expected.area_mm2
+                    assert metrics["tdp_w"] == expected.tdp_w
+
+    # The crashy estimates could not all be healed; at least one request
+    # must have surfaced the typed crash (none may dissolve into a hang).
+    assert crashes >= 1
+
+    # Zero daemon crashes: it still answers, and its pool recovered.
+    status = harness.client().status()
+    assert status["state"] == "serving"
+    assert harness.alive
+
+    # Every journal written under chaos parses cleanly.
+    journals = sorted(journal_dir.glob("chaos-*.jsonl"))
+    assert journals
+    for path in journals:
+        for entry in load_journal(path):
+            assert entry.status in ("ok", "degraded", "failed")
+
+
+def test_drain_mid_chaos_resolves_every_request(
+    harness_factory, monkeypatch, tmp_path
+):
+    _install_chaos(monkeypatch, tmp_path / "flaky-died")
+    journal_dir = tmp_path / "journals"
+    journal_dir.mkdir()
+    harness = harness_factory(
+        jobs=2,
+        max_inflight=4,
+        retry_attempts=2,
+        retry_after_s=0.05,
+        journal_dir=str(journal_dir),
+        drain_grace_s=60.0,
+    )
+    harness.client().wait_healthy(timeout_s=30.0)
+
+    requests = []
+    for i in range(24):
+        if i % 6 == 2:
+            requests.append(("estimate", list(CRASHY)))
+        elif i % 4 == 1:
+            requests.append(
+                ("sweep", {"points": [[4 * (j + 1), 1, 1, 1]
+                                      for j in range(6)],
+                           "journal": f"drain-{i}.jsonl"})
+            )
+        else:
+            requests.append(("estimate", CLEAN_POINTS[i % 8]))
+
+    done = threading.Event()
+    outcome = {}
+
+    def run_wave():
+        outcome["results"] = _run_clients(
+            lambda: harness.client(deadline_s=590.0), requests,
+            n_threads=6,
+        )
+        done.set()
+
+    wave = threading.Thread(target=run_wave, daemon=True)
+    wave.start()
+    time.sleep(0.5)  # let the wave get going, then pull the plug
+    harness.drain()
+    assert done.wait(timeout=590), "drain left client requests hanging"
+
+    # Every request resolved: success before the drain, or a typed 503
+    # (draining / resumable checkpoint) after it.  Nothing hung, nothing
+    # crashed the daemon.
+    for fate, value in outcome["results"]:
+        if fate == "error":
+            assert value.status in (500, 503)
+        else:
+            assert value.get("status", "ok") in ("ok", "degraded") or \
+                "records" in value or "state" in value
+    assert harness.alive
+
+    # No journaled point was lost: every journal on disk parses cleanly
+    # end to end (the drain tore no line).
+    for path in sorted(journal_dir.glob("drain-*.jsonl")):
+        for entry in load_journal(path):
+            assert entry.status in ("ok", "degraded", "failed")

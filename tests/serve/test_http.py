@@ -1,0 +1,105 @@
+"""The stdlib HTTP/1.1 subset: strict parsing, bounded framing."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    Request,
+    Response,
+    read_request,
+)
+
+
+def _parse(raw: bytes):
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(_run())
+
+
+def test_parses_request_line_query_headers_and_body():
+    body = b'{"point": [64, 2, 2, 4]}'
+    raw = (
+        b"POST /estimate?trace=1&dry HTTP/1.1\r\n"
+        b"Host: localhost\r\n"
+        b"Content-Type: application/json\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+        b"\r\n" + body
+    )
+    request = _parse(raw)
+    assert request.method == "POST"
+    assert request.path == "/estimate"
+    assert request.query == {"trace": "1", "dry": ""}
+    assert request.headers["host"] == "localhost"
+    assert request.json() == {"point": [64, 2, 2, 4]}
+
+
+def test_get_without_body():
+    request = _parse(b"GET /status HTTP/1.1\r\n\r\n")
+    assert request.method == "GET"
+    assert request.body == b""
+    assert request.json() == {}
+
+
+def test_clean_eof_yields_none():
+    assert _parse(b"") is None
+
+
+@pytest.mark.parametrize("raw", [
+    b"GARBAGE\r\n\r\n",  # no method/target/version
+    b"GET /x SPDY/9\r\n\r\n",  # not HTTP/1.x
+    b"GET /x HTTP/1.1\r\nBroken header line\r\n\r\n",
+    b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+])
+def test_malformed_requests_raise_protocol_error(raw):
+    with pytest.raises(ProtocolError):
+        _parse(raw)
+
+
+def test_oversized_body_is_rejected_up_front():
+    raw = (
+        b"POST /sweep HTTP/1.1\r\n"
+        b"Content-Length: " + str(MAX_BODY_BYTES + 1).encode() + b"\r\n\r\n"
+    )
+    with pytest.raises(ProtocolError, match="Content-Length"):
+        _parse(raw)
+
+
+def test_truncated_body_raises():
+    with pytest.raises(ProtocolError, match="mid-body"):
+        _parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+
+
+def test_non_json_body_raises_on_decode():
+    request = _parse(
+        b"POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nnot"
+    )
+    with pytest.raises(ProtocolError, match="not JSON"):
+        request.json()
+
+
+def test_json_array_body_is_rejected():
+    request = Request("POST", "/x", {}, {}, body=b"[1, 2]")
+    with pytest.raises(ProtocolError, match="JSON object"):
+        request.json()
+
+
+def test_response_encoding_roundtrips():
+    response = Response(
+        503, {"error": "LoadShedError"}, {"Retry-After": "2"}
+    )
+    raw = response.encode()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode().split("\r\n")
+    assert lines[0] == "HTTP/1.1 503 Service Unavailable"
+    assert "Retry-After: 2" in lines
+    assert "Connection: close" in lines
+    assert f"Content-Length: {len(body)}".encode() in head
+    assert json.loads(body) == {"error": "LoadShedError"}

@@ -1,0 +1,63 @@
+"""The error taxonomy's HTTP mapping is a stable contract."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    MappingError,
+    NeuroMeterError,
+    NumericalError,
+    OptimizationError,
+    PointTimeoutError,
+    TechnologyError,
+    ValidationError,
+)
+from repro.serve.protocol import (
+    DrainingError,
+    LoadShedError,
+    error_payload,
+    status_for,
+)
+
+
+@pytest.mark.parametrize("error,expected", [
+    (ConfigurationError("bad request"), 400),
+    (TechnologyError("no such node"), 400),
+    (MappingError("unmappable op"), 400),
+    (NumericalError("area_mm2", float("nan")), 422),
+    (InvariantViolation("rollup broken"), 422),
+    (ValidationError("outside band"), 422),
+    (OptimizationError("infeasible"), 422),
+    (PointTimeoutError("point overran"), 504),
+    (asyncio.TimeoutError(), 504),
+    (LoadShedError("full", retry_after_s=2.0), 503),
+    (DrainingError("going down"), 503),
+    (NeuroMeterError("generic model error"), 400),
+    (RuntimeError("daemon bug"), 500),
+])
+def test_status_mapping(error, expected):
+    assert status_for(error) == expected
+
+
+def test_error_payload_carries_type_and_message():
+    payload = error_payload(ConfigurationError("bad point"))
+    assert payload == {
+        "error": "ConfigurationError",
+        "message": "bad point",
+        "status": 400,
+    }
+
+
+def test_shed_payload_carries_retry_hint():
+    payload = error_payload(LoadShedError("full", retry_after_s=2.5))
+    assert payload["status"] == 503
+    assert payload["retry_after_s"] == 2.5
+
+
+def test_shedding_errors_are_neurometer_errors():
+    # The CLI's `except NeuroMeterError` boundary must catch them.
+    assert issubclass(LoadShedError, NeuroMeterError)
+    assert issubclass(DrainingError, NeuroMeterError)

@@ -1,0 +1,69 @@
+"""Request journaling: crash-safe lines, shared tail repair on reopen."""
+
+import json
+
+from repro.serve.requestlog import RequestLog, load_request_log
+
+
+def _lines(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def test_records_header_then_requests(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    with RequestLog(path) as log:
+        log.record(1, "/estimate", 200, 0.01)
+        log.record(2, "/sweep", 503, 0.0, error="LoadShedError")
+    lines = _lines(path)
+    assert lines[0]["kind"] == "header"
+    assert lines[0]["log"] == "serve-requests"
+    entries = load_request_log(path)
+    assert [e["id"] for e in entries] == [1, 2]
+    assert entries[1]["error"] == "LoadShedError"
+    assert entries[0]["endpoint"] == "/estimate"
+
+
+def test_reopen_appends_without_rewriting(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    with RequestLog(path) as log:
+        log.record(1, "/estimate", 200, 0.01)
+    with RequestLog(path) as log:
+        assert log.repaired_lines == 0
+        log.record(2, "/estimate", 200, 0.01)
+    entries = load_request_log(path)
+    assert [e["id"] for e in entries] == [1, 2]
+    # Exactly one header: reopen detected the non-empty file.
+    kinds = [line["kind"] for line in _lines(path)]
+    assert kinds == ["header", "request", "request"]
+
+
+def test_torn_tail_is_repaired_on_reopen(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    with RequestLog(path) as log:
+        log.record(1, "/estimate", 200, 0.01)
+    with path.open("a") as fh:
+        fh.write('{"kind": "request", "id": 2, "endp')  # torn mid-write
+    with RequestLog(path) as log:
+        assert log.repaired_lines == 1
+        log.record(3, "/doctor", 200, 0.5)
+    entries = load_request_log(path)
+    assert [e["id"] for e in entries] == [1, 3]
+    for line in path.read_text().splitlines():
+        json.loads(line)  # every surviving line parses
+
+
+def test_torn_multiline_tail_is_repaired(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    with RequestLog(path) as log:
+        log.record(1, "/estimate", 200, 0.01)
+    with path.open("a") as fh:
+        fh.write("not json\n")
+        fh.write('{"kind": "nonsense"}\n')
+        fh.write('{"kind": "requ')
+    with RequestLog(path) as log:
+        assert log.repaired_lines == 3
+    assert [e["id"] for e in load_request_log(path)] == [1]

@@ -1,0 +1,53 @@
+"""Backoff policy: exponential growth, caps, deterministic jitter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.retry import BackoffPolicy
+
+
+def test_yields_one_delay_per_retry():
+    policy = BackoffPolicy(max_attempts=4, jitter=0.0)
+    assert len(list(policy.delays())) == 3
+    assert list(BackoffPolicy(max_attempts=1).delays()) == []
+
+
+def test_exponential_growth_without_jitter():
+    policy = BackoffPolicy(
+        max_attempts=4, base_delay_s=0.1, multiplier=2.0, jitter=0.0,
+        max_delay_s=100.0,
+    )
+    assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4])
+
+
+def test_delays_are_capped():
+    policy = BackoffPolicy(
+        max_attempts=6, base_delay_s=1.0, multiplier=10.0,
+        max_delay_s=5.0, jitter=0.0,
+    )
+    assert max(policy.delays()) == 5.0
+
+
+def test_jitter_stays_in_band_and_is_deterministic():
+    kwargs = dict(
+        max_attempts=8, base_delay_s=0.1, multiplier=2.0,
+        max_delay_s=2.0, jitter=0.25, seed=7,
+    )
+    first = list(BackoffPolicy(**kwargs).delays())
+    second = list(BackoffPolicy(**kwargs).delays())
+    assert first == second  # same seed, same schedule
+    unjittered = list(
+        BackoffPolicy(**{**kwargs, "jitter": 0.0}).delays()
+    )
+    for jittered, base in zip(first, unjittered):
+        assert 0.75 * base <= jittered <= 1.25 * base
+    # A different seed gives a different (but equally bounded) schedule.
+    other = list(BackoffPolicy(**{**kwargs, "seed": 8}).delays())
+    assert other != first
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        BackoffPolicy(max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        BackoffPolicy(jitter=1.5)

@@ -247,3 +247,42 @@ def test_simulate_bounds_flag(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "dominant bound" in out
+
+
+def test_serve_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--port", "0", "--jobs", "3", "--timeout-s", "5",
+         "--deadline-s", "30", "--max-inflight", "16",
+         "--retry-attempts", "4", "--breaker-threshold", "2",
+         "--journal-dir", "/tmp/j", "--drain-grace-s", "7"]
+    )
+    assert args.port == 0
+    assert args.jobs == 3
+    assert args.max_inflight == 16
+    assert args.retry_attempts == 4
+    assert args.breaker_threshold == 2
+    assert args.journal_dir == "/tmp/j"
+    assert args.drain_grace_s == 7.0
+
+
+def test_remote_flag_parses_on_report_and_dse():
+    parser = build_parser()
+    for argv in (
+        ["report", "--point", "32,2,2,2",
+         "--remote", "http://127.0.0.1:8757"],
+        ["dse", "--point", "32,2,2,2",
+         "--remote", "http://127.0.0.1:8757"],
+    ):
+        args = parser.parse_args(argv)
+        assert args.remote == "http://127.0.0.1:8757"
+
+
+def test_remote_report_refuses_unreachable_daemon(capsys):
+    # Port 9 (discard) is never a NeuroMeter daemon: the client must
+    # fail fast with a typed, actionable error, not a traceback.
+    code = main(["report", "--point", "32,2,2,2",
+                 "--remote", "http://127.0.0.1:9"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error:" in err

@@ -18,6 +18,7 @@ import pytest
 import repro.errors as errors_mod
 from repro.errors import (
     ConfigurationError,
+    RemoteError,
     InvariantViolation,
     MappingError,
     NeuroMeterError,
@@ -53,6 +54,13 @@ EXEMPLARS = {
         "infinite",
         component_path="chip.core.tensor_unit",
         config_digest="deadbeefdeadbeef",
+    ),
+    RemoteError: lambda: RemoteError(
+        "admission window full",
+        503,
+        error_type="LoadShedError",
+        retry_after_s=2.0,
+        payload={"error": "LoadShedError", "status": 503},
     ),
     InvariantViolation: lambda: InvariantViolation(
         "2 physical invariant(s) violated",
