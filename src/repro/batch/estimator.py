@@ -6,27 +6,35 @@ closed-form arithmetic a few hundred times with different ``(X, N, Tx,
 Ty)``.  :class:`BatchEstimator` canonicalizes the sweep into parallel
 coordinate arrays (:class:`GridAxes`), hoists everything point-independent
 into a :class:`~repro.batch.substrate.TechSubstrate`, and evaluates the
-whole grid through the NumPy kernels in :mod:`repro.batch.kernels`.
+whole grid through the NumPy kernels in :mod:`repro.batch.kernels` and
+the batched performance layer in :mod:`repro.batch.perf`.
 
-The vector path is *opt-in safe*: :func:`supports_vector_path` proves a
-point builds the exact datacenter preset configuration (anything else —
-training presets, exotic datatypes, custom ``build()`` overrides — is
-reported for scalar fallback), SRAM-search-infeasible points are routed
-back to the scalar path so they fail with the same
-:class:`~repro.errors.OptimizationError` the scalar model raises, and the
-batched outputs pass the same NaN/inf/range screens the component cache
-applies (:mod:`repro.integrity.contracts`), vectorized over the grid.
+The vector path is *opt-in safe*: :func:`classify_point` proves a point
+builds one of the preset family configurations the kernels transcribe
+(anything else — exotic datatypes, custom ``build()`` overrides — is
+reported for scalar fallback, and a ``build()`` that *raises* is reported
+as :data:`BUILD_FAILED` with the original error attached rather than
+being misfiled as a config mismatch), and the batched outputs pass the
+same NaN/inf/range screens the component cache applies
+(:mod:`repro.integrity.contracts`), vectorized over the grid.
+
+Successful batched summaries are written through the process-wide
+estimate cache (:mod:`repro.cache`), keyed by (context, family, point
+coordinates, workload set, batch regimes), so a warm re-sweep skips the
+kernels entirely instead of losing to the scalar path's cached walk.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.component import ModelContext
-from repro.config.presets import datacenter_context, datacenter_design_point
-from repro.dse.journal import SummaryResult
+from repro.batch.substrate import FAMILY_BUILDERS, substrate_for
+from repro.cache import get_estimate_cache, stable_hash
+from repro.config.presets import datacenter_context
+from repro.dse.journal import SummaryOutcome, SummaryResult
 from repro.dse.space import DesignPoint
 from repro.errors import ConfigurationError, NumericalError
 
@@ -40,42 +48,73 @@ HAVE_NUMPY = _np is not None
 #: Grid fields screened before any point is materialized.
 _SCREENED_FIELDS = ("area_mm2", "tdp_w", "peak_tops", "timing_ns")
 
-#: Fallback reason: the point's chip config differs from the datacenter
-#: preset shape the kernels transcribe.
+#: Fallback reason: the point's chip config differs from every preset
+#: family shape the kernels transcribe.
 UNSUPPORTED_CONFIG = "unsupported-config"
+#: Fallback reason: the point's ``build()`` itself raised; the original
+#: error is preserved in :attr:`BatchResult.errors` so callers can
+#: surface it instead of a misleading "config differs" story.
+BUILD_FAILED = "build-failed"
 #: Fallback reason: the vectorized SRAM organization search found no
 #: feasible organization (scalar path raises OptimizationError).
 SRAM_INFEASIBLE = "sram-infeasible"
 #: Fallback reason: a batched output failed the NaN/inf/range screen.
 SCREEN_FAILED = "screen-failed"
 
+#: Every fallback reason the vector backend can report, for operators'
+#: totals (journal rows, ``neurometer report``, the daemon's /status).
+FALLBACK_REASONS = (
+    UNSUPPORTED_CONFIG,
+    BUILD_FAILED,
+    SRAM_INFEASIBLE,
+    SCREEN_FAILED,
+)
 
-def supports_vector_path(point: DesignPoint) -> bool:
-    """True when ``point`` builds the exact datacenter preset config.
 
-    The batch kernels transcribe the datacenter inference preset
-    (:func:`~repro.config.presets.datacenter_design_point`): int8
-    weight-stationary systolic cells, the 32 MiB shared Mem pool, the
-    auto-scaled VU/VReg/LSU, HBM2 + PCIe + DMA periphery.  A point whose
-    ``build()`` produces any other configuration (a training preset with
-    bf16 cells, a subclass overriding ``build()``, a custom memory pool)
-    is not supported and must take the scalar path.
+def classify_point(
+    point: DesignPoint,
+) -> Tuple[Optional[str], Optional[BaseException]]:
+    """Identify which preset family a point's built config matches.
 
-    The check compares frozen config dataclasses, so it is exact: any
-    drift between the preset and a custom point — down to a single
-    coefficient — disqualifies the vector path rather than silently
-    mis-modeling the point.
+    Returns ``(family, None)`` when ``point.build()`` produces exactly
+    the configuration of one kernel-transcribed preset family
+    (``"datacenter"`` or ``"training"``), ``(None, None)`` when it
+    builds fine but matches no family (scalar fallback with
+    :data:`UNSUPPORTED_CONFIG`), and ``(None, error)`` when ``build()``
+    itself raises — the error is returned, not swallowed, so the caller
+    can report :data:`BUILD_FAILED` with the authentic cause.
+
+    The family check compares frozen config dataclasses, so it is
+    exact: any drift between the preset and a custom point — down to a
+    single coefficient — disqualifies the vector path rather than
+    silently mis-modeling the point.
     """
     if not HAVE_NUMPY:
-        return False
+        return None, None
     try:
         built = point.build().config
-        reference = datacenter_design_point(
-            point.x, point.n, point.tx, point.ty
-        ).config
-    except Exception:
-        return False
-    return built == reference
+    except Exception as error:
+        return None, error
+    for family, builder in FAMILY_BUILDERS.items():
+        try:
+            reference = builder(point.x, point.n, point.tx, point.ty).config
+        except Exception:  # pragma: no cover - preset factories are total
+            continue
+        if built == reference:
+            return family, None
+    return None, None
+
+
+def supports_vector_path(point: DesignPoint) -> bool:
+    """True when ``point`` builds a kernel-transcribed preset config.
+
+    Back-compat boolean wrapper over :func:`classify_point`; callers that
+    need to distinguish a build *failure* from a config mismatch (the
+    sweep engine's fallback accounting) use :func:`classify_point`
+    directly.
+    """
+    family, _ = classify_point(point)
+    return family is not None
 
 
 @dataclass(frozen=True)
@@ -107,12 +146,15 @@ class BatchResult:
     ``summaries[i]`` is the materialized result for ``points[i]``, or
     ``None`` when the point must take the scalar path; in that case
     ``fallback_reasons[i]`` names why (:data:`UNSUPPORTED_CONFIG`,
-    :data:`SRAM_INFEASIBLE`, or :data:`SCREEN_FAILED`).
+    :data:`BUILD_FAILED`, :data:`SRAM_INFEASIBLE`, or
+    :data:`SCREEN_FAILED`), and for build failures ``errors[i]`` holds
+    the original exception ``build()`` raised.
     """
 
     points: Tuple[DesignPoint, ...]
     summaries: Tuple[Optional[SummaryResult], ...]
     fallback_reasons: Dict[int, str] = field(default_factory=dict)
+    errors: Dict[int, BaseException] = field(default_factory=dict)
 
     @property
     def fallback_indices(self) -> Tuple[int, ...]:
@@ -122,6 +164,13 @@ class BatchResult:
     @property
     def vectorized_count(self) -> int:
         return len(self.points) - len(self.fallback_reasons)
+
+    def fallback_totals(self) -> Dict[str, int]:
+        """Reason -> count over this batch (omits zero-count reasons)."""
+        totals: Dict[str, int] = {}
+        for reason in self.fallback_reasons.values():
+            totals[reason] = totals.get(reason, 0) + 1
+        return totals
 
 
 class BatchEstimator:
@@ -136,6 +185,9 @@ class BatchEstimator:
             marked for scalar fallback (``backend="vector"`` semantics;
             SRAM-infeasible points still fall back, because the scalar
             path raises the matching model error for them).
+        use_cache: Consult and populate the process-wide estimate cache
+            (:func:`repro.cache.get_estimate_cache`); honored only while
+            the cache itself is enabled.
     """
 
     def __init__(
@@ -143,6 +195,7 @@ class BatchEstimator:
         ctx: Optional[ModelContext] = None,
         *,
         strict_screen: bool = False,
+        use_cache: bool = True,
     ) -> None:
         if not HAVE_NUMPY:
             raise ConfigurationError(
@@ -151,11 +204,22 @@ class BatchEstimator:
             )
         self.ctx = ctx if ctx is not None else datacenter_context()
         self.strict_screen = strict_screen
+        self.use_cache = use_cache
 
     def estimate_points(
-        self, points: Iterable[DesignPoint]
+        self,
+        points: Iterable[DesignPoint],
+        *,
+        workloads: Sequence[Tuple[str, object]] = (),
+        batches: Sequence[object] = (),
+        latency_slo_ms: Optional[float] = None,
     ) -> BatchResult:
         """Evaluate ``points``; vectorize what the kernels support.
+
+        With ``workloads``/``batches`` supplied, each summary carries the
+        full per-(regime, workload) outcome rows the scalar
+        ``evaluate_point`` would produce (including the latency-bound
+        batch search when ``"latency-bound"`` appears in ``batches``).
 
         Unsupported, infeasible, and screen-failing points come back
         with ``summaries[i] is None`` and a fallback reason — the caller
@@ -163,54 +227,165 @@ class BatchEstimator:
         them through the scalar path so failure records match the
         scalar backend exactly.
         """
-        from repro.batch.kernels import estimate_grid
-        from repro.batch.substrate import substrate_for
-
         resolved = tuple(points)
         reasons: Dict[int, str] = {}
-        supported: list = []
+        errors: Dict[int, BaseException] = {}
+        by_family: Dict[str, List[int]] = {}
         for index, point in zip(itertools.count(), resolved):
-            if supports_vector_path(point):
-                supported.append(index)
+            family, error = classify_point(point)
+            if family is not None:
+                by_family.setdefault(family, []).append(index)
+            elif error is not None:
+                reasons[index] = BUILD_FAILED
+                errors[index] = error
             else:
                 reasons[index] = UNSUPPORTED_CONFIG
-        summaries: list = [None] * len(resolved)
-        if supported:
-            axes = GridAxes.from_points([resolved[i] for i in supported])
-            sub = substrate_for(self.ctx)
-            grid = estimate_grid(
-                sub,
-                _np.asarray(axes.x, dtype=float),
-                _np.asarray(axes.n, dtype=float),
-                _np.asarray(axes.tx, dtype=float),
-                _np.asarray(axes.ty, dtype=float),
+        summaries: List[Optional[SummaryResult]] = [None] * len(resolved)
+        workload_list = tuple(workloads)
+        batch_list = tuple(batches)
+        for family, indices in by_family.items():
+            self._estimate_family(
+                family,
+                resolved,
+                indices,
+                workload_list,
+                batch_list,
+                latency_slo_ms,
+                summaries,
+                reasons,
             )
-            feasible = _np.asarray(grid["feasible"], dtype=bool)
-            clean = self._screen(grid, feasible)
-            for i, ok, infeasible_free, area, tdp, peak in zip(
-                supported,
-                clean,
-                feasible,
-                grid["area_mm2"],
-                grid["tdp_w"],
-                grid["peak_tops"],
-            ):
-                if not infeasible_free:
-                    reasons[i] = SRAM_INFEASIBLE
-                elif not ok:
-                    reasons[i] = SCREEN_FAILED
-                else:
-                    summaries[i] = SummaryResult(
-                        point=resolved[i],
-                        area_mm2=float(area),
-                        tdp_w=float(tdp),
-                        peak_tops=float(peak),
-                    )
         return BatchResult(
             points=resolved,
             summaries=tuple(summaries),
             fallback_reasons=reasons,
+            errors=errors,
         )
+
+    # -- one preset family --------------------------------------------------
+
+    def _estimate_family(
+        self,
+        family: str,
+        resolved: Tuple[DesignPoint, ...],
+        indices: List[int],
+        workloads: Tuple[Tuple[str, object], ...],
+        batches: Tuple[object, ...],
+        latency_slo_ms: Optional[float],
+        summaries: List[Optional[SummaryResult]],
+        reasons: Dict[int, str],
+    ) -> None:
+        """Evaluate one family's points; fill ``summaries``/``reasons``.
+
+        Cache-hit points skip the kernels entirely; the misses run
+        through one ``estimate_grid`` + ``simulate_workloads`` pass and
+        every clean result is written back through the cache.
+        """
+        from repro.batch.kernels import estimate_grid
+        from repro.batch.perf import (
+            DEFAULT_LATENCY_SLO_MS,
+            GraphSpec,
+            simulate_workloads,
+        )
+        from repro.perf.optimizations import OptimizationConfig
+
+        slo = (
+            float(latency_slo_ms)
+            if latency_slo_ms is not None
+            else DEFAULT_LATENCY_SLO_MS
+        )
+        opt = OptimizationConfig.all_on()
+        specs = [
+            (name, GraphSpec.of(graph, opt)) for name, graph in workloads
+        ]
+        cache = get_estimate_cache() if self.use_cache else None
+        if cache is not None and not cache.enabled:
+            cache = None
+        keys: Dict[int, str] = {}
+        misses: List[int] = []
+        # The context, workload specs, batch list, and SLO are shared by
+        # every point in the family; digest them once instead of
+        # re-canonicalizing the (large) graph specs per point.
+        shared = (
+            stable_hash("batch-shared", self.ctx, family, specs, batches, slo)
+            if cache is not None
+            else ""
+        )
+        for index in indices:
+            point = resolved[index]
+            if cache is None:
+                misses.append(index)
+                continue
+            key = stable_hash(
+                "batch-point",
+                shared,
+                (point.x, point.n, point.tx, point.ty),
+            )
+            keys[index] = key
+            hit, value = cache.get(key)
+            if hit and isinstance(value, SummaryResult):
+                summaries[index] = value
+            else:
+                misses.append(index)
+        if not misses:
+            return
+
+        axes = GridAxes.from_points([resolved[i] for i in misses])
+        sub = substrate_for(self.ctx, family)
+        x = _np.asarray(axes.x, dtype=float)
+        n = _np.asarray(axes.n, dtype=float)
+        tx = _np.asarray(axes.tx, dtype=float)
+        ty = _np.asarray(axes.ty, dtype=float)
+        grid = estimate_grid(sub, x, n, tx, ty)
+        feasible = _np.asarray(grid["feasible"], dtype=bool)
+        clean = self._screen(grid, feasible)
+        outcomes = []
+        if specs and bool(_np.any(feasible & clean)):
+            outcomes = simulate_workloads(
+                sub,
+                grid,
+                x,
+                n,
+                tx,
+                ty,
+                [(name, None) for name, _ in specs],
+                batches,
+                latency_slo_ms=slo,
+                specs=specs,
+            )
+            clean &= self._screen_outcomes(outcomes, feasible)
+        for offset, index, ok, infeasible_free in zip(
+            itertools.count(), misses, clean, feasible
+        ):
+            if not infeasible_free:
+                reasons[index] = SRAM_INFEASIBLE
+            elif not ok:
+                reasons[index] = SCREEN_FAILED
+            else:
+                summary = SummaryResult(
+                    point=resolved[index],
+                    area_mm2=float(grid["area_mm2"][offset]),
+                    tdp_w=float(grid["tdp_w"][offset]),
+                    peak_tops=float(grid["peak_tops"][offset]),
+                    outcomes=tuple(
+                        SummaryOutcome(
+                            workload=oc.workload,
+                            batch=int(oc.batch[offset]),
+                            regime=oc.regime(offset),
+                            achieved_tops=float(oc.achieved_tops[offset]),
+                            utilization=float(oc.utilization[offset]),
+                            runtime_power_w=float(
+                                oc.runtime_power_w[offset]
+                            ),
+                            latency_ms=float(oc.latency_ms[offset]),
+                        )
+                        for oc in outcomes
+                    ),
+                )
+                summaries[index] = summary
+                if cache is not None:
+                    cache.put(keys[index], summary)
+
+    # -- screens ------------------------------------------------------------
 
     def _screen(self, grid: dict, feasible: "_np.ndarray") -> "_np.ndarray":
         """Vectorized NaN/inf/range screen over the batched outputs.
@@ -229,13 +404,50 @@ class BatchEstimator:
                 ok &= values > 0.0
             else:
                 ok &= values >= 0.0
-            bad = feasible & ~ok
-            if self.strict_screen and bool(_np.any(bad)):
-                index = int(_np.argmax(bad))
-                raise NumericalError(
-                    f"batch.{name}[{index}]",
-                    float(values[index]),
-                    "failed the batched numeric screen",
-                )
+            self._raise_if_strict(name, values, feasible & ~ok)
             clean &= ok
         return clean
+
+    def _screen_outcomes(
+        self, outcomes: list, feasible: "_np.ndarray"
+    ) -> "_np.ndarray":
+        """Screen the batched workload outcomes (``validate_result`` set).
+
+        Achieved TOPS and latency must be finite and non-negative,
+        utilization a fraction, runtime power strictly positive, batch
+        at least one — per point, across every (regime, workload) row.
+        """
+        clean = _np.ones(feasible.shape, dtype=bool)
+        for oc in outcomes:
+            checks = (
+                ("achieved_tops", oc.achieved_tops, 0.0, None),
+                ("utilization", oc.utilization, 0.0, 1.0),
+                ("runtime_power_w", oc.runtime_power_w, None, None),
+                ("latency_ms", oc.latency_ms, 0.0, None),
+                ("batch", oc.batch, 1.0, None),
+            )
+            for name, values, lo, hi in checks:
+                values = _np.asarray(values, dtype=float)
+                ok = _np.isfinite(values)
+                if name == "runtime_power_w":
+                    ok &= values > 0.0
+                elif lo is not None:
+                    ok &= values >= lo
+                if hi is not None:
+                    ok &= values <= hi
+                self._raise_if_strict(
+                    f"{oc.workload}.{name}", values, feasible & ~ok
+                )
+                clean &= ok
+        return clean
+
+    def _raise_if_strict(
+        self, name: str, values: "_np.ndarray", bad: "_np.ndarray"
+    ) -> None:
+        if self.strict_screen and bool(_np.any(bad)):
+            index = int(_np.argmax(bad))
+            raise NumericalError(
+                f"batch.{name}[{index}]",
+                float(values[index]),
+                "failed the batched numeric screen",
+            )

@@ -421,11 +421,24 @@ def mac_array_kernel(sub: TechSubstrate, x) -> Dict[str, np.ndarray]:
     }
 
 
-def vector_unit_kernel(sub: TechSubstrate, x) -> Dict[str, np.ndarray]:
-    """`VectorUnit.estimate` with lanes auto-matched to the TU length."""
+def vector_lanes_kernel(sub: TechSubstrate, x) -> np.ndarray:
+    """The preset's VU lane count for TU lengths ``x``.
+
+    Datacenter presets carry no explicit VU config, so the core falls back
+    to ``lanes = tu.rows`` (mult 1, floor 1); the training preset scales
+    ``lanes = max(2 * X, 32)``.  Both rules live in the substrate.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    return np.maximum(
+        float(sub.template_lane_mult) * x, float(sub.template_lane_floor)
+    )
+
+
+def vector_unit_kernel(sub: TechSubstrate, lanes) -> Dict[str, np.ndarray]:
+    """`VectorUnit.estimate` over an array of lane counts."""
     tech = sub.tech
     mac = sub.mac_vector
-    x = np.asarray(x, dtype=np.float64)
+    lanes = np.asarray(lanes, dtype=np.float64)
     vu_cfg = sub.template_vu_config
     lane_bits = vu_cfg.dtype.bits * vu_cfg.pipeline_depth
 
@@ -442,16 +455,16 @@ def vector_unit_kernel(sub: TechSubstrate, x) -> Dict[str, np.ndarray]:
         + vu_cfg.sfu_gates * tech.gate_area_um2
     )
     area = (
-        um2_to_mm2(x * lane_um2) * calibration.DATAPATH_ROUTING_OVERHEAD
+        um2_to_mm2(lanes * lane_um2) * calibration.DATAPATH_ROUTING_OVERHEAD
     )
     dyn = (
         dynamic_power_w(
-            x * lane_energy_pj * calibration.CLOCK_NETWORK_OVERHEAD,
+            lanes * lane_energy_pj * calibration.CLOCK_NETWORK_OVERHEAD,
             sub.freq_ghz,
         )
         * calibration.TDP_ACTIVITY["compute"]
     )
-    leak = x * (
+    leak = lanes * (
         mac.leakage_w
         + _dff_leak_w(sub, lane_bits)
         + _logic_leak_w(sub, vu_cfg.sfu_gates)
@@ -461,14 +474,14 @@ def vector_unit_kernel(sub: TechSubstrate, x) -> Dict[str, np.ndarray]:
         "area_mm2": area,
         "dynamic_w": dyn,
         "leakage_w": leak,
-        "timing_ns": np.broadcast_to(np.float64(cycle), x.shape).copy(),
+        "timing_ns": np.broadcast_to(np.float64(cycle), lanes.shape).copy(),
     }
 
 
-def regfile_kernel(sub: TechSubstrate, x, n) -> Dict[str, np.ndarray]:
+def regfile_kernel(sub: TechSubstrate, lanes, n) -> Dict[str, np.ndarray]:
     """`VectorRegisterFile.estimate` for ``n``+1 attached units."""
     tech = sub.tech
-    x = np.asarray(x, dtype=np.float64)
+    lanes = np.asarray(lanes, dtype=np.float64)
     n = np.asarray(n, dtype=np.float64)
 
     port_groups = n + 1.0  # N tensor units + the vector unit
@@ -476,7 +489,7 @@ def regfile_kernel(sub: TechSubstrate, x, n) -> Dict[str, np.ndarray]:
     write_ports = vreg_mod.WRITE_PORTS_PER_UNIT * port_groups
     total_ports = read_ports + write_ports
     entries = vreg_mod.DEFAULT_ENTRIES
-    word_bits = x * vreg_mod.ELEMENT_BITS
+    word_bits = lanes * vreg_mod.ELEMENT_BITS
     bits = entries * word_bits
 
     growth = 1.0 + regfile_mod.PORT_PITCH_GROWTH * np.maximum(
@@ -514,7 +527,7 @@ def regfile_kernel(sub: TechSubstrate, x, n) -> Dict[str, np.ndarray]:
     cycle = ps_to_ns(
         (3 + max(1, math.ceil(math.log2(entries)))) * tech.fo4_ps
     )
-    shape = np.broadcast(x, n).shape
+    shape = np.broadcast(lanes, n).shape
     return {
         "area_mm2": area,
         "dynamic_w": dyn,
@@ -550,7 +563,16 @@ def lsu_kernel(sub: TechSubstrate, x, n) -> Dict[str, np.ndarray]:
 
 
 def memory_kernel(sub: TechSubstrate, x, n, cores) -> Dict[str, np.ndarray]:
-    """`OnChipMemory.estimate` with the vectorized organization search."""
+    """`OnChipMemory.estimate` with the vectorized organization search.
+
+    Besides the rollup quantities, the return carries the derived memory
+    configuration (capacity / block / bandwidth targets / latency bound)
+    and the winning organization's per-access energies and peak
+    bandwidths: the batched performance layer reads them for roofline
+    bounds and runtime power, and the estimator uses the targets to
+    synthesize the exact scalar ``OptimizationError`` for infeasible
+    points.
+    """
     x = np.asarray(x, dtype=np.float64)
     n = np.asarray(n, dtype=np.float64)
     cores = np.asarray(cores, dtype=np.float64)
@@ -559,7 +581,10 @@ def memory_kernel(sub: TechSubstrate, x, n, cores) -> Dict[str, np.ndarray]:
         np.floor_divide(sub.template_mem_pool_bytes, cores),
         sub.template_mem_slice_floor_bytes,
     )
-    block = np.maximum(x, 32.0)
+    block = np.maximum(
+        float(sub.template_mem_block_mult) * x,
+        float(sub.template_mem_block_floor),
+    )
     operand_gbps = np.maximum(n * x * sub.template_in_bits // 8, 1.0) * (
         sub.freq_ghz
     )
@@ -592,6 +617,17 @@ def memory_kernel(sub: TechSubstrate, x, n, cores) -> Dict[str, np.ndarray]:
         "leakage_w": org["leakage_w"] + _logic_leak_w(sub, control_gates),
         "timing_ns": org["latency_ns"] / latency_cycles,
         "feasible": org["feasible"],
+        "capacity_bytes": capacity,
+        "block_bytes": block,
+        "read_bw_target_gbps": read_bw,
+        "write_bw_target_gbps": write_bw,
+        "latency_bound_ns": np.broadcast_to(
+            np.float64(bound_ns), capacity.shape
+        ).copy(),
+        "read_energy_pj": org["read_energy_pj"],
+        "write_energy_pj": org["write_energy_pj"],
+        "peak_read_gbps": org["read_bw_gbps"],
+        "peak_write_gbps": org["write_bw_gbps"],
     }
 
 
@@ -698,6 +734,47 @@ def noc_kernel(
     }
 
 
+def noc_energy_per_byte_kernel(
+    sub: TechSubstrate, tx, ty, core_area_mm2
+) -> np.ndarray:
+    """`NetworkOnChip.energy_per_byte_pj` over arrays of grid shapes.
+
+    Average energy to move one byte between two random cores: mean hop
+    count times the per-flit router + link energies, normalized per bit.
+    Single-core points cost zero, exactly like the scalar accessor.
+    """
+    tx = np.asarray(tx, dtype=np.float64)
+    ty = np.asarray(ty, dtype=np.float64)
+    nodes = tx * ty
+    multi = nodes > 1
+    mesh = nodes > 4
+
+    bisection_links = np.where(mesh, np.minimum(tx, ty), 2.0)
+    ports = np.where(mesh, 5.0, 3.0)
+    flit = np.maximum(
+        float(noc_mod.MIN_FLIT_BITS),
+        np.ceil(
+            sub.template_noc_bisection_gbps
+            * 8.0
+            / (bisection_links * sub.freq_ghz)
+        ),
+    )
+    hops = np.where(mesh, (tx + ty) / 3.0, nodes / 4.0)
+
+    crossbar_gates = ports * ports * flit * noc_mod.CROSSBAR_GATES_PER_BIT
+    router_per_flit_pj = (
+        2.0 * _dff_active_pj(sub, flit)
+        + _logic_energy_pj(sub, crossbar_gates, activity=0.25) / ports
+        + _logic_energy_pj(sub, noc_mod.ALLOCATOR_GATES, activity=0.3)
+    )
+    pitch_mm = np.sqrt(np.maximum(core_area_mm2, 1e-6))
+    link_per_flit_pj = flit * _wire_energy_pj_per_bit(
+        sub, sub.wire_global, pitch_mm
+    )
+    per_flit = hops * (router_per_flit_pj + link_per_flit_pj)
+    return np.where(multi, per_flit * 8.0 / flit, 0.0)
+
+
 # -- full-grid rollup ---------------------------------------------------------
 
 
@@ -708,6 +785,9 @@ def estimate_grid(sub: TechSubstrate, x, n, tx, ty) -> Dict[str, np.ndarray]:
     ``leakage_w``, ``tdp_w``, ``peak_tops``, ``timing_ns`` (the composed
     cycle-time bound), and a boolean ``feasible`` mask (False where the
     scalar path would raise ``OptimizationError`` in the Mem search).
+    Additional per-point quantities consumed by the batched performance
+    layer ride along: the core area, the VU lane count, and the on-chip
+    memory's derived configuration and per-access physics (``mem_*``).
     """
     x = np.asarray(x, dtype=np.float64)
     n = np.asarray(n, dtype=np.float64)
@@ -718,9 +798,10 @@ def estimate_grid(sub: TechSubstrate, x, n, tx, ty) -> Dict[str, np.ndarray]:
     ifu = sub.fixed_blocks["ifu"]
     scalar_unit = sub.fixed_blocks["scalar_unit"]
 
+    lanes = vector_lanes_kernel(sub, x)
     tu = mac_array_kernel(sub, x)
-    vu = vector_unit_kernel(sub, x)
-    vreg = regfile_kernel(sub, x, n)
+    vu = vector_unit_kernel(sub, lanes)
+    vreg = regfile_kernel(sub, lanes, n)
     lsu = lsu_kernel(sub, x, n)
     mem = memory_kernel(sub, x, n, cores)
 
@@ -795,4 +876,15 @@ def estimate_grid(sub: TechSubstrate, x, n, tx, ty) -> Dict[str, np.ndarray]:
         "peak_tops": peak,
         "timing_ns": chip_cycle,
         "feasible": mem["feasible"],
+        "core_area_mm2": core_area,
+        "lanes": lanes,
+        "mem_capacity_bytes": mem["capacity_bytes"],
+        "mem_block_bytes": mem["block_bytes"],
+        "mem_read_bw_target_gbps": mem["read_bw_target_gbps"],
+        "mem_write_bw_target_gbps": mem["write_bw_target_gbps"],
+        "mem_latency_bound_ns": mem["latency_bound_ns"],
+        "mem_read_energy_pj": mem["read_energy_pj"],
+        "mem_write_energy_pj": mem["write_energy_pj"],
+        "mem_peak_read_gbps": mem["peak_read_gbps"],
+        "mem_peak_write_gbps": mem["peak_write_gbps"],
     }

@@ -3,11 +3,18 @@
 A Table I sweep varies only ``(X, N, T_x, T_y)``; everything else — the
 technology node, the per-MAC circuit scalars, the wire RC parameters, and
 whole blocks whose configuration never changes (instruction fetch, scalar
-unit, memory controller, PCIe, DMA) — is fixed for a given
-:class:`~repro.arch.component.ModelContext`.  :class:`TechSubstrate`
-evaluates all of that exactly once, using the *real* scalar models, so the
-array kernels in :mod:`repro.batch.kernels` only have to transcribe the
-point-dependent closed forms.
+unit, memory controller, PCIe, ICI, DMA) — is fixed for a given
+:class:`~repro.arch.component.ModelContext` and *preset family*.
+:class:`TechSubstrate` evaluates all of that exactly once, using the
+*real* scalar models, so the array kernels in :mod:`repro.batch.kernels`
+only have to transcribe the point-dependent closed forms.
+
+Two families are modeled: ``"datacenter"`` (the int8 inference preset of
+Table I) and ``"training"`` (the bf16/fp32 TPU-v2-class preset).  Each
+family carries its own template chip, MAC curves (the bf16 multiplier and
+fp32 adder scalars come straight from :class:`repro.circuit.mac.MacModel`,
+which anchors those datatypes natively), and dependent-parameter rules
+(lane count, Mem block/capacity scaling).
 
 Because the fixed blocks are evaluated through their own ``estimate()``
 methods, their contributions are bit-identical to the scalar walk; only
@@ -18,20 +25,54 @@ scalar/vector equivalence suite).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Callable, Dict, Tuple
 
-from repro.arch.chip import ChipConfig
+from repro.arch.chip import Chip, ChipConfig
 from repro.arch.component import Estimate, ModelContext
 from repro.arch.vector_unit import VectorUnitConfig
 from repro.circuit.mac import MacModel
 from repro.config.presets import (
-    DATACENTER_MEM_CAPACITY_BYTES,
-    DATACENTER_MEM_SLICE_FLOOR_BYTES,
     datacenter_design_point,
+    datacenter_training_point,
 )
-from repro.datatypes import INT32
+from repro.errors import ConfigurationError
 from repro.tech.node import TechNode
 from repro.tech.wire import WireParams, WireType, wire_params
+from repro.units import MiB
+
+#: The default preset family (the original vector-backend scope).
+DEFAULT_FAMILY = "datacenter"
+
+#: Preset factory per family, probed at the smallest template point.
+FAMILY_BUILDERS: Dict[str, Callable[[int, int, int, int], Chip]] = {
+    "datacenter": datacenter_design_point,
+    "training": datacenter_training_point,
+}
+
+#: Dependent-parameter rules the kernels need in closed form.  The probe
+#: template fixes every *constant*; these capture how the presets scale
+#: the VU lane count and the Mem slice with the TU length ``X`` and the
+#: core count: ``lanes = max(lane_mult * X, lane_floor)``,
+#: ``block = max(block_mult * X, block_floor)``,
+#: ``capacity = max(pool // cores, floor)``.
+_FAMILY_RULES: Dict[str, Dict[str, int]] = {
+    "datacenter": {
+        "lane_mult": 1,
+        "lane_floor": 1,
+        "block_mult": 1,
+        "block_floor": 32,
+        "mem_pool_bytes": 32 * MiB,
+        "mem_floor_bytes": 64 * 1024,
+    },
+    "training": {
+        "lane_mult": 2,
+        "lane_floor": 32,
+        "block_mult": 2,
+        "block_floor": 64,
+        "mem_pool_bytes": 64 * MiB,
+        "mem_floor_bytes": 256 * 1024,
+    },
+}
 
 
 @dataclass(frozen=True)
@@ -80,33 +121,43 @@ class TechSubstrate:
     tech: TechNode
     freq_ghz: float
     cycle_ns: float
-    #: systolic-cell MAC (INT8 inputs, INT32 accumulate) scalars.
+    #: the preset family this substrate models.
+    family: str
+    #: systolic-cell MAC scalars (int8 for datacenter, bf16/fp32 training).
     mac_tensor: MacScalars
-    #: vector-lane MAC (INT32 inputs, INT32 accumulate) scalars.
+    #: vector-lane MAC scalars (the VU's ``MacModel(dtype, dtype)``).
     mac_vector: MacScalars
     wire_local: WireParams
     wire_intermediate: WireParams
     wire_global: WireParams
-    #: name -> rollup for IFU / scalar unit / memory controller / PCIe / DMA.
+    #: name -> rollup for IFU / scalar unit / MC / PCIe / ICI / DMA.
     fixed_blocks: Dict[str, BlockScalars]
     #: the probe chip's configuration; kernels read the point-independent
     #: knobs (cell dtype/control gates, FIFO depth, NoC bisection, ...) from
     #: here so preset changes flow into the vector path automatically.
     template_config: ChipConfig
-    #: the auto-scaled VU configuration (dtype / SFU gates / pipeline depth;
-    #: the lane count is the swept ``X`` and is ignored).
+    #: the VU configuration (dtype / SFU gates / pipeline depth; the lane
+    #: count is re-derived per point from the lane rule below).
     template_vu_config: VectorUnitConfig
     template_in_bits: int
     template_lsu_queue_entries: int
     template_mem_pool_bytes: int
     template_mem_slice_floor_bytes: int
+    template_mem_block_mult: int
+    template_mem_block_floor: int
+    template_lane_mult: int
+    template_lane_floor: int
     template_mem_latency_cycles: int
     template_noc_bisection_gbps: float
+    template_offchip_gbps: float
     template_whitespace_fraction: float
+    #: memory-controller traffic coefficients (the runtime power model).
+    mc_energy_per_byte_pj: float
+    mc_device_power_w: float
 
     @property
     def chip_fixed_blocks(self) -> Tuple[BlockScalars, ...]:
-        """Chip-level fixed blocks: memory controller + PCIe + DMA."""
+        """Chip-level fixed blocks in `Chip.estimate` child order."""
         return tuple(
             self.fixed_blocks[name]
             for name in _CHIP_FIXED_NAMES
@@ -114,19 +165,32 @@ class TechSubstrate:
         )
 
     @classmethod
-    def build(cls, ctx: ModelContext) -> "TechSubstrate":
-        """Hoist scalars and fixed-block estimates for ``ctx``.
+    def build(
+        cls, ctx: ModelContext, family: str = DEFAULT_FAMILY
+    ) -> "TechSubstrate":
+        """Hoist scalars and fixed-block estimates for ``(ctx, family)``.
 
-        The probe chip is the smallest datacenter template; the blocks
-        harvested from it (IFU, scalar unit, memory controller, PCIe,
-        DMA) are configured identically at every Table I point, which is
-        exactly what the vector-path support check guarantees.
+        The probe chip is the smallest template of the family; the blocks
+        harvested from it (IFU, scalar unit, memory controller, PCIe, ICI,
+        DMA) are configured identically at every point of the family's
+        grid, which is exactly what the vector-path support check
+        guarantees.
         """
-        template = datacenter_design_point(4, 1, 1, 1)
+        builder = FAMILY_BUILDERS.get(family)
+        rules = _FAMILY_RULES.get(family)
+        if builder is None or rules is None:
+            raise ConfigurationError(
+                f"unknown vector-backend preset family {family!r}; "
+                f"expected one of {sorted(FAMILY_BUILDERS)}"
+            )
+        template = builder(4, 1, 1, 1)
         tech = ctx.tech
         cell = template.config.core.tu.cell
         mac_tensor = MacScalars.from_model(cell.mac, tech)
-        mac_vector = MacScalars.from_model(MacModel(INT32, INT32), tech)
+        vu_config = template.core.vector_unit.config
+        mac_vector = MacScalars.from_model(
+            MacModel(vu_config.dtype, vu_config.dtype), tech
+        )
         core = template.core
         fixed = {
             "ifu": BlockScalars.from_estimate(core.ifu.estimate(ctx)),
@@ -135,13 +199,21 @@ class TechSubstrate:
             ),
         }
         mc = template.memory_controller()
+        mc_energy_per_byte_pj = 0.0
+        mc_device_power_w = 0.0
         if mc is not None:
             fixed["memory_controller"] = BlockScalars.from_estimate(
                 mc.estimate(ctx)
             )
+            mc_energy_per_byte_pj = mc.energy_per_byte_pj()
+            mc_device_power_w = mc.device_power_w()
         if template.config.pcie is not None:
             fixed["pcie"] = BlockScalars.from_estimate(
                 template.config.pcie.estimate(ctx)
+            )
+        if template.config.ici is not None:
+            fixed["ici"] = BlockScalars.from_estimate(
+                template.config.ici.estimate(ctx)
             )
         if template.config.dma is not None:
             fixed["dma"] = BlockScalars.from_estimate(
@@ -152,6 +224,7 @@ class TechSubstrate:
             tech=tech,
             freq_ghz=ctx.freq_ghz,
             cycle_ns=ctx.cycle_ns,
+            family=family,
             mac_tensor=mac_tensor,
             mac_vector=mac_vector,
             wire_local=wire_params(tech, WireType.LOCAL),
@@ -159,31 +232,49 @@ class TechSubstrate:
             wire_global=wire_params(tech, WireType.GLOBAL),
             fixed_blocks=fixed,
             template_config=template.config,
-            template_vu_config=core.vector_unit.config,
+            template_vu_config=vu_config,
             template_in_bits=cell.input_dtype.bits,
             template_lsu_queue_entries=core.lsu.queue_entries,
-            template_mem_pool_bytes=DATACENTER_MEM_CAPACITY_BYTES,
-            template_mem_slice_floor_bytes=DATACENTER_MEM_SLICE_FLOOR_BYTES,
+            template_mem_pool_bytes=rules["mem_pool_bytes"],
+            template_mem_slice_floor_bytes=rules["mem_floor_bytes"],
+            template_mem_block_mult=rules["block_mult"],
+            template_mem_block_floor=rules["block_floor"],
+            template_lane_mult=rules["lane_mult"],
+            template_lane_floor=rules["lane_floor"],
             template_mem_latency_cycles=template.config.core.mem.latency_cycles,
             template_noc_bisection_gbps=template.config.noc_bisection_gbps,
+            template_offchip_gbps=template.config.offchip_bandwidth_gbps,
             template_whitespace_fraction=template.config.whitespace_fraction,
+            mc_energy_per_byte_pj=mc_energy_per_byte_pj,
+            mc_device_power_w=mc_device_power_w,
         )
 
 
-_CHIP_FIXED_NAMES: Tuple[str, ...] = ("memory_controller", "pcie", "dma")
+#: Chip-level fixed-block order, mirroring `Chip.estimate` (the ICI entry
+#: exists only for families whose template configures one, so the float
+#: accumulation order matches the scalar walk for both cases).
+_CHIP_FIXED_NAMES: Tuple[str, ...] = (
+    "memory_controller",
+    "pcie",
+    "ici",
+    "dma",
+)
 
-_SUBSTRATES: Dict[ModelContext, TechSubstrate] = {}
+_SUBSTRATES: Dict[Tuple[ModelContext, str], TechSubstrate] = {}
 
 
-def substrate_for(ctx: ModelContext) -> TechSubstrate:
-    """Build (or reuse) the substrate for ``ctx``.
+def substrate_for(
+    ctx: ModelContext, family: str = DEFAULT_FAMILY
+) -> TechSubstrate:
+    """Build (or reuse) the substrate for ``(ctx, family)``.
 
-    Substrates are cached per context: a sweep calls this once, and
-    repeated sweeps in one process (CLI, benchmarks, tests) share the
-    hoisted state.
+    Substrates are cached per (context, family): a sweep calls this once
+    per family it touches, and repeated sweeps in one process (CLI,
+    benchmarks, tests) share the hoisted state.
     """
-    cached = _SUBSTRATES.get(ctx)
+    key = (ctx, family)
+    cached = _SUBSTRATES.get(key)
     if cached is None:
-        cached = TechSubstrate.build(ctx)
-        _SUBSTRATES[ctx] = cached
+        cached = TechSubstrate.build(ctx, family)
+        _SUBSTRATES[key] = cached
     return cached

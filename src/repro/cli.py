@@ -210,6 +210,16 @@ def _print_failures(failures, *, label: str = "failed points") -> None:
         print(f"  {failure.describe()}", file=sys.stderr)
 
 
+def _print_fallback_totals(totals: dict) -> None:
+    """Surface vector-backend fallbacks so 'auto' routing stays visible."""
+    if not totals:
+        return
+    parts = ", ".join(
+        f"{reason}: {count}" for reason, count in sorted(totals.items())
+    )
+    print(f"\nvector-backend fallbacks: {parts}", file=sys.stderr)
+
+
 def _remote_client(args: argparse.Namespace):
     from repro.serve.client import ServeClient
 
@@ -369,6 +379,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         [r.failure for r in report.degraded if r.failure is not None],
         label="degraded points (peak-only rows)",
     )
+    _print_fallback_totals(report.fallback_totals())
     _print_cache_stats(args, report.cache_totals())
     if not rows:
         print("error: every design point failed", file=sys.stderr)
@@ -436,6 +447,12 @@ def _remote_dse(args: argparse.Namespace, points) -> int:
         print(f"\nfailed points ({len(failures)}):", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
+    totals: dict = {}
+    for record in payload["records"]:
+        reason = record.get("fallback")
+        if reason:
+            totals[reason] = totals.get(reason, 0) + 1
+    _print_fallback_totals(totals)
     if not rows:
         print("error: every design point failed", file=sys.stderr)
         return 2
@@ -451,6 +468,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServeConfig(
         host=args.host,
         port=args.port,
+        backend=args.backend,
         jobs=args.jobs,
         timeout_s=args.timeout_s,
         deadline_s=args.deadline_s,
@@ -796,6 +814,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8757)
+    serve.add_argument(
+        "--backend",
+        choices=["scalar", "auto", "vector"],
+        default="scalar",
+        help="estimation backend for served sweeps; per-point vector "
+        "fallback totals appear in /status as vector_fallbacks",
+    )
     serve.add_argument(
         "--jobs",
         type=int,

@@ -15,10 +15,12 @@ points:
   an exception becomes a structured :class:`PointFailure` (error class,
   stage, wall time) instead of a traceback, unless ``strict=True``.
 * **Vectorized batch estimation** — with ``backend="vector"`` (or
-  ``"auto"``), peak-metric sweeps are evaluated through the NumPy array
-  kernels of :mod:`repro.batch` in a handful of array operations;
-  ``auto`` transparently routes unsupported or infeasible points back
-  through the scalar path so results match the scalar backend exactly.
+  ``"auto"``), whole sweeps — peak metrics *and* workload simulation —
+  are evaluated through the NumPy array kernels of :mod:`repro.batch`
+  in a handful of array operations; ``auto`` transparently routes
+  unsupported, build-failing, or infeasible points back through the
+  scalar path so results match the scalar backend exactly, and each
+  record carries its fallback reason for operator visibility.
 * **Persistent worker pool with per-point timeouts** — with ``jobs > 1``
   or a ``timeout_s``, points run in forked worker processes that stay
   warm across *chunks* of points instead of forking per point; a hung
@@ -282,6 +284,10 @@ class PointRecord:
     attempt: int = 1
     from_journal: bool = False
     cache: Optional[dict] = None
+    #: Vector-backend fallback reason (``repro.batch.estimator`` taxonomy)
+    #: when this point was routed back to the scalar path; ``None`` for
+    #: vectorized points and pure-scalar sweeps.
+    fallback: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -322,6 +328,18 @@ class SweepReport:
                 return record
         return None
 
+    def fallback_totals(self) -> dict:
+        """Vector-backend fallback reason -> point count for this run.
+
+        Empty for pure-scalar sweeps and sweeps the vector path covered
+        fully, so operators can assert "zero fallbacks" directly.
+        """
+        totals: dict[str, int] = {}
+        for record in self.records:
+            if record.fallback is not None:
+                totals[record.fallback] = totals.get(record.fallback, 0) + 1
+        return totals
+
     def cache_totals(self) -> dict:
         """Estimate-cache counters summed over the points this run evaluated.
 
@@ -357,6 +375,9 @@ class _Task:
     attempt: int = 1
     degraded: bool = False
     first_failure: Optional[PointFailure] = None
+    #: Why the vector path handed this task to the scalar path (estimator
+    #: fallback taxonomy); threaded into the final record and journal row.
+    fallback: Optional[str] = None
 
 
 def _mp_context() -> mp.context.BaseContext:
@@ -733,6 +754,7 @@ class _SweepRun:
                         else None
                     ),
                     cache=record.cache,
+                    fallback=record.fallback,
                 )
             )
         if self.on_record is not None:
@@ -757,6 +779,7 @@ class _SweepRun:
                 wall_time_s=wall_time_s,
                 attempt=task.attempt,
                 cache=cache,
+                fallback=task.fallback,
             ),
         )
 
@@ -779,6 +802,7 @@ class _SweepRun:
                 attempt=task.attempt + 1,
                 degraded=True,
                 first_failure=failure,
+                fallback=task.fallback,
             )
         final = task.first_failure if task.first_failure else failure
         self._finalize(
@@ -790,6 +814,7 @@ class _SweepRun:
                 wall_time_s=failure.wall_time_s,
                 attempt=task.attempt,
                 cache=cache,
+                fallback=task.fallback,
             ),
         )
         return None
@@ -837,13 +862,19 @@ class _SweepRun:
         """Evaluate supported points through the batch kernels.
 
         Returns the tasks the vector path could not finish — unsupported
-        configurations and SRAM-search-infeasible points — for the scalar
-        path, so ``auto`` sweeps produce exactly the records a scalar
-        sweep would (including authentic per-point failures).  With
-        ``mode == "vector"``, an unsupported configuration is a
+        configurations, failed builds, and SRAM-search-infeasible points
+        — for the scalar path, so ``auto`` sweeps produce exactly the
+        records a scalar sweep would (including authentic per-point
+        failures).  Every handed-back task carries its fallback reason,
+        which lands in the final record and journal row.  With ``mode ==
+        "vector"``, an unsupported configuration is a
         :class:`~repro.errors.ConfigurationError` and a screen failure is
-        recorded (or raised, under ``strict``) instead of falling back.
+        recorded (or raised, under ``strict``) instead of falling back;
+        build failures and infeasible points still take the scalar path
+        in both modes, because only it raises the authentic model error.
         """
+        from dataclasses import replace
+
         from repro.batch.estimator import (
             SCREEN_FAILED,
             UNSUPPORTED_CONFIG,
@@ -853,7 +884,12 @@ class _SweepRun:
         ordered = list(tasks)
         estimator = BatchEstimator(self.ctx)
         start = time.perf_counter()
-        batch = estimator.estimate_points([t.point for t in ordered])
+        batch = estimator.estimate_points(
+            [t.point for t in ordered],
+            workloads=self.workloads,
+            batches=self.batches,
+            latency_slo_ms=self.latency_slo_ms,
+        )
         share = (time.perf_counter() - start) / max(len(ordered), 1)
         remaining: deque[_Task] = deque()
         for offset, (task, summary) in enumerate(
@@ -867,10 +903,10 @@ class _SweepRun:
             reason = batch.fallback_reasons.get(offset, UNSUPPORTED_CONFIG)
             if mode == "vector" and reason == UNSUPPORTED_CONFIG:
                 raise ConfigurationError(
-                    f"{task.point.label()} does not build the datacenter "
-                    "preset configuration the vector backend models; use "
-                    "backend='auto' to fall back to the scalar path for "
-                    "such points"
+                    f"{task.point.label()} does not build a preset "
+                    "configuration the vector backend models (the "
+                    "datacenter or training family); use backend='auto' "
+                    "to fall back to the scalar path for such points"
                 )
             if mode == "vector" and reason == SCREEN_FAILED:
                 error = NumericalError(
@@ -880,17 +916,20 @@ class _SweepRun:
                 )
                 if self.strict:
                     raise error
-                self._failure(
-                    task,
+                tagged = replace(task, fallback=reason)
+                retry = self._failure(
+                    tagged,
                     PointFailure.from_error(
-                        task.point,
+                        tagged.point,
                         error,
-                        attempt=task.attempt,
-                        degraded=task.degraded,
+                        attempt=tagged.attempt,
+                        degraded=tagged.degraded,
                     ),
                 )
+                if retry is not None:
+                    remaining.append(retry)
                 continue
-            remaining.append(task)
+            remaining.append(replace(task, fallback=reason))
         return remaining
 
     # -- forked execution (persistent chunked worker pool) --------------------
@@ -1102,12 +1141,12 @@ def run_sweep(
         batches: Batch specs (ints or ``"latency-bound"``).
         ctx: Modeling context (Table I's by default).
         backend: ``"scalar"`` evaluates every point through the object
-            model; ``"vector"`` evaluates the sweep through the NumPy
-            batch kernels (:mod:`repro.batch`) and rejects unsupported
-            configurations; ``"auto"`` uses the vector path for
-            supported peak-metric sweeps and transparently falls back to
-            the scalar path per point otherwise (workload simulation
-            always takes the scalar path).
+            model; ``"vector"`` evaluates the sweep — peak metrics and
+            workload simulation alike — through the NumPy batch kernels
+            (:mod:`repro.batch`) and rejects unsupported configurations;
+            ``"auto"`` uses the vector path for supported points and
+            transparently falls back to the scalar path per point
+            otherwise, tagging each fallback with its reason.
         jobs: Worker processes.  ``jobs == 1`` with no timeout runs
             inline in this process; otherwise points run in a pool of
             persistent forked workers fed with chunks of points.
@@ -1175,11 +1214,6 @@ def run_sweep(
 
     points = list(points)
     batches = tuple(batches)
-    if backend == "vector" and (workloads or batches):
-        raise ConfigurationError(
-            "backend='vector' models peak metrics only; drop the "
-            "workloads/batches or use backend='auto'"
-        )
     journal: Optional[Journal] = None
     if journal_path is not None:
         journal = Journal(journal_path, resume=resume)
@@ -1224,6 +1258,7 @@ def run_sweep(
                     wall_time_s=entry.wall_time_s,
                     attempt=entry.attempt,
                     from_journal=True,
+                    fallback=entry.fallback,
                 )
                 run.records[index] = record
                 if on_record is not None:
@@ -1231,7 +1266,7 @@ def run_sweep(
                 continue
             tasks.append(_Task(index=index, point=point))
 
-        if tasks and backend != "scalar" and not (workloads or batches):
+        if tasks and backend != "scalar":
             use_vector = True
             if backend == "auto":
                 from repro.batch.estimator import HAVE_NUMPY

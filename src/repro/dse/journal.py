@@ -69,6 +69,11 @@ def summarize_result(result: Any) -> dict:
                 "achieved_tops": o.achieved_tops,
                 "utilization": o.utilization,
                 "runtime_power_w": o.runtime_power_w,
+                "latency_ms": (
+                    o.result.latency_ms
+                    if getattr(o, "result", None) is not None
+                    else getattr(o, "latency_ms", None)
+                ),
             }
             for o in result.outcomes
         ],
@@ -85,6 +90,7 @@ class SummaryOutcome:
     achieved_tops: float
     utilization: float
     runtime_power_w: float
+    latency_ms: Optional[float] = None
 
     @property
     def energy_efficiency(self) -> float:
@@ -166,6 +172,7 @@ class SummaryResult:
                     achieved_tops=o["achieved_tops"],
                     utilization=o["utilization"],
                     runtime_power_w=o["runtime_power_w"],
+                    latency_ms=o.get("latency_ms"),
                 )
                 for o in metrics.get("outcomes", ())
             ),
@@ -183,6 +190,9 @@ class JournalEntry:
     metrics: Optional[dict] = None
     failure: Optional[dict] = None
     cache: Optional[dict] = None
+    #: vector-backend fallback reason for this point (``None`` when the
+    #: point was vectorized or the sweep ran the scalar backend outright).
+    fallback: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -203,6 +213,7 @@ class JournalEntry:
                 "metrics": self.metrics,
                 "failure": self.failure,
                 "cache": self.cache,
+                "fallback": self.fallback,
             },
             sort_keys=True,
         )
@@ -229,6 +240,7 @@ class JournalEntry:
             metrics=payload.get("metrics"),
             failure=payload.get("failure"),
             cache=payload.get("cache"),
+            fallback=payload.get("fallback"),
         )
 
     @classmethod

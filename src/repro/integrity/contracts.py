@@ -125,9 +125,16 @@ def validate_result(result: "DesignPointResult") -> "DesignPointResult":
             raise NumericalError(
                 f"{path}.batch", outcome.batch, "must be >= 1"
             )
-        check_nonnegative(
-            f"{path}.latency_ms", outcome.result.latency_ms
+        # Fresh outcomes carry a SimulationResult; journal/vector rows
+        # carry latency_ms directly (possibly None on pre-upgrade rows).
+        sim = getattr(outcome, "result", None)
+        latency_ms = (
+            sim.latency_ms
+            if sim is not None
+            else getattr(outcome, "latency_ms", None)
         )
+        if latency_ms is not None:
+            check_nonnegative(f"{path}.latency_ms", latency_ms)
     return result
 
 

@@ -53,10 +53,11 @@ DETERMINISM_DIRS = frozenset({"cache", "dse", "integrity"})
 #: Python loops over design-point arrays (NM204) defeat the whole point.
 BATCH_DIRS = frozenset({"batch"})
 
-#: Fault-tolerance layers (the daemon and the sweep engine), where a
-#: silently swallowed exception (NM205) hides exactly the failures the
-#: machinery exists to surface.
-ROBUSTNESS_DIRS = frozenset({"serve", "dse"})
+#: Fault-tolerance layers (the daemon, the sweep engine, and the batch
+#: backend's classification/fallback paths), where a silently swallowed
+#: exception (NM205) hides exactly the failures the machinery exists to
+#: surface.
+ROBUSTNESS_DIRS = frozenset({"serve", "dse", "batch"})
 
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"

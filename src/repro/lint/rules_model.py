@@ -249,15 +249,34 @@ def _contains_raise(body: list) -> bool:
     return False
 
 
+def _single_constant_return(body: list) -> bool:
+    """Is the handler body exactly ``return <literal>``?
+
+    ``except Exception: return False`` converts *every* failure — a
+    broken build, a typo'd import — into the same default answer the
+    caller reads as an ordinary negative result.
+    """
+    if len(body) != 1:
+        return False
+    statement = body[0]
+    return isinstance(statement, ast.Return) and isinstance(
+        statement.value, ast.Constant
+    )
+
+
 class SwallowedException(Rule):
     """NM205: blanket ``except: pass`` / swallowed ``CancelledError``.
 
-    In the fault-tolerance layers (the serve daemon and the sweep
-    engine) a broad catch that drops the exception on the floor hides
-    exactly the failures the machinery exists to surface — and a
-    handler that absorbs ``asyncio.CancelledError`` without re-raising
-    breaks cancellation (drain, deadlines) for the whole task tree.
-    Narrow, typed catches with a real body are the sanctioned form.
+    In the fault-tolerance layers (the serve daemon, the sweep engine,
+    and the batch backend's fallback classification) a broad catch that
+    drops the exception on the floor hides exactly the failures the
+    machinery exists to surface — and a handler that absorbs
+    ``asyncio.CancelledError`` without re-raising breaks cancellation
+    (drain, deadlines) for the whole task tree.  A broad catch whose
+    whole body is ``return <literal>`` is the same bug wearing a return
+    statement: the caller cannot tell "legitimately no" from "something
+    broke".  Narrow, typed catches with a real body are the sanctioned
+    form.
     """
 
     id = "NM205"
@@ -275,17 +294,28 @@ class SwallowedException(Rule):
             broad = bool(
                 names & _BROAD_EXCEPTION_NAMES or "<bare>" in names
             )
+            caught = (
+                "bare except:" if "<bare>" in names
+                else f"except {sorted(names & _BROAD_EXCEPTION_NAMES)[0]}:"
+                if names & _BROAD_EXCEPTION_NAMES else ""
+            )
             if broad and _body_is_only_pass(node.body):
-                caught = (
-                    "bare except:" if "<bare>" in names
-                    else f"except {sorted(names & _BROAD_EXCEPTION_NAMES)[0]}:"
-                )
                 yield self.finding(
                     sf, node,
                     f"{caught} with a pass-only body silently swallows "
                     "every failure in a fault-tolerance layer",
                     hint="catch the narrow exception types you expect, "
                     "or handle/log/re-raise instead of pass",
+                )
+            elif broad and _single_constant_return(node.body):
+                yield self.finding(
+                    sf, node,
+                    f"{caught} returning a bare literal collapses every "
+                    "failure (build errors included) into one default "
+                    "answer; callers cannot distinguish \"no\" from "
+                    "\"broken\"",
+                    hint="catch narrow types, or capture the exception "
+                    "and surface it alongside the negative result",
                 )
             if "CancelledError" in names and not _contains_raise(node.body):
                 yield self.finding(

@@ -60,6 +60,9 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 8757
     jobs: int = 2
+    #: Estimation backend handed to ``run_sweep`` (``scalar``/``auto``/
+    #: ``vector``); per-point vector fallbacks are tallied in ``/status``.
+    backend: str = "scalar"
     timeout_s: Optional[float] = None  # per-point wall budget in the pool
     deadline_s: float = 60.0  # default per-request wall budget
     max_inflight: int = 8
@@ -115,6 +118,8 @@ def _record_payload(record) -> dict:
             "message": failure.message,
             "degraded": failure.degraded,
         }
+    if record.fallback is not None:
+        payload["fallback"] = record.fallback
     return payload
 
 
@@ -144,6 +149,9 @@ class ServeApp:
         self.drain_requested: Optional[asyncio.Event] = None
         self.started_at = time.monotonic()
         self.status_counts: Counter = Counter()
+        #: Vector-backend fallback reason -> point count, accumulated
+        #: over every sweep this daemon ran (surfaced in ``/status``).
+        self.fallback_counts: Counter = Counter()
         self._request_ids = itertools.count(1)
         self._sweep_ids = itertools.count(1)
         # Value-stable workload/context objects: PoolJobConfig compares
@@ -351,6 +359,7 @@ class ServeApp:
                 workloads,
                 batches,
                 ctx,
+                backend=self.config.backend,
                 jobs=self.config.jobs,
                 timeout_s=self.config.timeout_s,
                 strict=False,
@@ -383,6 +392,7 @@ class ServeApp:
                     workloads,
                     batches,
                     ctx,
+                    backend=self.config.backend,
                     jobs=self.config.jobs,
                     timeout_s=self.config.timeout_s,
                     strict=False,
@@ -399,6 +409,7 @@ class ServeApp:
                 ),
                 cancelled=retried.cancelled,
             )
+        self.fallback_counts.update(report.fallback_totals())
         return report, attempts
 
     def _cancelled_response(self, journal: Optional[str] = None) -> Response:
@@ -641,6 +652,11 @@ class ServeApp:
                 "spawned_total": self.pool.spawned_total,
             },
             "cache": get_estimate_cache().stats.snapshot(),
+            "backend": self.config.backend,
+            "vector_fallbacks": {
+                reason: count
+                for reason, count in sorted(self.fallback_counts.items())
+            },
             "responses_by_status": {
                 str(code): count
                 for code, count in sorted(self.status_counts.items())

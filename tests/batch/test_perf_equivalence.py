@@ -1,0 +1,141 @@
+"""Batched perf-layer equivalence: mapping, roofline, and cycle sim.
+
+The batched transcription of ``repro/perf`` (mapping byte counts,
+roofline bounds, batch resolution, cycle simulation) must reproduce the
+scalar simulator bit for bit on the full Table I grid, in both the
+fixed-batch and the latency-bound regimes — and the batched SRAM
+bank×port organization search must find points infeasible exactly where
+the scalar search does.
+"""
+
+from __future__ import annotations
+
+from repro.arch.component import ModelContext
+from repro.batch import BatchEstimator
+from repro.batch.estimator import SRAM_INFEASIBLE
+from repro.config.presets import datacenter_context
+from repro.dse.space import TU_LENGTHS, TUS_PER_CORE, DesignPoint, _grids
+from repro.dse.sweep import evaluate_point
+from repro.errors import OptimizationError
+from repro.tech.node import node
+from repro.workloads import mobilenet_v2, resnet50
+
+FULL_GRID = [
+    DesignPoint(x, n, tx, ty)
+    for x in TU_LENGTHS
+    for n in TUS_PER_CORE
+    for (tx, ty) in _grids()
+]
+
+_METRICS = ("area_mm2", "tdp_w", "peak_tops")
+
+
+def _assert_outcomes_bit_exact(summary, reference, point):
+    assert len(summary.outcomes) == len(reference.outcomes), point
+    for got, want in zip(summary.outcomes, reference.outcomes):
+        assert got.workload == want.workload, point
+        assert got.batch == want.batch, point
+        assert got.regime == want.regime, point
+        assert got.achieved_tops == want.achieved_tops, point
+        assert got.utilization == want.utilization, point
+        assert got.runtime_power_w == want.runtime_power_w, point
+        assert got.latency_ms == want.result.latency_ms, point
+
+
+def test_full_grid_workload_sim_is_bit_exact_with_scalar():
+    ctx = datacenter_context()
+    workloads = [("ResNet", resnet50())]
+    batch = BatchEstimator(ctx).estimate_points(
+        FULL_GRID, workloads=workloads, batches=(4,)
+    )
+    assert batch.fallback_reasons == {}
+    for point, summary in zip(FULL_GRID, batch.summaries):
+        reference = evaluate_point(point, workloads, [4], ctx)
+        for name in _METRICS:
+            assert getattr(summary, name) == getattr(reference, name), (
+                point,
+                name,
+            )
+        _assert_outcomes_bit_exact(summary, reference, point)
+
+
+def test_latency_bound_regime_is_bit_exact_with_scalar():
+    ctx = datacenter_context()
+    workloads = [("ResNet", resnet50()), ("MobileNet", mobilenet_v2())]
+    subset = [
+        DesignPoint(4, 1, 1, 1),
+        DesignPoint(16, 1, 2, 2),
+        DesignPoint(64, 2, 2, 4),
+        DesignPoint(128, 2, 4, 2),
+        DesignPoint(256, 1, 4, 4),
+    ]
+    batch = BatchEstimator(ctx).estimate_points(
+        subset, workloads=workloads, batches=(1, "latency-bound", 64)
+    )
+    assert batch.fallback_reasons == {}
+    for point, summary in zip(subset, batch.summaries):
+        reference = evaluate_point(
+            point, workloads, [1, "latency-bound", 64], ctx
+        )
+        _assert_outcomes_bit_exact(summary, reference, point)
+
+
+def test_sram_search_matches_scalar_feasibility():
+    """At 8 GHz the Table I grid splits; both paths must agree where."""
+    hot = ModelContext(tech=node(28), freq_ghz=8.0)
+    scalar = {}
+    for point in FULL_GRID:
+        try:
+            scalar[point] = evaluate_point(
+                point, (), (), hot, latency_slo_ms=None
+            )
+        except OptimizationError:
+            scalar[point] = None
+    infeasible = {point for point, ref in scalar.items() if ref is None}
+    assert infeasible and len(infeasible) < len(FULL_GRID)
+
+    batch = BatchEstimator(hot).estimate_points(FULL_GRID)
+    tagged = {
+        FULL_GRID[index]
+        for index, reason in batch.fallback_reasons.items()
+        if reason == SRAM_INFEASIBLE
+    }
+    assert tagged == infeasible
+    assert set(batch.fallback_reasons.values()) == {SRAM_INFEASIBLE}
+    for point, summary in zip(FULL_GRID, batch.summaries):
+        reference = scalar[point]
+        if reference is None:
+            assert summary is None, point
+            continue
+        for name in _METRICS:
+            assert getattr(summary, name) == getattr(reference, name), (
+                point,
+                name,
+            )
+
+
+def test_warm_batch_hits_the_estimate_cache():
+    """A repeated batched sweep must come back from the estimate cache."""
+    from repro.cache import get_estimate_cache
+
+    ctx = datacenter_context()
+    subset = [DesignPoint(16, 1, 2, 2), DesignPoint(64, 2, 2, 4)]
+    workloads = [("MobileNet", mobilenet_v2())]
+    estimator = BatchEstimator(ctx)
+    cold = estimator.estimate_points(subset, workloads=workloads, batches=(1,))
+    cache = get_estimate_cache()
+    before = cache.stats.hits
+    warm = estimator.estimate_points(subset, workloads=workloads, batches=(1,))
+    assert cache.stats.hits >= before + len(subset)
+    assert warm.summaries == cold.summaries
+
+
+def test_cache_can_be_disabled_per_estimator():
+    ctx = datacenter_context()
+    subset = [DesignPoint(16, 1, 2, 2)]
+    cached = BatchEstimator(ctx).estimate_points(subset)
+    uncached = BatchEstimator(ctx, use_cache=False).estimate_points(subset)
+    (a,) = cached.summaries
+    (b,) = uncached.summaries
+    for name in _METRICS:
+        assert getattr(a, name) == getattr(b, name)

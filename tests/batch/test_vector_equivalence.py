@@ -3,8 +3,9 @@
 The vectorized kernels transcribe the scalar closed forms, so the two
 paths must agree to float round-off (the acceptance bar is 1e-9 relative)
 on the *entire* Table I grid — not a sample.  Unsupported configurations
-(a training preset with bf16 cells) must be detected and routed through
-the scalar path with results identical to a pure scalar sweep.
+(chips no kernel family transcribes) must be detected and routed through
+the scalar path, and build failures must surface the original error
+instead of masquerading as configuration mismatches.
 """
 
 from __future__ import annotations
@@ -14,10 +15,16 @@ import math
 import pytest
 
 from repro.batch import BatchEstimator, supports_vector_path
-from repro.batch.estimator import SRAM_INFEASIBLE, UNSUPPORTED_CONFIG
+from repro.batch.estimator import (
+    BUILD_FAILED,
+    SRAM_INFEASIBLE,
+    UNSUPPORTED_CONFIG,
+    classify_point,
+)
 from repro.config.presets import (
     datacenter_context,
     datacenter_training_point,
+    tpu_v1,
 )
 from repro.dse.engine import run_sweep
 from repro.dse.space import TU_LENGTHS, TUS_PER_CORE, DesignPoint, _grids
@@ -56,6 +63,20 @@ class TrainingPoint(DesignPoint):
 
     def build(self):
         return datacenter_training_point(self.x, self.n, self.tx, self.ty)
+
+
+class ForeignPoint(DesignPoint):
+    """A point building a chip no kernel family transcribes."""
+
+    def build(self):
+        return tpu_v1()
+
+
+class BrokenPoint(DesignPoint):
+    """A point whose build() itself raises."""
+
+    def build(self):
+        raise RuntimeError("intentional build failure")
 
 
 def _rel(a: float, b: float) -> float:
@@ -97,9 +118,25 @@ def test_full_grid_pinned_regression():
             )
 
 
-def test_training_point_is_not_vector_supported():
+def test_preset_families_are_vector_supported():
     assert supports_vector_path(DesignPoint(16, 1, 2, 2))
-    assert not supports_vector_path(TrainingPoint(16, 1, 2, 2))
+    assert supports_vector_path(TrainingPoint(16, 1, 2, 2))
+    assert classify_point(DesignPoint(16, 1, 2, 2)) == ("datacenter", None)
+    assert classify_point(TrainingPoint(16, 1, 2, 2)) == ("training", None)
+
+
+def test_foreign_config_is_not_vector_supported():
+    assert not supports_vector_path(ForeignPoint(16, 1, 2, 2))
+    assert classify_point(ForeignPoint(16, 1, 2, 2)) == (None, None)
+
+
+def test_build_failure_surfaces_the_original_error():
+    """A raising build() must not be misfiled as a config mismatch."""
+    family, error = classify_point(BrokenPoint(16, 1, 2, 2))
+    assert family is None
+    assert isinstance(error, RuntimeError)
+    assert "intentional build failure" in str(error)
+    assert not supports_vector_path(BrokenPoint(16, 1, 2, 2))
 
 
 def test_auto_backend_falls_back_to_scalar_identically():
@@ -119,19 +156,29 @@ def test_auto_backend_falls_back_to_scalar_identically():
 
 def test_vector_backend_rejects_unsupported_configuration():
     ctx = datacenter_context()
-    with pytest.raises(ConfigurationError, match="datacenter preset"):
+    with pytest.raises(ConfigurationError, match="vector backend"):
         run_sweep(
-            [TrainingPoint(16, 1, 2, 2)], ctx=ctx, backend="vector"
+            [ForeignPoint(16, 1, 2, 2)], ctx=ctx, backend="vector"
         )
 
 
-def test_vector_backend_rejects_workloads():
-    with pytest.raises(ConfigurationError, match="peak metrics"):
-        run_sweep(
-            [DesignPoint(16, 1, 2, 2)],
-            [("fake", None)],
-            backend="vector",
-        )
+def test_vector_backend_simulates_workloads():
+    """Workload eval runs through the batched perf layer, not scalar."""
+    from repro.workloads import mobilenet_v2
+
+    ctx = datacenter_context()
+    workloads = [("MobileNet", mobilenet_v2())]
+    fast = run_sweep(
+        [DesignPoint(16, 1, 2, 2)], workloads, [1], ctx,
+        backend="vector",
+    )
+    slow = run_sweep(
+        [DesignPoint(16, 1, 2, 2)], workloads, [1], ctx,
+        backend="scalar",
+    )
+    assert [r.status for r in fast.records] == ["ok"]
+    assert fast.fallback_totals() == {}
+    assert fast.records[0].metrics == slow.records[0].metrics
 
 
 def test_engine_rejects_unknown_backend():
@@ -141,13 +188,27 @@ def test_engine_rejects_unknown_backend():
 
 def test_batch_result_reports_fallback_reasons():
     ctx = datacenter_context()
-    points = [TrainingPoint(8, 1, 1, 1), DesignPoint(8, 1, 1, 1)]
+    points = [
+        ForeignPoint(8, 1, 1, 1),
+        BrokenPoint(8, 1, 1, 1),
+        DesignPoint(8, 1, 1, 1),
+    ]
     batch = BatchEstimator(ctx).estimate_points(points)
-    assert batch.fallback_reasons == {0: UNSUPPORTED_CONFIG}
-    assert batch.fallback_indices == (0,)
+    assert batch.fallback_reasons == {
+        0: UNSUPPORTED_CONFIG,
+        1: BUILD_FAILED,
+    }
+    assert batch.fallback_indices == (0, 1)
+    assert isinstance(batch.errors[1], RuntimeError)
+    assert 0 not in batch.errors
     assert batch.summaries[0] is None
-    assert batch.summaries[1] is not None
+    assert batch.summaries[1] is None
+    assert batch.summaries[2] is not None
     assert batch.vectorized_count == 1
+    assert batch.fallback_totals() == {
+        UNSUPPORTED_CONFIG: 1,
+        BUILD_FAILED: 1,
+    }
 
 
 def test_vector_summaries_are_plain_floats():

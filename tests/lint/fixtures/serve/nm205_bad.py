@@ -15,3 +15,10 @@ async def absorb_cancellation(task):
         await task
     except asyncio.CancelledError:
         task.note = "cancelled"  # NM205: cancellation stops here
+
+
+def probe_quietly(point):
+    try:
+        return point.build() is not None
+    except Exception:
+        return False  # NM205: a broken build() reads as "unsupported"

@@ -23,3 +23,10 @@ async def absorb_cancellation(task):
     except asyncio.CancelledError:
         task.note = "cancelled"
         raise  # cancellation keeps propagating
+
+
+def probe_with_provenance(point):
+    try:
+        return point.build() is not None, None
+    except Exception as error:
+        return False, error  # the failure travels with the answer

@@ -28,7 +28,7 @@ CASES = {
     "NM202": ("arch/nm202_bad.py", "arch/nm202_good.py", 1),
     "NM203": ("arch/nm203_bad.py", "arch/nm203_good.py", 1),
     "NM204": ("batch/nm204_bad.py", "batch/nm204_good.py", 2),
-    "NM205": ("serve/nm205_bad.py", "serve/nm205_good.py", 2),
+    "NM205": ("serve/nm205_bad.py", "serve/nm205_good.py", 3),
     "NM301": ("cache/nm301_bad.py", "cache/nm301_good.py", 2),
     "NM302": ("cache/nm302_bad.py", "cache/nm302_good.py", 2),
     "NM303": ("cache/nm303_bad.py", "cache/nm303_good.py", 1),
@@ -148,3 +148,12 @@ def test_batch_loop_rule_is_scoped_to_batch_dirs():
     text = _fixture_text("batch/nm204_bad.py")
     # Same loops outside repro/batch: scalar code may iterate freely.
     assert check_source(text, relpath="dse/sweep.py") == []
+
+
+def test_swallowed_exception_rule_covers_batch_dirs():
+    # The batch backend's classification/fallback paths are a
+    # fault-tolerance layer too: an `except Exception: return False`
+    # there misfiles build failures as unsupported configurations.
+    text = _fixture_text("serve/nm205_bad.py")
+    findings = check_source(text, relpath="batch/estimator.py")
+    assert [f.rule for f in findings] == ["NM205"] * 3

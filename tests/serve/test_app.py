@@ -52,6 +52,15 @@ def test_status_reports_the_daemon_shape(harness_factory):
     assert status["admission"]["max_inflight"] == 4
     assert status["pool"]["jobs"] == 2
     assert status["uptime_s"] >= 0
+    assert status["backend"] == "scalar"  # the daemon default
+    assert status["vector_fallbacks"] == {}
+
+
+def test_status_reports_the_configured_backend(harness_factory):
+    harness = harness_factory(jobs=1, backend="auto")
+    status = harness.client().wait_healthy()
+    assert status["backend"] == "auto"
+    assert status["vector_fallbacks"] == {}
 
 
 def test_estimate_is_bit_identical_to_the_local_path(harness_factory):

@@ -170,9 +170,11 @@ def test_dse_engine_flags_parse_on_both_subcommands():
 
 
 def test_dse_keep_going_isolates_failures(capsys, monkeypatch):
+    # Pin the scalar backend: the fake is patched over evaluate_point,
+    # which the default auto backend would bypass via the vector path.
     monkeypatch.setattr(engine_mod, "evaluate_point", _fake_evaluate)
     code = main(
-        ["dse", "--batch", "1", "--keep-going",
+        ["dse", "--batch", "1", "--keep-going", "--backend", "scalar",
          "--point", "4,1,1,1", "--point", "16,1,2,2"]
     )
     assert code == 0
@@ -187,7 +189,10 @@ def test_dse_keep_going_isolates_failures(capsys, monkeypatch):
 
 def test_dse_without_keep_going_aborts(capsys, monkeypatch):
     monkeypatch.setattr(engine_mod, "evaluate_point", _fake_evaluate)
-    code = main(["dse", "--batch", "1", "--point", "4,1,1,1"])
+    code = main(
+        ["dse", "--batch", "1", "--backend", "scalar",
+         "--point", "4,1,1,1"]
+    )
     assert code == 2
     assert "error:" in capsys.readouterr().err
 
