@@ -1,0 +1,118 @@
+"""Sharded sweep vs. single-process sweep — the shard-merge acceptance
+benchmark.
+
+Partitions the full Table I grid into a shard manifest, runs every shard
+independently (each under its own lease, journaling to its own file),
+then merges the shard journals back into one report.  Asserts the two
+properties the sharding subsystem promises:
+
+* **Bit-identical merge** — the merged report equals a single-process
+  ``run_sweep`` over the same grid exactly: per-point status and
+  metrics, fallback totals, and the peak-TOPS geomean.
+* **Cheap coordination** — manifest build + verified merge overhead is
+  bookkeeping, not modeling; the bench reports it next to the sweep
+  time so a regression (e.g. a merge that re-verifies quadratically)
+  shows up in ``BENCH_sweep.json``.
+
+``NEUROMETER_BENCH_SMOKE=1`` thins the grid for the CI job; the
+assertions are identical in both modes.
+"""
+
+import math
+import os
+import time
+
+from benchmarks.conftest import run_once
+from benchmarks.emit import emit_bench, round_floats
+from repro.dse.engine import run_sweep
+from repro.dse.shard import build_manifest, merge_journals, run_shard
+from repro.dse.space import full_grid
+from repro.report.tables import format_table
+
+_SMOKE = os.environ.get("NEUROMETER_BENCH_SMOKE") == "1"
+
+SHARDS = 3
+
+
+def _points():
+    grid = full_grid()
+    return grid[::10] if _SMOKE else grid
+
+
+def _geomean_peak_tops(records):
+    values = [r.metrics["peak_tops"] for r in records if r.metrics]
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def test_sharded_merge_is_bit_identical(benchmark, emit, tmp_path):
+    points = _points()
+
+    start = time.perf_counter()
+    reference = run_sweep(points, backend="auto")
+    reference_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    manifest = build_manifest(points, SHARDS)
+    manifest_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for index in range(manifest.shard_count):
+        run_shard(manifest, index, tmp_path, backend="auto")
+    shards_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    outcome = run_once(benchmark, lambda: merge_journals(manifest, tmp_path))
+    merge_s = time.perf_counter() - start
+
+    assert outcome.complete, outcome.summary()
+    merged = outcome.report
+    assert len(merged.records) == len(reference.records) == len(points)
+    for ours, theirs in zip(merged.records, reference.records):
+        assert ours.point == theirs.point
+        assert ours.status == theirs.status
+        assert ours.metrics == theirs.metrics, ours.point
+    assert merged.fallback_totals() == reference.fallback_totals()
+    assert _geomean_peak_tops(merged.records) == (
+        _geomean_peak_tops(reference.records)
+    )
+
+    overhead_s = manifest_s + merge_s
+    emit(
+        format_table(
+            ["pass", "wall s"],
+            [
+                ["single-process sweep", f"{reference_s:.3f}"],
+                [f"{SHARDS} shards (sequential)", f"{shards_s:.3f}"],
+                ["manifest build", f"{manifest_s:.4f}"],
+                ["verified merge", f"{merge_s:.4f}"],
+            ],
+        )
+    )
+
+    emit_bench(
+        "shard_merge",
+        round_floats(
+            {
+                "points": len(points),
+                "shards": SHARDS,
+                "smoke": _SMOKE,
+                "wall_s": {
+                    "reference": reference_s,
+                    "shards": shards_s,
+                    "manifest": manifest_s,
+                    "merge": merge_s,
+                },
+                "merge": {
+                    "complete": outcome.complete,
+                    "duplicates": outcome.duplicates,
+                    "salvaged_lines": outcome.salvaged_lines,
+                },
+            }
+        ),
+    )
+
+    # Coordination must stay bookkeeping: well under the modeling time.
+    assert overhead_s < max(reference_s, 0.05), (
+        f"manifest+merge overhead {overhead_s:.3f}s rivals the sweep "
+        f"itself ({reference_s:.3f}s)"
+    )

@@ -124,3 +124,22 @@ def stable_hash(*parts: Any) -> str:
     canon = tuple(canonicalize(part) for part in parts)
     payload = repr((package_version(), canon)).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()
+
+
+#: Short-digest length used in manifests and human-facing filenames.
+SHORT_DIGEST_LEN = 16
+
+
+def short_hash(*parts: Any, length: int = SHORT_DIGEST_LEN) -> str:
+    """A truncated :func:`stable_hash`, for manifests and filenames.
+
+    16 hex chars (64 bits) keeps shard manifests and their derived
+    filenames readable while leaving collision odds negligible at the
+    scale of sweeps per repository; the full digest remains available
+    where keys index unbounded caches.
+    """
+    if length < 8 or length > 64:
+        raise ConfigurationError(
+            f"short hash length must be in [8, 64], got {length}"
+        )
+    return stable_hash(*parts)[:length]

@@ -16,6 +16,7 @@ from __future__ import annotations
 import os
 import pickle
 import threading
+import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -108,6 +109,9 @@ class EstimateCache:
         self.disk_path = os.fspath(disk_path) if disk_path else None
         self.enabled = enabled
         self.stats = CacheStats()
+        #: Corrupt disk entries renamed to ``*.corrupt`` (kept out of
+        #: :class:`CacheStats` so snapshot/delta comparisons are stable).
+        self.quarantined = 0
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.RLock()
 
@@ -178,8 +182,34 @@ class EstimateCache:
         try:
             with open(self._disk_file(key), "rb") as fh:
                 return pickle.load(fh)
+        except FileNotFoundError:
+            return _MISS  # plain miss: nothing on disk for this key
         except Exception:
+            # A file exists but does not unpickle (truncated write,
+            # garbage, version-skewed payload).  Left in place it would
+            # be re-read and re-fail on every miss for this key, so
+            # quarantine it: rename to ``*.corrupt`` (atomic, keeps the
+            # evidence for inspection) and let the slot be rewritten by
+            # the next store.
+            self._quarantine(key)
             return _MISS
+
+    def _quarantine(self, key: str) -> None:
+        target = self._disk_file(key)
+        try:
+            os.replace(target, target + ".corrupt")
+        except OSError:
+            # Lost a race with another process quarantining or
+            # rewriting the entry; either way the bad file is gone.
+            pass
+        else:
+            self.quarantined += 1
+            warnings.warn(
+                f"estimate cache: quarantined corrupt entry "
+                f"{target} -> {os.path.basename(target)}.corrupt",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _disk_write(self, key: str, value: Any) -> None:
         if self.disk_path is None:

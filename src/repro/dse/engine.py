@@ -290,6 +290,31 @@ class PointRecord:
     fallback: Optional[str] = None
 
 
+def record_from_journal_entry(entry: JournalEntry) -> PointRecord:
+    """Rehydrate one journaled entry into a ``from_journal`` record.
+
+    Carries the full per-point surface — metrics, structured failure,
+    cache counters, and fallback reason — so journal-resumed and
+    shard-merged records aggregate exactly like freshly evaluated ones.
+    """
+    return PointRecord(
+        point=entry.point,
+        status=entry.status,
+        result=entry.summary_result(),
+        metrics=entry.metrics,
+        failure=(
+            PointFailure.from_dict(entry.point, entry.failure)
+            if entry.failure
+            else None
+        ),
+        wall_time_s=entry.wall_time_s,
+        attempt=entry.attempt,
+        from_journal=True,
+        cache=entry.cache,
+        fallback=entry.fallback,
+    )
+
+
 @dataclass(frozen=True)
 class SweepReport:
     """Everything a study learned from one engine run.
@@ -340,15 +365,19 @@ class SweepReport:
                 totals[record.fallback] = totals.get(record.fallback, 0) + 1
         return totals
 
-    def cache_totals(self) -> dict:
+    def cache_totals(self, include_journal: bool = False) -> dict:
         """Estimate-cache counters summed over the points this run evaluated.
 
-        Journal-rehydrated points did no modeling work in this run and are
-        excluded.  Empty when the cache was disabled throughout.
+        Journal-rehydrated points did no modeling work in this run and
+        are excluded by default.  A shard *merge* rebuilds its whole
+        report from journals, where every point's counters are
+        journal-carried — ``include_journal=True`` sums those too so
+        cross-shard cache totals aggregate correctly.  Empty when the
+        cache was disabled throughout.
         """
         totals = _Totals()
         for record in self.records:
-            if not record.from_journal:
+            if include_journal or not record.from_journal:
                 totals.add(record.cache)
         return totals.counters
 
@@ -1126,6 +1155,7 @@ def run_sweep(
     validate: bool = True,
     journal_path: Optional[Union[str, os.PathLike]] = None,
     resume: bool = False,
+    journal_meta: Optional[dict] = None,
     latency_slo_ms: float = DEFAULT_LATENCY_SLO_MS,
     on_record: Optional[Callable[[PointRecord], None]] = None,
     warm_cache: bool = True,
@@ -1168,6 +1198,9 @@ def run_sweep(
             appended and fsynced.
         resume: Skip points already finished in ``journal_path`` and
             rehydrate their journaled metrics.
+        journal_meta: Extra dict folded into a *newly created* journal's
+            header line (shard workers stamp the sweep digest and shard
+            coordinates; see :mod:`repro.dse.shard`).
         latency_slo_ms: SLO for ``"latency-bound"`` batch specs.
         on_record: Progress callback invoked with each final
             :class:`PointRecord`.
@@ -1216,7 +1249,7 @@ def run_sweep(
     batches = tuple(batches)
     journal: Optional[Journal] = None
     if journal_path is not None:
-        journal = Journal(journal_path, resume=resume)
+        journal = Journal(journal_path, resume=resume, meta=journal_meta)
 
     run = _SweepRun(
         points=points,
@@ -1245,21 +1278,7 @@ def run_sweep(
         for index, point in enumerate(points):
             entry = journaled.get(point)
             if entry is not None:
-                record = PointRecord(
-                    point=point,
-                    status=entry.status,
-                    result=entry.summary_result(),
-                    metrics=entry.metrics,
-                    failure=(
-                        PointFailure.from_dict(point, entry.failure)
-                        if entry.failure
-                        else None
-                    ),
-                    wall_time_s=entry.wall_time_s,
-                    attempt=entry.attempt,
-                    from_journal=True,
-                    fallback=entry.fallback,
-                )
+                record = record_from_journal_entry(entry)
                 run.records[index] = record
                 if on_record is not None:
                     on_record(record)

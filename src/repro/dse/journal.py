@@ -263,9 +263,22 @@ class JournalEntry:
 
 
 class Journal:
-    """Append-only JSONL writer with crash-safe per-line flushing."""
+    """Append-only JSONL writer with crash-safe per-line flushing.
 
-    def __init__(self, path: str | os.PathLike, resume: bool = False):
+    ``meta`` is an optional JSON-serializable dict folded into the header
+    line under the ``"meta"`` key — shard workers stamp the sweep digest
+    and their shard coordinates there so a later merge can refuse
+    journals from a different grid (see :func:`journal_header`).  The
+    header is only written when the file starts empty; resuming an
+    existing journal keeps whatever header it already has.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        resume: bool = False,
+        meta: Optional[dict] = None,
+    ):
         self.path = os.fspath(path)
         self.entries: list[JournalEntry] = []
         if resume and os.path.exists(self.path):
@@ -279,12 +292,10 @@ class Journal:
             self.path, mode, encoding="utf-8"
         )
         if mode == "w" or os.path.getsize(self.path) == 0:
-            self._write_line(
-                json.dumps(
-                    {"kind": "header", "version": JOURNAL_VERSION},
-                    sort_keys=True,
-                )
-            )
+            header = {"kind": "header", "version": JOURNAL_VERSION}
+            if meta:
+                header["meta"] = meta
+            self._write_line(json.dumps(header, sort_keys=True))
 
     def _write_line(self, line: str) -> None:
         assert self._fh is not None
@@ -315,7 +326,9 @@ class Journal:
         self.close()
 
 
-def load_journal(path: str | os.PathLike) -> list[JournalEntry]:
+def load_journal(
+    path: str | os.PathLike, salvage: bool = False
+) -> list[JournalEntry]:
     """Read every valid point entry from a journal file.
 
     A crash mid-write damages only the *tail* of the file — usually one
@@ -329,9 +342,15 @@ def load_journal(path: str | os.PathLike) -> list[JournalEntry]:
     silently dropped.  Unknown-but-well-formed line kinds (headers,
     future extensions) are skipped without comment.
 
+    With ``salvage=True`` mid-file damage is *skipped* instead of raised,
+    with one :class:`RuntimeWarning` per damaged line naming its line
+    number — the shard merge uses this to harvest every point a
+    hard-killed or disk-damaged shard did finish.  The default strict
+    behavior is unchanged.
+
     Raises:
         ConfigurationError: a damaged line is followed by a valid line
-            (mid-file damage).
+            (mid-file damage) and ``salvage`` is off.
     """
     with open(path, encoding="utf-8") as fh:
         raw = fh.read()
@@ -357,13 +376,31 @@ def load_journal(path: str | os.PathLike) -> list[JournalEntry]:
         if damaged:
             # A valid line after a damaged one: not a torn tail.
             bad_number, bad_error = damaged[0]
-            raise ConfigurationError(
-                f"corrupt journal line {bad_number} in {os.fspath(path)}: "
-                f"{bad_error}"
-            ) from bad_error
+            if not salvage:
+                raise ConfigurationError(
+                    f"corrupt journal line {bad_number} in "
+                    f"{os.fspath(path)}: {bad_error}"
+                ) from bad_error
+            for skipped_number, skipped_error in damaged:
+                warnings.warn(
+                    f"salvage: skipping corrupt journal line "
+                    f"{skipped_number} in {os.fspath(path)}: "
+                    f"{skipped_error}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            damaged = []
         if entry is not None:
             entries.append(entry)
-    if damaged:
+    if damaged and salvage:
+        for skipped_number, skipped_error in damaged:
+            warnings.warn(
+                f"salvage: skipping corrupt journal line "
+                f"{skipped_number} in {os.fspath(path)}: {skipped_error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    elif damaged:
         first, error = damaged[0]
         count = len(damaged)
         what = (
@@ -378,6 +415,32 @@ def load_journal(path: str | os.PathLike) -> list[JournalEntry]:
             stacklevel=2,
         )
     return entries
+
+
+def journal_header(path: str | os.PathLike) -> Optional[dict]:
+    """The decoded header line of a journal, or ``None`` if it has none.
+
+    Only the first non-blank line is examined; a missing, corrupt, or
+    non-header first line answers ``None`` rather than raising, so
+    callers can treat "no header" and "unreadable header" uniformly (the
+    shard merge then rejects the journal for lacking a sweep digest).
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                if line.strip():
+                    break
+            else:
+                return None
+    except OSError:
+        return None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(payload, dict) and payload.get("kind") == "header":
+        return payload
+    return None
 
 
 def _repair_tail(path: str) -> None:

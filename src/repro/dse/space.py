@@ -80,6 +80,23 @@ def _grids() -> Iterator[tuple[int, int]]:
         tx *= 2
 
 
+def full_grid() -> list[DesignPoint]:
+    """Every Table I ``(X, N, Tx, Ty)`` tuple, unpruned (210 points).
+
+    The raw cross product of tensor-unit lengths, units per core, and
+    near-square core grids — no TOPS cap or area/power budget filtering.
+    This is the canonical input of the sharded-sweep drills: its size
+    and order are deterministic, so a manifest built from it is
+    byte-identical across machines.
+    """
+    return [
+        DesignPoint(x, n, tx, ty)
+        for x in TU_LENGTHS
+        for n in TUS_PER_CORE
+        for tx, ty in _grids()
+    ]
+
+
 def design_space(
     ctx: Optional[ModelContext] = None,
     area_budget_mm2: float = DATACENTER_AREA_BUDGET_MM2,

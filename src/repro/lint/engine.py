@@ -21,11 +21,18 @@ from __future__ import annotations
 
 import ast
 import json
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+
+#: Inline exemption pragma: ``# lint: allow(NM302): why this is safe``.
+#: The trailing reason is required — see SourceFile.has_allow_pragma.
+_ALLOW_PRAGMA = re.compile(
+    r"#\s*lint:\s*allow\((NM\d{3})\)\s*:\s*\S"
+)
 
 #: Directory names never descended into.
 SKIPPED_DIRS = frozenset({
@@ -112,6 +119,20 @@ class SourceFile:
         if 1 <= line <= len(self.lines):
             return self.lines[line - 1]
         return ""
+
+    def has_allow_pragma(self, rule_id: str, line: int) -> bool:
+        """Is ``line`` exempted from ``rule_id`` by an inline pragma?
+
+        The pragma form is ``# lint: allow(NMxxx): <reason>`` on the
+        flagged line itself.  The reason is *mandatory* — a bare
+        ``allow(NMxxx)`` exempts nothing, so every exemption carries
+        its justification next to the code it excuses (unlike the
+        baseline file, which records findings without saying why they
+        are acceptable).  Rules opt in to honoring the pragma; only
+        rules whose docstring says so consult it.
+        """
+        match = _ALLOW_PRAGMA.search(self.line_text(line))
+        return bool(match and match.group(1) == rule_id)
 
     # -- classification ------------------------------------------------------
 

@@ -23,19 +23,25 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import json
 import os
+import sys
 import threading
 import time
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Optional, Sequence
 
 from repro.arch.component import ModelContext
 from repro.dse.engine import SweepReport, WorkerPool, run_sweep
 from repro.dse.journal import summarize_result
 from repro.dse.space import DesignPoint
-from repro.errors import ConfigurationError, NeuroMeterError
+from repro.errors import (
+    ConfigurationError,
+    NeuroMeterError,
+    ShardLeaseHeldError,
+)
 from repro.serve.backpressure import AdmissionGate
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.http import Request, Response
@@ -75,6 +81,32 @@ class ServeConfig:
     request_log: Optional[str] = None  # resolved request JSONL
     drain_grace_s: float = 30.0
     seed: int = 0
+    #: JSON file re-read on SIGHUP; its keys overwrite the live-safe
+    #: subset of this config (see :data:`RELOADABLE_KEYS`) without a
+    #: restart — warm caches and in-flight requests are untouched.
+    reload_config: Optional[str] = None
+
+
+#: ServeConfig knobs that are safe to swap while serving: they are read
+#: per-request (deadlines, retries) or live on mutable single-threaded
+#: objects (admission gate, breaker windows).  Everything else — ports,
+#: pool size, journal/log paths — requires a restart and is ignored by
+#: a reload.
+RELOADABLE_KEYS = (
+    "deadline_s",
+    "max_inflight",
+    "retry_after_s",
+    "retry_attempts",
+    "retry_base_delay_s",
+    "breaker_threshold",
+    "breaker_reset_s",
+    "drain_grace_s",
+    "timeout_s",
+)
+
+_RELOAD_INT_KEYS = frozenset(
+    {"max_inflight", "retry_attempts", "breaker_threshold"}
+)
 
 
 def _parse_point(raw: object) -> DesignPoint:
@@ -437,6 +469,8 @@ class ServeApp:
     async def _handle_sweep(
         self, request: Request, body: dict, abort: threading.Event
     ) -> Response:
+        if body.get("manifest") is not None:
+            return await self._handle_shard_sweep(body, abort)
         raw_points = body.get("points")
         if not isinstance(raw_points, list) or not raw_points:
             raise ConfigurationError(
@@ -485,6 +519,101 @@ class ServeApp:
         if journal_name:
             payload["journal"] = journal_name
         return Response(200, payload)
+
+    async def _handle_shard_sweep(
+        self, body: dict, abort: threading.Event
+    ) -> Response:
+        """Claim and execute one shard of a manifested sweep.
+
+        With ``{"manifest": <dict>, "shard": i}`` the request claims
+        exactly shard ``i`` — a live holder answers 409
+        (``ShardLeaseHeldError``), the protocol's "busy, try another
+        shard" status.  Without an explicit shard the daemon claims the
+        first pending or abandoned shard, skipping any that another
+        worker wins concurrently; ``{"shard": null}`` in the answer
+        means nothing was claimable (``complete`` tells the caller
+        whether that is because the sweep is done).
+        """
+        from repro.dse.shard import (
+            DEFAULT_STALE_AFTER_S,
+            ShardManifest,
+            claimable_shards,
+            run_shard,
+            shard_status,
+        )
+
+        if self.config.journal_dir is None:
+            raise ConfigurationError(
+                "shard claiming needs --journal-dir: shard journals and "
+                "leases live next to each other on disk"
+            )
+        manifest = ShardManifest.from_dict(body["manifest"])
+        journal_dir = self.config.journal_dir
+        # Persist the manifest next to the journals so offline tooling
+        # (``neurometer merge``) can verify them without the original.
+        manifest_path = os.path.join(
+            journal_dir, f"manifest-{manifest.sweep_digest}.json"
+        )
+        if not os.path.exists(manifest_path):
+            manifest.write(manifest_path)
+        stale_after_s = float(
+            body.get("stale_after_s") or DEFAULT_STALE_AFTER_S
+        )
+        ctx = self._context(body)
+        should_abort = self._should_abort(abort)
+
+        def _run(index: int) -> SweepReport:
+            return run_shard(
+                manifest,
+                index,
+                journal_dir,
+                ctx=ctx,
+                backend=self.config.backend,
+                jobs=self.config.jobs,
+                timeout_s=self.config.timeout_s,
+                stale_after_s=stale_after_s,
+                pool=self.pool,
+                should_abort=should_abort,
+            )
+
+        def _payload(index: int, report: SweepReport) -> Response:
+            self.fallback_counts.update(report.fallback_totals())
+            if report.cancelled:
+                return self._cancelled_response(
+                    journal=manifest.journal_name(index)
+                )
+            status = shard_status(manifest, journal_dir, stale_after_s)
+            return Response(200, {
+                "shard": index,
+                "journal": manifest.journal_name(index),
+                "sweep_digest": manifest.sweep_digest,
+                "records": [_record_payload(r) for r in report.records],
+                "summary": report.summary(),
+                "complete": all(
+                    row["state"] == "complete" for row in status
+                ),
+                "cancelled": False,
+            })
+
+        explicit = body.get("shard")
+        if explicit is not None:
+            index = int(explicit)
+            # A held lease propagates as ShardLeaseHeldError -> 409.
+            report = await self._run_blocking(_run, index)
+            return _payload(index, report)
+        for index in claimable_shards(manifest, journal_dir, stale_after_s):
+            try:
+                report = await self._run_blocking(_run, index)
+            except ShardLeaseHeldError:
+                continue  # lost the race for this shard; try the next
+            return _payload(index, report)
+        status = shard_status(manifest, journal_dir, stale_after_s)
+        return Response(200, {
+            "shard": None,
+            "sweep_digest": manifest.sweep_digest,
+            "complete": all(row["state"] == "complete" for row in status),
+            "status": status,
+        })
 
     async def _handle_optimize(
         self, request: Request, body: dict, abort: threading.Event
@@ -623,6 +752,85 @@ class ServeApp:
         })
 
     # -- lifecycle -----------------------------------------------------------
+
+    def reload_config(self, path: Optional[str] = None) -> dict:
+        """Re-read the reload file and swap the live-safe config knobs.
+
+        Invoked by the SIGHUP handler on the event loop (the same
+        thread that reads the admission gate and breaker windows, so no
+        locking is needed).  Only :data:`RELOADABLE_KEYS` are applied;
+        anything else in the file is reported back as ignored.  The warm
+        estimate cache, the worker pool, and admitted in-flight requests
+        are untouched — new limits apply from the next admission on.
+        A missing or malformed file changes nothing.
+
+        Returns ``{"changed": {key: [old, new]}, "ignored": [...]}``
+        (empty on a failed read), and journals the same payload to the
+        request log as a ``/-/config-reload`` event.
+        """
+        path = path or self.config.reload_config
+        outcome: dict = {"changed": {}, "ignored": []}
+        if not path:
+            return outcome
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if not isinstance(payload, dict):
+                raise ConfigurationError("reload file must hold an object")
+        except (OSError, ValueError, ConfigurationError) as error:
+            print(
+                f"neurometer serve: config reload from {path} failed, "
+                f"keeping current config: {error}",
+                file=sys.stderr,
+                flush=True,
+            )
+            self._journal_reload(path, outcome, error=type(error).__name__)
+            return outcome
+        updates = {}
+        for key in sorted(payload):
+            value = payload[key]
+            if key not in RELOADABLE_KEYS:
+                outcome["ignored"].append(key)
+                continue
+            if value is not None:
+                value = (
+                    int(value) if key in _RELOAD_INT_KEYS else float(value)
+                )
+            old = getattr(self.config, key)
+            if value != old:
+                updates[key] = value
+                outcome["changed"][key] = [old, value]
+        if updates:
+            self.config = _dc_replace(self.config, **updates)
+            self.gate.max_inflight = self.config.max_inflight
+            self.gate.retry_after_s = self.config.retry_after_s
+            self.breaker.failure_threshold = max(
+                1, self.config.breaker_threshold
+            )
+            self.breaker.reset_after_s = self.config.breaker_reset_s
+        print(
+            f"neurometer serve: config reloaded from {path} "
+            f"({len(outcome['changed'])} change(s), "
+            f"{len(outcome['ignored'])} ignored)",
+            file=sys.stderr,
+            flush=True,
+        )
+        self._journal_reload(path, outcome)
+        return outcome
+
+    def _journal_reload(
+        self, path: str, outcome: dict, error: Optional[str] = None
+    ) -> None:
+        if self.request_log is None:
+            return
+        self.request_log.record(
+            request_id=next(self._request_ids),
+            endpoint="/-/config-reload",
+            status=500 if error else 200,
+            wall_time_s=0.0,
+            error=error,
+            detail={"path": path, **outcome},
+        )
 
     def begin_drain(self) -> None:
         """Stop admitting and checkpoint in-flight sweeps.

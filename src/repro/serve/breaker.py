@@ -15,10 +15,18 @@ it open again.
 Worker crashes and timeouts do **not** feed the breaker — they are
 capacity/environment problems handled by retry and backoff, not model
 damage.
+
+Unlike the admission gate, the breaker is *not* single-threaded by
+construction: ``allow_full`` runs on the event loop, but failures and
+successes are recorded from executor threads after blocking engine
+work.  All state transitions therefore hold an internal lock — in
+particular the open -> half-open hand-off, where exactly one of any
+number of simultaneous callers may win the trial slot.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict
@@ -57,6 +65,7 @@ class CircuitBreaker:
         self.reset_after_s = reset_after_s
         self._clock = clock
         self._families: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
 
     def _family(self, key: str) -> _Family:
         if key not in self._families:
@@ -67,50 +76,59 @@ class CircuitBreaker:
         """May a full evaluation for this family run right now?
 
         Open families answer ``False`` (serve degraded) until the reset
-        window elapses, then exactly one caller gets a half-open trial.
+        window elapses, then exactly one caller gets a half-open trial:
+        the check-and-transition runs under the breaker lock, so two
+        simultaneous callers racing an elapsed window cannot both be
+        admitted — the loser stays degraded until the trial resolves.
         """
-        family = self._family(key)
-        if family.state == CLOSED:
-            return True
-        if family.state == OPEN:
-            if self._clock() - family.opened_at >= self.reset_after_s:
-                family.state = HALF_OPEN
+        with self._lock:
+            family = self._family(key)
+            if family.state == CLOSED:
                 return True
+            if family.state == OPEN:
+                if self._clock() - family.opened_at >= self.reset_after_s:
+                    family.state = HALF_OPEN
+                    return True
+                return False
+            # Half-open: one trial is in flight; keep others degraded.
             return False
-        # Half-open: one trial is already in flight; keep others degraded.
-        return False
 
     def record_success(self, key: str) -> None:
-        family = self._family(key)
-        family.state = CLOSED
-        family.consecutive_failures = 0
+        with self._lock:
+            family = self._family(key)
+            family.state = CLOSED
+            family.consecutive_failures = 0
 
     def record_integrity_failure(self, key: str) -> None:
-        family = self._family(key)
-        if family.state == HALF_OPEN:
-            # The trial failed: snap back open, restart the window.
-            family.state = OPEN
-            family.opened_at = self._clock()
-            family.trips += 1
-            return
-        family.consecutive_failures += 1
-        if (
-            family.state == CLOSED
-            and family.consecutive_failures >= self.failure_threshold
-        ):
-            family.state = OPEN
-            family.opened_at = self._clock()
-            family.trips += 1
+        with self._lock:
+            family = self._family(key)
+            if family.state == HALF_OPEN:
+                # The trial failed: snap back open with a *fresh* full
+                # reset window (no credit for the time already waited).
+                family.state = OPEN
+                family.opened_at = self._clock()
+                family.trips += 1
+                return
+            family.consecutive_failures += 1
+            if (
+                family.state == CLOSED
+                and family.consecutive_failures >= self.failure_threshold
+            ):
+                family.state = OPEN
+                family.opened_at = self._clock()
+                family.trips += 1
 
     def state(self, key: str) -> str:
-        return self._family(key).state
+        with self._lock:
+            return self._family(key).state
 
     def snapshot(self) -> dict:
-        return {
-            key: {
-                "state": family.state,
-                "consecutive_failures": family.consecutive_failures,
-                "trips": family.trips,
+        with self._lock:
+            return {
+                key: {
+                    "state": family.state,
+                    "consecutive_failures": family.consecutive_failures,
+                    "trips": family.trips,
+                }
+                for key, family in sorted(self._families.items())
             }
-            for key, family in sorted(self._families.items())
-        }

@@ -12,6 +12,15 @@ SIGTERM (and SIGINT) mean *drain*, not die:
 
 A second signal during the grace window skips the wait and tears down
 immediately (still exit 0 — the journals are already consistent).
+
+SIGHUP means *reload*, not restart: when the daemon was booted with
+``--reload-config PATH``, the handler re-reads that JSON file on the
+event loop and swaps the live-safe knobs (deadlines, admission bound,
+breaker windows — see :data:`repro.serve.app.RELOADABLE_KEYS`) in
+place.  The warm estimate cache, the worker pool, and every admitted
+in-flight request survive the reload untouched, and the swap is
+journaled to the request log as a ``/-/config-reload`` event.  Without
+``--reload-config``, SIGHUP is acknowledged and ignored.
 """
 
 from __future__ import annotations
@@ -48,6 +57,20 @@ async def _serve_until_drained(
         loop.add_signal_handler(
             getattr(signal, signame), _on_signal, signame
         )
+
+    def _on_reload() -> None:
+        if not app.config.reload_config:
+            print(
+                "neurometer serve: SIGHUP received but no --reload-config "
+                "file was given; ignoring",
+                file=sys.stderr,
+                flush=True,
+            )
+            return
+        app.reload_config()
+
+    if hasattr(signal, "SIGHUP"):  # absent on non-POSIX platforms
+        loop.add_signal_handler(signal.SIGHUP, _on_reload)
 
     sockets = server.sockets or ()
     if ready_line and sockets:

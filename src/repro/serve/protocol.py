@@ -15,6 +15,7 @@ exception                              code   client reaction
 ``ValidationError``                    422    model integrity: report it
 ``OptimizationError``                  422    no feasible design; relax bounds
 ``PointTimeoutError`` / deadline       504    retry with a larger deadline
+``ShardLeaseHeldError``                409    claim a different shard
 ``LoadShedError``                      503    back off ``Retry-After`` seconds
 ``DrainingError``                      503    the daemon is shutting down
 other ``NeuroMeterError``              400    fix the request
@@ -40,6 +41,7 @@ from repro.errors import (
     NumericalError,
     OptimizationError,
     PointTimeoutError,
+    ShardLeaseHeldError,
     TechnologyError,
     ValidationError,
 )
@@ -60,6 +62,7 @@ _STATUS_MAP = (
     (LoadShedError, 503),
     (DrainingError, 503),
     (PointTimeoutError, 504),
+    (ShardLeaseHeldError, 409),
     ((asyncio.TimeoutError, TimeoutError), 504),
     (INTEGRITY_ERRORS, 422),
     (OptimizationError, 422),
@@ -78,6 +81,7 @@ ERROR_TYPE_STATUS = {
     "ValidationError": 422,
     "OptimizationError": 422,
     "PointTimeoutError": 504,
+    "ShardLeaseHeldError": 409,
     "WorkerCrash": 500,
 }
 

@@ -1,5 +1,8 @@
 """The bounded estimate cache: LRU behavior, stats, disk layer, decorator."""
 
+import os
+import warnings
+
 import pytest
 
 from repro.arch.component import ModelContext
@@ -92,8 +95,62 @@ def test_disk_corruption_degrades_to_a_miss(tmp_path):
     with open(cache._disk_file("deadbeef"), "wb") as fh:
         fh.write(b"not a pickle")
     fresh = EstimateCache(disk_path=str(tmp_path))
-    hit, _ = fresh.get("deadbeef")
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        hit, _ = fresh.get("deadbeef")
     assert not hit
+
+
+@pytest.mark.parametrize(
+    "damage",
+    [b"not a pickle", b"", b"\x80\x04\x95"],  # garbage, empty, truncated
+    ids=["garbage", "empty", "truncated"],
+)
+def test_corrupt_disk_entry_is_quarantined_not_retried(tmp_path, damage):
+    """First failed unpickle renames the file to ``*.corrupt``.
+
+    Regression: a corrupt entry used to be left in place and re-read
+    (and re-fail) on every subsequent miss for that key, forever.  The
+    quarantine keeps the evidence but frees the slot, so later lookups
+    are plain misses and a later store rewrites the key cleanly.
+    """
+    cache = EstimateCache(disk_path=str(tmp_path))
+    cache.put("deadbeef", 42)
+    target = cache._disk_file("deadbeef")
+    with open(target, "wb") as fh:
+        fh.write(damage)
+
+    fresh = EstimateCache(disk_path=str(tmp_path))
+    with pytest.warns(RuntimeWarning, match="quarantined corrupt entry"):
+        hit, _ = fresh.get("deadbeef")
+    assert not hit
+    assert fresh.quarantined == 1
+    assert not os.path.exists(target)
+    assert os.path.exists(target + ".corrupt")
+
+    # Second lookup: a plain miss, no second quarantine, no warning.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        hit, _ = fresh.get("deadbeef")
+    assert not hit
+    assert fresh.quarantined == 1
+
+    # The slot is writable again and round-trips normally.
+    fresh.put("deadbeef", 43)
+    reader = EstimateCache(disk_path=str(tmp_path))
+    hit, value = reader.get("deadbeef")
+    assert hit and value == 43
+    # The quarantined evidence survives the rewrite.
+    assert os.path.exists(target + ".corrupt")
+
+
+def test_missing_disk_entry_is_not_quarantined(tmp_path):
+    """A FileNotFoundError is a plain miss: nothing to rename."""
+    cache = EstimateCache(disk_path=str(tmp_path))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        hit, _ = cache.get("feedface")
+    assert not hit
+    assert cache.quarantined == 0
 
 
 def test_clear_keeps_the_disk_layer(tmp_path):

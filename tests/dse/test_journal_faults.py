@@ -179,3 +179,65 @@ def test_empty_and_header_only_journals_resume_to_nothing(tmp_path):
     with Journal(path, resume=True) as journal:
         assert journal.finished_points() == set()
     assert load_journal(path) == []
+
+
+def test_salvage_skips_midfile_damage_with_per_line_warnings(tmp_path):
+    """``salvage=True`` trades strictness for recovery, loudly.
+
+    Mid-file damage still aborts a default load, but the sharded-merge
+    path needs to recover every intact line from a journal whose middle
+    was mangled (e.g. by a filesystem repair).  Each skipped line warns
+    individually so nothing disappears silently.
+    """
+    path = tmp_path / "sweep.jsonl"
+    _write_journal(path, [_entry(8), _entry(16), _entry(32), _entry(64)])
+    lines = path.read_text().splitlines()
+    lines[2] = lines[2][:10]          # damage entry 16
+    lines[3] = "garbage not json"     # damage entry 32
+    path.write_text("\n".join(lines) + "\n")
+
+    # Default strict load refuses.
+    with pytest.raises(ConfigurationError, match="corrupt journal line"):
+        load_journal(path)
+
+    with pytest.warns(RuntimeWarning) as caught:
+        entries = load_journal(path, salvage=True)
+    assert [e.point.x for e in entries] == [8, 64]
+    salvage_warnings = [
+        w for w in caught if "salvage" in str(w.message)
+    ]
+    assert len(salvage_warnings) == 2
+
+
+def test_salvage_warns_for_trailing_damage_too(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    _write_journal(path, [_entry(8), _entry(16)])
+    path.write_text(path.read_text()[:-25])
+    with pytest.warns(RuntimeWarning, match="salvage"):
+        entries = load_journal(path, salvage=True)
+    assert [e.point.x for e in entries] == [8]
+
+
+def test_header_meta_roundtrips(tmp_path):
+    from repro.dse.journal import journal_header
+
+    path = tmp_path / "sweep.jsonl"
+    meta = {"sweep_digest": "abc123", "shard": 1, "shards": 3}
+    with Journal(path, meta=meta) as journal:
+        journal.append(_entry(8))
+    header = journal_header(path)
+    assert header["meta"] == meta
+    # Resume does not rewrite (or lose) the existing header.
+    with Journal(path, resume=True, meta={"other": True}) as journal:
+        journal.append(_entry(16))
+    assert journal_header(path)["meta"] == meta
+    assert [e.point.x for e in load_journal(path)] == [8, 16]
+
+
+def test_journal_header_tolerates_missing_and_torn_files(tmp_path):
+    from repro.dse.journal import journal_header
+
+    assert journal_header(tmp_path / "absent.jsonl") is None
+    torn = tmp_path / "torn.jsonl"
+    torn.write_text('{"kind": "head')
+    assert journal_header(torn) is None

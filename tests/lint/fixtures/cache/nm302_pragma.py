@@ -1,0 +1,16 @@
+"""NM302 pragma fixture: inline allow exemptions need a reason."""
+
+import time
+
+
+def heartbeat_now():
+    # Exempt: full pragma with a justification.
+    return time.time()  # lint: allow(NM302): cross-machine lease heartbeats need the shared wall clock
+
+
+def bare_pragma_still_fires():
+    return time.time()  # lint: allow(NM302)
+
+
+def wrong_rule_still_fires():
+    return time.time()  # lint: allow(NM301): reason for a different rule

@@ -70,9 +70,11 @@ def test_syntax_error_becomes_nm000():
 
 def test_whole_corpus_totals_match_the_case_table():
     report = run_lint([FIXTURES], root=FIXTURES)
-    expected = sum(count for _, _, count in CASES.values()) + 1  # + NM000
+    # + 1 for NM000 (broken fixture), + 2 for the NM302 pragma fixture
+    # (its unexempted lines).
+    expected = sum(count for _, _, count in CASES.values()) + 1 + 2
     assert len(report.new) == expected
-    assert report.files_checked == 2 * len(CASES) + 1
+    assert report.files_checked == 2 * len(CASES) + 2
 
 
 def test_rule_selection_narrows_the_run():
@@ -157,3 +159,21 @@ def test_swallowed_exception_rule_covers_batch_dirs():
     text = _fixture_text("serve/nm205_bad.py")
     findings = check_source(text, relpath="batch/estimator.py")
     assert [f.rule for f in findings] == ["NM205"] * 3
+
+
+def test_nm302_allow_pragma_exempts_only_justified_lines():
+    """``# lint: allow(NM302): <reason>`` exempts exactly its line.
+
+    A bare ``allow(NM302)`` without the mandatory reason and a pragma
+    naming a different rule must both keep firing — the pragma is an
+    escape hatch with a paper trail, not a mute button.
+    """
+    findings = _lint("cache/nm302_pragma.py")
+    assert [f.rule for f in findings] == ["NM302"] * 2
+    source = (FIXTURES / "cache" / "nm302_pragma.py").read_text()
+    lines = source.splitlines()
+    exempted = next(
+        number for number, text in enumerate(lines, start=1)
+        if "cross-machine" in text
+    )
+    assert exempted not in {f.line for f in findings}

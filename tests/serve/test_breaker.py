@@ -94,3 +94,62 @@ def test_snapshot_counts_trips():
     snap = breaker.snapshot()
     assert snap["resnet"]["state"] == OPEN
     assert snap["resnet"]["trips"] == 2
+
+
+def test_half_open_admits_exactly_one_of_simultaneous_trials():
+    """Two callers racing an elapsed reset window: one trial, not two.
+
+    The open -> half-open transition is a check-then-act; without the
+    breaker lock both threads can observe OPEN with the window elapsed
+    and both be admitted as "the" trial.  Hammer the transition with a
+    barrier so the threads arrive together, and pin that exactly one
+    wins while the loser stays degraded.
+    """
+    import threading
+
+    breaker, clock = _breaker(threshold=1, reset=10.0)
+    workers = 8
+    for _ in range(50):
+        breaker.record_integrity_failure("resnet")
+        assert breaker.state("resnet") == OPEN
+        clock.advance(11.0)
+        barrier = threading.Barrier(workers)
+        admitted = []
+
+        def _try() -> None:
+            barrier.wait()
+            if breaker.allow_full("resnet"):
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=_try) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1, (
+            f"{len(admitted)} simultaneous half-open trials were admitted"
+        )
+        # Resolve the trial as a failure so the next round reopens.
+        breaker.record_integrity_failure("resnet")
+
+
+def test_failed_trial_restarts_the_window_under_concurrency():
+    """A failed half-open trial re-opens with a *full* reset window.
+
+    Regression pin: after the trial fails, callers inside the old
+    window must stay degraded even when they race the reopen.
+    """
+    breaker, clock = _breaker(threshold=1, reset=10.0)
+    breaker.record_integrity_failure("resnet")
+    clock.advance(11.0)
+    assert breaker.allow_full("resnet") is True  # the trial
+    breaker.record_integrity_failure("resnet")  # trial fails
+    # 9.9s into the fresh window nobody gets through...
+    clock.advance(9.9)
+    assert all(
+        breaker.allow_full("resnet") is False for _ in range(16)
+    )
+    # ...and once it elapses, again exactly one.
+    clock.advance(0.2)
+    admitted = sum(breaker.allow_full("resnet") for _ in range(16))
+    assert admitted == 1

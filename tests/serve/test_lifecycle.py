@@ -242,3 +242,111 @@ def test_second_signal_skips_the_grace_window(daemon_factory, tmp_path):
     time.sleep(0.3)
     daemon.proc.send_signal(signal.SIGTERM)
     assert daemon.wait(timeout_s=60.0) == 0
+
+
+def test_sighup_reloads_live_safe_config(daemon_factory, tmp_path):
+    """kill -HUP swaps deadlines/admission bounds without a restart.
+
+    The daemon is booted with ``--reload-config``; rewriting the file
+    and sending SIGHUP must (a) apply the reloadable keys, (b) ignore
+    restart-only keys like ``port``, (c) keep the warm estimate cache,
+    and (d) journal a ``/-/config-reload`` event to the request log.
+    """
+    reload_file = tmp_path / "reload.json"
+    reload_file.write_text(json.dumps({}))
+    log_path = tmp_path / "requests.jsonl"
+    daemon = daemon_factory(
+        "--max-inflight", "8",
+        "--reload-config", str(reload_file),
+        "--request-log", str(log_path),
+    )
+    client = daemon.client()
+    assert client.status()["admission"]["max_inflight"] == 8
+
+    # Warm the estimate cache so we can prove the reload keeps it.
+    client.estimate([32, 4, 2, 2])
+    stores_before = client.status()["cache"]["stores"]
+    assert stores_before > 0
+
+    reload_file.write_text(json.dumps({
+        "max_inflight": 3,
+        "deadline_s": 17.5,
+        "port": 9999,  # restart-only: must be reported as ignored
+    }))
+    daemon.proc.send_signal(signal.SIGHUP)
+
+    deadline = time.monotonic() + 30.0
+    status = None
+    while time.monotonic() < deadline:
+        status = client.status()
+        if status["admission"]["max_inflight"] == 3:
+            break
+        time.sleep(0.05)
+    assert status is not None \
+        and status["admission"]["max_inflight"] == 3, (
+            "SIGHUP never applied the new admission bound:\n"
+            + "\n".join(daemon.stderr_lines)
+        )
+    # The warm cache survived the reload (no restart happened).
+    assert status["cache"]["stores"] == stores_before
+    # The daemon still answers estimates afterwards.
+    payload = client.estimate([32, 4, 2, 2])
+    assert payload["status"] == "ok"
+    assert any("config reloaded" in line for line in daemon.stderr_lines)
+
+    client.drain()
+    assert daemon.wait() == 0
+    events = [
+        json.loads(line)
+        for line in log_path.read_text().splitlines()
+        if line.strip()
+    ]
+    reloads = [
+        e for e in events
+        if e.get("kind") == "request"
+        and e.get("endpoint") == "/-/config-reload"
+    ]
+    assert len(reloads) == 1
+    detail = reloads[0]["detail"]
+    assert detail["changed"]["max_inflight"] == [8, 3]
+    assert detail["changed"]["deadline_s"] == [60.0, 17.5]
+    assert "port" in detail["ignored"]
+
+
+def test_sighup_with_bad_reload_file_keeps_serving(daemon_factory,
+                                                  tmp_path):
+    """A malformed reload file changes nothing and kills nobody."""
+    reload_file = tmp_path / "reload.json"
+    reload_file.write_text("{not json")
+    daemon = daemon_factory("--max-inflight", "8",
+                            "--reload-config", str(reload_file))
+    client = daemon.client()
+    daemon.proc.send_signal(signal.SIGHUP)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if any("reload" in line and "failed" in line
+               for line in daemon.stderr_lines):
+            break
+        time.sleep(0.05)
+    else:
+        raise AssertionError("daemon never reported the failed reload")
+    status = client.status()
+    assert status["admission"]["max_inflight"] == 8
+    assert daemon.proc.poll() is None  # still alive
+
+
+def test_sighup_without_reload_config_is_ignored(daemon_factory):
+    """SIGHUP on a daemon booted without --reload-config is a no-op."""
+    daemon = daemon_factory()
+    client = daemon.client()
+    daemon.proc.send_signal(signal.SIGHUP)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if any("no --reload-config" in line
+               for line in daemon.stderr_lines):
+            break
+        time.sleep(0.05)
+    else:
+        raise AssertionError("daemon never acknowledged the SIGHUP")
+    assert client.status()["state"] == "serving"
+    assert daemon.proc.poll() is None

@@ -1,0 +1,111 @@
+"""The /sweep shard-claim protocol: claim, conflict (409), completion.
+
+These tests drive the daemon end to end with real manifests: a client
+posts a ``ShardManifest`` payload, the daemon claims a shard under a
+lease, journals it into ``--journal-dir``, and reports completion; a
+shard whose lease is held answers HTTP 409 so a worker fleet can fan
+out over the remaining shards.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.dse.shard import (
+    ShardLease,
+    ShardManifest,
+    build_manifest,
+    merge_journals,
+)
+from repro.dse.space import DesignPoint
+from repro.errors import RemoteError
+from repro.serve.client import ServeClient  # noqa: F401  (re-exported)
+
+POINTS = [DesignPoint(x, 4, 2, 2) for x in (4, 8, 16, 32, 64, 128)]
+
+
+def _manifest(shards: int = 3) -> ShardManifest:
+    return build_manifest(POINTS, shards)
+
+
+def test_claim_loop_until_complete(harness_factory, tmp_path):
+    """Repeated claims drain every shard, then answer complete."""
+    harness = harness_factory(journal_dir=str(tmp_path))
+    client = harness.client()
+    manifest = _manifest(3)
+    claimed = []
+    for _ in range(3):
+        payload = client.claim_shard(manifest.to_dict())
+        assert payload["shard"] is not None
+        claimed.append(payload["shard"])
+        assert payload["records"]
+        assert payload["sweep_digest"] == manifest.sweep_digest
+    assert sorted(claimed) == [0, 1, 2]
+    assert payload["complete"] is True
+
+    # Nothing left to claim; the daemon says so instead of erroring.
+    payload = client.claim_shard(manifest.to_dict())
+    assert payload["shard"] is None
+    assert payload["complete"] is True
+    assert all(
+        row["state"] == "complete" for row in payload["status"]
+    )
+
+    # The daemon's journals merge offline like any worker's.
+    outcome = merge_journals(manifest, tmp_path)
+    assert outcome.complete
+    assert len(outcome.report.records) == len(POINTS)
+
+
+def test_explicit_shard_conflict_answers_409(harness_factory, tmp_path):
+    harness = harness_factory(journal_dir=str(tmp_path))
+    client = harness.client()
+    manifest = _manifest(3)
+    # Another worker holds shard 1's lease.
+    ShardLease(
+        os.path.join(tmp_path, manifest.lease_name(1)), shard=1
+    ).acquire()
+    with pytest.raises(RemoteError) as exc:
+        client.claim_shard(manifest.to_dict(), shard=1)
+    assert exc.value.status == 409
+    assert exc.value.error_type == "ShardLeaseHeldError"
+
+    # Auto-claim skips the held shard and wins a free one.
+    payload = client.claim_shard(manifest.to_dict())
+    assert payload["shard"] in (0, 2)
+
+
+def test_claim_persists_the_manifest_for_offline_merge(
+    harness_factory, tmp_path
+):
+    harness = harness_factory(journal_dir=str(tmp_path))
+    client = harness.client()
+    manifest = _manifest(2)
+    client.claim_shard(manifest.to_dict())
+    persisted = (
+        tmp_path / f"manifest-{manifest.sweep_digest}.json"
+    )
+    assert persisted.exists()
+    assert ShardManifest.load(persisted) == manifest
+
+
+def test_claim_without_journal_dir_is_a_config_error(harness_factory):
+    harness = harness_factory()  # no journal_dir
+    client = harness.client()
+    with pytest.raises(RemoteError) as exc:
+        client.claim_shard(_manifest(2).to_dict())
+    assert exc.value.status == 400
+    assert "journal-dir" in str(exc.value)
+
+
+def test_tampered_manifest_is_rejected_with_400(harness_factory, tmp_path):
+    harness = harness_factory(journal_dir=str(tmp_path))
+    client = harness.client()
+    payload = _manifest(2).to_dict()
+    payload["points"][0] = [512, 4, 2, 2]
+    with pytest.raises(RemoteError) as exc:
+        client.claim_shard(payload)
+    assert exc.value.status == 400
+    assert "digest" in str(exc.value)
