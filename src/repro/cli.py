@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.arch.component import ModelContext
@@ -757,17 +758,71 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     return 0 if report.passed else 2
 
 
+def _changed_python_files(root: "Path", base: str) -> "list[Path] | None":
+    """Python files changed vs ``base`` plus untracked ones, or ``None``
+    when ``root`` is not inside a usable git checkout."""
+    import subprocess
+
+    def _git(*argv: str) -> "list[str] | None":
+        try:
+            proc = subprocess.run(
+                ["git", "-C", str(root), *argv],
+                capture_output=True, text=True, timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        return [line for line in proc.stdout.splitlines() if line.strip()]
+
+    changed = _git("diff", "--name-only", "--diff-filter=d", base, "--")
+    if changed is None:
+        return None
+    untracked = _git("ls-files", "--others", "--exclude-standard") or []
+    return [
+        Path(root) / name
+        for name in dict.fromkeys(changed + untracked)
+        if name.endswith(".py")
+    ]
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the static analyzer; exit 2 when new findings appear.
 
     Pre-existing findings live in the committed baseline file and do not
     fail the run; ``--update-baseline`` re-records them (preserving the
     per-entry justifications) after intentional changes.
+
+    ``--changed-only`` narrows the run to files touched since
+    ``--diff-base`` (plus untracked files), keeping pre-commit runs
+    fast; the baseline semantics are unchanged.
     """
     from repro.lint import run_lint
 
+    root = Path(args.root) if args.root else Path.cwd()
+    paths = [Path(p) for p in args.paths]
+    if args.changed_only:
+        changed = _changed_python_files(root, args.diff_base)
+        if changed is None:
+            print(
+                f"neurometer lint: --changed-only needs a git checkout at "
+                f"{root} and a valid --diff-base ({args.diff_base!r})",
+                file=sys.stderr,
+            )
+            return 1
+        requested = [p.resolve() for p in paths]
+        paths = [
+            f for f in changed
+            if f.exists() and any(
+                _path_is_within(f.resolve(), req) for req in requested
+            )
+        ]
+        if not paths:
+            print("0 file(s) checked: no changed Python files under the "
+                  "given paths")
+            return 0
     report = run_lint(
-        args.paths,
+        paths,
         root=args.root,
         rules=args.rule or None,
         baseline_path=args.baseline,
@@ -775,9 +830,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
     if args.format == "json":
         print(report.render_json())
+    elif args.format == "sarif":
+        print(report.render_sarif())
     else:
         print(report.render_text())
     return report.exit_code
+
+
+def _path_is_within(path: "Path", ancestor: "Path") -> bool:
+    try:
+        path.relative_to(ancestor)
+        return True
+    except ValueError:
+        return False
 
 
 def _cmd_timing(args: argparse.Namespace) -> int:
@@ -1246,9 +1311,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="output format (default text)",
+        help="output format (default text; sarif for CI annotation)",
+    )
+    lint.add_argument(
+        "--changed-only",
+        action="store_true",
+        dest="changed_only",
+        help="lint only files changed vs --diff-base (git diff + "
+        "untracked), intersected with the given paths",
+    )
+    lint.add_argument(
+        "--diff-base",
+        default="HEAD",
+        metavar="REF",
+        help="git ref --changed-only diffs against (default HEAD)",
     )
     lint.add_argument(
         "--rule",

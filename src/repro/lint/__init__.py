@@ -9,12 +9,17 @@ modeling code lives by:
   ``estimate()``, typed :mod:`repro.errors` exceptions, keyword-built
   :class:`~repro.arch.component.Estimate` nodes);
 * **NM3xx** — determinism and numerics (ordered iteration on cache/journal
-  paths, no wall-clock or unseeded entropy in models, no float ``==``).
+  paths, no wall-clock or unseeded entropy in models, no float ``==``);
+* **NM4xx** — concurrency and I/O safety (no blocking calls reachable
+  from ``async def`` handlers, consistent lock discipline, crash-safe
+  durable writes, fork-safe worker spawns), built on the interprocedural
+  call-graph/effect core in :mod:`repro.lint.flow`.
 
 Pre-existing violations are ratcheted through the committed
 ``lint_baseline.json`` (see :mod:`repro.lint.baseline`); anything new
-exits 2.  See ``docs/lint.md`` for the rule catalog and the baseline
-workflow.
+exits 2, and any finding can be exempted inline with
+``# lint: allow(NMxxx): <reason>``.  See ``docs/lint.md`` for the rule
+catalog and the baseline workflow.
 """
 
 from repro.lint.baseline import (

@@ -14,7 +14,13 @@ Rule IDs are grouped by family:
 ``NM2xx``  model conventions (:mod:`repro.lint.rules_model`)
 ``NM3xx``  determinism / numerics
            (:mod:`repro.lint.rules_determinism`)
+``NM4xx``  concurrency & I/O safety
+           (:mod:`repro.lint.rules_concurrency`)
 =========  ==================================================
+
+Any finding can be exempted inline with ``# lint: allow(NMxxx): <reason>``
+on the flagged line; the reason is mandatory and the exemption is
+enforced centrally in :func:`_check_file`.
 """
 
 from __future__ import annotations
@@ -66,6 +72,11 @@ BATCH_DIRS = frozenset({"batch"})
 #: surface.
 ROBUSTNESS_DIRS = frozenset({"serve", "dse", "batch"})
 
+#: Layers that own durable on-disk state (request journals, shard
+#: leases/manifests, the on-disk cache) and the concurrency machinery
+#: around it — the NM4xx rules audit these.
+DURABLE_DIRS = frozenset({"serve", "dse", "cache"})
+
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
 
@@ -114,6 +125,7 @@ class SourceFile:
         self.lines = text.splitlines()
         self.parts = tuple(Path(relpath).parts)
         self._unit_events = None
+        self._flow = None
 
     def line_text(self, line: int) -> str:
         if 1 <= line <= len(self.lines):
@@ -128,8 +140,9 @@ class SourceFile:
         ``allow(NMxxx)`` exempts nothing, so every exemption carries
         its justification next to the code it excuses (unlike the
         baseline file, which records findings without saying why they
-        are acceptable).  Rules opt in to honoring the pragma; only
-        rules whose docstring says so consult it.
+        are acceptable).  The engine honors the pragma for every rule
+        (see :func:`_check_file`); the pragma must name the exact rule
+        it exempts.
         """
         match = _ALLOW_PRAGMA.search(self.line_text(line))
         return bool(match and match.group(1) == rule_id)
@@ -172,6 +185,10 @@ class SourceFile:
     def in_robustness_scope(self) -> bool:
         return not self.is_test and self.in_dirs(ROBUSTNESS_DIRS)
 
+    @property
+    def in_durable_scope(self) -> bool:
+        return not self.is_test and self.in_dirs(DURABLE_DIRS)
+
     # -- shared passes -------------------------------------------------------
 
     @property
@@ -182,6 +199,15 @@ class SourceFile:
 
             self._unit_events = UnitInference().run(self.tree)
         return self._unit_events
+
+    @property
+    def flow(self):
+        """The module call graph + effects, shared by the NM4xx rules."""
+        if self._flow is None:
+            from repro.lint.flow import ModuleFlow
+
+            self._flow = ModuleFlow(self.tree)
+        return self._flow
 
 
 class Rule:
@@ -216,12 +242,14 @@ class Rule:
 
 
 def all_rules() -> List[Rule]:
-    """Every registered rule, NM1xx through NM3xx, in catalog order."""
+    """Every registered rule, NM1xx through NM4xx, in catalog order."""
+    from repro.lint.rules_concurrency import CONCURRENCY_RULES
     from repro.lint.rules_determinism import DETERMINISM_RULES
     from repro.lint.rules_model import MODEL_RULES
     from repro.lint.rules_units import UNIT_RULES
 
-    return [*UNIT_RULES, *MODEL_RULES, *DETERMINISM_RULES]
+    return [*UNIT_RULES, *MODEL_RULES, *DETERMINISM_RULES,
+            *CONCURRENCY_RULES]
 
 
 def rule_catalog() -> dict:
@@ -268,6 +296,88 @@ class LintReport:
             },
             indent=2,
         )
+
+    def render_sarif(self) -> str:
+        """SARIF 2.1.0 — what CI uploads so code hosts annotate PRs.
+
+        New findings are plain results; baselined ones are included but
+        marked ``suppressed`` (kind ``external``: the suppression lives
+        in ``lint_baseline.json``, not the source), so viewers show the
+        ratchet state honestly without failing the run twice.
+        """
+        catalog = rule_catalog()
+        rule_ids = sorted(catalog)
+        rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+        # NM000 (parse failure) is synthesized by the engine, not a
+        # registered rule; give it an entry so its results resolve.
+        if any(f.rule == "NM000" for f in self.new + self.suppressed):
+            rule_index.setdefault("NM000", len(rule_ids))
+            if "NM000" not in catalog:
+                catalog["NM000"] = (SEVERITY_ERROR, "file does not parse")
+                rule_ids = rule_ids + ["NM000"]
+
+        def result(finding: Finding, suppressed: bool) -> dict:
+            entry = {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": "error" if finding.severity == SEVERITY_ERROR
+                else "warning",
+                "message": {
+                    "text": finding.message + (
+                        f"  [{finding.hint}]" if finding.hint else ""
+                    )
+                },
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "ROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }],
+            }
+            if suppressed:
+                entry["suppressions"] = [{"kind": "external"}]
+            return entry
+
+        sarif = {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {
+                    "driver": {
+                        "name": "neurometer-lint",
+                        "informationUri": "docs/lint.md",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": catalog[rule_id][1]
+                                },
+                                "defaultConfiguration": {
+                                    "level": "error"
+                                    if catalog[rule_id][0] == SEVERITY_ERROR
+                                    else "warning"
+                                },
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": (
+                    [result(f, suppressed=False) for f in self.new]
+                    + [result(f, suppressed=True) for f in self.suppressed]
+                ),
+            }],
+        }
+        return json.dumps(sarif, indent=2)
 
 
 def _iter_python_files(path: Path) -> Iterable[Path]:
@@ -319,7 +429,13 @@ def _check_file(sf: SourceFile, rules: Sequence[Rule]) -> List[Finding]:
     findings: List[Finding] = []
     for rule in rules:
         if rule.applies(sf):
-            findings.extend(rule.check(sf))
+            for finding in rule.check(sf):
+                # Central pragma enforcement: a justified inline
+                # `# lint: allow(NMxxx): reason` on the flagged line
+                # exempts that finding for every rule family.
+                if sf.has_allow_pragma(finding.rule, finding.line):
+                    continue
+                findings.append(finding)
     return findings
 
 

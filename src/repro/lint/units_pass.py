@@ -7,6 +7,12 @@ propagates them through assignments, arithmetic, and calls, so the unit
 rules (NM101/NM102/NM104) can flag the places where two units meet without
 a converter.
 
+The traversal itself — scoped statement execution, environment threading,
+comprehension/lambda scoping — lives in the shared
+:class:`repro.lint.flow.DataflowWalker`; this pass supplies only the
+unit-specific value semantics via the ``eval_expr``/``bind``/
+``on_aug_assign`` hooks.
+
 The inference is deliberately conservative: a unit is only propagated when
 the convention makes the result unambiguous —
 
@@ -34,7 +40,9 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
+
+from repro.lint.flow import DataflowWalker
 
 #: unit token -> physical dimension.  Tokens are name suffixes (after the
 #: last underscore).  Single letters that would be too noisy as suffixes
@@ -150,8 +158,12 @@ def _callable_name(func: ast.expr) -> Optional[str]:
     return None
 
 
-class UnitInference:
-    """Run unit inference over one module and collect :class:`UnitEvent`s."""
+class UnitInference(DataflowWalker):
+    """Run unit inference over one module and collect :class:`UnitEvent`s.
+
+    The abstract values threaded through the walker's environment are
+    unit tokens (``"mm2"``, ``"pj"``, ...) or ``None`` for unknown.
+    """
 
     def __init__(self) -> None:
         self.events: List[UnitEvent] = []
@@ -159,122 +171,33 @@ class UnitInference:
     # -- entry points --------------------------------------------------------
 
     def run(self, tree: ast.Module) -> List[UnitEvent]:
-        self._exec_body(tree.body, {})
+        self.walk_module(tree)
         return self.events
 
     def infer(self, node: ast.expr,
               env: Optional[Dict[str, Optional[str]]] = None) -> Optional[str]:
         """Infer the unit of one expression (used directly by tests)."""
-        return self._infer(node, {} if env is None else env)
+        return self.eval_expr(node, {} if env is None else env)
 
-    # -- statements ----------------------------------------------------------
+    # -- walker hooks --------------------------------------------------------
 
-    def _exec_body(self, body: Iterable[ast.stmt],
-                   env: Dict[str, Optional[str]]) -> None:
-        for stmt in body:
-            self._exec_stmt(stmt, env)
+    def on_aug_assign(self, stmt: ast.AugAssign,
+                      env: Dict[str, Optional[str]]) -> None:
+        target_unit = self._target_unit(stmt.target, env)
+        value_unit = self.eval_expr(stmt.value, env)
+        if isinstance(stmt.op, (ast.Add, ast.Sub)) and target_unit \
+                and value_unit and target_unit != value_unit:
+            self.events.append(UnitEvent(
+                kind="assign-mismatch",
+                node=stmt,
+                left=target_unit,
+                right=value_unit,
+                detail=f"augmented ({_OP_NAMES[type(stmt.op)]}=) "
+                f"{self._target_name(stmt.target)}",
+            ))
 
-    def _exec_stmt(self, stmt: ast.stmt,
-                   env: Dict[str, Optional[str]]) -> None:
-        if isinstance(stmt, ast.Assign):
-            value_unit = self._infer(stmt.value, env)
-            for target in stmt.targets:
-                self._bind(target, value_unit, stmt, env)
-        elif isinstance(stmt, ast.AnnAssign):
-            if stmt.value is not None:
-                value_unit = self._infer(stmt.value, env)
-                self._bind(stmt.target, value_unit, stmt, env)
-        elif isinstance(stmt, ast.AugAssign):
-            target_unit = self._target_unit(stmt.target, env)
-            value_unit = self._infer(stmt.value, env)
-            if isinstance(stmt.op, (ast.Add, ast.Sub)) and target_unit \
-                    and value_unit and target_unit != value_unit:
-                self.events.append(UnitEvent(
-                    kind="assign-mismatch",
-                    node=stmt,
-                    left=target_unit,
-                    right=value_unit,
-                    detail=f"augmented ({_OP_NAMES[type(stmt.op)]}=) "
-                    f"{self._target_name(stmt.target)}",
-                ))
-        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            for default in list(stmt.args.defaults) + [
-                d for d in stmt.args.kw_defaults if d is not None
-            ]:
-                self._infer(default, env)
-            for decorator in stmt.decorator_list:
-                self._infer(decorator, env)
-            self._exec_body(stmt.body, dict(env))
-        elif isinstance(stmt, ast.ClassDef):
-            for base in stmt.bases:
-                self._infer(base, env)
-            self._exec_body(stmt.body, dict(env))
-        elif isinstance(stmt, ast.For) or isinstance(stmt, ast.AsyncFor):
-            self._infer(stmt.iter, env)
-            for name in self._bound_names(stmt.target):
-                env.pop(name, None)
-            self._exec_body(stmt.body, env)
-            self._exec_body(stmt.orelse, env)
-        else:
-            # Generic statement: infer every embedded expression, execute
-            # every embedded body.  Covers If/While/With/Try/Return/Expr/
-            # Raise/Assert/Match/... without enumerating them.
-            for _, field in ast.iter_fields(stmt):
-                if isinstance(field, ast.expr):
-                    self._infer(field, env)
-                elif isinstance(field, list):
-                    if field and isinstance(field[0], ast.stmt):
-                        self._exec_body(field, env)
-                    else:
-                        for item in field:
-                            if isinstance(item, ast.expr):
-                                self._infer(item, env)
-                            elif isinstance(item, ast.stmt):
-                                self._exec_stmt(item, env)
-                            elif isinstance(item, ast.AST):
-                                self._exec_fragment(item, env)
-                elif isinstance(field, ast.AST):
-                    self._exec_fragment(field, env)
-
-    def _exec_fragment(self, node: ast.AST,
-                       env: Dict[str, Optional[str]]) -> None:
-        """Handle odd AST containers (withitem, excepthandler, ...)."""
-        for _, field in ast.iter_fields(node):
-            if isinstance(field, ast.expr):
-                self._infer(field, env)
-            elif isinstance(field, list):
-                for item in field:
-                    if isinstance(item, ast.stmt):
-                        self._exec_stmt(item, env)
-                    elif isinstance(item, ast.expr):
-                        self._infer(item, env)
-                    elif isinstance(item, ast.AST):
-                        self._exec_fragment(item, env)
-            elif isinstance(field, ast.AST):
-                self._exec_fragment(field, env)
-
-    # -- binding -------------------------------------------------------------
-
-    def _target_name(self, target: ast.expr) -> str:
-        if isinstance(target, ast.Name):
-            return target.id
-        if isinstance(target, ast.Attribute):
-            return target.attr
-        return "<target>"
-
-    def _target_unit(self, target: ast.expr,
-                     env: Dict[str, Optional[str]]) -> Optional[str]:
-        if isinstance(target, ast.Name):
-            return unit_of_name(target.id) or env.get(target.id)
-        if isinstance(target, ast.Attribute):
-            return unit_of_name(target.attr)
-        return None
-
-    def _bound_names(self, target: ast.expr) -> List[str]:
-        return [n.id for n in ast.walk(target) if isinstance(n, ast.Name)]
-
-    def _bind(self, target: ast.expr, value_unit: Optional[str],
-              stmt: ast.stmt, env: Dict[str, Optional[str]]) -> None:
+    def bind(self, target: ast.expr, value_unit: Optional[str],
+             stmt: ast.AST, env: Dict[str, Optional[str]]) -> None:
         if isinstance(target, ast.Name):
             declared = unit_of_name(target.id)
             if declared is not None:
@@ -300,10 +223,27 @@ class UnitInference:
                     detail=target.attr,
                 ))
         elif isinstance(target, (ast.Tuple, ast.List)):
-            for name in self._bound_names(target):
+            for name in self.bound_names(target):
                 if unit_of_name(name) is None:
                     env[name] = None
         # Subscript / Starred targets: nothing to track.
+
+    # -- binding helpers -----------------------------------------------------
+
+    def _target_name(self, target: ast.expr) -> str:
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            return target.attr
+        return "<target>"
+
+    def _target_unit(self, target: ast.expr,
+                     env: Dict[str, Optional[str]]) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return unit_of_name(target.id) or env.get(target.id)
+        if isinstance(target, ast.Attribute):
+            return unit_of_name(target.attr)
+        return None
 
     # -- expressions ---------------------------------------------------------
 
@@ -327,19 +267,19 @@ class UnitInference:
                 and self._is_scale_constant(node.right)
         return False
 
-    def _infer(self, node: ast.expr,
-               env: Dict[str, Optional[str]]) -> Optional[str]:
+    def eval_expr(self, node: ast.expr,
+                  env: Dict[str, Optional[str]]) -> Optional[str]:
         if isinstance(node, ast.Name):
             return unit_of_name(node.id) or env.get(node.id)
         if isinstance(node, ast.Attribute):
-            self._infer(node.value, env)
+            self.eval_expr(node.value, env)
             return unit_of_name(node.attr)
         if isinstance(node, ast.Constant):
             return None
         if isinstance(node, ast.BinOp):
             return self._infer_binop(node, env)
         if isinstance(node, ast.UnaryOp):
-            unit = self._infer(node.operand, env)
+            unit = self.eval_expr(node.operand, env)
             return unit if isinstance(node.op, (ast.USub, ast.UAdd)) else None
         if isinstance(node, ast.Compare):
             self._infer_compare(node, env)
@@ -347,53 +287,20 @@ class UnitInference:
         if isinstance(node, ast.Call):
             return self._infer_call(node, env)
         if isinstance(node, ast.IfExp):
-            self._infer(node.test, env)
-            left = self._infer(node.body, env)
-            right = self._infer(node.orelse, env)
+            self.eval_expr(node.test, env)
+            left = self.eval_expr(node.body, env)
+            right = self.eval_expr(node.orelse, env)
             return left if left == right else None
-        if isinstance(node, ast.NamedExpr):
-            unit = self._infer(node.value, env)
-            self._bind(node.target, unit, node, env)
-            return unit
-        if isinstance(node, ast.Lambda):
-            self._infer(node.body, dict(env))
-            return None
-        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
-                             ast.DictComp)):
-            inner = dict(env)
-            for comp in node.generators:
-                self._infer(comp.iter, inner)
-                for name in self._bound_names(comp.target):
-                    inner.pop(name, None)
-                for cond in comp.ifs:
-                    self._infer(cond, inner)
-            if isinstance(node, ast.DictComp):
-                self._infer(node.key, inner)
-                self._infer(node.value, inner)
-            else:
-                self._infer(node.elt, inner)
-            return None
         if isinstance(node, ast.Starred):
-            return self._infer(node.value, env)
-        # Generic fallback (Subscript, Tuple, List, Dict, JoinedStr, ...):
-        # walk children for events, infer no unit.
-        for _, field in ast.iter_fields(node):
-            if isinstance(field, ast.expr):
-                self._infer(field, env)
-            elif isinstance(field, list):
-                for item in field:
-                    if isinstance(item, ast.expr):
-                        self._infer(item, env)
-                    elif isinstance(item, ast.AST):
-                        self._exec_fragment(item, env)
-            elif isinstance(field, ast.AST):
-                self._exec_fragment(field, env)
-        return None
+            return self.eval_expr(node.value, env)
+        # Comprehension/Lambda/NamedExpr scoping plus the generic child
+        # walk come from the shared base.
+        return super().eval_expr(node, env)
 
     def _infer_binop(self, node: ast.BinOp,
                      env: Dict[str, Optional[str]]) -> Optional[str]:
-        left = self._infer(node.left, env)
-        right = self._infer(node.right, env)
+        left = self.eval_expr(node.left, env)
+        right = self.eval_expr(node.right, env)
         if isinstance(node.op, (ast.Add, ast.Sub)):
             if left and right:
                 if left != right:
@@ -446,8 +353,8 @@ class UnitInference:
 
     def _infer_compare(self, node: ast.Compare,
                        env: Dict[str, Optional[str]]) -> None:
-        units = [self._infer(node.left, env)]
-        units += [self._infer(comp, env) for comp in node.comparators]
+        units = [self.eval_expr(node.left, env)]
+        units += [self.eval_expr(comp, env) for comp in node.comparators]
         for index, op in enumerate(node.ops):
             if not isinstance(op, (ast.Eq, ast.NotEq, ast.Lt, ast.LtE,
                                    ast.Gt, ast.GtE)):
@@ -466,10 +373,10 @@ class UnitInference:
                     env: Dict[str, Optional[str]]) -> Optional[str]:
         name = _callable_name(node.func)
         if isinstance(node.func, ast.Attribute):
-            self._infer(node.func.value, env)
-        arg_units = [self._infer(arg, env) for arg in node.args]
+            self.eval_expr(node.func.value, env)
+        arg_units = [self.eval_expr(arg, env) for arg in node.args]
         for keyword in node.keywords:
-            value_unit = self._infer(keyword.value, env)
+            value_unit = self.eval_expr(keyword.value, env)
             declared = unit_of_name(keyword.arg) if keyword.arg else None
             if declared is not None and value_unit is not None \
                     and value_unit != declared:

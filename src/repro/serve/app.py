@@ -177,6 +177,11 @@ class ServeApp:
         )
         #: Set at drain time; every pooled sweep polls it between points.
         self.drain_abort = threading.Event()
+        #: handle() calls currently running (loop-thread only).  The
+        #: admission gate releases before the response is journaled and
+        #: written, so the drain path waits on this too — otherwise the
+        #: teardown cancels the last connections mid-journal.
+        self.active_handles = 0
         #: Completed when a drain has been requested (lifecycle waits).
         self.drain_requested: Optional[asyncio.Event] = None
         self.started_at = time.monotonic()
@@ -236,6 +241,13 @@ class ServeApp:
 
     async def handle(self, request: Request) -> Response:
         """Route one request; every outcome is a well-formed response."""
+        self.active_handles += 1
+        try:
+            return await self._handle(request)
+        finally:
+            self.active_handles -= 1
+
+    async def _handle(self, request: Request) -> Response:
         started = time.perf_counter()
         request_id = next(self._request_ids)
         endpoint = request.path.rstrip("/") or "/"
@@ -249,14 +261,40 @@ class ServeApp:
             response = Response(500, error_payload(error, status=500))
         self.status_counts[response.status] += 1
         if self.request_log is not None:
-            self.request_log.record(
-                request_id=request_id,
-                endpoint=endpoint,
-                status=response.status,
-                wall_time_s=time.perf_counter() - started,
-                error=response.payload.get("error"),
-            )
+            # The journal write is flushed + fsynced: blocking work that
+            # must not run on the event loop.  Awaiting the executor hop
+            # keeps the durability contract — the entry is on disk
+            # before the response leaves.
+            wall_time_s = time.perf_counter() - started
+            try:
+                await self._run_blocking(
+                    self._journal_request,
+                    request_id, endpoint, response, wall_time_s,
+                )
+            except RuntimeError:
+                # Drain teardown shut the executor while we were
+                # suspended at the await.  The loop is no longer
+                # serving traffic, so journaling inline is harmless —
+                # unless the log itself is already closed, in which
+                # case the teardown owns the shutdown-window entry.
+                try:
+                    self._journal_request(  # lint: allow(NM401): executor is gone; the loop serves no other traffic during teardown
+                        request_id, endpoint, response, wall_time_s
+                    )
+                except ConfigurationError:
+                    pass
         return response
+
+    def _journal_request(self, request_id: int, endpoint: str,
+                         response: Response, wall_time_s: float) -> None:
+        """Sync journal append; runs on the executor, never the loop."""
+        self.request_log.record(
+            request_id=request_id,
+            endpoint=endpoint,
+            status=response.status,
+            wall_time_s=wall_time_s,
+            error=response.payload.get("error"),
+        )
 
     def _error_response(self, error: NeuroMeterError) -> Response:
         status = status_for(error)
@@ -311,6 +349,12 @@ class ServeApp:
     async def _run_blocking(self, fn, *args):
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self.executor, fn, *args)
+
+    @staticmethod
+    def _persist_manifest(manifest, manifest_path: str) -> None:
+        """Sync manifest write-if-absent; runs on the executor."""
+        if not os.path.exists(manifest_path):
+            manifest.write(manifest_path)
 
     # -- endpoints -----------------------------------------------------------
 
@@ -554,8 +598,10 @@ class ServeApp:
         manifest_path = os.path.join(
             journal_dir, f"manifest-{manifest.sweep_digest}.json"
         )
-        if not os.path.exists(manifest_path):
-            manifest.write(manifest_path)
+        # manifest.write() is a flush+fsync+replace: executor, not loop.
+        await self._run_blocking(
+            self._persist_manifest, manifest, manifest_path
+        )
         stale_after_s = float(
             body.get("stale_after_s") or DEFAULT_STALE_AFTER_S
         )

@@ -96,7 +96,15 @@ async def _serve_until_drained(
         task.cancel()
     await asyncio.gather(*pending, return_exceptions=True)
     clean = drain_task in done and drain_task.result()
-    if not clean:
+    if clean:
+        # The gate releases before handle() journals the response and
+        # the connection writes it; wait briefly for the last handlers
+        # (including un-gated /status and /drain ones) to finish so the
+        # loop teardown does not cancel them mid-journal.
+        deadline = loop.time() + 5.0
+        while app.active_handles and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+    else:
         print("neurometer serve: tearing down with "
               f"{app.gate.inflight} request(s) in flight",
               file=sys.stderr, flush=True)

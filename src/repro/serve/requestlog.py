@@ -14,6 +14,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 from typing import Optional
 
 from repro.dse.journal import repair_tail
@@ -35,9 +36,16 @@ def _request_line_is_damaged(line: bytes) -> bool:
 
 
 class RequestLog:
-    """Append-only request journal with crash-safe per-line flushing."""
+    """Append-only request journal with crash-safe per-line flushing.
+
+    ``record`` is thread-safe: the daemon journals from its executor
+    threads (never the event loop), so the write+flush+fsync of one
+    entry and the ``recorded_total`` bump are serialized under a lock
+    to keep lines whole and the count exact.
+    """
 
     def __init__(self, path: "str | os.PathLike"):
+        self._write_lock = threading.Lock()
         self.path = os.fspath(path)
         parent = os.path.dirname(self.path)
         if parent:
@@ -79,28 +87,29 @@ class RequestLog:
         detail: Optional[dict] = None,
     ) -> None:
         """Journal one resolved request; flushed immediately."""
-        if self._fh is None:
-            raise ConfigurationError("request log is closed")
-        self._write_line(
-            json.dumps(
-                {
-                    "kind": "request",
-                    "id": request_id,
-                    "endpoint": endpoint,
-                    "status": status,
-                    "wall_time_s": round(wall_time_s, 6),
-                    "error": error,
-                    "detail": detail,
-                },
-                sort_keys=True,
-            )
+        line = json.dumps(
+            {
+                "kind": "request",
+                "id": request_id,
+                "endpoint": endpoint,
+                "status": status,
+                "wall_time_s": round(wall_time_s, 6),
+                "error": error,
+                "detail": detail,
+            },
+            sort_keys=True,
         )
-        self.recorded_total += 1
+        with self._write_lock:
+            if self._fh is None:
+                raise ConfigurationError("request log is closed")
+            self._write_line(line)
+            self.recorded_total += 1
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._write_lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "RequestLog":
         return self

@@ -1,0 +1,26 @@
+"""NM403 true positives: durable files written without crash safety."""
+
+import json
+
+
+def write_manifest(manifest_path, payload):
+    # Truncating rewrite in place: a crash mid-write tears the manifest.
+    with open(manifest_path, "w") as fh:
+        json.dump(payload, fh)
+
+
+def append_journal(journal_path, row):
+    # Flushed but never fsynced: the entry can vanish after we reported
+    # it as recorded.
+    with open(journal_path, "a") as fh:
+        fh.write(json.dumps(row) + "\n")
+        fh.flush()
+
+
+class ShardLease:
+    def __init__(self, path):
+        self.path = path
+
+    def renew(self, payload):
+        # Path.write_text cannot flush+fsync at all.
+        self.path.write_text(json.dumps(payload))

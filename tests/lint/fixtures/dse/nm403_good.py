@@ -1,0 +1,45 @@
+"""NM403 clean twin: the write-tmp -> flush -> fsync -> replace pattern."""
+
+import json
+import os
+
+
+def write_manifest(manifest_path, payload):
+    tmp = manifest_path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, manifest_path)
+
+
+def append_journal(journal_path, row):
+    with open(journal_path, "a") as fh:
+        fh.write(json.dumps(row) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+class ShardLease:
+    def __init__(self, path):
+        self.path = path
+
+    def renew(self, payload):
+        # The fsync+replace may live in a helper: the rule checks the
+        # writer's *transitive* effects.
+        tmp = str(self.path) + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(payload))
+        self._seal(tmp)
+
+    def _seal(self, tmp):
+        with open(tmp, "a") as fh:
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+
+def scratch_notes(path, text):
+    # Not a durable file: no journal/lease/manifest token anywhere.
+    with open(path, "w") as fh:
+        fh.write(text)

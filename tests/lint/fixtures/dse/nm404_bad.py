@@ -1,0 +1,34 @@
+"""NM404 true positives: fork-hostile objects crossing Process spawns."""
+
+import asyncio
+import multiprocessing as mp
+
+
+def drain_loop(conn):
+    # Drives an event loop: clones of this across fork() are broken.
+    loop = asyncio.get_event_loop()
+    loop.run_until_complete(asyncio.sleep(0))
+    conn.send("done")
+
+
+class ShardRunner:
+    def __init__(self, state_lock):
+        self._state_lock = state_lock
+
+    def launch(self, conn):
+        # Target transitively touches the event loop.
+        worker = mp.Process(target=drain_loop, args=(conn,))
+        worker.start()
+        return worker
+
+    def launch_locked(self, conn):
+        # A threading.Lock forked into the child is held-forever there.
+        worker = mp.Process(target=run_worker,
+                            args=(self._state_lock, conn))
+        worker.start()
+        return worker
+
+
+def run_worker(lock, conn):
+    with lock:
+        conn.send("done")

@@ -1,0 +1,21 @@
+"""NM404 clean twin: only plain data crosses the fork boundary."""
+
+import multiprocessing as mp
+
+
+def run_worker(config, conn):
+    result = {"points": config.get("points", 0)}
+    conn.send(result)
+
+
+class ShardRunner:
+    def __init__(self, config):
+        self._config = config
+
+    def launch(self):
+        # Plain dict + pipe endpoint: fork-safe payload.
+        parent_conn, child_conn = mp.Pipe()
+        worker = mp.Process(target=run_worker,
+                            args=(self._config, child_conn))
+        worker.start()
+        return worker, parent_conn

@@ -1,0 +1,28 @@
+"""NM401 true positives: blocking work reachable from async handlers."""
+
+import subprocess
+import time
+
+
+async def poll_lease(pool):
+    # Direct blocking sleep on the event loop.
+    time.sleep(0.5)
+    # Blocking call-graph hop: load_manifest_text() does sync file I/O.
+    text = load_manifest_text("manifest.json")
+    # Worker-pool result wait blocks the loop too.
+    result = pool.get(timeout=1.0)
+    return text, result
+
+
+def load_manifest_text(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+async def shell_out(cmd):
+    # Two hops down: shell_out -> run_probe -> subprocess.run.
+    return run_probe(cmd)
+
+
+def run_probe(cmd):
+    return subprocess.run(cmd, capture_output=True)

@@ -1,0 +1,22 @@
+"""NM401 clean twin: async-native waits and executor hops only."""
+
+import asyncio
+
+
+async def poll_lease(loop, pool):
+    # Async-native sleep never blocks the loop.
+    await asyncio.sleep(0.5)
+    # Blocking work hops to the executor as a function *reference*.
+    text = await loop.run_in_executor(None, load_manifest_text, "m.json")
+    result = await asyncio.to_thread(pool.get, 1.0)
+    return text, result
+
+
+def load_manifest_text(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+async def drain(queue_async):
+    # Awaited async .get() is the asyncio.Queue protocol, not a block.
+    return await queue_async.get()

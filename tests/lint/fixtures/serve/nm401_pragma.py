@@ -1,0 +1,20 @@
+"""NM401 pragma fixture: only a justified, correctly-named pragma exempts.
+
+Three identical violations; one carries the full pragma (exempt), one a
+bare pragma with no reason (fires), one a pragma naming the wrong rule
+(fires).  Expected findings: 2.
+"""
+
+import time
+
+
+async def warmup_handler():
+    time.sleep(0.1)  # lint: allow(NM401): startup-only path, loop not serving yet
+
+
+async def throttle_handler():
+    time.sleep(0.1)  # lint: allow(NM401)
+
+
+async def retry_handler():
+    time.sleep(0.1)  # lint: allow(NM402): wrong rule named

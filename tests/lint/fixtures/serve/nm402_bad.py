@@ -1,0 +1,28 @@
+"""NM402 true positive: the CircuitBreaker half-open bug shape."""
+
+import threading
+
+
+class HalfOpenCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.state = "closed"
+        self.failures = 0
+
+    def record_failure(self):
+        with self._lock:
+            self.failures += 1
+            if self.failures >= 3:
+                self.state = "open"
+
+    def reset(self):
+        with self._lock:
+            self.failures = 0
+            self.state = "closed"
+
+    def try_half_open(self):
+        # Lock-free mutation of self.state: races record_failure/reset.
+        if self.state == "open":
+            self.state = "half-open"
+            return True
+        return False

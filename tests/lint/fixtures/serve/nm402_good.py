@@ -1,0 +1,34 @@
+"""NM402 clean twin: every shared mutation holds the lock."""
+
+import threading
+
+
+class HalfOpenCounter:
+    def __init__(self):
+        # __init__ mutations are exempt: the object is not shared yet.
+        self._lock = threading.Lock()
+        self.state = "closed"
+        self.failures = 0
+
+    def record_failure(self):
+        with self._lock:
+            self.failures += 1
+            if self.failures >= 3:
+                self.state = "open"
+
+    def reset(self):
+        with self._lock:
+            self._reset_locked()
+
+    def _reset_locked(self):
+        # Private helper only ever called under the lock: its mutations
+        # count as locked (the _foo_locked pattern).
+        self.failures = 0
+        self.state = "closed"
+
+    def try_half_open(self):
+        with self._lock:
+            if self.state == "open":
+                self.state = "half-open"
+                return True
+            return False

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import subprocess
 from pathlib import Path
 
 from repro.cli import main
@@ -68,6 +69,95 @@ def test_lint_unknown_rule_exits_two_with_error(capsys):
 def test_lint_missing_path_exits_two_with_error(capsys):
     assert main(["lint", str(FIXTURES / "no_such_dir")]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_lint_sarif_output_is_valid_sarif(capsys):
+    code = main([
+        "lint", str(FIXTURES / _DIRTY), "--root", str(FIXTURES),
+        "--format", "sarif",
+    ])
+    assert code == 2
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    (run,) = sarif["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "neurometer-lint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert "NM102" in rule_ids and "NM401" in rule_ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "NM102"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == _DIRTY
+    assert location["region"]["startLine"] >= 1
+    assert "suppressions" not in result
+    # ruleIndex must point at the right catalog entry.
+    assert driver["rules"][result["ruleIndex"]]["id"] == "NM102"
+
+
+def test_lint_sarif_marks_baselined_findings_suppressed(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    argv = [
+        "lint", str(FIXTURES / _DIRTY), "--root", str(FIXTURES),
+        "--baseline", str(baseline),
+    ]
+    assert main(argv + ["--update-baseline"]) == 0
+    capsys.readouterr()
+    assert main(argv + ["--format", "sarif"]) == 0
+    sarif = json.loads(capsys.readouterr().out)
+    (result,) = sarif["runs"][0]["results"]
+    assert result["suppressions"] == [{"kind": "external"}]
+
+
+def _git(repo: Path, *argv: str) -> None:
+    subprocess.run(
+        ["git", "-C", str(repo), "-c", "user.name=t",
+         "-c", "user.email=t@t", *argv],
+        check=True, capture_output=True,
+    )
+
+
+def test_lint_changed_only_filters_to_the_git_diff(tmp_path, capsys):
+    repo = tmp_path / "repo"
+    pkg = repo / "arch"
+    pkg.mkdir(parents=True)
+    committed = pkg / "committed.py"
+    committed.write_text(
+        "def g(pad_um2):\n    area_mm2 = pad_um2\n    return area_mm2\n",
+        encoding="utf-8",
+    )
+    _git(repo, "init", "-q")
+    _git(repo, "add", ".")
+    _git(repo, "commit", "-q", "-m", "seed")
+    # An untracked dirty file: the only thing --changed-only should see.
+    dirty = pkg / "dirty.py"
+    dirty.write_text(
+        "def h(w_um2):\n    total_mm2 = w_um2\n    return total_mm2\n",
+        encoding="utf-8",
+    )
+    argv = ["lint", str(repo), "--root", str(repo), "--changed-only"]
+    assert main(argv) == 2
+    out = capsys.readouterr().out
+    assert "arch/dirty.py" in out
+    assert "committed.py" not in out
+    assert "1 file(s) checked" in out
+
+    # With nothing changed, the run short-circuits cleanly.
+    _git(repo, "add", ".")
+    _git(repo, "commit", "-q", "-m", "fix")
+    assert main(argv) == 0
+    assert "no changed Python files" in capsys.readouterr().out
+
+
+def test_lint_changed_only_outside_git_fails_cleanly(tmp_path, capsys):
+    pkg = tmp_path / "arch"
+    pkg.mkdir()
+    (pkg / "a.py").write_text("x = 1\n", encoding="utf-8")
+    code = main([
+        "lint", str(pkg), "--root", str(tmp_path), "--changed-only",
+    ])
+    assert code == 1
+    assert "--changed-only needs a git checkout" in capsys.readouterr().err
 
 
 def test_lint_update_baseline_round_trip(tmp_path, capsys):

@@ -1,0 +1,304 @@
+"""Unit tests for the shared dataflow core (`repro.lint.flow`).
+
+The fixture-corpus tests pin the NM4xx rules end to end; these pin the
+underlying machinery — call-graph resolution, effect closure, blocking
+chains, lock-discipline classification — at the API level, so a rule
+regression can be localized to either layer.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.flow import (
+    EFFECT_BLOCKING,
+    EFFECT_FSYNC,
+    EFFECT_REPLACE,
+    EFFECT_TOUCHES_LOOP,
+    EFFECT_USES_LOCK,
+    ModuleFlow,
+    analyze_lock_discipline,
+)
+
+
+def _flow(source: str) -> ModuleFlow:
+    return ModuleFlow(ast.parse(textwrap.dedent(source)))
+
+
+# -- call graph -------------------------------------------------------------
+
+
+def test_resolves_module_level_and_method_calls():
+    flow = _flow(
+        """
+        def helper():
+            pass
+
+        class Box:
+            def run(self):
+                self.step()
+                helper()
+
+            def step(self):
+                pass
+        """
+    )
+    run = flow.functions["Box.run"]
+    assert {callee for _, callee in run.calls} == {"Box.step", "helper"}
+
+
+def test_resolves_nested_sibling_before_module_level():
+    flow = _flow(
+        """
+        def work():
+            pass
+
+        def outer():
+            def work():
+                pass
+            work()
+        """
+    )
+    (call,) = flow.functions["outer"].calls
+    assert call[1] == "outer.work"
+
+
+def test_recursion_does_not_hang_the_effect_closure():
+    flow = _flow(
+        """
+        import time
+
+        def ping():
+            pong()
+
+        def pong():
+            time.sleep(1)
+            ping()
+        """
+    )
+    assert EFFECT_BLOCKING in flow.effects("ping")
+    assert EFFECT_BLOCKING in flow.effects("pong")
+
+
+# -- effects ----------------------------------------------------------------
+
+
+def test_direct_effects_cover_the_vocabulary():
+    flow = _flow(
+        """
+        import asyncio
+        import os
+        import threading
+
+        _lock = threading.Lock()
+
+        def seal(tmp, path):
+            with open(tmp, "a") as fh:
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+
+        def drive():
+            asyncio.get_event_loop()
+
+        def guarded(box):
+            with _lock:
+                box.append(1)
+        """
+    )
+    assert {EFFECT_FSYNC, EFFECT_REPLACE} <= flow.effects("seal")
+    assert EFFECT_TOUCHES_LOOP in flow.effects("drive")
+    assert EFFECT_USES_LOCK in flow.effects("guarded")
+
+
+def test_effects_propagate_transitively():
+    flow = _flow(
+        """
+        import os
+
+        def a():
+            b()
+
+        def b():
+            c()
+
+        def c(fh):
+            os.fsync(fh)
+        """
+    )
+    assert EFFECT_FSYNC in flow.effects("a")
+    assert EFFECT_FSYNC not in flow.functions["a"].direct_effects
+
+
+def test_function_references_create_no_call_edge():
+    """Handing a callable to an executor must not propagate its effects —
+    that is exactly why the executor hop is the sanctioned NM401 fix."""
+    flow = _flow(
+        """
+        import time
+
+        def slow():
+            time.sleep(1)
+
+        async def handler(loop):
+            await loop.run_in_executor(None, slow)
+        """
+    )
+    assert flow.functions["handler"].calls == []
+    assert EFFECT_BLOCKING not in flow.effects("handler")
+
+
+def test_awaited_calls_are_never_blocking():
+    flow = _flow(
+        """
+        async def drain(queue):
+            return await queue.get()
+        """
+    )
+    assert flow.functions["drain"].blocking_sites == []
+
+
+def test_lambda_bodies_do_not_leak_effects():
+    flow = _flow(
+        """
+        import time
+
+        def schedule(cb):
+            cb(lambda: time.sleep(1))
+        """
+    )
+    assert EFFECT_BLOCKING not in flow.effects("schedule")
+
+
+def test_blocking_chain_names_the_shortest_path():
+    flow = _flow(
+        """
+        import subprocess
+
+        def a():
+            b()
+
+        def b():
+            subprocess.run(["x"])
+        """
+    )
+    chain, description = flow.blocking_chain("a")
+    assert chain == ["a", "b"]
+    assert "subprocess" in description
+
+
+# -- lock discipline --------------------------------------------------------
+
+_LOCKED = """
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.n = 0
+
+    def bump(self):
+        with self._lock:
+            self.n += 1
+
+    def reset(self):
+        self.n = 0
+"""
+
+
+def test_lock_violation_reports_the_free_site():
+    (violation,) = analyze_lock_discipline(ast.parse(_LOCKED))
+    assert violation.class_name == "Counter"
+    assert violation.attr == "n"
+    assert violation.method == "reset"
+    assert "bump" in violation.locked_methods
+
+
+def test_init_is_exempt_and_lockless_classes_are_skipped():
+    # Remove the with-block: no lock discipline exists to violate.
+    source = _LOCKED.replace("with self._lock:\n            ", "")
+    assert analyze_lock_discipline(ast.parse(source)) == []
+
+
+def test_private_helper_called_only_under_lock_counts_as_locked():
+    source = """
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.n = 0
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+
+    def _bump_locked(self):
+        self.n += 1
+"""
+    assert analyze_lock_discipline(ast.parse(source)) == []
+
+
+def test_helper_with_any_unlocked_call_site_does_not_count():
+    source = """
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.n = 0
+
+    def bump(self):
+        with self._lock:
+            self.n += 1
+            self._mutate()
+
+    def sneak(self):
+        self._mutate()
+
+    def _mutate(self):
+        self.n += 1
+"""
+    violations = analyze_lock_discipline(ast.parse(source))
+    assert [v.method for v in violations] == ["_mutate"]
+
+
+# -- durable writes ---------------------------------------------------------
+
+
+def test_write_opens_classify_durability_and_mode():
+    flow = _flow(
+        """
+        def save_manifest(path, scratch):
+            with open(path + ".manifest", "w") as fh:
+                fh.write("x")
+            with open(scratch, "w") as fh:
+                fh.write("x")
+        """
+    )
+    writes = flow.functions["save_manifest"].write_opens
+    assert [w.durable for w in writes] == [True, True]
+    # Both are durable here because the *function name* carries the
+    # manifest token: context, not just the path expression, counts.
+    assert all(w.mode == "w" for w in writes)
+
+
+def test_spawn_sites_capture_targets_and_hazards():
+    flow = _flow(
+        """
+        import multiprocessing as mp
+
+        def child(conn):
+            conn.send(1)
+
+        def fork(lock, conn):
+            return mp.Process(target=child, args=(lock, conn))
+        """
+    )
+    (spawn,) = flow.functions["fork"].spawns
+    assert spawn.target_qualname == "child"
+    assert spawn.hazardous_args == ("lock",)

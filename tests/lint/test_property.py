@@ -70,6 +70,98 @@ def test_lint_never_crashes_on_converter_shaped_calls(name):
     _assert_well_formed(check_source(text, relpath="arch/gen.py"))
 
 
+# -- NM4xx program shapes ---------------------------------------------------
+#
+# Generated concurrency programs exercise the dataflow core (call graph,
+# effect closure, lock/with scanning, fork-site extraction) rather than
+# the unit engine.  The property is the same: findings or silence, never
+# a traceback.
+
+_IDENT = st.from_regex(r"[a-z][a-z0-9_]{0,12}", fullmatch=True)
+_DEF_KIND = st.sampled_from(["def", "async def"])
+_BLOCKING_STMT = st.sampled_from([
+    "time.sleep(0.1)",
+    "subprocess.run(['x'])",
+    "open(path).read()",
+    "queue.get(timeout=1)",
+    "pass",
+])
+_LOCK_ATTR = st.sampled_from(["_lock", "_mutex", "guard_lock"])
+_STATE_ATTR = st.sampled_from(["state", "count", "entries"])
+_SPAWN_ARG = st.sampled_from(["lock", "conn", "self._lock", "config"])
+_DURABLE_PATH = st.sampled_from([
+    "'out.journal'", "'lease.json'", "self.manifest_path", "scratch",
+])
+_WRITE_MODE = st.sampled_from(["'w'", "'a'", "mode"])
+
+
+@settings(max_examples=150, deadline=None)
+@given(caller=_IDENT, callee=_IDENT, kind=_DEF_KIND, body=_BLOCKING_STMT,
+       relpath=st.sampled_from(["serve/gen.py", "dse/gen.py",
+                                "cache/gen.py", "arch/gen.py"]))
+def test_lint_never_crashes_on_async_call_chains(caller, callee, kind,
+                                                 body, relpath):
+    text = (
+        "import subprocess\n"
+        "import time\n"
+        f"def {callee}(path, queue):\n"
+        f"    {body}\n"
+        f"{kind} {caller}(path, queue):\n"
+        f"    {callee}(path, queue)\n"
+        f"    {body}\n"
+    )
+    _assert_well_formed(check_source(text, relpath=relpath))
+
+
+@settings(max_examples=150, deadline=None)
+@given(lock=_LOCK_ATTR, attr=_STATE_ATTR, locked_first=st.booleans(),
+       helper=st.booleans())
+def test_lint_never_crashes_on_lock_discipline_shapes(lock, attr,
+                                                      locked_first,
+                                                      helper):
+    locked = (
+        f"    def locked(self):\n"
+        f"        with self.{lock}:\n"
+        + (f"            self._step()\n" if helper
+           else f"            self.{attr} += 1\n")
+    )
+    free = (
+        f"    def free(self):\n"
+        f"        self.{attr} = 0\n"
+    )
+    text = (
+        "import threading\n"
+        "class Box:\n"
+        "    def __init__(self):\n"
+        f"        self.{lock} = threading.Lock()\n"
+        f"        self.{attr} = 0\n"
+        + (locked + free if locked_first else free + locked)
+        + (f"    def _step(self):\n        self.{attr} += 1\n"
+           if helper else "")
+    )
+    _assert_well_formed(check_source(text, relpath="serve/gen.py"))
+
+
+@settings(max_examples=150, deadline=None)
+@given(path=_DURABLE_PATH, mode=_WRITE_MODE, fsync=st.booleans(),
+       replace=st.booleans(), arg=_SPAWN_ARG)
+def test_lint_never_crashes_on_write_and_fork_shapes(path, mode, fsync,
+                                                     replace, arg):
+    text = (
+        "import multiprocessing as mp\n"
+        "import os\n"
+        "class Keeper:\n"
+        "    def save(self, scratch, mode):\n"
+        f"        with open({path}, {mode}) as fh:\n"
+        "            fh.write('x')\n"
+        + ("            os.fsync(fh.fileno())\n" if fsync else "")
+        + (f"        os.replace('tmp', {path})\n" if replace else "")
+        + "    def spawn(self, lock, conn, config, target):\n"
+        + f"        return mp.Process(target=target, args=({arg},))\n"
+    )
+    _assert_well_formed(check_source(text, relpath="dse/gen.py"))
+
+
 def test_lint_smokes_over_the_full_source_tree():
     report = run_lint([_SRC], root=_SRC.parent)
     assert report.files_checked > 80
@@ -88,3 +180,14 @@ def test_src_repro_is_clean_against_the_committed_baseline():
     assert report.stale == []
     # The debt register stays small and justified (the ratchet's point).
     assert len(report.suppressed) <= 5
+
+
+def test_src_repro_has_no_unsuppressed_concurrency_findings():
+    """The NM4xx triage is complete: nothing in the tree fires the
+    concurrency rules except sites carrying an explicit pragma."""
+    report = run_lint(
+        [_SRC / "repro"], root=_SRC.parent,
+        rules=["NM401", "NM402", "NM403", "NM404"],
+    )
+    assert report.exit_code == 0, report.render_text()
+    assert report.findings == []

@@ -32,6 +32,10 @@ CASES = {
     "NM301": ("cache/nm301_bad.py", "cache/nm301_good.py", 2),
     "NM302": ("cache/nm302_bad.py", "cache/nm302_good.py", 2),
     "NM303": ("cache/nm303_bad.py", "cache/nm303_good.py", 1),
+    "NM401": ("serve/nm401_bad.py", "serve/nm401_good.py", 4),
+    "NM402": ("serve/nm402_bad.py", "serve/nm402_good.py", 1),
+    "NM403": ("dse/nm403_bad.py", "dse/nm403_good.py", 3),
+    "NM404": ("dse/nm404_bad.py", "dse/nm404_good.py", 2),
 }
 
 
@@ -70,11 +74,11 @@ def test_syntax_error_becomes_nm000():
 
 def test_whole_corpus_totals_match_the_case_table():
     report = run_lint([FIXTURES], root=FIXTURES)
-    # + 1 for NM000 (broken fixture), + 2 for the NM302 pragma fixture
-    # (its unexempted lines).
-    expected = sum(count for _, _, count in CASES.values()) + 1 + 2
+    # + 1 for NM000 (broken fixture), + 2 each for the NM302 and NM401
+    # pragma fixtures (their unexempted lines).
+    expected = sum(count for _, _, count in CASES.values()) + 1 + 2 + 2
     assert len(report.new) == expected
-    assert report.files_checked == 2 * len(CASES) + 2
+    assert report.files_checked == 2 * len(CASES) + 3
 
 
 def test_rule_selection_narrows_the_run():
@@ -117,7 +121,7 @@ def test_model_rules_stay_quiet_outside_model_layers():
 #: are universal correctness checks and apply to every file.
 _SCOPED_RULES = (
     "NM103", "NM201", "NM202", "NM203", "NM204", "NM205", "NM301",
-    "NM302", "NM303",
+    "NM302", "NM303", "NM401", "NM402", "NM403", "NM404",
 )
 
 
@@ -161,6 +165,33 @@ def test_swallowed_exception_rule_covers_batch_dirs():
     assert [f.rule for f in findings] == ["NM205"] * 3
 
 
+def test_concurrency_rules_are_scoped_to_durable_dirs():
+    # The same sources outside serve/dse/cache (here: a model layer and
+    # a report module) are not concurrency-audited.
+    for rule_id in ("NM401", "NM402", "NM403", "NM404"):
+        bad, _, _ = CASES[rule_id]
+        text = _fixture_text(bad)
+        assert check_source(text, relpath="arch/floorplan.py") == [], rule_id
+        assert check_source(text, relpath="report/render.py") == [], rule_id
+
+
+def test_nm401_sees_through_the_call_graph():
+    """The two-hop chain (shell_out -> run_probe -> subprocess.run) is
+    reported at the async caller's call site, naming the chain."""
+    findings = _lint("serve/nm401_bad.py")
+    chained = [f for f in findings if "run_probe()" in f.message]
+    assert len(chained) == 1
+    assert "shell_out" in chained[0].message
+
+
+def test_nm403_accepts_fsync_replace_via_helper():
+    """nm403_good.ShardLease.renew delegates fsync+replace to _seal();
+    the transitive-effect check keeps it clean (asserted by the clean-
+    twin test) while the same shape minus the helper fires (bad twin)."""
+    findings = _lint("dse/nm403_bad.py")
+    assert any("write_text" in f.message for f in findings)
+
+
 def test_nm302_allow_pragma_exempts_only_justified_lines():
     """``# lint: allow(NM302): <reason>`` exempts exactly its line.
 
@@ -175,5 +206,19 @@ def test_nm302_allow_pragma_exempts_only_justified_lines():
     exempted = next(
         number for number, text in enumerate(lines, start=1)
         if "cross-machine" in text
+    )
+    assert exempted not in {f.line for f in findings}
+
+
+def test_allow_pragma_is_generalized_to_every_rule():
+    """The pragma is engine-enforced, so NM401 (which never special-
+    cases it) honors the same exempt/bare/wrong-rule semantics NM302
+    pioneered."""
+    findings = _lint("serve/nm401_pragma.py")
+    assert [f.rule for f in findings] == ["NM401"] * 2
+    source = (FIXTURES / "serve" / "nm401_pragma.py").read_text()
+    exempted = next(
+        number for number, text in enumerate(source.splitlines(), start=1)
+        if "startup-only" in text
     )
     assert exempted not in {f.line for f in findings}

@@ -21,6 +21,7 @@ from repro.dse.space import DesignPoint
 from repro.dse.sweep import DesignPointResult, evaluate_point
 from repro.errors import NumericalError
 from repro.serve.client import RemoteError
+from repro.serve.requestlog import load_request_log
 
 POINT = [64, 2, 2, 4]
 BAD = DesignPoint(32, 4, 2, 2)
@@ -73,6 +74,24 @@ def test_estimate_is_bit_identical_to_the_local_path(harness_factory):
     assert metrics["tdp_w"] == local.tdp_w
     assert metrics["peak_tops"] == local.peak_tops
     assert metrics["peak_tops_per_watt"] == local.peak_tops_per_watt
+
+
+def test_request_log_entry_is_durable_when_the_response_lands(
+    harness_factory, tmp_path
+):
+    """Journaling now hops to the executor so the blocking fsync'd write
+    stays off the event loop — but it must still complete *before* the
+    response is released, so a client that got its answer can rely on
+    the entry being on disk."""
+    log_path = tmp_path / "requests.jsonl"
+    harness = harness_factory(jobs=1, request_log=str(log_path))
+    payload = harness.client().estimate(POINT)
+    assert payload["status"] == "ok"
+    entries = load_request_log(log_path)
+    entry = next(e for e in entries if e["endpoint"] == "/estimate")
+    assert entry["status"] == 200
+    assert entry["error"] is None
+    assert harness.app.request_log.recorded_total >= 1
 
 
 def test_unknown_endpoint_is_404(harness_factory):

@@ -1,6 +1,7 @@
 """Request journaling: crash-safe lines, shared tail repair on reopen."""
 
 import json
+import threading
 
 from repro.serve.requestlog import RequestLog, load_request_log
 
@@ -54,6 +55,37 @@ def test_torn_tail_is_repaired_on_reopen(tmp_path):
     assert [e["id"] for e in entries] == [1, 3]
     for line in path.read_text().splitlines():
         json.loads(line)  # every surviving line parses
+
+
+def test_concurrent_records_never_tear_lines(tmp_path):
+    """``record()`` is called from executor threads now that the daemon
+    offloads journaling off the event loop: writes from many threads
+    must interleave at line granularity, never mid-line."""
+    path = tmp_path / "requests.jsonl"
+    n_threads, per_thread = 8, 25
+    with RequestLog(path) as log:
+        barrier = threading.Barrier(n_threads)
+
+        def pound(base):
+            barrier.wait()
+            for i in range(per_thread):
+                log.record(base + i, "/estimate", 200, 0.01)
+
+        threads = [
+            threading.Thread(target=pound, args=(t * per_thread,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert log.recorded_total == n_threads * per_thread
+    entries = load_request_log(path)
+    assert sorted(e["id"] for e in entries) == list(
+        range(n_threads * per_thread)
+    )
+    for line in path.read_text().splitlines():
+        json.loads(line)  # no torn or interleaved lines
 
 
 def test_torn_multiline_tail_is_repaired(tmp_path):
