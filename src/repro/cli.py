@@ -142,6 +142,38 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     _add_cache_arguments(parser)
 
 
+def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
+    """Surrogate-search flags shared by dse and optimize."""
+    parser.add_argument(
+        "--strategy",
+        choices=["exhaustive", "surrogate"],
+        default="exhaustive",
+        help="candidate selection: 'exhaustive' evaluates every point, "
+        "'surrogate' trains a learned cost model on the exact rows and "
+        "spends --eval-budget exact evaluations where the model points "
+        "(every reported number still comes from the exact model; see "
+        "docs/dse_surrogate.md)",
+    )
+    parser.add_argument(
+        "--eval-budget",
+        type=int,
+        default=None,
+        dest="eval_budget",
+        metavar="N",
+        help="exact-evaluation cap for --strategy surrogate (default: "
+        "a quarter of the candidate count)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="search seed (default: $NEUROMETER_SEED, then 0); the "
+        "same seed over the same journals reproduces the same "
+        "proposals bit-for-bit",
+    )
+
+
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache",
@@ -192,6 +224,13 @@ def _print_cache_stats(args: argparse.Namespace, counters: dict) -> None:
     if getattr(args, "cache_stats", False):
         print(file=sys.stderr)
         print(_cache_stats_table(counters), file=sys.stderr)
+
+
+def _resolve_cli_seed(explicit) -> int:
+    """One seed for every stochastic subsystem: flag, then env, then 0."""
+    from repro.dse.seeding import resolve_seed
+
+    return resolve_seed(explicit)
 
 
 def _engine_options(args: argparse.Namespace) -> dict:
@@ -482,6 +521,8 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         return _dse_run_shard(args)
     if getattr(args, "remote", None):
         return _remote_dse(args, points)
+    if args.strategy == "surrogate":
+        return _dse_surrogate(args, points)
     workloads = [(name, fn()) for name, fn in _WORKLOADS.items()]
     _apply_cache_flags(args)
     report = run_sweep(
@@ -542,6 +583,72 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         print("error: every design point failed", file=sys.stderr)
         return 2
     return 0
+
+
+def _dse_surrogate(args: argparse.Namespace, points) -> int:
+    """Budgeted surrogate search printing the exact-verified frontier."""
+    from repro.dse.space import SpaceAxes
+    from repro.dse.surrogate.search import surrogate_search
+
+    _apply_cache_flags(args)
+    options = _engine_options(args)
+    options.pop("chunk_size", None)  # the search batches its own rounds
+    workloads = [(name, fn()) for name, fn in _WORKLOADS.items()]
+    if args.expanded_space:
+        axes = SpaceAxes.expanded()
+        budget = args.eval_budget if args.eval_budget is not None else 64
+        mode: dict = {"axes": axes}
+        print(
+            f"searching the expanded space ({axes.size:,} points) "
+            f"with {budget} exact evaluations",
+            file=sys.stderr,
+        )
+    else:
+        budget = (
+            args.eval_budget
+            if args.eval_budget is not None
+            else max(8, len(points) // 4)
+        )
+        mode = {"candidates": points}
+    result = surrogate_search(
+        None,  # multi-objective: report the verified Pareto frontier
+        eval_budget=budget,
+        seed=args.seed,
+        workloads=workloads,
+        batch=args.batch,
+        **mode,
+        **options,
+    )
+    rows = [
+        [
+            row.point.label(),
+            f"{row.area_mm2:.0f}",
+            f"{row.tdp_w:.0f}",
+            f"{row.peak_tops:.1f}",
+            f"{row.peak_tops_per_watt:.3f}",
+            f"{row.peak_tops_per_tco * 1e6:.3f}",
+        ]
+        for row in result.frontier
+    ]
+    print(
+        format_table(
+            [
+                "(X,N,Tx,Ty)",
+                "mm^2",
+                "TDP W",
+                "peak",
+                "TOPS/W",
+                "TOPS/TCO*1e6",
+            ],
+            rows,
+        )
+    )
+    print(f"\n{result.summary()}", file=sys.stderr)
+    _print_failures(result.failures)
+    _print_fallback_totals(result.fallback_totals)
+    if result.cancelled:
+        return 3
+    return 0 if rows else 2
 
 
 def _remote_dse(args: argparse.Namespace, points) -> int:
@@ -636,7 +743,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         journal_dir=args.journal_dir,
         request_log=args.request_log,
         drain_grace_s=args.drain_grace_s,
-        seed=args.seed,
+        seed=_resolve_cli_seed(args.seed),
+        eval_cost_floor_s=args.eval_cost_floor_s,
         reload_config=args.reload_config,
     )
     return run_server(config)
@@ -738,7 +846,7 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
                     max_hits=0,  # every matching call, all checks
                 ),
             ),
-            seed=args.seed,
+            seed=_resolve_cli_seed(args.seed),
         )
         with fault_injection(plan):
             report = _run()
@@ -880,6 +988,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         workloads=workloads,
         batch=args.batch,
         strict=not args.keep_going,
+        strategy=args.strategy,
+        eval_budget=args.eval_budget,
+        seed=args.seed,
         **_engine_options(args),
     )
     best = outcome.best
@@ -890,6 +1001,12 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     )
     print(f"feasible candidates ranked: {len(outcome.ranking)}; "
           f"infeasible: {len(outcome.infeasible)}")
+    if outcome.exact_evaluations is not None:
+        print(
+            f"strategy: {outcome.strategy} "
+            f"({outcome.exact_evaluations} exact evaluations "
+            f"of {len(points)} candidates)"
+        )
     for result in outcome.ranking[1:4]:
         print(f"  runner-up: {result.point.label()}")
     _print_failures(outcome.failures)
@@ -1034,6 +1151,14 @@ def build_parser() -> argparse.ArgumentParser:
         "of the Sec. III key points",
     )
     dse.add_argument(
+        "--expanded-space",
+        action="store_true",
+        dest="expanded_space",
+        help="with --strategy surrogate: navigate the ~1M-point "
+        "expanded design space instead of an enumerated grid "
+        "(mutation/crossover over the axes; see docs/dse_surrogate.md)",
+    )
+    dse.add_argument(
         "--write-manifest",
         default=None,
         dest="write_manifest",
@@ -1082,6 +1207,7 @@ def build_parser() -> argparse.ArgumentParser:
         "considered abandoned and reclaimed (default 60)",
     )
     _add_engine_arguments(dse)
+    _add_search_arguments(dse)
     dse.set_defaults(handler=_cmd_dse)
 
     merge = commands.add_parser(
@@ -1215,7 +1341,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long SIGTERM waits for in-flight requests",
     )
     serve.add_argument(
-        "--seed", type=int, default=0, help="backoff-jitter seed"
+        "--seed",
+        type=int,
+        default=None,
+        help="backoff-jitter seed (default: $NEUROMETER_SEED, then 0)",
+    )
+    serve.add_argument(
+        "--eval-cost-floor-s",
+        type=float,
+        default=0.01,
+        dest="eval_cost_floor_s",
+        metavar="SECONDS",
+        help="assumed cost of one exact evaluation when admission-"
+        "checking a budgeted /optimize request against its deadline "
+        "(see docs/dse_surrogate.md)",
     )
     serve.add_argument(
         "--reload-config",
@@ -1294,7 +1433,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="estimate field the injected fault corrupts",
     )
     doctor.add_argument(
-        "--seed", type=int, default=0, help="fault-plan seed"
+        "--seed",
+        type=int,
+        default=None,
+        help="fault-plan seed (default: $NEUROMETER_SEED, then 0)",
     )
     _add_cache_arguments(doctor)
     doctor.set_defaults(handler=_cmd_doctor)
@@ -1381,6 +1523,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--batch", type=int, default=1)
     optimize.add_argument("--point", action="append")
     _add_engine_arguments(optimize)
+    _add_search_arguments(optimize)
     optimize.set_defaults(handler=_cmd_optimize)
 
     edge = commands.add_parser(

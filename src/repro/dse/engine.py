@@ -784,6 +784,9 @@ class _SweepRun:
                     ),
                     cache=record.cache,
                     fallback=record.fallback,
+                    # Every row the engine writes came from the analytical
+                    # model; surrogate predictions never reach a journal.
+                    source="exact",
                 )
             )
         if self.on_record is not None:

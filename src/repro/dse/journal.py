@@ -193,6 +193,12 @@ class JournalEntry:
     #: vector-backend fallback reason for this point (``None`` when the
     #: point was vectorized or the sweep ran the scalar backend outright).
     fallback: Optional[str] = None
+    #: Provenance of the metrics.  The sweep engine stamps ``"exact"`` on
+    #: every row it writes — the analytical model produced the numbers —
+    #: so downstream consumers (reports, surrogate training) can assert
+    #: that no predicted-only row ever entered a journal.  ``None`` on
+    #: rows written before the field existed.
+    source: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -202,21 +208,21 @@ class JournalEntry:
             )
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "kind": "point",
-                "point": [self.point.x, self.point.n, self.point.tx,
-                          self.point.ty],
-                "status": self.status,
-                "attempt": self.attempt,
-                "wall_time_s": round(self.wall_time_s, 6),
-                "metrics": self.metrics,
-                "failure": self.failure,
-                "cache": self.cache,
-                "fallback": self.fallback,
-            },
-            sort_keys=True,
-        )
+        payload = {
+            "kind": "point",
+            "point": [self.point.x, self.point.n, self.point.tx,
+                      self.point.ty],
+            "status": self.status,
+            "attempt": self.attempt,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "metrics": self.metrics,
+            "failure": self.failure,
+            "cache": self.cache,
+            "fallback": self.fallback,
+        }
+        if self.source is not None:
+            payload["source"] = self.source
+        return json.dumps(payload, sort_keys=True)
 
     @classmethod
     def from_payload(cls, payload: dict) -> Optional["JournalEntry"]:
@@ -241,6 +247,7 @@ class JournalEntry:
             failure=payload.get("failure"),
             cache=payload.get("cache"),
             fallback=payload.get("fallback"),
+            source=payload.get("source"),
         )
 
     @classmethod

@@ -95,23 +95,140 @@ def _score_fn(
     return lambda r: r.mean_cost_efficiency(batch)
 
 
+#: Candidate-selection strategies ``optimize_design`` accepts.
+STRATEGIES = ("exhaustive", "surrogate")
+
+
 @dataclass(frozen=True)
 class OptimizationOutcome:
     """Result of a design optimization.
 
     Attributes:
-        best: The winning evaluated point.
+        best: The winning evaluated point (``None`` only when a
+            cancelled run finished no feasible candidate).
         ranking: Every feasible point, best first.
         infeasible: Points that failed the constraints (or whose degraded
             evaluation lacks the runtime metrics the objective needs).
         failures: Structured evaluation failures — only populated when
             the engine runs in ``strict=False`` (keep-going) mode.
+        strategy: How candidates were chosen: ``"exhaustive"`` (every
+            point evaluated) or ``"surrogate"`` (budgeted search; the
+            ranking covers only the points the search exactly verified).
+        exact_evaluations: Exact-model evaluations actually *paid for*
+            by this call — journal-rehydrated rows are free.  ``None``
+            when the engine ran without that accounting (legacy paths).
+        cancelled: The run was stopped early by ``should_abort``; the
+            ranking covers only the points finished before the abort.
     """
 
-    best: DesignPointResult
+    best: Optional[DesignPointResult]
     ranking: tuple[DesignPointResult, ...]
     infeasible: tuple[DesignPoint, ...]
     failures: tuple = ()
+    strategy: str = "exhaustive"
+    exact_evaluations: Optional[int] = None
+    cancelled: bool = False
+
+
+def _journal_covers(
+    journal_path: Union[str, os.PathLike],
+    digest: str,
+    points: Sequence[DesignPoint],
+):
+    """Warm-start check: does a compatible journal already cover the grid?
+
+    Answers a record list when the journal's header carries a matching
+    sweep digest *and* every candidate point has a finished row — the
+    optimization then ranks straight from the journal without touching
+    the engine.  A journal stamped with a *different* digest is a typed
+    refusal (it belongs to another grid, workload set, or package
+    version; resuming from it point-by-point would silently mix
+    recipes).  A journal with no digest (legacy, or engine-written
+    without meta) answers ``None`` and the engine resumes normally.
+
+    Raises:
+        ConfigurationError: the journal header digest mismatches.
+    """
+    from repro.dse.engine import record_from_journal_entry
+    from repro.dse.journal import journal_header, load_journal
+
+    header = journal_header(journal_path) or {}
+    meta = header.get("meta") or {}
+    stamped = meta.get("sweep_digest")
+    if stamped is None:
+        return None
+    if stamped != digest:
+        raise ConfigurationError(
+            f"journal {os.fspath(journal_path)} was written for sweep "
+            f"digest {stamped}, but this optimization digests to "
+            f"{digest} — different points, workloads, batches, or "
+            "package version; use a fresh journal path"
+        )
+    by_point = {}
+    for entry in load_journal(journal_path):
+        by_point[entry.point] = entry  # last record wins, as on resume
+    if any(point not in by_point for point in points):
+        return None  # partial coverage: let the engine resume the rest
+    return [record_from_journal_entry(by_point[p]) for p in points]
+
+
+def _rank_records(
+    records,
+    failures,
+    points_count: int,
+    objective: Objective,
+    constraints: Constraints,
+    batch: int,
+    *,
+    strategy: str,
+    exact_evaluations: Optional[int],
+    cancelled: bool,
+) -> OptimizationOutcome:
+    """Filter by constraints, rank by the objective, pick the winner."""
+    regime = f"bs={batch}"
+    feasible: list[DesignPointResult] = []
+    infeasible: list[DesignPoint] = []
+    for record in records:
+        result = record.result
+        if result is None:
+            continue  # reported through ``failures``
+        if objective.needs_workloads and not any(
+            o.regime == regime for o in result.outcomes
+        ):
+            # Degraded (peak-only) rows cannot be ranked on achieved-*
+            # objectives.
+            infeasible.append(record.point)
+            continue
+        if constraints.satisfied_by(result):
+            feasible.append(result)
+        else:
+            infeasible.append(record.point)
+    if not feasible:
+        if cancelled:
+            return OptimizationOutcome(
+                best=None,
+                ranking=(),
+                infeasible=tuple(infeasible),
+                failures=tuple(failures),
+                strategy=strategy,
+                exact_evaluations=exact_evaluations,
+                cancelled=True,
+            )
+        raise OptimizationError(
+            f"none of the {points_count} candidates satisfy the "
+            "constraints"
+        )
+    score = _score_fn(objective, batch)
+    ranking = sorted(feasible, key=score, reverse=True)
+    return OptimizationOutcome(
+        best=ranking[0],
+        ranking=tuple(ranking),
+        infeasible=tuple(infeasible),
+        failures=tuple(failures),
+        strategy=strategy,
+        exact_evaluations=exact_evaluations,
+        cancelled=cancelled,
+    )
 
 
 def optimize_design(
@@ -129,12 +246,24 @@ def optimize_design(
     strict: bool = True,
     journal_path: Optional[Union[str, os.PathLike]] = None,
     resume: bool = False,
+    strategy: str = "exhaustive",
+    eval_budget: Optional[int] = None,
+    seed: Optional[int] = None,
+    should_abort=None,
 ) -> OptimizationOutcome:
     """Pick the best design point for an objective under constraints.
 
-    Candidate evaluation runs on the fault-tolerant sweep engine
-    (:func:`repro.dse.engine.run_sweep`), so large candidate sets can use
-    process parallelism, per-point timeouts, and checkpoint/resume.
+    With ``strategy="exhaustive"`` every candidate is evaluated on the
+    fault-tolerant sweep engine (:func:`repro.dse.engine.run_sweep`) —
+    process parallelism, per-point timeouts, checkpoint/resume — and the
+    journal is digest-stamped so a later call over the same recipe ranks
+    straight from the journal without re-running the sweep.
+
+    With ``strategy="surrogate"`` a learned cost model proposes which
+    candidates deserve exact evaluation
+    (:func:`repro.dse.surrogate.search.surrogate_search`); only
+    exact-verified rows are ranked, and ``eval_budget`` caps the exact
+    evaluations (default: a quarter of the candidates).
 
     Args:
         points: Candidate design tuples.
@@ -153,21 +282,86 @@ def optimize_design(
             ``failures`` and the optimization continues.
         journal_path / resume: Checkpoint journal; see
             :func:`repro.dse.engine.run_sweep`.
+        strategy: ``"exhaustive"`` or ``"surrogate"``.
+        eval_budget: Exact-evaluation cap for the surrogate strategy.
+        seed: Search seed for the surrogate strategy
+            (``NEUROMETER_SEED``/0 when omitted).
+        should_abort: Cooperative cancellation hook, polled between
+            evaluations; a cancelled run answers a partial outcome with
+            ``cancelled=True`` instead of raising.
 
     Raises:
-        ConfigurationError: an achieved-* objective without workloads.
+        ConfigurationError: an achieved-* objective without workloads,
+            an unknown strategy, or a resume journal stamped with a
+            different sweep digest.
         OptimizationError: no candidate satisfies the constraints.
     """
     from repro.dse.engine import run_sweep
+    from repro.dse.shard import sweep_digest
 
     if not points:
         raise ConfigurationError("no candidate design points given")
+    if strategy not in STRATEGIES:
+        raise ConfigurationError(
+            f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+        )
     if objective.needs_workloads and not workloads:
         raise ConfigurationError(
             f"objective {objective.value!r} needs workloads to simulate"
         )
 
     batches = [batch] if objective.needs_workloads else []
+
+    if strategy == "surrogate":
+        from repro.dse.surrogate.search import surrogate_search
+
+        budget = (
+            eval_budget
+            if eval_budget is not None
+            else max(8, len(points) // 4)
+        )
+        search = surrogate_search(
+            objective,
+            candidates=points,
+            eval_budget=budget,
+            seed=seed,
+            ctx=ctx,
+            workloads=workloads,
+            batch=batch,
+            constraints=constraints,
+            journal_path=journal_path,
+            resume=resume,
+            backend=backend,
+            jobs=jobs,
+            timeout_s=timeout_s,
+            should_abort=should_abort,
+        )
+        return OptimizationOutcome(
+            best=search.best,
+            ranking=search.ranking,
+            infeasible=search.infeasible,
+            failures=search.failures,
+            strategy="surrogate",
+            exact_evaluations=search.exact_evaluations,
+            cancelled=search.cancelled,
+        )
+
+    workload_names = [name for name, _ in workloads]
+    digest = sweep_digest(points, workload_names, batches)
+    if journal_path is not None and resume and os.path.exists(journal_path):
+        covered = _journal_covers(journal_path, digest, points)
+        if covered is not None:
+            return _rank_records(
+                covered,
+                [r.failure for r in covered if r.failure is not None],
+                len(points),
+                objective,
+                constraints,
+                batch,
+                strategy="exhaustive",
+                exact_evaluations=0,
+                cancelled=False,
+            )
     report = run_sweep(
         points,
         workloads,
@@ -180,34 +374,19 @@ def optimize_design(
         strict=strict,
         journal_path=journal_path,
         resume=resume,
+        journal_meta={"sweep_digest": digest},
+        should_abort=should_abort,
     )
-    regime = f"bs={batch}"
-    feasible: list[DesignPointResult] = []
-    infeasible: list[DesignPoint] = []
-    for record in report.records:
-        result = record.result
-        if result is None:
-            continue  # reported through ``failures``
-        if objective.needs_workloads and not any(
-            o.regime == regime for o in result.outcomes
-        ):
-            # Degraded (peak-only) rows cannot be ranked on achieved-*
-            # objectives.
-            infeasible.append(record.point)
-            continue
-        if constraints.satisfied_by(result):
-            feasible.append(result)
-        else:
-            infeasible.append(record.point)
-    if not feasible:
-        raise OptimizationError(
-            f"none of the {len(points)} candidates satisfy the constraints"
-        )
-    score = _score_fn(objective, batch)
-    ranking = sorted(feasible, key=score, reverse=True)
-    return OptimizationOutcome(
-        best=ranking[0],
-        ranking=tuple(ranking),
-        infeasible=tuple(infeasible),
-        failures=tuple(report.failures),
+    return _rank_records(
+        report.records,
+        report.failures,
+        len(points),
+        objective,
+        constraints,
+        batch,
+        strategy="exhaustive",
+        exact_evaluations=sum(
+            1 for r in report.records if not r.from_journal
+        ),
+        cancelled=report.cancelled,
     )

@@ -97,6 +97,133 @@ def full_grid() -> list[DesignPoint]:
     ]
 
 
+@dataclass(frozen=True)
+class SpaceAxes:
+    """The axes a proposal-driven search can move along.
+
+    Exhaustive sweeps enumerate :func:`full_grid`; the surrogate search
+    (:mod:`repro.dse.surrogate`) instead *navigates* the space, so it
+    needs the axes as first-class objects: the admissible TU lengths,
+    TUs per core, and ``(T_x, T_y)`` core-grid pairs.  ``table1()``
+    reproduces the 210-point paper grid; ``expanded()`` widens every
+    axis into a >1M-point space that is far beyond exhaustive sweeping
+    but still builds through the exact datacenter model, so any proposed
+    point can be verified by the vectorized backend.
+
+    Axis values are deduplicated and sorted at construction so the same
+    recipe always digests and samples identically.
+    """
+
+    x_values: tuple[int, ...]
+    n_values: tuple[int, ...]
+    grid_pairs: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for name in ("x_values", "n_values", "grid_pairs"):
+            values = getattr(self, name)
+            if not values:
+                raise ConfigurationError(f"axis {name} must be non-empty")
+        object.__setattr__(
+            self, "x_values", tuple(sorted(set(self.x_values)))
+        )
+        object.__setattr__(
+            self, "n_values", tuple(sorted(set(self.n_values)))
+        )
+        object.__setattr__(
+            self,
+            "grid_pairs",
+            tuple(sorted({(int(tx), int(ty)) for tx, ty in self.grid_pairs})),
+        )
+        for value in self.x_values + self.n_values:
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"axis values must be positive integers, got {value!r}"
+                )
+        for tx, ty in self.grid_pairs:
+            if tx < 1 or ty < 1:
+                raise ConfigurationError(
+                    f"grid pair must be positive, got ({tx}, {ty})"
+                )
+
+    @classmethod
+    def table1(cls) -> "SpaceAxes":
+        """The paper's Table I axes (the 210-point grid)."""
+        return cls(
+            x_values=TU_LENGTHS,
+            n_values=TUS_PER_CORE,
+            grid_pairs=tuple(_grids()),
+        )
+
+    @classmethod
+    def expanded(
+        cls,
+        max_x: int = 256,
+        x_step: int = 2,
+        max_n: int = 8,
+        max_grid_dim: int = 32,
+    ) -> "SpaceAxes":
+        """A widened space: every even TU length, 1-8 TUs, free grids.
+
+        With the defaults this is 127 x 8 x 1024 = 1,040,384 points —
+        three orders of magnitude past Table I, yet each tuple still
+        instantiates through ``datacenter_design_point`` and therefore
+        evaluates on the exact vectorized backend.
+        """
+        return cls(
+            x_values=tuple(range(4, max_x + 1, x_step)),
+            n_values=tuple(range(1, max_n + 1)),
+            grid_pairs=tuple(
+                (tx, ty)
+                for tx in range(1, max_grid_dim + 1)
+                for ty in range(1, max_grid_dim + 1)
+            ),
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of distinct design points the axes span."""
+        return len(self.x_values) * len(self.n_values) * len(self.grid_pairs)
+
+    def contains(self, point: DesignPoint) -> bool:
+        return (
+            point.x in self.x_values
+            and point.n in self.n_values
+            and (point.tx, point.ty) in self.grid_pairs
+        )
+
+    def descriptor(self) -> dict:
+        """A JSON-serializable recipe of the axes (for content digests)."""
+        return {
+            "x_values": list(self.x_values),
+            "n_values": list(self.n_values),
+            "grid_pairs": [list(pair) for pair in self.grid_pairs],
+        }
+
+    def point_at(self, ix: int, in_: int, ig: int) -> DesignPoint:
+        """The design point at one (x-index, n-index, grid-index) triple."""
+        tx, ty = self.grid_pairs[ig]
+        return DesignPoint(self.x_values[ix], self.n_values[in_], tx, ty)
+
+    def indices_of(self, point: DesignPoint) -> tuple[int, int, int]:
+        """Axis indices of a contained point (for neighborhood moves).
+
+        Raises:
+            ConfigurationError: the point is not on these axes.
+        """
+        if not self.contains(point):
+            raise ConfigurationError(
+                f"{point.label()} is not on these axes"
+            )
+        return (
+            self.x_values.index(point.x),
+            self.n_values.index(point.n),
+            self.grid_pairs.index((point.tx, point.ty)),
+        )
+
+    def axis_sizes(self) -> tuple[int, int, int]:
+        return (len(self.x_values), len(self.n_values), len(self.grid_pairs))
+
+
 def design_space(
     ctx: Optional[ModelContext] = None,
     area_budget_mm2: float = DATACENTER_AREA_BUDGET_MM2,

@@ -81,6 +81,11 @@ class ServeConfig:
     request_log: Optional[str] = None  # resolved request JSONL
     drain_grace_s: float = 30.0
     seed: int = 0
+    #: Admission floor for budgeted /optimize requests: the daemon
+    #: refuses (400) a surrogate search whose exact-evaluation budget
+    #: times this per-evaluation cost floor cannot fit the request
+    #: deadline, instead of accepting work guaranteed to die at 504.
+    eval_cost_floor_s: float = 0.01
     #: JSON file re-read on SIGHUP; its keys overwrite the live-safe
     #: subset of this config (see :data:`RELOADABLE_KEYS`) without a
     #: restart — warm caches and in-flight requests are untouched.
@@ -102,6 +107,7 @@ RELOADABLE_KEYS = (
     "breaker_reset_s",
     "drain_grace_s",
     "timeout_s",
+    "eval_cost_floor_s",
 )
 
 _RELOAD_INT_KEYS = frozenset(
@@ -665,6 +671,7 @@ class ServeApp:
         self, request: Request, body: dict, abort: threading.Event
     ) -> Response:
         from repro.dse.optimizer import (
+            STRATEGIES,
             Constraints,
             Objective,
             optimize_design,
@@ -678,6 +685,11 @@ class ServeApp:
                 f"unknown objective {body.get('objective')!r}; choose "
                 f"from {[o.value for o in Objective]}"
             ) from error
+        strategy = str(body.get("strategy", "exhaustive"))
+        if strategy not in STRATEGIES:
+            raise ConfigurationError(
+                f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+            )
         constraints = Constraints(
             max_area_mm2=body.get("max_area_mm2"),
             max_tdp_w=body.get("max_tdp_w"),
@@ -695,6 +707,28 @@ class ServeApp:
         workloads = self._workloads(names) if names else ()
         batch = int(body.get("batch", 1))
         ctx = self._context(body)
+        eval_budget = None
+        seed = int(body.get("seed", self.config.seed))
+        if strategy == "surrogate":
+            eval_budget = int(
+                body.get("eval_budget", max(8, len(points) // 4))
+            )
+            # Admission check: refuse a budget the deadline can never
+            # fund, rather than accepting work guaranteed to die at 504.
+            deadline_s = float(
+                request.headers.get("x-deadline-s")
+                or body.get("deadline_s")
+                or self.config.deadline_s
+            )
+            floor_s = eval_budget * self.config.eval_cost_floor_s
+            if floor_s > deadline_s:
+                raise ConfigurationError(
+                    f"eval_budget {eval_budget} needs at least "
+                    f"{floor_s:.1f}s of exact evaluations but the "
+                    f"request deadline is {deadline_s:g}s; lower the "
+                    "budget or raise deadline_s"
+                )
+        should_abort = self._should_abort(abort)
 
         def _optimize():
             return optimize_design(
@@ -705,12 +739,21 @@ class ServeApp:
                 batch=batch,
                 ctx=ctx,
                 strict=False,
+                strategy=strategy,
+                eval_budget=eval_budget,
+                seed=seed,
+                should_abort=should_abort,
             )
 
         outcome = await self._run_blocking(_optimize)
+        if outcome.cancelled or outcome.best is None:
+            return self._cancelled_response()
         best = outcome.best
         return Response(200, {
             "objective": objective.value,
+            "strategy": outcome.strategy,
+            "exact_evaluations": outcome.exact_evaluations,
+            "candidates": len(points),
             "best": {
                 "point": _point_json(best.point),
                 "area_mm2": best.area_mm2,

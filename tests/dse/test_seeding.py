@@ -1,0 +1,55 @@
+"""Seed resolution and derivation: one knob, stable sub-streams."""
+
+import pytest
+
+from repro.dse.seeding import (
+    DEFAULT_SEED,
+    SEED_ENV,
+    derive_seed,
+    resolve_seed,
+)
+from repro.errors import ConfigurationError
+
+
+def test_explicit_seed_wins_over_environment(monkeypatch):
+    monkeypatch.setenv(SEED_ENV, "42")
+    assert resolve_seed(7) == 7
+
+
+def test_environment_seed_used_when_no_argument(monkeypatch):
+    monkeypatch.setenv(SEED_ENV, "42")
+    assert resolve_seed() == 42
+
+
+def test_default_seed_without_argument_or_environment(monkeypatch):
+    monkeypatch.delenv(SEED_ENV, raising=False)
+    assert resolve_seed() == DEFAULT_SEED
+
+
+def test_blank_environment_value_falls_through(monkeypatch):
+    monkeypatch.setenv(SEED_ENV, "  ")
+    assert resolve_seed() == DEFAULT_SEED
+
+
+def test_non_integer_environment_seed_is_refused(monkeypatch):
+    monkeypatch.setenv(SEED_ENV, "not-a-seed")
+    with pytest.raises(ConfigurationError, match=SEED_ENV):
+        resolve_seed()
+
+
+def test_derive_seed_is_stable_and_label_sensitive():
+    assert derive_seed(0, "fit", 8) == derive_seed(0, "fit", 8)
+    assert derive_seed(0, "fit", 8) != derive_seed(0, "fit", 9)
+    assert derive_seed(0, "fit") != derive_seed(1, "fit")
+    assert derive_seed(0, "fit") != derive_seed(0, "proposals")
+
+
+def test_derive_seed_does_not_depend_on_hash_randomization():
+    # sha256 of the label repr: a fixed value, pinned so a refactor to
+    # hash() (PYTHONHASHSEED-dependent) cannot slip in silently.
+    assert derive_seed(0, "surrogate-search") == int.from_bytes(
+        __import__("hashlib")
+        .sha256(repr((0, "surrogate-search")).encode())
+        .digest()[:8],
+        "big",
+    )

@@ -1,0 +1,19 @@
+"""NM302 true positives inside the surrogate subsystem.
+
+A surrogate search must be a deterministic function of (seed, journals):
+wall-clock stamps in proposals and OS-entropy generators both break
+resume-and-replay equality.
+"""
+
+import time
+
+from numpy import random as np_random
+
+
+def propose(candidates):
+    rng = np_random.default_rng()
+    return candidates[int(rng.integers(len(candidates)))]
+
+
+def journal_proposal(point):
+    return {"point": point, "proposed_at": time.time()}

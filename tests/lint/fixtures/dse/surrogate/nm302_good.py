@@ -1,0 +1,16 @@
+"""Clean twin of nm302_bad: every stream derives from the run seed."""
+
+import time
+
+import numpy as np
+
+
+def propose(candidates, seed):
+    rng = np.random.default_rng(seed)
+    return candidates[int(rng.integers(len(candidates)))]
+
+
+def timed_fit(fit):
+    start = time.perf_counter()
+    fit()
+    return time.perf_counter() - start

@@ -75,10 +75,20 @@ def test_syntax_error_becomes_nm000():
 def test_whole_corpus_totals_match_the_case_table():
     report = run_lint([FIXTURES], root=FIXTURES)
     # + 1 for NM000 (broken fixture), + 2 each for the NM302 and NM401
-    # pragma fixtures (their unexempted lines).
-    expected = sum(count for _, _, count in CASES.values()) + 1 + 2 + 2
+    # pragma fixtures (their unexempted lines), + 2 for the surrogate
+    # determinism-scope twin (dse/surrogate/nm302_bad.py).
+    expected = sum(count for _, _, count in CASES.values()) + 1 + 2 + 2 + 2
     assert len(report.new) == expected
-    assert report.files_checked == 2 * len(CASES) + 3
+    assert report.files_checked == 2 * len(CASES) + 5
+
+
+def test_surrogate_subsystem_is_in_determinism_scope():
+    # The surrogate package lives under dse/, so NM302 must fire there
+    # exactly as it does in cache/: an unseeded generator or wall-clock
+    # stamp in the search loop breaks seed-reproducible proposals.
+    findings = _lint("dse/surrogate/nm302_bad.py")
+    assert [f.rule for f in findings] == ["NM302", "NM302"]
+    assert _lint("dse/surrogate/nm302_good.py") == []
 
 
 def test_rule_selection_narrows_the_run():
